@@ -1,0 +1,74 @@
+//! Criterion benches over the paper's benchmark programs and modes.
+//!
+//! Groups:
+//! * `modes/<prog>` — wall-clock per mode (`r`, `rt`, `gt`, `rgt`,
+//!   baseline) on a scaled-down workload: the statistical counterpart of
+//!   Tables 1/2/4.
+//! * `ablation/heap_to_live` — the §4.4 knob: execution time of a
+//!   GC-heavy program as the heap-to-live ratio varies.
+//! * `ablation/page_size` — region page size sweep (§2.4 allows 2^n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kit::{Compiler, Mode};
+use kit_bench::programs::by_name;
+use kit_runtime::RtConfig;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modes");
+    g.sample_size(10);
+    for name in ["fib", "msort", "kitlife", "tyan", "professor"] {
+        let b = by_name(name).expect("benchmark");
+        let src = b.source_scaled(b.test_scale);
+        for mode in Mode::ALL_WITH_BASELINE {
+            let compiler = Compiler::new(mode);
+            let prog = compiler.compile_source(&src).expect("compile");
+            g.bench_with_input(
+                BenchmarkId::new(name, mode.suffix()),
+                &prog,
+                |bch, prog| {
+                    bch.iter(|| compiler.run_program(prog).expect("run").instructions)
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_heap_to_live(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/heap_to_live");
+    g.sample_size(10);
+    let b = by_name("tyan").expect("tyan");
+    let src = b.source_scaled(b.test_scale);
+    for ratio in [2.0_f64, 3.0, 5.0, 8.0] {
+        let cfg = RtConfig { heap_to_live_ratio: ratio, ..RtConfig::rgt() };
+        let compiler = Compiler::new(Mode::Rgt).with_config(cfg);
+        let prog = compiler.compile_source(&src).expect("compile");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ratio}")),
+            &prog,
+            |bch, prog| bch.iter(|| compiler.run_program(prog).expect("run").instructions),
+        );
+    }
+    g.finish();
+}
+
+fn bench_page_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/page_size");
+    g.sample_size(10);
+    let b = by_name("msort").expect("msort");
+    let src = b.source_scaled(b.test_scale);
+    for log2 in [6_u32, 8, 10] {
+        let cfg = RtConfig { page_words_log2: log2, ..RtConfig::rgt() };
+        let compiler = Compiler::new(Mode::Rgt).with_config(cfg);
+        let prog = compiler.compile_source(&src).expect("compile");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log2}w")),
+            &prog,
+            |bch, prog| bch.iter(|| compiler.run_program(prog).expect("run").instructions),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_heap_to_live, bench_page_size);
+criterion_main!(benches);

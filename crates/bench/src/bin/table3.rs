@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 (see kit-bench docs). Pass `--quick` for
+//! the scaled-down test workload.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", kit_bench::tables::table3(quick));
+}

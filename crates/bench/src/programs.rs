@@ -1,0 +1,110 @@
+//! The benchmark programs (paper Fig. 3).
+//!
+//! Faithful ports of the paper's micro/small benchmarks and behavioural
+//! analogs for its large SML applications — same allocation character,
+//! scaled to the interpreter (DESIGN.md §3 has the per-program mapping).
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Name as in the paper's Fig. 3.
+    pub name: &'static str,
+    /// MiniML source (first declaration is `val scale = N`).
+    pub src: &'static str,
+    /// One-line description (mirrors Fig. 3).
+    pub description: &'static str,
+    /// Default scale (the `val scale` value in the source).
+    pub default_scale: i64,
+    /// Scale used by fast test runs.
+    pub test_scale: i64,
+}
+
+impl Benchmark {
+    /// The source with `val scale` replaced by `n`.
+    pub fn source_scaled(&self, n: i64) -> String {
+        let mut out = String::with_capacity(self.src.len());
+        let mut done = false;
+        for line in self.src.lines() {
+            if !done && line.trim_start().starts_with("val scale =") {
+                out.push_str(&format!("val scale = {n}"));
+                done = true;
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        assert!(done, "benchmark {} has no `val scale` line", self.name);
+        out
+    }
+}
+
+macro_rules! bench {
+    ($name:literal, $file:literal, $desc:literal, $default:literal, $test:literal) => {
+        Benchmark {
+            name: $name,
+            src: include_str!(concat!("programs/", $file)),
+            description: $desc,
+            default_scale: $default,
+            test_scale: $test,
+        }
+    };
+}
+
+/// All benchmarks, in the paper's Fig. 3 order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        bench!("vliw", "vliw.sml", "VLIW instruction scheduler (analog)", 45, 4),
+        bench!("logic", "logic.sml", "logic-programming interpreter (analog)", 9, 5),
+        bench!("zebra", "zebra.sml", "solves the zebra puzzle", 2, 1),
+        bench!("tyan", "tyan.sml", "Grobner-basis-style polynomial algebra (analog)", 55, 4),
+        bench!("tsp", "tsp.sml", "traveling salesman problem", 140, 25),
+        bench!("mpuz", "mpuz.sml", "Emacs M-x mpuz puzzle", 300, 20),
+        bench!("dlx", "dlx.sml", "DLX RISC instruction simulation", 12000, 300),
+        bench!("ratio", "ratio.sml", "image analysis (analog)", 34, 12),
+        bench!("lexgen", "lexgen.sml", "lexer generation (analog)", 130, 10),
+        bench!("mlyacc", "mlyacc.sml", "parser generation (analog)", 55, 5),
+        bench!("simple", "simple.sml", "spherical fluid dynamics (analog)", 110, 10),
+        bench!("professor", "professor.sml", "puzzle by exhaustive search", 5, 1),
+        bench!("fib", "fib.sml", "the Fibonacci micro-benchmark", 24, 15),
+        bench!("tak", "tak.sml", "the Tak micro-benchmark", 7, 5),
+        bench!("msort", "msort.sml", "sorting pseudo-random integers", 4000, 300),
+        bench!("kitlife", "kitlife.sml", "the game of life", 24, 4),
+        bench!("kitkb", "kitkb.sml", "Knuth-Bendix-style completion", 60, 6),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_programs_like_the_paper() {
+        assert_eq!(all().len(), 17);
+    }
+
+    #[test]
+    fn every_program_parses() {
+        for b in all() {
+            kit_syntax_check(&b);
+        }
+    }
+
+    fn kit_syntax_check(b: &Benchmark) {
+        if let Err(e) = kit::Compiler::new(kit::Mode::R).compile_source(b.src) {
+            panic!("{} does not compile: {e}", b.name);
+        }
+    }
+
+    #[test]
+    fn scaling_rewrites_the_scale_line() {
+        let b = by_name("fib").unwrap();
+        let s = b.source_scaled(5);
+        assert!(s.contains("val scale = 5\n"));
+        assert!(!s.contains(&format!("val scale = {}", b.default_scale)));
+    }
+}

@@ -1,0 +1,51 @@
+(* kitkb — Knuth-Bendix-style term rewriting (paper: kitkb). A completion-
+   flavoured workload: repeatedly rewrite group-theory terms to normal form
+   with a fixed confluent rule set, allocating many intermediate terms. *)
+val scale = 60
+datatype term = V of int | E | I of term | M of term * term
+fun size_t (V _) = 1
+  | size_t E = 1
+  | size_t (I t) = 1 + size_t t
+  | size_t (M (a, b)) = 1 + size_t a + size_t b
+(* One parallel rewrite step with the classical group rules. *)
+fun rw (M (E, x)) = rw x
+  | rw (M (x, E)) = rw x
+  | rw (M (I x, M (y, z))) = if teq (x, y) then rw z else keep2i (x, y, z)
+  | rw (M (I x, y)) = if teq (x, y) then E else M (I (rw x), rw y)
+  | rw (M (M (x, y), z)) = rw (M (x, M (y, z)))
+  | rw (M (x, y)) = M (rw x, rw y)
+  | rw (I E) = E
+  | rw (I (I x)) = rw x
+  | rw (I (M (x, y))) = rw (M (I y, I x))
+  | rw (I x) = I (rw x)
+  | rw t = t
+and keep2i (x, y, z) = M (I (rw x), M (rw y, rw z))
+and teq (V a, V b) = a = b
+  | teq (E, E) = true
+  | teq (I a, I b) = teq (a, b)
+  | teq (M (a, b), M (c, d)) = teq (a, c) andalso teq (b, d)
+  | teq (_, _) = false
+fun norm (t, 0) = t
+  | norm (t, n) = let val t2 = rw t in if teq (t, t2) then t else norm (t2, n - 1) end
+(* Generate pseudo-random terms. *)
+fun gen (depth, seed) =
+  if depth = 0 then (V (seed mod 3), (seed * 75 + 74) mod 2147483648)
+  else
+    let val s1 = (seed * 1103515245 + 12345) mod 2147483648
+    in
+      case s1 mod 3 of
+        0 => let val (t, s2) = gen (depth - 1, s1) in (I t, s2) end
+      | 1 => let val (a, s2) = gen (depth - 1, s1)
+                 val (b, s3) = gen (depth - 1, s2)
+             in (M (a, b), s3) end
+      | _ => (V (s1 mod 5), s1)
+    end
+fun work (0, seed, acc) = acc
+  | work (n, seed, acc) =
+      let
+        val (t, s2) = gen (7, seed)
+        val nf = norm (M (t, M (I t, t)), 30)
+      in
+        work (n - 1, s2, acc + size_t nf)
+      end
+val it = work (scale, 1, 0)

@@ -1,0 +1,66 @@
+(* logic — a backtracking logic-programming interpreter analog (paper:
+   logic, from the SML/NJ suite). Solves append/3 queries by unification
+   with deep, shared, long-lived term structures: region inference reclaims
+   almost nothing here and the collector does the work. *)
+val scale = 9
+datatype tm = Var of int | Fn0 of int | Fn2 of int * tm * tm
+datatype res = None | Some of (int * tm) list
+fun walk (Var v, env) =
+      let
+        fun look nil = Var v
+          | look ((w, t) :: rest) = if w = v then t else look rest
+      in
+        case look env of
+          Var w => if w = v then Var v else walk (Var w, env)
+        | t => t
+      end
+  | walk (t, env) = t
+fun unify (a, b, env) =
+  case (walk (a, env), walk (b, env)) of
+    (Var v, t) => Some ((v, t) :: env)
+  | (t, Var v) => Some ((v, t) :: env)
+  | (Fn0 f, Fn0 g) => if f = g then Some env else None
+  | (Fn2 (f, x1, x2), Fn2 (g, y1, y2)) =>
+      if f = g then
+        (case unify (x1, y1, env) of
+           None => None
+         | Some e2 => unify (x2, y2, e2))
+      else None
+  | (_, _) => None
+fun numlist (0, acc) = acc
+  | numlist (n, acc) = numlist (n - 1, Fn2 (99, Fn0 n, acc))
+fun solve_append (xs, ys, zs, env, fresh, k) =
+  (* append(nil, Y, Y). *)
+  (case unify (xs, Fn0 0, env) of
+     None => 0
+   | Some e1 =>
+       (case unify (ys, zs, e1) of
+          None => 0
+        | Some e2 => k e2)) +
+  (* append([H|T], Y, [H|R]) :- append(T, Y, R). *)
+  (let
+     val h = Var fresh
+     val t = Var (fresh + 1)
+     val r = Var (fresh + 2)
+   in
+     case unify (xs, Fn2 (99, h, t), env) of
+       None => 0
+     | Some e1 =>
+         (case unify (zs, Fn2 (99, h, r), e1) of
+            None => 0
+          | Some e2 => solve_append (t, ys, r, e2, fresh + 3, k))
+   end)
+(* Successful bindings are retained in a global trail whose older entries
+   are repeatedly dropped: the live prefix survives in the global region
+   while the dropped tail is garbage only the collector can reclaim —
+   the paper's logic keeps region inference near 0%. *)
+val trail = ref (nil : (int * tm) list list)
+fun keep env = (trail := env :: !trail; 1)
+fun trim xs = if length xs > 40 then take (xs, 20) else xs
+fun splits n =
+  let val full = numlist (n, Fn0 0)
+      val found = solve_append (Var 1, Var 2, full, nil, 100, keep)
+  in trail := trim (!trail); found end
+fun iter (0, acc) = acc
+  | iter (k, acc) = iter (k - 1, acc + splits scale)
+val it = iter (200, 0) + length (!trail)

@@ -1,0 +1,49 @@
+(* mlyacc — parser-generator analog (paper: mlyacc): LR(0) item-set closure
+   and goto construction for a small expression grammar, with item sets as
+   lists. Mixed lifetimes: the growing state table is long-lived, closure
+   scratch is short-lived. *)
+val scale = 55
+(* Grammar: E -> E + T | T ; T -> T * F | F ; F -> ( E ) | id
+   productions as (lhs, rhs) with symbols: 0=E 1=T 2=F 3=+ 4=* 5=( 6=) 7=id *)
+val prods = [(0, [0, 3, 1]), (0, [1]), (1, [1, 4, 2]), (1, [2]), (2, [5, 0, 6]), (2, [7])]
+fun item_eq ((p1 : int, d1 : int), (p2, d2)) = p1 = p2 andalso d1 = d2
+fun memb (i, nil) = false
+  | memb (i, j :: js) = item_eq (i, j) orelse memb (i, js)
+fun nth_prod n = nth (prods, n)
+fun sym_after (p, d) =
+  let val (_, rhs) = nth_prod p
+  in if d >= length rhs then ~1 else nth (rhs, d) end
+fun closure items =
+  let
+    fun expand (nil, acc, changed) = (acc, changed)
+      | expand (i :: rest, acc, changed) =
+          let
+            val s = sym_after i
+            fun addprods (n, acc, changed) =
+              if n >= length prods then (acc, changed)
+              else
+                let val (lhs, _) = nth_prod n
+                in
+                  if lhs = s andalso not (memb ((n, 0), acc))
+                  then addprods (n + 1, (n, 0) :: acc, true)
+                  else addprods (n + 1, acc, changed)
+                end
+            val (acc2, ch2) = if s >= 0 andalso s <= 2 then addprods (0, acc, changed)
+                              else (acc, changed)
+          in expand (rest, acc2, ch2) end
+    fun fix items =
+      let val (its, changed) = expand (items, items, false)
+      in if changed then fix its else its end
+  in fix items end
+fun goto (items, sym) =
+  closure (map (fn (p, d) => (p, d + 1))
+               (filter (fn i => sym_after i = sym) items))
+fun build (0, acc) = acc
+  | build (n, acc) =
+      let
+        val s0 = closure [(0, 0)]
+        fun explore (sym, acc) =
+          if sym > 7 then acc
+          else explore (sym + 1, acc + length (goto (s0, sym)))
+      in build (n - 1, acc + explore (0, 0) + length s0) end
+val it = build (scale, 0)

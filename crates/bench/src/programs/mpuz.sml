@@ -1,0 +1,23 @@
+(* mpuz — the Emacs M-x mpuz multiplication-puzzle benchmark: exhaustive
+   digit assignment for a letter multiplication, checking consistency. *)
+val scale = 300
+fun digits_ok (a, b) =
+  let
+    val p = a * b
+    val d1 = p mod 10
+    val d2 = (p div 10) mod 10
+    val d3 = (p div 100) mod 10
+  in
+    d1 <> d2 andalso d2 <> d3 andalso d1 <> d3 andalso p < 1000 andalso p > 99
+  end
+fun search (0, found) = found
+  | search (n, found) =
+      let
+        val a = n mod 90 + 10
+        val b = n mod 9 + 1
+      in
+        search (n - 1, if digits_ok (a, b) then found + 1 else found)
+      end
+fun outer (0, acc) = acc
+  | outer (k, acc) = outer (k - 1, acc + search (900, 0))
+val it = outer (scale, 0)

@@ -1,0 +1,25 @@
+(* professor — solves a scheduling puzzle by exhaustive search (paper:
+   professor). Generates huge numbers of short-lived lists, the classic
+   "region inference reclaims 90%" workload of Fig. 4. *)
+val scale = 5
+fun perms (nil : int list) = [nil]
+  | perms xs =
+      let
+        fun rm (y : int, nil) = nil
+          | rm (y, z :: zs) = if y = z then zs else z :: rm (y, zs)
+        fun expand nil = nil
+          | expand (x :: rest) =
+              map (fn p => x :: p) (perms (rm (x, xs))) @ expand rest
+      in expand xs end
+fun ok nil = true
+  | ok (x :: rest) =
+      let
+        fun clash (_, nil, _) = false
+          | clash (a, b :: more, d) =
+              a = b + d orelse a = b - d orelse clash (a, more, d + 1)
+      in not (clash (x, rest, 1)) andalso ok rest end
+fun count (nil, acc) = acc
+  | count (p :: ps, acc) = count (ps, if ok p then acc + 1 else acc)
+fun iter (0, acc) = acc
+  | iter (k, acc) = iter (k - 1, acc + count (perms [1,2,3,4,5,6], 0))
+val it = iter (scale, 0)

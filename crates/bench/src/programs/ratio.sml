@@ -1,0 +1,40 @@
+(* ratio — image analysis (paper: ratio): a 2D array-of-reals pipeline
+   computing a smoothed intensity ratio. Array/large-object heavy. *)
+val scale = 34
+val w = scale
+val h = scale
+fun mk () =
+  let
+    val img = array (w * h, 0.0)
+    fun fill i =
+      if i >= w * h then img
+      else (aupdate (img, i, real ((i * 37) mod 255) / 255.0); fill (i + 1))
+  in fill 0 end
+fun at (img, x, y) = asub (img, y * w + x)
+fun blur img =
+  let
+    val out = array (w * h, 0.0)
+    fun go (x, y) =
+      if y >= h - 1 then out
+      else if x >= w - 1 then go (1, y + 1)
+      else
+        let
+          val s = at (img, x-1, y) + at (img, x+1, y) + at (img, x, y-1)
+                + at (img, x, y+1) + at (img, x, y)
+        in
+          aupdate (out, y * w + x, s / 5.0);
+          go (x + 1, y)
+        end
+  in go (1, 1) end
+fun bright img =
+  let
+    fun go (i, n) =
+      if i >= w * h then n
+      else go (i + 1, if asub (img, i) > 0.5 then n + 1 else n)
+  in go (0, 0) end
+fun pipeline (0, acc) = acc
+  | pipeline (n, acc) =
+      let val img = mk ()
+          val b = blur (blur img)
+      in pipeline (n - 1, acc + bright b) end
+val it = pipeline (6, 0)

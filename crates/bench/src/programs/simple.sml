@@ -1,0 +1,21 @@
+(* simple — spherical fluid-dynamics analog (paper: simple): Jacobi
+   relaxation over real arrays, the float-crunching workload. *)
+val scale = 110
+val n = 64
+fun mk v = array (n, v)
+fun relax (src, dst) =
+  let
+    fun go i =
+      if i >= n - 1 then ()
+      else
+        (aupdate (dst, i,
+           (asub (src, i - 1) + 2.0 * asub (src, i) + asub (src, i + 1)) / 4.0);
+         go (i + 1))
+  in go 1 end
+fun iterate (0, a, b) = a
+  | iterate (k, a, b) = (relax (a, b); iterate (k - 1, b, a))
+fun setup i a =
+  if i >= n then a else (aupdate (a, i, real ((i * 13) mod 50) / 7.0); setup (i + 1) a)
+val final = iterate (scale, setup 0 (mk 0.0), mk 0.0)
+fun total (i, acc) = if i >= n then acc else total (i + 1, acc + asub (final, i))
+val it = floor (total (0, 0.0))

@@ -1,0 +1,28 @@
+(* tsp — travelling-salesman via nearest-neighbour tour over random real
+   coordinates (paper: tsp). Real-heavy: every arithmetic result is boxed. *)
+val scale = 140
+fun lcg s = (s * 1103515245 + 12345) mod 2147483648
+fun gen (0, s, acc) = acc
+  | gen (n, s, acc) =
+      let val s1 = lcg s
+          val s2 = lcg s1
+          val x = real (s1 mod 1000) / 10.0
+          val y = real (s2 mod 1000) / 10.0
+      in gen (n - 1, s2, (x, y) :: acc) end
+fun dist ((x1, y1), (x2, y2)) =
+  let val dx = x1 - x2
+      val dy = y1 - y2
+  in sqrt (dx * dx + dy * dy) end
+fun nearest (p, nil, best, bd) = (best, bd)
+  | nearest (p, c :: cs, best, bd) =
+      let val d = dist (p, c)
+      in if d < bd then nearest (p, cs, c, d) else nearest (p, cs, best, bd) end
+fun removec (c : real * real, nil) = nil
+  | removec ((cx, cy), (x, y) :: rest) =
+      if cx = x andalso cy = y then rest else (x, y) :: removec ((cx, cy), rest)
+fun tour (p, nil, total) = total
+  | tour (p, cities, total) =
+      let val (c, d) = nearest (p, cities, hd cities, 1000000.0)
+      in tour (c, removec (c, cities), total + d) end
+val cities = gen (scale, 7, nil)
+val it = floor (tour ((0.0, 0.0), cities, 0.0))

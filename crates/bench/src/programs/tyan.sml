@@ -1,0 +1,30 @@
+(* tyan — Grobner-basis-flavoured symbolic polynomial algebra (paper:
+   tyan). Long-lived growing coefficient lists defeat region inference. *)
+val scale = 55
+fun padd (nil, q) = q
+  | padd (p, nil) = p
+  | padd (a :: p, b :: q) = (a + b) mod 1000003 :: padd (p, q)
+fun pscale (k, nil) = nil
+  | pscale (k, a :: p) = (k * a) mod 1000003 :: pscale (k, p)
+fun pshift p = 0 :: p
+fun pmul (nil, q) = nil
+  | pmul (a :: p, q) = padd (pscale (a, q), pshift (pmul (p, q)))
+fun ppow (p, 0) = [1]
+  | ppow (p, n) = pmul (p, ppow (p, n - 1))
+fun psum (nil) = 0
+  | psum (a :: p) = (a + psum p) mod 1000003
+(* The basis is held in a global ref and repeatedly extended/replaced:
+   superseded polynomials become garbage in the global region, which only
+   the collector reclaims — the paper's tyan leans on the GC (92.3%). *)
+val basis = ref (nil : int list list)
+fun work (0, acc) = acc
+  | work (n, acc) =
+      let
+        val base = [1, 2, 3, n mod 7 + 1]
+        val big = ppow (base, 9)
+        val bigger = pmul (big, big)
+        val _ = basis := bigger :: (case !basis of a :: b :: _ => [a, b] | other => other)
+      in
+        work (n - 1, (acc + psum bigger) mod 1000003)
+      end
+val it = work (scale, 0) + length (!basis)

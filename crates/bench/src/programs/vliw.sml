@@ -1,0 +1,32 @@
+(* vliw — VLIW instruction-scheduler analog (paper: vliw): greedy list
+   scheduling of a dependence DAG into wide issue slots. *)
+val scale = 45
+fun lcg s = (s * 1103515245 + 12345) mod 2147483648
+(* instructions: (id, latency, deps) with deps a list of earlier ids *)
+fun geninstrs (0, s, acc) = acc
+  | geninstrs (n, s, acc) =
+      let
+        val s1 = lcg s
+        val s2 = lcg s1
+        val id = n
+        val lat = s1 mod 3 + 1
+        val deps = if id <= 2 then nil
+                   else [(s1 mod (id - 1)) + 1, (s2 mod (id - 1)) + 1]
+      in geninstrs (n - 1, s2, (id, lat, deps) :: acc) end
+fun ready_time (id : int, nil) = 0
+  | ready_time (id, (i, t) :: rest) = if i = id then t else ready_time (id, rest)
+fun max_ready (nil, done) = 0
+  | max_ready (d :: ds, done) = max (ready_time (d, done), max_ready (ds, done))
+fun schedule (nil, done, cycles) = cycles
+  | schedule ((id, lat, deps) :: rest, done, cycles) =
+      let
+        val start = max_ready (deps, done)
+        val finish = start + lat
+      in
+        schedule (rest, (id, finish) :: done, max (cycles, finish))
+      end
+fun iter (0, acc) = acc
+  | iter (k, acc) =
+      let val instrs = geninstrs (60, k * 77 + 1, nil)
+      in iter (k - 1, acc + schedule (instrs, nil, 0)) end
+val it = iter (scale, 0)

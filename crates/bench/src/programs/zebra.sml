@@ -1,0 +1,38 @@
+(* zebra — the zebra/Einstein puzzle by constraint-pruned exhaustive search
+   over house assignments (paper: zebra). List- and closure-heavy. *)
+val scale = 2
+fun perms (nil : int list) = [nil]
+  | perms xs =
+      let
+        fun rm (y : int, nil) = nil
+          | rm (y, z :: zs) = if y = z then zs else z :: rm (y, zs)
+        fun expand nil = nil
+          | expand (x :: rest) =
+              map (fn p => x :: p) (perms (rm (x, xs))) @ expand rest
+      in expand xs end
+fun idx (x : int, y :: ys, i) = if x = y then i else idx (x, ys, i + 1)
+  | idx (_, nil, _) = ~1
+fun right_of (a, b, xs, ys) = idx (a, xs, 0) = idx (b, ys, 0) + 1
+fun same_house (a, b, xs, ys) = idx (a, xs, 0) = idx (b, ys, 0)
+fun next_to (a, b, xs, ys) =
+  let val d = idx (a, xs, 0) - idx (b, ys, 0) in d = 1 orelse d = ~1 end
+(* colours: 1..5, nations: 1..5, drinks: 1..5 *)
+fun solve () =
+  let
+    val cs = filter (fn c => right_of (2, 1, c, c)) (perms [1,2,3,4,5])
+    fun try nil = 0
+      | try (c :: rest) =
+          let
+            val ns = filter (fn n => same_house (1, 1, n, c) andalso
+                                     next_to (2, 3, n, n)) (perms [1,2,3,4,5])
+            fun inner nil = try rest
+              | inner (n :: more) =
+                  let
+                    val ds = filter (fn d => same_house (3, 3, d, n) andalso
+                                             idx (2, d, 0) = 2) (perms [1,2,3,4,5])
+                  in length ds + inner more end
+          in inner ns end
+  in try cs end
+fun iter (0, acc) = acc
+  | iter (k, acc) = iter (k - 1, acc + solve ())
+val it = iter (scale, 0)

@@ -1,0 +1,114 @@
+//! Measurement runner: compiles once per mode, runs, and reports the
+//! quantities the paper's tables use.
+
+use crate::programs::Benchmark;
+use kit::{Compiler, Error, Mode, Outcome};
+use kit_runtime::RtConfig;
+use std::time::Duration;
+
+/// One measured execution.
+#[derive(Debug)]
+pub struct MeasuredRun {
+    /// Benchmark name.
+    pub name: String,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Wall-clock time of the VM run (`t_*` in the tables).
+    pub time: Duration,
+    /// Peak memory in bytes (`m_*`; heap + stack + large objects).
+    pub peak_bytes: usize,
+    /// Number of collections (`#GC`).
+    pub gc_count: u64,
+    /// Instructions executed (deterministic time proxy).
+    pub instructions: u64,
+    /// Words allocated into regions.
+    pub words_allocated: u64,
+    /// The full outcome (accounting records, profile, output).
+    pub outcome: Outcome,
+}
+
+/// Runs `bench` under `mode` at its default scale.
+///
+/// # Errors
+///
+/// Propagates compile/runtime errors.
+pub fn run(bench: &Benchmark, mode: Mode) -> Result<MeasuredRun, Error> {
+    run_scaled(bench, mode, bench.default_scale, None)
+}
+
+/// Runs at an explicit scale, optionally overriding the runtime
+/// configuration (heap-to-live sweeps, page-size sweeps, profiling).
+///
+/// # Errors
+///
+/// Propagates compile/runtime errors.
+pub fn run_scaled(
+    bench: &Benchmark,
+    mode: Mode,
+    scale: i64,
+    config: Option<RtConfig>,
+) -> Result<MeasuredRun, Error> {
+    let src = bench.source_scaled(scale);
+    let mut compiler = Compiler::new(mode);
+    if let Some(cfg) = config {
+        compiler = compiler.with_config(cfg);
+    }
+    let prog = compiler.compile_source(&src)?;
+    let outcome = compiler.run_program(&prog)?;
+    Ok(MeasuredRun {
+        name: bench.name.to_string(),
+        mode,
+        time: outcome.wall,
+        peak_bytes: outcome.stats.peak_bytes,
+        gc_count: outcome.stats.gc_count,
+        instructions: outcome.instructions,
+        words_allocated: outcome.stats.words_allocated,
+        outcome,
+    })
+}
+
+/// Formats bytes the way the paper does (K / M).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 10 * 1024 * 1024 {
+        format!("{}M", b / (1024 * 1024))
+    } else {
+        format!("{}K", b.div_ceil(1024))
+    }
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn fmt_time(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Percentage improvement `(a - b) / a`, as the paper's tables print it.
+pub fn improvement_pct(a: f64, b: f64) -> i64 {
+    if a == 0.0 {
+        0
+    } else {
+        (100.0 * (a - b) / a).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::by_name;
+
+    #[test]
+    fn runs_fib_in_two_modes_with_same_result() {
+        let b = by_name("fib").unwrap();
+        let r1 = run_scaled(&b, Mode::R, 12, None).unwrap();
+        let r2 = run_scaled(&b, Mode::Rgt, 12, None).unwrap();
+        assert_eq!(r1.outcome.result, r2.outcome.result);
+        assert_eq!(r1.gc_count, 0, "fib allocates nothing worth collecting");
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(fmt_bytes(500 * 1024), "500K");
+        assert_eq!(fmt_bytes(128 * 1024 * 1024), "128M");
+        assert_eq!(improvement_pct(2.0, 1.0), 50);
+        assert_eq!(improvement_pct(1.0, 2.0), -100);
+    }
+}

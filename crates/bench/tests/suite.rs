@@ -1,0 +1,82 @@
+//! Whole-suite differential test: every benchmark of the paper's Fig. 3
+//! must produce identical results in all four paper modes, the
+//! generational baseline, and the reference evaluator (scaled-down
+//! workloads).
+
+use kit::oracle::run_oracle;
+use kit::{Compiler, Mode};
+use kit_bench::programs::all;
+
+#[test]
+fn every_benchmark_agrees_across_all_modes_and_oracle() {
+    for b in all() {
+        let src = b.source_scaled(b.test_scale);
+        let oracle = run_oracle(&src, Some(2_000_000_000))
+            .unwrap_or_else(|e| panic!("{} oracle: {e}", b.name));
+        for mode in Mode::ALL_WITH_BASELINE {
+            let out = Compiler::new(mode)
+                .run_source(&src)
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            assert_eq!(
+                out.result, oracle.result,
+                "{} [{mode}]: result mismatch",
+                b.name
+            );
+            assert_eq!(
+                out.output, oracle.output,
+                "{} [{mode}]: output mismatch",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn region_modes_reduce_collections() {
+    // The paper's headline (Table 2): enabling region inference
+    // dramatically reduces the number of collections. Check the aggregate
+    // over the suite at test scale with a small heap so `gt` must collect.
+    let cfg_of = |mode: Mode| kit_runtime::RtConfig {
+        initial_pages: 16,
+        ..match mode {
+            Mode::Gt => kit_runtime::RtConfig::gt(),
+            _ => kit_runtime::RtConfig::rgt(),
+        }
+    };
+    let mut gc_gt = 0;
+    let mut gc_rgt = 0;
+    for b in all() {
+        let src = b.source_scaled(b.test_scale);
+        for mode in [Mode::Gt, Mode::Rgt] {
+            let out = Compiler::new(mode)
+                .with_config(cfg_of(mode))
+                .run_source(&src)
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            match mode {
+                Mode::Gt => gc_gt += out.stats.gc_count,
+                _ => gc_rgt += out.stats.gc_count,
+            }
+        }
+    }
+    assert!(
+        gc_rgt * 2 <= gc_gt,
+        "regions should at least halve collections: gt {gc_gt} vs rgt {gc_rgt}"
+    );
+}
+
+#[test]
+fn untagged_mode_uses_less_memory_than_tagged() {
+    // Table 1's memory shape: m_r <= m_rt for allocation-heavy programs.
+    for name in ["msort", "tyan", "kitlife"] {
+        let b = kit_bench::by_name(name).unwrap();
+        let src = b.source_scaled(b.test_scale);
+        let r = Compiler::new(Mode::R).run_source(&src).unwrap();
+        let rt = Compiler::new(Mode::Rt).run_source(&src).unwrap();
+        assert!(
+            r.stats.words_allocated < rt.stats.words_allocated,
+            "{name}: untagged should allocate fewer words ({} vs {})",
+            r.stats.words_allocated,
+            rt.stats.words_allocated
+        );
+    }
+}

@@ -1,0 +1,1079 @@
+//! RegionExp → bytecode compilation.
+//!
+//! Responsibilities: frame layout (locals, finite-region slots), closure
+//! conversion (closures capture free variables, free region handles, and
+//! the shared closures of referenced `fix` groups), constructor
+//! representation, region-polymorphic calling convention, tail calls
+//! (only outside `letregion`/handler scopes — the ML Kit limitation noted
+//! in §4.4 of the paper), and safe-point placement at function entries.
+
+use crate::instr::{Disc, FunInfo, Instr, Program, RegSlot};
+use kit_lambda::exp::VarId;
+use kit_lambda::ty::{SchemeTy, TyConId};
+use kit_region::{Mult, Place, RExp, RFixFun, RProgram, RegVar};
+use kit_runtime::value::scalar;
+use std::collections::{BTreeSet, HashMap};
+
+/// Compiles a RegionExp program for the given tagging mode.
+pub fn compile(prog: &RProgram, tagged: bool) -> Program {
+    let mut cx = Cx {
+        prog,
+        tagged,
+        code: Vec::new(),
+        labels: Vec::new(),
+        funs: Vec::new(),
+        entry_of: HashMap::new(),
+        next_group: 0,
+    };
+    // Global regions: infinite ones are created by the VM at startup (their
+    // region ids equal their position); finite ones live in the main frame.
+    let mut global_regs: HashMap<RegVar, RegSlot> = HashMap::new();
+    let mut global_infinite = Vec::new();
+    let mut main_fin = FiniteArea::default();
+    for (r, m) in &prog.globals {
+        match m {
+            Mult::Infinite => {
+                global_regs.insert(*r, RegSlot::Global(global_infinite.len() as u32));
+                global_infinite.push(r.0);
+            }
+            Mult::Finite => {
+                let size = finite_size(&cx, &prog.body, *r);
+                let off = main_fin.alloc(size);
+                global_regs.insert(*r, RegSlot::Finite(off));
+            }
+        }
+    }
+
+    // Compile the main body as function 0.
+    let entry = cx.new_label();
+    cx.bind(entry);
+    let mut fcx = FnCx::new(&global_regs, main_fin);
+    cx.emit(Instr::GcCheck);
+    cx.comp(&prog.body, &mut fcx, false);
+    cx.emit(Instr::Halt);
+    let main_info = FunInfo {
+        entry,
+        nlocals: fcx.nlocals,
+        nfinite: fcx.fin.watermark,
+        name: "<main>".to_string(),
+    };
+    let main_id = cx.funs.len() as u32;
+    cx.funs.push(main_info);
+    cx.entry_of.insert(entry, main_id);
+
+    let entry_of = cx.entry_of.clone();
+    Program {
+        code: cx.code,
+        label_addrs: cx.labels,
+        funs: cx.funs,
+        entry_of,
+        main: main_id,
+        global_infinite,
+        exn_names: (0..prog.exns.len())
+            .map(|i| prog.exns.get(kit_lambda::ty::ExnId(i as u32)).name.clone())
+            .collect(),
+        result_ty: kit_lambda::ty::LTy::Unit, // filled by the driver
+        data: prog.data.clone(),
+    }
+}
+
+
+// ---------------------------------------------------------------- contexts
+
+#[derive(Debug, Clone)]
+enum VB {
+    /// Local slot.
+    Slot(u32),
+    /// Field of the current environment (absolute field index).
+    Env(u32),
+    /// A `fix`-bound function.
+    Fix(FixInfo),
+}
+
+#[derive(Debug, Clone)]
+struct FixInfo {
+    label: usize,
+    stub: usize,
+    nformals: u16,
+    group: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SharedSrc {
+    /// The shared closure is in a local slot.
+    Slot(u32),
+    /// The shared closure is a field of the current environment.
+    Env(u32),
+    /// The group captured nothing: its shared value is scalar 0.
+    Scalar,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FiniteArea {
+    next: u32,
+    watermark: u32,
+}
+
+impl FiniteArea {
+    fn alloc(&mut self, words: u32) -> u32 {
+        let off = self.next;
+        self.next += words;
+        self.watermark = self.watermark.max(self.next);
+        off
+    }
+}
+
+struct FnCx<'g> {
+    vars: HashMap<VarId, VB>,
+    regs: HashMap<RegVar, RegSlot>,
+    shareds: HashMap<u32, SharedSrc>,
+    globals: &'g HashMap<RegVar, RegSlot>,
+    nlocals: u32,
+    fin: FiniteArea,
+    /// Open letregion scopes (tail calls are disabled inside them — the ML
+    /// Kit limitation).
+    cleanup: u32,
+    /// Open infinite-region count (for Local slot indices).
+    open_regions: u32,
+}
+
+impl<'g> FnCx<'g> {
+    fn new(globals: &'g HashMap<RegVar, RegSlot>, fin: FiniteArea) -> Self {
+        FnCx {
+            vars: HashMap::new(),
+            regs: HashMap::new(),
+            shareds: HashMap::new(),
+            globals,
+            nlocals: 1, // slot 0 = environment
+            fin,
+            cleanup: 0,
+            open_regions: 0,
+        }
+    }
+
+    fn slot(&mut self) -> u32 {
+        let s = self.nlocals;
+        self.nlocals += 1;
+        s
+    }
+
+    fn regslot(&self, r: RegVar) -> RegSlot {
+        if let Some(s) = self.regs.get(&r) {
+            return *s;
+        }
+        *self
+            .globals
+            .get(&r)
+            .unwrap_or_else(|| panic!("region r{} not in scope", r.0))
+    }
+}
+
+struct Cx<'a> {
+    prog: &'a RProgram,
+    tagged: bool,
+    code: Vec<Instr>,
+    labels: Vec<usize>,
+    funs: Vec<FunInfo>,
+    entry_of: HashMap<usize, u32>,
+    next_group: u32,
+}
+
+impl Cx<'_> {
+    fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(usize::MAX);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        self.labels[l] = self.code.len();
+    }
+
+    // ------------------------------------------------- constructor layout
+
+    /// `(discriminant scheme, per-ctor inline field count)`.
+    fn con_rep(&self, tycon: TyConId) -> (Disc, Vec<u16>) {
+        let dt = self.prog.data.get(tycon);
+        let fields: Vec<u16> = dt
+            .constructors
+            .iter()
+            .map(|c| match &c.arg {
+                None => 0,
+                Some(SchemeTy::Tuple(ts)) => ts.len() as u16,
+                Some(_) => 1,
+            })
+            .collect();
+        let boxed = dt.boxed_count();
+        let disc = if boxed == 0 {
+            Disc::Enum
+        } else if self.tagged {
+            Disc::Tag
+        } else if boxed == 1 {
+            let single = fields
+                .iter()
+                .position(|&n| n > 0)
+                .expect("one boxed constructor") as u32;
+            Disc::Single(single)
+        } else {
+            Disc::Field0
+        };
+        (disc, fields)
+    }
+
+    fn con_needs_disc(&self, tycon: TyConId) -> bool {
+        !self.tagged && self.prog.data.get(tycon).boxed_count() > 1
+    }
+
+    // ----------------------------------------------------------- captures
+
+    /// Ordered capture list for a set of function bodies.
+    fn captures(
+        &self,
+        bodies: &[&RExp],
+        bound: &BTreeSet<VarId>,
+        bound_regs: &BTreeSet<RegVar>,
+        fcx: &FnCx<'_>,
+    ) -> Vec<Cap> {
+        let mut caps: Vec<Cap> = Vec::new();
+        let mut seen_v = BTreeSet::new();
+        let mut seen_r = BTreeSet::new();
+        let mut seen_g = BTreeSet::new();
+        for b in bodies {
+            collect_caps(
+                b,
+                &mut bound.clone(),
+                &mut bound_regs.clone(),
+                fcx,
+                &mut caps,
+                &mut seen_v,
+                &mut seen_r,
+                &mut seen_g,
+            );
+        }
+        caps
+    }
+
+    /// Emits code pushing the value of `v` (resolved in `fcx`).
+    fn push_var(&mut self, v: VarId, fcx: &FnCx<'_>) {
+        match fcx.vars.get(&v) {
+            Some(VB::Slot(s)) => self.emit(Instr::Load(*s)),
+            Some(VB::Env(i)) => {
+                self.emit(Instr::Load(0));
+                self.emit(Instr::Select(*i as u16));
+            }
+            Some(VB::Fix(_)) => {
+                panic!("fix-bound {} used as plain variable (should be FixVar)", v.0)
+            }
+            None => panic!("unbound variable {} at codegen", v.0),
+        }
+    }
+
+    fn push_shared(&mut self, g: u32, fcx: &FnCx<'_>) {
+        match fcx.shareds.get(&g) {
+            Some(SharedSrc::Slot(s)) => self.emit(Instr::Load(*s)),
+            Some(SharedSrc::Env(i)) => {
+                self.emit(Instr::Load(0));
+                self.emit(Instr::Select(*i as u16));
+            }
+            Some(SharedSrc::Scalar) => self.emit(Instr::PushConst(scalar(0))),
+            None => panic!("shared closure of group {g} not in scope"),
+        }
+    }
+
+    fn push_caps(&mut self, caps: &[Cap], fcx: &FnCx<'_>) {
+        for c in caps {
+            match c {
+                Cap::Var(v) => self.push_var(*v, fcx),
+                Cap::Reg(r) => self.emit(Instr::RegHandle(fcx.regslot(*r))),
+                Cap::Shared(g) => self.push_shared(*g, fcx),
+            }
+        }
+    }
+
+    /// Binds the capture list inside a fresh function context whose
+    /// environment starts at field `base` (1 for `fn` closures, 0 for
+    /// shared closures).
+    fn bind_caps(caps: &[Cap], base: u32, inner: &mut FnCx<'_>) {
+        for (i, c) in caps.iter().enumerate() {
+            let idx = base + i as u32;
+            match c {
+                Cap::Var(v) => {
+                    inner.vars.insert(*v, VB::Env(idx));
+                }
+                Cap::Reg(r) => {
+                    inner.regs.insert(*r, RegSlot::EnvReg(idx));
+                }
+                Cap::Shared(g) => {
+                    inner.shareds.insert(*g, SharedSrc::Env(idx));
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- compile
+
+    fn comp(&mut self, e: &RExp, fcx: &mut FnCx<'_>, tail: bool) {
+        match e {
+            RExp::Var(v) => self.push_var(*v, fcx),
+            RExp::Int(n) => {
+                let w = if self.tagged { scalar(*n) } else { *n as u64 };
+                self.emit(Instr::PushConst(w));
+            }
+            RExp::Bool(b) => {
+                let w = if self.tagged { scalar(*b as i64) } else { *b as u64 };
+                self.emit(Instr::PushConst(w));
+            }
+            RExp::Unit => {
+                let w = if self.tagged { scalar(0) } else { 0 };
+                self.emit(Instr::PushConst(w));
+            }
+            RExp::Str(s) => {
+                // Interned by the VM at load time via a pseudo-prim.
+                self.emit(Instr::PushStr(s.clone()));
+            }
+            RExp::Real(x, p) => {
+                let at = fcx.regslot(*p);
+                self.emit(Instr::PushReal(*x, at));
+            }
+            RExp::Prim(p, args, at) => {
+                for a in args {
+                    self.comp(a, fcx, false);
+                }
+                let at = at.map(|r| fcx.regslot(r));
+                self.emit(Instr::Prim { p: *p, at });
+            }
+            RExp::Record(es, p) => {
+                for a in es {
+                    self.comp(a, fcx, false);
+                }
+                let at = fcx.regslot(*p);
+                self.emit(Instr::MkRecord { n: es.len() as u16, at });
+            }
+            RExp::Select(i, e) => {
+                self.comp(e, fcx, false);
+                self.emit(Instr::Select(*i as u16));
+            }
+            RExp::Con { tycon, con, arg, at } => {
+                let (_, fields) = self.con_rep(*tycon);
+                let k = fields[con.0 as usize];
+                match arg {
+                    None => {
+                        let w = if self.tagged {
+                            scalar(con.0 as i64)
+                        } else {
+                            scalar(con.0 as i64)
+                        };
+                        self.emit(Instr::PushConst(w));
+                    }
+                    Some(a) => {
+                        // Inline a syntactic record argument directly.
+                        let is_tuple_decl = matches!(
+                            self.prog.data.get(*tycon).constructors[con.0 as usize].arg,
+                            Some(SchemeTy::Tuple(_))
+                        );
+                        if is_tuple_decl {
+                            if let RExp::Record(es, _) = a.as_ref() {
+                                for f in es {
+                                    self.comp(f, fcx, false);
+                                }
+                            } else {
+                                self.comp(a, fcx, false);
+                                self.emit(Instr::Spread { n: k });
+                            }
+                        } else {
+                            self.comp(a, fcx, false);
+                        }
+                        let at = fcx.regslot(at.expect("carrying constructor without place"));
+                        self.emit(Instr::MkCon {
+                            ctor: con.0 as u16,
+                            n: k,
+                            disc: self.con_needs_disc(*tycon),
+                            at,
+                        });
+                    }
+                }
+            }
+            RExp::DeCon { tycon, con, scrut } => {
+                self.comp(scrut, fcx, false);
+                let is_tuple_decl = matches!(
+                    self.prog.data.get(*tycon).constructors[con.0 as usize].arg,
+                    Some(SchemeTy::Tuple(_))
+                );
+                if is_tuple_decl {
+                    // Inlined tuple: the constructor block *is* the tuple
+                    // (skipping the discriminant word in untagged mode).
+                    if self.con_needs_disc(*tycon) {
+                        self.emit(Instr::DeConAdj);
+                    }
+                } else {
+                    // Single-field argument: read it out of the block.
+                    let off = u16::from(self.con_needs_disc(*tycon));
+                    self.emit(Instr::Select(off));
+                }
+            }
+            RExp::SwitchCon { scrut, tycon, arms, default } => {
+                self.comp(scrut, fcx, false);
+                let (disc, _) = self.con_rep(*tycon);
+                let end = self.new_label();
+                let dflt = self.new_label();
+                let mut larm = Vec::new();
+                for (c, _) in arms {
+                    larm.push((c.0, self.new_label()));
+                }
+                self.emit(Instr::SwitchCon { disc, arms: larm.clone(), default: dflt });
+                for ((_, a), (_, l)) in arms.iter().zip(&larm) {
+                    self.bind(*l);
+                    self.comp(a, fcx, tail);
+                    self.emit(Instr::Jump(end));
+                }
+                self.bind(dflt);
+                match default {
+                    Some(d) => self.comp(d, fcx, tail),
+                    None => self.emit(Instr::Unreachable),
+                }
+                self.bind(end);
+            }
+            RExp::SwitchInt { scrut, arms, default } => {
+                self.comp(scrut, fcx, false);
+                let end = self.new_label();
+                let dflt = self.new_label();
+                let mut larm = Vec::new();
+                for (k, _) in arms {
+                    larm.push((*k, self.new_label()));
+                }
+                self.emit(Instr::SwitchInt { arms: larm.clone(), default: dflt });
+                for ((_, a), (_, l)) in arms.iter().zip(&larm) {
+                    self.bind(*l);
+                    self.comp(a, fcx, tail);
+                    self.emit(Instr::Jump(end));
+                }
+                self.bind(dflt);
+                self.comp(default, fcx, tail);
+                self.bind(end);
+            }
+            RExp::SwitchStr { scrut, arms, default } => {
+                self.comp(scrut, fcx, false);
+                let end = self.new_label();
+                let dflt = self.new_label();
+                let mut larm = Vec::new();
+                for (k, _) in arms {
+                    larm.push((k.clone(), self.new_label()));
+                }
+                self.emit(Instr::SwitchStr { arms: larm.clone(), default: dflt });
+                for ((_, a), (_, l)) in arms.iter().zip(&larm) {
+                    self.bind(*l);
+                    self.comp(a, fcx, tail);
+                    self.emit(Instr::Jump(end));
+                }
+                self.bind(dflt);
+                self.comp(default, fcx, tail);
+                self.bind(end);
+            }
+            RExp::SwitchExn { scrut, arms, default } => {
+                self.comp(scrut, fcx, false);
+                let end = self.new_label();
+                let dflt = self.new_label();
+                let mut larm = Vec::new();
+                for (k, _) in arms {
+                    larm.push((k.0, self.new_label()));
+                }
+                self.emit(Instr::SwitchExn { arms: larm.clone(), default: dflt });
+                for ((_, a), (_, l)) in arms.iter().zip(&larm) {
+                    self.bind(*l);
+                    self.comp(a, fcx, tail);
+                    self.emit(Instr::Jump(end));
+                }
+                self.bind(dflt);
+                self.comp(default, fcx, tail);
+                self.bind(end);
+            }
+            RExp::If(c, t, f) => {
+                self.comp(c, fcx, false);
+                let lf = self.new_label();
+                let end = self.new_label();
+                self.emit(Instr::JumpIfFalse(lf));
+                self.comp(t, fcx, tail);
+                self.emit(Instr::Jump(end));
+                self.bind(lf);
+                self.comp(f, fcx, tail);
+                self.bind(end);
+            }
+            RExp::Fn { params, body, at } => {
+                let bound: BTreeSet<VarId> = params.iter().copied().collect();
+                let caps =
+                    self.captures(&[body], &bound, &BTreeSet::new(), fcx);
+                // Emit the function body out of line.
+                let fix_binds: Vec<(VarId, VB)> = fcx
+                    .vars
+                    .iter()
+                    .filter(|(_, b)| matches!(b, VB::Fix(_)))
+                    .map(|(v, b)| (*v, b.clone()))
+                    .collect();
+                let entry = self.compile_function(
+                    "fn",
+                    params,
+                    &[],
+                    body,
+                    &caps,
+                    1,
+                    None,
+                    fcx.globals,
+                    &fix_binds,
+                );
+                // Closure record: [label, captures...].
+                self.emit(Instr::PushConst(scalar(entry as i64)));
+                self.push_caps(&caps, fcx);
+                let at = fcx.regslot(*at);
+                self.emit(Instr::MkRecord { n: 1 + caps.len() as u16, at });
+            }
+            RExp::App { callee, rargs, args } => {
+                if let RExp::Var(v) = callee.as_ref() {
+                    if let Some(VB::Fix(info)) = fcx.vars.get(v).cloned() {
+                        // Known call: [shared, rhandles.., args..].
+                        self.push_shared(info.group, fcx);
+                        for r in rargs {
+                            self.emit(Instr::RegHandle(fcx.regslot(*r)));
+                        }
+                        for a in args {
+                            self.comp(a, fcx, false);
+                        }
+                        self.emit(Instr::Call {
+                            label: info.label,
+                            nargs: args.len() as u16,
+                            nformals: info.nformals,
+                            tail: tail && fcx.cleanup == 0,
+                        });
+                        return;
+                    }
+                }
+                self.comp(callee, fcx, false);
+                for a in args {
+                    self.comp(a, fcx, false);
+                }
+                self.emit(Instr::CallClos {
+                    nargs: args.len() as u16,
+                    tail: tail && fcx.cleanup == 0,
+                });
+            }
+            RExp::FixVar { var, rargs, at } => {
+                let Some(VB::Fix(info)) = fcx.vars.get(var).cloned() else {
+                    panic!("FixVar of non-fix binding {}", var.0)
+                };
+                self.emit(Instr::PushConst(scalar(info.stub as i64)));
+                self.push_shared(info.group, fcx);
+                for r in rargs {
+                    self.emit(Instr::RegHandle(fcx.regslot(*r)));
+                }
+                let at = fcx.regslot(*at);
+                self.emit(Instr::MkRecord { n: 2 + rargs.len() as u16, at });
+            }
+            RExp::Let { var, rhs, body } => {
+                self.comp(rhs, fcx, false);
+                let s = fcx.slot();
+                self.emit(Instr::Store(s));
+                fcx.vars.insert(*var, VB::Slot(s));
+                self.comp(body, fcx, tail);
+            }
+            RExp::Fix { funs, body, at } => self.comp_fix(funs, body, *at, fcx, tail),
+            RExp::Letregion { regs, body } => {
+                let inf: Vec<u32> = regs
+                    .iter()
+                    .filter(|(_, m)| *m == Mult::Infinite)
+                    .map(|(r, _)| r.0)
+                    .collect();
+                let fin_save = fcx.fin.next;
+                for (r, m) in regs {
+                    match m {
+                        Mult::Infinite => {
+                            let idx = fcx.open_regions;
+                            fcx.open_regions += 1;
+                            fcx.regs.insert(*r, RegSlot::Local(idx));
+                        }
+                        Mult::Finite => {
+                            let size = finite_size(self, body, *r);
+                            let off = fcx.fin.alloc(size);
+                            fcx.regs.insert(*r, RegSlot::Finite(off));
+                        }
+                    }
+                }
+                if !inf.is_empty() {
+                    self.emit(Instr::LetRegion { names: inf.clone() });
+                }
+                fcx.cleanup += 1;
+                self.comp(body, fcx, false);
+                fcx.cleanup -= 1;
+                if !inf.is_empty() {
+                    self.emit(Instr::EndRegions(inf.len() as u16));
+                    fcx.open_regions -= inf.len() as u32;
+                }
+                fcx.fin.next = fin_save;
+            }
+            RExp::Marker { .. } => panic!("marker reached code generation"),
+            RExp::ExCon { exn, arg, at } => {
+                let has_arg = arg.is_some();
+                if let Some(a) = arg {
+                    self.comp(a, fcx, false);
+                }
+                let at = at.map(|r| fcx.regslot(r));
+                self.emit(Instr::MkExn { exn: exn.0, has_arg, at });
+            }
+            RExp::DeExn { scrut, .. } => {
+                self.comp(scrut, fcx, false);
+                self.emit(Instr::DeExn);
+            }
+            RExp::Raise(e) => {
+                self.comp(e, fcx, false);
+                self.emit(Instr::Raise);
+            }
+            RExp::Handle { body, var, handler } => {
+                let lh = self.new_label();
+                let end = self.new_label();
+                self.emit(Instr::PushHandler { handler: lh });
+                fcx.cleanup += 1;
+                self.comp(body, fcx, false);
+                fcx.cleanup -= 1;
+                self.emit(Instr::PopHandler);
+                self.emit(Instr::Jump(end));
+                self.bind(lh);
+                // The raised value is on the operand stack.
+                let s = fcx.slot();
+                self.emit(Instr::Store(s));
+                fcx.vars.insert(*var, VB::Slot(s));
+                self.comp(handler, fcx, tail);
+                self.bind(end);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_function(
+        &mut self,
+        name: &str,
+        params: &[VarId],
+        formals: &[RegVar],
+        body: &RExp,
+        caps: &[Cap],
+        env_base: u32,
+        stub: Option<usize>,
+        globals: &HashMap<RegVar, RegSlot>,
+        fix_binds: &[(VarId, VB)],
+    ) -> usize {
+        let entry = self.new_label();
+        // Compile out of line: jump over the body in the current stream.
+        let skip = self.new_label();
+        self.emit(Instr::Jump(skip));
+        if let Some(stub_label) = stub {
+            self.bind(stub_label);
+            self.emit(Instr::EnterViaPair { nformals: formals.len() as u16 });
+        }
+        self.bind(entry);
+        self.emit(Instr::GcCheck);
+        let mut inner = FnCx::new(globals, FiniteArea::default());
+        // Fix-function bindings (labels/arities) are context-independent;
+        // their shared closures travel through captures.
+        for (v, b) in fix_binds {
+            inner.vars.insert(*v, b.clone());
+        }
+        for (i, p) in params.iter().enumerate() {
+            inner.vars.insert(*p, VB::Slot(1 + i as u32));
+        }
+        inner.nlocals = 1 + params.len() as u32;
+        for (i, r) in formals.iter().enumerate() {
+            inner.regs.insert(*r, RegSlot::Formal(i as u32));
+        }
+        Self::bind_caps(caps, env_base, &mut inner);
+        self.comp(body, &mut inner, true);
+        self.emit(Instr::Ret);
+        let id = self.funs.len() as u32;
+        self.funs.push(FunInfo {
+            entry,
+            nlocals: inner.nlocals,
+            nfinite: inner.fin.watermark,
+            name: name.to_string(),
+        });
+        self.entry_of.insert(entry, id);
+        if let Some(stub_label) = stub {
+            self.entry_of.insert(stub_label, id);
+        }
+        self.bind(skip);
+        entry
+    }
+
+    fn comp_fix(
+        &mut self,
+        funs: &[RFixFun],
+        body: &RExp,
+        at: Place,
+        fcx: &mut FnCx<'_>,
+        tail: bool,
+    ) {
+        let group = self.next_group;
+        self.next_group += 1;
+        // Capture analysis over all member bodies, excluding members,
+        // their params, their formals.
+        let mut bound: BTreeSet<VarId> = funs.iter().map(|f| f.var).collect();
+        let mut bound_regs: BTreeSet<RegVar> = BTreeSet::new();
+        for f in funs {
+            bound.extend(f.params.iter().copied());
+            bound_regs.extend(f.formals.iter().copied());
+        }
+        // Pre-assign labels so recursive references resolve.
+        let infos: Vec<FixInfo> = funs
+            .iter()
+            .map(|f| FixInfo {
+                label: self.new_label(),
+                stub: self.new_label(),
+                nformals: f.formals.len() as u16,
+                group,
+            })
+            .collect();
+        // Temporary context for capture analysis: members must be visible
+        // as Fix bindings (so they become Shared captures, not Var).
+        let mut probe = FnCx::new(fcx.globals, FiniteArea::default());
+        probe.vars = fcx.vars.clone();
+        probe.regs = fcx.regs.clone();
+        probe.shareds = fcx.shareds.clone();
+        for (f, info) in funs.iter().zip(&infos) {
+            probe.vars.insert(f.var, VB::Fix(info.clone()));
+        }
+        probe.shareds.insert(group, SharedSrc::Scalar);
+        let bodies: Vec<&RExp> = funs.iter().map(|f| &f.body).collect();
+        let caps = self.captures(&bodies, &bound, &bound_regs, &probe);
+
+        // Build the shared closure in the defining frame.
+        let shared_src = if caps.is_empty() {
+            SharedSrc::Scalar
+        } else {
+            self.push_caps(&caps, fcx);
+            let at = fcx.regslot(at);
+            self.emit(Instr::MkRecord { n: caps.len() as u16, at });
+            let s = fcx.slot();
+            self.emit(Instr::Store(s));
+            SharedSrc::Slot(s)
+        };
+        fcx.shareds.insert(group, shared_src);
+        for (f, info) in funs.iter().zip(&infos) {
+            fcx.vars.insert(f.var, VB::Fix(info.clone()));
+        }
+
+        // Compile member bodies.
+        for (f, info) in funs.iter().zip(&infos) {
+            let skip = self.new_label();
+            self.emit(Instr::Jump(skip));
+            self.bind(info.stub);
+            self.emit(Instr::EnterViaPair { nformals: f.formals.len() as u16 });
+            self.bind(info.label);
+            self.emit(Instr::GcCheck);
+            let mut inner = FnCx::new(fcx.globals, FiniteArea::default());
+            for (v, b) in fcx.vars.iter().filter(|(_, b)| matches!(b, VB::Fix(_))) {
+                inner.vars.insert(*v, b.clone());
+            }
+            for (i, p) in f.params.iter().enumerate() {
+                inner.vars.insert(*p, VB::Slot(1 + i as u32));
+            }
+            inner.nlocals = 1 + f.params.len() as u32;
+            for (i, r) in f.formals.iter().enumerate() {
+                inner.regs.insert(*r, RegSlot::Formal(i as u32));
+            }
+            Self::bind_caps(&caps, 0, &mut inner);
+            // Members of the group are visible inside bodies; their shared
+            // closure is this body's own environment (slot 0).
+            for (g, i2) in funs.iter().zip(&infos) {
+                inner.vars.insert(g.var, VB::Fix(i2.clone()));
+            }
+            inner.shareds.insert(group, SharedSrc::Slot(0));
+            self.comp(&f.body, &mut inner, true);
+            self.emit(Instr::Ret);
+            let id = self.funs.len() as u32;
+            self.funs.push(FunInfo {
+                entry: info.label,
+                nlocals: inner.nlocals,
+                nfinite: inner.fin.watermark,
+                name: self.prog.vars.name(f.var).to_string(),
+            });
+            self.entry_of.insert(info.label, id);
+            self.entry_of.insert(info.stub, id);
+            self.bind(skip);
+        }
+        self.comp(body, fcx, tail);
+    }
+}
+
+// ------------------------------------------------------------ captures
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cap {
+    Var(VarId),
+    Reg(RegVar),
+    Shared(u32),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_caps(
+    e: &RExp,
+    bound: &mut BTreeSet<VarId>,
+    bound_regs: &mut BTreeSet<RegVar>,
+    fcx: &FnCx<'_>,
+    caps: &mut Vec<Cap>,
+    seen_v: &mut BTreeSet<VarId>,
+    seen_r: &mut BTreeSet<RegVar>,
+    seen_g: &mut BTreeSet<u32>,
+) {
+    let cap_var = |v: VarId,
+                       bound: &BTreeSet<VarId>,
+                       caps: &mut Vec<Cap>,
+                       seen_v: &mut BTreeSet<VarId>,
+                       seen_g: &mut BTreeSet<u32>| {
+        if bound.contains(&v) {
+            return;
+        }
+        match fcx.vars.get(&v) {
+            Some(VB::Fix(info)) => {
+                if seen_g.insert(info.group) {
+                    caps.push(Cap::Shared(info.group));
+                }
+            }
+            _ => {
+                if seen_v.insert(v) {
+                    caps.push(Cap::Var(v));
+                }
+            }
+        }
+    };
+    let cap_reg = |r: RegVar,
+                       bound_regs: &BTreeSet<RegVar>,
+                       caps: &mut Vec<Cap>,
+                       seen_r: &mut BTreeSet<RegVar>| {
+        if bound_regs.contains(&r) || fcx.globals.contains_key(&r) {
+            return;
+        }
+        if seen_r.insert(r) {
+            caps.push(Cap::Reg(r));
+        }
+    };
+    for p in e.own_places() {
+        cap_reg(p, bound_regs, caps, seen_r);
+    }
+    match e {
+        RExp::Var(v) | RExp::FixVar { var: v, .. } => {
+            cap_var(*v, bound, caps, seen_v, seen_g);
+        }
+        RExp::Let { var, rhs, body } => {
+            collect_caps(rhs, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            let fresh = bound.insert(*var);
+            collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        RExp::Fn { params, body, .. } => {
+            let fresh: Vec<VarId> =
+                params.iter().copied().filter(|p| bound.insert(*p)).collect();
+            collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            for p in fresh {
+                bound.remove(&p);
+            }
+        }
+        RExp::Fix { funs, body, .. } => {
+            let fresh: Vec<VarId> = funs
+                .iter()
+                .map(|f| f.var)
+                .filter(|v| bound.insert(*v))
+                .collect();
+            for f in funs {
+                let fp: Vec<VarId> =
+                    f.params.iter().copied().filter(|p| bound.insert(*p)).collect();
+                let fr: Vec<RegVar> = f
+                    .formals
+                    .iter()
+                    .copied()
+                    .filter(|r| bound_regs.insert(*r))
+                    .collect();
+                collect_caps(&f.body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+                for p in fp {
+                    bound.remove(&p);
+                }
+                for r in fr {
+                    bound_regs.remove(&r);
+                }
+            }
+            collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            for v in fresh {
+                bound.remove(&v);
+            }
+        }
+        RExp::Letregion { regs, body } => {
+            let fresh: Vec<RegVar> = regs
+                .iter()
+                .map(|(r, _)| *r)
+                .filter(|r| bound_regs.insert(*r))
+                .collect();
+            collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            for r in fresh {
+                bound_regs.remove(&r);
+            }
+        }
+        RExp::Handle { body, var, handler } => {
+            collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            let fresh = bound.insert(*var);
+            collect_caps(handler, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        RExp::App { callee, args, .. } => {
+            collect_caps(callee, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            for a in args {
+                collect_caps(a, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            }
+        }
+        _ => e.for_each_child(|c| {
+            collect_caps(c, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g)
+        }),
+    }
+}
+
+// ------------------------------------------------------- finite sizing
+
+/// Physical size in words of the single allocation in finite region `r`.
+fn finite_size(cx: &Cx<'_>, body: &RExp, r: RegVar) -> u32 {
+    let hdr = cx.tagged as u32;
+    let mut size = 0u32;
+    find_finite_site(cx, body, r, hdr, &mut size);
+    size.max(1)
+}
+
+fn find_finite_site(cx: &Cx<'_>, e: &RExp, r: RegVar, hdr: u32, out: &mut u32) {
+    let record = |n: u32| n + hdr;
+    match e {
+        RExp::Real(_, p) if *p == r => *out = (*out).max(1 + hdr),
+        RExp::Record(es, p) if *p == r => *out = (*out).max(record(es.len() as u32)),
+        RExp::Fn { body, at, .. } if *at == r => {
+            // Closure = [label, caps..]; capture count must match the
+            // MkRecord emitted for this closure. We conservatively size by
+            // the number of distinct free variables + regions, matching
+            // `captures` (which dedupes the same way).
+            let caps = count_caps_upper(cx, body);
+            *out = (*out).max(record(1 + caps));
+        }
+        RExp::Fix { funs, at, .. } if *at == r => {
+            let mut n = 0;
+            for f in funs {
+                n += count_caps_upper(cx, &f.body);
+            }
+            *out = (*out).max(record(n.max(1)));
+        }
+        RExp::FixVar { rargs, at, .. } if *at == r => {
+            *out = (*out).max(record(2 + rargs.len() as u32));
+        }
+        RExp::Prim(_, _, Some(p)) if *p == r => *out = (*out).max(record(1)),
+        RExp::Con { tycon, con, at: Some(p), .. } if *p == r => {
+            let (_, fields) = cx.con_rep(*tycon);
+            let disc = cx.con_needs_disc(*tycon) as u32;
+            *out = (*out).max(record(fields[con.0 as usize] as u32 + disc));
+        }
+        RExp::ExCon { at: Some(p), .. } if *p == r => {
+            let disc = (!cx.tagged) as u32;
+            *out = (*out).max(record(1 + disc));
+        }
+        _ => {}
+    }
+    e.for_each_child(|c| find_finite_site(cx, c, r, hdr, out));
+}
+
+/// Upper bound on the capture count of a function body (over-approximates
+/// by ignoring the enclosing context's classification of fix groups).
+fn count_caps_upper(_cx: &Cx<'_>, body: &RExp) -> u32 {
+    let mut vars = BTreeSet::new();
+    let mut regs = BTreeSet::new();
+    free_names(body, &mut BTreeSet::new(), &mut BTreeSet::new(), &mut vars, &mut regs);
+    (vars.len() + regs.len()) as u32
+}
+
+fn free_names(
+    e: &RExp,
+    bound: &mut BTreeSet<VarId>,
+    bound_regs: &mut BTreeSet<RegVar>,
+    vars: &mut BTreeSet<VarId>,
+    regs: &mut BTreeSet<RegVar>,
+) {
+    for p in e.own_places() {
+        if !bound_regs.contains(&p) {
+            regs.insert(p);
+        }
+    }
+    match e {
+        RExp::Var(v) | RExp::FixVar { var: v, .. } => {
+            if !bound.contains(v) {
+                vars.insert(*v);
+            }
+        }
+        RExp::Let { var, rhs, body } => {
+            free_names(rhs, bound, bound_regs, vars, regs);
+            let fresh = bound.insert(*var);
+            free_names(body, bound, bound_regs, vars, regs);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        RExp::Fn { params, body, .. } => {
+            let fresh: Vec<VarId> =
+                params.iter().copied().filter(|p| bound.insert(*p)).collect();
+            free_names(body, bound, bound_regs, vars, regs);
+            for p in fresh {
+                bound.remove(&p);
+            }
+        }
+        RExp::Fix { funs, body, .. } => {
+            let fresh: Vec<VarId> = funs
+                .iter()
+                .map(|f| f.var)
+                .filter(|v| bound.insert(*v))
+                .collect();
+            for f in funs {
+                let fp: Vec<VarId> =
+                    f.params.iter().copied().filter(|p| bound.insert(*p)).collect();
+                let fr: Vec<RegVar> = f
+                    .formals
+                    .iter()
+                    .copied()
+                    .filter(|r| bound_regs.insert(*r))
+                    .collect();
+                free_names(&f.body, bound, bound_regs, vars, regs);
+                for p in fp {
+                    bound.remove(&p);
+                }
+                for r in fr {
+                    bound_regs.remove(&r);
+                }
+            }
+            free_names(body, bound, bound_regs, vars, regs);
+            for v in fresh {
+                bound.remove(&v);
+            }
+        }
+        RExp::Letregion { regs: rs, body } => {
+            let fresh: Vec<RegVar> = rs
+                .iter()
+                .map(|(r, _)| *r)
+                .filter(|r| bound_regs.insert(*r))
+                .collect();
+            free_names(body, bound, bound_regs, vars, regs);
+            for r in fresh {
+                bound_regs.remove(&r);
+            }
+        }
+        RExp::Handle { body, var, handler } => {
+            free_names(body, bound, bound_regs, vars, regs);
+            let fresh = bound.insert(*var);
+            free_names(handler, bound, bound_regs, vars, regs);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        _ => e.for_each_child(|c| free_names(c, bound, bound_regs, vars, regs)),
+    }
+}

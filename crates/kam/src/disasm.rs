@@ -1,0 +1,45 @@
+//! Bytecode disassembler (`--dump-kam` style debugging output).
+
+use crate::instr::Program;
+use std::fmt::Write as _;
+
+/// Renders the instruction stream with code addresses and function entry
+/// markers.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    // Invert label addresses for display.
+    let mut entries: std::collections::HashMap<usize, String> = Default::default();
+    for (label, fun) in &p.entry_of {
+        let addr = p.label_addrs[*label];
+        let name = &p.funs[*fun as usize].name;
+        entries
+            .entry(addr)
+            .and_modify(|s| {
+                let _ = write!(s, ", {name}");
+            })
+            .or_insert_with(|| name.clone());
+    }
+    for (addr, ins) in p.code.iter().enumerate() {
+        if let Some(name) = entries.get(&addr) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "  {addr:>5}  {ins:?}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembles_a_program() {
+        let mut lprog = kit_typing::compile_str("val it = 1 + 2").unwrap();
+        kit_lambda::opt::optimize(&mut lprog, &Default::default());
+        let rprog = kit_region::infer(&lprog, kit_region::RegionOptions::regions_only());
+        let prog = crate::compile(&rprog, true);
+        let s = disassemble(&prog);
+        assert!(s.contains("<main>:"), "{s}");
+        assert!(s.contains("Halt"), "{s}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Bytecode instruction set of the abstract machine.
+
+use kit_lambda::exp::Prim;
+use kit_lambda::ty::LTy;
+
+/// A label id, resolved to a code address through
+/// [`Program::label_addrs`].
+pub type Label = usize;
+
+/// How a place (region variable) is resolved at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegSlot {
+    /// Global region: index into the program's global region list (also
+    /// its runtime region id, since globals are created first and never
+    /// popped).
+    Global(u32),
+    /// `letregion`-bound infinite region: index into the current frame's
+    /// region list.
+    Local(u32),
+    /// Formal region parameter of the current function.
+    Formal(u32),
+    /// Region handle captured in the current closure (field index).
+    EnvReg(u32),
+    /// Finite region: word offset of the slot in the current frame's
+    /// finite area.
+    Finite(u32),
+}
+
+/// How a datatype's constructors are discriminated at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disc {
+    /// Boxed values carry the constructor index in the tag word (tagged
+    /// mode).
+    Tag,
+    /// Boxed values carry a scalar discriminant in word 0 (untagged mode,
+    /// several boxed constructors).
+    Field0,
+    /// No runtime discriminant on boxed values: the datatype has exactly
+    /// one boxed constructor, whose index is given.
+    Single(u32),
+    /// All constructors are nullary scalars.
+    Enum,
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push a precomputed constant word (tagged int/bool/unit, code label
+    /// scalar).
+    PushConst(u64),
+    /// Push a constant string (interned into the data segment; never
+    /// traversed by the collector).
+    PushStr(String),
+    /// Pop a tuple pointer and push its `n` fields (used to build a
+    /// constructor block from a non-syntactic tuple argument).
+    Spread {
+        /// Field count.
+        n: u16,
+    },
+    /// Trap for exhaustive switches with no default (never executed).
+    Unreachable,
+    /// Push a boxed real allocated at the place.
+    PushReal(f64, RegSlot),
+    /// Push the value of local slot `n`.
+    Load(u32),
+    /// Pop into local slot `n`.
+    Store(u32),
+    /// Pop and discard.
+    Pop,
+    /// Pop `n` fields (last on top) and allocate a record at the place.
+    /// Used for tuples, closures (field 0 = code label scalar) and shared
+    /// closures.
+    MkRecord {
+        /// Field count.
+        n: u16,
+        /// Allocation place.
+        at: RegSlot,
+    },
+    /// Push field `i` of the box on top of the stack.
+    Select(u16),
+    /// Pop `n` fields and allocate a constructor block.
+    MkCon {
+        /// Constructor index.
+        ctor: u16,
+        /// Field count (inlined tuple components).
+        n: u16,
+        /// Store a scalar discriminant word (untagged multi-boxed).
+        disc: bool,
+        /// Allocation place.
+        at: RegSlot,
+    },
+    /// Adjust a constructor pointer past its discriminant word (untagged
+    /// multi-boxed datatypes); identity otherwise — not emitted then.
+    DeConAdj,
+    /// Pop a constructor value and branch on its constructor index.
+    SwitchCon {
+        /// How boxed values are discriminated.
+        disc: Disc,
+        /// `(constructor, target)` pairs.
+        arms: Vec<(u32, Label)>,
+        /// Fallthrough target.
+        default: Label,
+    },
+    /// Pop an int and branch.
+    SwitchInt {
+        /// `(value, target)` pairs.
+        arms: Vec<(i64, Label)>,
+        /// Fallthrough target.
+        default: Label,
+    },
+    /// Pop a string and branch.
+    SwitchStr {
+        /// `(constant, target)` pairs.
+        arms: Vec<(String, Label)>,
+        /// Fallthrough target.
+        default: Label,
+    },
+    /// Pop an exception value and branch on its constructor.
+    SwitchExn {
+        /// `(exception id, target)` pairs.
+        arms: Vec<(u32, Label)>,
+        /// Fallthrough target.
+        default: Label,
+    },
+    /// Unconditional jump.
+    Jump(Label),
+    /// Pop a bool; jump if false.
+    JumpIfFalse(Label),
+    /// Primitive application; pops the arguments, pushes the result.
+    /// Allocating primitives carry their place.
+    Prim {
+        /// The operation.
+        p: Prim,
+        /// Allocation place for allocating primitives.
+        at: Option<RegSlot>,
+    },
+    /// Push the region handle (scalar) for a place — used to pass actual
+    /// regions at region-polymorphic calls and into closures.
+    RegHandle(RegSlot),
+    /// Known call: stack holds `[env, rhandles.., args..]` (args on top).
+    Call {
+        /// Entry point.
+        label: Label,
+        /// Value arguments.
+        nargs: u16,
+        /// Region arguments.
+        nformals: u16,
+        /// Reuse the current frame (tail call).
+        tail: bool,
+    },
+    /// Unknown call: stack holds `[closure, args..]`; the code label is
+    /// field 0 of the closure, the environment is the closure itself.
+    CallClos {
+        /// Value arguments.
+        nargs: u16,
+        /// Reuse the current frame (tail call).
+        tail: bool,
+    },
+    /// Stub entry for an escaping region-polymorphic function: the
+    /// environment is a pair `[stub_label, shared, rhandles..]`; unpack it
+    /// and fall through to the main entry.
+    EnterViaPair {
+        /// Number of packed region handles.
+        nformals: u16,
+    },
+    /// Return the top of stack to the caller.
+    Ret,
+    /// Function prologue: safe point (collect if requested).
+    GcCheck,
+    /// Push `n` infinite regions (profiling names given).
+    LetRegion {
+        /// Region variable names, for the profiler.
+        names: Vec<u32>,
+    },
+    /// Pop the newest `n` infinite regions of this frame.
+    EndRegions(u16),
+    /// Install an exception handler running at `handler`.
+    PushHandler {
+        /// Handler entry.
+        handler: Label,
+    },
+    /// Remove the most recent handler.
+    PopHandler,
+    /// Pop `[arg?]`, allocate/produce an exception value.
+    MkExn {
+        /// Exception id.
+        exn: u32,
+        /// Whether an argument is popped.
+        has_arg: bool,
+        /// Allocation place for carrying exceptions.
+        at: Option<RegSlot>,
+    },
+    /// Push the argument of the exception value on top of the stack.
+    DeExn,
+    /// Pop an exception value and raise it.
+    Raise,
+    /// Terminate with the top of stack as the program result.
+    Halt,
+}
+
+/// Metadata for one compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunInfo {
+    /// Entry label.
+    pub entry: Label,
+    /// Number of local slots (including slot 0 = environment and the
+    /// parameter slots).
+    pub nlocals: u32,
+    /// Words of finite-region space in the frame.
+    pub nfinite: u32,
+    /// Display name.
+    pub name: String,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Flat instruction stream.
+    pub code: Vec<Instr>,
+    /// Label id → code address.
+    pub label_addrs: Vec<usize>,
+    /// Per-function frame metadata, indexed by the function id stored at
+    /// `entry_of`.
+    pub funs: Vec<FunInfo>,
+    /// Map from entry label to function id (parallel to `funs`).
+    pub entry_of: std::collections::HashMap<Label, u32>,
+    /// Top-level "function" (program body) id.
+    pub main: u32,
+    /// Global regions: `(name, finite?)`; finite globals give (name, slot).
+    pub global_infinite: Vec<u32>,
+    /// Exception names for diagnostics.
+    pub exn_names: Vec<String>,
+    /// Result type, for rendering the final value.
+    pub result_ty: LTy,
+    /// Datatype environment (for rendering).
+    pub data: kit_lambda::ty::DataEnv,
+}

@@ -1,0 +1,104 @@
+//! Type-directed rendering of machine values, used by the differential
+//! tests to compare the VM against the reference evaluator (which renders
+//! its values in the identical canonical format — see `kit::render_oracle`).
+
+use kit_lambda::eval::{fmt_sml_int, fmt_sml_real};
+use kit_lambda::ty::{ConId, DataEnv, LTy, SchemeTy};
+use kit_runtime::value::{is_ptr, ptr_addr, scalar_val, Tag, Word};
+use kit_runtime::Rt;
+
+/// Renders a machine value of type `ty` canonically.
+pub fn render_value(rt: &Rt, v: Word, ty: &LTy, data: &DataEnv) -> String {
+    render(rt, v, ty, data, 0)
+}
+
+fn render(rt: &Rt, v: Word, ty: &LTy, data: &DataEnv, depth: u32) -> String {
+    if depth > 50 {
+        return "...".to_string();
+    }
+    match ty {
+        LTy::Int => fmt_sml_int(rt.untag_int(v)),
+        LTy::Bool => if rt.untag_int(v) != 0 { "true" } else { "false" }.to_string(),
+        LTy::Unit => "()".to_string(),
+        LTy::Real => fmt_sml_real(rt.real_val(v)),
+        LTy::Str => format!("{:?}", rt.str_val(v)),
+        LTy::Tuple(ts) => {
+            let fields: Vec<String> = ts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| render(rt, rt.field(v, i as u64), t, data, depth + 1))
+                .collect();
+            format!("({})", fields.join(", "))
+        }
+        LTy::Arrow(_, _) => "<fn>".to_string(),
+        LTy::Ref(t) => format!("ref {}", render(rt, rt.field(v, 0), t, data, depth + 1)),
+        LTy::Array(t) => {
+            let n = rt.arr_len(v);
+            let elems: Vec<String> = (0..n.min(20))
+                .map(|i| {
+                    let w = rt.read_addr(rt.arr_elem_addr(v, i));
+                    render(rt, w, t, data, depth + 1)
+                })
+                .collect();
+            format!("<array {n}>[{}]", elems.join(", "))
+        }
+        LTy::Exn => "<exn>".to_string(),
+        LTy::TyVar(_) => "<poly>".to_string(),
+        LTy::Con(tycon, targs) => {
+            let dt = data.get(*tycon);
+            let (ctor, boxed) = if !is_ptr(v) {
+                (scalar_val(v) as u32, false)
+            } else if rt.config.tagged {
+                (Tag::decode(rt.read_addr(ptr_addr(v))).info, true)
+            } else {
+                let boxed_count = dt.boxed_count();
+                if boxed_count == 1 {
+                    let c = dt
+                        .constructors
+                        .iter()
+                        .position(|c| c.arg.is_some())
+                        .unwrap() as u32;
+                    (c, true)
+                } else {
+                    (scalar_val(rt.read_addr(ptr_addr(v))) as u32, true)
+                }
+            };
+            let cinfo = &dt.constructors[ctor as usize];
+            if !boxed {
+                return cinfo.name.clone();
+            }
+            // Inline fields: adjust for the untagged discriminant word.
+            let disc_off = u64::from(!rt.config.tagged && dt.boxed_count() > 1);
+            let arg_s = match &cinfo.arg {
+                Some(SchemeTy::Tuple(ts)) => {
+                    let fields: Vec<String> = ts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            let t = s.instantiate(targs);
+                            render(
+                                rt,
+                                rt.field(v, disc_off + i as u64),
+                                &t,
+                                data,
+                                depth + 1,
+                            )
+                        })
+                        .collect();
+                    format!("({})", fields.join(", "))
+                }
+                Some(s) => {
+                    let t = s.instantiate(targs);
+                    format!("({})", render(rt, rt.field(v, disc_off), &t, data, depth + 1))
+                }
+                None => unreachable!("boxed nullary constructor"),
+            };
+            format!("{}{arg_s}", cinfo.name)
+        }
+    }
+}
+
+/// Convenience: `true` when `ConId` indexes a value-carrying constructor.
+pub fn carries(data: &DataEnv, tycon: kit_lambda::ty::TyConId, con: ConId) -> bool {
+    data.get(tycon).constructors[con.0 as usize].arg.is_some()
+}

@@ -1,0 +1,874 @@
+//! The abstract machine.
+//!
+//! Frames live in the simulated runtime stack of [`kit_runtime::Rt`]:
+//! `[finite regions | locals | operand stack]`. Locals and operand slots
+//! always hold well-formed values (scalars odd, pointers even in tagged
+//! mode), so the garbage collector's root set is exactly the locals and
+//! operand ranges of every frame — enumerated at the `GcCheck` safe point
+//! executed on function entry (paper §4: collection happens at the next
+//! function entry once the free-list drops below the threshold).
+
+use crate::instr::{Disc, Instr, Program, RegSlot};
+use kit_lambda::exp::Prim;
+use kit_lambda::eval::{fmt_sml_int, fmt_sml_real, int_in_range};
+use kit_lambda::ty::{EXN_DIV, EXN_OVERFLOW, EXN_SIZE, EXN_SUBSCRIPT};
+use kit_runtime::gc;
+use kit_runtime::value::{is_ptr, ptr, ptr_addr, scalar, scalar_val, Tag, Word, STACK_BASE};
+use kit_runtime::{RegionId, Rt, RtStats};
+use std::fmt;
+
+/// Errors terminating execution abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// An exception reached the top level.
+    UncaughtException(String),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UncaughtException(n) => write!(f, "uncaught exception {n}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of a successful run.
+#[derive(Debug)]
+pub struct VmOutcome {
+    /// The program result (render with [`crate::render::render_value`]).
+    pub result: Word,
+    /// Everything printed.
+    pub output: String,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Runtime statistics (allocation, collections, peak memory).
+    pub stats: RtStats,
+    /// The runtime (for rendering the result and inspecting regions).
+    pub rt: Rt,
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Function id (diagnostics; frame sizes are read at push time).
+    #[allow(dead_code)]
+    fun: u32,
+    ret_pc: usize,
+    base: usize,
+    locals: usize,
+    nlocals: usize,
+    formal_regions: Vec<RegionId>,
+    regions: Vec<RegionId>,
+}
+
+#[derive(Debug)]
+struct Handler {
+    target: usize, // code address
+    frame_idx: usize,
+    stack_len: usize,
+    region_depth: usize,
+    regions_len: usize,
+}
+
+/// The bytecode interpreter.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    prog: &'p Program,
+    rt: Rt,
+    frames: Vec<Frame>,
+    handlers: Vec<Handler>,
+    output: String,
+    instructions: u64,
+    fuel: Option<u64>,
+    /// Write barrier log of the generational baseline: field addresses
+    /// mutated since the last collection (may hold old→young pointers).
+    remembered: Vec<u64>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM over a compiled program with a fresh runtime.
+    pub fn new(prog: &'p Program, rt: Rt) -> Self {
+        Vm {
+            prog,
+            rt,
+            frames: Vec::new(),
+            handlers: Vec::new(),
+            output: String::new(),
+            instructions: 0,
+            fuel: None,
+            remembered: Vec::new(),
+        }
+    }
+
+    /// Limits the number of executed instructions (for tests).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().unwrap()
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().unwrap()
+    }
+
+    fn push(&mut self, v: Word) {
+        self.rt.stack.push(v);
+    }
+
+    fn pop(&mut self) -> Word {
+        self.rt.stack.pop().expect("operand stack underflow")
+    }
+
+    fn local(&self, i: u32) -> Word {
+        let f = self.frame();
+        self.rt.stack[f.locals + i as usize]
+    }
+
+    fn set_local(&mut self, i: u32, v: Word) {
+        let idx = self.frame().locals + i as usize;
+        self.rt.stack[idx] = v;
+    }
+
+    fn region_of(&self, slot: RegSlot) -> RegionId {
+        let f = self.frame();
+        match slot {
+            RegSlot::Global(i) => RegionId(i),
+            RegSlot::Local(i) => f.regions[i as usize],
+            RegSlot::Formal(i) => f.formal_regions[i as usize],
+            RegSlot::EnvReg(i) => {
+                let env = self.rt.stack[f.locals];
+                RegionId(self.rt.untag_int(self.rt.field(env, i as u64)) as u32)
+            }
+            RegSlot::Finite(_) => panic!("finite region used as a region handle"),
+        }
+    }
+
+    /// Allocates a box at a place — infinite region or finite frame slot.
+    fn alloc_at(&mut self, slot: RegSlot, tag: Tag, fields: &[Word]) -> Word {
+        match slot {
+            RegSlot::Finite(off) => {
+                let f = self.frame();
+                let base = f.base + off as usize;
+                let mut at = base;
+                if self.rt.config.tagged {
+                    self.rt.stack[at] = tag.encode();
+                    at += 1;
+                }
+                for w in fields {
+                    self.rt.stack[at] = *w;
+                    at += 1;
+                }
+                ptr(STACK_BASE + base as u64)
+            }
+            _ => {
+                let r = self.region_of(slot);
+                self.rt.alloc_boxed(r, tag, fields)
+            }
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        fun: u32,
+        env: Word,
+        rhandles: &[Word],
+        args: &[Word],
+        ret_pc: usize,
+    ) {
+        let info = &self.prog.funs[fun as usize];
+        let base = self.rt.stack.len();
+        let fill = if self.rt.config.tagged { scalar(0) } else { 0 };
+        let total = info.nfinite as usize + info.nlocals as usize;
+        self.rt
+            .stack
+            .extend(std::iter::repeat_n(fill, total));
+        let locals = base + info.nfinite as usize;
+        self.rt.stack[locals] = env;
+        for (i, a) in args.iter().enumerate() {
+            self.rt.stack[locals + 1 + i] = *a;
+        }
+        self.frames.push(Frame {
+            fun,
+            ret_pc,
+            base,
+            locals,
+            nlocals: info.nlocals as usize,
+            formal_regions: rhandles
+                .iter()
+                .map(|&w| RegionId(self.rt.untag_int(w) as u32))
+                .collect(),
+            regions: Vec::new(),
+        });
+        self.rt.observe_mem();
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UncaughtException`] if an exception escapes;
+    /// [`VmError::OutOfFuel`] if the optional budget is exhausted.
+    pub fn run(mut self) -> Result<VmOutcome, VmError> {
+        // Create the global regions (ids 0..n) and the main frame.
+        for name in &self.prog.global_infinite {
+            let _ = self.rt.letregion(*name);
+        }
+        if self.rt.config.generational.is_some() {
+            assert_eq!(
+                self.rt.region_depth(),
+                1,
+                "the generational baseline needs exactly one program region"
+            );
+            let _ = self.rt.letregion(u32::MAX); // the tenured generation
+        }
+        let env0 = if self.rt.config.tagged { scalar(0) } else { 0 };
+        self.push_frame(self.prog.main, env0, &[], &[], usize::MAX);
+        let mut pc = self.prog.label_addrs[self.prog.funs[self.prog.main as usize].entry];
+
+        macro_rules! raise_builtin {
+            ($self:ident, $pc:ident, $exn:expr) => {{
+                let v = scalar($exn.0 as i64);
+                match $self.do_raise(v) {
+                    Some(new_pc) => {
+                        $pc = new_pc;
+                        continue;
+                    }
+                    None => {
+                        return Err(VmError::UncaughtException(
+                            $self.prog.exn_names[$exn.0 as usize].clone(),
+                        ));
+                    }
+                }
+            }};
+        }
+
+        loop {
+            self.instructions += 1;
+            if let Some(f) = self.fuel {
+                if self.instructions > f {
+                    return Err(VmError::OutOfFuel);
+                }
+            }
+            let ins = &self.prog.code[pc];
+            pc += 1;
+            match ins {
+                Instr::PushConst(w) => self.push(*w),
+                Instr::PushStr(s) => {
+                    let w = self.rt.intern_const_str(s);
+                    self.push(w);
+                }
+                Instr::PushReal(x, at) => {
+                    let bits = x.to_bits();
+                    let v = self.alloc_at(*at, Tag::real(), &[bits]);
+                    self.push(v);
+                }
+                Instr::Load(i) => {
+                    let v = self.local(*i);
+                    self.push(v);
+                }
+                Instr::Store(i) => {
+                    let v = self.pop();
+                    self.set_local(*i, v);
+                }
+                Instr::Pop => {
+                    self.pop();
+                }
+                Instr::MkRecord { n, at } => {
+                    let at = *at;
+                    let n = *n as usize;
+                    let start = self.rt.stack.len() - n;
+                    let fields: Vec<Word> = self.rt.stack.drain(start..).collect();
+                    let v = self.alloc_at(at, Tag::record(n as u32), &fields);
+                    self.push(v);
+                }
+                Instr::Select(i) => {
+                    let v = self.pop();
+                    let w = self.rt.field(v, *i as u64);
+                    self.push(w);
+                }
+                Instr::Spread { n } => {
+                    let v = self.pop();
+                    for i in 0..*n {
+                        let w = self.rt.field(v, i as u64);
+                        self.push(w);
+                    }
+                }
+                Instr::MkCon { ctor, n, disc, at } => {
+                    let at = *at;
+                    let n = *n as usize;
+                    let start = self.rt.stack.len() - n;
+                    let mut fields: Vec<Word> = self.rt.stack.drain(start..).collect();
+                    if *disc {
+                        fields.insert(0, scalar(*ctor as i64));
+                    }
+                    let tag = Tag::con(*ctor as u32, fields.len() as u32);
+                    let v = self.alloc_at(at, tag, &fields);
+                    self.push(v);
+                }
+                Instr::DeConAdj => {
+                    let v = self.pop();
+                    self.push(ptr(ptr_addr(v) + 1));
+                }
+                Instr::SwitchCon { disc, arms, default } => {
+                    let v = self.pop();
+                    let ctor: u32 = if !is_ptr(v) {
+                        scalar_val(v) as u32
+                    } else {
+                        match disc {
+                            Disc::Tag => {
+                                Tag::decode(self.rt.read_addr(ptr_addr(v))).info
+                            }
+                            Disc::Field0 => {
+                                scalar_val(self.rt.read_addr(ptr_addr(v))) as u32
+                            }
+                            Disc::Single(c) => *c,
+                            Disc::Enum => unreachable!("boxed value in enum datatype"),
+                        }
+                    };
+                    let target = arms
+                        .iter()
+                        .find(|(c, _)| *c == ctor)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(*default);
+                    pc = self.prog.label_addrs[target];
+                }
+                Instr::SwitchInt { arms, default } => {
+                    let v = self.pop();
+                    let n = self.rt.untag_int(v);
+                    let target = arms
+                        .iter()
+                        .find(|(k, _)| *k == n)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(*default);
+                    pc = self.prog.label_addrs[target];
+                }
+                Instr::SwitchStr { arms, default } => {
+                    let v = self.pop();
+                    let s = self.rt.str_val(v);
+                    let target = arms
+                        .iter()
+                        .find(|(k, _)| k == s)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(*default);
+                    pc = self.prog.label_addrs[target];
+                }
+                Instr::SwitchExn { arms, default } => {
+                    let v = self.pop();
+                    let id = self.exn_id(v);
+                    let target = arms
+                        .iter()
+                        .find(|(k, _)| *k == id)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(*default);
+                    pc = self.prog.label_addrs[target];
+                }
+                Instr::Jump(l) => pc = self.prog.label_addrs[*l],
+                Instr::JumpIfFalse(l) => {
+                    let v = self.pop();
+                    if self.rt.untag_int(v) == 0 {
+                        pc = self.prog.label_addrs[*l];
+                    }
+                }
+                Instr::Unreachable => unreachable!("exhaustive switch fell through"),
+                Instr::Prim { p, at } => match self.do_prim(*p, *at) {
+                    Ok(()) => {}
+                    Err(exn) => raise_builtin!(self, pc, exn),
+                },
+                Instr::RegHandle(slot) => {
+                    let r = self.region_of(*slot);
+                    let w = self.rt.tag_int(r.0 as i64);
+                    self.push(w);
+                }
+                Instr::Call { label, nargs, nformals, tail } => {
+                    let n = *nargs as usize;
+                    let nf = *nformals as usize;
+                    let sp = self.rt.stack.len();
+                    let args: Vec<Word> = self.rt.stack.drain(sp - n..).collect();
+                    let sp = self.rt.stack.len();
+                    let rhandles: Vec<Word> = self.rt.stack.drain(sp - nf..).collect();
+                    let env = self.pop();
+                    let fun = self.prog.entry_of[label];
+                    let ret = if *tail {
+                        let f = self.frames.pop().unwrap();
+                        debug_assert!(f.regions.is_empty(), "tail call with open regions");
+                        self.rt.stack.truncate(f.base);
+                        f.ret_pc
+                    } else {
+                        pc
+                    };
+                    self.push_frame(fun, env, &rhandles, &args, ret);
+                    pc = self.prog.label_addrs[*label];
+                }
+                Instr::CallClos { nargs, tail } => {
+                    let n = *nargs as usize;
+                    let sp = self.rt.stack.len();
+                    let args: Vec<Word> = self.rt.stack.drain(sp - n..).collect();
+                    let clos = self.pop();
+                    let label = scalar_val(self.rt.field(clos, 0)) as usize;
+                    let fun = self.prog.entry_of[&label];
+                    let ret = if *tail {
+                        let f = self.frames.pop().unwrap();
+                        debug_assert!(f.regions.is_empty(), "tail call with open regions");
+                        self.rt.stack.truncate(f.base);
+                        f.ret_pc
+                    } else {
+                        pc
+                    };
+                    self.push_frame(fun, clos, &[], &args, ret);
+                    pc = self.prog.label_addrs[label];
+                }
+                Instr::EnterViaPair { nformals } => {
+                    let pair = self.local(0);
+                    let shared = self.rt.field(pair, 1);
+                    self.set_local(0, shared);
+                    let mut formals = Vec::with_capacity(*nformals as usize);
+                    for i in 0..*nformals {
+                        let w = self.rt.field(pair, 2 + i as u64);
+                        formals.push(RegionId(self.rt.untag_int(w) as u32));
+                    }
+                    self.frame_mut().formal_regions = formals;
+                }
+                Instr::Ret => {
+                    let result = self.pop();
+                    let f = self.frames.pop().expect("return without frame");
+                    debug_assert!(f.regions.is_empty(), "return with open regions");
+                    self.rt.stack.truncate(f.base);
+                    self.push(result);
+                    pc = f.ret_pc;
+                }
+                Instr::GcCheck => {
+                    if let Some(pol) = self.rt.config.generational {
+                        let nursery = &self.rt.regions[0];
+                        if nursery.pages >= pol.nursery_pages {
+                            self.collect_generational(pol);
+                        }
+                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
+                        self.collect();
+                    }
+                }
+                Instr::LetRegion { names } => {
+                    for name in names {
+                        let id = self.rt.letregion(*name);
+                        self.frame_mut().regions.push(id);
+                    }
+                }
+                Instr::EndRegions(n) => {
+                    for _ in 0..*n {
+                        self.rt.endregion();
+                        self.frame_mut().regions.pop();
+                    }
+                }
+                Instr::PushHandler { handler } => {
+                    self.handlers.push(Handler {
+                        target: self.prog.label_addrs[*handler],
+                        frame_idx: self.frames.len() - 1,
+                        stack_len: self.rt.stack.len(),
+                        region_depth: self.rt.region_depth(),
+                        regions_len: self.frame().regions.len(),
+                    });
+                }
+                Instr::PopHandler => {
+                    self.handlers.pop().expect("handler stack underflow");
+                }
+                Instr::MkExn { exn, has_arg, at } => {
+                    if !*has_arg {
+                        self.push(scalar(*exn as i64));
+                    } else {
+                        let arg = self.pop();
+                        let tag = Tag::exn(*exn, 1);
+                        let fields: Vec<Word> = if self.rt.config.tagged {
+                            vec![arg]
+                        } else {
+                            vec![scalar(*exn as i64), arg]
+                        };
+                        let v =
+                            self.alloc_at(at.expect("carrying exception needs a place"), tag, &fields);
+                        self.push(v);
+                    }
+                }
+                Instr::DeExn => {
+                    let v = self.pop();
+                    let off = if self.rt.config.tagged { 0 } else { 1 };
+                    let w = self.rt.field(v, off);
+                    self.push(w);
+                }
+                Instr::Raise => {
+                    let v = self.pop();
+                    match self.do_raise(v) {
+                        Some(new_pc) => pc = new_pc,
+                        None => {
+                            let id = self.exn_id(v);
+                            return Err(VmError::UncaughtException(
+                                self.prog.exn_names[id as usize].clone(),
+                            ));
+                        }
+                    }
+                }
+                Instr::Halt => {
+                    let result = self.pop();
+                    let mut stats = self.rt.stats.clone();
+                    stats.observe_bytes(self.rt.mem_bytes());
+                    return Ok(VmOutcome {
+                        result,
+                        output: self.output,
+                        instructions: self.instructions,
+                        stats,
+                        rt: self.rt,
+                    });
+                }
+            }
+        }
+    }
+
+    fn exn_id(&self, v: Word) -> u32 {
+        if !is_ptr(v) {
+            scalar_val(v) as u32
+        } else if self.rt.config.tagged {
+            Tag::decode(self.rt.read_addr(ptr_addr(v))).info
+        } else {
+            scalar_val(self.rt.read_addr(ptr_addr(v))) as u32
+        }
+    }
+
+    /// Unwinds to the innermost handler; returns its code address, or
+    /// `None` if the exception is uncaught. The in-flight exception value
+    /// is treated as a GC root if a collection happens later (it is pushed
+    /// on the handler's operand stack immediately).
+    fn do_raise(&mut self, exn_val: Word) -> Option<usize> {
+        let h = self.handlers.pop()?;
+        self.rt.pop_regions_to(h.region_depth);
+        self.frames.truncate(h.frame_idx + 1);
+        self.frame_mut().regions.truncate(h.regions_len);
+        self.rt.stack.truncate(h.stack_len);
+        self.push(exn_val);
+        Some(h.target)
+    }
+
+    fn roots(&self) -> Vec<usize> {
+        let mut roots = Vec::new();
+        for (i, f) in self.frames.iter().enumerate() {
+            let op_end = self
+                .frames
+                .get(i + 1)
+                .map(|g| g.base)
+                .unwrap_or(self.rt.stack.len());
+            roots.extend(f.locals..f.locals + f.nlocals);
+            roots.extend(f.locals + f.nlocals..op_end);
+        }
+        roots
+    }
+
+    /// One baseline collection: minor promotion, plus a major semispace
+    /// pass when the tenured generation outgrew its budget.
+    fn collect_generational(&mut self, pol: kit_runtime::config::GenPolicy) {
+        let roots = self.roots();
+        let tenured_pages = self.rt.regions[1].pages;
+        let major = tenured_pages
+            >= pol.nursery_pages.max(self.rt.stats.last_live_pages * pol.major_growth);
+        let mut remembered = std::mem::take(&mut self.remembered);
+        gc::collect_gen(
+            &mut self.rt,
+            &roots,
+            &mut remembered,
+            RegionId(0),
+            RegionId(1),
+            major,
+        );
+    }
+
+    /// Runs the Cheney-for-regions collector with all frames' locals and
+    /// operand ranges as roots.
+    fn collect(&mut self) {
+        let roots = self.roots();
+        gc::collect(&mut self.rt, &roots, &mut []);
+    }
+
+    // ------------------------------------------------------------- prims
+
+    fn do_prim(&mut self, p: Prim, at: Option<RegSlot>) -> Result<(), kit_lambda::ty::ExnId> {
+        use Prim::*;
+        macro_rules! binop {
+            () => {{
+                let b = self.pop();
+                let a = self.pop();
+                (a, b)
+            }};
+        }
+        macro_rules! int2 {
+            () => {{
+                let (a, b) = binop!();
+                (self.rt.untag_int(a), self.rt.untag_int(b))
+            }};
+        }
+        macro_rules! real2 {
+            () => {{
+                let (a, b) = binop!();
+                (self.rt.real_val(a), self.rt.real_val(b))
+            }};
+        }
+        macro_rules! push_int {
+            ($v:expr) => {{
+                let w = self.rt.tag_int($v);
+                self.push(w);
+            }};
+        }
+        macro_rules! push_bool {
+            ($v:expr) => {
+                push_int!($v as i64)
+            };
+        }
+        macro_rules! push_real {
+            ($v:expr) => {{
+                let bits = ($v).to_bits();
+                let w = self.alloc_at(at.expect("real result needs a place"), Tag::real(), &[bits]);
+                self.push(w);
+            }};
+        }
+        macro_rules! push_str {
+            ($s:expr) => {{
+                let slot = at.expect("string result needs a place");
+                let r = self.region_of(slot);
+                let w = self.rt.alloc_string(r, $s);
+                self.push(w);
+            }};
+        }
+        match p {
+            IAdd | ISub | IMul => {
+                let (a, b) = int2!();
+                let v = match p {
+                    IAdd => a.checked_add(b),
+                    ISub => a.checked_sub(b),
+                    _ => a.checked_mul(b),
+                }
+                .filter(|v| int_in_range(*v));
+                match v {
+                    Some(v) => push_int!(v),
+                    None => return Err(EXN_OVERFLOW),
+                }
+            }
+            IDiv | IMod => {
+                let (a, b) = int2!();
+                if b == 0 {
+                    return Err(EXN_DIV);
+                }
+                let q = a.wrapping_div(b);
+                let r = a.wrapping_rem(b);
+                let adj = r != 0 && (r < 0) != (b < 0);
+                push_int!(if p == IDiv {
+                    if adj { q - 1 } else { q }
+                } else if adj {
+                    r + b
+                } else {
+                    r
+                });
+            }
+            INeg => {
+                let w = self.pop();
+                let v = -self.rt.untag_int(w);
+                if !int_in_range(v) {
+                    return Err(EXN_OVERFLOW);
+                }
+                push_int!(v);
+            }
+            IAbs => {
+                let w = self.pop();
+                let v = self.rt.untag_int(w).abs();
+                if !int_in_range(v) {
+                    return Err(EXN_OVERFLOW);
+                }
+                push_int!(v);
+            }
+            ILt | ILe | IGt | IGe | IEq => {
+                let (a, b) = int2!();
+                push_bool!(match p {
+                    ILt => a < b,
+                    ILe => a <= b,
+                    IGt => a > b,
+                    IGe => a >= b,
+                    _ => a == b,
+                });
+            }
+            RAdd | RSub | RMul | RDiv => {
+                let (a, b) = real2!();
+                push_real!(match p {
+                    RAdd => a + b,
+                    RSub => a - b,
+                    RMul => a * b,
+                    _ => a / b,
+                });
+            }
+            RNeg => {
+                let w = self.pop();
+                let v = self.rt.real_val(w);
+                push_real!(-v);
+            }
+            RAbs => {
+                let w = self.pop();
+                let v = self.rt.real_val(w);
+                push_real!(v.abs());
+            }
+            RLt | RLe | RGt | RGe | REq => {
+                let (a, b) = real2!();
+                push_bool!(match p {
+                    RLt => a < b,
+                    RLe => a <= b,
+                    RGt => a > b,
+                    RGe => a >= b,
+                    _ => a == b,
+                });
+            }
+            IntToReal => {
+                let w = self.pop();
+                let v = self.rt.untag_int(w) as f64;
+                push_real!(v);
+            }
+            Floor => {
+                let w = self.pop();
+                let v = self.rt.real_val(w).floor() as i64;
+                push_int!(v);
+            }
+            Trunc => {
+                let w = self.pop();
+                let v = self.rt.real_val(w).trunc() as i64;
+                push_int!(v);
+            }
+            Sqrt | Sin | Cos | Atan | Ln | Exp => {
+                let w = self.pop();
+                let v = self.rt.real_val(w);
+                push_real!(match p {
+                    Sqrt => v.sqrt(),
+                    Sin => v.sin(),
+                    Cos => v.cos(),
+                    Atan => v.atan(),
+                    Ln => v.ln(),
+                    _ => v.exp(),
+                });
+            }
+            StrEq | StrLt => {
+                let (a, b) = binop!();
+                let sa = self.rt.str_val(a);
+                let sb = self.rt.str_val(b);
+                let r = if p == StrEq { sa == sb } else { sa < sb };
+                push_bool!(r);
+            }
+            StrConcat => {
+                let (a, b) = binop!();
+                let s = format!("{}{}", self.rt.str_val(a), self.rt.str_val(b));
+                push_str!(s);
+            }
+            StrSize => {
+                let v = self.pop();
+                let n = self.rt.str_val(v).len() as i64;
+                push_int!(n);
+            }
+            StrSub => {
+                let (a, b) = binop!();
+                let i = self.rt.untag_int(b);
+                let bytes = self.rt.str_val(a).as_bytes();
+                if i < 0 || i as usize >= bytes.len() {
+                    return Err(EXN_SUBSCRIPT);
+                }
+                push_int!(bytes[i as usize] as i64);
+            }
+            ItoS => {
+                let w0 = self.pop();
+                let v = self.rt.untag_int(w0);
+                push_str!(fmt_sml_int(v));
+            }
+            RtoS => {
+                let w = self.pop();
+                let v = self.rt.real_val(w);
+                push_str!(fmt_sml_real(v));
+            }
+            Chr => {
+                let w0 = self.pop();
+                let v = self.rt.untag_int(w0);
+                if !(0..=255).contains(&v) {
+                    return Err(EXN_SUBSCRIPT);
+                }
+                push_str!(((v as u8) as char).to_string());
+            }
+            Print => {
+                let v = self.pop();
+                let s = self.rt.str_val(v).to_string();
+                self.output.push_str(&s);
+                push_int!(0); // unit
+            }
+            RefNew => {
+                let v = self.pop();
+                let w = self.alloc_at(
+                    at.expect("ref needs a place"),
+                    Tag::reference(),
+                    &[v],
+                );
+                self.push(w);
+            }
+            RefGet => {
+                let r = self.pop();
+                let v = self.rt.field(r, 0);
+                self.push(v);
+            }
+            RefSet => {
+                let (r, v) = binop!();
+                self.rt.set_field(r, 0, v);
+                if self.rt.config.generational.is_some() {
+                    let addr = ptr_addr(r) + self.rt.hdr_words();
+                    self.remembered.push(addr);
+                }
+                push_int!(0);
+            }
+            RefEq | ArrEq => {
+                let (a, b) = binop!();
+                push_bool!(a == b);
+            }
+            ArrNew => {
+                let (n, init) = binop!();
+                let n = self.rt.untag_int(n);
+                if n < 0 {
+                    return Err(EXN_SIZE);
+                }
+                let slot = at.expect("array needs a place");
+                let r = self.region_of(slot);
+                let w = self.rt.alloc_array(r, n as usize, init);
+                self.push(w);
+            }
+            ArrSub => {
+                let (a, i) = binop!();
+                let i = self.rt.untag_int(i);
+                if i < 0 || i as usize >= self.rt.arr_len(a) {
+                    return Err(EXN_SUBSCRIPT);
+                }
+                let v = self.rt.read_addr(self.rt.arr_elem_addr(a, i as usize));
+                self.push(v);
+            }
+            ArrUpd => {
+                let v = self.pop();
+                let wi = self.pop();
+                let i = self.rt.untag_int(wi);
+                let a = self.pop();
+                if i < 0 || i as usize >= self.rt.arr_len(a) {
+                    return Err(EXN_SUBSCRIPT);
+                }
+                let addr = self.rt.arr_elem_addr(a, i as usize);
+                self.rt.write_addr(addr, v);
+                if self.rt.config.generational.is_some() {
+                    self.remembered.push(addr);
+                }
+                push_int!(0);
+            }
+            ArrLen => {
+                let a = self.pop();
+                let n = self.rt.arr_len(a) as i64;
+                push_int!(n);
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract-machine tests: calling conventions, tail calls, finite
+//! regions, region-polymorphic calls, escaping `fix` functions (stubs),
+//! and collection at safe points with deep frame stacks.
+
+use kit_kam::{compile, Vm};
+use kit_lambda::ty::LTy;
+use kit_region::RegionOptions;
+use kit_runtime::{Rt, RtConfig};
+
+fn run(src: &str, opts: RegionOptions, cfg: RtConfig) -> (String, kit_runtime::RtStats) {
+    let mut lprog = kit_typing::compile_str(src).expect("front-end");
+    kit_lambda::opt::optimize(&mut lprog, &Default::default());
+    let rprog = kit_region::infer(&lprog, opts);
+    let mut prog = compile(&rprog, cfg.tagged);
+    prog.result_ty = lprog.result_ty.clone();
+    let out = Vm::new(&prog, Rt::new(cfg))
+        .with_fuel(500_000_000)
+        .run()
+        .expect("vm run");
+    let rendered =
+        kit_kam::render::render_value(&out.rt, out.result, &prog.result_ty, &prog.data);
+    (rendered, out.stats)
+}
+
+fn run_rgt(src: &str) -> (String, kit_runtime::RtStats) {
+    run(src, RegionOptions::with_gc(), RtConfig::rgt())
+}
+
+#[test]
+fn tail_calls_keep_memory_bounded() {
+    // One million tail-recursive iterations must not grow the stack:
+    // peak memory stays small even though each non-tail frame would be
+    // dozens of words.
+    let (res, stats) = run_rgt(
+        "fun loop (0, acc) = acc | loop (n, acc) = loop (n - 1, acc + 1)
+         val it = loop (1000000, 0)",
+    );
+    assert_eq!(res, "1000000");
+    assert!(
+        stats.peak_bytes < 4 * 1024 * 1024,
+        "tail recursion must not accumulate frames: peak {} bytes",
+        stats.peak_bytes
+    );
+}
+
+#[test]
+fn non_tail_recursion_grows_the_stack() {
+    let (res, stats) = run_rgt(
+        "fun sum 0 = 0 | sum n = n + sum (n - 1)
+         val it = sum 20000",
+    );
+    assert_eq!(res, "200010000");
+    assert!(
+        stats.peak_bytes > 100 * 1024,
+        "non-tail frames should be visible in peak memory: {}",
+        stats.peak_bytes
+    );
+}
+
+#[test]
+fn letregion_blocks_tail_calls_like_the_ml_kit() {
+    // §4.4: letregion around a tail position defeats tail-call
+    // optimization in the ML Kit; we reproduce that. The loop below
+    // allocates a pair per iteration in a local region, so frames pile up
+    // — it must still run correctly (the stack is a Vec, not the Rust
+    // stack).
+    let (res, _) = run_rgt(
+        "fun loop (0, acc) = acc
+           | loop (n, acc) = loop (n - 1, acc + fst (n, n))
+         val it = loop (30000, 0)",
+    );
+    assert_eq!(res, "450015000");
+}
+
+#[test]
+fn escaping_fix_functions_enter_via_stub() {
+    // `build` is region-polymorphic and escapes as a value (mapped over a
+    // list), so calls go through the pair + stub entry.
+    let (res, _) = run_rgt(
+        "fun build 0 = nil | build n = n :: build (n - 1)
+         val lists = map build [1, 2, 3, 4]
+         val it = foldl (fn (l, a) => length l + a) 0 lists",
+    );
+    assert_eq!(res, "10");
+}
+
+#[test]
+fn finite_regions_hold_values_on_the_stack() {
+    // A single-use pair is a finite region: no region page allocation
+    // should be needed for it. With only finite allocations the region
+    // heap sees zero mutator page requests beyond the global regions.
+    let (res, stats) = run(
+        "val p = (21, 2) val it = fst p * snd p",
+        RegionOptions::regions_only(),
+        RtConfig::r(),
+    );
+    assert_eq!(res, "42");
+    assert_eq!(stats.words_allocated, 0, "the pair must live in the frame");
+}
+
+#[test]
+fn deep_frames_are_gc_roots() {
+    // Collection triggered while thousands of frames are live: every
+    // frame's locals must be scanned (non-tail recursion holding a list
+    // alive at every level).
+    let src = "
+        fun down 0 = nil
+          | down n = let val keep = [n, n, n]
+                     in hd keep :: down (n - 1) end
+        val it = length (down 3000)";
+    let cfg = RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() };
+    let (res, stats) = run(src, RegionOptions::with_gc(), cfg);
+    assert_eq!(res, "3000");
+    assert!(stats.gc_count > 0, "the heap was sized to force collections");
+}
+
+#[test]
+fn region_handles_pass_through_closures() {
+    // A closure allocating into a region bound outside it must capture the
+    // region handle (the ML Kit's region vectors).
+    let (res, _) = run_rgt(
+        "fun apply f = f ()
+         fun outer n =
+           let val g = fn () => (n, n + 1)
+           in snd (apply g) end
+         val it = outer 41",
+    );
+    assert_eq!(res, "42");
+}
+
+#[test]
+fn disassembler_round_trip_smoke() {
+    let mut lprog = kit_typing::compile_str("fun f x = x + 1 val it = f 1").unwrap();
+    kit_lambda::opt::optimize(&mut lprog, &Default::default());
+    let rprog = kit_region::infer(&lprog, RegionOptions::with_gc());
+    let prog = compile(&rprog, true);
+    let asm = kit_kam::disasm::disassemble(&prog);
+    assert!(asm.contains("GcCheck"), "{asm}");
+    let _ = LTy::Int;
+}

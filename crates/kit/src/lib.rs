@@ -1,0 +1,292 @@
+//! Public façade of the ML Kit RGC reproduction: one call compiles and
+//! runs a MiniML program under any of the paper's execution modes.
+//!
+//! The pipeline (paper §3): parsing → elaboration (`kit-typing`) →
+//! `LambdaExp` optimization (`kit-lambda`) → region inference +
+//! representation inference (`kit-region`) → bytecode generation
+//! (`kit-kam`) → execution against the region runtime with the
+//! Cheney-for-regions collector (`kit-runtime`).
+//!
+//! # Examples
+//!
+//! ```
+//! use kit::{Compiler, Mode};
+//!
+//! let out = Compiler::new(Mode::Rgt).run_source("val it = 1 + 2")?;
+//! assert_eq!(out.result_int(), Some(3));
+//! assert_eq!(out.stats.gc_count, 0);
+//! # Ok::<(), kit::Error>(())
+//! ```
+
+pub mod oracle;
+
+use kit_kam::render::render_value;
+use kit_kam::{Vm, VmError};
+use kit_lambda::opt::OptOptions;
+use kit_lambda::LProgram;
+use kit_region::RegionOptions;
+use kit_runtime::{Rt, RtConfig, RtStats};
+use kit_typing::TypeError;
+use std::fmt;
+
+pub use kit_lambda::ty::LTy;
+pub use kit_runtime::stats::GcRecord;
+
+/// Execution modes (paper §1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Regions alone, untagged values, (safe) dangling pointers allowed.
+    R,
+    /// Regions alone, tagged values — isolates the cost of tagging.
+    Rt,
+    /// Garbage collection within a degenerate region stack (region
+    /// inference disabled; one global region).
+    Gt,
+    /// Regions combined with garbage collection.
+    Rgt,
+    /// The SML/NJ substitute: everything heap-allocated in one region,
+    /// two-generation copying collection (see [`kit_baseline`]).
+    Baseline,
+}
+
+impl Mode {
+    /// The paper's four modes, in order.
+    pub const ALL: [Mode; 4] = [Mode::R, Mode::Rt, Mode::Gt, Mode::Rgt];
+
+    /// The four modes plus the generational baseline.
+    pub const ALL_WITH_BASELINE: [Mode; 5] =
+        [Mode::R, Mode::Rt, Mode::Gt, Mode::Rgt, Mode::Baseline];
+
+    /// The subscript used in the paper's tables (`r`, `rt`, `gt`, `rgt`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Mode::R => "r",
+            Mode::Rt => "rt",
+            Mode::Gt => "gt",
+            Mode::Rgt => "rgt",
+            Mode::Baseline => "smlnj",
+        }
+    }
+
+    fn region_options(self) -> RegionOptions {
+        match self {
+            Mode::R | Mode::Rt => RegionOptions::regions_only(),
+            Mode::Gt => RegionOptions::disabled(),
+            Mode::Rgt => RegionOptions::with_gc(),
+            Mode::Baseline => RegionOptions::baseline(),
+        }
+    }
+
+    fn rt_config(self) -> RtConfig {
+        match self {
+            Mode::R => RtConfig::r(),
+            Mode::Rt => RtConfig::rt(),
+            Mode::Gt => RtConfig::gt(),
+            Mode::Rgt => RtConfig::rgt(),
+            Mode::Baseline => kit_baseline::baseline_config(),
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Compilation or execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Front-end (syntax or type) error.
+    Compile(TypeError),
+    /// Runtime failure (uncaught exception, fuel).
+    Run(VmError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Run(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<TypeError> for Error {
+    fn from(e: TypeError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<VmError> for Error {
+    fn from(e: VmError) -> Self {
+        Error::Run(e)
+    }
+}
+
+/// Result of running a program.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Canonically rendered result value.
+    pub result: String,
+    /// Everything printed by the program.
+    pub output: String,
+    /// Instructions executed by the abstract machine.
+    pub instructions: u64,
+    /// Runtime statistics: allocation volume, collections, peak memory,
+    /// per-collection accounting (paper §4.3).
+    pub stats: RtStats,
+    /// Region-profile samples if profiling was enabled (paper Fig. 5).
+    pub profile: Vec<kit_runtime::profile::Sample>,
+    /// Wall-clock execution time of the VM run.
+    pub wall: std::time::Duration,
+}
+
+impl Outcome {
+    /// The result as an integer, if it renders as one.
+    pub fn result_int(&self) -> Option<i64> {
+        self.result.strip_prefix('~').map_or_else(
+            || self.result.parse().ok(),
+            |rest| rest.parse::<i64>().ok().map(|n| -n),
+        )
+    }
+}
+
+/// A configured compiler.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    mode: Mode,
+    opt: OptOptions,
+    config: RtConfig,
+    fuel: Option<u64>,
+}
+
+impl Compiler {
+    /// Creates a compiler for `mode` with default options.
+    pub fn new(mode: Mode) -> Self {
+        Compiler { mode, opt: OptOptions::default(), config: mode.rt_config(), fuel: None }
+    }
+
+    /// The mode this compiler targets.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Overrides the runtime configuration (heap-to-live ratio, page size,
+    /// profiling, ...). Tagging and GC flags are forced back to the mode's
+    /// requirements.
+    pub fn with_config(mut self, mut config: RtConfig) -> Self {
+        let m = self.mode.rt_config();
+        config.tagged = m.tagged;
+        config.gc_enabled = m.gc_enabled;
+        if config.generational.is_none() {
+            config.generational = m.generational;
+        }
+        self.config = config;
+        self
+    }
+
+    /// Enables region profiling (paper Fig. 5).
+    pub fn with_profiling(mut self) -> Self {
+        self.config.profile = true;
+        self
+    }
+
+    /// Sets an instruction budget (for tests and property checks).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Disables the `LambdaExp` optimizer.
+    pub fn without_optimizer(mut self) -> Self {
+        self.opt.enabled = false;
+        self
+    }
+
+    /// Compiles `src` to bytecode (usable for repeated runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error on invalid programs.
+    pub fn compile_source(&self, src: &str) -> Result<kit_kam::Program, Error> {
+        let mut lprog = kit_typing::compile_str(src)?;
+        self.compile_lambda(&mut lprog)
+    }
+
+    /// Compiles an elaborated program.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after elaboration; the `Result` is kept for
+    /// interface stability.
+    pub fn compile_lambda(&self, lprog: &mut LProgram) -> Result<kit_kam::Program, Error> {
+        kit_lambda::opt::optimize(lprog, &self.opt);
+        let rprog = kit_region::infer(lprog, self.mode.region_options());
+        let mut prog = kit_kam::compile(&rprog, self.config.tagged);
+        prog.result_ty = lprog.result_ty.clone();
+        Ok(prog)
+    }
+
+    /// Runs compiled bytecode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error on uncaught exceptions or fuel exhaustion.
+    pub fn run_program(&self, prog: &kit_kam::Program) -> Result<Outcome, Error> {
+        let rt = Rt::new(self.config.clone());
+        let mut vm = Vm::new(prog, rt);
+        if let Some(f) = self.fuel {
+            vm = vm.with_fuel(f);
+        }
+        let t0 = std::time::Instant::now();
+        let out = vm.run()?;
+        let wall = t0.elapsed();
+        let result = render_value(&out.rt, out.result, &prog.result_ty, &prog.data);
+        Ok(Outcome {
+            result,
+            output: out.output,
+            instructions: out.instructions,
+            stats: out.stats,
+            profile: out.rt.profiler.samples().to_vec(),
+            wall,
+        })
+    }
+
+    /// Compiles and runs `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and runtime errors.
+    pub fn run_source(&self, src: &str) -> Result<Outcome, Error> {
+        let prog = self.compile_source(src)?;
+        self.run_program(&prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_run_hello() {
+        for mode in Mode::ALL {
+            let out = Compiler::new(mode)
+                .run_source("val it = 20 + 22")
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(out.result_int(), Some(42), "{mode}");
+        }
+    }
+
+    #[test]
+    fn untagged_modes_never_collect() {
+        for mode in [Mode::R, Mode::Rt] {
+            let out = Compiler::new(mode)
+                .run_source("fun build 0 = nil | build n = n :: build (n-1) val it = length (build 5000)")
+                .unwrap();
+            assert_eq!(out.stats.gc_count, 0, "{mode}");
+        }
+    }
+}

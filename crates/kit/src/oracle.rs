@@ -1,0 +1,108 @@
+//! The reference-evaluator oracle with canonical rendering, used by
+//! differential tests: every execution mode must produce the same rendered
+//! result and printed output as the oracle.
+
+use crate::Error;
+use kit_lambda::eval::{self, fmt_sml_int, fmt_sml_real, EvalError, Value};
+use kit_lambda::opt::OptOptions;
+use kit_lambda::ty::{DataEnv, LTy, SchemeTy};
+use kit_typing::TypeError;
+use kit_syntax::Span;
+
+/// Result of an oracle run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleOutcome {
+    /// Canonically rendered result (same format as the VM renderer).
+    pub result: String,
+    /// Printed output.
+    pub output: String,
+}
+
+/// Runs `src` through the front-end, optimizer and reference evaluator.
+///
+/// # Errors
+///
+/// Compile errors, uncaught exceptions (as [`Error::Run`]-compatible
+/// compile errors for simplicity of comparison) and fuel exhaustion.
+pub fn run_oracle(src: &str, fuel: Option<u64>) -> Result<OracleOutcome, Error> {
+    let mut prog = kit_typing::compile_str(src)?;
+    kit_lambda::opt::optimize(&mut prog, &OptOptions::default());
+    let out = eval::eval(&prog.body, &prog.exns, fuel).map_err(|e| match e {
+        EvalError::UncaughtException(n) => {
+            Error::Run(kit_kam::VmError::UncaughtException(n))
+        }
+        other => Error::Compile(TypeError::new(other.to_string(), Span::synthetic())),
+    })?;
+    let result = render_oracle(&out.value, &prog.result_ty, &prog.data, 0);
+    Ok(OracleOutcome { result, output: out.output })
+}
+
+/// Renders an oracle value in the canonical format of
+/// [`kit_kam::render::render_value`].
+pub fn render_oracle(v: &Value<'_>, ty: &LTy, data: &DataEnv, depth: u32) -> String {
+    if depth > 50 {
+        return "...".to_string();
+    }
+    match (v, ty) {
+        (Value::Int(n), _) => fmt_sml_int(*n),
+        (Value::Bool(b), _) => b.to_string(),
+        (Value::Unit, _) => "()".to_string(),
+        (Value::Real(r), _) => fmt_sml_real(*r),
+        (Value::Str(s), _) => format!("{s:?}"),
+        (Value::Tuple(fields), LTy::Tuple(ts)) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .zip(ts)
+                .map(|(f, t)| render_oracle(f, t, data, depth + 1))
+                .collect();
+            format!("({})", parts.join(", "))
+        }
+        (Value::Tuple(_), _) => "<tuple>".to_string(),
+        (Value::Closure { .. } | Value::FixClosure(_, _), _) => "<fn>".to_string(),
+        (Value::Ref(cell), LTy::Ref(t)) => {
+            format!("ref {}", render_oracle(&cell.borrow(), t, data, depth + 1))
+        }
+        (Value::Ref(_), _) => "ref <?>".to_string(),
+        (Value::Array(arr), LTy::Array(t)) => {
+            let arr = arr.borrow();
+            let elems: Vec<String> = arr
+                .iter()
+                .take(20)
+                .map(|e| render_oracle(e, t, data, depth + 1))
+                .collect();
+            format!("<array {}>[{}]", arr.len(), elems.join(", "))
+        }
+        (Value::Array(_), _) => "<array>".to_string(),
+        (Value::Exn(_, _), _) => "<exn>".to_string(),
+        (Value::Con { tycon, con, arg }, LTy::Con(_, targs)) => {
+            let dt = data.get(*tycon);
+            let cinfo = &dt.constructors[con.0 as usize];
+            match (arg, &cinfo.arg) {
+                (None, _) => cinfo.name.clone(),
+                (Some(a), Some(SchemeTy::Tuple(ts))) => {
+                    // Inline tuple argument renders without double parens.
+                    let Value::Tuple(fields) = a.as_ref() else {
+                        return format!("{}(<?>)", cinfo.name);
+                    };
+                    let parts: Vec<String> = fields
+                        .iter()
+                        .zip(ts)
+                        .map(|(f, s)| {
+                            render_oracle(f, &s.instantiate(targs), data, depth + 1)
+                        })
+                        .collect();
+                    format!("{}({})", cinfo.name, parts.join(", "))
+                }
+                (Some(a), Some(s)) => {
+                    format!(
+                        "{}({})",
+                        cinfo.name,
+                        render_oracle(a, &s.instantiate(targs), data, depth + 1)
+                    )
+                }
+                (Some(_), None) => format!("{}(<?>)", cinfo.name),
+            }
+        }
+        (Value::Con { .. }, _) => "<con>".to_string(),
+    }
+}

@@ -1,0 +1,297 @@
+//! Differential tests: every execution mode (`r`, `rt`, `gt`, `rgt`) must
+//! produce exactly the oracle's rendered result and printed output.
+//!
+//! The `rgt`/`gt` runs additionally execute under severe heap pressure
+//! (tiny initial heap) so collections actually happen mid-computation.
+
+use kit::oracle::run_oracle;
+use kit::{Compiler, Mode};
+use kit_runtime::RtConfig;
+
+const FUEL: u64 = 300_000_000;
+
+#[track_caller]
+fn check(src: &str) {
+    let oracle = run_oracle(src, Some(FUEL)).unwrap_or_else(|e| panic!("oracle: {e}\n{src}"));
+    for mode in Mode::ALL {
+        let out = Compiler::new(mode)
+            .with_fuel(FUEL)
+            .run_source(src)
+            .unwrap_or_else(|e| panic!("{mode}: {e}\n{src}"));
+        assert_eq!(out.result, oracle.result, "result mismatch in {mode}\n{src}");
+        assert_eq!(out.output, oracle.output, "output mismatch in {mode}\n{src}");
+    }
+    // Poisoned run: deallocated pages are overwritten, so any read through
+    // a dangling pointer (a region popped too early) fails loudly.
+    {
+        let cfg = RtConfig { poison: true, ..RtConfig::r() };
+        let out = Compiler::new(Mode::R)
+            .with_config(cfg)
+            .with_fuel(FUEL)
+            .run_source(src)
+            .unwrap_or_else(|e| panic!("r (poisoned): {e}\n{src}"));
+        assert_eq!(out.result, oracle.result, "poisoned result mismatch\n{src}");
+    }
+    // Heap pressure: small pages & heap force many collections.
+    for mode in [Mode::Gt, Mode::Rgt] {
+        let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..mode_cfg(mode) };
+        let out = Compiler::new(mode)
+            .with_config(cfg)
+            .with_fuel(FUEL)
+            .run_source(src)
+            .unwrap_or_else(|e| panic!("{mode} (pressure): {e}\n{src}"));
+        assert_eq!(out.result, oracle.result, "pressure result mismatch in {mode}\n{src}");
+        assert_eq!(out.output, oracle.output, "pressure output mismatch in {mode}\n{src}");
+    }
+}
+
+fn mode_cfg(mode: Mode) -> RtConfig {
+    match mode {
+        Mode::R => RtConfig::r(),
+        Mode::Rt => RtConfig::rt(),
+        Mode::Gt => RtConfig::gt(),
+        _ => RtConfig::rgt(),
+    }
+}
+
+#[track_caller]
+fn expect_exn(src: &str, name: &str) {
+    for mode in Mode::ALL {
+        let err = Compiler::new(mode)
+            .with_fuel(FUEL)
+            .run_source(src)
+            .expect_err(&format!("{mode} should raise"));
+        assert!(
+            err.to_string().contains(name),
+            "{mode}: expected {name}, got {err}\n{src}"
+        );
+    }
+}
+
+#[test]
+fn arithmetic() {
+    check("val it = 2 + 3 * 4 - 1");
+    check("val it = ~7 div 2 + ~7 mod 2");
+    check("val it = (1 < 2, 2 <= 2, 3 > 4, 4 >= 5)");
+}
+
+#[test]
+fn lists_and_prelude() {
+    check("val it = length [1,2,3]");
+    check("val it = rev [1,2,3]");
+    check("val it = map (fn x => x * x) (upto (1, 10))");
+    check("val it = foldl op+ 0 (upto (1, 100))");
+    check("val it = [1,2] @ [3,4]");
+    check("val it = filter (fn x => x mod 2 = 0) (upto (1, 20))");
+}
+
+#[test]
+fn recursion_and_hofs() {
+    check("fun fib n = if n < 2 then n else fib (n-1) + fib (n-2) val it = fib 18");
+    check(
+        "fun even 0 = true | even n = odd (n-1)
+         and odd 0 = false | odd n = even (n-1)
+         val it = (even 100, odd 99)",
+    );
+    check("fun twice f x = f (f x) val it = twice (twice (fn n => n + 1)) 0");
+    check("fun compose2 f g = f o g val it = (compose2 (fn x => x*2) (fn x => x+1)) 10");
+}
+
+#[test]
+fn currying_and_closures() {
+    check("fun add x y = x + y  val add3 = add 3  val it = add3 4 + add3 5");
+    check(
+        "fun counter start =
+           let val r = ref start
+           in fn () => (r := !r + 1; !r) end
+         val c = counter 10
+         val _ = c ()
+         val _ = c ()
+         val it = c ()",
+    );
+    check(
+        "fun make n = fn x => x + n
+         val fs = map make [1, 2, 3]
+         val it = map (fn f => f 10) fs",
+    );
+}
+
+#[test]
+fn datatypes_and_patterns() {
+    check(
+        "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+         fun insert (Leaf, x) = Node (Leaf, x, Leaf)
+           | insert (Node (l, y, r), x) =
+               if x < y then Node (insert (l, x), y, r)
+               else Node (l, y, insert (r, x))
+         fun sum Leaf = 0 | sum (Node (l, x, r)) = sum l + x + sum r
+         val t = foldl (fn (x, acc) => insert (acc, x)) Leaf [5, 2, 8, 1, 9, 3]
+         val it = sum t",
+    );
+    check(
+        "datatype shape = Circle of real | Rect of real * real | Point
+         fun area (Circle r) = floor (r * r * 3.0)
+           | area (Rect (w, h)) = floor (w * h)
+           | area Point = 0
+         val it = area (Circle 2.0) + area (Rect (3.0, 4.0)) + area Point",
+    );
+    check(
+        "datatype colour = Red | Green | Blue
+         fun next Red = Green | next Green = Blue | next Blue = Red
+         val it = next (next Red)",
+    );
+}
+
+#[test]
+fn deep_data_survives_collection() {
+    check(
+        "fun build 0 = nil | build n = (n, n * 2) :: build (n - 1)
+         fun total nil = 0 | total ((a, b) :: xs) = a + b + total xs
+         val it = total (build 2000)",
+    );
+}
+
+#[test]
+fn reals() {
+    check("val it = floor (2.5 + 0.25 * 2.0)");
+    check("val pi = 3.14159 val it = floor (pi * 100.0)");
+    check("val it = floor (sqrt 16.0) + trunc ~2.7");
+    check("val it = if 1.5 < 2.5 andalso 2.5 <= 2.5 then 1 else 0");
+}
+
+#[test]
+fn strings() {
+    check("val it = \"a\" ^ \"b\" ^ itos 42");
+    check("val it = size (concat [\"aa\", \"bbb\", \"c\"])");
+    check("val it = (\"abc\" < \"abd\", \"b\" < \"a\", \"x\" = \"x\")");
+    check("val _ = print (\"hello \" ^ itos 1 ^ \"\\n\") val it = 0");
+    check("val it = strsub (\"AZ\", 1)");
+}
+
+#[test]
+fn equality() {
+    check("val it = [1,2,3] = [1,2,3]");
+    check("val it = (1, (true, \"s\")) = (1, (true, \"s\"))");
+    check(
+        "datatype t = A | B of int * t
+         val it = (B (1, B (2, A)) = B (1, B (2, A)), B (1, A) = B (2, A))",
+    );
+}
+
+#[test]
+fn exceptions() {
+    check("val it = (1 div 0) handle Div => 42");
+    check(
+        "exception Found of int
+         fun find p nil = raise Found ~1
+           | find p (x :: xs) = if p x then x else find p xs
+         val it = (find (fn x => x > 100) [1, 2, 3]) handle Found n => n",
+    );
+    check(
+        "exception A exception B of string
+         fun f 0 = raise A | f 1 = raise B \"one\" | f n = n
+         val it = ((f 0 handle A => 10) + (f 1 handle B s => size s) + f 5)",
+    );
+    check("val it = ((1 div 0) handle Subscript => 1) handle Div => 2");
+    expect_exn("val it = 1 div 0", "Div");
+    expect_exn("val it = hd nil", "Match");
+    expect_exn("val a = array (2, 0) val it = asub (a, 2)", "Subscript");
+}
+
+#[test]
+fn refs_arrays_loops() {
+    check(
+        "val acc = ref 0
+         val i = ref 0
+         val _ = while !i < 100 do (acc := !acc + !i; i := !i + 1)
+         val it = !acc",
+    );
+    check(
+        "val a = array (20, 0)
+         fun fill i = if i >= 20 then () else (aupdate (a, i, i * i); fill (i + 1))
+         val _ = fill 0
+         fun total (i, acc) = if i >= 20 then acc else total (i + 1, acc + asub (a, i))
+         val it = total (0, 0)",
+    );
+    check("val r = ref [1,2] val _ = r := 0 :: !r val it = !r");
+}
+
+#[test]
+fn escaping_closures_and_regions() {
+    // The §2.6 shape: a closure captures a pair it never uses.
+    check(
+        "fun f x = 17
+         fun g v = fn y => f v + y
+         val h = g (2, 3)
+         val it = h 5",
+    );
+    // Closure capturing data that must survive region exits.
+    check(
+        "fun make () = let val data = upto (1, 50) in fn () => length data end
+         val f = make ()
+         val it = f () + f ()",
+    );
+}
+
+#[test]
+fn region_polymorphic_recursion_survives() {
+    check(
+        "fun msort nil = nil
+           | msort [x] = [x]
+           | msort xs =
+             let
+               fun split (nil, a, b) = (a, b)
+                 | split (x :: rest, a, b) = split (rest, x :: b, a)
+               fun merge (nil, ys) = ys
+                 | merge (xs, nil) = xs
+                 | merge (x :: xs, y :: ys) =
+                     if x <= y then x :: merge (xs, y :: ys)
+                     else y :: merge (x :: xs, ys)
+               val (a, b) = split (xs, nil, nil)
+             in
+               merge (msort a, msort b)
+             end
+         fun mk (0, acc) = acc | mk (n, acc) = mk (n - 1, (n * 7919) mod 1000 :: acc)
+         val sorted = msort (mk (500, nil))
+         val it = (hd sorted, hd (rev sorted), length sorted)",
+    );
+}
+
+#[test]
+fn printing_order_is_preserved() {
+    check(
+        "fun show n = print (itos n ^ \" \")
+         val _ = app show (upto (1, 10))
+         val it = ()",
+    );
+}
+
+#[test]
+fn large_tail_recursion() {
+    check(
+        "fun go (0, acc) = acc | go (n, acc) = go (n - 1, acc + n)
+         val it = go (200000, 0)",
+    );
+}
+
+#[test]
+fn polymorphic_functions_shared_across_types() {
+    check(
+        "val it = (length (map id [1,2,3]), length (map id [true, false]))",
+    );
+    check("val p = (id 1, id \"x\", id 2.5) val it = p");
+}
+
+#[test]
+fn gc_actually_ran_under_pressure() {
+    let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..RtConfig::rgt() };
+    let out = Compiler::new(Mode::Rgt)
+        .with_config(cfg)
+        .run_source(
+            "fun burn 0 = 0 | burn n = length (upto (1, 50)) + burn (n - 1)
+             val it = burn 200",
+        )
+        .unwrap();
+    assert!(out.stats.gc_count > 0, "expected collections under pressure");
+    assert_eq!(out.result_int(), Some(10000));
+}

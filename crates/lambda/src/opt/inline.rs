@@ -1,0 +1,340 @@
+//! Function inlining.
+//!
+//! Two cases, both standard in contraction-based optimizers:
+//!
+//! 1. a `let`-bound `fn` used exactly once (as a callee) is inlined and the
+//!    binding dropped — no renaming needed because each variable id occurs
+//!    in exactly one binder;
+//! 2. a `let`-bound `fn` with a small body is inlined at every call site,
+//!    with all binders alpha-renamed to keep variable ids globally unique.
+//!
+//! `Fix`-bound functions whose group is provably non-recursive are first
+//! demoted to `let`-bound `fn`s so the rules above apply to them too.
+
+use crate::exp::{FixFun, LExp, LProgram, VarId, VarTable};
+use crate::opt::simplify::for_each_child_mut;
+use std::collections::HashMap;
+
+/// Runs one inlining pass over the program; returns the number of
+/// functions inlined or demoted.
+pub fn inline(prog: &mut LProgram, inline_size: usize) -> usize {
+    let mut n = 0;
+    demote_nonrecursive_fix(&mut prog.body, &mut n);
+    inline_lets(&mut prog.body, &mut prog.vars, inline_size, &mut n);
+    n
+}
+
+/// Rewrites `Fix` groups whose functions never reference the group into
+/// nested `Let`-of-`Fn` bindings.
+fn demote_nonrecursive_fix(e: &mut LExp, n: &mut usize) {
+    for_each_child_mut(e, |c| demote_nonrecursive_fix(c, n));
+    if let LExp::Fix { funs, body } = e {
+        let group: Vec<VarId> = funs.iter().map(|f| f.var).collect();
+        let recursive = funs.iter().any(|f| {
+            let fv = f.body.free_vars();
+            group.iter().any(|g| fv.contains(g))
+        });
+        if !recursive {
+            let funs = std::mem::take(funs);
+            let mut result = std::mem::replace(body, Box::new(LExp::Unit));
+            for f in funs.into_iter().rev() {
+                let FixFun { var, params, ret, body: fbody } = f;
+                let fn_ty = fn_ty_of(&params, &ret);
+                result = Box::new(LExp::Let {
+                    var,
+                    ty: fn_ty,
+                    rhs: Box::new(LExp::Fn { params, ret, body: Box::new(fbody) }),
+                    body: result,
+                });
+            }
+            *e = *result;
+            *n += 1;
+        }
+    }
+}
+
+fn fn_ty_of(params: &[(VarId, crate::ty::LTy)], ret: &crate::ty::LTy) -> crate::ty::LTy {
+    use crate::ty::LTy;
+    let arg = match params.len() {
+        1 => params[0].1.clone(),
+        _ => LTy::Tuple(params.iter().map(|(_, t)| t.clone()).collect()),
+    };
+    LTy::arrow(arg, ret.clone())
+}
+
+/// Counts, for every variable, total uses and uses in callee position.
+fn count_uses(e: &LExp, uses: &mut HashMap<VarId, (usize, usize)>) {
+    if let LExp::Var(v) = e {
+        uses.entry(*v).or_default().0 += 1;
+        return;
+    }
+    if let LExp::App(f, args) = e {
+        if let LExp::Var(v) = f.as_ref() {
+            let ent = uses.entry(*v).or_default();
+            ent.0 += 1;
+            ent.1 += 1;
+        } else {
+            count_uses(f, uses);
+        }
+        for a in args {
+            count_uses(a, uses);
+        }
+        return;
+    }
+    e.for_each_child(|c| count_uses(c, uses));
+}
+
+fn inline_lets(e: &mut LExp, vars: &mut VarTable, inline_size: usize, n: &mut usize) {
+    for_each_child_mut(e, |c| inline_lets(c, vars, inline_size, n));
+    let LExp::Let { var, rhs, body, .. } = e else { return };
+    let LExp::Fn { params, .. } = rhs.as_ref() else { return };
+    let arity = params.len();
+
+    let mut uses = HashMap::new();
+    count_uses(body, &mut uses);
+    let (total, as_callee) = uses.get(var).copied().unwrap_or((0, 0));
+    if total == 0 {
+        // Dead function binding (closure creation is pure).
+        *e = *std::mem::replace(body, Box::new(LExp::Unit));
+        *n += 1;
+        return;
+    }
+    // Only inline when every use is a saturated call.
+    if total != as_callee {
+        return;
+    }
+    let small = rhs.size() <= inline_size;
+    if total == 1 || small {
+        let var = *var;
+        let f = std::mem::replace(rhs.as_mut(), LExp::Unit);
+        let mut b = std::mem::replace(body.as_mut(), LExp::Unit);
+        let mut remaining = total;
+        inline_calls(&mut b, var, &f, arity, vars, total > 1, &mut remaining);
+        *e = b;
+        *n += 1;
+    }
+}
+
+/// Replaces `App(Var(var), args)` with a beta redex of `f`.
+fn inline_calls(
+    e: &mut LExp,
+    var: VarId,
+    f: &LExp,
+    arity: usize,
+    vars: &mut VarTable,
+    rename: bool,
+    remaining: &mut usize,
+) {
+    for_each_child_mut(e, |c| inline_calls(c, var, f, arity, vars, rename, remaining));
+    if let LExp::App(callee, args) = e {
+        if matches!(callee.as_ref(), LExp::Var(v) if *v == var) && args.len() == arity {
+            *remaining -= 1;
+            let body = if rename || *remaining > 0 {
+                rename_clone(f, vars, &mut HashMap::new())
+            } else {
+                f.clone()
+            };
+            **callee = body;
+            // The resulting `App(Fn, args)` is beta-reduced by the next
+            // simplify round.
+        }
+    }
+}
+
+/// Clones `e`, freshening every binder (alpha renaming), so that variable
+/// ids stay globally unique after multi-use inlining.
+pub fn rename_clone(e: &LExp, vars: &mut VarTable, map: &mut HashMap<VarId, VarId>) -> LExp {
+    let fresh = |v: VarId, vars: &mut VarTable, map: &mut HashMap<VarId, VarId>| {
+        let nv = vars.fresh(&format!("{}'", vars.name(v).to_string()));
+        map.insert(v, nv);
+        nv
+    };
+    match e {
+        LExp::Var(v) => LExp::Var(map.get(v).copied().unwrap_or(*v)),
+        LExp::Fn { params, ret, body } => {
+            let params = params
+                .iter()
+                .map(|(v, t)| (fresh(*v, vars, map), t.clone()))
+                .collect();
+            let body = Box::new(rename_clone(body, vars, map));
+            LExp::Fn { params, ret: ret.clone(), body }
+        }
+        LExp::Let { var, ty, rhs, body } => {
+            let rhs = Box::new(rename_clone(rhs, vars, map));
+            let nv = fresh(*var, vars, map);
+            let body = Box::new(rename_clone(body, vars, map));
+            LExp::Let { var: nv, ty: ty.clone(), rhs, body }
+        }
+        LExp::Fix { funs, body } => {
+            let nvars: Vec<VarId> = funs.iter().map(|f| fresh(f.var, vars, map)).collect();
+            let funs = funs
+                .iter()
+                .zip(nvars)
+                .map(|(f, nv)| FixFun {
+                    var: nv,
+                    params: f
+                        .params
+                        .iter()
+                        .map(|(v, t)| (fresh(*v, vars, map), t.clone()))
+                        .collect(),
+                    ret: f.ret.clone(),
+                    body: rename_clone(&f.body, vars, map),
+                })
+                .collect();
+            let body = Box::new(rename_clone(body, vars, map));
+            LExp::Fix { funs, body }
+        }
+        LExp::Handle { body, var, handler } => {
+            let body = Box::new(rename_clone(body, vars, map));
+            let nv = fresh(*var, vars, map);
+            let handler = Box::new(rename_clone(handler, vars, map));
+            LExp::Handle { body, var: nv, handler }
+        }
+        // Non-binding nodes: clone structurally, renaming children.
+        _ => {
+            let mut out = e.clone();
+            for_each_child_mut(&mut out, |c| {
+                let r = rename_clone(c, vars, map);
+                *c = r;
+            });
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::Prim;
+    use crate::opt::simplify::simplify;
+    use crate::ty::{DataEnv, ExnEnv, LTy};
+
+    fn mkprog(body: LExp, vars: VarTable) -> LProgram {
+        LProgram {
+            data: DataEnv::new(),
+            exns: ExnEnv::new(),
+            vars,
+            body,
+            result_ty: LTy::Int,
+        }
+    }
+
+    #[test]
+    fn inlines_single_use_function() {
+        let mut vars = VarTable::new();
+        let f = vars.fresh("f");
+        let x = vars.fresh("x");
+        // let f = fn x => x + 1 in f 41
+        let body = LExp::Let {
+            var: f,
+            ty: LTy::arrow(LTy::Int, LTy::Int),
+            rhs: Box::new(LExp::Fn {
+                params: vec![(x, LTy::Int)],
+                ret: LTy::Int,
+                body: Box::new(LExp::Prim(Prim::IAdd, vec![LExp::Var(x), LExp::Int(1)])),
+            }),
+            body: Box::new(LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(41)])),
+        };
+        let mut p = mkprog(body, vars);
+        assert_eq!(inline(&mut p, 40), 1);
+        simplify(&mut p.body);
+        simplify(&mut p.body);
+        assert_eq!(p.body, LExp::Int(42));
+    }
+
+    #[test]
+    fn multi_use_inlining_renames() {
+        let mut vars = VarTable::new();
+        let f = vars.fresh("f");
+        let x = vars.fresh("x");
+        // let f = fn x => x * x in f 3 + f 4
+        let body = LExp::Let {
+            var: f,
+            ty: LTy::arrow(LTy::Int, LTy::Int),
+            rhs: Box::new(LExp::Fn {
+                params: vec![(x, LTy::Int)],
+                ret: LTy::Int,
+                body: Box::new(LExp::Prim(Prim::IMul, vec![LExp::Var(x), LExp::Var(x)])),
+            }),
+            body: Box::new(LExp::Prim(
+                Prim::IAdd,
+                vec![
+                    LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(3)]),
+                    LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(4)]),
+                ],
+            )),
+        };
+        let mut p = mkprog(body, vars);
+        assert!(inline(&mut p, 40) > 0);
+        simplify(&mut p.body);
+        simplify(&mut p.body);
+        assert_eq!(p.body, LExp::Int(25));
+    }
+
+    #[test]
+    fn escaping_function_not_inlined() {
+        let mut vars = VarTable::new();
+        let f = vars.fresh("f");
+        let x = vars.fresh("x");
+        // let f = fn x => x in (f, f 1)  — f escapes into a record.
+        let body = LExp::Let {
+            var: f,
+            ty: LTy::arrow(LTy::Int, LTy::Int),
+            rhs: Box::new(LExp::Fn {
+                params: vec![(x, LTy::Int)],
+                ret: LTy::Int,
+                body: Box::new(LExp::Var(x)),
+            }),
+            body: Box::new(LExp::Record(vec![
+                LExp::Var(f),
+                LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(1)]),
+            ])),
+        };
+        let before = body.clone();
+        let mut p = mkprog(body, vars);
+        assert_eq!(inline(&mut p, 40), 0);
+        assert_eq!(p.body, before);
+    }
+
+    #[test]
+    fn demotes_nonrecursive_fix() {
+        let mut vars = VarTable::new();
+        let f = vars.fresh("f");
+        let x = vars.fresh("x");
+        let body = LExp::Fix {
+            funs: vec![FixFun {
+                var: f,
+                params: vec![(x, LTy::Int)],
+                ret: LTy::Int,
+                body: LExp::Var(x),
+            }],
+            body: Box::new(LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(7)])),
+        };
+        let mut p = mkprog(body, vars);
+        assert!(inline(&mut p, 40) > 0);
+        simplify(&mut p.body);
+        simplify(&mut p.body);
+        assert_eq!(p.body, LExp::Int(7));
+    }
+
+    #[test]
+    fn recursive_fix_untouched() {
+        let mut vars = VarTable::new();
+        let f = vars.fresh("f");
+        let x = vars.fresh("x");
+        let body = LExp::Fix {
+            funs: vec![FixFun {
+                var: f,
+                params: vec![(x, LTy::Int)],
+                ret: LTy::Int,
+                body: LExp::App(Box::new(LExp::Var(f)), vec![LExp::Var(x)]),
+            }],
+            body: Box::new(LExp::Int(1)),
+        };
+        let before = body.clone();
+        let mut p = mkprog(body, vars);
+        // Demotion must not fire; the binding is recursive.
+        demote_nonrecursive_fix(&mut p.body, &mut 0);
+        assert_eq!(p.body, before);
+    }
+}

@@ -1,0 +1,120 @@
+//! The `LambdaExp` optimizer (paper §3, "Optimization").
+//!
+//! The ML Kit optimizer "rewrites LambdaExp fragments as long as it can
+//! guarantee that the resulting fragments run in less space than the
+//! original fragments". We implement the same contraction-style passes:
+//!
+//! * constant folding and branch simplification ([`simplify`]),
+//! * dead-binding elimination and atomic-value propagation,
+//! * beta reduction and inlining of functions used exactly once or whose
+//!   bodies are small ([`inline`]).
+//!
+//! Passes run to a (bounded) fixpoint. All passes preserve the uniqueness
+//! of [`VarId`]s, which the region-inference phase relies on.
+//!
+//! [`VarId`]: crate::exp::VarId
+
+pub mod flatten;
+pub mod inline;
+pub mod simplify;
+
+use crate::exp::LProgram;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Maximum number of contract/inline rounds.
+    pub max_rounds: usize,
+    /// Maximum body size (AST nodes) for multi-use inlining.
+    pub inline_size: usize,
+    /// Master switch; when false, `optimize` is the identity.
+    pub enabled: bool,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { max_rounds: 4, inline_size: 40, enabled: true }
+    }
+}
+
+/// Statistics reported by one optimizer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Number of contraction rewrites applied.
+    pub rewrites: usize,
+    /// Number of functions inlined.
+    pub inlined: usize,
+    /// Number of functions whose tuple argument was flattened.
+    pub flattened: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Optimizes `prog` in place and reports statistics.
+pub fn optimize(prog: &mut LProgram, opts: &OptOptions) -> OptStats {
+    let mut stats = OptStats::default();
+    if !opts.enabled {
+        return stats;
+    }
+    for _ in 0..opts.max_rounds {
+        stats.rounds += 1;
+        let r1 = simplify::simplify(&mut prog.body);
+        let r2 = inline::inline(prog, opts.inline_size);
+        stats.rewrites += r1;
+        stats.inlined += r2;
+        if r1 + r2 == 0 {
+            break;
+        }
+    }
+    // Argument flattening last (its output shapes are final), followed by
+    // one contraction round to clean up the projections it introduced.
+    stats.flattened = flatten::flatten(prog);
+    if stats.flattened > 0 {
+        stats.rewrites += simplify::simplify(&mut prog.body);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{LExp, Prim, VarTable};
+    use crate::ty::{DataEnv, ExnEnv, LTy};
+
+    fn prog(body: LExp, vars: VarTable) -> LProgram {
+        LProgram {
+            data: DataEnv::new(),
+            exns: ExnEnv::new(),
+            vars,
+            body,
+            result_ty: LTy::Int,
+        }
+    }
+
+    #[test]
+    fn optimizer_reaches_fixpoint() {
+        let mut vars = VarTable::new();
+        let x = vars.fresh("x");
+        // let x = 1 + 2 in x * 1  ==>  3 (after folding + propagation)
+        let body = LExp::Let {
+            var: x,
+            ty: LTy::Int,
+            rhs: Box::new(LExp::Prim(Prim::IAdd, vec![LExp::Int(1), LExp::Int(2)])),
+            body: Box::new(LExp::Prim(Prim::IMul, vec![LExp::Var(x), LExp::Int(1)])),
+        };
+        let mut p = prog(body, vars);
+        let stats = optimize(&mut p, &OptOptions::default());
+        assert!(stats.rewrites > 0);
+        assert_eq!(p.body, LExp::Int(3));
+    }
+
+    #[test]
+    fn disabled_optimizer_is_identity() {
+        let mut vars = VarTable::new();
+        let _ = vars.fresh("x");
+        let body = LExp::Prim(Prim::IAdd, vec![LExp::Int(1), LExp::Int(2)]);
+        let mut p = prog(body.clone(), vars);
+        optimize(&mut p, &OptOptions { enabled: false, ..Default::default() });
+        assert_eq!(p.body, body);
+    }
+}

@@ -1,0 +1,252 @@
+//! Pretty printer for `LambdaExp`, used in `--dump-lambda` style debugging
+//! and golden tests.
+
+use crate::exp::{LExp, LProgram, VarId, VarTable};
+use std::fmt::Write as _;
+
+/// Renders a program body with resolved variable names.
+pub fn program_to_string(p: &LProgram) -> String {
+    let mut out = String::new();
+    let mut pr = Printer { vars: &p.vars, out: &mut out, indent: 0 };
+    pr.exp(&p.body);
+    out
+}
+
+/// Renders one expression with variable names from `vars`.
+pub fn exp_to_string(e: &LExp, vars: &VarTable) -> String {
+    let mut out = String::new();
+    let mut pr = Printer { vars, out: &mut out, indent: 0 };
+    pr.exp(e);
+    out
+}
+
+struct Printer<'a> {
+    vars: &'a VarTable,
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    fn nl(&mut self) {
+        let _ = write!(self.out, "\n{}", "  ".repeat(self.indent));
+    }
+
+    fn var(&mut self, v: VarId) {
+        let _ = write!(self.out, "{}_{}", self.vars.name(v), v.0);
+    }
+
+    fn exp(&mut self, e: &LExp) {
+        match e {
+            LExp::Var(v) => self.var(*v),
+            LExp::Int(n) => {
+                let _ = write!(self.out, "{n}");
+            }
+            LExp::Real(r) => {
+                let _ = write!(self.out, "{r}");
+            }
+            LExp::Str(s) => {
+                let _ = write!(self.out, "{s:?}");
+            }
+            LExp::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            LExp::Unit => self.out.push_str("()"),
+            LExp::Prim(p, args) => {
+                let _ = write!(self.out, "{p:?}(");
+                self.list(args);
+                self.out.push(')');
+            }
+            LExp::Record(es) => {
+                self.out.push('(');
+                self.list(es);
+                self.out.push(')');
+            }
+            LExp::Select { i, tup: e, .. } => {
+                let _ = write!(self.out, "#{i} ");
+                self.exp(e);
+            }
+            LExp::Con { tycon, con, arg, .. } => {
+                let _ = write!(self.out, "C{}#{}", tycon.0, con.0);
+                if let Some(a) = arg {
+                    self.out.push('(');
+                    self.exp(a);
+                    self.out.push(')');
+                }
+            }
+            LExp::DeCon { scrut, .. } => {
+                self.out.push_str("decon ");
+                self.exp(scrut);
+            }
+            LExp::SwitchCon { scrut, arms, default, .. } => {
+                self.out.push_str("case ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (c, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| #{} => ", c.0);
+                    self.exp(a);
+                }
+                if let Some(d) = default {
+                    self.nl();
+                    self.out.push_str("| _ => ");
+                    self.exp(d);
+                }
+                self.indent -= 1;
+            }
+            LExp::SwitchInt { scrut, arms, default } => {
+                self.out.push_str("caseint ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| {k} => ");
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            LExp::SwitchStr { scrut, arms, default } => {
+                self.out.push_str("casestr ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| {k:?} => ");
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            LExp::Fn { params, body, .. } => {
+                self.out.push_str("fn (");
+                for (i, (v, t)) in params.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.var(*v);
+                    let _ = write!(self.out, ": {t}");
+                }
+                self.out.push_str(") => ");
+                self.exp(body);
+            }
+            LExp::App(f, args) => {
+                self.out.push('[');
+                self.exp(f);
+                self.out.push_str("](");
+                self.list(args);
+                self.out.push(')');
+            }
+            LExp::Let { var, ty, rhs, body } => {
+                self.out.push_str("let ");
+                self.var(*var);
+                let _ = write!(self.out, ": {ty} = ");
+                self.exp(rhs);
+                self.nl();
+                self.out.push_str("in ");
+                self.exp(body);
+            }
+            LExp::Fix { funs, body } => {
+                for (i, f) in funs.iter().enumerate() {
+                    self.out.push_str(if i == 0 { "fix " } else { "and " });
+                    self.var(f.var);
+                    self.out.push('(');
+                    for (j, (v, t)) in f.params.iter().enumerate() {
+                        if j > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.var(*v);
+                        let _ = write!(self.out, ": {t}");
+                    }
+                    let _ = write!(self.out, "): {} = ", f.ret);
+                    self.indent += 1;
+                    self.nl();
+                    self.exp(&f.body);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                self.out.push_str("in ");
+                self.exp(body);
+            }
+            LExp::If(c, t, f) => {
+                self.out.push_str("if ");
+                self.exp(c);
+                self.out.push_str(" then ");
+                self.exp(t);
+                self.out.push_str(" else ");
+                self.exp(f);
+            }
+            LExp::ExCon { exn, arg } => {
+                let _ = write!(self.out, "exn#{}", exn.0);
+                if let Some(a) = arg {
+                    self.out.push('(');
+                    self.exp(a);
+                    self.out.push(')');
+                }
+            }
+            LExp::DeExn { scrut, .. } => {
+                self.out.push_str("deexn ");
+                self.exp(scrut);
+            }
+            LExp::SwitchExn { scrut, arms, default } => {
+                self.out.push_str("caseexn ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| exn#{} => ", k.0);
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            LExp::Raise { exp, .. } => {
+                self.out.push_str("raise ");
+                self.exp(exp);
+            }
+            LExp::Handle { body, var, handler } => {
+                self.out.push('(');
+                self.exp(body);
+                self.out.push_str(") handle ");
+                self.var(*var);
+                self.out.push_str(" => ");
+                self.exp(handler);
+            }
+        }
+    }
+
+    fn list(&mut self, es: &[LExp]) {
+        for (i, e) in es.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.exp(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{Prim, VarTable};
+
+    #[test]
+    fn renders_let_and_prim() {
+        let mut vars = VarTable::new();
+        let x = vars.fresh("x");
+        let e = LExp::Let {
+            var: x,
+            ty: crate::ty::LTy::Int,
+            rhs: Box::new(LExp::Int(1)),
+            body: Box::new(LExp::Prim(Prim::IAdd, vec![LExp::Var(x), LExp::Int(2)])),
+        };
+        let s = exp_to_string(&e, &vars);
+        assert!(s.contains("let x_0: int = 1"), "{s}");
+        assert!(s.contains("IAdd(x_0, 2)"), "{s}");
+    }
+}

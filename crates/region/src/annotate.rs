@@ -1,0 +1,1297 @@
+//! Region-annotated type reconstruction (the heart of region inference).
+//!
+//! The pass re-types the (alpha-unique, monomorphic-representation)
+//! `LambdaExp` program with [`crate::rtype::RTy`] types, assigning a fresh
+//! region variable to every allocation point and unifying regions exactly
+//! where types unify. Arrows carry latent effects; every allocation adds a
+//! `put`, every inspection a `get`, into the effect of the enclosing
+//! function.
+//!
+//! `fix`-bound functions are **region polymorphic**: their schemes quantify
+//! region and effect variables local to the function, and each call site
+//! instantiates them with fresh actuals (Tofte–Talpin). Region-polymorphic
+//! *recursion* is inferred by bounded fixed-point iteration: bodies are
+//! re-annotated against the previous scheme until the scheme reaches a
+//! fixed point (compared up to alpha-equivalence), falling back to
+//! region-monomorphic recursion if the bound is exceeded.
+//!
+//! The §2.6 weakening (`gc_safe`): the regions of values captured by a
+//! closure are added to the closure's latent effect, so they stay live at
+//! least as long as the closure, ruling out dangling pointers. Without it
+//! (`r` mode) a captured-but-unused value's region may die first — the
+//! paper's example of a safe dangling pointer.
+//!
+//! Output: an [`RExp`] with dense [`RegVar`] numbering, plus per-marker
+//! escape sets consumed by `letregion` placement.
+
+use crate::rexp::{RExp, RFixFun, RProgram, RegVar};
+use crate::rtype::{Eff, Instance, RScheme, RTy, Reg, Stores};
+use kit_lambda::exp::{FixFun, LExp, Prim, VarId};
+use kit_lambda::ty::{ConId, SchemeTy, TyConId};
+use kit_lambda::LProgram;
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of annotation: the program (with [`RExp::Marker`] nodes still in
+/// place) and the per-marker escape sets (dense region numbering).
+#[derive(Debug)]
+pub struct Annotated {
+    /// The annotated program; `globals` is empty until placement runs.
+    pub prog: RProgram,
+    /// For each marker id: regions that must *not* be bound at or below it.
+    pub marker_escapes: Vec<BTreeSet<RegVar>>,
+    /// Regions escaping globally (program result, raised exceptions).
+    pub global_escapes: BTreeSet<RegVar>,
+}
+
+/// Runs annotation over an optimized `LambdaExp` program.
+pub fn annotate(prog: &LProgram, gc_safe: bool) -> Annotated {
+    let mut ann = Ann {
+        st: Stores::new(),
+        prog,
+        env: HashMap::new(),
+        cur_eff: Vec::new(),
+        markers: Vec::new(),
+        fixmeta: HashMap::new(),
+        global_frv: BTreeSet::new(),
+        gc_safe,
+    };
+    let top_eff = ann.st.fresh_eff();
+    ann.cur_eff.push(top_eff);
+    let (body, ty) = ann.ann(&prog.body);
+    // The program result escapes.
+    let mut res = BTreeSet::new();
+    ann.st.frv(&ty, &mut res);
+    ann.global_frv.extend(res);
+    ann.finalize(body)
+}
+
+#[derive(Debug, Clone)]
+enum Bind {
+    Mono(RTy),
+    /// Type-polymorphic, region-monomorphic (`let`-bound values).
+    PolyVal(RScheme),
+    /// Region-polymorphic `fix` function.
+    Fix(RScheme),
+}
+
+struct MarkerInfo {
+    /// (type, regions-to-exclude) pairs: the node type plus the types of
+    /// the node's free variables (schemes exclude their quantified
+    /// regions).
+    tys: Vec<(RTy, Vec<Reg>)>,
+}
+
+struct FixMeta {
+    /// Indices into the scheme's `qregs` that are runtime formals (regions
+    /// the body allocates into).
+    formal_idx: Vec<usize>,
+}
+
+struct Ann<'a> {
+    st: Stores,
+    prog: &'a LProgram,
+    env: HashMap<VarId, Bind>,
+    cur_eff: Vec<Eff>,
+    markers: Vec<MarkerInfo>,
+    fixmeta: HashMap<VarId, FixMeta>,
+    global_frv: BTreeSet<Reg>,
+    gc_safe: bool,
+}
+
+impl Ann<'_> {
+    fn eff(&self) -> Eff {
+        *self.cur_eff.last().unwrap()
+    }
+
+    fn put(&mut self, r: Reg) {
+        let e = self.eff();
+        self.st.eff_add_reg(e, r);
+    }
+
+    fn get_ty(&mut self, ty: &RTy) {
+        if let Some(r) = self.st.resolve(ty).outer_region() {
+            let e = self.eff();
+            self.st.eff_add_reg(e, r);
+        }
+    }
+
+    /// Converts a constructor-argument scheme to an `RTy`.
+    ///
+    /// Datatypes are **region uniform** (as in the ML Kit's basic region
+    /// typing): every boxed component in a non-parameter position — the
+    /// recursive spine, nested datatypes, tuples, strings, reals — lives in
+    /// `self_reg`, the datatype's own region. Only type-parameter
+    /// positions carry their instantiation's regions. This is what makes
+    /// the component regions visible in the datatype's (single-region)
+    /// type, so escape analysis cannot lose them.
+    fn conv_scheme(
+        &mut self,
+        s: &SchemeTy,
+        tycon: TyConId,
+        targs: &[RTy],
+        self_reg: Reg,
+        top: bool,
+    ) -> RTy {
+        let _ = top;
+        match s {
+            SchemeTy::Param(i) => targs[*i as usize].clone(),
+            SchemeTy::Int => RTy::Int,
+            SchemeTy::Bool => RTy::Bool,
+            SchemeTy::Unit => RTy::Unit,
+            SchemeTy::Real => RTy::Real(self_reg),
+            SchemeTy::Str => RTy::Str(self_reg),
+            SchemeTy::Exn => RTy::Exn(self_reg),
+            SchemeTy::Con(tc, args) => {
+                let nargs = args
+                    .iter()
+                    .map(|a| self.conv_scheme(a, tycon, targs, self_reg, false))
+                    .collect();
+                RTy::Con(*tc, nargs, self_reg)
+            }
+            SchemeTy::Arrow(a, b) => {
+                // Functions stored in datatypes: the closure shares the
+                // spine region; the latent effect additionally records a
+                // use of the spine so callers keep it alive.
+                let na = self.conv_scheme(a, tycon, targs, self_reg, false);
+                let nb = self.conv_scheme(b, tycon, targs, self_reg, false);
+                let e = self.st.fresh_eff();
+                self.st.eff_add_reg(e, self_reg);
+                RTy::Arrow(vec![na], e, Box::new(nb), self_reg)
+            }
+            SchemeTy::Tuple(ts) => {
+                let nts = ts
+                    .iter()
+                    .map(|t| self.conv_scheme(t, tycon, targs, self_reg, false))
+                    .collect();
+                RTy::Tuple(nts, self_reg)
+            }
+            SchemeTy::Ref(t) => {
+                let nt = self.conv_scheme(t, tycon, targs, self_reg, false);
+                RTy::Ref(Box::new(nt), self_reg)
+            }
+            SchemeTy::Array(t) => {
+                let nt = self.conv_scheme(t, tycon, targs, self_reg, false);
+                RTy::Array(Box::new(nt), self_reg)
+            }
+        }
+    }
+
+    /// Records a `letregion` candidate around `inner`.
+    fn marker(&mut self, inner: RExp, node_ty: &RTy, lexp: &LExp) -> RExp {
+        let mut tys = vec![(node_ty.clone(), Vec::new())];
+        for v in lexp.free_vars() {
+            match self.env.get(&v) {
+                Some(Bind::Mono(t)) => tys.push((t.clone(), Vec::new())),
+                Some(Bind::PolyVal(s)) | Some(Bind::Fix(s)) => {
+                    tys.push((s.ty.clone(), s.qregs.clone()));
+                }
+                None => {}
+            }
+        }
+        let id = self.markers.len() as u32;
+        self.markers.push(MarkerInfo { tys });
+        RExp::Marker { id, body: Box::new(inner) }
+    }
+
+    /// Environment free-variable sets for generalization, restricted to the
+    /// variables free in `lexp`.
+    fn env_free_sets(
+        &mut self,
+        lexp_fvs: &BTreeSet<VarId>,
+    ) -> (BTreeSet<Reg>, BTreeSet<Eff>, BTreeSet<u32>) {
+        let mut frv = BTreeSet::new();
+        let mut fev = BTreeSet::new();
+        let mut ftv = BTreeSet::new();
+        for v in lexp_fvs {
+            let Some(b) = self.env.get(v).cloned() else { continue };
+            match b {
+                Bind::Mono(t) => {
+                    self.st.frv(&t, &mut frv);
+                    self.st.fev(&t, &mut fev);
+                    self.st.ftv(&t, &mut ftv);
+                }
+                Bind::PolyVal(s) | Bind::Fix(s) => {
+                    let mut f = BTreeSet::new();
+                    self.st.frv(&s.ty, &mut f);
+                    for q in &s.qregs {
+                        f.remove(&self.st.find_reg(*q));
+                    }
+                    frv.extend(f);
+                    let mut e = BTreeSet::new();
+                    self.st.fev(&s.ty, &mut e);
+                    for q in &s.qeffs {
+                        e.remove(&self.st.find_eff(*q));
+                    }
+                    fev.extend(e);
+                    let mut t = BTreeSet::new();
+                    self.st.ftv(&s.ty, &mut t);
+                    for q in &s.qtys {
+                        t.remove(q);
+                    }
+                    ftv.extend(t);
+                }
+            }
+        }
+        (frv, fev, ftv)
+    }
+
+    // --------------------------------------------------------------- driver
+
+    fn ann(&mut self, e: &LExp) -> (RExp, RTy) {
+        match e {
+            LExp::Var(v) => {
+                let b = self.env.get(v).cloned().unwrap_or_else(|| {
+                    panic!("unbound variable {} in region inference", v.0)
+                });
+                match b {
+                    Bind::Mono(t) => (RExp::Var(*v), t),
+                    Bind::PolyVal(s) => {
+                        let inst = self.st.instantiate(&s);
+                        (RExp::Var(*v), inst.ty)
+                    }
+                    Bind::Fix(s) => {
+                        // Escaping use of a fix function: allocate a pair
+                        // closure; the shared closure's region stays in the
+                        // latent effect so it outlives the pair.
+                        let inst = self.st.instantiate(&s);
+                        let RTy::Arrow(ps, eff, ret, shared_reg) =
+                            self.st.resolve(&inst.ty)
+                        else {
+                            panic!("fix-bound variable with non-arrow type")
+                        };
+                        let pair_reg = self.st.fresh_reg();
+                        self.st.eff_add_reg(eff, shared_reg);
+                        self.put(pair_reg);
+                        let ty = RTy::Arrow(ps, eff, ret, pair_reg);
+                        (
+                            RExp::FixVar {
+                                var: *v,
+                                rargs: inst
+                                    .reg_actuals
+                                    .iter()
+                                    .map(|&r| RegVar(r))
+                                    .collect(),
+                                at: RegVar(pair_reg),
+                            },
+                            ty,
+                        )
+                    }
+                }
+            }
+            LExp::Int(n) => (RExp::Int(*n), RTy::Int),
+            LExp::Bool(b) => (RExp::Bool(*b), RTy::Bool),
+            LExp::Unit => (RExp::Unit, RTy::Unit),
+            LExp::Str(s) => {
+                // Constants live in the data segment; the region in the
+                // type is never allocated into.
+                let r = self.st.fresh_reg();
+                (RExp::Str(s.clone()), RTy::Str(r))
+            }
+            LExp::Real(x) => {
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (RExp::Real(*x, RegVar(r)), RTy::Real(r))
+            }
+            LExp::Prim(p, args) => self.ann_prim(*p, args),
+            LExp::Record(es) => {
+                let mut res = Vec::new();
+                let mut tys = Vec::new();
+                for e in es {
+                    let (re, t) = self.ann(e);
+                    res.push(re);
+                    tys.push(t);
+                }
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (RExp::Record(res, RegVar(r)), RTy::Tuple(tys, r))
+            }
+            LExp::Select { i, arity, tup } => {
+                let (re, t) = self.ann(tup);
+                let comps: Vec<RTy> = (0..*arity).map(|_| self.st.fresh_ty()).collect();
+                let reg = self.st.fresh_reg();
+                self.st.unify(&t, &RTy::Tuple(comps.clone(), reg));
+                self.get_ty(&t);
+                (RExp::Select(*i, Box::new(re)), comps[*i].clone())
+            }
+            LExp::Con { tycon, con, arg, .. } => self.ann_con(*tycon, *con, arg.as_deref()),
+            LExp::DeCon { tycon, con, scrut } => {
+                let (rs, t) = self.ann(scrut);
+                let arity = self.prog.data.get(*tycon).arity;
+                let want_targs: Vec<RTy> =
+                    (0..arity).map(|_| self.st.fresh_ty()).collect();
+                let want_reg = self.st.fresh_reg();
+                self.st.unify(&t, &RTy::Con(*tycon, want_targs, want_reg));
+                self.get_ty(&t);
+                let RTy::Con(_, targs, spine) = self.st.resolve(&t) else {
+                    unreachable!()
+                };
+                let scheme = self.prog.data.get(*tycon).constructors[con.0 as usize]
+                    .arg
+                    .clone()
+                    .expect("decon of nullary constructor");
+                let arg_ty = self.conv_scheme(&scheme, *tycon, &targs, spine, true);
+                (
+                    RExp::DeCon { tycon: *tycon, con: *con, scrut: Box::new(rs) },
+                    arg_ty,
+                )
+            }
+            LExp::SwitchCon { scrut, tycon, arms, default } => {
+                let (rs, t) = self.ann(scrut);
+                let arity = self.prog.data.get(*tycon).arity;
+                let want_targs: Vec<RTy> =
+                    (0..arity).map(|_| self.st.fresh_ty()).collect();
+                let want_reg = self.st.fresh_reg();
+                self.st.unify(&t, &RTy::Con(*tycon, want_targs, want_reg));
+                self.get_ty(&t);
+                let result = self.st.fresh_ty();
+                let mut rarms = Vec::new();
+                for (c, a) in arms {
+                    let (ra, ta) = self.ann_armed(a);
+                    self.st.unify(&ta, &result);
+                    rarms.push((*c, ra));
+                }
+                let rdefault = default.as_ref().map(|d| {
+                    let (rd, td) = self.ann_armed(d);
+                    self.st.unify(&td, &result);
+                    Box::new(rd)
+                });
+                (
+                    RExp::SwitchCon {
+                        scrut: Box::new(rs),
+                        tycon: *tycon,
+                        arms: rarms,
+                        default: rdefault,
+                    },
+                    result,
+                )
+            }
+            LExp::SwitchInt { scrut, arms, default } => {
+                let (rs, _t) = self.ann(scrut);
+                let result = self.st.fresh_ty();
+                let mut rarms = Vec::new();
+                for (k, a) in arms {
+                    let (ra, ta) = self.ann_armed(a);
+                    self.st.unify(&ta, &result);
+                    rarms.push((*k, ra));
+                }
+                let (rd, td) = self.ann_armed(default);
+                self.st.unify(&td, &result);
+                (
+                    RExp::SwitchInt { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    result,
+                )
+            }
+            LExp::SwitchStr { scrut, arms, default } => {
+                let (rs, t) = self.ann(scrut);
+                self.get_ty(&t);
+                let result = self.st.fresh_ty();
+                let mut rarms = Vec::new();
+                for (k, a) in arms {
+                    let (ra, ta) = self.ann_armed(a);
+                    self.st.unify(&ta, &result);
+                    rarms.push((k.clone(), ra));
+                }
+                let (rd, td) = self.ann_armed(default);
+                self.st.unify(&td, &result);
+                (
+                    RExp::SwitchStr { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    result,
+                )
+            }
+            LExp::SwitchExn { scrut, arms, default } => {
+                let (rs, t) = self.ann(scrut);
+                self.get_ty(&t);
+                let result = self.st.fresh_ty();
+                let mut rarms = Vec::new();
+                for (k, a) in arms {
+                    let (ra, ta) = self.ann_armed(a);
+                    self.st.unify(&ta, &result);
+                    rarms.push((*k, ra));
+                }
+                let (rd, td) = self.ann_armed(default);
+                self.st.unify(&td, &result);
+                (
+                    RExp::SwitchExn { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    result,
+                )
+            }
+            LExp::If(c, th, el) => {
+                let (rc, _) = self.ann(c);
+                let (rt, tt) = self.ann_armed(th);
+                let (re, te) = self.ann_armed(el);
+                self.st.unify(&tt, &te);
+                (RExp::If(Box::new(rc), Box::new(rt), Box::new(re)), tt)
+            }
+            LExp::Fn { params, body, .. } => {
+                let ptys: Vec<RTy> = params.iter().map(|_| self.st.fresh_ty()).collect();
+                for ((v, _), t) in params.iter().zip(&ptys) {
+                    self.env.insert(*v, Bind::Mono(t.clone()));
+                }
+                let eff = self.st.fresh_eff();
+                self.cur_eff.push(eff);
+                let (rb, tb) = self.ann(body);
+                let rb = self.marker(rb, &tb, body);
+                self.cur_eff.pop();
+                let clos = self.st.fresh_reg();
+                self.put(clos);
+                self.weaken_captures(e, eff);
+                let ty = RTy::Arrow(ptys, eff, Box::new(tb), clos);
+                (
+                    RExp::Fn {
+                        params: params.iter().map(|(v, _)| *v).collect(),
+                        body: Box::new(rb),
+                        at: RegVar(clos),
+                    },
+                    ty,
+                )
+            }
+            LExp::App(f, args) => self.ann_app(f, args),
+            LExp::Let { var, rhs, body, .. } => {
+                let (rrhs, trhs) = {
+                    let (r, t) = self.ann(rhs);
+                    (self.marker(r, &t, rhs), t)
+                };
+                if is_value(rhs) {
+                    // Type-polymorphic, region-monomorphic generalization.
+                    // Only type variables reachable through the rhs's own
+                    // free variables can be shared with the environment.
+                    let fvs = rhs.free_vars();
+                    let (_frv, _fev, env_ftv) = self.env_free_sets(&fvs);
+                    let mut ftv = BTreeSet::new();
+                    self.st.ftv(&trhs, &mut ftv);
+                    let qtys: Vec<u32> = ftv.difference(&env_ftv).copied().collect();
+                    self.env.insert(
+                        *var,
+                        Bind::PolyVal(RScheme {
+                            qtys,
+                            qregs: Vec::new(),
+                            qeffs: Vec::new(),
+                            ty: trhs,
+                        }),
+                    );
+                } else {
+                    self.env.insert(*var, Bind::Mono(trhs));
+                }
+                let (rb, tb) = self.ann(body);
+                (
+                    RExp::Let { var: *var, rhs: Box::new(rrhs), body: Box::new(rb) },
+                    tb,
+                )
+            }
+            LExp::Fix { funs, body } => self.ann_fix(funs, body),
+            LExp::ExCon { exn, arg } => {
+                let info = self.prog.exns.get(*exn).clone();
+                match (arg, info.arg) {
+                    (None, _) => (RExp::ExCon { exn: *exn, arg: None, at: None }, {
+                        let r = self.st.fresh_reg();
+                        RTy::Exn(r)
+                    }),
+                    (Some(a), _) => {
+                        let (ra, ta) = self.ann(a);
+                        // Exception payloads escape non-locally (raising
+                        // unwinds the region stack), so their regions are
+                        // forced global.
+                        let mut f = BTreeSet::new();
+                        self.st.frv(&ta, &mut f);
+                        self.global_frv.extend(f);
+                        let r = self.st.fresh_reg();
+                        self.put(r);
+                        self.global_frv.insert(r);
+                        (
+                            RExp::ExCon {
+                                exn: *exn,
+                                arg: Some(Box::new(ra)),
+                                at: Some(RegVar(r)),
+                            },
+                            RTy::Exn(r),
+                        )
+                    }
+                }
+            }
+            LExp::DeExn { exn, scrut } => {
+                let (rs, t) = self.ann(scrut);
+                self.get_ty(&t);
+                let arg_lty = self
+                    .prog
+                    .exns
+                    .get(*exn)
+                    .arg
+                    .clone()
+                    .expect("deexn of nullary exception");
+                let ty = self.rty_of_lty(&arg_lty);
+                // The payload regions were forced global at construction;
+                // fresh regions here are safe over-approximations that also
+                // become global through unification at use sites.
+                let mut f = BTreeSet::new();
+                self.st.frv(&ty, &mut f);
+                self.global_frv.extend(f);
+                (RExp::DeExn { exn: *exn, scrut: Box::new(rs) }, ty)
+            }
+            LExp::Raise { exp, .. } => {
+                let (re, t) = self.ann(exp);
+                let mut f = BTreeSet::new();
+                self.st.frv(&t, &mut f);
+                self.global_frv.extend(f);
+                (RExp::Raise(Box::new(re)), self.st.fresh_ty())
+            }
+            LExp::Handle { body, var, handler } => {
+                let (rb, tb) = {
+                    let (r, t) = self.ann(body);
+                    (self.marker(r, &t, body), t)
+                };
+                let exn_reg = self.st.fresh_reg();
+                self.global_frv.insert(exn_reg);
+                self.env.insert(*var, Bind::Mono(RTy::Exn(exn_reg)));
+                let (rh, th) = {
+                    let (r, t) = self.ann(handler);
+                    (self.marker(r, &t, handler), t)
+                };
+                self.st.unify(&tb, &th);
+                (
+                    RExp::Handle { body: Box::new(rb), var: *var, handler: Box::new(rh) },
+                    tb,
+                )
+            }
+        }
+    }
+
+    /// Annotates a branch arm, wrapping it in a letregion candidate.
+    fn ann_armed(&mut self, e: &LExp) -> (RExp, RTy) {
+        let (r, t) = self.ann(e);
+        (self.marker(r, &t, e), t)
+    }
+
+    fn ann_con(&mut self, tycon: TyConId, con: ConId, arg: Option<&LExp>) -> (RExp, RTy) {
+        let dt = self.prog.data.get(tycon);
+        let arity = dt.arity;
+        let scheme = dt.constructors[con.0 as usize].arg.clone();
+        let targs: Vec<RTy> = (0..arity).map(|_| self.st.fresh_ty()).collect();
+        let spine = self.st.fresh_reg();
+        match (arg, scheme) {
+            (None, None) => (
+                RExp::Con { tycon, con, arg: None, at: None },
+                RTy::Con(tycon, targs, spine),
+            ),
+            (Some(a), Some(s)) => {
+                let (ra, ta) = self.ann(a);
+                let want = self.conv_scheme(&s, tycon, &targs, spine, true);
+                self.st.unify(&ta, &want);
+                self.put(spine);
+                (
+                    RExp::Con {
+                        tycon,
+                        con,
+                        arg: Some(Box::new(ra)),
+                        at: Some(RegVar(spine)),
+                    },
+                    RTy::Con(tycon, targs, spine),
+                )
+            }
+            _ => panic!("constructor arity mismatch in region inference"),
+        }
+    }
+
+    fn ann_prim(&mut self, p: Prim, args: &[LExp]) -> (RExp, RTy) {
+        let mut ras = Vec::new();
+        let mut tys = Vec::new();
+        for a in args {
+            let (ra, t) = self.ann(a);
+            ras.push(ra);
+            tys.push(t);
+        }
+        use Prim::*;
+        // Constrain operand types to the primitive's expected shapes (the
+        // operand may still be an unresolved variable otherwise).
+        match p {
+            RAdd | RSub | RMul | RDiv | RLt | RLe | RGt | RGe | REq => {
+                for t in &tys {
+                    let r = self.st.fresh_reg();
+                    self.st.unify(t, &RTy::Real(r));
+                }
+            }
+            RNeg | RAbs | Sqrt | Sin | Cos | Atan | Exp | Floor | Trunc | RtoS => {
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Real(r));
+            }
+            Ln => {
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Real(r));
+            }
+            StrEq | StrLt | StrConcat => {
+                for t in &tys {
+                    let r = self.st.fresh_reg();
+                    self.st.unify(t, &RTy::Str(r));
+                }
+            }
+            StrSize | Print => {
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Str(r));
+            }
+            StrSub => {
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Str(r));
+                self.st.unify(&tys[1], &RTy::Int);
+            }
+            RefGet | RefSet => {
+                let inner = self.st.fresh_ty();
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Ref(Box::new(inner), r));
+            }
+            RefEq => {
+                for t in &tys {
+                    let inner = self.st.fresh_ty();
+                    let r = self.st.fresh_reg();
+                    self.st.unify(t, &RTy::Ref(Box::new(inner), r));
+                }
+            }
+            ArrSub | ArrUpd | ArrLen => {
+                let inner = self.st.fresh_ty();
+                let r = self.st.fresh_reg();
+                self.st.unify(&tys[0], &RTy::Array(Box::new(inner), r));
+            }
+            ArrEq => {
+                for t in &tys {
+                    let inner = self.st.fresh_ty();
+                    let r = self.st.fresh_reg();
+                    self.st.unify(t, &RTy::Array(Box::new(inner), r));
+                }
+            }
+            _ => {}
+        }
+        // Reads touch the operands' outer regions.
+        for t in &tys {
+            self.get_ty(t);
+        }
+        let (place, ty): (Option<Reg>, RTy) = match p {
+            IAdd | ISub | IMul | IDiv | IMod | INeg | IAbs => (None, RTy::Int),
+            ILt | ILe | IGt | IGe | IEq => (None, RTy::Bool),
+            RLt | RLe | RGt | RGe | REq => (None, RTy::Bool),
+            RAdd | RSub | RMul | RDiv | RNeg | RAbs | IntToReal | Sqrt | Sin | Cos
+            | Atan | Ln | Exp => {
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (Some(r), RTy::Real(r))
+            }
+            Floor | Trunc => (None, RTy::Int),
+            StrEq | StrLt => (None, RTy::Bool),
+            StrConcat | ItoS | RtoS | Chr => {
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (Some(r), RTy::Str(r))
+            }
+            StrSize | StrSub => (None, RTy::Int),
+            Print => (None, RTy::Unit),
+            RefNew => {
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (Some(r), RTy::Ref(Box::new(tys[0].clone()), r))
+            }
+            RefGet => {
+                let RTy::Ref(inner, _) = self.st.resolve(&tys[0]) else {
+                    panic!("deref of non-ref")
+                };
+                (None, (*inner).clone())
+            }
+            RefSet => {
+                let RTy::Ref(inner, _) = self.st.resolve(&tys[0]) else {
+                    panic!("assign to non-ref")
+                };
+                self.st.unify(&inner, &tys[1]);
+                (None, RTy::Unit)
+            }
+            RefEq | ArrEq => (None, RTy::Bool),
+            ArrNew => {
+                let r = self.st.fresh_reg();
+                self.put(r);
+                (Some(r), RTy::Array(Box::new(tys[1].clone()), r))
+            }
+            ArrSub => {
+                let RTy::Array(inner, _) = self.st.resolve(&tys[0]) else {
+                    panic!("sub of non-array")
+                };
+                (None, (*inner).clone())
+            }
+            ArrUpd => {
+                let RTy::Array(inner, _) = self.st.resolve(&tys[0]) else {
+                    panic!("update of non-array")
+                };
+                self.st.unify(&inner, &tys[2]);
+                (None, RTy::Unit)
+            }
+            ArrLen => (None, RTy::Int),
+        };
+        (RExp::Prim(p, ras, place.map(RegVar)), ty)
+    }
+
+    fn ann_app(&mut self, f: &LExp, args: &[LExp]) -> (RExp, RTy) {
+        // Known call to a fix-bound function?
+        if let LExp::Var(v) = f {
+            if let Some(Bind::Fix(s)) = self.env.get(v).cloned() {
+                let inst: Instance = self.st.instantiate(&s);
+                let RTy::Arrow(ps, eff, ret, shared_reg) = self.st.resolve(&inst.ty)
+                else {
+                    panic!("fix function with non-arrow type")
+                };
+                assert_eq!(ps.len(), args.len(), "fix call arity mismatch");
+                let mut rargs_exps = Vec::new();
+                for (a, pt) in args.iter().zip(&ps) {
+                    let (ra, ta) = self.ann(a);
+                    self.st.unify(&ta, pt);
+                    rargs_exps.push(ra);
+                }
+                let e = self.eff();
+                self.st.eff_add_child(e, eff);
+                self.st.eff_add_reg(e, shared_reg);
+                return (
+                    RExp::App {
+                        callee: Box::new(RExp::Var(*v)),
+                        rargs: inst.reg_actuals.iter().map(|&r| RegVar(r)).collect(),
+                        args: rargs_exps,
+                    },
+                    (*ret).clone(),
+                );
+            }
+        }
+        let (rf, tf) = self.ann(f);
+        let mut ras = Vec::new();
+        let mut tys = Vec::new();
+        for a in args {
+            let (ra, t) = self.ann(a);
+            ras.push(ra);
+            tys.push(t);
+        }
+        let eff = self.st.fresh_eff();
+        let ret = self.st.fresh_ty();
+        let clos = self.st.fresh_reg();
+        let want = RTy::Arrow(tys, eff, Box::new(ret.clone()), clos);
+        self.st.unify(&tf, &want);
+        let e = self.eff();
+        self.st.eff_add_child(e, eff);
+        self.st.eff_add_reg(e, clos);
+        (
+            RExp::App { callee: Box::new(rf), rargs: Vec::new(), args: ras },
+            ret,
+        )
+    }
+
+    /// §2.6 weakening: captured values' regions join the closure's latent
+    /// effect so they cannot be deallocated while the closure lives.
+    fn weaken_captures(&mut self, lexp: &LExp, eff: Eff) {
+        if !self.gc_safe {
+            return;
+        }
+        for v in lexp.free_vars() {
+            let Some(b) = self.env.get(&v).cloned() else { continue };
+            let ty = match b {
+                Bind::Mono(t) => t,
+                Bind::PolyVal(s) | Bind::Fix(s) => s.ty,
+            };
+            let mut f = BTreeSet::new();
+            self.st.frv(&ty, &mut f);
+            for r in f {
+                self.st.eff_add_reg(eff, r);
+            }
+        }
+    }
+
+    fn ann_fix(&mut self, funs: &[FixFun], body: &LExp) -> (RExp, RTy) {
+        const MAX_ITERS: usize = 6;
+        let group: Vec<VarId> = funs.iter().map(|f| f.var).collect();
+        let fix_node_fvs = {
+            // Free variables of the fix node itself (excluding the group).
+            let mut fvs = BTreeSet::new();
+            for f in funs {
+                fvs.extend(f.body.free_vars());
+            }
+            for f in funs {
+                fvs.remove(&f.var);
+                for (p, _) in &f.params {
+                    fvs.remove(p);
+                }
+            }
+            fvs
+        };
+        let (env_frv, env_fev, env_ftv) = self.env_free_sets(&fix_node_fvs);
+
+        // One shared closure region for the whole group; it is never
+        // quantified (the closure is allocated exactly once).
+        let shared_reg = self.st.fresh_reg();
+        let mut env_frv_plus = env_frv.clone();
+        env_frv_plus.insert(shared_reg);
+
+        // Iteration 0: region-monomorphic recursion.
+        let mut schemes: Vec<RScheme> = Vec::new();
+        let mut bodies: Vec<(Vec<RExp>, Vec<RTy>)> = Vec::new(); // per-iteration
+        let mut converged = false;
+        for iter in 0..=MAX_ITERS {
+            // Fresh arrow skeletons for this round.
+            let mut arrows = Vec::new();
+            for f in funs {
+                let ptys: Vec<RTy> = f.params.iter().map(|_| self.st.fresh_ty()).collect();
+                let ret = self.st.fresh_ty();
+                let eff = self.st.fresh_eff();
+                arrows.push(RTy::Arrow(ptys, eff, Box::new(ret), shared_reg));
+            }
+            // Bind the group: monomorphic in round 0, then against the
+            // previous round's schemes (region-polymorphic recursion).
+            if iter == 0 {
+                for (f, arrow) in funs.iter().zip(&arrows) {
+                    self.env.insert(f.var, Bind::Mono(arrow.clone()));
+                }
+            } else {
+                for (i, f) in funs.iter().enumerate() {
+                    self.env.insert(f.var, Bind::Fix(schemes[i].clone()));
+                }
+            }
+            // Annotate bodies against this round's skeletons.
+            let mut rbodies = Vec::new();
+            for (f, arrow) in funs.iter().zip(&arrows) {
+                let RTy::Arrow(ptys, eff, ret, _) = arrow else { unreachable!() };
+                for ((v, _), t) in f.params.iter().zip(ptys) {
+                    self.env.insert(*v, Bind::Mono(t.clone()));
+                }
+                self.cur_eff.push(*eff);
+                let (rb, tb) = self.ann(&f.body);
+                let rb = self.marker(rb, &tb, &f.body);
+                self.cur_eff.pop();
+                self.st.unify(&tb, ret);
+                self.weaken_captures(
+                    &LExp::Fix { funs: funs.to_vec(), body: Box::new(LExp::Unit) },
+                    *eff,
+                );
+                rbodies.push(rb);
+            }
+            // Generalize this round's arrows.
+            let new_schemes: Vec<RScheme> = arrows
+                .iter()
+                .map(|a| self.st.generalize(a, &env_frv_plus, &env_fev, &env_ftv))
+                .collect();
+            let same = !schemes.is_empty()
+                && schemes
+                    .iter()
+                    .zip(&new_schemes)
+                    .all(|(a, b)| self.scheme_alpha_eq(a, b));
+            if std::env::var_os("KIT_REGION_DEBUG").is_some() {
+                for (f, sch) in funs.iter().zip(&new_schemes) {
+                    let shown = self.show_ty(&sch.ty);
+                    eprintln!(
+                        "[region] iter {iter} {}: qtys={} qregs={:?} qeffs={} same={same} ty={shown}",
+                        self.prog.vars.name(f.var),
+                        sch.qtys.len(),
+                        sch.qregs,
+                        sch.qeffs.len()
+                    );
+                }
+            }
+            bodies.push((rbodies, arrows));
+            schemes = new_schemes;
+            if same {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            if std::env::var_os("KIT_REGION_DEBUG").is_some() {
+                for f in funs {
+                    eprintln!(
+                        "[region] fixpoint fallback: {}",
+                        self.prog.vars.name(f.var)
+                    );
+                }
+            }
+            // Fall back to the sound region-monomorphic result: redo one
+            // round with Mono bindings.
+            let mut arrows = Vec::new();
+            for f in funs {
+                let ptys: Vec<RTy> = f.params.iter().map(|_| self.st.fresh_ty()).collect();
+                let ret = self.st.fresh_ty();
+                let eff = self.st.fresh_eff();
+                arrows.push(RTy::Arrow(ptys, eff, Box::new(ret), shared_reg));
+            }
+            for (f, arrow) in funs.iter().zip(&arrows) {
+                self.env.insert(f.var, Bind::Mono(arrow.clone()));
+            }
+            let mut rbodies = Vec::new();
+            for (f, arrow) in funs.iter().zip(&arrows) {
+                let RTy::Arrow(ptys, eff, ret, _) = arrow else { unreachable!() };
+                for ((v, _), t) in f.params.iter().zip(ptys) {
+                    self.env.insert(*v, Bind::Mono(t.clone()));
+                }
+                self.cur_eff.push(*eff);
+                let (rb, tb) = self.ann(&f.body);
+                let rb = self.marker(rb, &tb, &f.body);
+                self.cur_eff.pop();
+                self.st.unify(&tb, ret);
+                rbodies.push(rb);
+            }
+            // Region/effect-monomorphic, but still type-polymorphic —
+            // HM already established type generality; only region and
+            // effect quantification depends on the fixed point.
+            schemes = arrows
+                .iter()
+                .map(|a| {
+                    let mut s =
+                        self.st.generalize(a, &env_frv_plus, &env_fev, &env_ftv);
+                    s.qregs.clear();
+                    s.qeffs.clear();
+                    s
+                })
+                .collect();
+            bodies.push((rbodies, arrows));
+        }
+
+        let (final_bodies, _arrows) = bodies.pop().unwrap();
+
+        // Determine runtime formals: quantified regions that actually
+        // receive allocations in the body (syntactic places / rargs).
+        for (i, f) in funs.iter().enumerate() {
+            let mut occ = BTreeSet::new();
+            collect_places(&final_bodies[i], &mut self.st, &mut occ);
+            let formal_idx: Vec<usize> = schemes[i]
+                .qregs
+                .iter()
+                .enumerate()
+                .filter(|(_, &q)| occ.contains(&self.st.find_reg_ro(q)))
+                .map(|(k, _)| k)
+                .collect();
+            self.fixmeta.insert(f.var, FixMeta { formal_idx });
+        }
+
+        // Bind the final schemes for the let-body.
+        for (f, s) in funs.iter().zip(&schemes) {
+            self.env.insert(f.var, Bind::Fix(s.clone()));
+        }
+        self.put(shared_reg);
+        let (rb, tb) = self.ann(body);
+        let rfuns: Vec<RFixFun> = funs
+            .iter()
+            .zip(final_bodies)
+            .zip(&schemes)
+            .map(|((f, rbody), s)| RFixFun {
+                var: f.var,
+                formals: s.qregs.iter().map(|&r| RegVar(r)).collect(), // filtered in finalize
+                params: f.params.iter().map(|(v, _)| *v).collect(),
+                body: rbody,
+            })
+            .collect();
+        let _ = group;
+        (
+            RExp::Fix { funs: rfuns, body: Box::new(rb), at: RegVar(shared_reg) },
+            tb,
+        )
+    }
+
+    /// Alpha-equivalence of two schemes (quantified variables matched by a
+    /// bijection built during a parallel walk; free variables must be the
+    /// same canonical representatives).
+    fn scheme_alpha_eq(&mut self, a: &RScheme, b: &RScheme) -> bool {
+        if a.qtys.len() != b.qtys.len()
+            || a.qregs.len() != b.qregs.len()
+            || a.qeffs.len() != b.qeffs.len()
+        {
+            return false;
+        }
+        let qa: BTreeSet<Reg> = a.qregs.iter().map(|&r| self.st.find_reg(r)).collect();
+        let qb: BTreeSet<Reg> = b.qregs.iter().map(|&r| self.st.find_reg(r)).collect();
+        let ea: BTreeSet<Eff> = a.qeffs.iter().map(|&e| self.st.find_eff(e)).collect();
+        let eb: BTreeSet<Eff> = b.qeffs.iter().map(|&e| self.st.find_eff(e)).collect();
+        let mut rmap = HashMap::new();
+        let mut emap = HashMap::new();
+        let ta = a.ty.clone();
+        let tb = b.ty.clone();
+        self.ty_alpha_eq(&ta, &tb, &qa, &qb, &ea, &eb, &mut rmap, &mut emap)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ty_alpha_eq(
+        &mut self,
+        a: &RTy,
+        b: &RTy,
+        qa: &BTreeSet<Reg>,
+        qb: &BTreeSet<Reg>,
+        ea: &BTreeSet<Eff>,
+        eb: &BTreeSet<Eff>,
+        rmap: &mut HashMap<Reg, Reg>,
+        emap: &mut HashMap<Eff, Eff>,
+    ) -> bool {
+        let ra = self.st.resolve(a);
+        let rb = self.st.resolve(b);
+        let reg_eq = |st: &mut Stores,
+                          r1: Reg,
+                          r2: Reg,
+                          rmap: &mut HashMap<Reg, Reg>| {
+            let c1 = st.find_reg(r1);
+            let c2 = st.find_reg(r2);
+            match (qa.contains(&c1), qb.contains(&c2)) {
+                (true, true) => *rmap.entry(c1).or_insert(c2) == c2,
+                (false, false) => c1 == c2,
+                _ => false,
+            }
+        };
+        match (&ra, &rb) {
+            (RTy::Var(_), RTy::Var(_)) => true, // type vars: shape only
+            (RTy::Int, RTy::Int) | (RTy::Bool, RTy::Bool) | (RTy::Unit, RTy::Unit) => true,
+            (RTy::Real(r1), RTy::Real(r2))
+            | (RTy::Str(r1), RTy::Str(r2))
+            | (RTy::Exn(r1), RTy::Exn(r2)) => reg_eq(&mut self.st, *r1, *r2, rmap),
+            (RTy::Tuple(x, r1), RTy::Tuple(y, r2)) if x.len() == y.len() => {
+                if !reg_eq(&mut self.st, *r1, *r2, rmap) {
+                    return false;
+                }
+                x.iter()
+                    .zip(y)
+                    .all(|(p, q)| self.ty_alpha_eq(p, q, qa, qb, ea, eb, rmap, emap))
+            }
+            (RTy::Arrow(x, e1, xr, r1), RTy::Arrow(y, e2, yr, r2)) if x.len() == y.len() => {
+                if !reg_eq(&mut self.st, *r1, *r2, rmap) {
+                    return false;
+                }
+                let c1 = self.st.find_eff(*e1);
+                let c2 = self.st.find_eff(*e2);
+                // Effects are compared positionally only: their member
+                // sets are monotone over-approximations that may keep
+                // growing without affecting the quantification shape.
+                let eff_ok = match (ea.contains(&c1), eb.contains(&c2)) {
+                    (true, true) => *emap.entry(c1).or_insert(c2) == c2,
+                    (false, false) => c1 == c2,
+                    _ => false,
+                };
+                if !eff_ok {
+                    return false;
+                }
+                if !x
+                    .iter()
+                    .zip(y)
+                    .all(|(p, q)| self.ty_alpha_eq(p, q, qa, qb, ea, eb, rmap, emap))
+                {
+                    return false;
+                }
+                self.ty_alpha_eq(xr, yr, qa, qb, ea, eb, rmap, emap)
+            }
+            (RTy::Con(c1, x, r1), RTy::Con(c2, y, r2)) if c1 == c2 && x.len() == y.len() => {
+                if !reg_eq(&mut self.st, *r1, *r2, rmap) {
+                    return false;
+                }
+                x.iter()
+                    .zip(y)
+                    .all(|(p, q)| self.ty_alpha_eq(p, q, qa, qb, ea, eb, rmap, emap))
+            }
+            (RTy::Ref(x, r1), RTy::Ref(y, r2)) | (RTy::Array(x, r1), RTy::Array(y, r2)) => {
+                reg_eq(&mut self.st, *r1, *r2, rmap)
+                    && self.ty_alpha_eq(x, y, qa, qb, ea, eb, rmap, emap)
+            }
+            _ => false,
+        }
+    }
+
+    /// Debug rendering of a resolved type with canonical region ids.
+    fn show_ty(&mut self, ty: &RTy) -> String {
+        match self.st.resolve(ty) {
+            RTy::Var(v) => format!("'t{v}"),
+            RTy::Int => "int".into(),
+            RTy::Bool => "bool".into(),
+            RTy::Unit => "unit".into(),
+            RTy::Real(r) => format!("real@{}", self.st.find_reg(r)),
+            RTy::Str(r) => format!("str@{}", self.st.find_reg(r)),
+            RTy::Exn(r) => format!("exn@{}", self.st.find_reg(r)),
+            RTy::Tuple(ts, r) => {
+                let inner: Vec<String> = ts.iter().map(|t| self.show_ty(t)).collect();
+                format!("({})@{}", inner.join("*"), self.st.find_reg(r))
+            }
+            RTy::Arrow(ps, e, b, r) => {
+                let inner: Vec<String> = ps.iter().map(|t| self.show_ty(t)).collect();
+                let eb = self.show_ty(&b);
+                let ec = self.st.find_eff(e);
+                format!("(({})-e{}->{})@{}", inner.join(","), ec, eb, self.st.find_reg(r))
+            }
+            RTy::Con(c, ts, r) => {
+                let inner: Vec<String> = ts.iter().map(|t| self.show_ty(t)).collect();
+                format!("C{}<{}>@{}", c.0, inner.join(","), self.st.find_reg(r))
+            }
+            RTy::Ref(t, r) => format!("ref({})@{}", self.show_ty(&t), self.st.find_reg(r)),
+            RTy::Array(t, r) => format!("arr({})@{}", self.show_ty(&t), self.st.find_reg(r)),
+        }
+    }
+
+    fn rty_of_lty(&mut self, t: &kit_lambda::ty::LTy) -> RTy {
+        use kit_lambda::ty::LTy;
+        match t {
+            LTy::TyVar(_) => self.st.fresh_ty(),
+            LTy::Int => RTy::Int,
+            LTy::Bool => RTy::Bool,
+            LTy::Unit => RTy::Unit,
+            LTy::Real => RTy::Real(self.st.fresh_reg()),
+            LTy::Str => RTy::Str(self.st.fresh_reg()),
+            LTy::Exn => RTy::Exn(self.st.fresh_reg()),
+            LTy::Con(c, ts) => {
+                let nts = ts.iter().map(|t| self.rty_of_lty(t)).collect();
+                RTy::Con(*c, nts, self.st.fresh_reg())
+            }
+            LTy::Arrow(a, b) => {
+                let na = self.rty_of_lty(a);
+                let nb = self.rty_of_lty(b);
+                let e = self.st.fresh_eff();
+                RTy::Arrow(vec![na], e, Box::new(nb), self.st.fresh_reg())
+            }
+            LTy::Tuple(ts) => {
+                let nts = ts.iter().map(|t| self.rty_of_lty(t)).collect();
+                RTy::Tuple(nts, self.st.fresh_reg())
+            }
+            LTy::Ref(t) => RTy::Ref(Box::new(self.rty_of_lty(t)), self.st.fresh_reg()),
+            LTy::Array(t) => RTy::Array(Box::new(self.rty_of_lty(t)), self.st.fresh_reg()),
+        }
+    }
+
+    // ----------------------------------------------------------- finalize
+
+    /// Resolves all region ids to dense numbering, filters fix formals and
+    /// call-site actuals to the runtime formals, and computes the marker
+    /// escape sets.
+    fn finalize(mut self, body: RExp) -> Annotated {
+        let mut dense: HashMap<Reg, RegVar> = HashMap::new();
+        let mut next = 0u32;
+        let mut canon = |st: &mut Stores, dense: &mut HashMap<Reg, RegVar>, r: RegVar| {
+            let c = st.find_reg(r.0);
+            *dense.entry(c).or_insert_with(|| {
+                let v = RegVar(next);
+                next += 1;
+                v
+            })
+        };
+
+        let mut body = body;
+        // Filter formals/rargs, then canonicalize places.
+        filter_formals(&mut body, &self.fixmeta);
+        rewrite_places(&mut body, &mut |r| canon(&mut self.st, &mut dense, r));
+
+        let marker_escapes: Vec<BTreeSet<RegVar>> = {
+            let mut out = Vec::with_capacity(self.markers.len());
+            let markers = std::mem::take(&mut self.markers);
+            for m in &markers {
+                let mut set = BTreeSet::new();
+                for (ty, excl) in &m.tys {
+                    let mut f = BTreeSet::new();
+                    self.st.frv(ty, &mut f);
+                    for q in excl {
+                        f.remove(&self.st.find_reg(*q));
+                    }
+                    for r in f {
+                        set.insert(canon(&mut self.st, &mut dense, RegVar(r)));
+                    }
+                }
+                out.push(set);
+            }
+            out
+        };
+        let global_escapes: BTreeSet<RegVar> = {
+            let g = std::mem::take(&mut self.global_frv);
+            g.into_iter()
+                .map(|r| canon(&mut self.st, &mut dense, RegVar(r)))
+                .collect()
+        };
+        Annotated {
+            prog: RProgram {
+                data: self.prog.data.clone(),
+                exns: self.prog.exns.clone(),
+                vars: self.prog.vars.clone(),
+                body,
+                globals: Vec::new(),
+                num_regvars: next,
+                mults: HashMap::new(),
+            },
+            marker_escapes,
+            global_escapes,
+        }
+    }
+}
+
+/// Collects all canonical places syntactically occurring in `e`.
+fn collect_places(e: &RExp, st: &mut Stores, out: &mut BTreeSet<Reg>) {
+    for p in e.own_places() {
+        let c = st.find_reg(p.0);
+        out.insert(c);
+    }
+    // Formals of nested fixes are binders, not occurrences; but their
+    // bodies' places still count (they are allocated through the formal at
+    // runtime, bound at call sites — for the *enclosing* function the rargs
+    // at call sites already count).
+    e.for_each_child(|c| collect_places(c, st, out));
+}
+
+/// Filters `Fix` formals and matching call-site/escape `rargs` down to the
+/// runtime formals (quantified regions with allocations).
+fn filter_formals(e: &mut RExp, meta: &HashMap<VarId, FixMeta>) {
+    e.for_each_child_mut(|c| filter_formals(c, meta));
+    match e {
+        RExp::Fix { funs, .. } => {
+            for f in funs {
+                if let Some(m) = meta.get(&f.var) {
+                    f.formals = m
+                        .formal_idx
+                        .iter()
+                        .map(|&i| f.formals[i])
+                        .collect();
+                }
+            }
+        }
+        RExp::App { callee, rargs, .. } => {
+            if let RExp::Var(v) = callee.as_ref() {
+                if let Some(m) = meta.get(v) {
+                    *rargs = m.formal_idx.iter().map(|&i| rargs[i]).collect();
+                }
+            }
+        }
+        RExp::FixVar { var, rargs, .. } => {
+            if let Some(m) = meta.get(var) {
+                *rargs = m.formal_idx.iter().map(|&i| rargs[i]).collect();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rewrites every place through `f` (canonicalization).
+fn rewrite_places(e: &mut RExp, f: &mut impl FnMut(RegVar) -> RegVar) {
+    match e {
+        RExp::Real(_, p) | RExp::Record(_, p) | RExp::Fn { at: p, .. } => *p = f(*p),
+        RExp::Fix { at, funs, .. } => {
+            *at = f(*at);
+            for fun in funs.iter_mut() {
+                for r in &mut fun.formals {
+                    *r = f(*r);
+                }
+            }
+        }
+        RExp::Prim(_, _, Some(p)) => *p = f(*p),
+        RExp::Con { at: Some(p), .. } | RExp::ExCon { at: Some(p), .. } => *p = f(*p),
+        RExp::FixVar { rargs, at, .. } => {
+            for r in rargs.iter_mut() {
+                *r = f(*r);
+            }
+            *at = f(*at);
+        }
+        RExp::App { rargs, .. } => {
+            for r in rargs.iter_mut() {
+                *r = f(*r);
+            }
+        }
+        _ => {}
+    }
+    e.for_each_child_mut(|c| rewrite_places(c, f));
+}
+
+/// Syntactic values may be generalized (type variables only).
+fn is_value(e: &LExp) -> bool {
+    match e {
+        LExp::Fn { .. }
+        | LExp::Var(_)
+        | LExp::Int(_)
+        | LExp::Real(_)
+        | LExp::Str(_)
+        | LExp::Bool(_)
+        | LExp::Unit => true,
+        LExp::Record(es) => es.iter().all(is_value),
+        LExp::Con { arg, .. } => arg.as_deref().map(is_value).unwrap_or(true),
+        _ => false,
+    }
+}

@@ -1,0 +1,180 @@
+//! `letregion` placement.
+//!
+//! A region variable ρ is bound at the *lowest* candidate point (marker)
+//! whose subtree contains every syntactic occurrence of ρ, provided ρ does
+//! not escape that point — i.e. ρ is absent from the type of the
+//! expression, from the types of its free variables, and from the global
+//! escape set (program result and exception payloads). Remaining regions
+//! become the program's **global regions** (the paper's `r1`, `r2`, ...),
+//! pushed at program start and popped at exit.
+
+use crate::annotate::Annotated;
+use crate::rexp::{Mult, RExp, RegVar};
+#[cfg(test)]
+use crate::rexp::RProgram;
+use std::collections::{BTreeSet, HashMap};
+
+/// Replaces [`RExp::Marker`]s with `letregion` bindings, filling
+/// `prog.globals` with the remaining regions.
+pub fn place(ann: &mut Annotated) {
+    let mut body = std::mem::replace(&mut ann.prog.body, RExp::Unit);
+    // Total occurrence counts: a region may only be bound at a marker whose
+    // subtree contains *every* occurrence (otherwise a sibling use — e.g.
+    // the actual region of a later call — would be out of scope).
+    let mut totals: HashMap<RegVar, usize> = HashMap::new();
+    count_occurrences(&body, &mut totals);
+    let mut bound = BTreeSet::new();
+    let occ = walk(
+        &mut body,
+        &ann.marker_escapes,
+        &ann.global_escapes,
+        &totals,
+        &mut bound,
+    );
+    // Everything not bound anywhere becomes a global region. Regions that
+    // never occur syntactically (e.g. the regions of string constants) are
+    // dropped entirely; the remaining set keeps a stable order.
+    let globals: Vec<(RegVar, Mult)> = occ
+        .keys()
+        .filter(|r| !bound.contains(r))
+        .map(|&r| (r, Mult::Infinite))
+        .collect();
+    ann.prog.globals = globals;
+    ann.prog.body = body;
+}
+
+fn count_occurrences(e: &RExp, out: &mut HashMap<RegVar, usize>) {
+    for p in e.own_places() {
+        *out.entry(p).or_default() += 1;
+    }
+    e.for_each_child(|c| count_occurrences(c, out));
+}
+
+/// Bottom-up walk returning the occurrence counts of the subtree; binds
+/// regions at markers and rewrites them into `Letregion` nodes.
+fn walk(
+    e: &mut RExp,
+    escapes: &[BTreeSet<RegVar>],
+    global: &BTreeSet<RegVar>,
+    totals: &HashMap<RegVar, usize>,
+    bound: &mut BTreeSet<RegVar>,
+) -> HashMap<RegVar, usize> {
+    let mut occ: HashMap<RegVar, usize> = HashMap::new();
+    for p in e.own_places() {
+        *occ.entry(p).or_default() += 1;
+    }
+    e.for_each_child_mut(|c| {
+        let sub = walk(c, escapes, global, totals, bound);
+        for (r, n) in sub {
+            *occ.entry(r).or_default() += n;
+        }
+    });
+    if let RExp::Marker { id, body } = e {
+        let esc = &escapes[*id as usize];
+        let cands: Vec<RegVar> = occ
+            .iter()
+            .filter(|(r, n)| {
+                !bound.contains(r)
+                    && !esc.contains(r)
+                    && !global.contains(r)
+                    && totals.get(r) == Some(n)
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        let inner = std::mem::replace(body.as_mut(), RExp::Unit);
+        if cands.is_empty() {
+            *e = inner;
+        } else {
+            bound.extend(cands.iter().copied());
+            *e = RExp::Letregion {
+                regs: cands.into_iter().map(|r| (r, Mult::Infinite)).collect(),
+                body: Box::new(inner),
+            };
+        }
+    }
+    occ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rexp::RExp;
+
+    fn marker(id: u32, body: RExp) -> RExp {
+        RExp::Marker { id, body: Box::new(body) }
+    }
+
+    #[test]
+    fn binds_local_region_at_marker() {
+        // marker 0 wraps an allocation at ρ0 whose escape set is empty.
+        let mut ann = Annotated {
+            prog: dummy_prog(marker(0, RExp::Record(vec![RExp::Int(1)], RegVar(0)))),
+            marker_escapes: vec![BTreeSet::new()],
+            global_escapes: BTreeSet::new(),
+        };
+        place(&mut ann);
+        let RExp::Letregion { regs, .. } = &ann.prog.body else {
+            panic!("expected letregion, got {:?}", ann.prog.body)
+        };
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, RegVar(0));
+        assert!(ann.prog.globals.is_empty());
+    }
+
+    #[test]
+    fn escaping_region_becomes_global() {
+        let mut esc = BTreeSet::new();
+        esc.insert(RegVar(0));
+        let mut ann = Annotated {
+            prog: dummy_prog(marker(0, RExp::Record(vec![RExp::Int(1)], RegVar(0)))),
+            marker_escapes: vec![esc],
+            global_escapes: BTreeSet::new(),
+        };
+        place(&mut ann);
+        assert!(matches!(ann.prog.body, RExp::Record(_, _)), "marker dissolved");
+        assert_eq!(ann.prog.globals, vec![(RegVar(0), Mult::Infinite)]);
+    }
+
+    #[test]
+    fn inner_marker_wins() {
+        // Nested markers: the inner one binds ρ0 first.
+        let inner = marker(1, RExp::Record(vec![RExp::Int(1)], RegVar(0)));
+        let outer = marker(0, inner);
+        let mut ann = Annotated {
+            prog: dummy_prog(outer),
+            marker_escapes: vec![BTreeSet::new(), BTreeSet::new()],
+            global_escapes: BTreeSet::new(),
+        };
+        place(&mut ann);
+        // The outer marker dissolves; the inner becomes the letregion.
+        let RExp::Letregion { regs, .. } = &ann.prog.body else {
+            panic!("expected letregion, got {:?}", ann.prog.body)
+        };
+        assert_eq!(regs[0].0, RegVar(0));
+    }
+
+    #[test]
+    fn global_escape_blocks_binding() {
+        let mut glob = BTreeSet::new();
+        glob.insert(RegVar(0));
+        let mut ann = Annotated {
+            prog: dummy_prog(marker(0, RExp::Record(vec![RExp::Int(1)], RegVar(0)))),
+            marker_escapes: vec![BTreeSet::new()],
+            global_escapes: glob,
+        };
+        place(&mut ann);
+        assert_eq!(ann.prog.globals.len(), 1);
+    }
+
+    fn dummy_prog(body: RExp) -> RProgram {
+        RProgram {
+            data: kit_lambda::ty::DataEnv::new(),
+            exns: kit_lambda::ty::ExnEnv::new(),
+            vars: kit_lambda::exp::VarTable::new(),
+            body,
+            globals: Vec::new(),
+            num_regvars: 8,
+            mults: Default::default(),
+        }
+    }
+}

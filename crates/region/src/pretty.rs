@@ -1,0 +1,277 @@
+//! Pretty printer for RegionExp (`--dump-regions` style output and golden
+//! tests).
+
+use crate::rexp::{Mult, RExp, RProgram, RegVar};
+use kit_lambda::exp::VarTable;
+use std::fmt::Write as _;
+
+/// Renders a RegionExp program, including its global regions.
+pub fn program_to_string(p: &RProgram) -> String {
+    let mut out = String::new();
+    let globals: Vec<String> = p.globals.iter().map(|(r, m)| reg_str(*r, *m)).collect();
+    let _ = writeln!(out, "globals [{}]", globals.join(", "));
+    let mut pr = Printer { vars: &p.vars, out: &mut out, indent: 0 };
+    pr.exp(&p.body);
+    out
+}
+
+fn reg_str(r: RegVar, m: Mult) -> String {
+    match m {
+        Mult::Finite => format!("r{}:1", r.0),
+        Mult::Infinite => format!("r{}:inf", r.0),
+    }
+}
+
+/// Renders one expression.
+pub fn exp_to_string(e: &RExp, vars: &VarTable) -> String {
+    let mut out = String::new();
+    let mut pr = Printer { vars, out: &mut out, indent: 0 };
+    pr.exp(e);
+    out
+}
+
+struct Printer<'a> {
+    vars: &'a VarTable,
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    fn nl(&mut self) {
+        let _ = write!(self.out, "\n{}", "  ".repeat(self.indent));
+    }
+
+    fn exp(&mut self, e: &RExp) {
+        match e {
+            RExp::Var(v) => {
+                let _ = write!(self.out, "{}_{}", self.vars.name(*v), v.0);
+            }
+            RExp::FixVar { var, rargs, at } => {
+                let rs: Vec<String> = rargs.iter().map(|r| format!("r{}", r.0)).collect();
+                let _ = write!(
+                    self.out,
+                    "{}_{}[{}] at r{}",
+                    self.vars.name(*var),
+                    var.0,
+                    rs.join(","),
+                    at.0
+                );
+            }
+            RExp::Int(n) => {
+                let _ = write!(self.out, "{n}");
+            }
+            RExp::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            RExp::Unit => self.out.push_str("()"),
+            RExp::Str(s) => {
+                let _ = write!(self.out, "{s:?}");
+            }
+            RExp::Real(x, p) => {
+                let _ = write!(self.out, "{x} at r{}", p.0);
+            }
+            RExp::Prim(p, args, at) => {
+                let _ = write!(self.out, "{p:?}(");
+                self.list(args);
+                self.out.push(')');
+                if let Some(r) = at {
+                    let _ = write!(self.out, " at r{}", r.0);
+                }
+            }
+            RExp::Record(es, p) => {
+                self.out.push('(');
+                self.list(es);
+                let _ = write!(self.out, ") at r{}", p.0);
+            }
+            RExp::Select(i, e) => {
+                let _ = write!(self.out, "#{i} ");
+                self.exp(e);
+            }
+            RExp::Con { tycon, con, arg, at } => {
+                let _ = write!(self.out, "C{}#{}", tycon.0, con.0);
+                if let Some(a) = arg {
+                    self.out.push('(');
+                    self.exp(a);
+                    self.out.push(')');
+                }
+                if let Some(r) = at {
+                    let _ = write!(self.out, " at r{}", r.0);
+                }
+            }
+            RExp::DeCon { scrut, .. } => {
+                self.out.push_str("decon ");
+                self.exp(scrut);
+            }
+            RExp::SwitchCon { scrut, arms, default, .. } => {
+                self.out.push_str("case ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (c, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| #{} => ", c.0);
+                    self.exp(a);
+                }
+                if let Some(d) = default {
+                    self.nl();
+                    self.out.push_str("| _ => ");
+                    self.exp(d);
+                }
+                self.indent -= 1;
+            }
+            RExp::SwitchInt { scrut, arms, default } => {
+                self.out.push_str("caseint ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| {k} => ");
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            RExp::SwitchStr { scrut, arms, default } => {
+                self.out.push_str("casestr ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| {k:?} => ");
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            RExp::SwitchExn { scrut, arms, default } => {
+                self.out.push_str("caseexn ");
+                self.exp(scrut);
+                self.indent += 1;
+                for (k, a) in arms {
+                    self.nl();
+                    let _ = write!(self.out, "| exn#{} => ", k.0);
+                    self.exp(a);
+                }
+                self.nl();
+                self.out.push_str("| _ => ");
+                self.exp(default);
+                self.indent -= 1;
+            }
+            RExp::If(c, t, f) => {
+                self.out.push_str("if ");
+                self.exp(c);
+                self.out.push_str(" then ");
+                self.exp(t);
+                self.out.push_str(" else ");
+                self.exp(f);
+            }
+            RExp::Fn { params, body, at } => {
+                self.out.push_str("(fn (");
+                for (i, v) in params.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    let _ = write!(self.out, "{}_{}", self.vars.name(*v), v.0);
+                }
+                self.out.push_str(") => ");
+                self.exp(body);
+                let _ = write!(self.out, ") at r{}", at.0);
+            }
+            RExp::App { callee, rargs, args } => {
+                self.out.push('[');
+                self.exp(callee);
+                self.out.push(']');
+                if !rargs.is_empty() {
+                    let rs: Vec<String> =
+                        rargs.iter().map(|r| format!("r{}", r.0)).collect();
+                    let _ = write!(self.out, "[{}]", rs.join(","));
+                }
+                self.out.push('(');
+                self.list(args);
+                self.out.push(')');
+            }
+            RExp::Let { var, rhs, body } => {
+                let _ = write!(self.out, "let {}_{} = ", self.vars.name(*var), var.0);
+                self.exp(rhs);
+                self.nl();
+                self.out.push_str("in ");
+                self.exp(body);
+            }
+            RExp::Fix { funs, body, at } => {
+                for (i, f) in funs.iter().enumerate() {
+                    self.out.push_str(if i == 0 { "fix " } else { "and " });
+                    let _ = write!(self.out, "{}_{}", self.vars.name(f.var), f.var.0);
+                    let rs: Vec<String> =
+                        f.formals.iter().map(|r| format!("r{}", r.0)).collect();
+                    let _ = write!(self.out, "[{}]", rs.join(","));
+                    self.out.push('(');
+                    for (j, v) in f.params.iter().enumerate() {
+                        if j > 0 {
+                            self.out.push_str(", ");
+                        }
+                        let _ = write!(self.out, "{}_{}", self.vars.name(*v), v.0);
+                    }
+                    let _ = write!(self.out, ") at r{} = ", at.0);
+                    self.indent += 1;
+                    self.nl();
+                    self.exp(&f.body);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                self.out.push_str("in ");
+                self.exp(body);
+            }
+            RExp::Letregion { regs, body } => {
+                let rs: Vec<String> = regs.iter().map(|(r, m)| reg_str(*r, *m)).collect();
+                let _ = write!(self.out, "letregion {} in", rs.join(", "));
+                self.indent += 1;
+                self.nl();
+                self.exp(body);
+                self.indent -= 1;
+                self.nl();
+                self.out.push_str("end");
+            }
+            RExp::Marker { id, body } => {
+                let _ = write!(self.out, "<marker {id}> ");
+                self.exp(body);
+            }
+            RExp::ExCon { exn, arg, at } => {
+                let _ = write!(self.out, "exn#{}", exn.0);
+                if let Some(a) = arg {
+                    self.out.push('(');
+                    self.exp(a);
+                    self.out.push(')');
+                }
+                if let Some(r) = at {
+                    let _ = write!(self.out, " at r{}", r.0);
+                }
+            }
+            RExp::DeExn { scrut, .. } => {
+                self.out.push_str("deexn ");
+                self.exp(scrut);
+            }
+            RExp::Raise(e) => {
+                self.out.push_str("raise ");
+                self.exp(e);
+            }
+            RExp::Handle { body, var, handler } => {
+                self.out.push('(');
+                self.exp(body);
+                let _ = write!(self.out, ") handle {}_{} => ", self.vars.name(*var), var.0);
+                self.exp(handler);
+            }
+        }
+    }
+
+    fn list(&mut self, es: &[RExp]) {
+        for (i, e) in es.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.exp(e);
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Region-annotated types, effects and their unification stores.
+//!
+//! Following Tofte–Talpin, every boxed type constructor carries a region
+//! variable and every arrow carries a *latent effect* — the set of regions
+//! the function may `put` into or `get` from when applied. Region variables
+//! live in a union-find store; effects are union-find nodes whose roots
+//! carry a set of atomic region effects plus links to other effect nodes
+//! (Talpin–Jouvelot style unification-based effect inference).
+
+use kit_lambda::ty::TyConId;
+use std::collections::{BTreeSet, HashMap};
+
+/// A region unification variable (index into [`Stores`]).
+pub type Reg = u32;
+/// An effect unification variable.
+pub type Eff = u32;
+/// A type unification variable.
+pub type TyV = u32;
+
+/// A region-annotated type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RTy {
+    /// Type unification variable (also erased source-level polymorphism).
+    Var(TyV),
+    /// Unboxed integer.
+    Int,
+    /// Unboxed boolean.
+    Bool,
+    /// Unboxed unit.
+    Unit,
+    /// Boxed real in a region.
+    Real(Reg),
+    /// String in a region (constants never inspect it).
+    Str(Reg),
+    /// Exception value in a region.
+    Exn(Reg),
+    /// Tuple in a region.
+    Tuple(Vec<RTy>, Reg),
+    /// Function: argument types, latent effect, result, closure region.
+    Arrow(Vec<RTy>, Eff, Box<RTy>, Reg),
+    /// Datatype in a region.
+    Con(TyConId, Vec<RTy>, Reg),
+    /// Reference cell in a region.
+    Ref(Box<RTy>, Reg),
+    /// Array in a region.
+    Array(Box<RTy>, Reg),
+}
+
+impl RTy {
+    /// The outermost region of a boxed type, if any.
+    pub fn outer_region(&self) -> Option<Reg> {
+        match self {
+            RTy::Real(r)
+            | RTy::Str(r)
+            | RTy::Exn(r)
+            | RTy::Tuple(_, r)
+            | RTy::Arrow(_, _, _, r)
+            | RTy::Con(_, _, r)
+            | RTy::Ref(_, r)
+            | RTy::Array(_, r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct EffNode {
+    parent: Option<Eff>,
+    regs: BTreeSet<Reg>,
+    children: BTreeSet<Eff>,
+}
+
+/// Union-find stores for regions, effects and type variables.
+#[derive(Debug, Default)]
+pub struct Stores {
+    reg_parent: Vec<Reg>,
+    effs: Vec<EffNode>,
+    tys: Vec<Option<RTy>>,
+}
+
+impl Stores {
+    /// Creates empty stores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -------------------------------------------------------------- regions
+
+    /// A fresh region variable.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = self.reg_parent.len() as Reg;
+        self.reg_parent.push(r);
+        r
+    }
+
+    /// Number of region variables created.
+    pub fn num_regs(&self) -> usize {
+        self.reg_parent.len()
+    }
+
+    /// Canonical representative of `r`.
+    pub fn find_reg(&mut self, r: Reg) -> Reg {
+        let p = self.reg_parent[r as usize];
+        if p == r {
+            return r;
+        }
+        let root = self.find_reg(p);
+        self.reg_parent[r as usize] = root;
+        root
+    }
+
+    /// Non-mutating find (no path compression).
+    pub fn find_reg_ro(&self, mut r: Reg) -> Reg {
+        while self.reg_parent[r as usize] != r {
+            r = self.reg_parent[r as usize];
+        }
+        r
+    }
+
+    /// Unifies two region variables.
+    pub fn union_reg(&mut self, a: Reg, b: Reg) {
+        let ra = self.find_reg(a);
+        let rb = self.find_reg(b);
+        if ra != rb {
+            self.reg_parent[ra as usize] = rb;
+        }
+    }
+
+    // -------------------------------------------------------------- effects
+
+    /// A fresh effect variable with empty effect.
+    pub fn fresh_eff(&mut self) -> Eff {
+        let e = self.effs.len() as Eff;
+        self.effs.push(EffNode::default());
+        e
+    }
+
+    /// Canonical representative of `e`.
+    pub fn find_eff(&mut self, e: Eff) -> Eff {
+        match self.effs[e as usize].parent {
+            None => e,
+            Some(p) => {
+                let root = self.find_eff(p);
+                self.effs[e as usize].parent = Some(root);
+                root
+            }
+        }
+    }
+
+    /// Adds an atomic region effect (`put`/`get` ρ) to `e`.
+    pub fn eff_add_reg(&mut self, e: Eff, r: Reg) {
+        let e = self.find_eff(e);
+        let r = self.find_reg(r);
+        self.effs[e as usize].regs.insert(r);
+    }
+
+    /// Makes `child`'s effect part of `e` (e.g. a call's latent effect
+    /// flowing into the caller's effect).
+    pub fn eff_add_child(&mut self, e: Eff, child: Eff) {
+        let e = self.find_eff(e);
+        let c = self.find_eff(child);
+        if e != c {
+            self.effs[e as usize].children.insert(c);
+        }
+    }
+
+    /// Unifies two effect variables, merging their sets.
+    pub fn union_eff(&mut self, a: Eff, b: Eff) {
+        let ra = self.find_eff(a);
+        let rb = self.find_eff(b);
+        if ra == rb {
+            return;
+        }
+        let node = std::mem::take(&mut self.effs[ra as usize]);
+        self.effs[ra as usize].parent = Some(rb);
+        let tgt = &mut self.effs[rb as usize];
+        tgt.regs.extend(node.regs);
+        tgt.children.extend(node.children);
+        self.effs[rb as usize].children.remove(&ra);
+    }
+
+    /// All (canonical) regions in the transitive closure of effect `e`.
+    pub fn eff_regs(&mut self, e: Eff) -> BTreeSet<Reg> {
+        let mut out = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        self.eff_regs_into(e, &mut out, &mut seen);
+        out
+    }
+
+    fn eff_regs_into(&mut self, e: Eff, out: &mut BTreeSet<Reg>, seen: &mut BTreeSet<Eff>) {
+        let e = self.find_eff(e);
+        if !seen.insert(e) {
+            return;
+        }
+        let regs: Vec<Reg> = self.effs[e as usize].regs.iter().copied().collect();
+        for r in regs {
+            let cr = self.find_reg(r);
+            out.insert(cr);
+        }
+        let children: Vec<Eff> = self.effs[e as usize].children.iter().copied().collect();
+        for c in children {
+            self.eff_regs_into(c, out, seen);
+        }
+    }
+
+    // ---------------------------------------------------------------- types
+
+    /// A fresh type variable.
+    pub fn fresh_ty(&mut self) -> RTy {
+        let t = self.tys.len() as TyV;
+        self.tys.push(None);
+        RTy::Var(t)
+    }
+
+    /// Resolves the outermost variable links of a type.
+    pub fn resolve(&self, ty: &RTy) -> RTy {
+        let mut t = ty.clone();
+        while let RTy::Var(v) = t {
+            match &self.tys[v as usize] {
+                Some(next) => t = next.clone(),
+                None => return RTy::Var(v),
+            }
+        }
+        t
+    }
+
+    /// Unifies two region-annotated types. `LambdaExp` is well-typed, so a
+    /// constructor mismatch is an internal error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type-constructor mismatch (compiler bug).
+    pub fn unify(&mut self, a: &RTy, b: &RTy) {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        match (&a, &b) {
+            (RTy::Var(x), RTy::Var(y)) if x == y => {}
+            (RTy::Var(x), _) => self.tys[*x as usize] = Some(b),
+            (_, RTy::Var(y)) => self.tys[*y as usize] = Some(a),
+            (RTy::Int, RTy::Int) | (RTy::Bool, RTy::Bool) | (RTy::Unit, RTy::Unit) => {}
+            (RTy::Real(r1), RTy::Real(r2))
+            | (RTy::Str(r1), RTy::Str(r2))
+            | (RTy::Exn(r1), RTy::Exn(r2)) => self.union_reg(*r1, *r2),
+            (RTy::Tuple(xs, r1), RTy::Tuple(ys, r2)) if xs.len() == ys.len() => {
+                self.union_reg(*r1, *r2);
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y);
+                }
+            }
+            (RTy::Arrow(a1, e1, b1, r1), RTy::Arrow(a2, e2, b2, r2))
+                if a1.len() == a2.len() =>
+            {
+                self.union_reg(*r1, *r2);
+                self.union_eff(*e1, *e2);
+                for (x, y) in a1.iter().zip(a2) {
+                    self.unify(x, y);
+                }
+                self.unify(b1, b2);
+            }
+            (RTy::Con(c1, xs, r1), RTy::Con(c2, ys, r2))
+                if c1 == c2 && xs.len() == ys.len() =>
+            {
+                self.union_reg(*r1, *r2);
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y);
+                }
+            }
+            (RTy::Ref(x, r1), RTy::Ref(y, r2)) | (RTy::Array(x, r1), RTy::Array(y, r2)) => {
+                self.union_reg(*r1, *r2);
+                self.unify(x, y);
+            }
+            _ => panic!("region unification mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Free (canonical) region variables of a type, including those in
+    /// latent effects.
+    pub fn frv(&mut self, ty: &RTy, out: &mut BTreeSet<Reg>) {
+        match self.resolve(ty) {
+            RTy::Var(_) | RTy::Int | RTy::Bool | RTy::Unit => {}
+            RTy::Real(r) | RTy::Str(r) | RTy::Exn(r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+            }
+            RTy::Tuple(ts, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                for t in &ts {
+                    self.frv(t, out);
+                }
+            }
+            RTy::Arrow(ps, e, b, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                for p in &ps {
+                    self.frv(p, out);
+                }
+                self.frv(&b, out);
+                let eff = self.eff_regs(e);
+                out.extend(eff);
+            }
+            RTy::Con(_, ts, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                for t in &ts {
+                    self.frv(t, out);
+                }
+            }
+            RTy::Ref(t, r) | RTy::Array(t, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                self.frv(&t, out);
+            }
+        }
+    }
+
+    /// Free (canonical) region variables of the type *skeleton* — like
+    /// [`Stores::frv`] but without closing over latent-effect sets. Used
+    /// for generalization: only skeleton regions are quantified (regions
+    /// that appear solely in effects are local to some body and will be
+    /// `letregion`-bound or become global); quantifying effect members
+    /// would make region-polymorphic recursion diverge.
+    pub fn frv_skel(&mut self, ty: &RTy, out: &mut BTreeSet<Reg>) {
+        match self.resolve(ty) {
+            RTy::Var(_) | RTy::Int | RTy::Bool | RTy::Unit => {}
+            RTy::Real(r) | RTy::Str(r) | RTy::Exn(r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+            }
+            RTy::Tuple(ts, r) | RTy::Con(_, ts, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                for t in &ts {
+                    self.frv_skel(t, out);
+                }
+            }
+            RTy::Arrow(ps, _, b, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                for p in &ps {
+                    self.frv_skel(p, out);
+                }
+                self.frv_skel(&b, out);
+            }
+            RTy::Ref(t, r) | RTy::Array(t, r) => {
+                let r = self.find_reg(r);
+                out.insert(r);
+                self.frv_skel(&t, out);
+            }
+        }
+    }
+
+    /// Free effect variables of a type (canonical roots).
+    pub fn fev(&mut self, ty: &RTy, out: &mut BTreeSet<Eff>) {
+        match self.resolve(ty) {
+            RTy::Arrow(ps, e, b, _) => {
+                let e = self.find_eff(e);
+                out.insert(e);
+                for p in &ps {
+                    self.fev(p, out);
+                }
+                self.fev(&b, out);
+            }
+            RTy::Tuple(ts, _) | RTy::Con(_, ts, _) => {
+                for t in &ts {
+                    self.fev(t, out);
+                }
+            }
+            RTy::Ref(t, _) | RTy::Array(t, _) => self.fev(&t, out),
+            _ => {}
+        }
+    }
+
+    /// Free type variables of a type.
+    pub fn ftv(&self, ty: &RTy, out: &mut BTreeSet<TyV>) {
+        match self.resolve(ty) {
+            RTy::Var(v) => {
+                out.insert(v);
+            }
+            RTy::Tuple(ts, _) | RTy::Con(_, ts, _) => {
+                for t in &ts {
+                    self.ftv(t, out);
+                }
+            }
+            RTy::Arrow(ps, _, b, _) => {
+                for p in &ps {
+                    self.ftv(p, out);
+                }
+                self.ftv(&b, out);
+            }
+            RTy::Ref(t, _) | RTy::Array(t, _) => self.ftv(&t, out),
+            _ => {}
+        }
+    }
+}
+
+/// A region type scheme: quantified type, region and effect variables.
+#[derive(Debug, Clone)]
+pub struct RScheme {
+    /// Quantified type variables (canonical at generalization time).
+    pub qtys: Vec<TyV>,
+    /// Quantified region variables.
+    pub qregs: Vec<Reg>,
+    /// Quantified effect variables.
+    pub qeffs: Vec<Eff>,
+    /// The body.
+    pub ty: RTy,
+}
+
+impl RScheme {
+    /// A monomorphic scheme.
+    pub fn mono(ty: RTy) -> Self {
+        RScheme { qtys: Vec::new(), qregs: Vec::new(), qeffs: Vec::new(), ty }
+    }
+}
+
+/// Result of instantiating a scheme: the type plus the region substitution
+/// (formal → actual), used to pass actual regions at known calls.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The instantiated type.
+    pub ty: RTy,
+    /// Region substitution, in `qregs` order.
+    pub reg_actuals: Vec<Reg>,
+}
+
+impl Stores {
+    /// Instantiates `s` with fresh region/effect/type variables.
+    pub fn instantiate(&mut self, s: &RScheme) -> Instance {
+        let mut tmap: HashMap<TyV, RTy> = HashMap::new();
+        for &q in &s.qtys {
+            let f = self.fresh_ty();
+            tmap.insert(q, f);
+        }
+        let mut rmap: HashMap<Reg, Reg> = HashMap::new();
+        let mut reg_actuals = Vec::new();
+        for &q in &s.qregs {
+            let f = self.fresh_reg();
+            rmap.insert(q, f);
+            reg_actuals.push(f);
+        }
+        let mut emap: HashMap<Eff, Eff> = HashMap::new();
+        for &q in &s.qeffs {
+            let f = self.fresh_eff();
+            emap.insert(q, f);
+        }
+        // Copy quantified effect sets under the substitution.
+        for &q in &s.qeffs {
+            let f = emap[&q];
+            let root = self.find_eff(q);
+            let regs: Vec<Reg> = self.effs[root as usize].regs.iter().copied().collect();
+            let children: Vec<Eff> =
+                self.effs[root as usize].children.iter().copied().collect();
+            for r in regs {
+                let cr = self.find_reg(r);
+                let nr = rmap.get(&cr).copied().unwrap_or(cr);
+                self.effs[f as usize].regs.insert(nr);
+            }
+            for c in children {
+                let cc = self.find_eff(c);
+                let nc = emap.get(&cc).copied().unwrap_or(cc);
+                if nc != f {
+                    self.effs[f as usize].children.insert(nc);
+                }
+            }
+        }
+        let ty = self.copy_ty(&s.ty, &tmap, &rmap, &emap);
+        Instance { ty, reg_actuals }
+    }
+
+    fn copy_ty(
+        &mut self,
+        ty: &RTy,
+        tmap: &HashMap<TyV, RTy>,
+        rmap: &HashMap<Reg, Reg>,
+        emap: &HashMap<Eff, Eff>,
+    ) -> RTy {
+        let sub_r = |st: &mut Self, r: Reg| {
+            let c = st.find_reg(r);
+            rmap.get(&c).copied().unwrap_or(c)
+        };
+        match self.resolve(ty) {
+            RTy::Var(v) => tmap.get(&v).cloned().unwrap_or(RTy::Var(v)),
+            RTy::Int => RTy::Int,
+            RTy::Bool => RTy::Bool,
+            RTy::Unit => RTy::Unit,
+            RTy::Real(r) => RTy::Real(sub_r(self, r)),
+            RTy::Str(r) => RTy::Str(sub_r(self, r)),
+            RTy::Exn(r) => RTy::Exn(sub_r(self, r)),
+            RTy::Tuple(ts, r) => {
+                let nts = ts.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                RTy::Tuple(nts, sub_r(self, r))
+            }
+            RTy::Arrow(ps, e, b, r) => {
+                let nps = ps.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                let nb = self.copy_ty(&b, tmap, rmap, emap);
+                let ce = self.find_eff(e);
+                let ne = emap.get(&ce).copied().unwrap_or(ce);
+                RTy::Arrow(nps, ne, Box::new(nb), sub_r(self, r))
+            }
+            RTy::Con(c, ts, r) => {
+                let nts = ts.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                RTy::Con(c, nts, sub_r(self, r))
+            }
+            RTy::Ref(t, r) => {
+                let nt = self.copy_ty(&t, tmap, rmap, emap);
+                RTy::Ref(Box::new(nt), sub_r(self, r))
+            }
+            RTy::Array(t, r) => {
+                let nt = self.copy_ty(&t, tmap, rmap, emap);
+                RTy::Array(Box::new(nt), sub_r(self, r))
+            }
+        }
+    }
+
+    /// Generalizes `ty` against the environment's free variables.
+    ///
+    /// Quantified variables are listed in **structural traversal order** of
+    /// the type, not by variable id: two alpha-equivalent schemes then list
+    /// corresponding regions at the same positions, which the
+    /// region-polymorphic calling convention relies on (call sites record
+    /// actuals positionally against one fixed-point round's scheme).
+    pub fn generalize(
+        &mut self,
+        ty: &RTy,
+        env_frv: &BTreeSet<Reg>,
+        env_fev: &BTreeSet<Eff>,
+        env_ftv: &BTreeSet<TyV>,
+    ) -> RScheme {
+        let mut frv = Vec::new();
+        self.frv_skel_ordered(ty, &mut frv);
+        let mut fev = BTreeSet::new();
+        self.fev(ty, &mut fev);
+        let mut ftv = BTreeSet::new();
+        self.ftv(ty, &mut ftv);
+        let env_frv: BTreeSet<Reg> = env_frv.iter().map(|&r| self.find_reg(r)).collect();
+        let env_fev: BTreeSet<Eff> = env_fev.iter().map(|&e| self.find_eff(e)).collect();
+        RScheme {
+            qtys: ftv.difference(env_ftv).copied().collect(),
+            qregs: frv.into_iter().filter(|r| !env_frv.contains(r)).collect(),
+            qeffs: fev.difference(&env_fev).copied().collect(),
+            ty: ty.clone(),
+        }
+    }
+
+    /// Skeleton regions in deterministic structural traversal order
+    /// (deduplicated).
+    pub fn frv_skel_ordered(&mut self, ty: &RTy, out: &mut Vec<Reg>) {
+        let push = |st: &mut Self, out: &mut Vec<Reg>, r: Reg| {
+            let c = st.find_reg(r);
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        match self.resolve(ty) {
+            RTy::Var(_) | RTy::Int | RTy::Bool | RTy::Unit => {}
+            RTy::Real(r) | RTy::Str(r) | RTy::Exn(r) => push(self, out, r),
+            RTy::Tuple(ts, r) | RTy::Con(_, ts, r) => {
+                push(self, out, r);
+                for t in &ts {
+                    self.frv_skel_ordered(t, out);
+                }
+            }
+            RTy::Arrow(ps, _, b, r) => {
+                push(self, out, r);
+                for p in &ps {
+                    self.frv_skel_ordered(p, out);
+                }
+                self.frv_skel_ordered(&b, out);
+            }
+            RTy::Ref(t, r) | RTy::Array(t, r) => {
+                push(self, out, r);
+                self.frv_skel_ordered(&t, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_union_find() {
+        let mut st = Stores::new();
+        let a = st.fresh_reg();
+        let b = st.fresh_reg();
+        let c = st.fresh_reg();
+        st.union_reg(a, b);
+        st.union_reg(b, c);
+        assert_eq!(st.find_reg(a), st.find_reg(c));
+    }
+
+    #[test]
+    fn unify_merges_regions() {
+        let mut st = Stores::new();
+        let r1 = st.fresh_reg();
+        let r2 = st.fresh_reg();
+        st.unify(&RTy::Real(r1), &RTy::Real(r2));
+        assert_eq!(st.find_reg(r1), st.find_reg(r2));
+    }
+
+    #[test]
+    fn effects_close_transitively() {
+        let mut st = Stores::new();
+        let r1 = st.fresh_reg();
+        let r2 = st.fresh_reg();
+        let e1 = st.fresh_eff();
+        let e2 = st.fresh_eff();
+        st.eff_add_reg(e2, r2);
+        st.eff_add_child(e1, e2);
+        st.eff_add_reg(e1, r1);
+        let regs = st.eff_regs(e1);
+        assert!(regs.contains(&st.find_reg(r1)));
+        assert!(regs.contains(&st.find_reg(r2)));
+    }
+
+    #[test]
+    fn effect_union_merges_sets() {
+        let mut st = Stores::new();
+        let r = st.fresh_reg();
+        let e1 = st.fresh_eff();
+        let e2 = st.fresh_eff();
+        st.eff_add_reg(e1, r);
+        st.union_eff(e1, e2);
+        assert!(st.eff_regs(e2).contains(&st.find_reg(r)));
+    }
+
+    #[test]
+    fn frv_includes_latent_effects() {
+        let mut st = Stores::new();
+        let rho = st.fresh_reg();
+        let clos = st.fresh_reg();
+        let e = st.fresh_eff();
+        st.eff_add_reg(e, rho);
+        let ty = RTy::Arrow(vec![RTy::Int], e, Box::new(RTy::Int), clos);
+        let mut out = BTreeSet::new();
+        st.frv(&ty, &mut out);
+        assert!(out.contains(&st.find_reg(rho)), "latent effect region escapes");
+        assert!(out.contains(&st.find_reg(clos)));
+    }
+
+    #[test]
+    fn instantiation_freshens_quantified_regions() {
+        let mut st = Stores::new();
+        let rho = st.fresh_reg();
+        let e = st.fresh_eff();
+        st.eff_add_reg(e, rho);
+        let ty = RTy::Arrow(
+            vec![RTy::Int],
+            e,
+            Box::new(RTy::Tuple(vec![RTy::Int, RTy::Int], rho)),
+            st.fresh_reg(),
+        );
+        let scheme = RScheme {
+            qtys: vec![],
+            qregs: vec![rho],
+            qeffs: vec![e],
+            ty,
+        };
+        let i1 = st.instantiate(&scheme);
+        let i2 = st.instantiate(&scheme);
+        assert_eq!(i1.reg_actuals.len(), 1);
+        assert_ne!(
+            st.find_reg(i1.reg_actuals[0]),
+            st.find_reg(i2.reg_actuals[0]),
+            "instances get distinct result regions"
+        );
+        // The instantiated effect must mention the instantiated region, not
+        // the formal.
+        let RTy::Arrow(_, ne, _, _) = st.resolve(&i1.ty) else { panic!() };
+        assert!(st.eff_regs(ne).contains(&st.find_reg(i1.reg_actuals[0])));
+    }
+
+    #[test]
+    fn generalize_respects_env() {
+        let mut st = Stores::new();
+        let kept = st.fresh_reg();
+        let gened = st.fresh_reg();
+        let e = st.fresh_eff();
+        let ty = RTy::Arrow(
+            vec![RTy::Real(kept)],
+            e,
+            Box::new(RTy::Real(gened)),
+            st.fresh_reg(),
+        );
+        let mut env = BTreeSet::new();
+        env.insert(kept);
+        let s = st.generalize(&ty, &env, &BTreeSet::new(), &BTreeSet::new());
+        assert!(!s.qregs.contains(&st.find_reg(kept)));
+        assert!(s.qregs.contains(&st.find_reg(gened)));
+    }
+}

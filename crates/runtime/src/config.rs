@@ -1,0 +1,131 @@
+//! Runtime configuration: the execution modes of the paper (§1.2) and the
+//! collector policy knobs of §4.
+
+/// Runtime configuration.
+///
+/// The four modes measured in the paper are produced by [`RtConfig::r`],
+/// [`RtConfig::rt`], [`RtConfig::gt`] and [`RtConfig::rgt`]. `gt` mode is
+/// realized at compile time (all infinite-region allocations target one
+/// global region) combined with `tagged + gc` here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtConfig {
+    /// log2 of the region-page size in words (paper §2.4: pages are 2^n
+    /// words, aligned, so the page descriptor is found by masking).
+    pub page_words_log2: u32,
+    /// Whether values carry tag words (required for garbage collection).
+    pub tagged: bool,
+    /// Whether the garbage collector may run.
+    pub gc_enabled: bool,
+    /// Collection is requested when the free-list falls below this
+    /// fraction of the total region heap (paper §4: 1/3).
+    pub gc_threshold: f64,
+    /// After a collection the region heap is grown until it is at least
+    /// this multiple of the live (to-space) pages (paper §4: 3.0).
+    pub heap_to_live_ratio: f64,
+    /// Initial number of region pages.
+    pub initial_pages: usize,
+    /// Boxed values at least this many words go to the large-object space
+    /// (strings and arrays always do).
+    pub large_object_words: usize,
+    /// Record a region profile (paper Fig. 5).
+    pub profile: bool,
+    /// Generational collection policy (the SML/NJ-substitute baseline);
+    /// `None` selects the paper's Cheney-for-regions collector.
+    pub generational: Option<GenPolicy>,
+    /// Debugging: overwrite the payload of deallocated region pages with a
+    /// poison pattern, so dangling-pointer dereferences fail loudly
+    /// instead of silently reading stale values.
+    pub poison: bool,
+}
+
+/// Policy knobs for the two-generation baseline collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenPolicy {
+    /// Minor collection once the nursery holds this many pages.
+    pub nursery_pages: usize,
+    /// Major collection once the tenured generation exceeds this multiple
+    /// of its size after the previous major collection.
+    pub major_growth: usize,
+}
+
+impl Default for GenPolicy {
+    fn default() -> Self {
+        GenPolicy { nursery_pages: 64, major_growth: 3 }
+    }
+}
+
+impl RtConfig {
+    /// Words per region page.
+    pub fn page_words(&self) -> usize {
+        1 << self.page_words_log2
+    }
+
+    /// Usable payload words per page (page minus the 2-word descriptor).
+    pub fn page_data_words(&self) -> usize {
+        self.page_words() - 2
+    }
+
+    /// Mode `r`: regions alone, untagged (fastest, allows dangling
+    /// pointers).
+    pub fn r() -> Self {
+        RtConfig { tagged: false, gc_enabled: false, ..Self::base() }
+    }
+
+    /// Mode `rt`: regions alone, with tagging (isolates the tagging cost,
+    /// paper Table 1).
+    pub fn rt() -> Self {
+        RtConfig { tagged: true, gc_enabled: false, ..Self::base() }
+    }
+
+    /// Mode `gt`: garbage collection within a degenerate region stack
+    /// (region inference disabled at compile time).
+    pub fn gt() -> Self {
+        RtConfig { tagged: true, gc_enabled: true, ..Self::base() }
+    }
+
+    /// Mode `rgt`: regions combined with garbage collection.
+    pub fn rgt() -> Self {
+        RtConfig { tagged: true, gc_enabled: true, ..Self::base() }
+    }
+
+    fn base() -> Self {
+        RtConfig {
+            page_words_log2: 8, // 256 words = 2 KiB pages
+            tagged: true,
+            gc_enabled: false,
+            gc_threshold: 1.0 / 3.0,
+            heap_to_live_ratio: 3.0,
+            initial_pages: 64,
+            large_object_words: 128,
+            profile: false,
+            generational: None,
+            poison: false,
+        }
+    }
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        Self::rgt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes_are_powers_of_two() {
+        let c = RtConfig::default();
+        assert_eq!(c.page_words(), 256);
+        assert_eq!(c.page_data_words(), 254);
+    }
+
+    #[test]
+    fn modes_match_paper() {
+        assert!(!RtConfig::r().tagged && !RtConfig::r().gc_enabled);
+        assert!(RtConfig::rt().tagged && !RtConfig::rt().gc_enabled);
+        assert!(RtConfig::gt().tagged && RtConfig::gt().gc_enabled);
+        assert!(RtConfig::rgt().tagged && RtConfig::rgt().gc_enabled);
+    }
+}

@@ -1,0 +1,962 @@
+//! Cheney's stop-and-copy collector extended to regions (paper §2.2–2.5).
+//!
+//! One collection proceeds as follows:
+//!
+//! 1. Every region's page list is detached and concatenated into a single
+//!    **global from-space**; each region descriptor is re-initialised with
+//!    a fresh page from the free-list (its to-space). The collector never
+//!    allocates into from-space.
+//! 2. Every root is *evacuated*: scalars and data-segment constants are
+//!    returned unchanged; pointers into the stack (values in **finite
+//!    regions**) are marked as constants and queued on the **scan buffer**
+//!    — they are traversed in place, never moved; **large objects** are
+//!    marked and arrays queued for traversal — they are traversed but
+//!    never copied (§3.1); heap values are copied *into the region they
+//!    came from*, found through the **origin pointer** of their page
+//!    (§2.4), and a forward pointer (even word) replaces their tag (odd
+//!    word).
+//! 3. Each region has at most one scan pointer, kept on the **scan stack**
+//!    while the region status bit `b` is `SOME`; scanning a region runs
+//!    Cheney's loop locally until the scan pointer catches the region's
+//!    allocation pointer, following next-page links and skipping page
+//!    slack via the sentinel tag.
+//! 4. Afterwards the constant marks on finite-region values are removed,
+//!    unmarked large objects are freed, the global from-space is appended
+//!    to the free-list in O(1), and the heap is grown to maintain the
+//!    heap-to-live ratio (§4).
+
+use crate::heap::{PAGE_HDR, PAGE_NEXT, PAGE_ORIGIN};
+use crate::lobj::{LData, Lobjs};
+use crate::region::RegionId;
+use crate::rt::Rt;
+use crate::stats::GcRecord;
+use crate::value::{
+    is_ptr, ptr, ptr_addr, space_of, Kind, Space, Tag, Word, NONE_ADDR, STACK_BASE,
+};
+
+/// Performs one garbage collection.
+///
+/// `root_slots` are indices into `rt.stack` holding live values (the VM's
+/// frame maps); `extra_roots` are additional value words held in VM
+/// registers (e.g. an in-flight exception value).
+///
+/// # Panics
+///
+/// Panics if the runtime is untagged — pointer tracing requires tags.
+pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
+    assert!(rt.config.tagged, "garbage collection requires tagged values");
+    let t0 = std::time::Instant::now();
+    rt.in_gc = true;
+
+    // ---- accounting before the flip (Table 3 inputs).
+    let page_payload = (rt.heap.page_words() - PAGE_HDR as usize) as u64;
+    let mut waste_words = 0u64;
+    let mut from_pages = 0usize;
+    for d in &rt.regions {
+        from_pages += d.pages;
+        waste_words += d.pages as u64 * page_payload - d.used_words;
+    }
+    let from_space_words = from_pages as u64 * page_payload;
+
+    // ---- flip: detach all pages into the global from-space, give every
+    // region a fresh to-space page.
+    let mut fs_head = NONE_ADDR;
+    let mut fs_tail_last_addr = NONE_ADDR; // any address within the tail page
+    for i in 0..rt.regions.len() {
+        let (fp, e) = {
+            let d = &rt.regions[i];
+            (d.fp, d.e)
+        };
+        if fp != NONE_ADDR {
+            let last_page = e - rt.heap.page_words() as u64;
+            rt.heap.write(last_page + PAGE_NEXT, fs_head);
+            if fs_head == NONE_ADDR {
+                fs_tail_last_addr = e - 1;
+            }
+            fs_head = fp;
+        }
+        let d = &mut rt.regions[i];
+        d.fp = NONE_ADDR;
+        d.pages = 0;
+        d.used_words = 0;
+        d.status = false;
+        // Fresh to-space page (the paper gives every region one eagerly).
+        let page = rt.heap.alloc_page(i as u64);
+        let pw = rt.heap.page_words() as u64;
+        let d = &mut rt.regions[i];
+        d.fp = page;
+        d.a = page + PAGE_HDR;
+        d.e = page + pw;
+        d.pages = 1;
+    }
+
+    let mut st = GcState {
+        scan_stack: Vec::new(),
+        scan_buffer: Vec::new(),
+        sb_next: 0,
+        lobj_queue: Vec::new(),
+        lq_next: 0,
+        copied: 0,
+    };
+
+    // ---- evacuate the root set.
+    for &slot in root_slots {
+        let v = rt.stack[slot];
+        rt.stack[slot] = evacuate(rt, &mut st, v);
+    }
+    for v in extra_roots.iter_mut() {
+        *v = evacuate(rt, &mut st, *v);
+    }
+
+    // ---- collect_regions (paper §2.5): alternate between the scan buffer
+    // (finite regions and large objects, traversed in place) and the scan
+    // stack (one region at a time) until both are exhausted.
+    loop {
+        let mut progressed = false;
+        while st.sb_next < st.scan_buffer.len() {
+            progressed = true;
+            let slot = st.scan_buffer[st.sb_next];
+            st.sb_next += 1;
+            scan_stack_box(rt, &mut st, slot);
+        }
+        while st.lq_next < st.lobj_queue.len() {
+            progressed = true;
+            let id = st.lobj_queue[st.lq_next];
+            st.lq_next += 1;
+            scan_large_array(rt, &mut st, id);
+        }
+        if let Some(s) = st.scan_stack.pop() {
+            progressed = true;
+            cheney_region(rt, &mut st, s);
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // ---- unmark finite-region values (remove constant marks, §2.5).
+    for i in 0..st.scan_buffer.len() {
+        let slot = st.scan_buffer[i];
+        let mut tag = Tag::decode(rt.stack[slot]);
+        tag.mark = false;
+        rt.stack[slot] = tag.encode();
+    }
+
+    // ---- sweep large objects: free unmarked, unmark survivors.
+    let mut lobjs_freed = 0usize;
+    for i in 0..rt.regions.len() {
+        let mut head = rt.regions[i].lobjs;
+        let mut new_head = 0u32;
+        while head != 0 {
+            let id = head - 1;
+            let (next, marked) = {
+                let o = rt.lobjs.get(id);
+                (o.next, o.marked)
+            };
+            head = next;
+            if marked {
+                let o = rt.lobjs.get_mut(id);
+                o.marked = false;
+                o.next = new_head;
+                new_head = id + 1;
+            } else {
+                rt.lobjs.free(id);
+                lobjs_freed += 1;
+            }
+        }
+        rt.regions[i].lobjs = new_head;
+    }
+
+    // ---- release the global from-space in O(1).
+    if fs_head != NONE_ADDR {
+        rt.heap.free_run(fs_head, fs_tail_last_addr, from_pages);
+    }
+
+    // ---- post-collection policy and statistics.
+    let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
+    let want_total =
+        ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
+    if rt.heap.total_pages() < want_total {
+        rt.heap.grow(want_total - rt.heap.total_pages());
+    }
+    rt.stats.gc_records.push(GcRecord {
+        prev_live_pages: rt.stats.last_live_pages,
+        pages_requested: rt.stats.pages_requested_since_gc,
+        from_pages,
+        live_pages,
+        waste_words,
+        from_space_words,
+        copied_words: st.copied,
+        lobjs_freed,
+    });
+    rt.stats.last_live_pages = live_pages;
+    rt.stats.pages_requested_since_gc = 0;
+    rt.stats.gc_count += 1;
+    rt.stats.gc_copied_words += st.copied;
+    rt.stats.gc_time_ns += t0.elapsed().as_nanos() as u64;
+    rt.gc_needed = false;
+    rt.in_gc = false;
+    rt.observe_mem();
+    if rt.profiler.enabled() {
+        let regions = rt.regions.clone();
+        rt.profiler.sample(&regions);
+    }
+}
+
+/// Page-origin marker identifying detached from-space pages during a
+/// generational phase.
+const FROM_MARK: u64 = u64::MAX - 1;
+
+/// One generational collection of the baseline runtime (the SML/NJ
+/// substitute, DESIGN.md §4).
+///
+/// A **minor** collection promotes nursery survivors into the tenured
+/// generation; `remembered` holds the field addresses mutated since the
+/// previous collection (the write barrier), which may contain old→young
+/// pointers. A **major** collection additionally runs a semispace pass
+/// over the tenured generation (after the minor the nursery is empty, so
+/// the stack is the complete root set).
+pub fn collect_gen(
+    rt: &mut Rt,
+    root_slots: &[usize],
+    remembered: &mut Vec<u64>,
+    young: RegionId,
+    old: RegionId,
+    major: bool,
+) {
+    let t0 = std::time::Instant::now();
+    rt.in_gc = true;
+    collect_phase(rt, root_slots, remembered, young, old);
+    rt.stats.minor_gcs += 1;
+    remembered.clear();
+    if major {
+        collect_phase(rt, root_slots, &mut Vec::new(), old, old);
+        rt.stats.major_gcs += 1;
+        // Maintain the heap-to-live ratio after a major collection.
+        let live: usize = rt.regions.iter().map(|d| d.pages).sum();
+        let want = ((live as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
+        if rt.heap.total_pages() < want {
+            rt.heap.grow(want - rt.heap.total_pages());
+        }
+        rt.stats.last_live_pages = live;
+    }
+    rt.stats.gc_count += 1;
+    rt.stats.pages_requested_since_gc = 0;
+    rt.stats.gc_time_ns += t0.elapsed().as_nanos() as u64;
+    rt.gc_needed = false;
+    rt.in_gc = false;
+    rt.observe_mem();
+}
+
+/// Evacuates everything live in `from` into `to` (which may be `from`
+/// itself, giving a classic semispace flip). Objects outside `from` are
+/// left in place.
+fn collect_phase(
+    rt: &mut Rt,
+    root_slots: &[usize],
+    remembered: &mut [u64],
+    from: RegionId,
+    to: RegionId,
+) {
+    let pw = rt.heap.page_words() as u64;
+    // Detach the from-region's pages, stamping them as from-space.
+    let (fp, e, pages) = {
+        let d = &rt.regions[from.0 as usize];
+        (d.fp, d.e, d.pages)
+    };
+    let mut fs_tail = NONE_ADDR;
+    if fp != NONE_ADDR {
+        let mut p = fp;
+        loop {
+            rt.heap.write(p + PAGE_ORIGIN, FROM_MARK);
+            let next = rt.heap.read(p + PAGE_NEXT);
+            if next == NONE_ADDR {
+                fs_tail = p;
+                break;
+            }
+            p = next;
+        }
+        debug_assert_eq!(rt.heap.page_base(e - 1), fs_tail);
+    }
+    let from_lobjs = rt.regions[from.0 as usize].lobjs;
+    {
+        let d = &mut rt.regions[from.0 as usize];
+        d.fp = NONE_ADDR;
+        d.pages = 0;
+        d.used_words = 0;
+        d.status = false;
+        d.lobjs = 0;
+    }
+    if to == from {
+        let page = rt.heap.alloc_page(from.0 as u64);
+        let d = &mut rt.regions[from.0 as usize];
+        d.fp = page;
+        d.a = page + PAGE_HDR;
+        d.e = page + pw;
+        d.pages = 1;
+    }
+
+    let mut st = GcState {
+        scan_stack: Vec::new(),
+        scan_buffer: Vec::new(),
+        sb_next: 0,
+        lobj_queue: Vec::new(),
+        lq_next: 0,
+        copied: 0,
+    };
+    // Roots: the stack, plus remembered mutated fields (old→young).
+    for &slot in root_slots {
+        let v = rt.stack[slot];
+        rt.stack[slot] = evacuate_gen(rt, &mut st, v, to);
+    }
+    for &addr in remembered.iter() {
+        let v = rt.read_addr(addr);
+        let nv = evacuate_gen(rt, &mut st, v, to);
+        rt.write_addr(addr, nv);
+    }
+    loop {
+        let mut progressed = false;
+        while st.sb_next < st.scan_buffer.len() {
+            progressed = true;
+            let slot = st.scan_buffer[st.sb_next];
+            st.sb_next += 1;
+            let tag = Tag::decode(rt.stack[slot]);
+            if tag.scannable() {
+                for i in 0..tag.size as usize {
+                    let v = rt.stack[slot + 1 + i];
+                    rt.stack[slot + 1 + i] = evacuate_gen(rt, &mut st, v, to);
+                }
+            }
+        }
+        while st.lq_next < st.lobj_queue.len() {
+            progressed = true;
+            let id = st.lobj_queue[st.lq_next];
+            st.lq_next += 1;
+            let len = match &rt.lobjs.get(id).data {
+                LData::Arr(a) => a.len(),
+                LData::Str(_) => 0,
+            };
+            for i in 0..len {
+                let v = match &rt.lobjs.get(id).data {
+                    LData::Arr(a) => a[i],
+                    LData::Str(_) => unreachable!(),
+                };
+                let nv = evacuate_gen(rt, &mut st, v, to);
+                match &mut rt.lobjs.get_mut(id).data {
+                    LData::Arr(a) => a[i] = nv,
+                    LData::Str(_) => unreachable!(),
+                }
+            }
+        }
+        if let Some(s) = st.scan_stack.pop() {
+            progressed = true;
+            cheney_region_gen(rt, &mut st, s, to);
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Unmark finite-region values.
+    for i in 0..st.scan_buffer.len() {
+        let slot = st.scan_buffer[i];
+        let mut tag = Tag::decode(rt.stack[slot]);
+        tag.mark = false;
+        rt.stack[slot] = tag.encode();
+    }
+    // Sweep the from-region's large objects: survivors move to `to`.
+    let mut head = from_lobjs;
+    while head != 0 {
+        let id = head - 1;
+        let (next, marked) = {
+            let o = rt.lobjs.get(id);
+            (o.next, o.marked)
+        };
+        head = next;
+        if marked {
+            let to_head = rt.regions[to.0 as usize].lobjs;
+            let o = rt.lobjs.get_mut(id);
+            o.next = to_head;
+            rt.regions[to.0 as usize].lobjs = id + 1;
+        } else {
+            rt.lobjs.free(id);
+        }
+    }
+    // Clear remaining marks (including large objects owned by other
+    // generations that were only visited).
+    for i in 0..rt.regions.len() {
+        let mut h = rt.regions[i].lobjs;
+        while h != 0 {
+            let o = rt.lobjs.get_mut(h - 1);
+            o.marked = false;
+            h = o.next;
+        }
+    }
+    // Release the from-space.
+    if fp != NONE_ADDR {
+        rt.heap.free_run(fp, fs_tail + 1, pages);
+    }
+    rt.stats.gc_copied_words += st.copied;
+}
+
+/// Like [`evacuate`], but only objects on pages stamped [`FROM_MARK`] are
+/// copied — into `to` (promotion) — and everything else stays put.
+fn evacuate_gen(rt: &mut Rt, st: &mut GcState, v: Word, to: RegionId) -> Word {
+    if !is_ptr(v) {
+        return v;
+    }
+    let addr = ptr_addr(v);
+    match space_of(addr) {
+        Space::Data => v,
+        Space::Stack => {
+            let slot = (addr - STACK_BASE) as usize;
+            let mut tag = Tag::decode(rt.stack[slot]);
+            if !tag.mark {
+                tag.mark = true;
+                rt.stack[slot] = tag.encode();
+                st.scan_buffer.push(slot);
+            }
+            v
+        }
+        Space::Large => {
+            let id = Lobjs::id_of(addr);
+            let o = rt.lobjs.get_mut(id);
+            if !o.marked {
+                o.marked = true;
+                if matches!(o.data, LData::Arr(_)) {
+                    st.lobj_queue.push(id);
+                }
+            }
+            v
+        }
+        Space::Heap => {
+            let page = rt.heap.page_base(addr);
+            if rt.heap.read(page + PAGE_ORIGIN) != FROM_MARK {
+                return v; // not in from-space: stays put
+            }
+            let w = rt.heap.read(addr);
+            if is_ptr(w) {
+                return w; // forwarded
+            }
+            let tag = Tag::decode(w);
+            let n = tag.box_words();
+            let new_addr = rt.alloc_words(to, n);
+            for i in 0..n {
+                let word = rt.heap.read(addr + i);
+                rt.heap.write(new_addr + i, word);
+            }
+            rt.heap.write(addr, ptr(new_addr));
+            st.copied += n;
+            let d = &mut rt.regions[to.0 as usize];
+            if !d.status {
+                d.status = true;
+                st.scan_stack.push(new_addr);
+            }
+            ptr(new_addr)
+        }
+    }
+}
+
+/// Cheney loop over the promotion target.
+fn cheney_region_gen(rt: &mut Rt, st: &mut GcState, mut s: u64, to: RegionId) {
+    let pw = rt.heap.page_words() as u64;
+    loop {
+        if s == rt.regions[to.0 as usize].a {
+            break;
+        }
+        if s & (pw - 1) == 0 {
+            let prev_page = s - pw;
+            let next = rt.heap.read(prev_page + PAGE_NEXT);
+            debug_assert_ne!(next, NONE_ADDR, "scan ran past the generation");
+            s = next + PAGE_HDR;
+            continue;
+        }
+        let w = rt.heap.read(s);
+        let tag = Tag::decode(w);
+        if tag.kind == Kind::Sentinel {
+            let page = rt.heap.page_base(s);
+            let next = rt.heap.read(page + PAGE_NEXT);
+            s = next + PAGE_HDR;
+            continue;
+        }
+        if tag.scannable() {
+            for i in 0..tag.size as u64 {
+                let v = rt.heap.read(s + 1 + i);
+                let nv = evacuate_gen(rt, st, v, to);
+                rt.heap.write(s + 1 + i, nv);
+            }
+        }
+        s += tag.box_words();
+    }
+    rt.regions[to.0 as usize].status = false;
+}
+
+struct GcState {
+    /// Scan pointers of partially-scanned regions (at most one per region).
+    scan_stack: Vec<u64>,
+    /// Stack slots of finite-region boxes: unscanned tail + all entries for
+    /// the final unmarking pass.
+    scan_buffer: Vec<usize>,
+    sb_next: usize,
+    /// Large arrays queued for traversal.
+    lobj_queue: Vec<u32>,
+    lq_next: usize,
+    copied: u64,
+}
+
+/// Evacuates one value (paper §2.5 `evacuate`): returns the value to store
+/// in place of `v`.
+fn evacuate(rt: &mut Rt, st: &mut GcState, v: Word) -> Word {
+    if !is_ptr(v) {
+        return v;
+    }
+    let addr = ptr_addr(v);
+    match space_of(addr) {
+        // Constants are not traversed, updated, or copied.
+        Space::Data => v,
+        // Values in finite regions are traversed in place: mark as
+        // constant, queue on the scan buffer (traversal is postponed).
+        Space::Stack => {
+            let slot = (addr - STACK_BASE) as usize;
+            let mut tag = Tag::decode(rt.stack[slot]);
+            if !tag.mark {
+                tag.mark = true;
+                rt.stack[slot] = tag.encode();
+                st.scan_buffer.push(slot);
+            }
+            v
+        }
+        // Large objects are traversed (arrays) but never copied.
+        Space::Large => {
+            let id = Lobjs::id_of(addr);
+            let o = rt.lobjs.get_mut(id);
+            if !o.marked {
+                o.marked = true;
+                if matches!(o.data, LData::Arr(_)) {
+                    st.lobj_queue.push(id);
+                }
+            }
+            v
+        }
+        Space::Heap => {
+            let w = rt.heap.read(addr);
+            if is_ptr(w) {
+                // Forward pointer: already evacuated.
+                return w;
+            }
+            let tag = Tag::decode(w);
+            debug_assert!(tag.kind != Kind::Sentinel, "evacuating page slack");
+            // The value is copied into the region it belongs to, found
+            // through the origin pointer of its page (§2.4).
+            let page = rt.heap.page_base(addr);
+            let r = RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32);
+            let n = tag.box_words();
+            let new_addr = rt.alloc_words(r, n);
+            for i in 0..n {
+                let word = rt.heap.read(addr + i);
+                rt.heap.write(new_addr + i, word);
+            }
+            rt.heap.write(addr, ptr(new_addr));
+            st.copied += n;
+            let d = &mut rt.regions[r.0 as usize];
+            if !d.status {
+                d.status = true;
+                st.scan_stack.push(new_addr);
+            }
+            ptr(new_addr)
+        }
+    }
+}
+
+/// Scans a finite-region box in place (fields updated, value not moved).
+fn scan_stack_box(rt: &mut Rt, st: &mut GcState, slot: usize) {
+    let tag = Tag::decode(rt.stack[slot]);
+    if !tag.scannable() {
+        return;
+    }
+    for i in 0..tag.size as usize {
+        let v = rt.stack[slot + 1 + i];
+        rt.stack[slot + 1 + i] = evacuate(rt, st, v);
+    }
+}
+
+/// Scans a large array in place.
+fn scan_large_array(rt: &mut Rt, st: &mut GcState, id: u32) {
+    let len = match &rt.lobjs.get(id).data {
+        LData::Arr(a) => a.len(),
+        LData::Str(_) => return,
+    };
+    for i in 0..len {
+        let v = match &rt.lobjs.get(id).data {
+            LData::Arr(a) => a[i],
+            LData::Str(_) => unreachable!(),
+        };
+        let nv = evacuate(rt, st, v);
+        match &mut rt.lobjs.get_mut(id).data {
+            LData::Arr(a) => a[i] = nv,
+            LData::Str(_) => unreachable!(),
+        }
+    }
+}
+
+/// Cheney's loop over a single region (paper §2.3 `cheney`): scans from
+/// `s` until the scan pointer reaches the region's allocation pointer,
+/// hopping page boundaries and skipping slack sentinels.
+fn cheney_region(rt: &mut Rt, st: &mut GcState, mut s: u64) {
+    let pw = rt.heap.page_words() as u64;
+    let page = rt.heap.page_base(s);
+    let r = RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32);
+    loop {
+        if s == rt.regions[r.0 as usize].a {
+            break;
+        }
+        // At an exact page boundary, move to the next page in the chain.
+        if s & (pw - 1) == 0 {
+            let prev_page = s - pw;
+            let next = rt.heap.read(prev_page + PAGE_NEXT);
+            debug_assert_ne!(next, NONE_ADDR, "scan ran past the region");
+            s = next + PAGE_HDR;
+            continue;
+        }
+        let w = rt.heap.read(s);
+        let tag = Tag::decode(w);
+        if tag.kind == Kind::Sentinel {
+            // Page slack: skip to the next page.
+            let page = rt.heap.page_base(s);
+            let next = rt.heap.read(page + PAGE_NEXT);
+            debug_assert_ne!(next, NONE_ADDR, "sentinel on the last page");
+            s = next + PAGE_HDR;
+            continue;
+        }
+        if tag.scannable() {
+            for i in 0..tag.size as u64 {
+                let v = rt.heap.read(s + 1 + i);
+                let nv = evacuate(rt, st, v);
+                rt.heap.write(s + 1 + i, nv);
+            }
+        }
+        s += tag.box_words();
+    }
+    rt.regions[r.0 as usize].status = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtConfig;
+
+    fn rt() -> Rt {
+        Rt::new(RtConfig { initial_pages: 16, ..RtConfig::rgt() })
+    }
+
+    /// Builds a list of `n` cons cells (tag + head + tail) in region `r`,
+    /// returning the head pointer. Tail of the last cell is scalar 1
+    /// ("nil").
+    fn build_list(rt: &mut Rt, r: RegionId, n: i64) -> Word {
+        let mut tail = rt.tag_int(0); // nil as scalar
+        for i in (1..=n).rev() {
+            let head = rt.tag_int(i);
+            tail = rt.alloc_boxed(r, Tag::con(1, 2), &[head, tail]);
+        }
+        tail
+    }
+
+    fn list_sum(rt: &Rt, mut v: Word) -> i64 {
+        let mut sum = 0;
+        while is_ptr(v) {
+            sum += rt.untag_int(rt.field(v, 0));
+            v = rt.field(v, 1);
+        }
+        sum
+    }
+
+    #[test]
+    fn collect_preserves_reachable_list() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let list = build_list(&mut rt, r, 500);
+        rt.stack.push(list);
+        let root = rt.stack.len() - 1;
+        collect(&mut rt, &[root], &mut []);
+        let list2 = rt.stack[root];
+        assert_ne!(list, list2, "list must have been copied");
+        assert_eq!(list_sum(&rt, list2), 500 * 501 / 2);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn collect_reclaims_garbage() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        // Allocate a lot of garbage plus one live list.
+        for _ in 0..50 {
+            let _ = build_list(&mut rt, r, 100);
+        }
+        let live = build_list(&mut rt, r, 10);
+        rt.stack.push(live);
+        let pages_before = rt.regions[0].pages;
+        let root = rt.stack.len() - 1;
+        collect(&mut rt, &[root], &mut []);
+        let pages_after = rt.regions[0].pages;
+        assert!(
+            pages_after < pages_before / 4,
+            "garbage not reclaimed: {pages_before} -> {pages_after}"
+        );
+        assert_eq!(list_sum(&rt, rt.stack[0]), 55);
+    }
+
+    #[test]
+    fn values_stay_in_their_region() {
+        let mut rt = rt();
+        let r1 = rt.letregion(1);
+        let r2 = rt.letregion(2);
+        let a = rt.alloc_record(r1, &[rt.tag_int(1)]);
+        let b = rt.alloc_record(r2, &[a]);
+        rt.stack.push(b);
+        collect(&mut rt, &[0], &mut []);
+        let b2 = rt.stack[0];
+        let a2 = rt.field(b2, 0);
+        // Page origins must still point at the original region descriptors
+        // (region ids 0 and 1).
+        let pa = rt.heap.page_base(ptr_addr(a2));
+        let pb = rt.heap.page_base(ptr_addr(b2));
+        assert_eq!(rt.heap.read(pa + PAGE_ORIGIN), u64::from(r1.0));
+        assert_eq!(rt.heap.read(pb + PAGE_ORIGIN), u64::from(r2.0));
+        // Popping r2 then r1 must leave the structure intact in between.
+        assert_eq!(rt.untag_int(rt.field(a2, 0)), 1);
+        let _ = (r1, r2);
+    }
+
+    #[test]
+    fn sharing_is_preserved() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let shared = rt.alloc_record(r, &[rt.tag_int(42)]);
+        let p1 = rt.alloc_record(r, &[shared]);
+        let p2 = rt.alloc_record(r, &[shared]);
+        rt.stack.push(p1);
+        rt.stack.push(p2);
+        collect(&mut rt, &[0, 1], &mut []);
+        let s1 = rt.field(rt.stack[0], 0);
+        let s2 = rt.field(rt.stack[1], 0);
+        assert_eq!(s1, s2, "shared value copied once");
+        assert_eq!(rt.untag_int(rt.field(s1, 0)), 42);
+    }
+
+    #[test]
+    fn cycles_via_ref_cells_terminate() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let cell = rt.alloc_boxed(r, Tag::reference(), &[rt.tag_int(0)]);
+        // Tie the knot: the cell points to a record that points back.
+        let rec = rt.alloc_record(r, &[cell]);
+        rt.set_field(cell, 0, rec);
+        rt.stack.push(cell);
+        collect(&mut rt, &[0], &mut []);
+        let cell2 = rt.stack[0];
+        let rec2 = rt.field(cell2, 0);
+        assert_eq!(rt.field(rec2, 0), cell2, "cycle preserved");
+    }
+
+    #[test]
+    fn finite_region_values_marked_and_unmarked() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let inner = rt.alloc_record(r, &[rt.tag_int(7)]);
+        // A finite-region box on the stack: tag + one field.
+        let tag = Tag::record(1);
+        rt.stack.push(tag.encode());
+        rt.stack.push(inner);
+        let box_ptr = ptr(STACK_BASE);
+        rt.stack.push(box_ptr); // a root referring to the finite box
+        collect(&mut rt, &[2], &mut []);
+        // Not moved:
+        assert_eq!(rt.stack[2], box_ptr);
+        // Mark removed:
+        assert!(!Tag::decode(rt.stack[0]).mark);
+        // Inner heap value evacuated and the field updated:
+        let inner2 = rt.stack[1];
+        assert_ne!(inner2, inner);
+        assert_eq!(rt.untag_int(rt.field(inner2, 0)), 7);
+    }
+
+    #[test]
+    fn large_objects_traversed_not_copied_and_swept() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let elem = rt.alloc_record(r, &[rt.tag_int(5)]);
+        let arr = rt.alloc_array(r, 3, rt.tag_int(0));
+        let a0 = rt.arr_elem_addr(arr, 0);
+        rt.write_addr(a0, elem);
+        let dead = rt.alloc_array(r, 100, rt.tag_int(0));
+        let _ = dead;
+        rt.stack.push(arr);
+        assert_eq!(rt.lobjs.live_count(), 2);
+        collect(&mut rt, &[0], &mut []);
+        assert_eq!(rt.stack[0], arr, "large object not moved");
+        assert_eq!(rt.lobjs.live_count(), 1, "dead array swept");
+        let elem2 = rt.read_addr(rt.arr_elem_addr(arr, 0));
+        assert_eq!(rt.untag_int(rt.field(elem2, 0)), 5);
+        assert_eq!(rt.stats.gc_records[0].lobjs_freed, 1);
+    }
+
+    #[test]
+    fn constants_untouched() {
+        let mut rt = rt();
+        let _r = rt.letregion(0);
+        let c = rt.intern_const_str("const");
+        rt.stack.push(c);
+        collect(&mut rt, &[0], &mut []);
+        assert_eq!(rt.stack[0], c);
+        assert_eq!(rt.str_val(c), "const");
+    }
+
+    #[test]
+    fn multi_region_breadth_first_with_cross_pointers() {
+        let mut rt = rt();
+        let r1 = rt.letregion(1);
+        let r2 = rt.letregion(2);
+        // Build an alternating chain across regions.
+        let mut v = rt.tag_int(0);
+        for i in 0..200 {
+            let r = if i % 2 == 0 { r1 } else { r2 };
+            v = rt.alloc_boxed(r, Tag::con(1, 2), &[rt.tag_int(1), v]);
+        }
+        rt.stack.push(v);
+        collect(&mut rt, &[0], &mut []);
+        assert_eq!(list_sum(&rt, rt.stack[0]), 200);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn gc_accounting_records_are_consistent() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        for _ in 0..20 {
+            let _ = build_list(&mut rt, r, 200);
+        }
+        let live = build_list(&mut rt, r, 50);
+        rt.stack.push(live);
+        collect(&mut rt, &[0], &mut []);
+        let rec = rt.stats.gc_records[0];
+        assert!(rec.from_pages > rec.live_pages);
+        assert!(rec.ri_fraction().is_some());
+        let ri = rec.ri_fraction().unwrap();
+        // Everything was reclaimed by GC here (no region was popped):
+        assert!(ri < 0.2, "ri = {ri}");
+        // Heap-to-live ratio maintained.
+        assert!(
+            rt.heap.total_pages() as f64
+                >= rt.config.heap_to_live_ratio * rec.live_pages as f64
+        );
+    }
+
+    #[test]
+    fn generational_minor_promotes_survivors() {
+        let mut rt = rt();
+        let young = rt.letregion(0);
+        let old = rt.letregion(1);
+        let live = build_list(&mut rt, young, 50);
+        for _ in 0..20 {
+            let _ = build_list(&mut rt, young, 100);
+        }
+        rt.stack.push(live);
+        collect_gen(&mut rt, &[0], &mut Vec::new(), young, old, false);
+        // Survivors moved to the old generation; the nursery is empty.
+        assert_eq!(rt.regions[young.0 as usize].used_words, 0);
+        assert!(rt.regions[old.0 as usize].used_words > 0);
+        assert_eq!(list_sum(&rt, rt.stack[0]), 50 * 51 / 2);
+        assert_eq!(rt.stats.minor_gcs, 1);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn generational_remembered_set_rescues_old_to_young() {
+        let mut rt = rt();
+        let young = rt.letregion(0);
+        let old = rt.letregion(1);
+        // An old cell pointing at young data, reachable ONLY through it.
+        let cell = rt.alloc_boxed(old, Tag::reference(), &[rt.tag_int(0)]);
+        collect_gen(&mut rt, &[], &mut Vec::new(), young, old, false);
+        let young_list = build_list(&mut rt, young, 10);
+        rt.set_field(cell, 0, young_list);
+        let field_addr = kit_field_addr(&rt, cell);
+        rt.stack.push(cell);
+        let mut remembered = vec![field_addr];
+        collect_gen(&mut rt, &[0], &mut remembered, young, old, true);
+        let v = rt.field(rt.stack[0], 0);
+        assert_eq!(list_sum(&rt, v), 55, "young data reached only via the barrier");
+    }
+
+    fn kit_field_addr(rt: &Rt, v: Word) -> u64 {
+        ptr_addr(v) + rt.hdr_words()
+    }
+
+    #[test]
+    fn generational_major_compacts_tenured() {
+        let mut rt = rt();
+        let young = rt.letregion(0);
+        let old = rt.letregion(1);
+        // Promote a lot of garbage into tenured, then major-collect.
+        for _ in 0..20 {
+            let _ = build_list(&mut rt, young, 200);
+            collect_gen(&mut rt, &[], &mut Vec::new(), young, old, false);
+        }
+        let live = build_list(&mut rt, young, 10);
+        rt.stack.push(live);
+        collect_gen(&mut rt, &[0], &mut Vec::new(), young, old, true);
+        assert_eq!(rt.stats.major_gcs, 1);
+        assert!(
+            rt.regions[old.0 as usize].pages <= 2,
+            "tenured should compact: {} pages",
+            rt.regions[old.0 as usize].pages
+        );
+        assert_eq!(list_sum(&rt, rt.stack[0]), 55);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn empty_roots_collects_everything() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        for _ in 0..10 {
+            let _ = build_list(&mut rt, r, 500);
+        }
+        collect(&mut rt, &[], &mut []);
+        assert_eq!(rt.regions[0].pages, 1);
+        assert_eq!(rt.regions[0].used_words, 0);
+    }
+
+    #[test]
+    fn second_collection_after_mutation() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let l = build_list(&mut rt, r, 100);
+        rt.stack.push(l);
+        collect(&mut rt, &[0], &mut []);
+        // Mutate: extend the list from the survivor.
+        let head = rt.stack[0];
+        let longer = rt.alloc_boxed(r, Tag::con(1, 2), &[rt.tag_int(1000), head]);
+        rt.stack[0] = longer;
+        collect(&mut rt, &[0], &mut []);
+        assert_eq!(list_sum(&rt, rt.stack[0]), 100 * 101 / 2 + 1000);
+    }
+
+    #[test]
+    fn evacuation_into_region_being_scanned() {
+        // A value in r1 pointing to r2 pointing back to r1 exercises
+        // re-activation of a drained region.
+        let mut rt = rt();
+        let r1 = rt.letregion(1);
+        let r2 = rt.letregion(2);
+        let deep1 = rt.alloc_record(r1, &[rt.tag_int(11)]);
+        let mid = rt.alloc_record(r2, &[deep1]);
+        let top = rt.alloc_record(r1, &[mid]);
+        rt.stack.push(top);
+        collect(&mut rt, &[0], &mut []);
+        let top2 = rt.stack[0];
+        let mid2 = rt.field(top2, 0);
+        let deep2 = rt.field(mid2, 0);
+        assert_eq!(rt.untag_int(rt.field(deep2, 0)), 11);
+        let _ = (r1, r2);
+    }
+}

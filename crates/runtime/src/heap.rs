@@ -1,0 +1,223 @@
+//! The region heap: a growable arena of fixed-size region pages linked
+//! through a free-list (paper §2.1, §2.4).
+//!
+//! Every page starts with a two-word *region page descriptor*: the address
+//! of the next page in its region (or free-list) and an *origin pointer*
+//! back to the region descriptor of the owning region. Pages are aligned
+//! to their (power-of-two) size, so the descriptor of the page containing
+//! any address is found with a single mask — this is how the collector
+//! finds `regiondesc(p)` (paper §2.4).
+
+use crate::value::{Word, NONE_ADDR};
+
+/// Offset of the next-page link in a page descriptor.
+pub const PAGE_NEXT: u64 = 0;
+/// Offset of the origin pointer (owning region id) in a page descriptor.
+pub const PAGE_ORIGIN: u64 = 1;
+/// First payload word of a page.
+pub const PAGE_HDR: u64 = 2;
+
+/// The region heap.
+#[derive(Debug)]
+pub struct Heap {
+    words: Vec<Word>,
+    page_words: usize,
+    free_head: u64,
+    free_count: usize,
+    total_pages: usize,
+}
+
+impl Heap {
+    /// Creates a heap with `initial_pages` pages of `page_words` words
+    /// (a power of two), all on the free-list.
+    pub fn new(page_words: usize, initial_pages: usize) -> Self {
+        assert!(page_words.is_power_of_two() && page_words >= 8);
+        let mut h = Heap {
+            words: Vec::new(),
+            page_words,
+            free_head: NONE_ADDR,
+            free_count: 0,
+            total_pages: 0,
+        };
+        h.grow(initial_pages.max(1));
+        h
+    }
+
+    /// Words per page.
+    pub fn page_words(&self) -> usize {
+        self.page_words
+    }
+
+    /// Total pages in the heap (free or in use).
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Pages currently on the free-list.
+    pub fn free_pages(&self) -> usize {
+        self.free_count
+    }
+
+    /// Pages currently owned by regions (or the collector's from-space).
+    pub fn used_pages(&self) -> usize {
+        self.total_pages - self.free_count
+    }
+
+    /// Reads a heap word.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Writes a heap word.
+    #[inline]
+    pub fn write(&mut self, addr: u64, v: Word) {
+        self.words[addr as usize] = v;
+    }
+
+    /// The base address of the page containing `addr` (paper §2.4's
+    /// bitwise-and trick).
+    #[inline]
+    pub fn page_base(&self, addr: u64) -> u64 {
+        addr & !(self.page_words as u64 - 1)
+    }
+
+    /// One past the last usable word of the page containing `addr`.
+    #[inline]
+    pub fn page_end(&self, addr: u64) -> u64 {
+        self.page_base(addr) + self.page_words as u64
+    }
+
+    /// Grows the arena by `n` fresh pages, appending them to the free-list.
+    pub fn grow(&mut self, n: usize) {
+        for _ in 0..n {
+            let base = self.words.len() as u64;
+            self.words
+                .extend(std::iter::repeat_n(0, self.page_words));
+            self.write(base + PAGE_NEXT, self.free_head);
+            self.write(base + PAGE_ORIGIN, NONE_ADDR);
+            self.free_head = base;
+            self.free_count += 1;
+            self.total_pages += 1;
+        }
+    }
+
+    /// Takes one page from the free-list (growing the heap if empty) and
+    /// stamps its origin. Returns the page base address.
+    pub fn alloc_page(&mut self, origin: u64) -> u64 {
+        if self.free_head == NONE_ADDR {
+            let n = (self.total_pages / 4).max(32);
+            self.grow(n);
+        }
+        let page = self.free_head;
+        self.free_head = self.read(page + PAGE_NEXT);
+        self.free_count -= 1;
+        self.write(page + PAGE_NEXT, NONE_ADDR);
+        self.write(page + PAGE_ORIGIN, origin);
+        page
+    }
+
+    /// Appends a whole chain of pages (`first ..` following next-links,
+    /// ending at the page containing `last_addr`) to the free-list in
+    /// constant time (paper §2.1). `count` pages are returned.
+    pub fn free_run(&mut self, first: u64, last_addr: u64, count: usize) {
+        if first == NONE_ADDR {
+            return;
+        }
+        let last_page = self.page_base(last_addr);
+        debug_assert_eq!(self.read(last_page + PAGE_NEXT), NONE_ADDR);
+        self.write(last_page + PAGE_NEXT, self.free_head);
+        self.free_head = first;
+        self.free_count += count;
+    }
+
+    /// Iterates the page chain starting at `first`.
+    pub fn pages_from(&self, first: u64) -> PageIter<'_> {
+        PageIter { heap: self, cur: first }
+    }
+
+    /// Heap size in bytes (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over a chain of pages.
+#[derive(Debug)]
+pub struct PageIter<'a> {
+    heap: &'a Heap,
+    cur: u64,
+}
+
+impl Iterator for PageIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.cur == NONE_ADDR {
+            return None;
+        }
+        let p = self.cur;
+        self.cur = self.heap.read(p + PAGE_NEXT);
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_aligned() {
+        let h = Heap::new(256, 4);
+        assert_eq!(h.page_base(300), 256);
+        assert_eq!(h.page_base(255), 0);
+        assert_eq!(h.page_end(300), 512);
+    }
+
+    #[test]
+    fn alloc_and_free_conserve_pages() {
+        let mut h = Heap::new(64, 8);
+        assert_eq!(h.free_pages(), 8);
+        let p1 = h.alloc_page(7);
+        let p2 = h.alloc_page(7);
+        assert_eq!(h.free_pages(), 6);
+        assert_eq!(h.read(p1 + PAGE_ORIGIN), 7);
+        // Chain p1 -> p2 and free the run.
+        h.write(p1 + PAGE_NEXT, p2);
+        h.write(p2 + PAGE_NEXT, NONE_ADDR);
+        h.free_run(p1, p2 + 5, 2);
+        assert_eq!(h.free_pages(), 8);
+        assert_eq!(h.total_pages(), 8);
+    }
+
+    #[test]
+    fn grows_when_free_list_empty() {
+        let mut h = Heap::new(64, 1);
+        let _ = h.alloc_page(0);
+        let before = h.total_pages();
+        let _ = h.alloc_page(0);
+        assert!(h.total_pages() > before);
+    }
+
+    #[test]
+    fn page_chain_iteration() {
+        let mut h = Heap::new(64, 4);
+        let a = h.alloc_page(0);
+        let b = h.alloc_page(0);
+        let c = h.alloc_page(0);
+        h.write(a + PAGE_NEXT, b);
+        h.write(b + PAGE_NEXT, c);
+        let chain: Vec<u64> = h.pages_from(a).collect();
+        assert_eq!(chain, vec![a, b, c]);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut h = Heap::new(64, 2);
+        let a = h.alloc_page(0);
+        h.write(a + PAGE_NEXT, NONE_ADDR);
+        h.free_run(a, a, 1);
+        let b = h.alloc_page(1);
+        assert_eq!(a, b, "free-list is LIFO");
+    }
+}

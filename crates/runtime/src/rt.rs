@@ -1,0 +1,580 @@
+//! The runtime: region primitives (paper §3) and value constructors.
+//!
+//! `Rt` owns the region heap, the runtime stack, the data segment, the
+//! large-object table and the region stack, and exposes the *region
+//! primitives* the compiled code is linked against: allocating and
+//! deallocating regions, allocating into regions, and reading/writing
+//! boxed values in a tagging-aware way.
+
+use crate::config::RtConfig;
+use crate::heap::{Heap, PAGE_HDR, PAGE_NEXT};
+use crate::lobj::{LData, Lobjs};
+use crate::profile::Profiler;
+pub use crate::region::RegionId;
+use crate::region::RegionDesc;
+use crate::stats::RtStats;
+use crate::value::{
+    self, ptr, ptr_addr, scalar, scalar_val, space_of, Space, Tag, Word, DATA_BASE,
+    LOBJ_STRIDE, NONE_ADDR, STACK_BASE,
+};
+use std::collections::HashMap;
+
+/// The runtime state for one program execution.
+#[derive(Debug)]
+pub struct Rt {
+    /// Configuration (mode and collector policy).
+    pub config: RtConfig,
+    /// The region heap.
+    pub heap: Heap,
+    /// The runtime stack (activation records and finite regions).
+    pub stack: Vec<Word>,
+    /// The region stack of descriptors; `RegionId` indexes into it.
+    pub regions: Vec<RegionDesc>,
+    /// Large objects.
+    pub lobjs: Lobjs,
+    /// Statistics.
+    pub stats: RtStats,
+    /// Set when the free-list dropped below the threshold; the mutator
+    /// collects at the next safe point (function entry, paper §4).
+    pub gc_needed: bool,
+    /// True while the collector runs (suppresses accounting of to-space
+    /// page requests as mutator allocation).
+    pub in_gc: bool,
+    /// Region profiler (paper Fig. 5).
+    pub profiler: Profiler,
+    data_strings: Vec<String>,
+    data_interned: HashMap<String, u32>,
+}
+
+impl Rt {
+    /// Creates a runtime in the given mode.
+    pub fn new(config: RtConfig) -> Self {
+        let heap = Heap::new(config.page_words(), config.initial_pages);
+        Rt {
+            heap,
+            stack: Vec::with_capacity(1024),
+            regions: Vec::new(),
+            lobjs: Lobjs::new(),
+            stats: RtStats::default(),
+            gc_needed: false,
+            in_gc: false,
+            profiler: Profiler::new(config.profile),
+            data_strings: Vec::new(),
+            data_interned: HashMap::new(),
+            config,
+        }
+    }
+
+    // -------------------------------------------------------------- regions
+
+    /// Pushes a fresh infinite region (with one page, as in the ML Kit)
+    /// and returns its id. `name` identifies the region variable for
+    /// profiling.
+    pub fn letregion(&mut self, name: u32) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        let mut d = RegionDesc::empty(name);
+        let page = self.alloc_page_for(id.0);
+        d.fp = page;
+        d.a = page + PAGE_HDR;
+        d.e = page + self.heap.page_words() as u64;
+        d.pages = 1;
+        self.regions.push(d);
+        self.stats.regions_created += 1;
+        self.observe_mem();
+        id
+    }
+
+    /// Pops the newest region, returning its pages to the free-list in
+    /// constant time and freeing its large objects (paper §2.1, §3.1).
+    pub fn endregion(&mut self) {
+        let d = self.regions.pop().expect("region stack underflow");
+        if d.fp != NONE_ADDR {
+            if self.config.poison {
+                let pw = self.heap.page_words() as u64;
+                let mut p = d.fp;
+                let pat = 0xDEAD_0000_0000_0001u64 | ((d.name as u64) << 16);
+                while p != NONE_ADDR {
+                    for i in crate::heap::PAGE_HDR..pw {
+                        self.heap.write(p + i, pat);
+                    }
+                    p = self.heap.read(p + crate::heap::PAGE_NEXT);
+                }
+            }
+            self.heap.free_run(d.fp, d.e - 1, d.pages);
+        }
+        self.free_lobj_list(d.lobjs);
+        self.stats.regions_popped += 1;
+    }
+
+    /// Pops regions until `depth` remain (used for scope exit and
+    /// exception unwinding).
+    pub fn pop_regions_to(&mut self, depth: usize) {
+        while self.regions.len() > depth {
+            self.endregion();
+        }
+    }
+
+    /// Current region-stack depth.
+    pub fn region_depth(&self) -> usize {
+        self.regions.len()
+    }
+
+    fn free_lobj_list(&mut self, mut head: u32) {
+        while head != 0 {
+            let id = head - 1;
+            head = self.lobjs.get(id).next;
+            self.lobjs.free(id);
+        }
+    }
+
+    /// Requests a page from the free-list, stamping `origin`, and updates
+    /// the collection trigger.
+    fn alloc_page_for(&mut self, origin: u32) -> u64 {
+        let page = self.heap.alloc_page(origin as u64);
+        if !self.in_gc {
+            self.stats.pages_requested_since_gc += 1;
+            if self.config.gc_enabled {
+                let threshold =
+                    (self.heap.total_pages() as f64 * self.config.gc_threshold) as usize;
+                if self.heap.free_pages() < threshold {
+                    self.gc_needed = true;
+                }
+            }
+        }
+        page
+    }
+
+    /// Bump-allocates `nwords` payload words in region `r`, extending the
+    /// region with a fresh page if needed. Returns the word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nwords` exceeds the page payload size — such values must
+    /// go to the large-object space.
+    pub fn alloc_words(&mut self, r: RegionId, nwords: u64) -> u64 {
+        debug_assert!(nwords > 0);
+        assert!(
+            nwords as usize <= self.config.page_data_words(),
+            "value of {nwords} words exceeds the region page size"
+        );
+        let d = &self.regions[r.0 as usize];
+        if d.fp == NONE_ADDR || d.a + nwords > d.e {
+            self.extend_region(r);
+        }
+        let d = &mut self.regions[r.0 as usize];
+        let addr = d.a;
+        d.a += nwords;
+        d.used_words += nwords;
+        if !self.in_gc {
+            self.stats.words_allocated += nwords;
+            self.stats.allocations += 1;
+        }
+        addr
+    }
+
+    /// Extends region `r` with a fresh page, writing the slack sentinel so
+    /// the collector's scan pointer can skip the unused page tail.
+    fn extend_region(&mut self, r: RegionId) {
+        let (a, e, fp) = {
+            let d = &self.regions[r.0 as usize];
+            (d.a, d.e, d.fp)
+        };
+        if self.config.tagged && fp != NONE_ADDR && a < e {
+            let w = Tag::sentinel_word();
+            self.heap.write(a, w);
+        }
+        let page = self.alloc_page_for(r.0);
+        let pw = self.heap.page_words() as u64;
+        let d = &mut self.regions[r.0 as usize];
+        if d.fp == NONE_ADDR {
+            d.fp = page;
+        } else {
+            // d.e is one past the end of the last page, so this is its base.
+            let last = d.e - pw;
+            self.heap.write(last + PAGE_NEXT, page);
+        }
+        let d = &mut self.regions[r.0 as usize];
+        d.a = page + PAGE_HDR;
+        d.e = page + pw;
+        d.pages += 1;
+        self.observe_mem();
+    }
+
+    // --------------------------------------------------------------- values
+
+    /// Header words before the fields of a box (1 when tagged).
+    #[inline]
+    pub fn hdr_words(&self) -> u64 {
+        self.config.tagged as u64
+    }
+
+    /// Encodes an integer value.
+    #[inline]
+    pub fn tag_int(&self, n: i64) -> Word {
+        if self.config.tagged { scalar(n) } else { n as u64 }
+    }
+
+    /// Decodes an integer value.
+    #[inline]
+    pub fn untag_int(&self, v: Word) -> i64 {
+        if self.config.tagged { scalar_val(v) } else { v as i64 }
+    }
+
+    /// Reads a word at any address (heap, stack, or large-object array).
+    #[inline]
+    pub fn read_addr(&self, addr: u64) -> Word {
+        match space_of(addr) {
+            Space::Heap => {
+                let w = self.heap.read(addr);
+                if self.config.poison && (w >> 48) == 0xDEAD {
+                    panic!(
+                        "poison read at {addr:#x}: region r{} was deallocated",
+                        (w >> 16) & 0xFFFF_FFFF
+                    );
+                }
+                w
+            }
+            Space::Stack => self.stack[(addr - STACK_BASE) as usize],
+            Space::Large => {
+                let id = Lobjs::id_of(addr);
+                let off = (addr - Lobjs::addr_of(id)) as usize;
+                match &self.lobjs.get(id).data {
+                    LData::Arr(a) => a[off],
+                    LData::Str(_) => panic!("word read from string large object"),
+                }
+            }
+            Space::Data => panic!("word read from the data segment"),
+        }
+    }
+
+    /// Writes a word at any address.
+    #[inline]
+    pub fn write_addr(&mut self, addr: u64, v: Word) {
+        match space_of(addr) {
+            Space::Heap => self.heap.write(addr, v),
+            Space::Stack => self.stack[(addr - STACK_BASE) as usize] = v,
+            Space::Large => {
+                let id = Lobjs::id_of(addr);
+                let off = (addr - Lobjs::addr_of(id)) as usize;
+                match &mut self.lobjs.get_mut(id).data {
+                    LData::Arr(a) => a[off] = v,
+                    LData::Str(_) => panic!("word write to string large object"),
+                }
+            }
+            Space::Data => panic!("word write to the data segment"),
+        }
+    }
+
+    /// Allocates a box with `tag` and `fields` in region `r`.
+    ///
+    /// In untagged mode the tag word is omitted — fields only.
+    pub fn alloc_boxed(&mut self, r: RegionId, tag: Tag, fields: &[Word]) -> Word {
+        let n = fields.len() as u64 + self.hdr_words();
+        let addr = self.alloc_words(r, n);
+        let mut at = addr;
+        if self.config.tagged {
+            self.heap.write(at, tag.encode());
+            at += 1;
+        }
+        for f in fields {
+            self.heap.write(at, *f);
+            at += 1;
+        }
+        ptr(addr)
+    }
+
+    /// Allocates a tuple/closure record.
+    pub fn alloc_record(&mut self, r: RegionId, fields: &[Word]) -> Word {
+        self.alloc_boxed(r, Tag::record(fields.len() as u32), fields)
+    }
+
+    /// Allocates a boxed real.
+    pub fn alloc_real(&mut self, r: RegionId, x: f64) -> Word {
+        let n = 1 + self.hdr_words();
+        let addr = self.alloc_words(r, n);
+        if self.config.tagged {
+            self.heap.write(addr, Tag::real().encode());
+        }
+        self.heap.write(addr + self.hdr_words(), x.to_bits());
+        ptr(addr)
+    }
+
+    /// Reads a boxed real.
+    pub fn real_val(&self, v: Word) -> f64 {
+        f64::from_bits(self.read_addr(ptr_addr(v) + self.hdr_words()))
+    }
+
+    /// Reads field `i` of a box.
+    #[inline]
+    pub fn field(&self, v: Word, i: u64) -> Word {
+        self.read_addr(ptr_addr(v) + self.hdr_words() + i)
+    }
+
+    /// Writes field `i` of a box.
+    #[inline]
+    pub fn set_field(&mut self, v: Word, i: u64, x: Word) {
+        self.write_addr(ptr_addr(v) + self.hdr_words() + i, x);
+    }
+
+    // -------------------------------------------------------------- strings
+
+    /// Interns a constant string in the data segment; such values are
+    /// never traversed, updated or copied by the collector (§2.5).
+    pub fn intern_const_str(&mut self, s: &str) -> Word {
+        if let Some(&i) = self.data_interned.get(s) {
+            return ptr(DATA_BASE + i as u64);
+        }
+        let i = self.data_strings.len() as u32;
+        self.data_strings.push(s.to_string());
+        self.data_interned.insert(s.to_string(), i);
+        ptr(DATA_BASE + i as u64)
+    }
+
+    /// Allocates a string as a large object associated with region `r`.
+    pub fn alloc_string(&mut self, r: RegionId, s: String) -> Word {
+        self.stats.lobj_words_allocated += s.len().div_ceil(8) as u64;
+        let d = &mut self.regions[r.0 as usize];
+        let id = self.lobjs.alloc(LData::Str(s), d.lobjs);
+        d.lobjs = id + 1;
+        self.observe_mem();
+        ptr(Lobjs::addr_of(id))
+    }
+
+    /// Reads any string value (constant or large object).
+    pub fn str_val(&self, v: Word) -> &str {
+        let addr = ptr_addr(v);
+        match space_of(addr) {
+            Space::Data => &self.data_strings[(addr - DATA_BASE) as usize],
+            Space::Large => match &self.lobjs.get(Lobjs::id_of(addr)).data {
+                LData::Str(s) => s,
+                LData::Arr(_) => panic!("array used as string"),
+            },
+            _ => panic!("string value outside data/large-object space"),
+        }
+    }
+
+    // --------------------------------------------------------------- arrays
+
+    /// Allocates an array of `n` copies of `init` in region `r`'s
+    /// large-object list.
+    pub fn alloc_array(&mut self, r: RegionId, n: usize, init: Word) -> Word {
+        self.stats.lobj_words_allocated += n as u64;
+        let d = &mut self.regions[r.0 as usize];
+        let id = self.lobjs.alloc(LData::Arr(vec![init; n]), d.lobjs);
+        d.lobjs = id + 1;
+        self.observe_mem();
+        ptr(Lobjs::addr_of(id))
+    }
+
+    /// Array length.
+    pub fn arr_len(&self, v: Word) -> usize {
+        match &self.lobjs.get(Lobjs::id_of(ptr_addr(v))).data {
+            LData::Arr(a) => a.len(),
+            LData::Str(_) => panic!("string used as array"),
+        }
+    }
+
+    /// Array element address (for read/write through
+    /// [`Rt::read_addr`]/[`Rt::write_addr`]).
+    pub fn arr_elem_addr(&self, v: Word, i: usize) -> u64 {
+        ptr_addr(v) + i as u64
+    }
+
+    // ------------------------------------------------------------ accounting
+
+    /// Total current memory footprint in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.heap.bytes()
+            + self.stack.len() * 8
+            + self.lobjs.bytes()
+            + self.data_strings.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// Records the current footprint into the peak statistic.
+    #[inline]
+    pub fn observe_mem(&mut self) {
+        let b = self.mem_bytes();
+        self.stats.observe_bytes(b);
+    }
+
+    /// Words still free in the page the region is currently filling.
+    pub fn region_slack(&self, r: RegionId) -> u64 {
+        let d = &self.regions[r.0 as usize];
+        if d.fp == NONE_ADDR { 0 } else { d.e - d.a }
+    }
+
+    /// `true` if `v` is a pointer into the runtime stack (a finite-region
+    /// value); the collector treats these specially (§2.5).
+    pub fn points_into_stack(&self, v: Word) -> bool {
+        value::is_ptr(v) && space_of(ptr_addr(v)) == Space::Stack
+    }
+
+    /// Sanity check: every page is either on the free-list or owned by
+    /// exactly one region (used by property tests).
+    pub fn check_page_conservation(&self) -> Result<(), String> {
+        let owned: usize = self.regions.iter().map(|d| d.pages).sum();
+        let total = self.heap.total_pages();
+        let free = self.heap.free_pages();
+        if owned + free != total {
+            return Err(format!(
+                "page leak: {owned} owned + {free} free != {total} total"
+            ));
+        }
+        // Walk each region chain and count.
+        for (i, d) in self.regions.iter().enumerate() {
+            if d.fp == NONE_ADDR {
+                if d.pages != 0 {
+                    return Err(format!("region {i} has no pages but counts {}", d.pages));
+                }
+                continue;
+            }
+            let n = self.heap.pages_from(d.fp).count();
+            if n != d.pages {
+                return Err(format!(
+                    "region {i} chain has {n} pages but descriptor counts {}",
+                    d.pages
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The stride between large-object addresses (re-exported for the VM).
+pub const LOBJ_ADDR_STRIDE: u64 = LOBJ_STRIDE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Rt {
+        Rt::new(RtConfig::rgt())
+    }
+
+    #[test]
+    fn letregion_endregion_conserves_pages() {
+        let mut rt = rt();
+        let free0 = rt.heap.free_pages();
+        let r = rt.letregion(1);
+        assert_eq!(rt.heap.free_pages(), free0 - 1);
+        // Fill enough to take several pages.
+        for i in 0..1000 {
+            let _ = rt.alloc_record(r, &[rt.tag_int(i), rt.tag_int(i)]);
+        }
+        assert!(rt.regions[0].pages > 1);
+        rt.check_page_conservation().unwrap();
+        rt.endregion();
+        assert_eq!(rt.heap.free_pages(), rt.heap.total_pages());
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let v = rt.alloc_record(r, &[rt.tag_int(10), rt.tag_int(-3)]);
+        assert_eq!(rt.untag_int(rt.field(v, 0)), 10);
+        assert_eq!(rt.untag_int(rt.field(v, 1)), -3);
+        rt.set_field(v, 1, rt.tag_int(99));
+        assert_eq!(rt.untag_int(rt.field(v, 1)), 99);
+    }
+
+    #[test]
+    fn untagged_boxes_have_no_header() {
+        let mut rt = Rt::new(RtConfig::r());
+        let r = rt.letregion(0);
+        let before = rt.regions[0].used_words;
+        let _ = rt.alloc_record(r, &[rt.tag_int(1), rt.tag_int(2)]);
+        assert_eq!(rt.regions[0].used_words - before, 2, "untagged pair is 2 words");
+
+        let mut rt2 = Rt::new(RtConfig::rt());
+        let r2 = rt2.letregion(0);
+        let before = rt2.regions[0].used_words;
+        let _ = rt2.alloc_record(r2, &[rt2.tag_int(1), rt2.tag_int(2)]);
+        assert_eq!(rt2.regions[0].used_words - before, 3, "tagged pair is 3 words");
+    }
+
+    #[test]
+    fn reals_round_trip() {
+        for cfg in [RtConfig::r(), RtConfig::rgt()] {
+            let mut rt = Rt::new(cfg);
+            let r = rt.letregion(0);
+            let v = rt.alloc_real(r, -2.5);
+            assert_eq!(rt.real_val(v), -2.5);
+        }
+    }
+
+    #[test]
+    fn strings_and_interning() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let c1 = rt.intern_const_str("hello");
+        let c2 = rt.intern_const_str("hello");
+        assert_eq!(c1, c2, "constants are interned");
+        let s = rt.alloc_string(r, "dyn".to_string());
+        assert_eq!(rt.str_val(c1), "hello");
+        assert_eq!(rt.str_val(s), "dyn");
+        rt.endregion();
+        // Constant survives region pop; the dynamic string is gone.
+        assert_eq!(rt.str_val(c1), "hello");
+        assert_eq!(rt.lobjs.live_count(), 0);
+    }
+
+    #[test]
+    fn arrays_are_region_associated_large_objects() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        let a = rt.alloc_array(r, 5, rt.tag_int(7));
+        assert_eq!(rt.arr_len(a), 5);
+        let addr = rt.arr_elem_addr(a, 3);
+        rt.write_addr(addr, rt.tag_int(42));
+        assert_eq!(rt.untag_int(rt.read_addr(rt.arr_elem_addr(a, 3))), 42);
+        assert_eq!(rt.untag_int(rt.read_addr(rt.arr_elem_addr(a, 0))), 7);
+        rt.endregion();
+        assert_eq!(rt.lobjs.live_count(), 0, "arrays freed with their region");
+    }
+
+    #[test]
+    fn gc_trigger_fires_when_free_list_shrinks() {
+        let mut rt = Rt::new(RtConfig { initial_pages: 9, ..RtConfig::rgt() });
+        let r = rt.letregion(0);
+        assert!(!rt.gc_needed);
+        for i in 0..10_000 {
+            let _ = rt.alloc_record(r, &[rt.tag_int(i)]);
+            if rt.gc_needed {
+                return;
+            }
+        }
+        panic!("gc trigger never fired");
+    }
+
+    #[test]
+    fn nested_regions_pop_lifo() {
+        let mut rt = rt();
+        let _r1 = rt.letregion(1);
+        let _r2 = rt.letregion(2);
+        let r3 = rt.letregion(3);
+        let _ = rt.alloc_record(r3, &[rt.tag_int(1)]);
+        assert_eq!(rt.region_depth(), 3);
+        rt.pop_regions_to(1);
+        assert_eq!(rt.region_depth(), 1);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn slack_written_as_sentinel_on_page_extension() {
+        let mut rt = Rt::new(RtConfig { page_words_log2: 4, ..RtConfig::rgt() }); // 16-word pages
+        let r = rt.letregion(0);
+        // Fill the first page so a sentinel is written before chaining.
+        // 14 payload words per page; 4-word boxes (tag+3): 3 fit, 2 slack.
+        for _ in 0..4 {
+            let _ = rt.alloc_record(r, &[1, 1, 1].map(|_| rt.tag_int(0)));
+        }
+        let d = &rt.regions[0];
+        assert_eq!(d.pages, 2);
+        // The slack word of the first page must hold the sentinel tag.
+        let first = d.fp;
+        let slack_addr = first + PAGE_HDR + 12;
+        let t = Tag::decode(rt.heap.read(slack_addr));
+        assert_eq!(t.kind, crate::value::Kind::Sentinel);
+    }
+}

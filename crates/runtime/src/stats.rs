@@ -1,0 +1,164 @@
+//! Runtime statistics: allocation volume, collection accounting (paper
+//! §4.3) and peak memory.
+
+/// Accounting for one garbage collection, following §4.3 of the paper.
+///
+/// With `L_i` the live pages after collection `i`, `A_p` the pages
+/// requested between collections `i` and `i+1`, and `A_{i+1}` the
+/// from-space pages just before collection `i+1`:
+///
+/// * memory reclaimed by region inference: `L_i + A_p − A_{i+1}`
+/// * memory reclaimed by the collector: `A_{i+1} − L_{i+1}`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcRecord {
+    /// Live pages after the previous collection (`L_i`).
+    pub prev_live_pages: usize,
+    /// Pages requested from the free-list since the previous collection
+    /// (`A_p`).
+    pub pages_requested: u64,
+    /// Pages in the global from-space just before this collection
+    /// (`A_{i+1}`).
+    pub from_pages: usize,
+    /// Live (to-space) pages after this collection (`L_{i+1}`).
+    pub live_pages: usize,
+    /// Unused words inside from-space pages at collection time (waste).
+    pub waste_words: u64,
+    /// Total payload words of the from-space pages.
+    pub from_space_words: u64,
+    /// Words copied by the collector.
+    pub copied_words: u64,
+    /// Large objects freed by this collection.
+    pub lobjs_freed: usize,
+}
+
+impl GcRecord {
+    /// Fraction of reclaimed memory recycled by region inference (`RI` in
+    /// Table 3). `None` when nothing was reclaimed.
+    pub fn ri_fraction(&self) -> Option<f64> {
+        let total = self.prev_live_pages as f64 + self.pages_requested as f64
+            - self.live_pages as f64;
+        if total <= 0.0 {
+            return None;
+        }
+        let ri = self.prev_live_pages as f64 + self.pages_requested as f64
+            - self.from_pages as f64;
+        Some((ri / total).clamp(0.0, 1.0))
+    }
+
+    /// Fraction reclaimed by the garbage collector (`GC` in Table 3).
+    pub fn gc_fraction(&self) -> Option<f64> {
+        self.ri_fraction().map(|ri| 1.0 - ri)
+    }
+
+    /// Waste: unused page space as a fraction of allocated page space.
+    pub fn waste_fraction(&self) -> f64 {
+        if self.from_space_words == 0 {
+            0.0
+        } else {
+            self.waste_words as f64 / self.from_space_words as f64
+        }
+    }
+}
+
+/// Cumulative runtime statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RtStats {
+    /// Words allocated in regions by the program (excluding GC copies).
+    pub words_allocated: u64,
+    /// Number of region allocations.
+    pub allocations: u64,
+    /// Words allocated as large objects.
+    pub lobj_words_allocated: u64,
+    /// Regions pushed (infinite regions only).
+    pub regions_created: u64,
+    /// Regions popped.
+    pub regions_popped: u64,
+    /// Region pages requested from the free-list since the last collection.
+    pub pages_requested_since_gc: u64,
+    /// Number of collections performed (`#GC` in Table 2).
+    pub gc_count: u64,
+    /// Minor (nursery) collections of the generational baseline.
+    pub minor_gcs: u64,
+    /// Major collections of the generational baseline.
+    pub major_gcs: u64,
+    /// Total words copied by the collector.
+    pub gc_copied_words: u64,
+    /// Wall-clock nanoseconds spent collecting.
+    pub gc_time_ns: u64,
+    /// Peak memory (heap arena + stack + large objects + data), bytes.
+    pub peak_bytes: usize,
+    /// Live pages after the most recent collection.
+    pub last_live_pages: usize,
+    /// Per-collection accounting records.
+    pub gc_records: Vec<GcRecord>,
+}
+
+impl RtStats {
+    /// Records a memory-footprint observation, keeping the peak.
+    #[inline]
+    pub fn observe_bytes(&mut self, bytes: usize) {
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+    }
+
+    /// Aggregate RI fraction over all collections (Table 3, `RI`).
+    pub fn ri_fraction(&self) -> Option<f64> {
+        let mut ri = 0.0;
+        let mut total = 0.0;
+        for r in &self.gc_records {
+            let t = r.prev_live_pages as f64 + r.pages_requested as f64
+                - r.live_pages as f64;
+            if t > 0.0 {
+                let x = r.prev_live_pages as f64 + r.pages_requested as f64
+                    - r.from_pages as f64;
+                ri += x.max(0.0);
+                total += t;
+            }
+        }
+        if total > 0.0 { Some((ri / total).clamp(0.0, 1.0)) } else { None }
+    }
+
+    /// Aggregate waste fraction over all collections (Table 3, `W`).
+    pub fn waste_fraction(&self) -> Option<f64> {
+        let (mut w, mut t) = (0.0, 0.0);
+        for r in &self.gc_records {
+            w += r.waste_words as f64;
+            t += r.from_space_words as f64;
+        }
+        if t > 0.0 { Some(w / t) } else { None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ri_fraction_matches_paper_formula() {
+        // L_i = 10, A_p = 30, A_{i+1} = 20, L_{i+1} = 5:
+        // RI = (10 + 30 - 20) / (10 + 30 - 5) = 20/35
+        let r = GcRecord {
+            prev_live_pages: 10,
+            pages_requested: 30,
+            from_pages: 20,
+            live_pages: 5,
+            waste_words: 0,
+            from_space_words: 0,
+            copied_words: 0,
+            lobjs_freed: 0,
+        };
+        let ri = r.ri_fraction().unwrap();
+        assert!((ri - 20.0 / 35.0).abs() < 1e-12);
+        let gc = r.gc_fraction().unwrap();
+        assert!((gc - 15.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut s = RtStats::default();
+        s.observe_bytes(100);
+        s.observe_bytes(50);
+        assert_eq!(s.peak_bytes, 100);
+    }
+}

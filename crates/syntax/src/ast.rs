@@ -1,0 +1,276 @@
+//! Surface abstract syntax of MiniML.
+//!
+//! The surface AST deliberately does not distinguish variables from nullary
+//! datatype constructors — that resolution requires the constructor
+//! environment and happens during elaboration in `kit-typing`.
+
+use crate::pos::Span;
+
+/// A complete program: a sequence of top-level declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level declarations, in source order.
+    pub decs: Vec<Dec>,
+}
+
+/// A top-level or `let`-bound declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dec {
+    /// `val pat = exp`
+    Val { pat: Pat, exp: Exp, span: Span },
+    /// `fun f p1 ... = e | f p1' ... = e' and g ... ` — a group of possibly
+    /// mutually recursive function bindings.
+    Fun { binds: Vec<FunBind>, span: Span },
+    /// `datatype ('a, ...) t = C of ty | D | ...` — a group of possibly
+    /// mutually recursive datatype bindings.
+    Datatype { binds: Vec<DataBind>, span: Span },
+    /// `exception E` or `exception E of ty`
+    Exception { name: String, arg: Option<TyExp>, span: Span },
+}
+
+/// One function binding: a name and its clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunBind {
+    /// Function name.
+    pub name: String,
+    /// Clauses; each has the same number of curried argument patterns.
+    pub clauses: Vec<Clause>,
+    /// Source span of the binding.
+    pub span: Span,
+}
+
+/// One clause of a function binding: `f p1 p2 ... = body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Curried argument patterns.
+    pub pats: Vec<Pat>,
+    /// Clause body.
+    pub body: Exp,
+}
+
+/// One datatype binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBind {
+    /// Bound type variables (without the leading prime).
+    pub tyvars: Vec<String>,
+    /// The type constructor name.
+    pub name: String,
+    /// Value constructors.
+    pub cons: Vec<ConBind>,
+}
+
+/// A value-constructor binding inside a datatype declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConBind {
+    /// Constructor name.
+    pub name: String,
+    /// Argument type, if the constructor carries a value.
+    pub arg: Option<TyExp>,
+}
+
+/// Type expressions in annotations and datatype declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TyExp {
+    /// `'a`
+    Var(String),
+    /// `(ty, ...) tycon` (possibly with zero arguments)
+    Con(String, Vec<TyExp>),
+    /// `ty1 * ty2 * ...` (n >= 2)
+    Tuple(Vec<TyExp>),
+    /// `ty1 -> ty2`
+    Arrow(Box<TyExp>, Box<TyExp>),
+}
+
+/// Patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// Wildcard `_`.
+    Wild(Span),
+    /// A lowercase identifier: variable or nullary constructor (resolved
+    /// during elaboration).
+    Var(String, Span),
+    /// Integer literal pattern.
+    Int(i64, Span),
+    /// String literal pattern.
+    Str(String, Span),
+    /// Boolean literal pattern.
+    Bool(bool, Span),
+    /// Unit pattern `()`.
+    Unit(Span),
+    /// Tuple pattern `(p1, ..., pn)` with n >= 2.
+    Tuple(Vec<Pat>, Span),
+    /// Constructor application `C p`.
+    Con(String, Box<Pat>, Span),
+    /// List pattern `[p1, ..., pn]` (sugar for conses).
+    List(Vec<Pat>, Span),
+    /// Cons pattern `p1 :: p2`.
+    Cons(Box<Pat>, Box<Pat>, Span),
+    /// Type-annotated pattern `p : ty`.
+    Ascribe(Box<Pat>, TyExp, Span),
+}
+
+impl Pat {
+    /// The source span of the pattern.
+    pub fn span(&self) -> Span {
+        match self {
+            Pat::Wild(s)
+            | Pat::Var(_, s)
+            | Pat::Int(_, s)
+            | Pat::Str(_, s)
+            | Pat::Bool(_, s)
+            | Pat::Unit(s)
+            | Pat::Tuple(_, s)
+            | Pat::Con(_, _, s)
+            | Pat::List(_, s)
+            | Pat::Cons(_, _, s)
+            | Pat::Ascribe(_, _, s) => *s,
+        }
+    }
+}
+
+/// A `case`/`handle`/`fn` match rule: `pat => exp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The pattern.
+    pub pat: Pat,
+    /// The right-hand side.
+    pub exp: Exp,
+}
+
+/// Binary operators (SML infix operators at their standard precedences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (overloaded int/real)
+    Add,
+    /// `-` (overloaded int/real)
+    Sub,
+    /// `*` (overloaded int/real)
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `/` (real division)
+    RDiv,
+    /// `=` (polymorphic equality)
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<` (overloaded)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `^` string concatenation
+    Concat,
+    /// `:=` reference assignment
+    Assign,
+    /// `o` function composition
+    Compose,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exp {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Real literal.
+    Real(f64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Unit `()`.
+    Unit(Span),
+    /// Identifier (variable, constructor or builtin; resolved later).
+    Var(String, Span),
+    /// Tuple `(e1, ..., en)` with n >= 2.
+    Tuple(Vec<Exp>, Span),
+    /// List `[e1, ..., en]`.
+    List(Vec<Exp>, Span),
+    /// Application `e1 e2`.
+    App(Box<Exp>, Box<Exp>, Span),
+    /// Infix application `e1 op e2`.
+    BinOp(BinOp, Box<Exp>, Box<Exp>, Span),
+    /// `::`
+    Cons(Box<Exp>, Box<Exp>, Span),
+    /// `@` list append (expands to a prelude call).
+    Append(Box<Exp>, Box<Exp>, Span),
+    /// Unary negation `~ e`.
+    Neg(Box<Exp>, Span),
+    /// Dereference `! e`.
+    Deref(Box<Exp>, Span),
+    /// `not e`.
+    Not(Box<Exp>, Span),
+    /// `e1 andalso e2` (short-circuit).
+    Andalso(Box<Exp>, Box<Exp>, Span),
+    /// `e1 orelse e2` (short-circuit).
+    Orelse(Box<Exp>, Box<Exp>, Span),
+    /// `if e1 then e2 else e3`.
+    If(Box<Exp>, Box<Exp>, Box<Exp>, Span),
+    /// `while e1 do e2` (unit-valued).
+    While(Box<Exp>, Box<Exp>, Span),
+    /// `case e of rules`.
+    Case(Box<Exp>, Vec<Rule>, Span),
+    /// `fn pat => e | ...`.
+    Fn(Vec<Rule>, Span),
+    /// `let decs in e1; ...; en end`.
+    Let(Vec<Dec>, Vec<Exp>, Span),
+    /// `(e1; e2; ...; en)` sequencing.
+    Seq(Vec<Exp>, Span),
+    /// `raise e`.
+    Raise(Box<Exp>, Span),
+    /// `e handle rules`.
+    Handle(Box<Exp>, Vec<Rule>, Span),
+    /// Type-annotated expression `e : ty`.
+    Ascribe(Box<Exp>, TyExp, Span),
+}
+
+impl Exp {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Exp::Int(_, s)
+            | Exp::Real(_, s)
+            | Exp::Str(_, s)
+            | Exp::Bool(_, s)
+            | Exp::Unit(s)
+            | Exp::Var(_, s)
+            | Exp::Tuple(_, s)
+            | Exp::List(_, s)
+            | Exp::App(_, _, s)
+            | Exp::BinOp(_, _, _, s)
+            | Exp::Cons(_, _, s)
+            | Exp::Append(_, _, s)
+            | Exp::Neg(_, s)
+            | Exp::Deref(_, s)
+            | Exp::Not(_, s)
+            | Exp::Andalso(_, _, s)
+            | Exp::Orelse(_, _, s)
+            | Exp::If(_, _, _, s)
+            | Exp::While(_, _, s)
+            | Exp::Case(_, _, s)
+            | Exp::Fn(_, s)
+            | Exp::Let(_, _, s)
+            | Exp::Seq(_, s)
+            | Exp::Raise(_, s)
+            | Exp::Handle(_, _, s)
+            | Exp::Ascribe(_, _, s) => *s,
+        }
+    }
+}
+
+impl Dec {
+    /// The source span of the declaration.
+    pub fn span(&self) -> Span {
+        match self {
+            Dec::Val { span, .. }
+            | Dec::Fun { span, .. }
+            | Dec::Datatype { span, .. }
+            | Dec::Exception { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Syntax errors produced by the lexer and parser.
+
+use crate::pos::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while lexing or parsing MiniML source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// Creates a new syntax error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError { message: message.into(), span }
+    }
+
+    /// The human-readable description (lowercase, no trailing punctuation).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source location of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let e = SyntaxError::new("unexpected token", Span::new(0, 1, 3));
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+    }
+}

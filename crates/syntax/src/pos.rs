@@ -1,0 +1,67 @@
+//! Source positions and spans.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text, with a line
+/// number for error reporting.
+///
+/// Spans are attached to tokens and AST nodes so that later phases (type
+/// inference, region inference) can report errors against source locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A span covering both `self` and `other`.
+    ///
+    /// The line number of the merged span is the line of the earlier span.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if self.start <= other.start { self.line } else { other.line },
+        }
+    }
+
+    /// A synthetic span for generated code.
+    pub fn synthetic() -> Span {
+        Span { start: 0, end: 0, line: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_correctly() {
+        let a = Span::new(0, 4, 1);
+        let b = Span::new(10, 12, 3);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(0, 12, 1));
+        let m2 = b.merge(a);
+        assert_eq!(m2, Span::new(0, 12, 1));
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(5, 6, 7).to_string(), "line 7");
+    }
+}

@@ -1,0 +1,288 @@
+//! Pretty printer for the surface AST.
+//!
+//! Output is valid MiniML: `parse(pretty(parse(src)))` equals
+//! `parse(src)` up to spans. This is exercised by round-trip tests here and
+//! property tests in the workspace test suite.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a program as parseable MiniML source.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for d in &p.decs {
+        let _ = writeln!(s, "{}", dec_to_string(d));
+    }
+    s
+}
+
+/// Renders one declaration.
+pub fn dec_to_string(d: &Dec) -> String {
+    match d {
+        Dec::Val { pat, exp, .. } => {
+            format!("val {} = {}", pat_to_string(pat), exp_to_string(exp))
+        }
+        Dec::Fun { binds, .. } => {
+            let bs: Vec<String> = binds
+                .iter()
+                .map(|b| {
+                    b.clauses
+                        .iter()
+                        .map(|c| {
+                            let pats: Vec<String> =
+                                c.pats.iter().map(atpat_to_string).collect();
+                            format!("{} {} = {}", b.name, pats.join(" "), exp_to_string(&c.body))
+                        })
+                        .collect::<Vec<_>>()
+                        .join(&format!("\n  | "))
+                })
+                .collect();
+            format!("fun {}", bs.join("\nand "))
+        }
+        Dec::Datatype { binds, .. } => {
+            let bs: Vec<String> = binds
+                .iter()
+                .map(|b| {
+                    let tv = match b.tyvars.len() {
+                        0 => String::new(),
+                        1 => format!("'{} ", b.tyvars[0]),
+                        _ => format!(
+                            "({}) ",
+                            b.tyvars
+                                .iter()
+                                .map(|v| format!("'{v}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    };
+                    let cons: Vec<String> = b
+                        .cons
+                        .iter()
+                        .map(|c| match &c.arg {
+                            Some(t) => format!("{} of {}", c.name, ty_to_string(t)),
+                            None => c.name.clone(),
+                        })
+                        .collect();
+                    format!("{tv}{} = {}", b.name, cons.join(" | "))
+                })
+                .collect();
+            format!("datatype {}", bs.join("\nand "))
+        }
+        Dec::Exception { name, arg, .. } => match arg {
+            Some(t) => format!("exception {name} of {}", ty_to_string(t)),
+            None => format!("exception {name}"),
+        },
+    }
+}
+
+/// Renders a type expression.
+pub fn ty_to_string(t: &TyExp) -> String {
+    match t {
+        TyExp::Var(v) => format!("'{v}"),
+        TyExp::Con(name, args) => match args.len() {
+            0 => name.clone(),
+            1 => format!("{} {}", ty_atom(&args[0]), name),
+            _ => format!(
+                "({}) {}",
+                args.iter().map(ty_to_string).collect::<Vec<_>>().join(", "),
+                name
+            ),
+        },
+        TyExp::Tuple(parts) => parts
+            .iter()
+            .map(ty_atom)
+            .collect::<Vec<_>>()
+            .join(" * "),
+        TyExp::Arrow(a, b) => format!("{} -> {}", ty_atom(a), ty_to_string(b)),
+    }
+}
+
+fn ty_atom(t: &TyExp) -> String {
+    match t {
+        TyExp::Var(_) | TyExp::Con(_, _) => ty_to_string(t),
+        _ => format!("({})", ty_to_string(t)),
+    }
+}
+
+/// Renders a pattern.
+pub fn pat_to_string(p: &Pat) -> String {
+    match p {
+        Pat::Cons(h, t, _) => format!("{} :: {}", atpat_to_string(h), pat_to_string(t)),
+        Pat::Con(c, a, _) => format!("{c} {}", atpat_to_string(a)),
+        Pat::Ascribe(p, t, _) => format!("{} : {}", atpat_to_string(p), ty_to_string(t)),
+        _ => atpat_to_string(p),
+    }
+}
+
+fn atpat_to_string(p: &Pat) -> String {
+    match p {
+        Pat::Wild(_) => "_".to_string(),
+        Pat::Var(v, _) => v.clone(),
+        Pat::Int(n, _) => fmt_int(*n),
+        Pat::Str(s, _) => format!("{s:?}"),
+        Pat::Bool(b, _) => b.to_string(),
+        Pat::Unit(_) => "()".to_string(),
+        Pat::Tuple(ps, _) => format!(
+            "({})",
+            ps.iter().map(pat_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        Pat::List(ps, _) => format!(
+            "[{}]",
+            ps.iter().map(pat_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        Pat::Cons(_, _, _) | Pat::Con(_, _, _) | Pat::Ascribe(_, _, _) => {
+            format!("({})", pat_to_string(p))
+        }
+    }
+}
+
+fn fmt_int(n: i64) -> String {
+    if n < 0 { format!("~{}", -(n as i128)) } else { n.to_string() }
+}
+
+fn fmt_real(r: f64) -> String {
+    let body = if r == r.trunc() && r.abs() < 1e15 {
+        format!("{:.1}", r.abs())
+    } else {
+        format!("{}", r.abs())
+    };
+    if r.is_sign_negative() { format!("~{body}") } else { body }
+}
+
+/// Renders an expression (fully parenthesised where required).
+pub fn exp_to_string(e: &Exp) -> String {
+    match e {
+        Exp::Int(n, _) => fmt_int(*n),
+        Exp::Real(r, _) => fmt_real(*r),
+        Exp::Str(s, _) => format!("{s:?}"),
+        Exp::Bool(b, _) => b.to_string(),
+        Exp::Unit(_) => "()".to_string(),
+        Exp::Var(v, _) => {
+            if let Some(rest) = v.strip_prefix("op") {
+                format!("op {rest}")
+            } else {
+                v.clone()
+            }
+        }
+        Exp::Tuple(es, _) => format!(
+            "({})",
+            es.iter().map(exp_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        Exp::List(es, _) => format!(
+            "[{}]",
+            es.iter().map(exp_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        Exp::App(f, a, _) => format!("({} {})", exp_to_string(f), exp_to_string(a)),
+        Exp::BinOp(op, a, b, _) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "div",
+                BinOp::Mod => "mod",
+                BinOp::RDiv => "/",
+                BinOp::Eq => "=",
+                BinOp::Neq => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Concat => "^",
+                BinOp::Assign => ":=",
+                BinOp::Compose => "o",
+            };
+            format!("({} {} {})", exp_to_string(a), sym, exp_to_string(b))
+        }
+        Exp::Cons(h, t, _) => format!("({} :: {})", exp_to_string(h), exp_to_string(t)),
+        Exp::Append(a, b, _) => format!("({} @ {})", exp_to_string(a), exp_to_string(b)),
+        Exp::Neg(e, _) => format!("(~ {})", exp_to_string(e)),
+        Exp::Deref(e, _) => format!("(! {})", exp_to_string(e)),
+        Exp::Not(e, _) => format!("(not {})", exp_to_string(e)),
+        Exp::Andalso(a, b, _) => {
+            format!("({} andalso {})", exp_to_string(a), exp_to_string(b))
+        }
+        Exp::Orelse(a, b, _) => format!("({} orelse {})", exp_to_string(a), exp_to_string(b)),
+        Exp::If(c, t, f, _) => format!(
+            "(if {} then {} else {})",
+            exp_to_string(c),
+            exp_to_string(t),
+            exp_to_string(f)
+        ),
+        Exp::While(c, b, _) => format!("(while {} do {})", exp_to_string(c), exp_to_string(b)),
+        Exp::Case(scrut, rules, _) => format!(
+            "(case {} of {})",
+            exp_to_string(scrut),
+            rules_to_string(rules)
+        ),
+        Exp::Fn(rules, _) => format!("(fn {})", rules_to_string(rules)),
+        Exp::Let(decs, body, _) => {
+            let ds: Vec<String> = decs.iter().map(dec_to_string).collect();
+            let bs: Vec<String> = body.iter().map(exp_to_string).collect();
+            format!("let {} in {} end", ds.join(" "), bs.join("; "))
+        }
+        Exp::Seq(es, _) => format!(
+            "({})",
+            es.iter().map(exp_to_string).collect::<Vec<_>>().join("; ")
+        ),
+        Exp::Raise(e, _) => format!("(raise {})", exp_to_string(e)),
+        Exp::Handle(e, rules, _) => {
+            format!("({} handle {})", exp_to_string(e), rules_to_string(rules))
+        }
+        Exp::Ascribe(e, t, _) => format!("({} : {})", exp_to_string(e), ty_to_string(t)),
+    }
+}
+
+fn rules_to_string(rules: &[Rule]) -> String {
+    rules
+        .iter()
+        .map(|r| format!("{} => {}", pat_to_string(&r.pat), exp_to_string(&r.exp)))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_exp, parse_program};
+
+    fn strip_spans_prog(p: &Program) -> String {
+        // Comparing pretty-printed forms is equivalent to span-insensitive
+        // AST equality for round-trip purposes.
+        program_to_string(p)
+    }
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(strip_spans_prog(&p1), strip_spans_prog(&p2), "source: {src}");
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip("val x = 1 + 2 * 3");
+        round_trip("fun len nil = 0 | len (x :: xs) = 1 + len xs");
+        round_trip("datatype 'a opt = None | Some of 'a");
+        round_trip("exception Bad of int");
+        round_trip("fun f x = let val y = x in y; y end");
+        round_trip("val r = (fn x => x) o (fn y => y)");
+        round_trip("val z = case [1,2] of x :: _ => x | nil => 0");
+        round_trip("val w = (raise Div) handle Div => ~1");
+        round_trip("val v = while false do ()");
+        round_trip("val n = ~3 val r = ~2.5");
+    }
+
+    #[test]
+    fn negative_literals_use_tilde() {
+        let e = parse_exp("~7").unwrap();
+        assert_eq!(exp_to_string(&e), "~7");
+    }
+
+    #[test]
+    fn real_formatting_reparses_as_real() {
+        let e = parse_exp("2.0").unwrap();
+        let s = exp_to_string(&e);
+        assert!(matches!(parse_exp(&s).unwrap(), Exp::Real(_, _)), "{s}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Lexical tokens of MiniML.
+
+use std::fmt;
+
+/// A lexical token.
+///
+/// Keywords and symbolic reserved words are distinguished from identifiers
+/// by the lexer; alphanumeric identifiers may include primes and
+/// underscores, as in Standard ML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals
+    /// Integer literal (SML `~` negation is applied by the lexer).
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal with escapes resolved.
+    Str(String),
+    /// Character literal `#"c"`, exposed as its code point.
+    Char(i64),
+    /// Alphanumeric identifier.
+    Ident(String),
+    /// Type variable, e.g. `'a`.
+    TyVar(String),
+
+    // Keywords
+    Val,
+    Fun,
+    Fn,
+    Let,
+    In,
+    End,
+    If,
+    Then,
+    Else,
+    Case,
+    Of,
+    Datatype,
+    Exception,
+    Raise,
+    Handle,
+    Andalso,
+    Orelse,
+    While,
+    Do,
+    And,
+    Not,
+    True,
+    False,
+    Op,
+
+    // Symbols
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Underscore,
+    Equal,
+    DArrow, // =>
+    Arrow,  // ->
+    Bar,    // |
+    Colon,
+    // Infix operators
+    Plus,
+    Minus,
+    Times,
+    Divide, // / (real division)
+    Div,    // div
+    Mod,    // mod
+    Cons,   // ::
+    Append, // @
+    NotEqual,
+    Less,
+    LessEq,
+    Greater,
+    GreaterEq,
+    Caret,  // ^ string concat
+    Assign, // :=
+    Bang,   // !
+    Compose, // o
+    Tilde,  // ~ (negation)
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Returns the keyword token for `word`, if it is a reserved word.
+    pub fn keyword(word: &str) -> Option<Token> {
+        Some(match word {
+            "val" => Token::Val,
+            "fun" => Token::Fun,
+            "fn" => Token::Fn,
+            "let" => Token::Let,
+            "in" => Token::In,
+            "end" => Token::End,
+            "if" => Token::If,
+            "then" => Token::Then,
+            "else" => Token::Else,
+            "case" => Token::Case,
+            "of" => Token::Of,
+            "datatype" => Token::Datatype,
+            "exception" => Token::Exception,
+            "raise" => Token::Raise,
+            "handle" => Token::Handle,
+            "andalso" => Token::Andalso,
+            "orelse" => Token::Orelse,
+            "while" => Token::While,
+            "do" => Token::Do,
+            "and" => Token::And,
+            "not" => Token::Not,
+            "true" => Token::True,
+            "false" => Token::False,
+            "op" => Token::Op,
+            "div" => Token::Div,
+            "mod" => Token::Mod,
+            "o" => Token::Compose,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Char(c) => write!(f, "#\"{}\"", (*c as u8) as char),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::TyVar(s) => write!(f, "'{s}"),
+            Token::Val => write!(f, "val"),
+            Token::Fun => write!(f, "fun"),
+            Token::Fn => write!(f, "fn"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::End => write!(f, "end"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::Case => write!(f, "case"),
+            Token::Of => write!(f, "of"),
+            Token::Datatype => write!(f, "datatype"),
+            Token::Exception => write!(f, "exception"),
+            Token::Raise => write!(f, "raise"),
+            Token::Handle => write!(f, "handle"),
+            Token::Andalso => write!(f, "andalso"),
+            Token::Orelse => write!(f, "orelse"),
+            Token::While => write!(f, "while"),
+            Token::Do => write!(f, "do"),
+            Token::And => write!(f, "and"),
+            Token::Not => write!(f, "not"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Op => write!(f, "op"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Underscore => write!(f, "_"),
+            Token::Equal => write!(f, "="),
+            Token::DArrow => write!(f, "=>"),
+            Token::Arrow => write!(f, "->"),
+            Token::Bar => write!(f, "|"),
+            Token::Colon => write!(f, ":"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Times => write!(f, "*"),
+            Token::Divide => write!(f, "/"),
+            Token::Div => write!(f, "div"),
+            Token::Mod => write!(f, "mod"),
+            Token::Cons => write!(f, "::"),
+            Token::Append => write!(f, "@"),
+            Token::NotEqual => write!(f, "<>"),
+            Token::Less => write!(f, "<"),
+            Token::LessEq => write!(f, "<="),
+            Token::Greater => write!(f, ">"),
+            Token::GreaterEq => write!(f, ">="),
+            Token::Caret => write!(f, "^"),
+            Token::Assign => write!(f, ":="),
+            Token::Bang => write!(f, "!"),
+            Token::Compose => write!(f, "o"),
+            Token::Tilde => write!(f, "~"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Token::keyword("val"), Some(Token::Val));
+        assert_eq!(Token::keyword("div"), Some(Token::Div));
+        assert_eq!(Token::keyword("foo"), None);
+    }
+
+    #[test]
+    fn display_round_trips_symbols() {
+        assert_eq!(Token::DArrow.to_string(), "=>");
+        assert_eq!(Token::Cons.to_string(), "::");
+        assert_eq!(Token::Char(97).to_string(), "#\"a\"");
+    }
+}

@@ -1,0 +1,68 @@
+//! Elaboration for MiniML: Hindley–Milner type inference, SML-style
+//! overloading resolution, pattern-match compilation and lowering to the
+//! monomorphic-representation `LambdaExp` IR of [`kit_lambda`].
+//!
+//! Pipeline position (paper §3): *Elaboration* and *Modules Compilation*
+//! collapse into this crate (MiniML has no modules); its output feeds the
+//! `kit-lambda` optimizer and then region inference.
+//!
+//! Design notes:
+//!
+//! * Polymorphic functions are compiled **once** with erased type
+//!   variables — as in the ML Kit, where region polymorphism is orthogonal
+//!   to type polymorphism. No allocation happens at a variable type, so the
+//!   runtime never needs the erased structure.
+//! * SML overloading (`+`, `<`, `abs`, `~` over int/real, `<` also over
+//!   strings) is resolved per top-level declaration with defaulting to
+//!   `int`, as in the Definition.
+//! * Polymorphic equality is specialized at elaboration time into
+//!   type-specific code (after Elsman, *Polymorphic equality — no tags
+//!   required*), which is what allows the untagged `r` mode to run without
+//!   any value tags. Equality at a type that is still a variable after
+//!   inference is rejected with a diagnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = kit_typing::compile_str("val it = 1 + 2")?;
+//! // `prog` is an optimizable `kit_lambda::LProgram`.
+//! # Ok::<(), kit_typing::TypeError>(())
+//! ```
+
+pub mod builtins;
+pub mod infer;
+pub mod lower;
+pub mod matchc;
+pub mod prelude;
+pub mod texp;
+pub mod types;
+
+use kit_lambda::LProgram;
+use kit_syntax::SyntaxError;
+
+pub use types::TypeError;
+
+/// Parses and elaborates `src` (with the standard prelude) to `LambdaExp`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for syntax errors (converted) and type errors.
+pub fn compile_str(src: &str) -> Result<LProgram, TypeError> {
+    let prog = kit_syntax::parse_program(src).map_err(from_syntax)?;
+    compile_program(&prog)
+}
+
+/// Elaborates an already-parsed program (with the standard prelude).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on ill-typed input.
+pub fn compile_program(prog: &kit_syntax::Program) -> Result<LProgram, TypeError> {
+    let prelude =
+        kit_syntax::parse_program(prelude::PRELUDE).expect("prelude must parse");
+    infer::elaborate(&prelude, prog)
+}
+
+fn from_syntax(e: SyntaxError) -> TypeError {
+    TypeError::new(format!("syntax error: {}", e.message()), e.span())
+}

@@ -1,0 +1,522 @@
+//! Pattern-match compilation to `LambdaExp` decision trees.
+//!
+//! A first-column matrix algorithm (Augustsson-style):
+//!
+//! * irrefutable tests (wildcards, variables, tuples) are resolved without
+//!   branching — variables by substituting the occurrence variable into the
+//!   rule body, tuples by destructuring the occurrence once with `Select`s;
+//! * the first refutable column of the first row decides the branch
+//!   construct (`SwitchCon`/`SwitchInt`/`SwitchStr`/`SwitchExn`/`If`);
+//! * rows without a test at the branched occurrence flow into every arm and
+//!   the default, preserving first-match semantics.
+//!
+//! Rule bodies may be duplicated across branches; duplicated copies are
+//! alpha-renamed so variable ids stay globally unique (a requirement of the
+//! optimizer and region inference). Pattern variables never produce `let`
+//! bindings: the occurrence variable is substituted directly.
+
+use crate::texp::TPat;
+use kit_lambda::exp::{LExp, VarId, VarTable};
+use kit_lambda::opt::inline::rename_clone;
+use kit_lambda::opt::simplify::subst_atomic;
+use kit_lambda::ty::{ConId, DataEnv, ExnId, LTy, TyConId};
+use std::collections::HashMap;
+
+/// Placeholder type for compiler-introduced binders whose precise type is
+/// irrelevant downstream (region inference recomputes types bottom-up).
+pub const UNKNOWN_TY: LTy = LTy::TyVar(u32::MAX);
+
+/// Shared state for match compilation.
+pub struct MatchCtx<'a> {
+    /// Variable table for fresh temporaries.
+    pub vars: &'a mut VarTable,
+    /// Datatype environment (for signature-completeness checks).
+    pub data: &'a DataEnv,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    cols: Vec<(VarId, TPat)>,
+    subst: Vec<(VarId, VarId)>, // pattern var -> occurrence var
+    body: usize,
+}
+
+/// Compiles a match over the occurrence variables `occs`.
+///
+/// Each row pairs one pattern per occurrence with a rule body. `default`
+/// must contain no binders (it is cloned freely); it is typically
+/// `raise Match`, `raise Bind`, or a re-raise.
+pub fn compile(
+    mc: &mut MatchCtx<'_>,
+    occs: &[VarId],
+    rows: Vec<(Vec<TPat>, LExp)>,
+    default: &LExp,
+) -> LExp {
+    let mut bodies = Vec::new();
+    let mut mrows = Vec::new();
+    for (i, (pats, body)) in rows.into_iter().enumerate() {
+        assert_eq!(pats.len(), occs.len(), "row arity mismatch");
+        bodies.push(body);
+        mrows.push(Row {
+            cols: occs.iter().copied().zip(pats).collect(),
+            subst: Vec::new(),
+            body: i,
+        });
+    }
+    let mut st = Solver { mc, bodies, used: vec![false; mrows.len()], default };
+    st.solve(mrows)
+}
+
+struct Solver<'a, 'b> {
+    mc: &'a mut MatchCtx<'b>,
+    bodies: Vec<LExp>,
+    used: Vec<bool>,
+    default: &'a LExp,
+}
+
+impl Solver<'_, '_> {
+    fn emit_body(&mut self, row: &Row) -> LExp {
+        let mut e = if self.used[row.body] {
+            rename_clone(&self.bodies[row.body], self.mc.vars, &mut HashMap::new())
+        } else {
+            self.used[row.body] = true;
+            self.bodies[row.body].clone()
+        };
+        for (pvar, occ) in &row.subst {
+            subst_atomic(&mut e, *pvar, &LExp::Var(*occ));
+        }
+        e
+    }
+
+    fn solve(&mut self, mut rows: Vec<Row>) -> LExp {
+        if rows.is_empty() {
+            return self.default.clone();
+        }
+        // Normalize the first row: drop irrefutable-variable tests.
+        {
+            let Row { cols, subst, .. } = &mut rows[0];
+            cols.retain_mut(|(occ, pat)| match pat {
+                TPat::Wild => false,
+                TPat::Var(v, _) => {
+                    subst.push((*v, *occ));
+                    false
+                }
+                _ => true,
+            });
+        }
+        if rows[0].cols.is_empty() {
+            let row0 = rows[0].clone();
+            return self.emit_body(&row0);
+        }
+        let (occ, pat) = rows[0].cols[0].clone();
+        match pat {
+            TPat::Wild | TPat::Var(_, _) => unreachable!("normalized above"),
+            TPat::Tuple(ps) => self.destructure_tuple(occ, ps.len(), rows),
+            TPat::Int(_) => self.branch_int(occ, rows),
+            TPat::Str(_) => self.branch_str(occ, rows),
+            TPat::Bool(_) => self.branch_bool(occ, rows),
+            TPat::Con { tycon, .. } => self.branch_con(occ, tycon, rows),
+            TPat::Exn { .. } => self.branch_exn(occ, rows),
+        }
+    }
+
+    /// Destructures the tuple at `occ` once, expanding tuple tests at `occ`
+    /// in every row into component tests.
+    fn destructure_tuple(&mut self, occ: VarId, arity: usize, mut rows: Vec<Row>) -> LExp {
+        let comps: Vec<VarId> = (0..arity)
+            .map(|i| self.mc.vars.fresh(&format!("t{i}")))
+            .collect();
+        for row in &mut rows {
+            let mut new_cols = Vec::new();
+            for (o, p) in std::mem::take(&mut row.cols) {
+                if o == occ {
+                    match p {
+                        TPat::Tuple(ps) => {
+                            assert_eq!(ps.len(), arity, "tuple pattern arity mismatch");
+                            new_cols.extend(comps.iter().copied().zip(ps));
+                        }
+                        TPat::Wild => {}
+                        TPat::Var(v, _) => row.subst.push((v, occ)),
+                        other => panic!("non-tuple pattern {other:?} at tuple occurrence"),
+                    }
+                } else {
+                    new_cols.push((o, p));
+                }
+            }
+            row.cols = new_cols;
+        }
+        let inner = self.solve(rows);
+        comps.into_iter().enumerate().rev().fold(inner, |acc, (i, c)| LExp::Let {
+            var: c,
+            ty: UNKNOWN_TY,
+            rhs: Box::new(LExp::Select { i, arity, tup: Box::new(LExp::Var(occ)) }),
+            body: Box::new(acc),
+        })
+    }
+
+    /// Rows relevant when `occ` is known to match constructor-like key `k`.
+    /// Rows without a test at `occ` are kept (they match anything).
+    fn specialize<K: PartialEq + Clone>(
+        rows: &[Row],
+        occ: VarId,
+        key: &K,
+        get_key: impl Fn(&TPat) -> Option<K>,
+        expand: impl Fn(&mut Row, TPat),
+    ) -> Vec<Row> {
+        let mut out = Vec::new();
+        for row in rows {
+            match row.cols.iter().position(|(o, _)| *o == occ) {
+                None => out.push(row.clone()),
+                Some(ix) => {
+                    let pat = &row.cols[ix].1;
+                    match get_key(pat) {
+                        Some(ref k2) if k2 == key => {
+                            let mut r = row.clone();
+                            let (_, p) = r.cols.remove(ix);
+                            expand(&mut r, p);
+                            out.push(r);
+                        }
+                        Some(_) => {}
+                        None => {
+                            // Variable/wildcard at this occurrence: matches.
+                            let mut r = row.clone();
+                            let (_, p) = r.cols.remove(ix);
+                            match p {
+                                TPat::Wild => {}
+                                TPat::Var(v, _) => r.subst.push((v, occ)),
+                                other => {
+                                    panic!("mixed pattern kinds at occurrence: {other:?}")
+                                }
+                            }
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rows still relevant when no arm matched.
+    fn default_rows(rows: &[Row], occ: VarId) -> Vec<Row> {
+        rows.iter()
+            .filter_map(|row| match row.cols.iter().position(|(o, _)| *o == occ) {
+                None => Some(row.clone()),
+                Some(ix) => match &row.cols[ix].1 {
+                    TPat::Wild | TPat::Var(_, _) => {
+                        let mut r = row.clone();
+                        let (_, p) = r.cols.remove(ix);
+                        if let TPat::Var(v, _) = p {
+                            r.subst.push((v, occ));
+                        }
+                        Some(r)
+                    }
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    fn keys_of<K: PartialEq + Clone>(
+        rows: &[Row],
+        occ: VarId,
+        get_key: impl Fn(&TPat) -> Option<K>,
+    ) -> Vec<K> {
+        let mut keys: Vec<K> = Vec::new();
+        for row in rows {
+            if let Some((_, p)) = row.cols.iter().find(|(o, _)| *o == occ) {
+                if let Some(k) = get_key(p) {
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+            }
+        }
+        keys
+    }
+
+    fn branch_int(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
+        let get = |p: &TPat| match p {
+            TPat::Int(n) => Some(*n),
+            _ => None,
+        };
+        let keys = Self::keys_of(&rows, occ, get);
+        let arms = keys
+            .into_iter()
+            .map(|k| {
+                let spec = Self::specialize(&rows, occ, &k, get, |_, _| {});
+                (k, self.solve(spec))
+            })
+            .collect();
+        let def = self.solve(Self::default_rows(&rows, occ));
+        LExp::SwitchInt { scrut: Box::new(LExp::Var(occ)), arms, default: Box::new(def) }
+    }
+
+    fn branch_str(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
+        let get = |p: &TPat| match p {
+            TPat::Str(s) => Some(s.clone()),
+            _ => None,
+        };
+        let keys = Self::keys_of(&rows, occ, get);
+        let arms = keys
+            .into_iter()
+            .map(|k| {
+                let spec = Self::specialize(&rows, occ, &k, get, |_, _| {});
+                (k, self.solve(spec))
+            })
+            .collect();
+        let def = self.solve(Self::default_rows(&rows, occ));
+        LExp::SwitchStr { scrut: Box::new(LExp::Var(occ)), arms, default: Box::new(def) }
+    }
+
+    fn branch_bool(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
+        let get = |p: &TPat| match p {
+            TPat::Bool(b) => Some(*b),
+            _ => None,
+        };
+        let t = self.solve(Self::specialize(&rows, occ, &true, get, |_, _| {}));
+        let f = self.solve(Self::specialize(&rows, occ, &false, get, |_, _| {}));
+        LExp::If(Box::new(LExp::Var(occ)), Box::new(t), Box::new(f))
+    }
+
+    fn branch_con(&mut self, occ: VarId, tycon: TyConId, rows: Vec<Row>) -> LExp {
+        let get = |p: &TPat| match p {
+            TPat::Con { con, .. } => Some(*con),
+            _ => None,
+        };
+        let keys: Vec<ConId> = Self::keys_of(&rows, occ, get);
+        let mut arms = Vec::new();
+        for k in &keys {
+            // Fresh variable for the constructor argument in this arm.
+            let carries = self.mc.data.get(tycon).constructors[k.0 as usize]
+                .arg
+                .is_some();
+            let argv = carries.then(|| self.mc.vars.fresh("conarg"));
+            let spec = Self::specialize(&rows, occ, k, get, |r, p| {
+                if let TPat::Con { arg: Some(ap), .. } = p {
+                    r.cols.insert(0, (argv.expect("carrying constructor"), *ap));
+                } else if let TPat::Con { arg: None, .. } = p {
+                    // nullary: nothing to expand
+                }
+            });
+            let inner = self.solve(spec);
+            let arm = match argv {
+                Some(v) => LExp::Let {
+                    var: v,
+                    ty: UNKNOWN_TY,
+                    rhs: Box::new(LExp::DeCon {
+                        tycon,
+                        con: *k,
+                        scrut: Box::new(LExp::Var(occ)),
+                    }),
+                    body: Box::new(inner),
+                },
+                None => inner,
+            };
+            arms.push((*k, arm));
+        }
+        let complete = keys.len() == self.mc.data.get(tycon).constructors.len();
+        let default = if complete {
+            None
+        } else {
+            Some(Box::new(self.solve(Self::default_rows(&rows, occ))))
+        };
+        LExp::SwitchCon { scrut: Box::new(LExp::Var(occ)), tycon, arms, default }
+    }
+
+    fn branch_exn(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
+        let get = |p: &TPat| match p {
+            TPat::Exn { exn, .. } => Some(*exn),
+            _ => None,
+        };
+        let keys: Vec<ExnId> = Self::keys_of(&rows, occ, get);
+        let mut arms = Vec::new();
+        for k in &keys {
+            let argv = self.mc.vars.fresh("exnarg");
+            let mut used_arg = false;
+            let spec = Self::specialize(&rows, occ, k, get, |r, p| {
+                if let TPat::Exn { arg: Some(ap), .. } = p {
+                    r.cols.insert(0, (argv, *ap));
+                }
+            });
+            // Determine whether any row binds the argument.
+            for row in &spec {
+                if row.cols.iter().any(|(o, _)| *o == argv) {
+                    used_arg = true;
+                }
+            }
+            let inner = self.solve(spec);
+            let arm = if used_arg {
+                LExp::Let {
+                    var: argv,
+                    ty: UNKNOWN_TY,
+                    rhs: Box::new(LExp::DeExn { exn: *k, scrut: Box::new(LExp::Var(occ)) }),
+                    body: Box::new(inner),
+                }
+            } else {
+                inner
+            };
+            arms.push((*k, arm));
+        }
+        // Exceptions are an open type: always emit a default.
+        let default = Box::new(self.solve(Self::default_rows(&rows, occ)));
+        LExp::SwitchExn { scrut: Box::new(LExp::Var(occ)), arms, default }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+    use kit_lambda::eval::{eval, Value};
+    use kit_lambda::ty::{ExnEnv, CONS, LIST, NIL};
+
+    fn list_pat(ps: Vec<TPat>) -> TPat {
+        // [p1, p2, ...] as nested cons patterns
+        let mut out = TPat::Con { tycon: LIST, con: NIL, targs: vec![Ty::Int], arg: None };
+        for p in ps.into_iter().rev() {
+            out = TPat::Con {
+                tycon: LIST,
+                con: CONS,
+                targs: vec![Ty::Int],
+                arg: Some(Box::new(TPat::Tuple(vec![p, out]))),
+            };
+        }
+        out
+    }
+
+    fn int_list(vals: &[i64]) -> LExp {
+        let mut out = LExp::Con { tycon: LIST, con: NIL, targs: vec![], arg: None };
+        for v in vals.iter().rev() {
+            out = LExp::Con {
+                tycon: LIST,
+                con: CONS,
+                targs: vec![],
+                arg: Some(Box::new(LExp::Record(vec![LExp::Int(*v), out]))),
+            };
+        }
+        out
+    }
+
+    fn run(e: &LExp) -> i64 {
+        match eval(e, &ExnEnv::new(), Some(1_000_000)).unwrap().value {
+            Value::Int(n) => n,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiles_list_length_style_match() {
+        // case xs of nil => 0 | x :: _ => x
+        let mut vars = VarTable::new();
+        let data = DataEnv::new();
+        let xs = vars.fresh("xs");
+        let x = vars.fresh("x");
+        let rows = vec![
+            (vec![list_pat(vec![])], LExp::Int(0)),
+            (
+                vec![TPat::Con {
+                    tycon: LIST,
+                    con: CONS,
+                    targs: vec![Ty::Int],
+                    arg: Some(Box::new(TPat::Tuple(vec![
+                        TPat::Var(x, Ty::Int),
+                        TPat::Wild,
+                    ]))),
+                }],
+                LExp::Var(x),
+            ),
+        ];
+        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let tree = compile(&mut mc, &[xs], rows, &LExp::Int(-1));
+        // Exhaustive: no default in the switch.
+        let LExp::SwitchCon { default: None, .. } = &tree else {
+            panic!("expected exhaustive switch, got {tree:?}")
+        };
+        let prog = LExp::Let {
+            var: xs,
+            ty: UNKNOWN_TY,
+            rhs: Box::new(int_list(&[42, 1])),
+            body: Box::new(tree),
+        };
+        assert_eq!(run(&prog), 42);
+    }
+
+    #[test]
+    fn first_match_priority_with_literals() {
+        // case n of 0 => 10 | 1 => 11 | _ => 99
+        let mut vars = VarTable::new();
+        let data = DataEnv::new();
+        let n = vars.fresh("n");
+        let rows = vec![
+            (vec![TPat::Int(0)], LExp::Int(10)),
+            (vec![TPat::Int(1)], LExp::Int(11)),
+            (vec![TPat::Wild], LExp::Int(99)),
+        ];
+        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let tree = compile(&mut mc, &[n], rows, &LExp::Int(-1));
+        for (v, expect) in [(0, 10), (1, 11), (7, 99)] {
+            let prog = LExp::Let {
+                var: n,
+                ty: UNKNOWN_TY,
+                rhs: Box::new(LExp::Int(v)),
+                body: Box::new(tree.clone()),
+            };
+            assert_eq!(run(&prog), expect, "scrut {v}");
+        }
+    }
+
+    #[test]
+    fn multi_column_tuple_rows() {
+        // fun f 0 y = y | f x 0 = x | f x y = x + y (two occurrences)
+        let mut vars = VarTable::new();
+        let data = DataEnv::new();
+        let a = vars.fresh("a");
+        let b = vars.fresh("b");
+        let x1 = vars.fresh("x");
+        let y1 = vars.fresh("y");
+        let x2 = vars.fresh("x");
+        let y2 = vars.fresh("y");
+        let rows = vec![
+            (vec![TPat::Int(0), TPat::Var(y1, Ty::Int)], LExp::Var(y1)),
+            (vec![TPat::Var(x1, Ty::Int), TPat::Int(0)], LExp::Var(x1)),
+            (
+                vec![TPat::Var(x2, Ty::Int), TPat::Var(y2, Ty::Int)],
+                LExp::Prim(kit_lambda::exp::Prim::IAdd, vec![LExp::Var(x2), LExp::Var(y2)]),
+            ),
+        ];
+        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let tree = compile(&mut mc, &[a, b], rows, &LExp::Int(-1));
+        let mk = |av: i64, bv: i64, t: &LExp| LExp::Let {
+            var: a,
+            ty: UNKNOWN_TY,
+            rhs: Box::new(LExp::Int(av)),
+            body: Box::new(LExp::Let {
+                var: b,
+                ty: UNKNOWN_TY,
+                rhs: Box::new(LExp::Int(bv)),
+                body: Box::new(t.clone()),
+            }),
+        };
+        assert_eq!(run(&mk(0, 5, &tree)), 5);
+        assert_eq!(run(&mk(5, 0, &tree)), 5);
+        assert_eq!(run(&mk(3, 4, &tree)), 7);
+    }
+
+    #[test]
+    fn default_reached_when_no_rule_matches() {
+        let mut vars = VarTable::new();
+        let data = DataEnv::new();
+        let n = vars.fresh("n");
+        let rows = vec![(vec![TPat::Int(1)], LExp::Int(1))];
+        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let tree = compile(&mut mc, &[n], rows, &LExp::Int(-7));
+        let prog = LExp::Let {
+            var: n,
+            ty: UNKNOWN_TY,
+            rhs: Box::new(LExp::Int(9)),
+            body: Box::new(tree),
+        };
+        assert_eq!(run(&prog), -7);
+    }
+}

@@ -1,0 +1,96 @@
+//! The MiniML prelude, compiled in front of every program.
+//!
+//! A small subset of the SML Basis list/utility functions, written to avoid
+//! polymorphic equality (which MiniML supports only at ground types; see
+//! the crate docs).
+
+/// The prelude source.
+pub const PRELUDE: &str = r#"
+fun ignore _ = ()
+fun fst (x, _) = x
+fun snd (_, y) = y
+fun id x = x
+
+fun hd (x :: _) = x
+fun tl (_ :: xs) = xs
+fun null nil = true
+  | null _ = false
+
+fun append (nil, ys) = ys
+  | append (x :: xs, ys) = x :: append (xs, ys)
+
+fun rev xs =
+  let
+    fun go (nil, acc) = acc
+      | go (x :: xs, acc) = go (xs, x :: acc)
+  in
+    go (xs, nil)
+  end
+
+fun length xs =
+  let
+    fun go (nil, n) = n
+      | go (_ :: xs, n) = go (xs, n + 1)
+  in
+    go (xs, 0)
+  end
+
+fun map f nil = nil
+  | map f (x :: xs) = f x :: map f xs
+
+fun app f nil = ()
+  | app f (x :: xs) = (f x; app f xs)
+
+fun foldl f b nil = b
+  | foldl f b (x :: xs) = foldl f (f (x, b)) xs
+
+fun foldr f b nil = b
+  | foldr f b (x :: xs) = f (x, foldr f b xs)
+
+fun filter p nil = nil
+  | filter p (x :: xs) = if p x then x :: filter p xs else filter p xs
+
+fun exists p nil = false
+  | exists p (x :: xs) = p x orelse exists p xs
+
+fun all p nil = true
+  | all p (x :: xs) = p x andalso all p xs
+
+fun nth (x :: _, 0) = x
+  | nth (_ :: xs, n) = nth (xs, n - 1)
+  | nth (nil, _) = raise Subscript
+
+fun take (_, 0) = nil
+  | take (x :: xs, n) = x :: take (xs, n - 1)
+  | take (nil, _) = raise Subscript
+
+fun drop (xs, 0) = xs
+  | drop (_ :: xs, n) = drop (xs, n - 1)
+  | drop (nil, _) = raise Subscript
+
+fun tabulate (n, f) =
+  let
+    fun go i = if i >= n then nil else f i :: go (i + 1)
+  in
+    go 0
+  end
+
+fun min (a, b) = if a < b then a else b
+fun max (a, b) = if a > b then a else b
+
+fun concat nil = ""
+  | concat (s :: ss) = s ^ concat ss
+
+fun upto (lo, hi) = if lo > hi then nil else lo :: upto (lo + 1, hi)
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_parses() {
+        let p = kit_syntax::parse_program(PRELUDE).expect("prelude must parse");
+        assert!(p.decs.len() >= 20);
+    }
+}

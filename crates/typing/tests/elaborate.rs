@@ -1,0 +1,339 @@
+//! End-to-end front-end tests: parse → infer → lower → evaluate with the
+//! reference evaluator, checking values and printed output.
+
+use kit_lambda::eval::{eval, EvalError, Value};
+use kit_lambda::opt::{optimize, OptOptions};
+use kit_typing::compile_str;
+
+fn run(src: &str) -> (String, String) {
+    let prog = compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let out = eval(&prog.body, &prog.exns, Some(200_000_000))
+        .unwrap_or_else(|e| panic!("eval failed: {e}\n{src}"));
+    (format!("{:?}", out.value), out.output)
+}
+
+fn run_int(src: &str) -> i64 {
+    let prog = compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let out = eval(&prog.body, &prog.exns, Some(200_000_000))
+        .unwrap_or_else(|e| panic!("eval failed: {e}\n{src}"));
+    match out.value {
+        Value::Int(n) => n,
+        other => panic!("expected int result, got {other:?}\n{src}"),
+    }
+}
+
+fn run_int_optimized(src: &str) -> i64 {
+    let mut prog = compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    optimize(&mut prog, &OptOptions::default());
+    let out = eval(&prog.body, &prog.exns, Some(200_000_000))
+        .unwrap_or_else(|e| panic!("eval failed: {e}\n{src}"));
+    match out.value {
+        Value::Int(n) => n,
+        other => panic!("expected int result, got {other:?}\n{src}"),
+    }
+}
+
+fn expect_exn(src: &str, name: &str) {
+    let prog = compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let err = eval(&prog.body, &prog.exns, Some(10_000_000)).unwrap_err();
+    assert_eq!(err, EvalError::UncaughtException(name.to_string()), "{src}");
+}
+
+fn expect_type_error(src: &str, fragment: &str) {
+    let err = compile_str(src).unwrap_err();
+    assert!(
+        err.message().contains(fragment),
+        "expected error containing {fragment:?}, got: {err}"
+    );
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_int("val it = 2 + 3 * 4"), 14);
+    assert_eq!(run_int("val it = (2 + 3) * 4"), 20);
+    assert_eq!(run_int("val it = ~7 div 2"), -4);
+    assert_eq!(run_int("val it = ~7 mod 2"), 1);
+}
+
+#[test]
+fn let_and_functions() {
+    assert_eq!(run_int("fun double x = x + x  val it = double 21"), 42);
+    assert_eq!(
+        run_int("val it = let val x = 3 val y = x + 1 in x * y end"),
+        12
+    );
+    assert_eq!(run_int("val f = fn x => x * x  val it = f 8"), 64);
+}
+
+#[test]
+fn currying_and_partial_application() {
+    assert_eq!(
+        run_int("fun add x y = x + y  val inc = add 1  val it = inc 41"),
+        42
+    );
+}
+
+#[test]
+fn recursion() {
+    assert_eq!(
+        run_int("fun fib n = if n < 2 then n else fib (n-1) + fib (n-2) val it = fib 15"),
+        610
+    );
+    assert_eq!(
+        run_int(
+            "fun even 0 = true | even n = odd (n-1)
+             and odd 0 = false | odd n = even (n-1)
+             val it = if even 10 then 1 else 0"
+        ),
+        1
+    );
+}
+
+#[test]
+fn lists_and_prelude() {
+    assert_eq!(run_int("val it = length [1,2,3,4]"), 4);
+    assert_eq!(run_int("val it = hd (rev [1,2,3])"), 3);
+    assert_eq!(
+        run_int("val it = foldl (fn (x, acc) => x + acc) 0 (upto (1, 100))"),
+        5050
+    );
+    assert_eq!(run_int("val it = length ([1,2] @ [3,4,5])"), 5);
+    assert_eq!(run_int("val it = hd (map (fn x => x * 2) [21])"), 42);
+    assert_eq!(run_int("val it = nth ([10,20,30], 1)"), 20);
+}
+
+#[test]
+fn polymorphism_is_let_generalized() {
+    assert_eq!(
+        run_int("val it = length (map id [1,2,3]) + length (map id [true])"),
+        4
+    );
+    assert_eq!(
+        run_int("fun twice f x = f (f x) val it = twice (fn n => n + 1) 40"),
+        42
+    );
+}
+
+#[test]
+fn value_restriction_blocks_generalization() {
+    // `ref nil` must be monomorphic: using it at two types is an error.
+    expect_type_error(
+        "val r = ref nil
+         val _ = r := [1]
+         val _ = r := [true]
+         val it = 0",
+        "mismatch",
+    );
+}
+
+#[test]
+fn datatypes_and_matching() {
+    assert_eq!(
+        run_int(
+            "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+             fun sum Leaf = 0
+               | sum (Node (l, x, r)) = sum l + x + sum r
+             val it = sum (Node (Node (Leaf, 1, Leaf), 2, Node (Leaf, 3, Leaf)))"
+        ),
+        6
+    );
+    assert_eq!(
+        run_int(
+            "datatype color = Red | Green | Blue
+             fun code Red = 1 | code Green = 2 | code Blue = 3
+             val it = code Green"
+        ),
+        2
+    );
+}
+
+#[test]
+fn constructor_as_function() {
+    assert_eq!(
+        run_int(
+            "datatype box = B of int
+             fun unbox (B n) = n
+             val it = unbox (hd (map B [42]))"
+        ),
+        42
+    );
+}
+
+#[test]
+fn overloading_defaults_and_reals() {
+    assert_eq!(run_int("val it = floor (2.5 + 0.75)"), 3);
+    assert_eq!(run_int("fun sq x = x * x  val it = sq 6"), 36);
+    assert_eq!(
+        run_int("fun sqr (x : real) = x * x  val it = floor (sqr 3.0)"),
+        9
+    );
+    assert_eq!(run_int("val it = if 1.5 < 2.5 then 1 else 0"), 1);
+    assert_eq!(run_int("val it = if \"abc\" < \"abd\" then 1 else 0"), 1);
+    assert_eq!(run_int("val it = trunc 3.9 + floor ~0.5"), 2);
+}
+
+#[test]
+fn equality_specialization() {
+    assert_eq!(run_int("val it = if [1,2,3] = [1,2,3] then 1 else 0"), 1);
+    assert_eq!(run_int("val it = if [1,2,3] = [1,2,4] then 0 else 1"), 1);
+    assert_eq!(run_int("val it = if (1, true) = (1, true) then 1 else 0"), 1);
+    assert_eq!(run_int("val it = if \"x\" = \"x\" then 1 else 0"), 1);
+    assert_eq!(run_int("val it = if (1,2) <> (1,3) then 1 else 0"), 1);
+    assert_eq!(
+        run_int(
+            "datatype t = A | B of int * t
+             val it = if B (1, B (2, A)) = B (1, B (2, A)) then 1 else 0"
+        ),
+        1
+    );
+    // Refs compare by identity.
+    assert_eq!(
+        run_int("val r = ref 1 val s = ref 1 val it = if r = s then 1 else 0"),
+        0
+    );
+    assert_eq!(
+        run_int("val r = ref 1 val s = r val it = if r = s then 1 else 0"),
+        1
+    );
+}
+
+#[test]
+fn equality_at_polymorphic_type_is_rejected() {
+    expect_type_error(
+        "fun member (x, nil) = false
+           | member (x, y :: ys) = x = y orelse member (x, ys)
+         val it = 0",
+        "polymorphic equality",
+    );
+}
+
+#[test]
+fn exceptions() {
+    assert_eq!(run_int("val it = (1 div 0) handle Div => 42"), 42);
+    expect_exn("val it = 1 div 0", "Div");
+    expect_exn("val it = hd nil", "Match");
+    assert_eq!(
+        run_int(
+            "exception Found of int
+             fun find p nil = raise Found ~1
+               | find p (x :: xs) = if p x then x else find p xs
+             val it = find (fn x => x > 10) [1, 20, 3] handle Found n => n"
+        ),
+        20
+    );
+    assert_eq!(
+        run_int(
+            "exception A exception B
+             val it = (raise B) handle A => 1 | B => 2"
+        ),
+        2
+    );
+    // Unhandled exceptions re-raise past non-matching handlers.
+    assert_eq!(
+        run_int("val it = ((1 div 0) handle Subscript => 1) handle Div => 2"),
+        2
+    );
+}
+
+#[test]
+fn refs_arrays_and_while() {
+    assert_eq!(
+        run_int(
+            "val i = ref 0
+             val acc = ref 0
+             val _ = while !i < 10 do (acc := !acc + !i; i := !i + 1)
+             val it = !acc"
+        ),
+        45
+    );
+    assert_eq!(
+        run_int(
+            "val a = array (10, 0)
+             fun fill i = if i >= 10 then () else (aupdate (a, i, i * i); fill (i + 1))
+             val _ = fill 0
+             val it = asub (a, 7)"
+        ),
+        49
+    );
+    expect_exn("val a = array (3, 0) val it = asub (a, 5)", "Subscript");
+}
+
+#[test]
+fn strings_and_printing() {
+    let (_, out) = run("val it = print (\"answer: \" ^ itos 42 ^ \"\\n\")");
+    assert_eq!(out, "answer: 42\n");
+    assert_eq!(run_int("val it = size (itos 12345)"), 5);
+    assert_eq!(run_int("val it = strsub (\"AB\", 1)"), 66);
+    assert_eq!(run_int("val it = size (concat [\"ab\", \"cd\", \"e\"])"), 5);
+}
+
+#[test]
+fn op_sections() {
+    assert_eq!(run_int("val it = foldl op+ 0 [1,2,3,4]"), 10);
+    assert_eq!(run_int("val it = foldl op* 1 [1,2,3,4]"), 24);
+}
+
+#[test]
+fn composition() {
+    assert_eq!(
+        run_int("val f = (fn x => x + 1) o (fn x => x * 2) val it = f 20"),
+        41
+    );
+}
+
+#[test]
+fn shadowing() {
+    assert_eq!(
+        run_int("val x = 1 val x = x + 1 val it = let val x = x * 10 in x end"),
+        20
+    );
+}
+
+#[test]
+fn case_with_guards_via_nested_if() {
+    assert_eq!(
+        run_int(
+            "fun classify n =
+               case n of
+                 0 => 100
+               | 1 => 200
+               | m => if m < 0 then ~1 else 300
+             val it = classify 0 + classify 1 + classify 5 + classify ~3"
+        ),
+        599
+    );
+}
+
+#[test]
+fn optimizer_preserves_semantics_end_to_end() {
+    let srcs = [
+        "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2) val it = fib 12",
+        "val it = foldl (fn (x, a) => x + a) 0 (map (fn x => x * x) (upto (1, 20)))",
+        "datatype t = A | B of int fun f A = 0 | f (B n) = n val it = f (B 9) + f A",
+        "val it = (1 div 0) handle Div => 7",
+        "val it = length (filter (fn x => x mod 2 = 0) (upto (1, 10)))",
+    ];
+    for src in srcs {
+        assert_eq!(run_int(src), run_int_optimized(src), "{src}");
+    }
+}
+
+#[test]
+fn type_errors_are_reported() {
+    expect_type_error("val it = 1 + true", "mismatch");
+    expect_type_error("val it = if 1 then 2 else 3", "mismatch");
+    expect_type_error("val it = undefined_name", "unbound variable");
+    expect_type_error("fun f x = f", "occurs");
+    expect_type_error("val it = \"a\" * \"b\"", "overloading constraint");
+}
+
+#[test]
+fn large_tail_recursion_via_oracle() {
+    assert_eq!(
+        run_int(
+            "fun go (0, acc) = acc | go (n, acc) = go (n - 1, acc + n)
+             val it = go (100000, 0)"
+        ),
+        5000050000
+    );
+}

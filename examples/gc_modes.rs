@@ -1,0 +1,48 @@
+//! Runs one allocation-heavy program under all execution modes of the
+//! paper (§1.2) plus the generational baseline, showing how the memory
+//! discipline changes the outcome while the result stays identical:
+//!
+//! * `r`   — untagged regions: fastest, no collections;
+//! * `rt`  — tagged regions: the cost of tags (Table 1);
+//! * `gt`  — one global region + Cheney: everything is the collector's
+//!   problem (many collections, Table 2);
+//! * `rgt` — regions + collector: few collections;
+//! * baseline — generational collector, no stack allocation (Table 4).
+//!
+//! ```sh
+//! cargo run --release --example gc_modes
+//! ```
+
+use kit::{Compiler, Mode};
+use kit_runtime::RtConfig;
+
+const PROGRAM: &str = r#"
+fun build 0 = nil
+  | build n = (n, n * n) :: build (n - 1)
+fun sum (nil, acc) = acc
+  | sum ((a, b) :: rest, acc) = sum (rest, acc + a + b)
+fun rounds (0, acc) = acc
+  | rounds (k, acc) = rounds (k - 1, acc + sum (build 400, 0))
+val it = rounds (120, 0)
+"#;
+
+fn main() -> Result<(), kit::Error> {
+    println!(
+        "{:<9} {:>10} {:>12} {:>7} {:>12} {:>10}",
+        "mode", "result", "instrs", "#GC", "words", "peak(B)"
+    );
+    for mode in Mode::ALL_WITH_BASELINE {
+        let cfg = RtConfig { initial_pages: 32, ..RtConfig::rgt() };
+        let out = Compiler::new(mode).with_config(cfg).run_source(PROGRAM)?;
+        println!(
+            "{:<9} {:>10} {:>12} {:>7} {:>12} {:>10}",
+            mode.suffix(),
+            out.result,
+            out.instructions,
+            out.stats.gc_count,
+            out.stats.words_allocated,
+            out.stats.peak_bytes
+        );
+    }
+    Ok(())
+}

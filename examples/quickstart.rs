@@ -1,0 +1,33 @@
+//! Quickstart: compile and run a MiniML program under regions + garbage
+//! collection (`rgt`, the paper's combined mode) and inspect the runtime
+//! statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kit::{Compiler, Mode};
+
+const PROGRAM: &str = r#"
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+
+fun squares nil = nil
+  | squares (x :: xs) = x * x :: squares xs
+
+val nums = squares (upto (1, 100))
+val _ = print ("sum of squares: " ^ itos (foldl op+ 0 nums) ^ "\n")
+val it = fib 20
+"#;
+
+fn main() -> Result<(), kit::Error> {
+    let out = Compiler::new(Mode::Rgt).run_source(PROGRAM)?;
+    print!("{}", out.output);
+    println!("result         = {}", out.result);
+    println!("instructions   = {}", out.instructions);
+    println!("words alloc'd  = {}", out.stats.words_allocated);
+    println!("regions pushed = {}", out.stats.regions_created);
+    println!("regions popped = {}", out.stats.regions_popped);
+    println!("collections    = {}", out.stats.gc_count);
+    println!("peak memory    = {} bytes", out.stats.peak_bytes);
+    Ok(())
+}

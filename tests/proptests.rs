@@ -1,0 +1,210 @@
+//! Property-based tests.
+//!
+//! 1. *Differential execution*: randomly generated well-typed MiniML
+//!    programs evaluate identically in every execution mode (including
+//!    the generational baseline, including under heap pressure) and in
+//!    the reference evaluator.
+//! 2. *Runtime invariants*: random allocate/pop/collect scripts against
+//!    the region runtime conserve pages and preserve value integrity.
+
+use kit::oracle::run_oracle;
+use kit::{Compiler, Mode};
+use kit_runtime::gc;
+use kit_runtime::value::{is_ptr, Tag};
+use kit_runtime::{RegionId, Rt, RtConfig};
+use proptest::prelude::*;
+
+// ------------------------------------------------------- program generator
+
+/// A generated expression of type int, using variables `x0..x{depth}`.
+fn int_expr(vars: usize, depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        let mut leaves = vec![(-20i64..100).prop_map(|n| {
+            if n < 0 { format!("~{}", -n) } else { n.to_string() }
+        })
+        .boxed()];
+        if vars > 0 {
+            leaves.push((0..vars).prop_map(|i| format!("x{i}")).boxed());
+        }
+        return proptest::strategy::Union::new(leaves).boxed();
+    }
+    let sub = int_expr(vars, depth - 1);
+    let sub2 = int_expr(vars, depth - 1);
+    let sub3 = int_expr(vars, depth - 1);
+    prop_oneof![
+        4 => int_expr(vars, 0),
+        3 => (sub.clone(), sub2.clone(), "[-+*]")
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+        2 => (sub.clone(), sub2.clone(), sub3.clone())
+            .prop_map(|(c, t, f)| format!("(if {c} < {t} then {t} else {f})")),
+        1 => (sub.clone(), sub2.clone())
+            .prop_map(|(a, b)| format!("(fst ({a}, {b}) + snd ({b}, {a}))")),
+        1 => (sub.clone(), sub2.clone())
+            .prop_map(|(a, b)| format!("(length [{a}, {b}] + hd [{a}])")),
+        1 => (sub.clone(), sub2.clone())
+            .prop_map(|(a, b)| {
+                format!("(let val y = {a} in y + {b} end)")
+            }),
+        1 => (sub, sub2)
+            .prop_map(|(a, b)| format!("((fn q => q + {b}) {a})")),
+        1 => int_expr(vars, 0).prop_map(|a| {
+            format!("(foldl op+ 0 (map (fn z => z + 1) [{a}, 2, 3]))")
+        }),
+    ]
+    .boxed()
+}
+
+/// A small program: a couple of `val` bindings and an int result.
+fn program() -> impl Strategy<Value = String> {
+    (int_expr(0, 2), int_expr(1, 2), int_expr(2, 3)).prop_map(|(a, b, c)| {
+        format!("val x0 = {a}\nval x1 = {b}\nval it = {c}\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_agree_across_modes(src in program()) {
+        let oracle = match run_oracle(&src, Some(10_000_000)) {
+            Ok(o) => o,
+            // Overflow/Div are legitimate outcomes; modes must agree on them.
+            Err(kit::Error::Run(e)) => {
+                for mode in Mode::ALL_WITH_BASELINE {
+                    let r = Compiler::new(mode).with_fuel(10_000_000).run_source(&src);
+                    match r {
+                        Err(kit::Error::Run(e2)) => prop_assert_eq!(&e2, &e),
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "{mode}: expected {e}, got {other:?} for\n{src}"
+                            )));
+                        }
+                    }
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("oracle: {e}\n{src}"))),
+        };
+        for mode in Mode::ALL_WITH_BASELINE {
+            let out = Compiler::new(mode)
+                .with_fuel(10_000_000)
+                .run_source(&src)
+                .map_err(|e| TestCaseError::fail(format!("{mode}: {e}\n{src}")))?;
+            prop_assert_eq!(&out.result, &oracle.result, "mode {} on\n{}", mode, src);
+        }
+        // Heap pressure on the combined mode.
+        let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..RtConfig::rgt() };
+        let out = Compiler::new(Mode::Rgt)
+            .with_config(cfg)
+            .with_fuel(10_000_000)
+            .run_source(&src)
+            .map_err(|e| TestCaseError::fail(format!("rgt pressure: {e}\n{src}")))?;
+        prop_assert_eq!(&out.result, &oracle.result, "rgt pressure on\n{}", src);
+    }
+}
+
+// ------------------------------------------------------- runtime invariants
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push,
+    Pop,
+    AllocList(u16),
+    Collect,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => Just(Op::Push),
+            2 => Just(Op::Pop),
+            4 => (1u16..60).prop_map(Op::AllocList),
+            1 => Just(Op::Collect),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Random region scripts: pages are conserved, live data survives
+    /// collections intact, and popped regions return their pages.
+    #[test]
+    fn region_scripts_conserve_pages(script in ops()) {
+        let mut rt = Rt::new(RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() });
+        let base = rt.letregion(0);
+        // One tracked list in the base region; its checksum must survive.
+        let mut expected = 0i64;
+        let mut list = rt.tag_int(0);
+        rt.stack.push(list);
+        let root = rt.stack.len() - 1;
+        let mut depth = 1;
+        for op in script {
+            match op {
+                Op::Push => {
+                    rt.letregion(depth as u32);
+                    depth += 1;
+                }
+                Op::Pop => {
+                    if depth > 1 {
+                        rt.endregion();
+                        depth -= 1;
+                    }
+                }
+                Op::AllocList(n) => {
+                    // Garbage in the newest region, live cells in base.
+                    let newest = RegionId(depth - 1);
+                    for i in 0..n {
+                        let _ = rt.alloc_record(newest, &[rt.tag_int(i as i64)]);
+                    }
+                    list = rt.stack[root];
+                    let head = rt.tag_int(n as i64);
+                    expected += n as i64;
+                    list = rt.alloc_boxed(base, Tag::con(1, 2), &[head, list]);
+                    rt.stack[root] = list;
+                }
+                Op::Collect => {
+                    gc::collect(&mut rt, &[root], &mut []);
+                }
+            }
+            rt.check_page_conservation().map_err(TestCaseError::fail)?;
+        }
+        gc::collect(&mut rt, &[root], &mut []);
+        rt.check_page_conservation().map_err(TestCaseError::fail)?;
+        // Walk the list and check the checksum.
+        let mut v = rt.stack[root];
+        let mut sum = 0i64;
+        while is_ptr(v) {
+            sum += rt.untag_int(rt.field(v, 0));
+            v = rt.field(v, 1);
+        }
+        prop_assert_eq!(sum, expected);
+        rt.pop_regions_to(0);
+        prop_assert_eq!(rt.heap.free_pages(), rt.heap.total_pages());
+    }
+
+    /// Tag words round-trip through encode/decode for arbitrary field
+    /// values.
+    #[test]
+    fn tags_round_trip(size in 0u32..0xFF_FFFF, info in 0u32..0xFF_FFFF, mark in any::<bool>()) {
+        for kind in [
+            kit_runtime::value::Kind::Record,
+            kit_runtime::value::Kind::Con,
+            kit_runtime::value::Kind::Ref,
+            kit_runtime::value::Kind::Exn,
+        ] {
+            let t = Tag { kind, size, info, mark };
+            prop_assert_eq!(Tag::decode(t.encode()), t);
+            prop_assert_eq!(t.encode() & 1, 1);
+        }
+    }
+
+    /// Scalars round-trip for the full 63-bit int range.
+    #[test]
+    fn scalars_round_trip(n in (-(1i64 << 62))..((1i64 << 62) - 1)) {
+        use kit_runtime::value::{scalar, scalar_val};
+        prop_assert_eq!(scalar_val(scalar(n)), n);
+        prop_assert!(!is_ptr(scalar(n)));
+    }
+}
