@@ -106,7 +106,10 @@ mod tests {
         let mut lprog = kit_typing::compile_str(src).expect("front-end");
         let prog = compile_baseline(&mut lprog);
         let cfg = RtConfig {
-            generational: Some(GenPolicy { nursery_pages: 8, major_growth: 4 }),
+            generational: Some(GenPolicy {
+                nursery_pages: 8,
+                major_growth: 4,
+            }),
             initial_pages: 32,
             ..baseline_config()
         };
@@ -132,12 +135,18 @@ mod tests {
         let mut lprog = kit_typing::compile_str(src).expect("front-end");
         let prog = compile_baseline(&mut lprog);
         let cfg = RtConfig {
-            generational: Some(GenPolicy { nursery_pages: 6, major_growth: 2 }),
+            generational: Some(GenPolicy {
+                nursery_pages: 6,
+                major_growth: 2,
+            }),
             initial_pages: 16,
             ..baseline_config()
         };
         let out = run_baseline_with(&prog, Some(500_000_000), cfg).expect("run");
-        assert!(out.stats.major_gcs > 0, "expected at least one major collection");
+        assert!(
+            out.stats.major_gcs > 0,
+            "expected at least one major collection"
+        );
         let s = kit_kam::render::render_value(
             &out.rt,
             out.result,
@@ -159,7 +168,10 @@ mod tests {
         let mut lprog = kit_typing::compile_str(src).expect("front-end");
         let prog = compile_baseline(&mut lprog);
         let cfg = RtConfig {
-            generational: Some(GenPolicy { nursery_pages: 4, major_growth: 3 }),
+            generational: Some(GenPolicy {
+                nursery_pages: 4,
+                major_growth: 3,
+            }),
             initial_pages: 16,
             ..baseline_config()
         };

@@ -1,4 +1,7 @@
-//! Criterion benches over the paper's benchmark programs and modes.
+//! Dependency-free wall-clock benches over the paper's programs and modes
+//! (`cargo bench -p kit-bench`). The build is offline, so this is a plain
+//! `harness = false` binary instead of Criterion: each case is run a few
+//! times and the median is reported.
 //!
 //! Groups:
 //! * `modes/<prog>` — wall-clock per mode (`r`, `rt`, `gt`, `rgt`,
@@ -8,67 +11,87 @@
 //!   GC-heavy program as the heap-to-live ratio varies.
 //! * `ablation/page_size` — region page size sweep (§2.4 allows 2^n).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kit::{Compiler, Mode};
 use kit_bench::programs::by_name;
 use kit_runtime::RtConfig;
+use std::time::{Duration, Instant};
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("modes");
-    g.sample_size(10);
+const SAMPLES: usize = 5;
+
+fn measure(compiler: &Compiler, prog: &kit::Program) -> (Duration, u64) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut instructions = 0;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let out = compiler.run_program(prog).expect("run");
+        times.push(t0.elapsed());
+        instructions = out.instructions;
+    }
+    times.sort();
+    (times[times.len() / 2], instructions)
+}
+
+fn report(group: &str, case: &str, compiler: &Compiler, prog: &kit::Program) {
+    let (median, instructions) = measure(compiler, prog);
+    let mips = instructions as f64 / median.as_secs_f64() / 1e6;
+    println!(
+        "{group}/{case:<12} median {median:>12?}  {instructions:>12} instr  {mips:>8.2} Minstr/s"
+    );
+}
+
+fn bench_modes() {
     for name in ["fib", "msort", "kitlife", "tyan", "professor"] {
         let b = by_name(name).expect("benchmark");
         let src = b.source_scaled(b.test_scale);
         for mode in Mode::ALL_WITH_BASELINE {
             let compiler = Compiler::new(mode);
             let prog = compiler.compile_source(&src).expect("compile");
-            g.bench_with_input(
-                BenchmarkId::new(name, mode.suffix()),
-                &prog,
-                |bch, prog| {
-                    bch.iter(|| compiler.run_program(prog).expect("run").instructions)
-                },
-            );
+            report(&format!("modes/{name}"), mode.suffix(), &compiler, &prog);
         }
     }
-    g.finish();
 }
 
-fn bench_heap_to_live(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/heap_to_live");
-    g.sample_size(10);
+fn bench_heap_to_live() {
     let b = by_name("tyan").expect("tyan");
     let src = b.source_scaled(b.test_scale);
     for ratio in [2.0_f64, 3.0, 5.0, 8.0] {
-        let cfg = RtConfig { heap_to_live_ratio: ratio, ..RtConfig::rgt() };
+        let cfg = RtConfig {
+            heap_to_live_ratio: ratio,
+            ..RtConfig::rgt()
+        };
         let compiler = Compiler::new(Mode::Rgt).with_config(cfg);
         let prog = compiler.compile_source(&src).expect("compile");
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{ratio}")),
+        report(
+            "ablation/heap_to_live",
+            &format!("{ratio}"),
+            &compiler,
             &prog,
-            |bch, prog| bch.iter(|| compiler.run_program(prog).expect("run").instructions),
         );
     }
-    g.finish();
 }
 
-fn bench_page_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/page_size");
-    g.sample_size(10);
+fn bench_page_size() {
     let b = by_name("msort").expect("msort");
     let src = b.source_scaled(b.test_scale);
     for log2 in [6_u32, 8, 10] {
-        let cfg = RtConfig { page_words_log2: log2, ..RtConfig::rgt() };
+        let cfg = RtConfig {
+            page_words_log2: log2,
+            ..RtConfig::rgt()
+        };
         let compiler = Compiler::new(Mode::Rgt).with_config(cfg);
         let prog = compiler.compile_source(&src).expect("compile");
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("2^{log2}w")),
+        report(
+            "ablation/page_size",
+            &format!("2^{log2}w"),
+            &compiler,
             &prog,
-            |bch, prog| bch.iter(|| compiler.run_program(prog).expect("run").instructions),
         );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_modes, bench_heap_to_live, bench_page_size);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_modes();
+    bench_heap_to_live();
+    bench_page_size();
+}

@@ -1,0 +1,144 @@
+//! Perf-trajectory snapshot: runs every benchmark of the paper's Fig. 3 in
+//! all five execution modes and writes a machine-readable JSON summary
+//! (default `BENCH_PR1.json`).
+//!
+//! The deterministic counters (instructions, words allocated, #GC, bytes
+//! copied) are bit-identical across runs and machines; `instructions_per_sec`
+//! is the wall-clock throughput of the abstract machine (best of
+//! `--samples N` runs, default 3) and is the number PRs optimizing the
+//! interpreter hot path are judged by.
+//!
+//! Usage: `cargo run -p kit-bench --release --bin bench-summary --
+//!         [--full] [--samples N] [--out PATH]
+//!         [--only prog,prog,...] [--modes r,rt,...]`
+//!
+//! `--only`/`--modes` restrict the sweep — useful for interleaved A/B
+//! timing of two builds, where each round must be short compared to the
+//! host's throughput drift.
+
+use kit::{Compiler, Mode};
+use kit_bench::programs::all;
+use std::fmt::Write as _;
+
+struct Row {
+    program: String,
+    mode: &'static str,
+    scale: i64,
+    instructions: u64,
+    instructions_per_sec: f64,
+    words_allocated: u64,
+    gc_count: u64,
+    bytes_copied: u64,
+    peak_pages: u64,
+    peak_bytes: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let csv_arg = |flag: &str| -> Option<Vec<String>> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.split(',').map(str::to_string).collect())
+    };
+    let only = csv_arg("--only");
+    let modes = csv_arg("--modes");
+
+    let mut rows = Vec::new();
+    for b in all() {
+        if only
+            .as_ref()
+            .is_some_and(|o| !o.iter().any(|n| n == b.name))
+        {
+            continue;
+        }
+        let scale = if full { b.default_scale } else { b.test_scale };
+        let src = b.source_scaled(scale);
+        for mode in Mode::ALL_WITH_BASELINE {
+            if modes
+                .as_ref()
+                .is_some_and(|m| !m.iter().any(|s| s == mode.suffix()))
+            {
+                continue;
+            }
+            let compiler = Compiler::new(mode);
+            let prog = compiler
+                .compile_source(&src)
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            // Best-of-N wall clock; counters are identical across samples.
+            let mut best = None;
+            for _ in 0..samples {
+                let out = compiler
+                    .run_program(&prog)
+                    .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b: &kit::Outcome| out.wall < b.wall);
+                if better {
+                    best = Some(out);
+                }
+            }
+            let out = best.unwrap();
+            let page_bytes = 256u64 * 8; // RtConfig default: 2^8 words/page
+            rows.push(Row {
+                program: b.name.to_string(),
+                mode: mode.suffix(),
+                scale,
+                instructions: out.instructions,
+                instructions_per_sec: out.instructions as f64 / out.wall.as_secs_f64(),
+                words_allocated: out.stats.words_allocated,
+                gc_count: out.stats.gc_count,
+                bytes_copied: out.stats.gc_copied_words * 8,
+                peak_pages: (out.stats.peak_bytes as u64).div_ceil(page_bytes),
+                peak_bytes: out.stats.peak_bytes as u64,
+            });
+            eprintln!(
+                "{:<10} {:<5} {:>12} instr {:>10.2} Minstr/s  #GC {}",
+                b.name,
+                mode.suffix(),
+                out.instructions,
+                out.instructions as f64 / out.wall.as_secs_f64() / 1e6,
+                out.stats.gc_count,
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"program\": \"{}\", \"mode\": \"{}\", \"scale\": {}, \
+             \"instructions\": {}, \"instructions_per_sec\": {:.0}, \
+             \"words_allocated\": {}, \"gc_count\": {}, \"bytes_copied\": {}, \
+             \"peak_pages\": {}, \"peak_bytes\": {}}}",
+            r.program,
+            r.mode,
+            r.scale,
+            r.instructions,
+            r.instructions_per_sec,
+            r.words_allocated,
+            r.gc_count,
+            r.bytes_copied,
+            r.peak_pages,
+            r.peak_bytes,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {} rows to {out_path}", rows.len());
+}

@@ -4,6 +4,56 @@
 //! analogs for its large SML applications — same allocation character,
 //! scaled to the interpreter (DESIGN.md §3 has the per-program mapping).
 
+/// A deterministic in-tree pseudo-random number generator (SplitMix64,
+/// Steele et al., OOPSLA 2014). The container builds offline, so workload
+/// generation and the randomized tests cannot pull `rand` from crates.io;
+/// this 40-line generator is statistically plenty for shuffling benchmark
+/// inputs and driving property tests, and — unlike an external dependency —
+/// guarantees bit-identical workloads on every toolchain.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection-free multiply-shift (Lemire); bias is < 2^-32 for the
+        // small bounds used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo.wrapping_add(self.below((hi - lo) as u64) as i64)
+    }
+
+    /// A random boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
 /// One benchmark program.
 #[derive(Debug, Clone, Copy)]
 pub struct Benchmark {
@@ -53,21 +103,63 @@ macro_rules! bench {
 /// All benchmarks, in the paper's Fig. 3 order.
 pub fn all() -> Vec<Benchmark> {
     vec![
-        bench!("vliw", "vliw.sml", "VLIW instruction scheduler (analog)", 45, 4),
-        bench!("logic", "logic.sml", "logic-programming interpreter (analog)", 9, 5),
+        bench!(
+            "vliw",
+            "vliw.sml",
+            "VLIW instruction scheduler (analog)",
+            45,
+            4
+        ),
+        bench!(
+            "logic",
+            "logic.sml",
+            "logic-programming interpreter (analog)",
+            9,
+            5
+        ),
         bench!("zebra", "zebra.sml", "solves the zebra puzzle", 2, 1),
-        bench!("tyan", "tyan.sml", "Grobner-basis-style polynomial algebra (analog)", 55, 4),
+        bench!(
+            "tyan",
+            "tyan.sml",
+            "Grobner-basis-style polynomial algebra (analog)",
+            55,
+            4
+        ),
         bench!("tsp", "tsp.sml", "traveling salesman problem", 140, 25),
         bench!("mpuz", "mpuz.sml", "Emacs M-x mpuz puzzle", 300, 20),
-        bench!("dlx", "dlx.sml", "DLX RISC instruction simulation", 12000, 300),
+        bench!(
+            "dlx",
+            "dlx.sml",
+            "DLX RISC instruction simulation",
+            12000,
+            300
+        ),
         bench!("ratio", "ratio.sml", "image analysis (analog)", 34, 12),
         bench!("lexgen", "lexgen.sml", "lexer generation (analog)", 130, 10),
         bench!("mlyacc", "mlyacc.sml", "parser generation (analog)", 55, 5),
-        bench!("simple", "simple.sml", "spherical fluid dynamics (analog)", 110, 10),
-        bench!("professor", "professor.sml", "puzzle by exhaustive search", 5, 1),
+        bench!(
+            "simple",
+            "simple.sml",
+            "spherical fluid dynamics (analog)",
+            110,
+            10
+        ),
+        bench!(
+            "professor",
+            "professor.sml",
+            "puzzle by exhaustive search",
+            5,
+            1
+        ),
         bench!("fib", "fib.sml", "the Fibonacci micro-benchmark", 24, 15),
         bench!("tak", "tak.sml", "the Tak micro-benchmark", 7, 5),
-        bench!("msort", "msort.sml", "sorting pseudo-random integers", 4000, 300),
+        bench!(
+            "msort",
+            "msort.sml",
+            "sorting pseudo-random integers",
+            4000,
+            300
+        ),
         bench!("kitlife", "kitlife.sml", "the game of life", 24, 4),
         bench!("kitkb", "kitkb.sml", "Knuth-Bendix-style completion", 60, 6),
     ]

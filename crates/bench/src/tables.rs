@@ -13,7 +13,11 @@ use kit_runtime::RtConfig;
 use std::fmt::Write as _;
 
 fn scale_of(b: &crate::Benchmark, quick: bool) -> i64 {
-    if quick { b.test_scale } else { b.default_scale }
+    if quick {
+        b.test_scale
+    } else {
+        b.default_scale
+    }
 }
 
 fn run_mode(b: &crate::Benchmark, mode: Mode, quick: bool) -> MeasuredRun {
@@ -33,7 +37,11 @@ pub fn table1(quick: bool) -> String {
     for b in all() {
         let r = run_mode(&b, Mode::R, quick);
         let rt = run_mode(&b, Mode::Rt, quick);
-        assert_eq!(r.outcome.result, rt.outcome.result, "{}: mode disagreement", b.name);
+        assert_eq!(
+            r.outcome.result, rt.outcome.result,
+            "{}: mode disagreement",
+            b.name
+        );
         let tpct = improvement_pct(r.time.as_secs_f64(), rt.time.as_secs_f64());
         let mpct = improvement_pct(r.peak_bytes as f64, rt.peak_bytes as f64);
         let _ = writeln!(
@@ -59,7 +67,10 @@ pub fn table1(quick: bool) -> String {
 /// (`gt` vs `rgt`): time, memory, number of collections.
 pub fn table2(quick: bool) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Effect of Region Inference on Garbage Collection (Table 2)");
+    let _ = writeln!(
+        out,
+        "Effect of Region Inference on Garbage Collection (Table 2)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>9} {:>9} {:>5}  {:>9} {:>9} {:>5}  {:>7} {:>7} {:>5}",
@@ -68,7 +79,11 @@ pub fn table2(quick: bool) -> String {
     for b in all() {
         let gt = run_mode(&b, Mode::Gt, quick);
         let rgt = run_mode(&b, Mode::Rgt, quick);
-        assert_eq!(gt.outcome.result, rgt.outcome.result, "{}: mode disagreement", b.name);
+        assert_eq!(
+            gt.outcome.result, rgt.outcome.result,
+            "{}: mode disagreement",
+            b.name
+        );
         let _ = writeln!(
             out,
             "{:<10} {:>9} {:>9} {:>5}  {:>9} {:>9} {:>5}  {:>7} {:>7} {:>5}",
@@ -139,7 +154,11 @@ pub fn table4(quick: bool) -> String {
     for b in all() {
         let base = run_mode(&b, Mode::Baseline, quick);
         let rgt = run_mode(&b, Mode::Rgt, quick);
-        assert_eq!(base.outcome.result, rgt.outcome.result, "{}: mode disagreement", b.name);
+        assert_eq!(
+            base.outcome.result, rgt.outcome.result,
+            "{}: mode disagreement",
+            b.name
+        );
         let tr = base.time.as_secs_f64() / rgt.time.as_secs_f64().max(1e-9);
         let mr = base.peak_bytes as f64 / (rgt.peak_bytes as f64).max(1.0);
         let _ = writeln!(
@@ -166,16 +185,22 @@ pub fn table4(quick: bool) -> String {
 pub fn fig4(quick: bool) -> String {
     let b = by_name("professor").expect("professor benchmark");
     // Run under pressure so the collector fires many times.
-    let cfg = RtConfig { initial_pages: 16, ..RtConfig::rgt() };
-    let run = run_scaled(&b, Mode::Rgt, scale_of(&b, quick), Some(cfg))
-        .expect("professor run");
+    let cfg = RtConfig {
+        initial_pages: 16,
+        ..RtConfig::rgt()
+    };
+    let run = run_scaled(&b, Mode::Rgt, scale_of(&b, quick), Some(cfg)).expect("professor run");
     let mut out = String::new();
     let _ = writeln!(
         out,
         "GC fraction per collection, professor (Figure 4) — {} collections",
         run.outcome.stats.gc_records.len()
     );
-    let _ = writeln!(out, "{:>4}  {:>6}  histogram (100% = full bar)", "gc#", "GC%");
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>6}  histogram (100% = full bar)",
+        "gc#", "GC%"
+    );
     for (i, rec) in run.outcome.stats.gc_records.iter().enumerate() {
         let gc = rec.gc_fraction().unwrap_or(0.0) * 100.0;
         let bar = "#".repeat((gc / 2.5).round() as usize);
@@ -230,13 +255,16 @@ pub fn fig5(quick: bool) -> String {
     for (name, peak) in &top {
         let _ = writeln!(out, "  r{name}: peak {peak} words");
     }
-    let _ = writeln!(out, "{:>6}  per-region words (top {} regions)", "sample", top.len());
+    let _ = writeln!(
+        out,
+        "{:>6}  per-region words (top {} regions)",
+        "sample",
+        top.len()
+    );
     for s in samples {
         let cols: Vec<String> = top
             .iter()
-            .map(|(name, _)| {
-                format!("r{}={}", name, s.by_region.get(name).copied().unwrap_or(0))
-            })
+            .map(|(name, _)| format!("r{}={}", name, s.by_region.get(name).copied().unwrap_or(0)))
             .collect();
         let _ = writeln!(out, "{:>6}  {}", s.time, cols.join("  "));
     }

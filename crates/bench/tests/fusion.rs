@@ -1,0 +1,58 @@
+//! Differential test for the interpreter's link/fusion pass: every
+//! benchmark, in every mode, must be bit-for-bit observationally identical
+//! with superinstruction fusion on and off — same rendered result, same
+//! printed output, and (because `LInstr::cost` charges a fused instruction
+//! for the source instructions it replaces) the same instruction count and
+//! therefore the same GC schedule and allocation statistics.
+
+use kit::{Compiler, Mode};
+use kit_bench::programs;
+
+#[test]
+fn fusion_is_observationally_invisible_on_every_benchmark() {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(check_all_benchmarks)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn check_all_benchmarks() {
+    for b in programs::all() {
+        let src = b.source_scaled(b.test_scale);
+        for mode in Mode::ALL_WITH_BASELINE {
+            let fused = Compiler::new(mode);
+            let unfused = Compiler::new(mode).without_fusion();
+            // The link pass runs inside the VM, so one compiled program
+            // serves both executions.
+            let prog = fused
+                .compile_source(&src)
+                .unwrap_or_else(|e| panic!("{} ({mode}): compile: {e}", b.name));
+            let f = fused
+                .run_program(&prog)
+                .unwrap_or_else(|e| panic!("{} ({mode}) fused: {e}", b.name));
+            let u = unfused
+                .run_program(&prog)
+                .unwrap_or_else(|e| panic!("{} ({mode}) unfused: {e}", b.name));
+            let ctx = format!("{} ({mode})", b.name);
+            assert_eq!(f.result, u.result, "{ctx}: result");
+            assert_eq!(f.output, u.output, "{ctx}: output");
+            assert_eq!(f.instructions, u.instructions, "{ctx}: instruction count");
+            assert_eq!(
+                f.stats.words_allocated, u.stats.words_allocated,
+                "{ctx}: words allocated"
+            );
+            assert_eq!(
+                f.stats.allocations, u.stats.allocations,
+                "{ctx}: allocations"
+            );
+            assert_eq!(f.stats.gc_count, u.stats.gc_count, "{ctx}: #GC");
+            assert_eq!(
+                f.stats.gc_copied_words, u.stats.gc_copied_words,
+                "{ctx}: words copied by GC"
+            );
+            assert_eq!(f.stats.peak_bytes, u.stats.peak_bytes, "{ctx}: peak memory");
+        }
+    }
+}

@@ -9,26 +9,36 @@ use kit_bench::programs::all;
 
 #[test]
 fn every_benchmark_agrees_across_all_modes_and_oracle() {
-    for b in all() {
-        let src = b.source_scaled(b.test_scale);
-        let oracle = run_oracle(&src, Some(2_000_000_000))
-            .unwrap_or_else(|e| panic!("{} oracle: {e}", b.name));
-        for mode in Mode::ALL_WITH_BASELINE {
-            let out = Compiler::new(mode)
-                .run_source(&src)
-                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
-            assert_eq!(
-                out.result, oracle.result,
-                "{} [{mode}]: result mismatch",
-                b.name
-            );
-            assert_eq!(
-                out.output, oracle.output,
-                "{} [{mode}]: output mismatch",
-                b.name
-            );
-        }
-    }
+    // Deep stack: the reference evaluator recurses per data constructor,
+    // and its debug-mode frames on the larger benchmarks exceed the
+    // default test-thread stack.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            for b in all() {
+                let src = b.source_scaled(b.test_scale);
+                let oracle = run_oracle(&src, Some(2_000_000_000))
+                    .unwrap_or_else(|e| panic!("{} oracle: {e}", b.name));
+                for mode in Mode::ALL_WITH_BASELINE {
+                    let out = Compiler::new(mode)
+                        .run_source(&src)
+                        .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+                    assert_eq!(
+                        out.result, oracle.result,
+                        "{} [{mode}]: result mismatch",
+                        b.name
+                    );
+                    assert_eq!(
+                        out.output, oracle.output,
+                        "{} [{mode}]: output mismatch",
+                        b.name
+                    );
+                }
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }
 
 #[test]

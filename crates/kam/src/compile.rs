@@ -77,7 +77,6 @@ pub fn compile(prog: &RProgram, tagged: bool) -> Program {
     }
 }
 
-
 // ---------------------------------------------------------------- contexts
 
 #[derive(Debug, Clone)]
@@ -265,7 +264,10 @@ impl Cx<'_> {
                 self.emit(Instr::Select(*i as u16));
             }
             Some(VB::Fix(_)) => {
-                panic!("fix-bound {} used as plain variable (should be FixVar)", v.0)
+                panic!(
+                    "fix-bound {} used as plain variable (should be FixVar)",
+                    v.0
+                )
             }
             None => panic!("unbound variable {} at codegen", v.0),
         }
@@ -323,7 +325,11 @@ impl Cx<'_> {
                 self.emit(Instr::PushConst(w));
             }
             RExp::Bool(b) => {
-                let w = if self.tagged { scalar(*b as i64) } else { *b as u64 };
+                let w = if self.tagged {
+                    scalar(*b as i64)
+                } else {
+                    *b as u64
+                };
                 self.emit(Instr::PushConst(w));
             }
             RExp::Unit => {
@@ -350,23 +356,28 @@ impl Cx<'_> {
                     self.comp(a, fcx, false);
                 }
                 let at = fcx.regslot(*p);
-                self.emit(Instr::MkRecord { n: es.len() as u16, at });
+                self.emit(Instr::MkRecord {
+                    n: es.len() as u16,
+                    at,
+                });
             }
             RExp::Select(i, e) => {
                 self.comp(e, fcx, false);
                 self.emit(Instr::Select(*i as u16));
             }
-            RExp::Con { tycon, con, arg, at } => {
+            RExp::Con {
+                tycon,
+                con,
+                arg,
+                at,
+            } => {
                 let (_, fields) = self.con_rep(*tycon);
                 let k = fields[con.0 as usize];
                 match arg {
                     None => {
-                        let w = if self.tagged {
-                            scalar(con.0 as i64)
-                        } else {
-                            scalar(con.0 as i64)
-                        };
-                        self.emit(Instr::PushConst(w));
+                        // Nullary constructors are immediate scalars whether
+                        // or not values are tagged.
+                        self.emit(Instr::PushConst(scalar(con.0 as i64)));
                     }
                     Some(a) => {
                         // Inline a syntactic record argument directly.
@@ -414,7 +425,12 @@ impl Cx<'_> {
                     self.emit(Instr::Select(off));
                 }
             }
-            RExp::SwitchCon { scrut, tycon, arms, default } => {
+            RExp::SwitchCon {
+                scrut,
+                tycon,
+                arms,
+                default,
+            } => {
                 self.comp(scrut, fcx, false);
                 let (disc, _) = self.con_rep(*tycon);
                 let end = self.new_label();
@@ -423,7 +439,11 @@ impl Cx<'_> {
                 for (c, _) in arms {
                     larm.push((c.0, self.new_label()));
                 }
-                self.emit(Instr::SwitchCon { disc, arms: larm.clone(), default: dflt });
+                self.emit(Instr::SwitchCon {
+                    disc,
+                    arms: larm.clone(),
+                    default: dflt,
+                });
                 for ((_, a), (_, l)) in arms.iter().zip(&larm) {
                     self.bind(*l);
                     self.comp(a, fcx, tail);
@@ -436,7 +456,11 @@ impl Cx<'_> {
                 }
                 self.bind(end);
             }
-            RExp::SwitchInt { scrut, arms, default } => {
+            RExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.comp(scrut, fcx, false);
                 let end = self.new_label();
                 let dflt = self.new_label();
@@ -444,7 +468,10 @@ impl Cx<'_> {
                 for (k, _) in arms {
                     larm.push((*k, self.new_label()));
                 }
-                self.emit(Instr::SwitchInt { arms: larm.clone(), default: dflt });
+                self.emit(Instr::SwitchInt {
+                    arms: larm.clone(),
+                    default: dflt,
+                });
                 for ((_, a), (_, l)) in arms.iter().zip(&larm) {
                     self.bind(*l);
                     self.comp(a, fcx, tail);
@@ -454,7 +481,11 @@ impl Cx<'_> {
                 self.comp(default, fcx, tail);
                 self.bind(end);
             }
-            RExp::SwitchStr { scrut, arms, default } => {
+            RExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.comp(scrut, fcx, false);
                 let end = self.new_label();
                 let dflt = self.new_label();
@@ -462,7 +493,10 @@ impl Cx<'_> {
                 for (k, _) in arms {
                     larm.push((k.clone(), self.new_label()));
                 }
-                self.emit(Instr::SwitchStr { arms: larm.clone(), default: dflt });
+                self.emit(Instr::SwitchStr {
+                    arms: larm.clone(),
+                    default: dflt,
+                });
                 for ((_, a), (_, l)) in arms.iter().zip(&larm) {
                     self.bind(*l);
                     self.comp(a, fcx, tail);
@@ -472,7 +506,11 @@ impl Cx<'_> {
                 self.comp(default, fcx, tail);
                 self.bind(end);
             }
-            RExp::SwitchExn { scrut, arms, default } => {
+            RExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.comp(scrut, fcx, false);
                 let end = self.new_label();
                 let dflt = self.new_label();
@@ -480,7 +518,10 @@ impl Cx<'_> {
                 for (k, _) in arms {
                     larm.push((k.0, self.new_label()));
                 }
-                self.emit(Instr::SwitchExn { arms: larm.clone(), default: dflt });
+                self.emit(Instr::SwitchExn {
+                    arms: larm.clone(),
+                    default: dflt,
+                });
                 for ((_, a), (_, l)) in arms.iter().zip(&larm) {
                     self.bind(*l);
                     self.comp(a, fcx, tail);
@@ -503,8 +544,7 @@ impl Cx<'_> {
             }
             RExp::Fn { params, body, at } => {
                 let bound: BTreeSet<VarId> = params.iter().copied().collect();
-                let caps =
-                    self.captures(&[body], &bound, &BTreeSet::new(), fcx);
+                let caps = self.captures(&[body], &bound, &BTreeSet::new(), fcx);
                 // Emit the function body out of line.
                 let fix_binds: Vec<(VarId, VB)> = fcx
                     .vars
@@ -527,9 +567,16 @@ impl Cx<'_> {
                 self.emit(Instr::PushConst(scalar(entry as i64)));
                 self.push_caps(&caps, fcx);
                 let at = fcx.regslot(*at);
-                self.emit(Instr::MkRecord { n: 1 + caps.len() as u16, at });
+                self.emit(Instr::MkRecord {
+                    n: 1 + caps.len() as u16,
+                    at,
+                });
             }
-            RExp::App { callee, rargs, args } => {
+            RExp::App {
+                callee,
+                rargs,
+                args,
+            } => {
                 if let RExp::Var(v) = callee.as_ref() {
                     if let Some(VB::Fix(info)) = fcx.vars.get(v).cloned() {
                         // Known call: [shared, rhandles.., args..].
@@ -568,7 +615,10 @@ impl Cx<'_> {
                     self.emit(Instr::RegHandle(fcx.regslot(*r)));
                 }
                 let at = fcx.regslot(*at);
-                self.emit(Instr::MkRecord { n: 2 + rargs.len() as u16, at });
+                self.emit(Instr::MkRecord {
+                    n: 2 + rargs.len() as u16,
+                    at,
+                });
             }
             RExp::Let { var, rhs, body } => {
                 self.comp(rhs, fcx, false);
@@ -618,7 +668,11 @@ impl Cx<'_> {
                     self.comp(a, fcx, false);
                 }
                 let at = at.map(|r| fcx.regslot(r));
-                self.emit(Instr::MkExn { exn: exn.0, has_arg, at });
+                self.emit(Instr::MkExn {
+                    exn: exn.0,
+                    has_arg,
+                    at,
+                });
             }
             RExp::DeExn { scrut, .. } => {
                 self.comp(scrut, fcx, false);
@@ -667,7 +721,9 @@ impl Cx<'_> {
         self.emit(Instr::Jump(skip));
         if let Some(stub_label) = stub {
             self.bind(stub_label);
-            self.emit(Instr::EnterViaPair { nformals: formals.len() as u16 });
+            self.emit(Instr::EnterViaPair {
+                nformals: formals.len() as u16,
+            });
         }
         self.bind(entry);
         self.emit(Instr::GcCheck);
@@ -749,7 +805,10 @@ impl Cx<'_> {
         } else {
             self.push_caps(&caps, fcx);
             let at = fcx.regslot(at);
-            self.emit(Instr::MkRecord { n: caps.len() as u16, at });
+            self.emit(Instr::MkRecord {
+                n: caps.len() as u16,
+                at,
+            });
             let s = fcx.slot();
             self.emit(Instr::Store(s));
             SharedSrc::Slot(s)
@@ -764,7 +823,9 @@ impl Cx<'_> {
             let skip = self.new_label();
             self.emit(Instr::Jump(skip));
             self.bind(info.stub);
-            self.emit(Instr::EnterViaPair { nformals: f.formals.len() as u16 });
+            self.emit(Instr::EnterViaPair {
+                nformals: f.formals.len() as u16,
+            });
             self.bind(info.label);
             self.emit(Instr::GcCheck);
             let mut inner = FnCx::new(fcx.globals, FiniteArea::default());
@@ -823,10 +884,10 @@ fn collect_caps(
     seen_g: &mut BTreeSet<u32>,
 ) {
     let cap_var = |v: VarId,
-                       bound: &BTreeSet<VarId>,
-                       caps: &mut Vec<Cap>,
-                       seen_v: &mut BTreeSet<VarId>,
-                       seen_g: &mut BTreeSet<u32>| {
+                   bound: &BTreeSet<VarId>,
+                   caps: &mut Vec<Cap>,
+                   seen_v: &mut BTreeSet<VarId>,
+                   seen_g: &mut BTreeSet<u32>| {
         if bound.contains(&v) {
             return;
         }
@@ -844,9 +905,9 @@ fn collect_caps(
         }
     };
     let cap_reg = |r: RegVar,
-                       bound_regs: &BTreeSet<RegVar>,
-                       caps: &mut Vec<Cap>,
-                       seen_r: &mut BTreeSet<RegVar>| {
+                   bound_regs: &BTreeSet<RegVar>,
+                   caps: &mut Vec<Cap>,
+                   seen_r: &mut BTreeSet<RegVar>| {
         if bound_regs.contains(&r) || fcx.globals.contains_key(&r) {
             return;
         }
@@ -870,8 +931,11 @@ fn collect_caps(
             }
         }
         RExp::Fn { params, body, .. } => {
-            let fresh: Vec<VarId> =
-                params.iter().copied().filter(|p| bound.insert(*p)).collect();
+            let fresh: Vec<VarId> = params
+                .iter()
+                .copied()
+                .filter(|p| bound.insert(*p))
+                .collect();
             collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
             for p in fresh {
                 bound.remove(&p);
@@ -884,15 +948,21 @@ fn collect_caps(
                 .filter(|v| bound.insert(*v))
                 .collect();
             for f in funs {
-                let fp: Vec<VarId> =
-                    f.params.iter().copied().filter(|p| bound.insert(*p)).collect();
+                let fp: Vec<VarId> = f
+                    .params
+                    .iter()
+                    .copied()
+                    .filter(|p| bound.insert(*p))
+                    .collect();
                 let fr: Vec<RegVar> = f
                     .formals
                     .iter()
                     .copied()
                     .filter(|r| bound_regs.insert(*r))
                     .collect();
-                collect_caps(&f.body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+                collect_caps(
+                    &f.body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g,
+                );
                 for p in fp {
                     bound.remove(&p);
                 }
@@ -919,7 +989,9 @@ fn collect_caps(
         RExp::Handle { body, var, handler } => {
             collect_caps(body, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
             let fresh = bound.insert(*var);
-            collect_caps(handler, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g);
+            collect_caps(
+                handler, bound, bound_regs, fcx, caps, seen_v, seen_r, seen_g,
+            );
             if fresh {
                 bound.remove(var);
             }
@@ -970,7 +1042,12 @@ fn find_finite_site(cx: &Cx<'_>, e: &RExp, r: RegVar, hdr: u32, out: &mut u32) {
             *out = (*out).max(record(2 + rargs.len() as u32));
         }
         RExp::Prim(_, _, Some(p)) if *p == r => *out = (*out).max(record(1)),
-        RExp::Con { tycon, con, at: Some(p), .. } if *p == r => {
+        RExp::Con {
+            tycon,
+            con,
+            at: Some(p),
+            ..
+        } if *p == r => {
             let (_, fields) = cx.con_rep(*tycon);
             let disc = cx.con_needs_disc(*tycon) as u32;
             *out = (*out).max(record(fields[con.0 as usize] as u32 + disc));
@@ -989,7 +1066,13 @@ fn find_finite_site(cx: &Cx<'_>, e: &RExp, r: RegVar, hdr: u32, out: &mut u32) {
 fn count_caps_upper(_cx: &Cx<'_>, body: &RExp) -> u32 {
     let mut vars = BTreeSet::new();
     let mut regs = BTreeSet::new();
-    free_names(body, &mut BTreeSet::new(), &mut BTreeSet::new(), &mut vars, &mut regs);
+    free_names(
+        body,
+        &mut BTreeSet::new(),
+        &mut BTreeSet::new(),
+        &mut vars,
+        &mut regs,
+    );
     (vars.len() + regs.len()) as u32
 }
 
@@ -1020,8 +1103,11 @@ fn free_names(
             }
         }
         RExp::Fn { params, body, .. } => {
-            let fresh: Vec<VarId> =
-                params.iter().copied().filter(|p| bound.insert(*p)).collect();
+            let fresh: Vec<VarId> = params
+                .iter()
+                .copied()
+                .filter(|p| bound.insert(*p))
+                .collect();
             free_names(body, bound, bound_regs, vars, regs);
             for p in fresh {
                 bound.remove(&p);
@@ -1034,8 +1120,12 @@ fn free_names(
                 .filter(|v| bound.insert(*v))
                 .collect();
             for f in funs {
-                let fp: Vec<VarId> =
-                    f.params.iter().copied().filter(|p| bound.insert(*p)).collect();
+                let fp: Vec<VarId> = f
+                    .params
+                    .iter()
+                    .copied()
+                    .filter(|p| bound.insert(*p))
+                    .collect();
                 let fr: Vec<RegVar> = f
                     .formals
                     .iter()

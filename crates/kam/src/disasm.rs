@@ -1,6 +1,9 @@
-//! Bytecode disassembler (`--dump-kam` style debugging output).
+//! Bytecode disassembler (`--dump-kam` style debugging output), for both
+//! the compiler's label-based stream and the linked form the interpreter
+//! dispatches on.
 
 use crate::instr::Program;
+use crate::link;
 use std::fmt::Write as _;
 
 /// Renders the instruction stream with code addresses and function entry
@@ -28,6 +31,38 @@ pub fn disassemble(p: &Program) -> String {
     out
 }
 
+/// Renders the *linked* instruction stream (absolute pc operands, fused
+/// superinstructions) — what the interpreter actually executes.
+pub fn disassemble_linked(p: &Program, fuse: bool) -> String {
+    let linked = link::link(p, fuse);
+    let mut entries: std::collections::HashMap<usize, String> = Default::default();
+    for (fun, info) in p.funs.iter().enumerate() {
+        let pc = linked.entry_pc[fun] as usize;
+        let name = &info.name;
+        entries
+            .entry(pc)
+            .and_modify(|s| {
+                let _ = write!(s, ", {name}");
+            })
+            .or_insert_with(|| name.clone());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; linked: {} instructions ({} fused) from {} source instructions",
+        linked.code.len(),
+        linked.fused,
+        p.code.len()
+    );
+    for (pc, ins) in linked.code.iter().enumerate() {
+        if let Some(name) = entries.get(&pc) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "  {pc:>5}  {ins:?}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +76,18 @@ mod tests {
         let s = disassemble(&prog);
         assert!(s.contains("<main>:"), "{s}");
         assert!(s.contains("Halt"), "{s}");
+    }
+
+    #[test]
+    fn disassembles_the_linked_form() {
+        let mut lprog = kit_typing::compile_str("fun f (x, y) = x + y val it = f (1, 2)").unwrap();
+        kit_lambda::opt::optimize(&mut lprog, &Default::default());
+        let rprog = kit_region::infer(&lprog, kit_region::RegionOptions::regions_only());
+        let prog = crate::compile(&rprog, true);
+        let fused = disassemble_linked(&prog, true);
+        assert!(fused.contains("<main>:"), "{fused}");
+        assert!(fused.contains("Halt"), "{fused}");
+        let unfused = disassemble_linked(&prog, false);
+        assert!(unfused.contains("(0 fused)"), "{unfused}");
     }
 }

@@ -26,9 +26,11 @@
 pub mod compile;
 pub mod disasm;
 pub mod instr;
+pub mod link;
 pub mod render;
 pub mod vm;
 
 pub use compile::compile;
 pub use instr::Program;
+pub use link::{link, LInstr, LinkedProgram};
 pub use vm::{Vm, VmError, VmOutcome};

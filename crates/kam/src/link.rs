@@ -1,0 +1,583 @@
+//! Post-compile link pass: rewrites the [`Instr`] stream into the
+//! pre-resolved form the interpreter actually dispatches on.
+//!
+//! Linking does two things:
+//!
+//! 1. **Pre-resolution** — every control-flow operand becomes an absolute
+//!    code address (`u32` pc). `Jump`/`JumpIfFalse`/switch arms/handlers
+//!    lose the `label_addrs` indirection; `Call` additionally resolves its
+//!    callee's function id at link time. Unknown calls (`CallClos`) read a
+//!    label scalar out of the closure at runtime and go through the dense
+//!    [`LinkedProgram::pc_of_label`]/[`LinkedProgram::fun_of_label`] tables
+//!    instead of a hash map.
+//! 2. **Fusion** — frequent pairs/triples/quads are collapsed into
+//!    superinstructions (compare-and-branch `Load+Load+Prim+JumpIfFalse`
+//!    and `Load+PushConst+Prim+JumpIfFalse`; `Load+Load+Prim`,
+//!    `Load+PushConst+Prim`, `Load+Select+Store`; `PushConst+Prim`,
+//!    `Load+Select`, `Store+Pop`, `PushConst+JumpIfFalse`), cutting
+//!    dispatches on the hot path. A fused group never spans a *leader*
+//!    (any pc bound in
+//!    `label_addrs`), so every branch target remains the start of a linked
+//!    instruction. `Call`/`CallClos` are never fused, so a return address
+//!    (the pc after a non-tail call) is always a group start too.
+//!
+//! Fusion is semantics-preserving **including the instruction counter**:
+//! each superinstruction reports the number of source instructions it
+//! replaces via [`LInstr::cost`], so `VmOutcome::instructions` is identical
+//! with fusion on or off.
+
+use crate::instr::{Disc, Instr, Label, Program, RegSlot};
+use kit_lambda::exp::Prim;
+
+/// A linked instruction: operands pre-resolved to absolute pcs, hot
+/// sequences fused. See [`Instr`] for per-variant semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LInstr {
+    PushConst(u64),
+    PushStr(String),
+    Spread {
+        n: u16,
+    },
+    Unreachable,
+    PushReal(f64, RegSlot),
+    Load(u32),
+    Store(u32),
+    Pop,
+    MkRecord {
+        n: u16,
+        at: RegSlot,
+    },
+    Select(u16),
+    MkCon {
+        ctor: u16,
+        n: u16,
+        disc: bool,
+        at: RegSlot,
+    },
+    DeConAdj,
+    SwitchCon {
+        disc: Disc,
+        arms: Box<[(u32, u32)]>,
+        default: u32,
+    },
+    SwitchInt {
+        arms: Box<[(i64, u32)]>,
+        default: u32,
+    },
+    SwitchStr {
+        arms: Box<[(String, u32)]>,
+        default: u32,
+    },
+    SwitchExn {
+        arms: Box<[(u32, u32)]>,
+        default: u32,
+    },
+    Jump(u32),
+    JumpIfFalse(u32),
+    Prim {
+        p: Prim,
+        at: Option<RegSlot>,
+    },
+    RegHandle(RegSlot),
+    /// Known call with the callee's function id and entry pc resolved at
+    /// link time.
+    Call {
+        fun: u32,
+        target: u32,
+        nargs: u16,
+        nformals: u16,
+        tail: bool,
+    },
+    CallClos {
+        nargs: u16,
+        tail: bool,
+    },
+    EnterViaPair {
+        nformals: u16,
+    },
+    Ret,
+    GcCheck,
+    LetRegion {
+        names: Box<[u32]>,
+    },
+    EndRegions(u16),
+    PushHandler {
+        target: u32,
+    },
+    PopHandler,
+    MkExn {
+        exn: u32,
+        has_arg: bool,
+        at: Option<RegSlot>,
+    },
+    DeExn,
+    Raise,
+    Halt,
+    // ------------------------------------------------- superinstructions
+    /// `Load a; Load b; Prim p` (cost 3).
+    LoadLoadPrim {
+        a: u32,
+        b: u32,
+        p: Prim,
+        at: Option<RegSlot>,
+    },
+    /// `PushConst k; Prim p` (cost 2).
+    PushConstPrim {
+        k: u64,
+        p: Prim,
+        at: Option<RegSlot>,
+    },
+    /// `Load i; Select sel` (cost 2) — reads the field without the
+    /// intermediate operand push.
+    LoadSelect {
+        i: u32,
+        sel: u16,
+    },
+    /// `Store i; Pop` (cost 2).
+    StorePop {
+        i: u32,
+    },
+    /// `PushConst k; JumpIfFalse target` (cost 2) — constant condition,
+    /// no operand traffic.
+    PushConstJumpIfFalse {
+        k: u64,
+        target: u32,
+    },
+    /// `Load i; PushConst k; Prim p` (cost 3) — the `n - 1` shape of
+    /// recursive argument arithmetic.
+    LoadConstPrim {
+        i: u32,
+        k: u64,
+        p: Prim,
+        at: Option<RegSlot>,
+    },
+    /// `Load i; Select sel; Store j` (cost 3) — pattern-match
+    /// destructuring of a box field straight into a local.
+    LoadSelectStore {
+        i: u32,
+        sel: u16,
+        j: u32,
+    },
+    /// `Load a; Load b; Prim p; JumpIfFalse target` (cost 4) — the
+    /// two-operand compare-and-branch heading most loops.
+    LoadLoadPrimJump {
+        a: u32,
+        b: u32,
+        p: Prim,
+        at: Option<RegSlot>,
+        target: u32,
+    },
+    /// `Load i; PushConst k; Prim p; JumpIfFalse target` (cost 4) —
+    /// compare-against-constant-and-branch (`if n < 2 ...`).
+    LoadConstPrimJump {
+        i: u32,
+        k: u64,
+        p: Prim,
+        at: Option<RegSlot>,
+        target: u32,
+    },
+}
+
+impl LInstr {
+    /// Number of source instructions this linked instruction stands for.
+    /// Summing `cost()` over executed instructions reproduces the unfused
+    /// instruction count exactly.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        match self {
+            LInstr::LoadLoadPrimJump { .. } | LInstr::LoadConstPrimJump { .. } => 4,
+            LInstr::LoadLoadPrim { .. }
+            | LInstr::LoadConstPrim { .. }
+            | LInstr::LoadSelectStore { .. } => 3,
+            LInstr::PushConstPrim { .. }
+            | LInstr::LoadSelect { .. }
+            | LInstr::StorePop { .. }
+            | LInstr::PushConstJumpIfFalse { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A program in linked form, ready for dispatch.
+#[derive(Debug, Clone)]
+pub struct LinkedProgram {
+    /// Linked instruction stream (absolute `u32` pc operands).
+    pub code: Vec<LInstr>,
+    /// Function id → entry pc.
+    pub entry_pc: Vec<u32>,
+    /// Label id → linked pc (`u32::MAX` if unbound). Used by `CallClos`,
+    /// whose target label is only known at runtime (closure field 0).
+    pub pc_of_label: Vec<u32>,
+    /// Label id → function id (`u32::MAX` if the label is not a function
+    /// entry). The dense replacement for `Program::entry_of`.
+    pub fun_of_label: Vec<u32>,
+    /// Number of superinstructions emitted (0 with fusion off).
+    pub fused: u64,
+}
+
+/// Length of the fused group starting at `i` (1 = no fusion). Interior
+/// instructions must not be leaders, or a branch could land mid-group.
+fn fusible_len(code: &[Instr], leader: &[bool], i: usize) -> usize {
+    if i + 3 < code.len() && !leader[i + 1] && !leader[i + 2] && !leader[i + 3] {
+        match (&code[i], &code[i + 1], &code[i + 2], &code[i + 3]) {
+            (Instr::Load(_), Instr::Load(_), Instr::Prim { .. }, Instr::JumpIfFalse(_))
+            | (Instr::Load(_), Instr::PushConst(_), Instr::Prim { .. }, Instr::JumpIfFalse(_)) => {
+                return 4
+            }
+            _ => {}
+        }
+    }
+    if i + 2 < code.len() && !leader[i + 1] && !leader[i + 2] {
+        match (&code[i], &code[i + 1], &code[i + 2]) {
+            (Instr::Load(_), Instr::Load(_), Instr::Prim { .. })
+            | (Instr::Load(_), Instr::PushConst(_), Instr::Prim { .. })
+            | (Instr::Load(_), Instr::Select(_), Instr::Store(_)) => return 3,
+            _ => {}
+        }
+    }
+    if i + 1 < code.len() && !leader[i + 1] {
+        match (&code[i], &code[i + 1]) {
+            (Instr::PushConst(_), Instr::Prim { .. })
+            | (Instr::Load(_), Instr::Select(_))
+            | (Instr::Store(_), Instr::Pop)
+            | (Instr::PushConst(_), Instr::JumpIfFalse(_)) => return 2,
+            _ => {}
+        }
+    }
+    1
+}
+
+/// Links `prog`, optionally fusing superinstructions.
+pub fn link(prog: &Program, fuse: bool) -> LinkedProgram {
+    let code = &prog.code;
+    let n = code.len();
+
+    // Leaders: every bound label address. Return addresses need no entry —
+    // calls are never fused, so the pc after a call starts a group.
+    let mut leader = vec![false; n];
+    for &a in &prog.label_addrs {
+        if a < n {
+            leader[a] = true;
+        }
+    }
+
+    // Pass 1: choose groups (greedy, longest first) and map old → new pcs.
+    let mut new_pc_of_old = vec![u32::MAX; n];
+    let mut group_len = vec![0u8; n];
+    let mut i = 0;
+    let mut npc = 0u32;
+    while i < n {
+        let len = if fuse {
+            fusible_len(code, &leader, i)
+        } else {
+            1
+        };
+        new_pc_of_old[i] = npc;
+        group_len[i] = len as u8;
+        npc += 1;
+        i += len;
+    }
+
+    let resolve = |l: Label| -> u32 {
+        let addr = prog.label_addrs[l];
+        debug_assert!(addr < n, "branch to unbound label {l}");
+        debug_assert_ne!(new_pc_of_old[addr], u32::MAX, "branch into a fused group");
+        new_pc_of_old[addr]
+    };
+
+    // Pass 2: emit with remapped targets.
+    let mut out = Vec::with_capacity(npc as usize);
+    let mut fused = 0u64;
+    let mut i = 0;
+    while i < n {
+        let len = group_len[i] as usize;
+        match len {
+            4 => {
+                let li = match (&code[i], &code[i + 1], &code[i + 2], &code[i + 3]) {
+                    (
+                        Instr::Load(a),
+                        Instr::Load(b),
+                        Instr::Prim { p, at },
+                        Instr::JumpIfFalse(l),
+                    ) => LInstr::LoadLoadPrimJump {
+                        a: *a,
+                        b: *b,
+                        p: *p,
+                        at: *at,
+                        target: resolve(*l),
+                    },
+                    (
+                        Instr::Load(j),
+                        Instr::PushConst(k),
+                        Instr::Prim { p, at },
+                        Instr::JumpIfFalse(l),
+                    ) => LInstr::LoadConstPrimJump {
+                        i: *j,
+                        k: *k,
+                        p: *p,
+                        at: *at,
+                        target: resolve(*l),
+                    },
+                    _ => unreachable!("pass 1 chose an invalid quad"),
+                };
+                out.push(li);
+                fused += 1;
+            }
+            3 => {
+                let li = match (&code[i], &code[i + 1], &code[i + 2]) {
+                    (Instr::Load(a), Instr::Load(b), Instr::Prim { p, at }) => {
+                        LInstr::LoadLoadPrim {
+                            a: *a,
+                            b: *b,
+                            p: *p,
+                            at: *at,
+                        }
+                    }
+                    (Instr::Load(j), Instr::PushConst(k), Instr::Prim { p, at }) => {
+                        LInstr::LoadConstPrim {
+                            i: *j,
+                            k: *k,
+                            p: *p,
+                            at: *at,
+                        }
+                    }
+                    (Instr::Load(j), Instr::Select(sel), Instr::Store(d)) => {
+                        LInstr::LoadSelectStore {
+                            i: *j,
+                            sel: *sel,
+                            j: *d,
+                        }
+                    }
+                    _ => unreachable!("pass 1 chose an invalid triple"),
+                };
+                out.push(li);
+                fused += 1;
+            }
+            2 => {
+                let li = match (&code[i], &code[i + 1]) {
+                    (Instr::PushConst(k), Instr::Prim { p, at }) => LInstr::PushConstPrim {
+                        k: *k,
+                        p: *p,
+                        at: *at,
+                    },
+                    (Instr::Load(j), Instr::Select(sel)) => LInstr::LoadSelect { i: *j, sel: *sel },
+                    (Instr::Store(j), Instr::Pop) => LInstr::StorePop { i: *j },
+                    (Instr::PushConst(k), Instr::JumpIfFalse(l)) => LInstr::PushConstJumpIfFalse {
+                        k: *k,
+                        target: resolve(*l),
+                    },
+                    _ => unreachable!("pass 1 chose an invalid pair"),
+                };
+                out.push(li);
+                fused += 1;
+            }
+            _ => out.push(link_one(prog, &code[i], &resolve)),
+        }
+        i += len;
+    }
+
+    let entry_pc = prog.funs.iter().map(|f| resolve(f.entry)).collect();
+    let pc_of_label = prog
+        .label_addrs
+        .iter()
+        .map(|&a| if a < n { new_pc_of_old[a] } else { u32::MAX })
+        .collect();
+    let mut fun_of_label = vec![u32::MAX; prog.label_addrs.len()];
+    for (&l, &f) in &prog.entry_of {
+        fun_of_label[l] = f;
+    }
+
+    LinkedProgram {
+        code: out,
+        entry_pc,
+        pc_of_label,
+        fun_of_label,
+        fused,
+    }
+}
+
+fn link_one(prog: &Program, ins: &Instr, resolve: &dyn Fn(Label) -> u32) -> LInstr {
+    match ins {
+        Instr::PushConst(w) => LInstr::PushConst(*w),
+        Instr::PushStr(s) => LInstr::PushStr(s.clone()),
+        Instr::Spread { n } => LInstr::Spread { n: *n },
+        Instr::Unreachable => LInstr::Unreachable,
+        Instr::PushReal(x, at) => LInstr::PushReal(*x, *at),
+        Instr::Load(i) => LInstr::Load(*i),
+        Instr::Store(i) => LInstr::Store(*i),
+        Instr::Pop => LInstr::Pop,
+        Instr::MkRecord { n, at } => LInstr::MkRecord { n: *n, at: *at },
+        Instr::Select(i) => LInstr::Select(*i),
+        Instr::MkCon { ctor, n, disc, at } => LInstr::MkCon {
+            ctor: *ctor,
+            n: *n,
+            disc: *disc,
+            at: *at,
+        },
+        Instr::DeConAdj => LInstr::DeConAdj,
+        Instr::SwitchCon {
+            disc,
+            arms,
+            default,
+        } => LInstr::SwitchCon {
+            disc: *disc,
+            arms: arms.iter().map(|(c, l)| (*c, resolve(*l))).collect(),
+            default: resolve(*default),
+        },
+        Instr::SwitchInt { arms, default } => LInstr::SwitchInt {
+            arms: arms.iter().map(|(k, l)| (*k, resolve(*l))).collect(),
+            default: resolve(*default),
+        },
+        Instr::SwitchStr { arms, default } => LInstr::SwitchStr {
+            arms: arms.iter().map(|(s, l)| (s.clone(), resolve(*l))).collect(),
+            default: resolve(*default),
+        },
+        Instr::SwitchExn { arms, default } => LInstr::SwitchExn {
+            arms: arms.iter().map(|(e, l)| (*e, resolve(*l))).collect(),
+            default: resolve(*default),
+        },
+        Instr::Jump(l) => LInstr::Jump(resolve(*l)),
+        Instr::JumpIfFalse(l) => LInstr::JumpIfFalse(resolve(*l)),
+        Instr::Prim { p, at } => LInstr::Prim { p: *p, at: *at },
+        Instr::RegHandle(slot) => LInstr::RegHandle(*slot),
+        Instr::Call {
+            label,
+            nargs,
+            nformals,
+            tail,
+        } => LInstr::Call {
+            fun: prog.entry_of[label],
+            target: resolve(*label),
+            nargs: *nargs,
+            nformals: *nformals,
+            tail: *tail,
+        },
+        Instr::CallClos { nargs, tail } => LInstr::CallClos {
+            nargs: *nargs,
+            tail: *tail,
+        },
+        Instr::EnterViaPair { nformals } => LInstr::EnterViaPair {
+            nformals: *nformals,
+        },
+        Instr::Ret => LInstr::Ret,
+        Instr::GcCheck => LInstr::GcCheck,
+        Instr::LetRegion { names } => LInstr::LetRegion {
+            names: names.clone().into_boxed_slice(),
+        },
+        Instr::EndRegions(n) => LInstr::EndRegions(*n),
+        Instr::PushHandler { handler } => LInstr::PushHandler {
+            target: resolve(*handler),
+        },
+        Instr::PopHandler => LInstr::PopHandler,
+        Instr::MkExn { exn, has_arg, at } => LInstr::MkExn {
+            exn: *exn,
+            has_arg: *has_arg,
+            at: *at,
+        },
+        Instr::DeExn => LInstr::DeExn,
+        Instr::Raise => LInstr::Raise,
+        Instr::Halt => LInstr::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::FunInfo;
+    use kit_lambda::ty::{DataEnv, LTy};
+
+    fn mini_program(code: Vec<Instr>, label_addrs: Vec<usize>) -> Program {
+        Program {
+            code,
+            label_addrs,
+            funs: vec![FunInfo {
+                entry: 0,
+                nlocals: 4,
+                nfinite: 0,
+                name: "<main>".into(),
+            }],
+            entry_of: [(0usize, 0u32)].into_iter().collect(),
+            main: 0,
+            global_infinite: vec![],
+            exn_names: vec![],
+            result_ty: LTy::Int,
+            data: DataEnv::default(),
+        }
+    }
+
+    #[test]
+    fn fuses_load_load_prim_and_remaps_targets() {
+        // label 0 -> pc 0, label 1 -> pc 5 (the Halt).
+        let prog = mini_program(
+            vec![
+                Instr::GcCheck, // pc 0 (leader)
+                Instr::Load(1), // pc 1 ┐
+                Instr::Load(2), // pc 2 │ fused (cost 3)
+                Instr::Prim {
+                    p: Prim::IAdd,
+                    at: None,
+                }, // pc 3 ┘
+                Instr::Jump(1), // pc 4
+                Instr::Halt,    // pc 5 (leader)
+            ],
+            vec![0, 5],
+        );
+        let linked = link(&prog, true);
+        assert_eq!(linked.fused, 1);
+        assert_eq!(linked.code.len(), 4);
+        assert_eq!(
+            linked.code[1],
+            LInstr::LoadLoadPrim {
+                a: 1,
+                b: 2,
+                p: Prim::IAdd,
+                at: None
+            }
+        );
+        // Old pc 5 (Halt) is the 4th linked instruction.
+        assert_eq!(linked.code[2], LInstr::Jump(3));
+        assert_eq!(linked.pc_of_label[1], 3);
+        let total: u64 = linked.code.iter().map(LInstr::cost).sum();
+        assert_eq!(
+            total,
+            prog.code.len() as u64,
+            "costs cover every source instruction"
+        );
+    }
+
+    #[test]
+    fn leaders_block_fusion() {
+        // A label bound to the Select keeps Load+Select unfused.
+        let prog = mini_program(
+            vec![
+                Instr::Load(0),   // pc 0
+                Instr::Select(1), // pc 1 (leader: label 1)
+                Instr::Halt,      // pc 2
+            ],
+            vec![0, 1],
+        );
+        let linked = link(&prog, true);
+        assert_eq!(linked.fused, 0);
+        assert_eq!(linked.code.len(), 3);
+        assert_eq!(linked.pc_of_label[1], 1);
+    }
+
+    #[test]
+    fn fusion_off_is_one_to_one() {
+        let prog = mini_program(
+            vec![
+                Instr::Load(1),
+                Instr::Load(2),
+                Instr::Prim {
+                    p: Prim::IAdd,
+                    at: None,
+                },
+                Instr::Halt,
+            ],
+            vec![0],
+        );
+        let linked = link(&prog, false);
+        assert_eq!(linked.fused, 0);
+        assert_eq!(linked.code.len(), prog.code.len());
+    }
+}

@@ -18,7 +18,12 @@ fn render(rt: &Rt, v: Word, ty: &LTy, data: &DataEnv, depth: u32) -> String {
     }
     match ty {
         LTy::Int => fmt_sml_int(rt.untag_int(v)),
-        LTy::Bool => if rt.untag_int(v) != 0 { "true" } else { "false" }.to_string(),
+        LTy::Bool => if rt.untag_int(v) != 0 {
+            "true"
+        } else {
+            "false"
+        }
+        .to_string(),
         LTy::Unit => "()".to_string(),
         LTy::Real => fmt_sml_real(rt.real_val(v)),
         LTy::Str => format!("{:?}", rt.str_val(v)),
@@ -76,20 +81,17 @@ fn render(rt: &Rt, v: Word, ty: &LTy, data: &DataEnv, depth: u32) -> String {
                         .enumerate()
                         .map(|(i, s)| {
                             let t = s.instantiate(targs);
-                            render(
-                                rt,
-                                rt.field(v, disc_off + i as u64),
-                                &t,
-                                data,
-                                depth + 1,
-                            )
+                            render(rt, rt.field(v, disc_off + i as u64), &t, data, depth + 1)
                         })
                         .collect();
                     format!("({})", fields.join(", "))
                 }
                 Some(s) => {
                     let t = s.instantiate(targs);
-                    format!("({})", render(rt, rt.field(v, disc_off), &t, data, depth + 1))
+                    format!(
+                        "({})",
+                        render(rt, rt.field(v, disc_off), &t, data, depth + 1)
+                    )
                 }
                 None => unreachable!("boxed nullary constructor"),
             };

@@ -7,10 +7,18 @@
 //! operand ranges of every frame — enumerated at the `GcCheck` safe point
 //! executed on function entry (paper §4: collection happens at the next
 //! function entry once the free-list drops below the threshold).
+//!
+//! The interpreter never dispatches on [`Instr`] directly: [`Vm::run`]
+//! first runs the link pass ([`crate::link`]), which resolves every branch
+//! operand to an absolute pc and fuses hot instruction sequences. The
+//! reported instruction count is that of the *source* stream — fused
+//! instructions account for the instructions they replace — so counters
+//! are identical with fusion on or off.
 
-use crate::instr::{Disc, Instr, Program, RegSlot};
-use kit_lambda::exp::Prim;
+use crate::instr::{Disc, Program, RegSlot};
+use crate::link::{self, LInstr};
 use kit_lambda::eval::{fmt_sml_int, fmt_sml_real, int_in_range};
+use kit_lambda::exp::Prim;
 use kit_lambda::ty::{EXN_DIV, EXN_OVERFLOW, EXN_SIZE, EXN_SUBSCRIPT};
 use kit_runtime::gc;
 use kit_runtime::value::{is_ptr, ptr, ptr_addr, scalar, scalar_val, Tag, Word, STACK_BASE};
@@ -18,18 +26,46 @@ use kit_runtime::{RegionId, Rt, RtStats};
 use std::fmt;
 
 /// Errors terminating execution abnormally.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum VmError {
     /// An exception reached the top level.
-    UncaughtException(String),
+    UncaughtException {
+        /// The exception constructor's name.
+        name: String,
+        /// One-line call chain at the raise point (innermost first).
+        /// Empty when unavailable (e.g. errors from the reference
+        /// evaluator).
+        backtrace: String,
+    },
     /// The instruction budget was exhausted.
     OutOfFuel,
+}
+
+// The backtrace is diagnostic only: two errors are the same error if the
+// same exception escaped (the reference evaluator has no call chain).
+impl PartialEq for VmError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                VmError::UncaughtException { name: a, .. },
+                VmError::UncaughtException { name: b, .. },
+            ) => a == b,
+            (VmError::OutOfFuel, VmError::OutOfFuel) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmError::UncaughtException(n) => write!(f, "uncaught exception {n}"),
+            VmError::UncaughtException { name, backtrace } => {
+                write!(f, "uncaught exception {name}")?;
+                if !backtrace.is_empty() {
+                    write!(f, " (raised in {backtrace})")?;
+                }
+                Ok(())
+            }
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
         }
     }
@@ -54,24 +90,27 @@ pub struct VmOutcome {
 
 #[derive(Debug)]
 struct Frame {
-    /// Function id (diagnostics; frame sizes are read at push time).
-    #[allow(dead_code)]
+    /// Function id (for the uncaught-exception backtrace).
     fun: u32,
     ret_pc: usize,
     base: usize,
     locals: usize,
     nlocals: usize,
-    formal_regions: Vec<RegionId>,
-    regions: Vec<RegionId>,
+    /// Base of this frame's formal region handles in [`Vm::formal_pool`].
+    fbase: usize,
+    /// Base of this frame's `letregion`-bound regions in
+    /// [`Vm::region_pool`].
+    rbase: usize,
 }
 
 #[derive(Debug)]
 struct Handler {
-    target: usize, // code address
+    target: usize, // linked code address
     frame_idx: usize,
     stack_len: usize,
     region_depth: usize,
-    regions_len: usize,
+    region_pool_len: usize,
+    formal_pool_len: usize,
 }
 
 /// The bytecode interpreter.
@@ -82,8 +121,17 @@ pub struct Vm<'p> {
     frames: Vec<Frame>,
     handlers: Vec<Handler>,
     output: String,
-    instructions: u64,
     fuel: Option<u64>,
+    fuse: bool,
+    /// Formal region handles of every live frame, stacked; each frame
+    /// indexes its slice via `Frame::fbase`. Keeping one shared pool makes
+    /// a call allocation-free.
+    formal_pool: Vec<RegionId>,
+    /// `letregion`-bound regions of every live frame, stacked
+    /// (`Frame::rbase`); pops are LIFO within the owning frame.
+    region_pool: Vec<RegionId>,
+    /// Reused buffer for record/constructor fields.
+    scratch: Vec<Word>,
     /// Write barrier log of the generational baseline: field addresses
     /// mutated since the last collection (may hold old→young pointers).
     remembered: Vec<u64>,
@@ -98,8 +146,11 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             handlers: Vec::new(),
             output: String::new(),
-            instructions: 0,
             fuel: None,
+            fuse: true,
+            formal_pool: Vec::new(),
+            region_pool: Vec::new(),
+            scratch: Vec::new(),
             remembered: Vec::new(),
         }
     }
@@ -110,12 +161,15 @@ impl<'p> Vm<'p> {
         self
     }
 
-    fn frame(&self) -> &Frame {
-        self.frames.last().unwrap()
+    /// Disables superinstruction fusion (the link pass still resolves
+    /// branch targets). For differential testing of the fusion pass.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
+        self
     }
 
-    fn frame_mut(&mut self) -> &mut Frame {
-        self.frames.last_mut().unwrap()
+    fn frame(&self) -> &Frame {
+        self.frames.last().unwrap()
     }
 
     fn push(&mut self, v: Word) {
@@ -140,8 +194,8 @@ impl<'p> Vm<'p> {
         let f = self.frame();
         match slot {
             RegSlot::Global(i) => RegionId(i),
-            RegSlot::Local(i) => f.regions[i as usize],
-            RegSlot::Formal(i) => f.formal_regions[i as usize],
+            RegSlot::Local(i) => self.region_pool[f.rbase + i as usize],
+            RegSlot::Formal(i) => self.formal_pool[f.fbase + i as usize],
             RegSlot::EnvReg(i) => {
                 let env = self.rt.stack[f.locals];
                 RegionId(self.rt.untag_int(self.rt.field(env, i as u64)) as u32)
@@ -174,39 +228,73 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn push_frame(
-        &mut self,
-        fun: u32,
-        env: Word,
-        rhandles: &[Word],
-        args: &[Word],
-        ret_pc: usize,
-    ) {
+    /// Builds the callee frame out of the `[env][rhandles…][args…]` block
+    /// on top of the operand stack, moving the arguments into their local
+    /// slots in place — no intermediate buffers.
+    fn push_frame_from_stack(&mut self, fun: u32, n: usize, nf: usize, ret_pc: usize) {
         let info = &self.prog.funs[fun as usize];
-        let base = self.rt.stack.len();
+        let sp0 = self.rt.stack.len();
+        let base = sp0 - n - nf - 1;
+        let env = self.rt.stack[base];
+        let fbase = self.formal_pool.len();
+        for i in 0..nf {
+            let w = self.rt.stack[base + 1 + i];
+            self.formal_pool.push(RegionId(self.rt.untag_int(w) as u32));
+        }
+        let nfinite = info.nfinite as usize;
+        let nlocals = info.nlocals as usize;
+        let locals = base + nfinite;
+        let newlen = base + nfinite + nlocals;
         let fill = if self.rt.config.tagged { scalar(0) } else { 0 };
-        let total = info.nfinite as usize + info.nlocals as usize;
-        self.rt
-            .stack
-            .extend(std::iter::repeat_n(fill, total));
-        let locals = base + info.nfinite as usize;
+        if newlen > sp0 {
+            self.rt.stack.resize(newlen, fill);
+        }
+        // Slide the arguments into the local slots after `env` (overlap-
+        // safe); then truncate if the frame is smaller than the call block.
+        if n > 0 && locals + 1 != sp0 - n {
+            self.rt.stack.copy_within(sp0 - n..sp0, locals + 1);
+        }
+        self.rt.stack.truncate(newlen);
+        for i in base..locals {
+            self.rt.stack[i] = fill; // finite-region slots
+        }
         self.rt.stack[locals] = env;
-        for (i, a) in args.iter().enumerate() {
-            self.rt.stack[locals + 1 + i] = *a;
+        for i in locals + 1 + n..newlen {
+            self.rt.stack[i] = fill; // remaining locals
         }
         self.frames.push(Frame {
             fun,
             ret_pc,
             base,
             locals,
-            nlocals: info.nlocals as usize,
-            formal_regions: rhandles
-                .iter()
-                .map(|&w| RegionId(self.rt.untag_int(w) as u32))
-                .collect(),
-            regions: Vec::new(),
+            nlocals,
+            fbase,
+            rbase: self.region_pool.len(),
         });
         self.rt.observe_mem();
+    }
+
+    /// One-line call chain, innermost frame first, for diagnostics.
+    fn backtrace(&self) -> String {
+        const MAX: usize = 12;
+        let mut names: Vec<&str> = self
+            .frames
+            .iter()
+            .rev()
+            .take(MAX)
+            .map(|f| self.prog.funs[f.fun as usize].name.as_str())
+            .collect();
+        if self.frames.len() > MAX {
+            names.push("…");
+        }
+        names.join(" < ")
+    }
+
+    fn uncaught(&self, exn: u32) -> VmError {
+        VmError::UncaughtException {
+            name: self.prog.exn_names[exn as usize].clone(),
+            backtrace: self.backtrace(),
+        }
     }
 
     /// Runs the program to completion.
@@ -216,6 +304,7 @@ impl<'p> Vm<'p> {
     /// [`VmError::UncaughtException`] if an exception escapes;
     /// [`VmError::OutOfFuel`] if the optional budget is exhausted.
     pub fn run(mut self) -> Result<VmOutcome, VmError> {
+        let linked = link::link(self.prog, self.fuse);
         // Create the global regions (ids 0..n) and the main frame.
         for name in &self.prog.global_infinite {
             let _ = self.rt.letregion(*name);
@@ -229,8 +318,13 @@ impl<'p> Vm<'p> {
             let _ = self.rt.letregion(u32::MAX); // the tenured generation
         }
         let env0 = if self.rt.config.tagged { scalar(0) } else { 0 };
-        self.push_frame(self.prog.main, env0, &[], &[], usize::MAX);
-        let mut pc = self.prog.label_addrs[self.prog.funs[self.prog.main as usize].entry];
+        self.push(env0);
+        self.push_frame_from_stack(self.prog.main, 0, 0, usize::MAX);
+        let mut pc = linked.entry_pc[self.prog.main as usize] as usize;
+
+        let code: &[LInstr] = &linked.code;
+        let fuel_limit = self.fuel.unwrap_or(u64::MAX);
+        let mut icount: u64 = 0;
 
         macro_rules! raise_builtin {
             ($self:ident, $pc:ident, $exn:expr) => {{
@@ -240,94 +334,98 @@ impl<'p> Vm<'p> {
                         $pc = new_pc;
                         continue;
                     }
-                    None => {
-                        return Err(VmError::UncaughtException(
-                            $self.prog.exn_names[$exn.0 as usize].clone(),
-                        ));
-                    }
+                    None => return Err($self.uncaught($exn.0)),
                 }
             }};
         }
 
         loop {
-            self.instructions += 1;
-            if let Some(f) = self.fuel {
-                if self.instructions > f {
-                    return Err(VmError::OutOfFuel);
-                }
+            let ins = &code[pc];
+            // Fused instructions account for every instruction they
+            // replace, so `instructions` matches an unfused run exactly.
+            icount += ins.cost();
+            if icount > fuel_limit {
+                return Err(VmError::OutOfFuel);
             }
-            let ins = &self.prog.code[pc];
             pc += 1;
             match ins {
-                Instr::PushConst(w) => self.push(*w),
-                Instr::PushStr(s) => {
+                LInstr::PushConst(w) => self.push(*w),
+                LInstr::PushStr(s) => {
                     let w = self.rt.intern_const_str(s);
                     self.push(w);
                 }
-                Instr::PushReal(x, at) => {
+                LInstr::PushReal(x, at) => {
                     let bits = x.to_bits();
                     let v = self.alloc_at(*at, Tag::real(), &[bits]);
                     self.push(v);
                 }
-                Instr::Load(i) => {
+                LInstr::Load(i) => {
                     let v = self.local(*i);
                     self.push(v);
                 }
-                Instr::Store(i) => {
+                LInstr::Store(i) => {
                     let v = self.pop();
                     self.set_local(*i, v);
                 }
-                Instr::Pop => {
+                LInstr::Pop => {
                     self.pop();
                 }
-                Instr::MkRecord { n, at } => {
+                LInstr::MkRecord { n, at } => {
                     let at = *at;
                     let n = *n as usize;
                     let start = self.rt.stack.len() - n;
-                    let fields: Vec<Word> = self.rt.stack.drain(start..).collect();
+                    let mut fields = std::mem::take(&mut self.scratch);
+                    fields.clear();
+                    fields.extend_from_slice(&self.rt.stack[start..]);
+                    self.rt.stack.truncate(start);
                     let v = self.alloc_at(at, Tag::record(n as u32), &fields);
+                    self.scratch = fields;
                     self.push(v);
                 }
-                Instr::Select(i) => {
+                LInstr::Select(i) => {
                     let v = self.pop();
                     let w = self.rt.field(v, *i as u64);
                     self.push(w);
                 }
-                Instr::Spread { n } => {
+                LInstr::Spread { n } => {
                     let v = self.pop();
                     for i in 0..*n {
                         let w = self.rt.field(v, i as u64);
                         self.push(w);
                     }
                 }
-                Instr::MkCon { ctor, n, disc, at } => {
+                LInstr::MkCon { ctor, n, disc, at } => {
                     let at = *at;
                     let n = *n as usize;
                     let start = self.rt.stack.len() - n;
-                    let mut fields: Vec<Word> = self.rt.stack.drain(start..).collect();
+                    let mut fields = std::mem::take(&mut self.scratch);
+                    fields.clear();
                     if *disc {
-                        fields.insert(0, scalar(*ctor as i64));
+                        fields.push(scalar(*ctor as i64));
                     }
+                    fields.extend_from_slice(&self.rt.stack[start..]);
+                    self.rt.stack.truncate(start);
                     let tag = Tag::con(*ctor as u32, fields.len() as u32);
                     let v = self.alloc_at(at, tag, &fields);
+                    self.scratch = fields;
                     self.push(v);
                 }
-                Instr::DeConAdj => {
+                LInstr::DeConAdj => {
                     let v = self.pop();
                     self.push(ptr(ptr_addr(v) + 1));
                 }
-                Instr::SwitchCon { disc, arms, default } => {
+                LInstr::SwitchCon {
+                    disc,
+                    arms,
+                    default,
+                } => {
                     let v = self.pop();
                     let ctor: u32 = if !is_ptr(v) {
                         scalar_val(v) as u32
                     } else {
                         match disc {
-                            Disc::Tag => {
-                                Tag::decode(self.rt.read_addr(ptr_addr(v))).info
-                            }
-                            Disc::Field0 => {
-                                scalar_val(self.rt.read_addr(ptr_addr(v))) as u32
-                            }
+                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
                             Disc::Single(c) => *c,
                             Disc::Enum => unreachable!("boxed value in enum datatype"),
                         }
@@ -335,115 +433,132 @@ impl<'p> Vm<'p> {
                     let target = arms
                         .iter()
                         .find(|(c, _)| *c == ctor)
-                        .map(|(_, l)| *l)
+                        .map(|(_, t)| *t)
                         .unwrap_or(*default);
-                    pc = self.prog.label_addrs[target];
+                    pc = target as usize;
                 }
-                Instr::SwitchInt { arms, default } => {
+                LInstr::SwitchInt { arms, default } => {
                     let v = self.pop();
                     let n = self.rt.untag_int(v);
                     let target = arms
                         .iter()
                         .find(|(k, _)| *k == n)
-                        .map(|(_, l)| *l)
+                        .map(|(_, t)| *t)
                         .unwrap_or(*default);
-                    pc = self.prog.label_addrs[target];
+                    pc = target as usize;
                 }
-                Instr::SwitchStr { arms, default } => {
+                LInstr::SwitchStr { arms, default } => {
                     let v = self.pop();
                     let s = self.rt.str_val(v);
                     let target = arms
                         .iter()
                         .find(|(k, _)| k == s)
-                        .map(|(_, l)| *l)
+                        .map(|(_, t)| *t)
                         .unwrap_or(*default);
-                    pc = self.prog.label_addrs[target];
+                    pc = target as usize;
                 }
-                Instr::SwitchExn { arms, default } => {
+                LInstr::SwitchExn { arms, default } => {
                     let v = self.pop();
                     let id = self.exn_id(v);
                     let target = arms
                         .iter()
                         .find(|(k, _)| *k == id)
-                        .map(|(_, l)| *l)
+                        .map(|(_, t)| *t)
                         .unwrap_or(*default);
-                    pc = self.prog.label_addrs[target];
+                    pc = target as usize;
                 }
-                Instr::Jump(l) => pc = self.prog.label_addrs[*l],
-                Instr::JumpIfFalse(l) => {
+                LInstr::Jump(t) => pc = *t as usize,
+                LInstr::JumpIfFalse(t) => {
                     let v = self.pop();
                     if self.rt.untag_int(v) == 0 {
-                        pc = self.prog.label_addrs[*l];
+                        pc = *t as usize;
                     }
                 }
-                Instr::Unreachable => unreachable!("exhaustive switch fell through"),
-                Instr::Prim { p, at } => match self.do_prim(*p, *at) {
+                LInstr::Unreachable => unreachable!("exhaustive switch fell through"),
+                LInstr::Prim { p, at } => match self.do_prim(*p, *at) {
                     Ok(()) => {}
                     Err(exn) => raise_builtin!(self, pc, exn),
                 },
-                Instr::RegHandle(slot) => {
+                LInstr::RegHandle(slot) => {
                     let r = self.region_of(*slot);
                     let w = self.rt.tag_int(r.0 as i64);
                     self.push(w);
                 }
-                Instr::Call { label, nargs, nformals, tail } => {
+                LInstr::Call {
+                    fun,
+                    target,
+                    nargs,
+                    nformals,
+                    tail,
+                } => {
                     let n = *nargs as usize;
                     let nf = *nformals as usize;
-                    let sp = self.rt.stack.len();
-                    let args: Vec<Word> = self.rt.stack.drain(sp - n..).collect();
-                    let sp = self.rt.stack.len();
-                    let rhandles: Vec<Word> = self.rt.stack.drain(sp - nf..).collect();
-                    let env = self.pop();
-                    let fun = self.prog.entry_of[label];
                     let ret = if *tail {
                         let f = self.frames.pop().unwrap();
-                        debug_assert!(f.regions.is_empty(), "tail call with open regions");
-                        self.rt.stack.truncate(f.base);
+                        debug_assert_eq!(
+                            self.region_pool.len(),
+                            f.rbase,
+                            "tail call with open regions"
+                        );
+                        self.formal_pool.truncate(f.fbase);
+                        // Slide the call block down onto the dead frame.
+                        let sp = self.rt.stack.len();
+                        let start = sp - n - nf - 1;
+                        self.rt.stack.copy_within(start..sp, f.base);
+                        self.rt.stack.truncate(f.base + n + nf + 1);
                         f.ret_pc
                     } else {
                         pc
                     };
-                    self.push_frame(fun, env, &rhandles, &args, ret);
-                    pc = self.prog.label_addrs[*label];
+                    self.push_frame_from_stack(*fun, n, nf, ret);
+                    pc = *target as usize;
                 }
-                Instr::CallClos { nargs, tail } => {
+                LInstr::CallClos { nargs, tail } => {
                     let n = *nargs as usize;
                     let sp = self.rt.stack.len();
-                    let args: Vec<Word> = self.rt.stack.drain(sp - n..).collect();
-                    let clos = self.pop();
+                    // The closure doubles as the callee's environment.
+                    let clos = self.rt.stack[sp - n - 1];
                     let label = scalar_val(self.rt.field(clos, 0)) as usize;
-                    let fun = self.prog.entry_of[&label];
+                    let fun = linked.fun_of_label[label];
+                    debug_assert_ne!(fun, u32::MAX, "closure label is not a function entry");
                     let ret = if *tail {
                         let f = self.frames.pop().unwrap();
-                        debug_assert!(f.regions.is_empty(), "tail call with open regions");
-                        self.rt.stack.truncate(f.base);
+                        debug_assert_eq!(
+                            self.region_pool.len(),
+                            f.rbase,
+                            "tail call with open regions"
+                        );
+                        self.formal_pool.truncate(f.fbase);
+                        self.rt.stack.copy_within(sp - n - 1..sp, f.base);
+                        self.rt.stack.truncate(f.base + n + 1);
                         f.ret_pc
                     } else {
                         pc
                     };
-                    self.push_frame(fun, clos, &[], &args, ret);
-                    pc = self.prog.label_addrs[label];
+                    self.push_frame_from_stack(fun, n, 0, ret);
+                    pc = linked.pc_of_label[label] as usize;
                 }
-                Instr::EnterViaPair { nformals } => {
+                LInstr::EnterViaPair { nformals } => {
                     let pair = self.local(0);
                     let shared = self.rt.field(pair, 1);
                     self.set_local(0, shared);
-                    let mut formals = Vec::with_capacity(*nformals as usize);
+                    let fbase = self.frame().fbase;
+                    self.formal_pool.truncate(fbase);
                     for i in 0..*nformals {
                         let w = self.rt.field(pair, 2 + i as u64);
-                        formals.push(RegionId(self.rt.untag_int(w) as u32));
+                        self.formal_pool.push(RegionId(self.rt.untag_int(w) as u32));
                     }
-                    self.frame_mut().formal_regions = formals;
                 }
-                Instr::Ret => {
+                LInstr::Ret => {
                     let result = self.pop();
                     let f = self.frames.pop().expect("return without frame");
-                    debug_assert!(f.regions.is_empty(), "return with open regions");
+                    debug_assert_eq!(self.region_pool.len(), f.rbase, "return with open regions");
+                    self.formal_pool.truncate(f.fbase);
                     self.rt.stack.truncate(f.base);
                     self.push(result);
                     pc = f.ret_pc;
                 }
-                Instr::GcCheck => {
+                LInstr::GcCheck => {
                     if let Some(pol) = self.rt.config.generational {
                         let nursery = &self.rt.regions[0];
                         if nursery.pages >= pol.nursery_pages {
@@ -453,31 +568,32 @@ impl<'p> Vm<'p> {
                         self.collect();
                     }
                 }
-                Instr::LetRegion { names } => {
-                    for name in names {
+                LInstr::LetRegion { names } => {
+                    for name in names.iter() {
                         let id = self.rt.letregion(*name);
-                        self.frame_mut().regions.push(id);
+                        self.region_pool.push(id);
                     }
                 }
-                Instr::EndRegions(n) => {
+                LInstr::EndRegions(n) => {
                     for _ in 0..*n {
                         self.rt.endregion();
-                        self.frame_mut().regions.pop();
+                        self.region_pool.pop();
                     }
                 }
-                Instr::PushHandler { handler } => {
+                LInstr::PushHandler { target } => {
                     self.handlers.push(Handler {
-                        target: self.prog.label_addrs[*handler],
+                        target: *target as usize,
                         frame_idx: self.frames.len() - 1,
                         stack_len: self.rt.stack.len(),
                         region_depth: self.rt.region_depth(),
-                        regions_len: self.frame().regions.len(),
+                        region_pool_len: self.region_pool.len(),
+                        formal_pool_len: self.formal_pool.len(),
                     });
                 }
-                Instr::PopHandler => {
+                LInstr::PopHandler => {
                     self.handlers.pop().expect("handler stack underflow");
                 }
-                Instr::MkExn { exn, has_arg, at } => {
+                LInstr::MkExn { exn, has_arg, at } => {
                     if !*has_arg {
                         self.push(scalar(*exn as i64));
                     } else {
@@ -488,40 +604,127 @@ impl<'p> Vm<'p> {
                         } else {
                             vec![scalar(*exn as i64), arg]
                         };
-                        let v =
-                            self.alloc_at(at.expect("carrying exception needs a place"), tag, &fields);
+                        let v = self.alloc_at(
+                            at.expect("carrying exception needs a place"),
+                            tag,
+                            &fields,
+                        );
                         self.push(v);
                     }
                 }
-                Instr::DeExn => {
+                LInstr::DeExn => {
                     let v = self.pop();
                     let off = if self.rt.config.tagged { 0 } else { 1 };
                     let w = self.rt.field(v, off);
                     self.push(w);
                 }
-                Instr::Raise => {
+                LInstr::Raise => {
                     let v = self.pop();
                     match self.do_raise(v) {
                         Some(new_pc) => pc = new_pc,
                         None => {
                             let id = self.exn_id(v);
-                            return Err(VmError::UncaughtException(
-                                self.prog.exn_names[id as usize].clone(),
-                            ));
+                            return Err(self.uncaught(id));
                         }
                     }
                 }
-                Instr::Halt => {
+                LInstr::Halt => {
                     let result = self.pop();
                     let mut stats = self.rt.stats.clone();
                     stats.observe_bytes(self.rt.mem_bytes());
                     return Ok(VmOutcome {
                         result,
                         output: self.output,
-                        instructions: self.instructions,
+                        instructions: icount,
                         stats,
                         rt: self.rt,
                     });
+                }
+                // -------------------------------------- superinstructions
+                LInstr::LoadLoadPrim { a, b, p, at } => {
+                    let va = self.local(*a);
+                    let vb = self.local(*b);
+                    self.push(va);
+                    self.push(vb);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                }
+                LInstr::PushConstPrim { k, p, at } => {
+                    self.push(*k);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                }
+                LInstr::LoadSelect { i, sel } => {
+                    let v = self.local(*i);
+                    let w = self.rt.field(v, *sel as u64);
+                    self.push(w);
+                }
+                LInstr::StorePop { i } => {
+                    let v = self.pop();
+                    self.set_local(*i, v);
+                    self.pop();
+                }
+                LInstr::PushConstJumpIfFalse { k, target } => {
+                    if self.rt.untag_int(*k) == 0 {
+                        pc = *target as usize;
+                    }
+                }
+                LInstr::LoadConstPrim { i, k, p, at } => {
+                    let v = self.local(*i);
+                    self.push(v);
+                    self.push(*k);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                }
+                LInstr::LoadSelectStore { i, sel, j } => {
+                    let v = self.local(*i);
+                    let w = self.rt.field(v, *sel as u64);
+                    self.set_local(*j, w);
+                }
+                LInstr::LoadLoadPrimJump {
+                    a,
+                    b,
+                    p,
+                    at,
+                    target,
+                } => {
+                    let va = self.local(*a);
+                    let vb = self.local(*b);
+                    self.push(va);
+                    self.push(vb);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                    let v = self.pop();
+                    if self.rt.untag_int(v) == 0 {
+                        pc = *target as usize;
+                    }
+                }
+                LInstr::LoadConstPrimJump {
+                    i,
+                    k,
+                    p,
+                    at,
+                    target,
+                } => {
+                    let v = self.local(*i);
+                    self.push(v);
+                    self.push(*k);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                    let v = self.pop();
+                    if self.rt.untag_int(v) == 0 {
+                        pc = *target as usize;
+                    }
                 }
             }
         }
@@ -545,7 +748,8 @@ impl<'p> Vm<'p> {
         let h = self.handlers.pop()?;
         self.rt.pop_regions_to(h.region_depth);
         self.frames.truncate(h.frame_idx + 1);
-        self.frame_mut().regions.truncate(h.regions_len);
+        self.region_pool.truncate(h.region_pool_len);
+        self.formal_pool.truncate(h.formal_pool_len);
         self.rt.stack.truncate(h.stack_len);
         self.push(exn_val);
         Some(h.target)
@@ -571,7 +775,9 @@ impl<'p> Vm<'p> {
         let roots = self.roots();
         let tenured_pages = self.rt.regions[1].pages;
         let major = tenured_pages
-            >= pol.nursery_pages.max(self.rt.stats.last_live_pages * pol.major_growth);
+            >= pol
+                .nursery_pages
+                .max(self.rt.stats.last_live_pages * pol.major_growth);
         let mut remembered = std::mem::take(&mut self.remembered);
         gc::collect_gen(
             &mut self.rt,
@@ -662,7 +868,11 @@ impl<'p> Vm<'p> {
                 let r = a.wrapping_rem(b);
                 let adj = r != 0 && (r < 0) != (b < 0);
                 push_int!(if p == IDiv {
-                    if adj { q - 1 } else { q }
+                    if adj {
+                        q - 1
+                    } else {
+                        q
+                    }
                 } else if adj {
                     r + b
                 } else {
@@ -803,11 +1013,7 @@ impl<'p> Vm<'p> {
             }
             RefNew => {
                 let v = self.pop();
-                let w = self.alloc_at(
-                    at.expect("ref needs a place"),
-                    Tag::reference(),
-                    &[v],
-                );
+                let w = self.alloc_at(at.expect("ref needs a place"), Tag::reference(), &[v]);
                 self.push(w);
             }
             RefGet => {

@@ -17,8 +17,7 @@ fn run(src: &str, opts: RegionOptions, cfg: RtConfig) -> (String, kit_runtime::R
         .with_fuel(500_000_000)
         .run()
         .expect("vm run");
-    let rendered =
-        kit_kam::render::render_value(&out.rt, out.result, &prog.result_ty, &prog.data);
+    let rendered = kit_kam::render::render_value(&out.rt, out.result, &prog.result_ty, &prog.data);
     (rendered, out.stats)
 }
 
@@ -108,10 +107,17 @@ fn deep_frames_are_gc_roots() {
           | down n = let val keep = [n, n, n]
                      in hd keep :: down (n - 1) end
         val it = length (down 3000)";
-    let cfg = RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() };
+    let cfg = RtConfig {
+        initial_pages: 8,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
     let (res, stats) = run(src, RegionOptions::with_gc(), cfg);
     assert_eq!(res, "3000");
-    assert!(stats.gc_count > 0, "the heap was sized to force collections");
+    assert!(
+        stats.gc_count > 0,
+        "the heap was sized to force collections"
+    );
 }
 
 #[test]

@@ -29,6 +29,7 @@ use kit_runtime::{Rt, RtConfig, RtStats};
 use kit_typing::TypeError;
 use std::fmt;
 
+pub use kit_kam::Program;
 pub use kit_lambda::ty::LTy;
 pub use kit_runtime::stats::GcRecord;
 
@@ -161,12 +162,19 @@ pub struct Compiler {
     opt: OptOptions,
     config: RtConfig,
     fuel: Option<u64>,
+    fusion: bool,
 }
 
 impl Compiler {
     /// Creates a compiler for `mode` with default options.
     pub fn new(mode: Mode) -> Self {
-        Compiler { mode, opt: OptOptions::default(), config: mode.rt_config(), fuel: None }
+        Compiler {
+            mode,
+            opt: OptOptions::default(),
+            config: mode.rt_config(),
+            fuel: None,
+            fusion: true,
+        }
     }
 
     /// The mode this compiler targets.
@@ -206,6 +214,14 @@ impl Compiler {
         self
     }
 
+    /// Disables superinstruction fusion in the interpreter's link pass
+    /// (for differential testing; all observable behavior — including the
+    /// instruction count — is identical either way).
+    pub fn without_fusion(mut self) -> Self {
+        self.fusion = false;
+        self
+    }
+
     /// Compiles `src` to bytecode (usable for repeated runs).
     ///
     /// # Errors
@@ -240,6 +256,9 @@ impl Compiler {
         let mut vm = Vm::new(prog, rt);
         if let Some(f) = self.fuel {
             vm = vm.with_fuel(f);
+        }
+        if !self.fusion {
+            vm = vm.without_fusion();
         }
         let t0 = std::time::Instant::now();
         let out = vm.run()?;
@@ -284,7 +303,9 @@ mod tests {
     fn untagged_modes_never_collect() {
         for mode in [Mode::R, Mode::Rt] {
             let out = Compiler::new(mode)
-                .run_source("fun build 0 = nil | build n = n :: build (n-1) val it = length (build 5000)")
+                .run_source(
+                    "fun build 0 = nil | build n = n :: build (n-1) val it = length (build 5000)",
+                )
                 .unwrap();
             assert_eq!(out.stats.gc_count, 0, "{mode}");
         }

@@ -6,8 +6,8 @@ use crate::Error;
 use kit_lambda::eval::{self, fmt_sml_int, fmt_sml_real, EvalError, Value};
 use kit_lambda::opt::OptOptions;
 use kit_lambda::ty::{DataEnv, LTy, SchemeTy};
-use kit_typing::TypeError;
 use kit_syntax::Span;
+use kit_typing::TypeError;
 
 /// Result of an oracle run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,12 +29,20 @@ pub fn run_oracle(src: &str, fuel: Option<u64>) -> Result<OracleOutcome, Error> 
     kit_lambda::opt::optimize(&mut prog, &OptOptions::default());
     let out = eval::eval(&prog.body, &prog.exns, fuel).map_err(|e| match e {
         EvalError::UncaughtException(n) => {
-            Error::Run(kit_kam::VmError::UncaughtException(n))
+            // No call chain in the reference evaluator; `VmError` equality
+            // ignores the backtrace.
+            Error::Run(kit_kam::VmError::UncaughtException {
+                name: n,
+                backtrace: String::new(),
+            })
         }
         other => Error::Compile(TypeError::new(other.to_string(), Span::synthetic())),
     })?;
     let result = render_oracle(&out.value, &prog.result_ty, &prog.data, 0);
-    Ok(OracleOutcome { result, output: out.output })
+    Ok(OracleOutcome {
+        result,
+        output: out.output,
+    })
 }
 
 /// Renders an oracle value in the canonical format of
@@ -87,9 +95,7 @@ pub fn render_oracle(v: &Value<'_>, ty: &LTy, data: &DataEnv, depth: u32) -> Str
                     let parts: Vec<String> = fields
                         .iter()
                         .zip(ts)
-                        .map(|(f, s)| {
-                            render_oracle(f, &s.instantiate(targs), data, depth + 1)
-                        })
+                        .map(|(f, s)| render_oracle(f, &s.instantiate(targs), data, depth + 1))
                         .collect();
                     format!("{}({})", cinfo.name, parts.join(", "))
                 }

@@ -10,21 +10,46 @@ use kit_runtime::RtConfig;
 
 const FUEL: u64 = 300_000_000;
 
-#[track_caller]
+/// Runs `body` on a thread with a deep stack: the reference evaluator (and
+/// the renderer) recurse per data constructor, and debug-mode frames on
+/// deep structures exceed the default test-thread stack.
+fn with_deep_stack(body: impl FnOnce() + Send) {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn_scoped(s, body)
+            .unwrap();
+    });
+}
+
 fn check(src: &str) {
+    with_deep_stack(|| check_on_current_thread(src));
+}
+
+#[track_caller]
+fn check_on_current_thread(src: &str) {
     let oracle = run_oracle(src, Some(FUEL)).unwrap_or_else(|e| panic!("oracle: {e}\n{src}"));
     for mode in Mode::ALL {
         let out = Compiler::new(mode)
             .with_fuel(FUEL)
             .run_source(src)
             .unwrap_or_else(|e| panic!("{mode}: {e}\n{src}"));
-        assert_eq!(out.result, oracle.result, "result mismatch in {mode}\n{src}");
-        assert_eq!(out.output, oracle.output, "output mismatch in {mode}\n{src}");
+        assert_eq!(
+            out.result, oracle.result,
+            "result mismatch in {mode}\n{src}"
+        );
+        assert_eq!(
+            out.output, oracle.output,
+            "output mismatch in {mode}\n{src}"
+        );
     }
     // Poisoned run: deallocated pages are overwritten, so any read through
     // a dangling pointer (a region popped too early) fails loudly.
     {
-        let cfg = RtConfig { poison: true, ..RtConfig::r() };
+        let cfg = RtConfig {
+            poison: true,
+            ..RtConfig::r()
+        };
         let out = Compiler::new(Mode::R)
             .with_config(cfg)
             .with_fuel(FUEL)
@@ -34,14 +59,24 @@ fn check(src: &str) {
     }
     // Heap pressure: small pages & heap force many collections.
     for mode in [Mode::Gt, Mode::Rgt] {
-        let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..mode_cfg(mode) };
+        let cfg = RtConfig {
+            initial_pages: 4,
+            page_words_log2: 6,
+            ..mode_cfg(mode)
+        };
         let out = Compiler::new(mode)
             .with_config(cfg)
             .with_fuel(FUEL)
             .run_source(src)
             .unwrap_or_else(|e| panic!("{mode} (pressure): {e}\n{src}"));
-        assert_eq!(out.result, oracle.result, "pressure result mismatch in {mode}\n{src}");
-        assert_eq!(out.output, oracle.output, "pressure output mismatch in {mode}\n{src}");
+        assert_eq!(
+            out.result, oracle.result,
+            "pressure result mismatch in {mode}\n{src}"
+        );
+        assert_eq!(
+            out.output, oracle.output,
+            "pressure output mismatch in {mode}\n{src}"
+        );
     }
 }
 
@@ -276,15 +311,17 @@ fn large_tail_recursion() {
 
 #[test]
 fn polymorphic_functions_shared_across_types() {
-    check(
-        "val it = (length (map id [1,2,3]), length (map id [true, false]))",
-    );
+    check("val it = (length (map id [1,2,3]), length (map id [true, false]))");
     check("val p = (id 1, id \"x\", id 2.5) val it = p");
 }
 
 #[test]
 fn gc_actually_ran_under_pressure() {
-    let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..RtConfig::rgt() };
+    let cfg = RtConfig {
+        initial_pages: 4,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
     let out = Compiler::new(Mode::Rgt)
         .with_config(cfg)
         .run_source(
@@ -292,6 +329,9 @@ fn gc_actually_ran_under_pressure() {
              val it = burn 200",
         )
         .unwrap();
-    assert!(out.stats.gc_count > 0, "expected collections under pressure");
+    assert!(
+        out.stats.gc_count > 0,
+        "expected collections under pressure"
+    );
     assert_eq!(out.result_int(), Some(10000));
 }

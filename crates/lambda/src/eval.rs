@@ -116,7 +116,10 @@ impl<'a> Env<'a> {
     }
 
     fn bind_rec(&self, funs: &'a [FixFun]) -> Env<'a> {
-        let node = Rc::new(RecNode { funs, parent: self.clone() });
+        let node = Rc::new(RecNode {
+            funs,
+            parent: self.clone(),
+        });
         Env(Some(Rc::new(EnvNode::Rec(node, self.clone()))))
     }
 
@@ -193,12 +196,18 @@ pub fn eval<'a>(
     exns: &ExnEnv,
     fuel: Option<u64>,
 ) -> Result<EvalOutcome<'a>, EvalError> {
-    let mut ev = Evaluator { output: String::new(), steps: 0, fuel };
+    let mut ev = Evaluator {
+        output: String::new(),
+        steps: 0,
+        fuel,
+    };
     match ev.eval(body, &Env::new())? {
-        Control::Done(v) => Ok(EvalOutcome { value: v, output: ev.output, steps: ev.steps }),
-        Control::Raise((id, _)) => {
-            Err(EvalError::UncaughtException(exns.get(id).name.clone()))
-        }
+        Control::Done(v) => Ok(EvalOutcome {
+            value: v,
+            output: ev.output,
+            steps: ev.steps,
+        }),
+        Control::Raise((id, _)) => Err(EvalError::UncaughtException(exns.get(id).name.clone())),
     }
 }
 
@@ -232,9 +241,7 @@ impl Evaluator {
             }
             match exp {
                 LExp::Var(v) => {
-                    let val = env
-                        .lookup(*v)
-                        .ok_or(EvalError::UnboundVariable(v.0))?;
+                    let val = env.lookup(*v).ok_or(EvalError::UnboundVariable(v.0))?;
                     return Ok(Control::Done(val));
                 }
                 LExp::Int(n) => return Ok(Control::Done(Value::Int(*n))),
@@ -263,12 +270,18 @@ impl Evaluator {
                     };
                     return Ok(Control::Done(fields[*i].clone()));
                 }
-                LExp::Con { tycon, con, arg, .. } => {
+                LExp::Con {
+                    tycon, con, arg, ..
+                } => {
                     let a = match arg {
                         Some(e) => Some(Rc::new(eval_sub!(self, e, &env))),
                         None => None,
                     };
-                    return Ok(Control::Done(Value::Con { tycon: *tycon, con: *con, arg: a }));
+                    return Ok(Control::Done(Value::Con {
+                        tycon: *tycon,
+                        con: *con,
+                        arg: a,
+                    }));
                 }
                 LExp::DeCon { scrut, .. } => {
                     let v = eval_sub!(self, scrut, &env);
@@ -277,7 +290,12 @@ impl Evaluator {
                     };
                     return Ok(Control::Done((*a).clone()));
                 }
-                LExp::SwitchCon { scrut, arms, default, .. } => {
+                LExp::SwitchCon {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
                     let v = eval_sub!(self, scrut, &env);
                     let Value::Con { con, .. } = &v else {
                         panic!("switch on non-constructor (ill-typed LambdaExp)")
@@ -290,7 +308,11 @@ impl Evaluator {
                         },
                     }
                 }
-                LExp::SwitchInt { scrut, arms, default } => {
+                LExp::SwitchInt {
+                    scrut,
+                    arms,
+                    default,
+                } => {
                     let v = eval_sub!(self, scrut, &env);
                     let n = match &v {
                         Value::Int(n) => *n,
@@ -302,7 +324,11 @@ impl Evaluator {
                         None => exp = default,
                     }
                 }
-                LExp::SwitchStr { scrut, arms, default } => {
+                LExp::SwitchStr {
+                    scrut,
+                    arms,
+                    default,
+                } => {
                     let v = eval_sub!(self, scrut, &env);
                     let s = v.str().to_string();
                     match arms.iter().find(|(k, _)| *k == s) {
@@ -324,7 +350,11 @@ impl Evaluator {
                         vals.push(eval_sub!(self, a, &env));
                     }
                     match fv {
-                        Value::Closure { params, body, env: cenv } => {
+                        Value::Closure {
+                            params,
+                            body,
+                            env: cenv,
+                        } => {
                             assert_eq!(params.len(), vals.len(), "arity mismatch");
                             let mut e2 = cenv;
                             for ((p, _), v) in params.iter().zip(vals) {
@@ -373,7 +403,11 @@ impl Evaluator {
                     };
                     return Ok(Control::Done((*a).clone()));
                 }
-                LExp::SwitchExn { scrut, arms, default } => {
+                LExp::SwitchExn {
+                    scrut,
+                    arms,
+                    default,
+                } => {
                     let v = eval_sub!(self, scrut, &env);
                     let Value::Exn(id, _) = &v else {
                         panic!("switch on non-exception")
@@ -390,16 +424,14 @@ impl Evaluator {
                     };
                     return Ok(Control::Raise((id, arg)));
                 }
-                LExp::Handle { body, var, handler } => {
-                    match self.eval(body, &env)? {
-                        Control::Done(v) => return Ok(Control::Done(v)),
-                        Control::Raise((id, arg)) => {
-                            let env2 = env.bind(*var, Value::Exn(id, arg));
-                            env = env2;
-                            exp = handler;
-                        }
+                LExp::Handle { body, var, handler } => match self.eval(body, &env)? {
+                    Control::Done(v) => return Ok(Control::Done(v)),
+                    Control::Raise((id, arg)) => {
+                        let env2 = env.bind(*var, Value::Exn(id, arg));
+                        env = env2;
+                        exp = handler;
                     }
-                }
+                },
             }
         }
     }
@@ -444,7 +476,11 @@ impl Evaluator {
                 // SML `div` is floor division.
                 let q = a.wrapping_div(b);
                 let r = a.wrapping_rem(b);
-                done(Value::Int(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q }))
+                done(Value::Int(if r != 0 && (r < 0) != (b < 0) {
+                    q - 1
+                } else {
+                    q
+                }))
             }
             IMod => {
                 let b = args.pop().unwrap().int();
@@ -452,15 +488,25 @@ impl Evaluator {
                 if b == 0 {
                     return raise(crate::ty::EXN_DIV);
                 }
-                done(Value::Int(a.rem_euclid(b) + if b < 0 && a.rem_euclid(b) != 0 { b } else { 0 }))
+                done(Value::Int(
+                    a.rem_euclid(b) + if b < 0 && a.rem_euclid(b) != 0 { b } else { 0 },
+                ))
             }
             INeg => {
                 let v = -args.pop().unwrap().int();
-                if int_in_range(v) { done(Value::Int(v)) } else { raise(crate::ty::EXN_OVERFLOW) }
+                if int_in_range(v) {
+                    done(Value::Int(v))
+                } else {
+                    raise(crate::ty::EXN_OVERFLOW)
+                }
             }
             IAbs => {
                 let v = args.pop().unwrap().int().abs();
-                if int_in_range(v) { done(Value::Int(v)) } else { raise(crate::ty::EXN_OVERFLOW) }
+                if int_in_range(v) {
+                    done(Value::Int(v))
+                } else {
+                    raise(crate::ty::EXN_OVERFLOW)
+                }
             }
             ILt => done(Value::Bool(binint!(|a, b| a < b))),
             ILe => done(Value::Bool(binint!(|a, b| a <= b))),
@@ -545,14 +591,18 @@ impl Evaluator {
             RefNew => done(Value::Ref(Rc::new(RefCell::new(args.pop().unwrap())))),
             RefGet => {
                 let r = args.pop().unwrap();
-                let Value::Ref(cell) = r else { panic!("deref of non-ref") };
+                let Value::Ref(cell) = r else {
+                    panic!("deref of non-ref")
+                };
                 let v = cell.borrow().clone();
                 done(v)
             }
             RefSet => {
                 let v = args.pop().unwrap();
                 let r = args.pop().unwrap();
-                let Value::Ref(cell) = r else { panic!("assign to non-ref") };
+                let Value::Ref(cell) = r else {
+                    panic!("assign to non-ref")
+                };
                 *cell.borrow_mut() = v;
                 done(Value::Unit)
             }
@@ -575,7 +625,9 @@ impl Evaluator {
             ArrSub => {
                 let i = args.pop().unwrap().int();
                 let a = args.pop().unwrap();
-                let Value::Array(arr) = a else { panic!("sub of non-array") };
+                let Value::Array(arr) = a else {
+                    panic!("sub of non-array")
+                };
                 let arr = arr.borrow();
                 if i < 0 || i as usize >= arr.len() {
                     return raise(crate::ty::EXN_SUBSCRIPT);
@@ -586,7 +638,9 @@ impl Evaluator {
                 let v = args.pop().unwrap();
                 let i = args.pop().unwrap().int();
                 let a = args.pop().unwrap();
-                let Value::Array(arr) = a else { panic!("update of non-array") };
+                let Value::Array(arr) = a else {
+                    panic!("update of non-array")
+                };
                 let mut arr = arr.borrow_mut();
                 if i < 0 || i as usize >= arr.len() {
                     return raise(crate::ty::EXN_SUBSCRIPT);
@@ -596,7 +650,9 @@ impl Evaluator {
             }
             ArrLen => {
                 let a = args.pop().unwrap();
-                let Value::Array(arr) = a else { panic!("length of non-array") };
+                let Value::Array(arr) = a else {
+                    panic!("length of non-array")
+                };
                 let n = arr.borrow().len() as i64;
                 done(Value::Int(n))
             }
@@ -662,12 +718,23 @@ mod tests {
     #[test]
     fn sml_division_floors() {
         // SML: ~7 div 2 = ~4, ~7 mod 2 = 1, 7 div ~2 = ~4, 7 mod ~2 = ~1
-        let cases = [(-7, 2, -4, 1), (7, -2, -4, -1), (7, 2, 3, 1), (-7, -2, 3, -1)];
+        let cases = [
+            (-7, 2, -4, 1),
+            (7, -2, -4, -1),
+            (7, 2, 3, 1),
+            (-7, -2, 3, -1),
+        ];
         for (a, b, q, r) in cases {
             let d = LExp::Prim(Prim::IDiv, vec![LExp::Int(a), LExp::Int(b)]);
             let m = LExp::Prim(Prim::IMod, vec![LExp::Int(a), LExp::Int(b)]);
-            assert!(matches!(run(&d).value, Value::Int(x) if x == q), "{a} div {b}");
-            assert!(matches!(run(&m).value, Value::Int(x) if x == r), "{a} mod {b}");
+            assert!(
+                matches!(run(&d).value, Value::Int(x) if x == q),
+                "{a} div {b}"
+            );
+            assert!(
+                matches!(run(&m).value, Value::Int(x) if x == r),
+                "{a} mod {b}"
+            );
         }
     }
 
@@ -787,7 +854,10 @@ mod tests {
             }],
             body: Box::new(LExp::App(Box::new(LExp::Var(f)), vec![LExp::Int(0)])),
         };
-        assert_eq!(eval(&e, &ExnEnv::new(), Some(1000)).unwrap_err(), EvalError::OutOfFuel);
+        assert_eq!(
+            eval(&e, &ExnEnv::new(), Some(1000)).unwrap_err(),
+            EvalError::OutOfFuel
+        );
     }
 
     #[test]
@@ -818,7 +888,10 @@ mod tests {
     #[test]
     fn sml_number_formatting() {
         assert_eq!(fmt_sml_int(-3), "~3");
-        assert_eq!(fmt_sml_int(i64::MIN), format!("~{}", (i64::MIN as i128).unsigned_abs()));
+        assert_eq!(
+            fmt_sml_int(i64::MIN),
+            format!("~{}", (i64::MIN as i128).unsigned_abs())
+        );
         assert_eq!(fmt_sml_real(2.0), "2.0");
         assert_eq!(fmt_sml_real(-0.5), "~0.5");
     }

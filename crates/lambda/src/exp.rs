@@ -236,10 +236,19 @@ pub enum LExp {
     /// Datatype constructor application. Nullary constructors are unboxed
     /// scalars; unary ones allocate. `targs` are the datatype's type
     /// arguments at this use.
-    Con { tycon: TyConId, con: ConId, targs: Vec<LTy>, arg: Option<Box<LExp>> },
+    Con {
+        tycon: TyConId,
+        con: ConId,
+        targs: Vec<LTy>,
+        arg: Option<Box<LExp>>,
+    },
     /// Extracts the argument of a constructor value (unchecked; emitted
     /// under a matching [`LExp::SwitchCon`] arm).
-    DeCon { tycon: TyConId, con: ConId, scrut: Box<LExp> },
+    DeCon {
+        tycon: TyConId,
+        con: ConId,
+        scrut: Box<LExp>,
+    },
     /// Multi-way branch on a datatype constructor.
     SwitchCon {
         /// The value examined.
@@ -376,7 +385,12 @@ impl LExp {
                 }
             }
             LExp::DeCon { scrut, .. } => scrut.free_vars_into(acc, bound),
-            LExp::SwitchCon { scrut, arms, default, .. } => {
+            LExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 scrut.free_vars_into(acc, bound);
                 for (_, a) in arms {
                     a.free_vars_into(acc, bound);
@@ -385,14 +399,22 @@ impl LExp {
                     d.free_vars_into(acc, bound);
                 }
             }
-            LExp::SwitchInt { scrut, arms, default } => {
+            LExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 scrut.free_vars_into(acc, bound);
                 for (_, a) in arms {
                     a.free_vars_into(acc, bound);
                 }
                 default.free_vars_into(acc, bound);
             }
-            LExp::SwitchStr { scrut, arms, default } => {
+            LExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 scrut.free_vars_into(acc, bound);
                 for (_, a) in arms {
                     a.free_vars_into(acc, bound);
@@ -440,7 +462,11 @@ impl LExp {
                 }
             }
             LExp::DeExn { scrut, .. } => scrut.free_vars_into(acc, bound),
-            LExp::SwitchExn { scrut, arms, default } => {
+            LExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 scrut.free_vars_into(acc, bound);
                 for (_, a) in arms {
                     a.free_vars_into(acc, bound);
@@ -482,19 +508,32 @@ impl LExp {
                 }
             }
             LExp::DeCon { scrut, .. } => f(scrut),
-            LExp::SwitchCon { scrut, arms, default, .. } => {
+            LExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 if let Some(d) = default {
                     f(d);
                 }
             }
-            LExp::SwitchInt { scrut, arms, default } => {
+            LExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);
             }
-            LExp::SwitchStr { scrut, arms, default } => {
+            LExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);
@@ -523,7 +562,11 @@ impl LExp {
                 }
             }
             LExp::DeExn { scrut, .. } => f(scrut),
-            LExp::SwitchExn { scrut, arms, default } => {
+            LExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);

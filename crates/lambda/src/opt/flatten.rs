@@ -59,11 +59,7 @@ fn collect_candidates(e: &LExp, out: &mut HashMap<VarId, usize>) {
     e.for_each_child(|c| collect_candidates(c, out));
 }
 
-fn find_params(
-    e: &LExp,
-    cands: &HashMap<VarId, usize>,
-    out: &mut HashMap<VarId, (VarId, usize)>,
-) {
+fn find_params(e: &LExp, cands: &HashMap<VarId, usize>, out: &mut HashMap<VarId, (VarId, usize)>) {
     if let LExp::Fix { funs, .. } = e {
         for f in funs {
             if let Some(&k) = cands.get(&f.var) {
@@ -136,7 +132,10 @@ fn rewrite(e: &mut LExp, ok: &HashMap<VarId, usize>, vars: &mut crate::exp::VarT
                     _ => vec![LTy::TyVar(u32::MAX); k],
                 };
                 let comps: Vec<VarId> = (0..k)
-                    .map(|i| vars.fresh(&format!("{}.{i}", vars.name(p).to_string())))
+                    .map(|i| {
+                        let name = format!("{}.{i}", vars.name(p));
+                        vars.fresh(&name)
+                    })
                     .collect();
                 subst_selects(&mut f.body, p, &comps);
                 f.params = comps.into_iter().zip(tys).collect();
@@ -148,7 +147,11 @@ fn rewrite(e: &mut LExp, ok: &HashMap<VarId, usize>, vars: &mut crate::exp::VarT
                 let fv = *f;
                 let q = vars.fresh("eta");
                 let args = (0..k)
-                    .map(|i| LExp::Select { i, arity: k, tup: Box::new(LExp::Var(q)) })
+                    .map(|i| LExp::Select {
+                        i,
+                        arity: k,
+                        tup: Box::new(LExp::Var(q)),
+                    })
                     .collect();
                 *e = LExp::Fn {
                     params: vec![(q, LTy::TyVar(u32::MAX))],
@@ -190,11 +193,19 @@ mod tests {
                 LExp::Prim(
                     Prim::ISub,
                     vec![
-                        LExp::Select { i: 0, arity: 2, tup: Box::new(LExp::Var(p)) },
+                        LExp::Select {
+                            i: 0,
+                            arity: 2,
+                            tup: Box::new(LExp::Var(p)),
+                        },
                         LExp::Int(1),
                     ],
                 ),
-                LExp::Select { i: 1, arity: 2, tup: Box::new(LExp::Var(p)) },
+                LExp::Select {
+                    i: 1,
+                    arity: 2,
+                    tup: Box::new(LExp::Var(p)),
+                },
             ])],
         );
         let mut prog = LProgram {
@@ -217,16 +228,23 @@ mod tests {
         };
         assert_eq!(flatten(&mut prog), 1);
         // The function now has two parameters and no Record argument.
-        let LExp::Fix { funs, body } = &prog.body else { panic!() };
+        let LExp::Fix { funs, body } = &prog.body else {
+            panic!()
+        };
         assert_eq!(funs[0].params.len(), 2);
-        let LExp::App(_, args) = body.as_ref() else { panic!() };
+        let LExp::App(_, args) = body.as_ref() else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
         fn no_records(e: &LExp) -> bool {
             let mut ok = !matches!(e, LExp::Record(_));
             e.for_each_child(|c| ok &= no_records(c));
             ok
         }
-        assert!(no_records(&funs[0].body), "recursive call must be flattened");
+        assert!(
+            no_records(&funs[0].body),
+            "recursive call must be flattened"
+        );
     }
 
     #[test]
@@ -244,14 +262,20 @@ mod tests {
                     var: f,
                     params: vec![(p, pty)],
                     ret: LTy::Int,
-                    body: LExp::Select { i: 0, arity: 2, tup: Box::new(LExp::Var(p)) },
+                    body: LExp::Select {
+                        i: 0,
+                        arity: 2,
+                        tup: Box::new(LExp::Var(p)),
+                    },
                 }],
                 body: Box::new(LExp::Var(f)), // escapes
             },
             result_ty: LTy::Int,
         };
         assert_eq!(flatten(&mut prog), 1);
-        let LExp::Fix { body, .. } = &prog.body else { panic!() };
+        let LExp::Fix { body, .. } = &prog.body else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), LExp::Fn { .. }), "{body:?}");
     }
 

@@ -38,12 +38,21 @@ fn demote_nonrecursive_fix(e: &mut LExp, n: &mut usize) {
             let funs = std::mem::take(funs);
             let mut result = std::mem::replace(body, Box::new(LExp::Unit));
             for f in funs.into_iter().rev() {
-                let FixFun { var, params, ret, body: fbody } = f;
+                let FixFun {
+                    var,
+                    params,
+                    ret,
+                    body: fbody,
+                } = f;
                 let fn_ty = fn_ty_of(&params, &ret);
                 result = Box::new(LExp::Let {
                     var,
                     ty: fn_ty,
-                    rhs: Box::new(LExp::Fn { params, ret, body: Box::new(fbody) }),
+                    rhs: Box::new(LExp::Fn {
+                        params,
+                        ret,
+                        body: Box::new(fbody),
+                    }),
                     body: result,
                 });
             }
@@ -86,8 +95,12 @@ fn count_uses(e: &LExp, uses: &mut HashMap<VarId, (usize, usize)>) {
 
 fn inline_lets(e: &mut LExp, vars: &mut VarTable, inline_size: usize, n: &mut usize) {
     for_each_child_mut(e, |c| inline_lets(c, vars, inline_size, n));
-    let LExp::Let { var, rhs, body, .. } = e else { return };
-    let LExp::Fn { params, .. } = rhs.as_ref() else { return };
+    let LExp::Let { var, rhs, body, .. } = e else {
+        return;
+    };
+    let LExp::Fn { params, .. } = rhs.as_ref() else {
+        return;
+    };
     let arity = params.len();
 
     let mut uses = HashMap::new();
@@ -125,7 +138,9 @@ fn inline_calls(
     rename: bool,
     remaining: &mut usize,
 ) {
-    for_each_child_mut(e, |c| inline_calls(c, var, f, arity, vars, rename, remaining));
+    for_each_child_mut(e, |c| {
+        inline_calls(c, var, f, arity, vars, rename, remaining)
+    });
     if let LExp::App(callee, args) = e {
         if matches!(callee.as_ref(), LExp::Var(v) if *v == var) && args.len() == arity {
             *remaining -= 1;
@@ -145,7 +160,8 @@ fn inline_calls(
 /// ids stay globally unique after multi-use inlining.
 pub fn rename_clone(e: &LExp, vars: &mut VarTable, map: &mut HashMap<VarId, VarId>) -> LExp {
     let fresh = |v: VarId, vars: &mut VarTable, map: &mut HashMap<VarId, VarId>| {
-        let nv = vars.fresh(&format!("{}'", vars.name(v).to_string()));
+        let name = format!("{}'", vars.name(v));
+        let nv = vars.fresh(&name);
         map.insert(v, nv);
         nv
     };
@@ -157,13 +173,22 @@ pub fn rename_clone(e: &LExp, vars: &mut VarTable, map: &mut HashMap<VarId, VarI
                 .map(|(v, t)| (fresh(*v, vars, map), t.clone()))
                 .collect();
             let body = Box::new(rename_clone(body, vars, map));
-            LExp::Fn { params, ret: ret.clone(), body }
+            LExp::Fn {
+                params,
+                ret: ret.clone(),
+                body,
+            }
         }
         LExp::Let { var, ty, rhs, body } => {
             let rhs = Box::new(rename_clone(rhs, vars, map));
             let nv = fresh(*var, vars, map);
             let body = Box::new(rename_clone(body, vars, map));
-            LExp::Let { var: nv, ty: ty.clone(), rhs, body }
+            LExp::Let {
+                var: nv,
+                ty: ty.clone(),
+                rhs,
+                body,
+            }
         }
         LExp::Fix { funs, body } => {
             let nvars: Vec<VarId> = funs.iter().map(|f| fresh(f.var, vars, map)).collect();
@@ -188,7 +213,11 @@ pub fn rename_clone(e: &LExp, vars: &mut VarTable, map: &mut HashMap<VarId, VarI
             let body = Box::new(rename_clone(body, vars, map));
             let nv = fresh(*var, vars, map);
             let handler = Box::new(rename_clone(handler, vars, map));
-            LExp::Handle { body, var: nv, handler }
+            LExp::Handle {
+                body,
+                var: nv,
+                handler,
+            }
         }
         // Non-binding nodes: clone structurally, renaming children.
         _ => {

@@ -33,7 +33,11 @@ pub struct OptOptions {
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { max_rounds: 4, inline_size: 40, enabled: true }
+        OptOptions {
+            max_rounds: 4,
+            inline_size: 40,
+            enabled: true,
+        }
     }
 }
 
@@ -114,7 +118,13 @@ mod tests {
         let _ = vars.fresh("x");
         let body = LExp::Prim(Prim::IAdd, vec![LExp::Int(1), LExp::Int(2)]);
         let mut p = prog(body.clone(), vars);
-        optimize(&mut p, &OptOptions { enabled: false, ..Default::default() });
+        optimize(
+            &mut p,
+            &OptOptions {
+                enabled: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(p.body, body);
     }
 }

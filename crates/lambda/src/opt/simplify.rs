@@ -76,7 +76,10 @@ fn prim_is_pure(p: Prim) -> bool {
 /// `true` if `e` is cheap enough to duplicate at each use site.
 /// Real literals are excluded: duplicating one duplicates its allocation.
 fn is_atomic(e: &LExp) -> bool {
-    matches!(e, LExp::Var(_) | LExp::Int(_) | LExp::Bool(_) | LExp::Unit | LExp::Str(_))
+    matches!(
+        e,
+        LExp::Var(_) | LExp::Int(_) | LExp::Bool(_) | LExp::Unit | LExp::Str(_)
+    )
 }
 
 fn count_uses(e: &LExp, v: VarId) -> usize {
@@ -107,12 +110,8 @@ pub fn subst_atomic(e: &mut LExp, v: VarId, value: &LExp) {
 /// Mutable version of [`LExp::for_each_child`].
 pub fn for_each_child_mut(e: &mut LExp, mut f: impl FnMut(&mut LExp)) {
     match e {
-        LExp::Var(_)
-        | LExp::Int(_)
-        | LExp::Real(_)
-        | LExp::Str(_)
-        | LExp::Bool(_)
-        | LExp::Unit => {}
+        LExp::Var(_) | LExp::Int(_) | LExp::Real(_) | LExp::Str(_) | LExp::Bool(_) | LExp::Unit => {
+        }
         LExp::Prim(_, args) => args.iter_mut().for_each(&mut f),
         LExp::Record(es) => es.iter_mut().for_each(&mut f),
         LExp::Select { tup: e, .. } => f(e),
@@ -122,19 +121,32 @@ pub fn for_each_child_mut(e: &mut LExp, mut f: impl FnMut(&mut LExp)) {
             }
         }
         LExp::DeCon { scrut, .. } | LExp::DeExn { scrut, .. } => f(scrut),
-        LExp::SwitchCon { scrut, arms, default, .. } => {
+        LExp::SwitchCon {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
             f(scrut);
             arms.iter_mut().for_each(|(_, a)| f(a));
             if let Some(d) = default {
                 f(d);
             }
         }
-        LExp::SwitchInt { scrut, arms, default } => {
+        LExp::SwitchInt {
+            scrut,
+            arms,
+            default,
+        } => {
             f(scrut);
             arms.iter_mut().for_each(|(_, a)| f(a));
             f(default);
         }
-        LExp::SwitchStr { scrut, arms, default } => {
+        LExp::SwitchStr {
+            scrut,
+            arms,
+            default,
+        } => {
             f(scrut);
             arms.iter_mut().for_each(|(_, a)| f(a));
             f(default);
@@ -157,7 +169,11 @@ pub fn for_each_child_mut(e: &mut LExp, mut f: impl FnMut(&mut LExp)) {
             f(t);
             f(e2);
         }
-        LExp::SwitchExn { scrut, arms, default } => {
+        LExp::SwitchExn {
+            scrut,
+            arms,
+            default,
+        } => {
             f(scrut);
             arms.iter_mut().for_each(|(_, a)| f(a));
             f(default);
@@ -208,7 +224,10 @@ fn rewrite_node(e: &mut LExp, n: &mut usize) {
                 *n += 1;
             }
             _ => {
-                if matches!((t.as_ref(), f.as_ref()), (LExp::Bool(true), LExp::Bool(false))) {
+                if matches!(
+                    (t.as_ref(), f.as_ref()),
+                    (LExp::Bool(true), LExp::Bool(false))
+                ) {
                     *e = take(c);
                     *n += 1;
                 }
@@ -224,14 +243,23 @@ fn rewrite_node(e: &mut LExp, n: &mut usize) {
             }
         }
         LExp::DeCon { scrut, con, .. } => {
-            if let LExp::Con { con: c2, arg: Some(a), .. } = scrut.as_mut() {
+            if let LExp::Con {
+                con: c2,
+                arg: Some(a),
+                ..
+            } = scrut.as_mut()
+            {
                 if c2 == con {
                     *e = take(a);
                     *n += 1;
                 }
             }
         }
-        LExp::SwitchInt { scrut, arms, default } => {
+        LExp::SwitchInt {
+            scrut,
+            arms,
+            default,
+        } => {
             let key = match scrut.as_ref() {
                 LExp::Int(k) => Some(*k),
                 LExp::Bool(b) => Some(*b as i64),
@@ -247,7 +275,12 @@ fn rewrite_node(e: &mut LExp, n: &mut usize) {
                 *n += 1;
             }
         }
-        LExp::SwitchCon { scrut, arms, default, .. } => {
+        LExp::SwitchCon {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
             if let LExp::Con { con, arg: None, .. } = scrut.as_ref() {
                 let con = *con;
                 if let Some(arm) = arms.iter_mut().find(|(c, _)| *c == con) {
@@ -326,8 +359,16 @@ fn fold_prim(p: Prim, args: &[LExp]) -> Option<LExp> {
             }
             let q = a.wrapping_div(b);
             let r = a.wrapping_rem(b);
-            let floor_q = if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q };
-            let floor_r = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
+            let floor_q = if r != 0 && (r < 0) != (b < 0) {
+                q - 1
+            } else {
+                q
+            };
+            let floor_r = if r != 0 && (r < 0) != (b < 0) {
+                r + b
+            } else {
+                r
+            };
             Some(LExp::Int(if p == IDiv { floor_q } else { floor_r }))
         }
         INeg => int(&args[0])?
@@ -432,7 +473,11 @@ mod tests {
     #[test]
     fn select_of_impure_record_kept() {
         let pr = LExp::Prim(Prim::Print, vec![LExp::Str("x".into())]);
-        let mut e = LExp::Select { i: 0, arity: 2, tup: Box::new(LExp::Record(vec![LExp::Int(1), pr])) };
+        let mut e = LExp::Select {
+            i: 0,
+            arity: 2,
+            tup: Box::new(LExp::Record(vec![LExp::Int(1), pr])),
+        };
         simplify(&mut e);
         assert!(matches!(e, LExp::Select { .. }));
     }

@@ -7,7 +7,11 @@ use std::fmt::Write as _;
 /// Renders a program body with resolved variable names.
 pub fn program_to_string(p: &LProgram) -> String {
     let mut out = String::new();
-    let mut pr = Printer { vars: &p.vars, out: &mut out, indent: 0 };
+    let mut pr = Printer {
+        vars: &p.vars,
+        out: &mut out,
+        indent: 0,
+    };
     pr.exp(&p.body);
     out
 }
@@ -15,7 +19,11 @@ pub fn program_to_string(p: &LProgram) -> String {
 /// Renders one expression with variable names from `vars`.
 pub fn exp_to_string(e: &LExp, vars: &VarTable) -> String {
     let mut out = String::new();
-    let mut pr = Printer { vars, out: &mut out, indent: 0 };
+    let mut pr = Printer {
+        vars,
+        out: &mut out,
+        indent: 0,
+    };
     pr.exp(e);
     out
 }
@@ -65,7 +73,9 @@ impl Printer<'_> {
                 let _ = write!(self.out, "#{i} ");
                 self.exp(e);
             }
-            LExp::Con { tycon, con, arg, .. } => {
+            LExp::Con {
+                tycon, con, arg, ..
+            } => {
                 let _ = write!(self.out, "C{}#{}", tycon.0, con.0);
                 if let Some(a) = arg {
                     self.out.push('(');
@@ -77,7 +87,12 @@ impl Printer<'_> {
                 self.out.push_str("decon ");
                 self.exp(scrut);
             }
-            LExp::SwitchCon { scrut, arms, default, .. } => {
+            LExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 self.out.push_str("case ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -93,7 +108,11 @@ impl Printer<'_> {
                 }
                 self.indent -= 1;
             }
-            LExp::SwitchInt { scrut, arms, default } => {
+            LExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("caseint ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -107,7 +126,11 @@ impl Printer<'_> {
                 self.exp(default);
                 self.indent -= 1;
             }
-            LExp::SwitchStr { scrut, arms, default } => {
+            LExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("casestr ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -191,7 +214,11 @@ impl Printer<'_> {
                 self.out.push_str("deexn ");
                 self.exp(scrut);
             }
-            LExp::SwitchExn { scrut, arms, default } => {
+            LExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("caseexn ");
                 self.exp(scrut);
                 self.indent += 1;

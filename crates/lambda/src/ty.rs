@@ -153,12 +153,8 @@ impl SchemeTy {
             SchemeTy::Con(tc, ts) => {
                 LTy::Con(*tc, ts.iter().map(|t| t.instantiate(args)).collect())
             }
-            SchemeTy::Arrow(a, b) => {
-                LTy::arrow(a.instantiate(args), b.instantiate(args))
-            }
-            SchemeTy::Tuple(ts) => {
-                LTy::Tuple(ts.iter().map(|t| t.instantiate(args)).collect())
-            }
+            SchemeTy::Arrow(a, b) => LTy::arrow(a.instantiate(args), b.instantiate(args)),
+            SchemeTy::Tuple(ts) => LTy::Tuple(ts.iter().map(|t| t.instantiate(args)).collect()),
             SchemeTy::Ref(t) => LTy::Ref(Box::new(t.instantiate(args))),
             SchemeTy::Array(t) => LTy::Array(Box::new(t.instantiate(args))),
             SchemeTy::Exn => LTy::Exn,
@@ -212,7 +208,10 @@ impl DataEnv {
             name: "list".to_string(),
             arity: 1,
             constructors: vec![
-                Constructor { name: "nil".to_string(), arg: None },
+                Constructor {
+                    name: "nil".to_string(),
+                    arg: None,
+                },
                 Constructor {
                     name: "::".to_string(),
                     arg: Some(SchemeTy::Tuple(vec![
@@ -222,7 +221,9 @@ impl DataEnv {
                 },
             ],
         };
-        DataEnv { datatypes: vec![list] }
+        DataEnv {
+            datatypes: vec![list],
+        }
     }
 
     /// Registers a datatype, returning its id.
@@ -235,7 +236,11 @@ impl DataEnv {
     /// Reserves a slot for a datatype that will be filled in later
     /// (supporting mutual recursion between datatype bindings).
     pub fn reserve(&mut self, name: &str) -> TyConId {
-        self.define(Datatype { name: name.to_string(), arity: 0, constructors: Vec::new() })
+        self.define(Datatype {
+            name: name.to_string(),
+            arity: 0,
+            constructors: Vec::new(),
+        })
     }
 
     /// Replaces the contents of a reserved slot.
@@ -318,7 +323,10 @@ impl ExnEnv {
         ExnEnv {
             exns: std
                 .iter()
-                .map(|n| ExnCon { name: n.to_string(), arg: None })
+                .map(|n| ExnCon {
+                    name: n.to_string(),
+                    arg: None,
+                })
                 .collect(),
         }
     }
@@ -326,7 +334,10 @@ impl ExnEnv {
     /// Registers an exception constructor, returning its id.
     pub fn define(&mut self, name: &str, arg: Option<LTy>) -> ExnId {
         let id = ExnId(self.exns.len() as u32);
-        self.exns.push(ExnCon { name: name.to_string(), arg });
+        self.exns.push(ExnCon {
+            name: name.to_string(),
+            arg,
+        });
         id
     }
 

@@ -124,15 +124,7 @@ impl Ann<'_> {
     /// positions carry their instantiation's regions. This is what makes
     /// the component regions visible in the datatype's (single-region)
     /// type, so escape analysis cannot lose them.
-    fn conv_scheme(
-        &mut self,
-        s: &SchemeTy,
-        tycon: TyConId,
-        targs: &[RTy],
-        self_reg: Reg,
-        top: bool,
-    ) -> RTy {
-        let _ = top;
+    fn conv_scheme(&mut self, s: &SchemeTy, targs: &[RTy], self_reg: Reg) -> RTy {
         match s {
             SchemeTy::Param(i) => targs[*i as usize].clone(),
             SchemeTy::Int => RTy::Int,
@@ -144,7 +136,7 @@ impl Ann<'_> {
             SchemeTy::Con(tc, args) => {
                 let nargs = args
                     .iter()
-                    .map(|a| self.conv_scheme(a, tycon, targs, self_reg, false))
+                    .map(|a| self.conv_scheme(a, targs, self_reg))
                     .collect();
                 RTy::Con(*tc, nargs, self_reg)
             }
@@ -152,8 +144,8 @@ impl Ann<'_> {
                 // Functions stored in datatypes: the closure shares the
                 // spine region; the latent effect additionally records a
                 // use of the spine so callers keep it alive.
-                let na = self.conv_scheme(a, tycon, targs, self_reg, false);
-                let nb = self.conv_scheme(b, tycon, targs, self_reg, false);
+                let na = self.conv_scheme(a, targs, self_reg);
+                let nb = self.conv_scheme(b, targs, self_reg);
                 let e = self.st.fresh_eff();
                 self.st.eff_add_reg(e, self_reg);
                 RTy::Arrow(vec![na], e, Box::new(nb), self_reg)
@@ -161,16 +153,16 @@ impl Ann<'_> {
             SchemeTy::Tuple(ts) => {
                 let nts = ts
                     .iter()
-                    .map(|t| self.conv_scheme(t, tycon, targs, self_reg, false))
+                    .map(|t| self.conv_scheme(t, targs, self_reg))
                     .collect();
                 RTy::Tuple(nts, self_reg)
             }
             SchemeTy::Ref(t) => {
-                let nt = self.conv_scheme(t, tycon, targs, self_reg, false);
+                let nt = self.conv_scheme(t, targs, self_reg);
                 RTy::Ref(Box::new(nt), self_reg)
             }
             SchemeTy::Array(t) => {
-                let nt = self.conv_scheme(t, tycon, targs, self_reg, false);
+                let nt = self.conv_scheme(t, targs, self_reg);
                 RTy::Array(Box::new(nt), self_reg)
             }
         }
@@ -190,7 +182,10 @@ impl Ann<'_> {
         }
         let id = self.markers.len() as u32;
         self.markers.push(MarkerInfo { tys });
-        RExp::Marker { id, body: Box::new(inner) }
+        RExp::Marker {
+            id,
+            body: Box::new(inner),
+        }
     }
 
     /// Environment free-variable sets for generalization, restricted to the
@@ -203,7 +198,9 @@ impl Ann<'_> {
         let mut fev = BTreeSet::new();
         let mut ftv = BTreeSet::new();
         for v in lexp_fvs {
-            let Some(b) = self.env.get(v).cloned() else { continue };
+            let Some(b) = self.env.get(v).cloned() else {
+                continue;
+            };
             match b {
                 Bind::Mono(t) => {
                     self.st.frv(&t, &mut frv);
@@ -240,9 +237,11 @@ impl Ann<'_> {
     fn ann(&mut self, e: &LExp) -> (RExp, RTy) {
         match e {
             LExp::Var(v) => {
-                let b = self.env.get(v).cloned().unwrap_or_else(|| {
-                    panic!("unbound variable {} in region inference", v.0)
-                });
+                let b = self
+                    .env
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("unbound variable {} in region inference", v.0));
                 match b {
                     Bind::Mono(t) => (RExp::Var(*v), t),
                     Bind::PolyVal(s) => {
@@ -254,9 +253,7 @@ impl Ann<'_> {
                         // closure; the shared closure's region stays in the
                         // latent effect so it outlives the pair.
                         let inst = self.st.instantiate(&s);
-                        let RTy::Arrow(ps, eff, ret, shared_reg) =
-                            self.st.resolve(&inst.ty)
-                        else {
+                        let RTy::Arrow(ps, eff, ret, shared_reg) = self.st.resolve(&inst.ty) else {
                             panic!("fix-bound variable with non-arrow type")
                         };
                         let pair_reg = self.st.fresh_reg();
@@ -266,11 +263,7 @@ impl Ann<'_> {
                         (
                             RExp::FixVar {
                                 var: *v,
-                                rargs: inst
-                                    .reg_actuals
-                                    .iter()
-                                    .map(|&r| RegVar(r))
-                                    .collect(),
+                                rargs: inst.reg_actuals.iter().map(|&r| RegVar(r)).collect(),
                                 at: RegVar(pair_reg),
                             },
                             ty,
@@ -313,12 +306,13 @@ impl Ann<'_> {
                 self.get_ty(&t);
                 (RExp::Select(*i, Box::new(re)), comps[*i].clone())
             }
-            LExp::Con { tycon, con, arg, .. } => self.ann_con(*tycon, *con, arg.as_deref()),
+            LExp::Con {
+                tycon, con, arg, ..
+            } => self.ann_con(*tycon, *con, arg.as_deref()),
             LExp::DeCon { tycon, con, scrut } => {
                 let (rs, t) = self.ann(scrut);
                 let arity = self.prog.data.get(*tycon).arity;
-                let want_targs: Vec<RTy> =
-                    (0..arity).map(|_| self.st.fresh_ty()).collect();
+                let want_targs: Vec<RTy> = (0..arity).map(|_| self.st.fresh_ty()).collect();
                 let want_reg = self.st.fresh_reg();
                 self.st.unify(&t, &RTy::Con(*tycon, want_targs, want_reg));
                 self.get_ty(&t);
@@ -329,17 +323,25 @@ impl Ann<'_> {
                     .arg
                     .clone()
                     .expect("decon of nullary constructor");
-                let arg_ty = self.conv_scheme(&scheme, *tycon, &targs, spine, true);
+                let arg_ty = self.conv_scheme(&scheme, &targs, spine);
                 (
-                    RExp::DeCon { tycon: *tycon, con: *con, scrut: Box::new(rs) },
+                    RExp::DeCon {
+                        tycon: *tycon,
+                        con: *con,
+                        scrut: Box::new(rs),
+                    },
                     arg_ty,
                 )
             }
-            LExp::SwitchCon { scrut, tycon, arms, default } => {
+            LExp::SwitchCon {
+                scrut,
+                tycon,
+                arms,
+                default,
+            } => {
                 let (rs, t) = self.ann(scrut);
                 let arity = self.prog.data.get(*tycon).arity;
-                let want_targs: Vec<RTy> =
-                    (0..arity).map(|_| self.st.fresh_ty()).collect();
+                let want_targs: Vec<RTy> = (0..arity).map(|_| self.st.fresh_ty()).collect();
                 let want_reg = self.st.fresh_reg();
                 self.st.unify(&t, &RTy::Con(*tycon, want_targs, want_reg));
                 self.get_ty(&t);
@@ -365,7 +367,11 @@ impl Ann<'_> {
                     result,
                 )
             }
-            LExp::SwitchInt { scrut, arms, default } => {
+            LExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 let (rs, _t) = self.ann(scrut);
                 let result = self.st.fresh_ty();
                 let mut rarms = Vec::new();
@@ -377,11 +383,19 @@ impl Ann<'_> {
                 let (rd, td) = self.ann_armed(default);
                 self.st.unify(&td, &result);
                 (
-                    RExp::SwitchInt { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    RExp::SwitchInt {
+                        scrut: Box::new(rs),
+                        arms: rarms,
+                        default: Box::new(rd),
+                    },
                     result,
                 )
             }
-            LExp::SwitchStr { scrut, arms, default } => {
+            LExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 let (rs, t) = self.ann(scrut);
                 self.get_ty(&t);
                 let result = self.st.fresh_ty();
@@ -394,11 +408,19 @@ impl Ann<'_> {
                 let (rd, td) = self.ann_armed(default);
                 self.st.unify(&td, &result);
                 (
-                    RExp::SwitchStr { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    RExp::SwitchStr {
+                        scrut: Box::new(rs),
+                        arms: rarms,
+                        default: Box::new(rd),
+                    },
                     result,
                 )
             }
-            LExp::SwitchExn { scrut, arms, default } => {
+            LExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 let (rs, t) = self.ann(scrut);
                 self.get_ty(&t);
                 let result = self.st.fresh_ty();
@@ -411,7 +433,11 @@ impl Ann<'_> {
                 let (rd, td) = self.ann_armed(default);
                 self.st.unify(&td, &result);
                 (
-                    RExp::SwitchExn { scrut: Box::new(rs), arms: rarms, default: Box::new(rd) },
+                    RExp::SwitchExn {
+                        scrut: Box::new(rs),
+                        arms: rarms,
+                        default: Box::new(rd),
+                    },
                     result,
                 )
             }
@@ -474,7 +500,11 @@ impl Ann<'_> {
                 }
                 let (rb, tb) = self.ann(body);
                 (
-                    RExp::Let { var: *var, rhs: Box::new(rrhs), body: Box::new(rb) },
+                    RExp::Let {
+                        var: *var,
+                        rhs: Box::new(rrhs),
+                        body: Box::new(rb),
+                    },
                     tb,
                 )
             }
@@ -482,10 +512,17 @@ impl Ann<'_> {
             LExp::ExCon { exn, arg } => {
                 let info = self.prog.exns.get(*exn).clone();
                 match (arg, info.arg) {
-                    (None, _) => (RExp::ExCon { exn: *exn, arg: None, at: None }, {
-                        let r = self.st.fresh_reg();
-                        RTy::Exn(r)
-                    }),
+                    (None, _) => (
+                        RExp::ExCon {
+                            exn: *exn,
+                            arg: None,
+                            at: None,
+                        },
+                        {
+                            let r = self.st.fresh_reg();
+                            RTy::Exn(r)
+                        },
+                    ),
                     (Some(a), _) => {
                         let (ra, ta) = self.ann(a);
                         // Exception payloads escape non-locally (raising
@@ -525,7 +562,13 @@ impl Ann<'_> {
                 let mut f = BTreeSet::new();
                 self.st.frv(&ty, &mut f);
                 self.global_frv.extend(f);
-                (RExp::DeExn { exn: *exn, scrut: Box::new(rs) }, ty)
+                (
+                    RExp::DeExn {
+                        exn: *exn,
+                        scrut: Box::new(rs),
+                    },
+                    ty,
+                )
             }
             LExp::Raise { exp, .. } => {
                 let (re, t) = self.ann(exp);
@@ -548,7 +591,11 @@ impl Ann<'_> {
                 };
                 self.st.unify(&tb, &th);
                 (
-                    RExp::Handle { body: Box::new(rb), var: *var, handler: Box::new(rh) },
+                    RExp::Handle {
+                        body: Box::new(rb),
+                        var: *var,
+                        handler: Box::new(rh),
+                    },
                     tb,
                 )
             }
@@ -569,12 +616,17 @@ impl Ann<'_> {
         let spine = self.st.fresh_reg();
         match (arg, scheme) {
             (None, None) => (
-                RExp::Con { tycon, con, arg: None, at: None },
+                RExp::Con {
+                    tycon,
+                    con,
+                    arg: None,
+                    at: None,
+                },
                 RTy::Con(tycon, targs, spine),
             ),
             (Some(a), Some(s)) => {
                 let (ra, ta) = self.ann(a);
-                let want = self.conv_scheme(&s, tycon, &targs, spine, true);
+                let want = self.conv_scheme(&s, &targs, spine);
                 self.st.unify(&ta, &want);
                 self.put(spine);
                 (
@@ -666,8 +718,8 @@ impl Ann<'_> {
             IAdd | ISub | IMul | IDiv | IMod | INeg | IAbs => (None, RTy::Int),
             ILt | ILe | IGt | IGe | IEq => (None, RTy::Bool),
             RLt | RLe | RGt | RGe | REq => (None, RTy::Bool),
-            RAdd | RSub | RMul | RDiv | RNeg | RAbs | IntToReal | Sqrt | Sin | Cos
-            | Atan | Ln | Exp => {
+            RAdd | RSub | RMul | RDiv | RNeg | RAbs | IntToReal | Sqrt | Sin | Cos | Atan | Ln
+            | Exp => {
                 let r = self.st.fresh_reg();
                 self.put(r);
                 (Some(r), RTy::Real(r))
@@ -728,8 +780,7 @@ impl Ann<'_> {
         if let LExp::Var(v) = f {
             if let Some(Bind::Fix(s)) = self.env.get(v).cloned() {
                 let inst: Instance = self.st.instantiate(&s);
-                let RTy::Arrow(ps, eff, ret, shared_reg) = self.st.resolve(&inst.ty)
-                else {
+                let RTy::Arrow(ps, eff, ret, shared_reg) = self.st.resolve(&inst.ty) else {
                     panic!("fix function with non-arrow type")
                 };
                 assert_eq!(ps.len(), args.len(), "fix call arity mismatch");
@@ -769,7 +820,11 @@ impl Ann<'_> {
         self.st.eff_add_child(e, eff);
         self.st.eff_add_reg(e, clos);
         (
-            RExp::App { callee: Box::new(rf), rargs: Vec::new(), args: ras },
+            RExp::App {
+                callee: Box::new(rf),
+                rargs: Vec::new(),
+                args: ras,
+            },
             ret,
         )
     }
@@ -781,7 +836,9 @@ impl Ann<'_> {
             return;
         }
         for v in lexp.free_vars() {
-            let Some(b) = self.env.get(&v).cloned() else { continue };
+            let Some(b) = self.env.get(&v).cloned() else {
+                continue;
+            };
             let ty = match b {
                 Bind::Mono(t) => t,
                 Bind::PolyVal(s) | Bind::Fix(s) => s.ty,
@@ -846,7 +903,9 @@ impl Ann<'_> {
             // Annotate bodies against this round's skeletons.
             let mut rbodies = Vec::new();
             for (f, arrow) in funs.iter().zip(&arrows) {
-                let RTy::Arrow(ptys, eff, ret, _) = arrow else { unreachable!() };
+                let RTy::Arrow(ptys, eff, ret, _) = arrow else {
+                    unreachable!()
+                };
                 for ((v, _), t) in f.params.iter().zip(ptys) {
                     self.env.insert(*v, Bind::Mono(t.clone()));
                 }
@@ -856,7 +915,10 @@ impl Ann<'_> {
                 self.cur_eff.pop();
                 self.st.unify(&tb, ret);
                 self.weaken_captures(
-                    &LExp::Fix { funs: funs.to_vec(), body: Box::new(LExp::Unit) },
+                    &LExp::Fix {
+                        funs: funs.to_vec(),
+                        body: Box::new(LExp::Unit),
+                    },
                     *eff,
                 );
                 rbodies.push(rb);
@@ -893,10 +955,7 @@ impl Ann<'_> {
         if !converged {
             if std::env::var_os("KIT_REGION_DEBUG").is_some() {
                 for f in funs {
-                    eprintln!(
-                        "[region] fixpoint fallback: {}",
-                        self.prog.vars.name(f.var)
-                    );
+                    eprintln!("[region] fixpoint fallback: {}", self.prog.vars.name(f.var));
                 }
             }
             // Fall back to the sound region-monomorphic result: redo one
@@ -913,7 +972,9 @@ impl Ann<'_> {
             }
             let mut rbodies = Vec::new();
             for (f, arrow) in funs.iter().zip(&arrows) {
-                let RTy::Arrow(ptys, eff, ret, _) = arrow else { unreachable!() };
+                let RTy::Arrow(ptys, eff, ret, _) = arrow else {
+                    unreachable!()
+                };
                 for ((v, _), t) in f.params.iter().zip(ptys) {
                     self.env.insert(*v, Bind::Mono(t.clone()));
                 }
@@ -930,8 +991,7 @@ impl Ann<'_> {
             schemes = arrows
                 .iter()
                 .map(|a| {
-                    let mut s =
-                        self.st.generalize(a, &env_frv_plus, &env_fev, &env_ftv);
+                    let mut s = self.st.generalize(a, &env_frv_plus, &env_fev, &env_ftv);
                     s.qregs.clear();
                     s.qeffs.clear();
                     s
@@ -976,7 +1036,11 @@ impl Ann<'_> {
             .collect();
         let _ = group;
         (
-            RExp::Fix { funs: rfuns, body: Box::new(rb), at: RegVar(shared_reg) },
+            RExp::Fix {
+                funs: rfuns,
+                body: Box::new(rb),
+                at: RegVar(shared_reg),
+            },
             tb,
         )
     }
@@ -1016,10 +1080,7 @@ impl Ann<'_> {
     ) -> bool {
         let ra = self.st.resolve(a);
         let rb = self.st.resolve(b);
-        let reg_eq = |st: &mut Stores,
-                          r1: Reg,
-                          r2: Reg,
-                          rmap: &mut HashMap<Reg, Reg>| {
+        let reg_eq = |st: &mut Stores, r1: Reg, r2: Reg, rmap: &mut HashMap<Reg, Reg>| {
             let c1 = st.find_reg(r1);
             let c2 = st.find_reg(r2);
             match (qa.contains(&c1), qb.contains(&c2)) {
@@ -1102,7 +1163,13 @@ impl Ann<'_> {
                 let inner: Vec<String> = ps.iter().map(|t| self.show_ty(t)).collect();
                 let eb = self.show_ty(&b);
                 let ec = self.st.find_eff(e);
-                format!("(({})-e{}->{})@{}", inner.join(","), ec, eb, self.st.find_reg(r))
+                format!(
+                    "(({})-e{}->{})@{}",
+                    inner.join(","),
+                    ec,
+                    eb,
+                    self.st.find_reg(r)
+                )
             }
             RTy::Con(c, ts, r) => {
                 let inner: Vec<String> = ts.iter().map(|t| self.show_ty(t)).collect();
@@ -1226,11 +1293,7 @@ fn filter_formals(e: &mut RExp, meta: &HashMap<VarId, FixMeta>) {
         RExp::Fix { funs, .. } => {
             for f in funs {
                 if let Some(m) = meta.get(&f.var) {
-                    f.formals = m
-                        .formal_idx
-                        .iter()
-                        .map(|&i| f.formals[i])
-                        .collect();
+                    f.formals = m.formal_idx.iter().map(|&i| f.formals[i]).collect();
                 }
             }
         }

@@ -9,9 +9,9 @@
 //! pushed at program start and popped at exit.
 
 use crate::annotate::Annotated;
-use crate::rexp::{Mult, RExp, RegVar};
 #[cfg(test)]
 use crate::rexp::RProgram;
+use crate::rexp::{Mult, RExp, RegVar};
 use std::collections::{BTreeSet, HashMap};
 
 /// Replaces [`RExp::Marker`]s with `letregion` bindings, filling
@@ -101,7 +101,10 @@ mod tests {
     use crate::rexp::RExp;
 
     fn marker(id: u32, body: RExp) -> RExp {
-        RExp::Marker { id, body: Box::new(body) }
+        RExp::Marker {
+            id,
+            body: Box::new(body),
+        }
     }
 
     #[test]
@@ -131,7 +134,10 @@ mod tests {
             global_escapes: BTreeSet::new(),
         };
         place(&mut ann);
-        assert!(matches!(ann.prog.body, RExp::Record(_, _)), "marker dissolved");
+        assert!(
+            matches!(ann.prog.body, RExp::Record(_, _)),
+            "marker dissolved"
+        );
         assert_eq!(ann.prog.globals, vec![(RegVar(0), Mult::Infinite)]);
     }
 

@@ -57,23 +57,39 @@ pub struct RegionOptions {
 impl RegionOptions {
     /// Options for the `r`/`rt` modes (regions alone).
     pub fn regions_only() -> Self {
-        RegionOptions { gc_safe: false, disable: false, disable_finite: false }
+        RegionOptions {
+            gc_safe: false,
+            disable: false,
+            disable_finite: false,
+        }
     }
 
     /// Options for the `rgt` mode (regions + GC).
     pub fn with_gc() -> Self {
-        RegionOptions { gc_safe: true, disable: false, disable_finite: false }
+        RegionOptions {
+            gc_safe: true,
+            disable: false,
+            disable_finite: false,
+        }
     }
 
     /// Options for the `gt` mode (GC within one global region).
     pub fn disabled() -> Self {
-        RegionOptions { gc_safe: true, disable: true, disable_finite: false }
+        RegionOptions {
+            gc_safe: true,
+            disable: true,
+            disable_finite: false,
+        }
     }
 
     /// Options for the generational baseline: one heap, no stack
     /// allocation of values.
     pub fn baseline() -> Self {
-        RegionOptions { gc_safe: true, disable: true, disable_finite: true }
+        RegionOptions {
+            gc_safe: true,
+            disable: true,
+            disable_finite: true,
+        }
     }
 }
 

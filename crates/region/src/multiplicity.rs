@@ -46,14 +46,18 @@ pub fn infer_multiplicities(prog: &mut RProgram) {
         .filter_map(|(r, _)| {
             decide(r, &usage).map(|m| {
                 let u = usage.get(&r).cloned().unwrap_or_default();
-                (r, if m == Mult::Finite && u.under_lambda { Mult::Infinite } else { m })
+                (
+                    r,
+                    if m == Mult::Finite && u.under_lambda {
+                        Mult::Infinite
+                    } else {
+                        m
+                    },
+                )
             })
         })
         .collect();
-    prog.mults = usage
-        .keys()
-        .map(|&r| (r, Mult::Infinite))
-        .collect();
+    prog.mults = usage.keys().map(|&r| (r, Mult::Infinite)).collect();
     // Record the final multiplicities.
     let mut mults = HashMap::new();
     collect_mults(&prog.body, &mut mults);
@@ -73,9 +77,7 @@ fn scan(e: &RExp, depth: u32, usage: &mut HashMap<RegVar, Usage>) {
         }
     };
     match e {
-        RExp::Real(_, p) | RExp::Record(_, p) | RExp::Fn { at: p, .. } => {
-            site(*p, false, usage)
-        }
+        RExp::Real(_, p) | RExp::Record(_, p) | RExp::Fn { at: p, .. } => site(*p, false, usage),
         RExp::Fix { at, .. } => site(*at, false, usage),
         RExp::Prim(p, _, Some(place)) => {
             let large = matches!(
@@ -84,9 +86,7 @@ fn scan(e: &RExp, depth: u32, usage: &mut HashMap<RegVar, Usage>) {
             );
             site(*place, large, usage);
         }
-        RExp::Con { at: Some(p), .. } | RExp::ExCon { at: Some(p), .. } => {
-            site(*p, false, usage)
-        }
+        RExp::Con { at: Some(p), .. } | RExp::ExCon { at: Some(p), .. } => site(*p, false, usage),
         RExp::FixVar { rargs, at, .. } => {
             site(*at, false, usage);
             for r in rargs {
@@ -326,7 +326,9 @@ mod tests {
         };
         let mut p = prog(body, vec![]);
         infer_multiplicities(&mut p);
-        let RExp::Letregion { regs, .. } = &p.body else { panic!() };
+        let RExp::Letregion { regs, .. } = &p.body else {
+            panic!()
+        };
         assert_eq!(regs[0].1, Mult::Finite);
     }
 
@@ -342,7 +344,9 @@ mod tests {
         };
         let mut p = prog(body, vec![(RegVar(1), Mult::Infinite)]);
         infer_multiplicities(&mut p);
-        let RExp::Letregion { regs, .. } = &p.body else { panic!() };
+        let RExp::Letregion { regs, .. } = &p.body else {
+            panic!()
+        };
         assert_eq!(regs[0].1, Mult::Infinite);
     }
 
@@ -360,7 +364,9 @@ mod tests {
         };
         let mut p = prog(body, vec![(RegVar(1), Mult::Infinite)]);
         infer_multiplicities(&mut p);
-        let RExp::Letregion { regs, .. } = &p.body else { panic!() };
+        let RExp::Letregion { regs, .. } = &p.body else {
+            panic!()
+        };
         assert_eq!(regs[0].1, Mult::Infinite);
     }
 
@@ -379,15 +385,13 @@ mod tests {
     fn string_allocation_forces_infinite() {
         let body = RExp::Letregion {
             regs: vec![(RegVar(0), Mult::Infinite)],
-            body: Box::new(RExp::Prim(
-                Prim::ItoS,
-                vec![RExp::Int(5)],
-                Some(RegVar(0)),
-            )),
+            body: Box::new(RExp::Prim(Prim::ItoS, vec![RExp::Int(5)], Some(RegVar(0)))),
         };
         let mut p = prog(body, vec![]);
         infer_multiplicities(&mut p);
-        let RExp::Letregion { regs, .. } = &p.body else { panic!() };
+        let RExp::Letregion { regs, .. } = &p.body else {
+            panic!()
+        };
         assert_eq!(regs[0].1, Mult::Infinite);
     }
 
@@ -410,12 +414,18 @@ mod tests {
         // No letregion remains. The outer record region (one site) stays a
         // finite stack region — the paper keeps finite regions in `gt` mode
         // — while the two-site inner region collapses onto the global.
-        let RExp::Record(es, p1) = &p.body else { panic!("{:?}", p.body) };
+        let RExp::Record(es, p1) = &p.body else {
+            panic!("{:?}", p.body)
+        };
         assert_eq!(*p1, RegVar(1));
         assert!(p.globals.contains(&(RegVar(1), Mult::Finite)));
-        let RExp::Record(_, p2) = &es[0] else { panic!() };
+        let RExp::Record(_, p2) = &es[0] else {
+            panic!()
+        };
         assert_eq!(*p2, g);
-        let RExp::Record(_, p3) = &es[1] else { panic!() };
+        let RExp::Record(_, p3) = &es[1] else {
+            panic!()
+        };
         assert_eq!(*p3, g);
     }
 }

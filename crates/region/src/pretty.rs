@@ -10,7 +10,11 @@ pub fn program_to_string(p: &RProgram) -> String {
     let mut out = String::new();
     let globals: Vec<String> = p.globals.iter().map(|(r, m)| reg_str(*r, *m)).collect();
     let _ = writeln!(out, "globals [{}]", globals.join(", "));
-    let mut pr = Printer { vars: &p.vars, out: &mut out, indent: 0 };
+    let mut pr = Printer {
+        vars: &p.vars,
+        out: &mut out,
+        indent: 0,
+    };
     pr.exp(&p.body);
     out
 }
@@ -25,7 +29,11 @@ fn reg_str(r: RegVar, m: Mult) -> String {
 /// Renders one expression.
 pub fn exp_to_string(e: &RExp, vars: &VarTable) -> String {
     let mut out = String::new();
-    let mut pr = Printer { vars, out: &mut out, indent: 0 };
+    let mut pr = Printer {
+        vars,
+        out: &mut out,
+        indent: 0,
+    };
     pr.exp(e);
     out
 }
@@ -87,7 +95,12 @@ impl Printer<'_> {
                 let _ = write!(self.out, "#{i} ");
                 self.exp(e);
             }
-            RExp::Con { tycon, con, arg, at } => {
+            RExp::Con {
+                tycon,
+                con,
+                arg,
+                at,
+            } => {
                 let _ = write!(self.out, "C{}#{}", tycon.0, con.0);
                 if let Some(a) = arg {
                     self.out.push('(');
@@ -102,7 +115,12 @@ impl Printer<'_> {
                 self.out.push_str("decon ");
                 self.exp(scrut);
             }
-            RExp::SwitchCon { scrut, arms, default, .. } => {
+            RExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 self.out.push_str("case ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -118,7 +136,11 @@ impl Printer<'_> {
                 }
                 self.indent -= 1;
             }
-            RExp::SwitchInt { scrut, arms, default } => {
+            RExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("caseint ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -132,7 +154,11 @@ impl Printer<'_> {
                 self.exp(default);
                 self.indent -= 1;
             }
-            RExp::SwitchStr { scrut, arms, default } => {
+            RExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("casestr ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -146,7 +172,11 @@ impl Printer<'_> {
                 self.exp(default);
                 self.indent -= 1;
             }
-            RExp::SwitchExn { scrut, arms, default } => {
+            RExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 self.out.push_str("caseexn ");
                 self.exp(scrut);
                 self.indent += 1;
@@ -180,13 +210,16 @@ impl Printer<'_> {
                 self.exp(body);
                 let _ = write!(self.out, ") at r{}", at.0);
             }
-            RExp::App { callee, rargs, args } => {
+            RExp::App {
+                callee,
+                rargs,
+                args,
+            } => {
                 self.out.push('[');
                 self.exp(callee);
                 self.out.push(']');
                 if !rargs.is_empty() {
-                    let rs: Vec<String> =
-                        rargs.iter().map(|r| format!("r{}", r.0)).collect();
+                    let rs: Vec<String> = rargs.iter().map(|r| format!("r{}", r.0)).collect();
                     let _ = write!(self.out, "[{}]", rs.join(","));
                 }
                 self.out.push('(');
@@ -204,8 +237,7 @@ impl Printer<'_> {
                 for (i, f) in funs.iter().enumerate() {
                     self.out.push_str(if i == 0 { "fix " } else { "and " });
                     let _ = write!(self.out, "{}_{}", self.vars.name(f.var), f.var.0);
-                    let rs: Vec<String> =
-                        f.formals.iter().map(|r| format!("r{}", r.0)).collect();
+                    let rs: Vec<String> = f.formals.iter().map(|r| format!("r{}", r.0)).collect();
                     let _ = write!(self.out, "[{}]", rs.join(","));
                     self.out.push('(');
                     for (j, v) in f.params.iter().enumerate() {

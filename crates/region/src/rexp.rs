@@ -235,24 +235,41 @@ impl RExp {
                     f(a);
                 }
             }
-            RExp::SwitchCon { scrut, arms, default, .. } => {
+            RExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 if let Some(d) = default {
                     f(d);
                 }
             }
-            RExp::SwitchInt { scrut, arms, default } => {
+            RExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);
             }
-            RExp::SwitchStr { scrut, arms, default } => {
+            RExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);
             }
-            RExp::SwitchExn { scrut, arms, default } => {
+            RExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter().for_each(|(_, a)| f(a));
                 f(default);
@@ -301,32 +318,49 @@ impl RExp {
             | RExp::Real(_, _) => {}
             RExp::Prim(_, args, _) => args.iter_mut().for_each(f),
             RExp::Record(es, _) => es.iter_mut().for_each(f),
-            RExp::Select(_, e)
-            | RExp::DeCon { scrut: e, .. }
-            | RExp::DeExn { scrut: e, .. } => f(e),
+            RExp::Select(_, e) | RExp::DeCon { scrut: e, .. } | RExp::DeExn { scrut: e, .. } => {
+                f(e)
+            }
             RExp::Con { arg, .. } => {
                 if let Some(a) = arg {
                     f(a);
                 }
             }
-            RExp::SwitchCon { scrut, arms, default, .. } => {
+            RExp::SwitchCon {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
                 f(scrut);
                 arms.iter_mut().for_each(|(_, a)| f(a));
                 if let Some(d) = default {
                     f(d);
                 }
             }
-            RExp::SwitchInt { scrut, arms, default } => {
+            RExp::SwitchInt {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter_mut().for_each(|(_, a)| f(a));
                 f(default);
             }
-            RExp::SwitchStr { scrut, arms, default } => {
+            RExp::SwitchStr {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter_mut().for_each(|(_, a)| f(a));
                 f(default);
             }
-            RExp::SwitchExn { scrut, arms, default } => {
+            RExp::SwitchExn {
+                scrut,
+                arms,
+                default,
+            } => {
                 f(scrut);
                 arms.iter_mut().for_each(|(_, a)| f(a));
                 f(default);

@@ -247,9 +247,7 @@ impl Stores {
                     self.unify(x, y);
                 }
             }
-            (RTy::Arrow(a1, e1, b1, r1), RTy::Arrow(a2, e2, b2, r2))
-                if a1.len() == a2.len() =>
-            {
+            (RTy::Arrow(a1, e1, b1, r1), RTy::Arrow(a2, e2, b2, r2)) if a1.len() == a2.len() => {
                 self.union_reg(*r1, *r2);
                 self.union_eff(*e1, *e2);
                 for (x, y) in a1.iter().zip(a2) {
@@ -257,9 +255,7 @@ impl Stores {
                 }
                 self.unify(b1, b2);
             }
-            (RTy::Con(c1, xs, r1), RTy::Con(c2, ys, r2))
-                if c1 == c2 && xs.len() == ys.len() =>
-            {
+            (RTy::Con(c1, xs, r1), RTy::Con(c2, ys, r2)) if c1 == c2 && xs.len() == ys.len() => {
                 self.union_reg(*r1, *r2);
                 for (x, y) in xs.iter().zip(ys) {
                     self.unify(x, y);
@@ -410,7 +406,12 @@ pub struct RScheme {
 impl RScheme {
     /// A monomorphic scheme.
     pub fn mono(ty: RTy) -> Self {
-        RScheme { qtys: Vec::new(), qregs: Vec::new(), qeffs: Vec::new(), ty }
+        RScheme {
+            qtys: Vec::new(),
+            qregs: Vec::new(),
+            qeffs: Vec::new(),
+            ty,
+        }
     }
 }
 
@@ -449,8 +450,7 @@ impl Stores {
             let f = emap[&q];
             let root = self.find_eff(q);
             let regs: Vec<Reg> = self.effs[root as usize].regs.iter().copied().collect();
-            let children: Vec<Eff> =
-                self.effs[root as usize].children.iter().copied().collect();
+            let children: Vec<Eff> = self.effs[root as usize].children.iter().copied().collect();
             for r in regs {
                 let cr = self.find_reg(r);
                 let nr = rmap.get(&cr).copied().unwrap_or(cr);
@@ -488,18 +488,27 @@ impl Stores {
             RTy::Str(r) => RTy::Str(sub_r(self, r)),
             RTy::Exn(r) => RTy::Exn(sub_r(self, r)),
             RTy::Tuple(ts, r) => {
-                let nts = ts.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                let nts = ts
+                    .iter()
+                    .map(|t| self.copy_ty(t, tmap, rmap, emap))
+                    .collect();
                 RTy::Tuple(nts, sub_r(self, r))
             }
             RTy::Arrow(ps, e, b, r) => {
-                let nps = ps.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                let nps = ps
+                    .iter()
+                    .map(|t| self.copy_ty(t, tmap, rmap, emap))
+                    .collect();
                 let nb = self.copy_ty(&b, tmap, rmap, emap);
                 let ce = self.find_eff(e);
                 let ne = emap.get(&ce).copied().unwrap_or(ce);
                 RTy::Arrow(nps, ne, Box::new(nb), sub_r(self, r))
             }
             RTy::Con(c, ts, r) => {
-                let nts = ts.iter().map(|t| self.copy_ty(t, tmap, rmap, emap)).collect();
+                let nts = ts
+                    .iter()
+                    .map(|t| self.copy_ty(t, tmap, rmap, emap))
+                    .collect();
                 RTy::Con(c, nts, sub_r(self, r))
             }
             RTy::Ref(t, r) => {
@@ -636,7 +645,10 @@ mod tests {
         let ty = RTy::Arrow(vec![RTy::Int], e, Box::new(RTy::Int), clos);
         let mut out = BTreeSet::new();
         st.frv(&ty, &mut out);
-        assert!(out.contains(&st.find_reg(rho)), "latent effect region escapes");
+        assert!(
+            out.contains(&st.find_reg(rho)),
+            "latent effect region escapes"
+        );
         assert!(out.contains(&st.find_reg(clos)));
     }
 
@@ -668,7 +680,9 @@ mod tests {
         );
         // The instantiated effect must mention the instantiated region, not
         // the formal.
-        let RTy::Arrow(_, ne, _, _) = st.resolve(&i1.ty) else { panic!() };
+        let RTy::Arrow(_, ne, _, _) = st.resolve(&i1.ty) else {
+            panic!()
+        };
         assert!(st.eff_regs(ne).contains(&st.find_reg(i1.reg_actuals[0])));
     }
 

@@ -21,13 +21,20 @@ fn validate(p: &RProgram) {
 
 fn check(e: &RExp, scope: &mut HashSet<RegVar>) {
     for r in e.own_places() {
-        assert!(scope.contains(&r), "region r{} used out of scope in {e:?}", r.0);
+        assert!(
+            scope.contains(&r),
+            "region r{} used out of scope in {e:?}",
+            r.0
+        );
     }
     match e {
         RExp::Marker { .. } => panic!("marker survived placement"),
         RExp::Letregion { regs, body } => {
-            let fresh: Vec<RegVar> =
-                regs.iter().map(|(r, _)| *r).filter(|r| scope.insert(*r)).collect();
+            let fresh: Vec<RegVar> = regs
+                .iter()
+                .map(|(r, _)| *r)
+                .filter(|r| scope.insert(*r))
+                .collect();
             check(body, scope);
             for r in fresh {
                 scope.remove(&r);
@@ -35,8 +42,12 @@ fn check(e: &RExp, scope: &mut HashSet<RegVar>) {
         }
         RExp::Fix { funs, body, .. } => {
             for f in funs {
-                let fresh: Vec<RegVar> =
-                    f.formals.iter().copied().filter(|r| scope.insert(*r)).collect();
+                let fresh: Vec<RegVar> = f
+                    .formals
+                    .iter()
+                    .copied()
+                    .filter(|r| scope.insert(*r))
+                    .collect();
                 check(&f.body, scope);
                 for r in fresh {
                     scope.remove(&r);
@@ -76,16 +87,35 @@ fn find_fix_formals(e: &RExp, out: &mut Vec<usize>) {
 }
 
 const MODES: [RegionOptions; 4] = [
-    RegionOptions { gc_safe: false, disable: false, disable_finite: false },
-    RegionOptions { gc_safe: true, disable: false, disable_finite: false },
-    RegionOptions { gc_safe: true, disable: true, disable_finite: false },
-    RegionOptions { gc_safe: true, disable: true, disable_finite: true },
+    RegionOptions {
+        gc_safe: false,
+        disable: false,
+        disable_finite: false,
+    },
+    RegionOptions {
+        gc_safe: true,
+        disable: false,
+        disable_finite: false,
+    },
+    RegionOptions {
+        gc_safe: true,
+        disable: true,
+        disable_finite: false,
+    },
+    RegionOptions {
+        gc_safe: true,
+        disable: true,
+        disable_finite: true,
+    },
 ];
 
 #[test]
 fn simple_program_validates_in_all_modes() {
     for opts in MODES {
-        let p = compile("val it = let val pair = (1, 2) in fst pair + snd pair end", opts);
+        let p = compile(
+            "val it = let val pair = (1, 2) in fst pair + snd pair end",
+            opts,
+        );
         validate(&p);
     }
 }
@@ -98,7 +128,10 @@ fn local_tuple_gets_local_region() {
         RegionOptions::regions_only(),
     );
     validate(&p);
-    assert!(count_letregions(&p.body) >= 1, "argument tuples should be letregion-bound");
+    assert!(
+        count_letregions(&p.body) >= 1,
+        "argument tuples should be letregion-bound"
+    );
 }
 
 #[test]
@@ -108,8 +141,11 @@ fn finite_regions_inferred_for_single_tuples() {
         RegionOptions::regions_only(),
     );
     validate(&p);
-    assert!(count_finite(&p.body) >= 1, "one-shot pair should be finite:\n{}",
-        kit_region::pretty::program_to_string(&p));
+    assert!(
+        count_finite(&p.body) >= 1,
+        "one-shot pair should be finite:\n{}",
+        kit_region::pretty::program_to_string(&p)
+    );
 }
 
 #[test]
@@ -180,8 +216,11 @@ fn disable_mode_has_no_infinite_letregions() {
     }
     no_infinite(&p.body);
     // Exactly one infinite global region (plus possibly finite globals).
-    let inf_globals =
-        p.globals.iter().filter(|(_, m)| *m == Mult::Infinite).count();
+    let inf_globals = p
+        .globals
+        .iter()
+        .filter(|(_, m)| *m == Mult::Infinite)
+        .count();
     assert_eq!(inf_globals, 1, "globals: {:?}", p.globals);
 }
 

@@ -50,7 +50,10 @@ pub struct GenPolicy {
 
 impl Default for GenPolicy {
     fn default() -> Self {
-        GenPolicy { nursery_pages: 64, major_growth: 3 }
+        GenPolicy {
+            nursery_pages: 64,
+            major_growth: 3,
+        }
     }
 }
 
@@ -68,24 +71,40 @@ impl RtConfig {
     /// Mode `r`: regions alone, untagged (fastest, allows dangling
     /// pointers).
     pub fn r() -> Self {
-        RtConfig { tagged: false, gc_enabled: false, ..Self::base() }
+        RtConfig {
+            tagged: false,
+            gc_enabled: false,
+            ..Self::base()
+        }
     }
 
     /// Mode `rt`: regions alone, with tagging (isolates the tagging cost,
     /// paper Table 1).
     pub fn rt() -> Self {
-        RtConfig { tagged: true, gc_enabled: false, ..Self::base() }
+        RtConfig {
+            tagged: true,
+            gc_enabled: false,
+            ..Self::base()
+        }
     }
 
     /// Mode `gt`: garbage collection within a degenerate region stack
     /// (region inference disabled at compile time).
     pub fn gt() -> Self {
-        RtConfig { tagged: true, gc_enabled: true, ..Self::base() }
+        RtConfig {
+            tagged: true,
+            gc_enabled: true,
+            ..Self::base()
+        }
     }
 
     /// Mode `rgt`: regions combined with garbage collection.
     pub fn rgt() -> Self {
-        RtConfig { tagged: true, gc_enabled: true, ..Self::base() }
+        RtConfig {
+            tagged: true,
+            gc_enabled: true,
+            ..Self::base()
+        }
     }
 
     fn base() -> Self {

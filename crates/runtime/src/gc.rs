@@ -44,9 +44,17 @@ use crate::value::{
 ///
 /// Panics if the runtime is untagged — pointer tracing requires tags.
 pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
-    assert!(rt.config.tagged, "garbage collection requires tagged values");
+    assert!(
+        rt.config.tagged,
+        "garbage collection requires tagged values"
+    );
     let t0 = std::time::Instant::now();
     rt.in_gc = true;
+    // Write the mutator's bump cursor back: the accounting below and the
+    // flip read `a`/`used_words` straight from the descriptors, and the
+    // cache stays invalid for the whole collection (GC-path allocations
+    // write through).
+    rt.flush_alloc_cache();
 
     // ---- accounting before the flip (Table 3 inputs).
     let page_payload = (rt.heap.page_words() - PAGE_HDR as usize) as u64;
@@ -174,8 +182,7 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
 
     // ---- post-collection policy and statistics.
     let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
-    let want_total =
-        ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
+    let want_total = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
     if rt.heap.total_pages() < want_total {
         rt.heap.grow(want_total - rt.heap.total_pages());
     }
@@ -226,6 +233,7 @@ pub fn collect_gen(
 ) {
     let t0 = std::time::Instant::now();
     rt.in_gc = true;
+    rt.flush_alloc_cache();
     collect_phase(rt, root_slots, remembered, young, old);
     rt.stats.minor_gcs += 1;
     remembered.clear();
@@ -459,23 +467,26 @@ fn evacuate_gen(rt: &mut Rt, st: &mut GcState, v: Word, to: RegionId) -> Word {
 /// Cheney loop over the promotion target.
 fn cheney_region_gen(rt: &mut Rt, st: &mut GcState, mut s: u64, to: RegionId) {
     let pw = rt.heap.page_words() as u64;
+    // The page end is maintained incrementally across hops instead of
+    // re-deriving the page base from `s` for every object scanned.
+    let mut page_end = (s & !(pw - 1)) + pw;
     loop {
         if s == rt.regions[to.0 as usize].a {
             break;
         }
-        if s & (pw - 1) == 0 {
-            let prev_page = s - pw;
-            let next = rt.heap.read(prev_page + PAGE_NEXT);
+        if s == page_end {
+            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
             debug_assert_ne!(next, NONE_ADDR, "scan ran past the generation");
             s = next + PAGE_HDR;
+            page_end = next + pw;
             continue;
         }
         let w = rt.heap.read(s);
         let tag = Tag::decode(w);
         if tag.kind == Kind::Sentinel {
-            let page = rt.heap.page_base(s);
-            let next = rt.heap.read(page + PAGE_NEXT);
+            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
             s = next + PAGE_HDR;
+            page_end = next + pw;
             continue;
         }
         if tag.scannable() {
@@ -605,26 +616,29 @@ fn cheney_region(rt: &mut Rt, st: &mut GcState, mut s: u64) {
     let pw = rt.heap.page_words() as u64;
     let page = rt.heap.page_base(s);
     let r = RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32);
+    // The page end is maintained incrementally across hops instead of
+    // re-deriving the page base from `s` for every object scanned.
+    let mut page_end = page + pw;
     loop {
         if s == rt.regions[r.0 as usize].a {
             break;
         }
-        // At an exact page boundary, move to the next page in the chain.
-        if s & (pw - 1) == 0 {
-            let prev_page = s - pw;
-            let next = rt.heap.read(prev_page + PAGE_NEXT);
+        // At the exact page end, move to the next page in the chain.
+        if s == page_end {
+            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
             debug_assert_ne!(next, NONE_ADDR, "scan ran past the region");
             s = next + PAGE_HDR;
+            page_end = next + pw;
             continue;
         }
         let w = rt.heap.read(s);
         let tag = Tag::decode(w);
         if tag.kind == Kind::Sentinel {
             // Page slack: skip to the next page.
-            let page = rt.heap.page_base(s);
-            let next = rt.heap.read(page + PAGE_NEXT);
+            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
             debug_assert_ne!(next, NONE_ADDR, "sentinel on the last page");
             s = next + PAGE_HDR;
+            page_end = next + pw;
             continue;
         }
         if tag.scannable() {
@@ -645,7 +659,10 @@ mod tests {
     use crate::config::RtConfig;
 
     fn rt() -> Rt {
-        Rt::new(RtConfig { initial_pages: 16, ..RtConfig::rgt() })
+        Rt::new(RtConfig {
+            initial_pages: 16,
+            ..RtConfig::rgt()
+        })
     }
 
     /// Builds a list of `n` cons cells (tag + head + tail) in region `r`,
@@ -845,8 +862,7 @@ mod tests {
         assert!(ri < 0.2, "ri = {ri}");
         // Heap-to-live ratio maintained.
         assert!(
-            rt.heap.total_pages() as f64
-                >= rt.config.heap_to_live_ratio * rec.live_pages as f64
+            rt.heap.total_pages() as f64 >= rt.config.heap_to_live_ratio * rec.live_pages as f64
         );
     }
 
@@ -884,7 +900,11 @@ mod tests {
         let mut remembered = vec![field_addr];
         collect_gen(&mut rt, &[0], &mut remembered, young, old, true);
         let v = rt.field(rt.stack[0], 0);
-        assert_eq!(list_sum(&rt, v), 55, "young data reached only via the barrier");
+        assert_eq!(
+            list_sum(&rt, v),
+            55,
+            "young data reached only via the barrier"
+        );
     }
 
     fn kit_field_addr(rt: &Rt, v: Word) -> u64 {

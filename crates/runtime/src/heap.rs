@@ -92,8 +92,7 @@ impl Heap {
     pub fn grow(&mut self, n: usize) {
         for _ in 0..n {
             let base = self.words.len() as u64;
-            self.words
-                .extend(std::iter::repeat_n(0, self.page_words));
+            self.words.extend(std::iter::repeat_n(0, self.page_words));
             self.write(base + PAGE_NEXT, self.free_head);
             self.write(base + PAGE_ORIGIN, NONE_ADDR);
             self.free_head = base;
@@ -133,7 +132,10 @@ impl Heap {
 
     /// Iterates the page chain starting at `first`.
     pub fn pages_from(&self, first: u64) -> PageIter<'_> {
-        PageIter { heap: self, cur: first }
+        PageIter {
+            heap: self,
+            cur: first,
+        }
     }
 
     /// Heap size in bytes (for memory accounting).

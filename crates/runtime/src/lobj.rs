@@ -46,7 +46,11 @@ impl Lobjs {
     /// Allocates a large object, returning its id.
     pub fn alloc(&mut self, data: LData, next: u32) -> u32 {
         self.bytes += Self::size_of(&data);
-        let obj = Lobj { data, next, marked: false };
+        let obj = Lobj {
+            data,
+            next,
+            marked: false,
+        };
         match self.free_ids.pop() {
             Some(id) => {
                 self.table[id as usize] = Some(obj);
@@ -73,7 +77,9 @@ impl Lobjs {
     ///
     /// Panics if the id is not live (double free).
     pub fn free(&mut self, id: u32) {
-        let obj = self.table[id as usize].take().expect("double free of large object");
+        let obj = self.table[id as usize]
+            .take()
+            .expect("double free of large object");
         self.bytes -= Self::size_of(&obj.data);
         self.free_ids.push(id);
     }
@@ -84,7 +90,9 @@ impl Lobjs {
     ///
     /// Panics if the id is not live.
     pub fn get(&self, id: u32) -> &Lobj {
-        self.table[id as usize].as_ref().expect("dangling large-object id")
+        self.table[id as usize]
+            .as_ref()
+            .expect("dangling large-object id")
     }
 
     /// Exclusive access.
@@ -93,7 +101,9 @@ impl Lobjs {
     ///
     /// Panics if the id is not live.
     pub fn get_mut(&mut self, id: u32) -> &mut Lobj {
-        self.table[id as usize].as_mut().expect("dangling large-object id")
+        self.table[id as usize]
+            .as_mut()
+            .expect("dangling large-object id")
     }
 
     /// Total payload bytes currently live (for memory accounting).

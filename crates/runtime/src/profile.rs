@@ -29,7 +29,11 @@ pub struct Profiler {
 impl Profiler {
     /// Creates a profiler; a disabled profiler records nothing.
     pub fn new(enabled: bool) -> Self {
-        Profiler { enabled, clock: 0, samples: Vec::new() }
+        Profiler {
+            enabled,
+            clock: 0,
+            samples: Vec::new(),
+        }
     }
 
     /// `true` if sampling is active.
@@ -47,7 +51,10 @@ impl Profiler {
             *by_region.entry(d.name).or_default() += d.used_words;
         }
         self.clock += 1;
-        self.samples.push(Sample { time: self.clock, by_region });
+        self.samples.push(Sample {
+            time: self.clock,
+            by_region,
+        });
     }
 
     /// All recorded samples.

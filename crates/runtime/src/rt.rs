@@ -10,12 +10,12 @@ use crate::config::RtConfig;
 use crate::heap::{Heap, PAGE_HDR, PAGE_NEXT};
 use crate::lobj::{LData, Lobjs};
 use crate::profile::Profiler;
-pub use crate::region::RegionId;
 use crate::region::RegionDesc;
+pub use crate::region::RegionId;
 use crate::stats::RtStats;
 use crate::value::{
-    self, ptr, ptr_addr, scalar, scalar_val, space_of, Space, Tag, Word, DATA_BASE,
-    LOBJ_STRIDE, NONE_ADDR, STACK_BASE,
+    self, ptr, ptr_addr, scalar, scalar_val, space_of, Space, Tag, Word, DATA_BASE, LOBJ_STRIDE,
+    NONE_ADDR, STACK_BASE,
 };
 use std::collections::HashMap;
 
@@ -44,6 +44,16 @@ pub struct Rt {
     pub profiler: Profiler,
     data_strings: Vec<String>,
     data_interned: HashMap<String, u32>,
+    // Inline bump-allocation cache: the `(a, e)` cursor of the region the
+    // mutator allocated into last, kept out of its descriptor so the hot
+    // path is a single compare-and-bump. While the cache is valid
+    // (`cache_region != u32::MAX`), that descriptor's `a`/`used_words` are
+    // stale; [`Rt::flush_alloc_cache`] writes them back. The cache is
+    // never installed during a collection, so the collector always sees
+    // accurate descriptors (it must flush on entry).
+    cache_region: u32,
+    cache_a: u64,
+    cache_e: u64,
 }
 
 impl Rt {
@@ -61,6 +71,9 @@ impl Rt {
             profiler: Profiler::new(config.profile),
             data_strings: Vec::new(),
             data_interned: HashMap::new(),
+            cache_region: u32::MAX,
+            cache_a: 0,
+            cache_e: 0,
             config,
         }
     }
@@ -87,6 +100,11 @@ impl Rt {
     /// Pops the newest region, returning its pages to the free-list in
     /// constant time and freeing its large objects (paper §2.1, §3.1).
     pub fn endregion(&mut self) {
+        // Region ids are stack indices and get reused: a stale cursor for
+        // the popped index must not leak into its successor.
+        if self.cache_region != u32::MAX && self.cache_region as usize + 1 == self.regions.len() {
+            self.flush_alloc_cache();
+        }
         let d = self.regions.pop().expect("region stack underflow");
         if d.fp != NONE_ADDR {
             if self.config.poison {
@@ -147,12 +165,30 @@ impl Rt {
     /// Bump-allocates `nwords` payload words in region `r`, extending the
     /// region with a fresh page if needed. Returns the word address.
     ///
+    /// The fast path is a compare-and-bump on the cached cursor; the slow
+    /// path runs on region change and page boundaries.
+    ///
     /// # Panics
     ///
     /// Panics if `nwords` exceeds the page payload size — such values must
     /// go to the large-object space.
+    #[inline]
     pub fn alloc_words(&mut self, r: RegionId, nwords: u64) -> u64 {
         debug_assert!(nwords > 0);
+        if r.0 == self.cache_region && self.cache_a + nwords <= self.cache_e {
+            let addr = self.cache_a;
+            self.cache_a += nwords;
+            // The cache is never valid inside a collection, so this is
+            // mutator allocation by construction.
+            self.stats.words_allocated += nwords;
+            self.stats.allocations += 1;
+            return addr;
+        }
+        self.alloc_words_slow(r, nwords)
+    }
+
+    fn alloc_words_slow(&mut self, r: RegionId, nwords: u64) -> u64 {
+        self.flush_alloc_cache();
         assert!(
             nwords as usize <= self.config.page_data_words(),
             "value of {nwords} words exceeds the region page size"
@@ -165,11 +201,28 @@ impl Rt {
         let addr = d.a;
         d.a += nwords;
         d.used_words += nwords;
+        let (a, e) = (d.a, d.e);
         if !self.in_gc {
             self.stats.words_allocated += nwords;
             self.stats.allocations += 1;
+            self.cache_region = r.0;
+            self.cache_a = a;
+            self.cache_e = e;
         }
         addr
+    }
+
+    /// Writes the cached bump cursor back into its region descriptor and
+    /// invalidates the cache. Must be called before anything reads a
+    /// descriptor's `a`/`used_words` directly — in particular on collector
+    /// entry and before popping the cached region.
+    pub fn flush_alloc_cache(&mut self) {
+        if self.cache_region != u32::MAX {
+            let d = &mut self.regions[self.cache_region as usize];
+            d.used_words += self.cache_a - d.a;
+            d.a = self.cache_a;
+            self.cache_region = u32::MAX;
+        }
     }
 
     /// Extends region `r` with a fresh page, writing the slack sentinel so
@@ -211,13 +264,21 @@ impl Rt {
     /// Encodes an integer value.
     #[inline]
     pub fn tag_int(&self, n: i64) -> Word {
-        if self.config.tagged { scalar(n) } else { n as u64 }
+        if self.config.tagged {
+            scalar(n)
+        } else {
+            n as u64
+        }
     }
 
     /// Decodes an integer value.
     #[inline]
     pub fn untag_int(&self, v: Word) -> i64 {
-        if self.config.tagged { scalar_val(v) } else { v as i64 }
+        if self.config.tagged {
+            scalar_val(v)
+        } else {
+            v as i64
+        }
     }
 
     /// Reads a word at any address (heap, stack, or large-object array).
@@ -399,8 +460,15 @@ impl Rt {
 
     /// Words still free in the page the region is currently filling.
     pub fn region_slack(&self, r: RegionId) -> u64 {
+        if r.0 == self.cache_region {
+            return self.cache_e - self.cache_a;
+        }
         let d = &self.regions[r.0 as usize];
-        if d.fp == NONE_ADDR { 0 } else { d.e - d.a }
+        if d.fp == NONE_ADDR {
+            0
+        } else {
+            d.e - d.a
+        }
     }
 
     /// `true` if `v` is a pointer into the runtime stack (a finite-region
@@ -484,13 +552,21 @@ mod tests {
         let r = rt.letregion(0);
         let before = rt.regions[0].used_words;
         let _ = rt.alloc_record(r, &[rt.tag_int(1), rt.tag_int(2)]);
-        assert_eq!(rt.regions[0].used_words - before, 2, "untagged pair is 2 words");
+        assert_eq!(
+            rt.regions[0].used_words - before,
+            2,
+            "untagged pair is 2 words"
+        );
 
         let mut rt2 = Rt::new(RtConfig::rt());
         let r2 = rt2.letregion(0);
         let before = rt2.regions[0].used_words;
         let _ = rt2.alloc_record(r2, &[rt2.tag_int(1), rt2.tag_int(2)]);
-        assert_eq!(rt2.regions[0].used_words - before, 3, "tagged pair is 3 words");
+        assert_eq!(
+            rt2.regions[0].used_words - before,
+            3,
+            "tagged pair is 3 words"
+        );
     }
 
     #[test]
@@ -535,7 +611,10 @@ mod tests {
 
     #[test]
     fn gc_trigger_fires_when_free_list_shrinks() {
-        let mut rt = Rt::new(RtConfig { initial_pages: 9, ..RtConfig::rgt() });
+        let mut rt = Rt::new(RtConfig {
+            initial_pages: 9,
+            ..RtConfig::rgt()
+        });
         let r = rt.letregion(0);
         assert!(!rt.gc_needed);
         for i in 0..10_000 {
@@ -561,8 +640,61 @@ mod tests {
     }
 
     #[test]
+    fn bump_cache_crosses_page_boundaries_and_flushes() {
+        // 16-word pages, 14 payload words; tagged 4-word boxes → 3 per page.
+        let mut rt = Rt::new(RtConfig {
+            page_words_log2: 4,
+            ..RtConfig::rgt()
+        });
+        let free0 = rt.heap.free_pages();
+        let r = rt.letregion(0);
+        for i in 0..11 {
+            let _ = rt.alloc_record(r, &[rt.tag_int(i), rt.tag_int(i), rt.tag_int(i)]);
+        }
+        // Stats are exact even while the descriptor cursor is stale.
+        assert_eq!(rt.stats.words_allocated, 44);
+        assert_eq!(rt.stats.allocations, 11);
+        rt.flush_alloc_cache();
+        let d = &rt.regions[0];
+        assert_eq!(d.used_words, 44);
+        assert_eq!(d.pages, 4, "3 boxes per page, 11 boxes");
+        rt.check_page_conservation().unwrap();
+        rt.endregion();
+        assert_eq!(rt.heap.free_pages(), free0, "all pages returned");
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_region_reuse() {
+        // Region ids are reused stack indices: popping the cached region
+        // must not let its cursor serve allocations in the successor.
+        let mut rt = Rt::new(RtConfig {
+            page_words_log2: 4,
+            ..RtConfig::rgt()
+        });
+        let r1 = rt.letregion(1);
+        let _ = rt.alloc_record(r1, &[rt.tag_int(1)]);
+        rt.endregion();
+        let r2 = rt.letregion(2);
+        assert_eq!(r2.0, 0, "index reused");
+        let before = rt.regions[0].used_words;
+        let v = rt.alloc_record(r2, &[rt.tag_int(7), rt.tag_int(8)]);
+        assert_eq!(rt.untag_int(rt.field(v, 0)), 7);
+        assert_eq!(rt.untag_int(rt.field(v, 1)), 8);
+        rt.flush_alloc_cache();
+        assert_eq!(
+            rt.regions[0].used_words - before,
+            3,
+            "tagged pair in the new region"
+        );
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
     fn slack_written_as_sentinel_on_page_extension() {
-        let mut rt = Rt::new(RtConfig { page_words_log2: 4, ..RtConfig::rgt() }); // 16-word pages
+        let mut rt = Rt::new(RtConfig {
+            page_words_log2: 4,
+            ..RtConfig::rgt()
+        }); // 16-word pages
         let r = rt.letregion(0);
         // Fill the first page so a sentinel is written before chaining.
         // 14 payload words per page; 4-word boxes (tag+3): 3 fit, 2 slack.

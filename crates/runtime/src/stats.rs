@@ -35,13 +35,12 @@ impl GcRecord {
     /// Fraction of reclaimed memory recycled by region inference (`RI` in
     /// Table 3). `None` when nothing was reclaimed.
     pub fn ri_fraction(&self) -> Option<f64> {
-        let total = self.prev_live_pages as f64 + self.pages_requested as f64
-            - self.live_pages as f64;
+        let total =
+            self.prev_live_pages as f64 + self.pages_requested as f64 - self.live_pages as f64;
         if total <= 0.0 {
             return None;
         }
-        let ri = self.prev_live_pages as f64 + self.pages_requested as f64
-            - self.from_pages as f64;
+        let ri = self.prev_live_pages as f64 + self.pages_requested as f64 - self.from_pages as f64;
         Some((ri / total).clamp(0.0, 1.0))
     }
 
@@ -107,16 +106,18 @@ impl RtStats {
         let mut ri = 0.0;
         let mut total = 0.0;
         for r in &self.gc_records {
-            let t = r.prev_live_pages as f64 + r.pages_requested as f64
-                - r.live_pages as f64;
+            let t = r.prev_live_pages as f64 + r.pages_requested as f64 - r.live_pages as f64;
             if t > 0.0 {
-                let x = r.prev_live_pages as f64 + r.pages_requested as f64
-                    - r.from_pages as f64;
+                let x = r.prev_live_pages as f64 + r.pages_requested as f64 - r.from_pages as f64;
                 ri += x.max(0.0);
                 total += t;
             }
         }
-        if total > 0.0 { Some((ri / total).clamp(0.0, 1.0)) } else { None }
+        if total > 0.0 {
+            Some((ri / total).clamp(0.0, 1.0))
+        } else {
+            None
+        }
     }
 
     /// Aggregate waste fraction over all collections (Table 3, `W`).
@@ -126,7 +127,11 @@ impl RtStats {
             w += r.waste_words as f64;
             t += r.from_space_words as f64;
         }
-        if t > 0.0 { Some(w / t) } else { None }
+        if t > 0.0 {
+            Some(w / t)
+        } else {
+            None
+        }
     }
 }
 

@@ -177,32 +177,63 @@ impl Tag {
 
     /// A record tag with `size` fields.
     pub fn record(size: u32) -> Tag {
-        Tag { kind: Kind::Record, size, info: 0, mark: false }
+        Tag {
+            kind: Kind::Record,
+            size,
+            info: 0,
+            mark: false,
+        }
     }
 
     /// A constructor tag.
     pub fn con(ctor: u32, size: u32) -> Tag {
-        Tag { kind: Kind::Con, size, info: ctor, mark: false }
+        Tag {
+            kind: Kind::Con,
+            size,
+            info: ctor,
+            mark: false,
+        }
     }
 
     /// The boxed-real tag.
     pub fn real() -> Tag {
-        Tag { kind: Kind::Real, size: 1, info: 0, mark: false }
+        Tag {
+            kind: Kind::Real,
+            size: 1,
+            info: 0,
+            mark: false,
+        }
     }
 
     /// The reference-cell tag.
     pub fn reference() -> Tag {
-        Tag { kind: Kind::Ref, size: 1, info: 0, mark: false }
+        Tag {
+            kind: Kind::Ref,
+            size: 1,
+            info: 0,
+            mark: false,
+        }
     }
 
     /// An exception-block tag.
     pub fn exn(id: u32, size: u32) -> Tag {
-        Tag { kind: Kind::Exn, size, info: id, mark: false }
+        Tag {
+            kind: Kind::Exn,
+            size,
+            info: id,
+            mark: false,
+        }
     }
 
     /// The page-slack sentinel tag word.
     pub fn sentinel_word() -> Word {
-        Tag { kind: Kind::Sentinel, size: 0, info: 0, mark: false }.encode()
+        Tag {
+            kind: Kind::Sentinel,
+            size: 0,
+            info: 0,
+            mark: false,
+        }
+        .encode()
     }
 
     /// Total number of words occupied by the box (tag + payload).
@@ -246,7 +277,12 @@ mod tests {
             Tag::real(),
             Tag::reference(),
             Tag::exn(12, 1),
-            Tag { kind: Kind::Con, size: 0xFF_FFFF, info: 0xAB_CDEF, mark: true },
+            Tag {
+                kind: Kind::Con,
+                size: 0xFF_FFFF,
+                info: 0xAB_CDEF,
+                mark: true,
+            },
         ];
         for t in cases {
             let w = t.encode();

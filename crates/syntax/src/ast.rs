@@ -25,7 +25,11 @@ pub enum Dec {
     /// mutually recursive datatype bindings.
     Datatype { binds: Vec<DataBind>, span: Span },
     /// `exception E` or `exception E of ty`
-    Exception { name: String, arg: Option<TyExp>, span: Span },
+    Exception {
+        name: String,
+        arg: Option<TyExp>,
+        span: Span,
+    },
 }
 
 /// One function binding: a name and its clauses.

@@ -14,7 +14,10 @@ pub struct SyntaxError {
 impl SyntaxError {
     /// Creates a new syntax error at `span`.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        SyntaxError { message: message.into(), span }
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The human-readable description (lowercase, no trailing punctuation).

@@ -41,7 +41,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Lexes the whole input, ending with [`Token::Eof`].
@@ -122,7 +126,10 @@ impl<'a> Lexer<'a> {
         let line = self.line;
         let span = |l: &Lexer<'_>| Span::new(start, l.pos, line);
         let Some(c) = self.peek() else {
-            return Ok(Spanned { tok: Token::Eof, span: Span::new(start, start, line) });
+            return Ok(Spanned {
+                tok: Token::Eof,
+                span: Span::new(start, start, line),
+            });
         };
 
         // Numeric literals, with optional SML `~` sign.
@@ -136,7 +143,10 @@ impl<'a> Lexer<'a> {
                 Some(k) => k,
                 None => Token::Ident(word),
             };
-            return Ok(Spanned { tok, span: span(self) });
+            return Ok(Spanned {
+                tok,
+                span: span(self),
+            });
         }
 
         match c {
@@ -146,7 +156,10 @@ impl<'a> Lexer<'a> {
                 if word.is_empty() {
                     return Err(SyntaxError::new("empty type variable", span(self)));
                 }
-                Ok(Spanned { tok: Token::TyVar(word), span: span(self) })
+                Ok(Spanned {
+                    tok: Token::TyVar(word),
+                    span: span(self),
+                })
             }
             b'"' => self.lex_string(start, line),
             b'#' if self.peek2() == Some(b'"') => {
@@ -157,7 +170,10 @@ impl<'a> Lexer<'a> {
                         tok: Token::Char(body.chars().next().unwrap() as i64),
                         span: s.span,
                     }),
-                    _ => Err(SyntaxError::new("character literal must have length 1", s.span)),
+                    _ => Err(SyntaxError::new(
+                        "character literal must have length 1",
+                        s.span,
+                    )),
                 }
             }
             _ => {
@@ -201,7 +217,10 @@ impl<'a> Lexer<'a> {
                         ));
                     }
                 };
-                Ok(Spanned { tok, span: span(self) })
+                Ok(Spanned {
+                    tok,
+                    span: span(self),
+                })
             }
         }
     }
@@ -248,19 +267,25 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
         }
-        let text: String = String::from_utf8_lossy(&self.src[digits_start..self.pos])
-            .replace('~', "-");
+        let text: String =
+            String::from_utf8_lossy(&self.src[digits_start..self.pos]).replace('~', "-");
         let span = Span::new(start, self.pos, line);
         if is_real {
             let v: f64 = text
                 .parse()
                 .map_err(|_| SyntaxError::new("malformed real literal", span))?;
-            Ok(Spanned { tok: Token::Real(if negative { -v } else { v }), span })
+            Ok(Spanned {
+                tok: Token::Real(if negative { -v } else { v }),
+                span,
+            })
         } else {
             let v: i64 = text
                 .parse()
                 .map_err(|_| SyntaxError::new("integer literal out of range", span))?;
-            Ok(Spanned { tok: Token::Int(if negative { -v } else { v }), span })
+            Ok(Spanned {
+                tok: Token::Int(if negative { -v } else { v }),
+                span,
+            })
         }
     }
 

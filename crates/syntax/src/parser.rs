@@ -155,8 +155,16 @@ impl Parser {
             Token::Exception => {
                 self.bump();
                 let (name, nsp) = self.ident()?;
-                let arg = if self.eat(&Token::Of) { Some(self.tyexp()?) } else { None };
-                Ok(Dec::Exception { name, arg, span: start.merge(nsp) })
+                let arg = if self.eat(&Token::Of) {
+                    Some(self.tyexp()?)
+                } else {
+                    None
+                };
+                Ok(Dec::Exception {
+                    name,
+                    arg,
+                    span: start.merge(nsp),
+                })
             }
             other => Err(SyntaxError::new(
                 format!("expected declaration, found `{other}`"),
@@ -201,7 +209,11 @@ impl Parser {
                 start,
             ));
         }
-        Ok(FunBind { name, clauses, span: start })
+        Ok(FunBind {
+            name,
+            clauses,
+            span: start,
+        })
     }
 
     fn databind(&mut self) -> Result<DataBind, SyntaxError> {
@@ -245,7 +257,11 @@ impl Parser {
 
     fn conbind(&mut self) -> Result<ConBind, SyntaxError> {
         let (name, _) = self.ident()?;
-        let arg = if self.eat(&Token::Of) { Some(self.tyexp()?) } else { None };
+        let arg = if self.eat(&Token::Of) {
+            Some(self.tyexp()?)
+        } else {
+            None
+        };
         Ok(ConBind { name, arg })
     }
 
@@ -545,8 +561,7 @@ impl Parser {
 
     fn infix_exp(&mut self, min_level: u8) -> Result<Exp, SyntaxError> {
         let mut lhs = self.app_exp()?;
-        loop {
-            let Some((level, right)) = Self::infix_level(self.peek()) else { break };
+        while let Some((level, right)) = Self::infix_level(self.peek()) {
             if level < min_level {
                 break;
             }
@@ -769,16 +784,22 @@ mod tests {
     fn parses_val_dec() {
         let p = parse_program("val x = 1 + 2 * 3").unwrap();
         assert_eq!(p.decs.len(), 1);
-        let Dec::Val { exp, .. } = &p.decs[0] else { panic!() };
+        let Dec::Val { exp, .. } = &p.decs[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
-        let Exp::BinOp(BinOp::Add, _, rhs, _) = exp else { panic!("got {exp:?}") };
+        let Exp::BinOp(BinOp::Add, _, rhs, _) = exp else {
+            panic!("got {exp:?}")
+        };
         assert!(matches!(**rhs, Exp::BinOp(BinOp::Mul, _, _, _)));
     }
 
     #[test]
     fn application_binds_tighter_than_infix() {
         let e = parse_exp("f x + g y").unwrap();
-        let Exp::BinOp(BinOp::Add, l, r, _) = e else { panic!() };
+        let Exp::BinOp(BinOp::Add, l, r, _) = e else {
+            panic!()
+        };
         assert!(matches!(*l, Exp::App(_, _, _)));
         assert!(matches!(*r, Exp::App(_, _, _)));
     }
@@ -806,15 +827,21 @@ mod tests {
     #[test]
     fn parses_multi_clause_fun() {
         let p = parse_program("fun len nil = 0 | len (x::xs) = 1 + len xs").unwrap();
-        let Dec::Fun { binds, .. } = &p.decs[0] else { panic!() };
+        let Dec::Fun { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
         assert_eq!(binds[0].clauses.len(), 2);
     }
 
     #[test]
     fn parses_mutual_recursion() {
-        let p = parse_program("fun even 0 = true | even n = odd (n-1) and odd 0 = false | odd n = even (n-1)")
-            .unwrap();
-        let Dec::Fun { binds, .. } = &p.decs[0] else { panic!() };
+        let p = parse_program(
+            "fun even 0 = true | even n = odd (n-1) and odd 0 = false | odd n = even (n-1)",
+        )
+        .unwrap();
+        let Dec::Fun { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
         assert_eq!(binds.len(), 2);
     }
 
@@ -826,7 +853,9 @@ mod tests {
     #[test]
     fn parses_datatype() {
         let p = parse_program("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree").unwrap();
-        let Dec::Datatype { binds, .. } = &p.decs[0] else { panic!() };
+        let Dec::Datatype { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
         assert_eq!(binds[0].tyvars, vec!["a".to_string()]);
         assert_eq!(binds[0].cons.len(), 2);
         assert!(binds[0].cons[1].arg.is_some());
@@ -835,7 +864,9 @@ mod tests {
     #[test]
     fn parses_multi_tyvar_datatype() {
         let p = parse_program("datatype ('a,'b) pair = P of 'a * 'b").unwrap();
-        let Dec::Datatype { binds, .. } = &p.decs[0] else { panic!() };
+        let Dec::Datatype { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
         assert_eq!(binds[0].tyvars.len(), 2);
     }
 
@@ -864,7 +895,9 @@ mod tests {
     #[test]
     fn parses_ref_ops() {
         let e = parse_exp("r := !r + 1").unwrap();
-        let Exp::BinOp(BinOp::Assign, _, rhs, _) = e else { panic!() };
+        let Exp::BinOp(BinOp::Assign, _, rhs, _) = e else {
+            panic!()
+        };
         assert!(matches!(*rhs, Exp::BinOp(BinOp::Add, _, _, _)));
     }
 

@@ -30,13 +30,21 @@ impl Span {
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
-            line: if self.start <= other.start { self.line } else { other.line },
+            line: if self.start <= other.start {
+                self.line
+            } else {
+                other.line
+            },
         }
     }
 
     /// A synthetic span for generated code.
     pub fn synthetic() -> Span {
-        Span { start: 0, end: 0, line: 0 }
+        Span {
+            start: 0,
+            end: 0,
+            line: 0,
+        }
     }
 }
 

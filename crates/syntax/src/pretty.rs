@@ -29,12 +29,11 @@ pub fn dec_to_string(d: &Dec) -> String {
                     b.clauses
                         .iter()
                         .map(|c| {
-                            let pats: Vec<String> =
-                                c.pats.iter().map(atpat_to_string).collect();
+                            let pats: Vec<String> = c.pats.iter().map(atpat_to_string).collect();
                             format!("{} {} = {}", b.name, pats.join(" "), exp_to_string(&c.body))
                         })
                         .collect::<Vec<_>>()
-                        .join(&format!("\n  | "))
+                        .join("\n  | ")
                 })
                 .collect();
             format!("fun {}", bs.join("\nand "))
@@ -88,11 +87,7 @@ pub fn ty_to_string(t: &TyExp) -> String {
                 name
             ),
         },
-        TyExp::Tuple(parts) => parts
-            .iter()
-            .map(ty_atom)
-            .collect::<Vec<_>>()
-            .join(" * "),
+        TyExp::Tuple(parts) => parts.iter().map(ty_atom).collect::<Vec<_>>().join(" * "),
         TyExp::Arrow(a, b) => format!("{} -> {}", ty_atom(a), ty_to_string(b)),
     }
 }
@@ -137,7 +132,11 @@ fn atpat_to_string(p: &Pat) -> String {
 }
 
 fn fmt_int(n: i64) -> String {
-    if n < 0 { format!("~{}", -(n as i128)) } else { n.to_string() }
+    if n < 0 {
+        format!("~{}", -(n as i128))
+    } else {
+        n.to_string()
+    }
 }
 
 fn fmt_real(r: f64) -> String {
@@ -146,7 +145,11 @@ fn fmt_real(r: f64) -> String {
     } else {
         format!("{}", r.abs())
     };
-    if r.is_sign_negative() { format!("~{body}") } else { body }
+    if r.is_sign_negative() {
+        format!("~{body}")
+    } else {
+        body
+    }
 }
 
 /// Renders an expression (fully parenthesised where required).
@@ -256,7 +259,11 @@ mod tests {
         let printed = program_to_string(&p1);
         let p2 = parse_program(&printed)
             .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
-        assert_eq!(strip_spans_prog(&p1), strip_spans_prog(&p2), "source: {src}");
+        assert_eq!(
+            strip_spans_prog(&p1),
+            strip_spans_prog(&p2),
+            "source: {src}"
+        );
     }
 
     #[test]

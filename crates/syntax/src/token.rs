@@ -76,11 +76,11 @@ pub enum Token {
     LessEq,
     Greater,
     GreaterEq,
-    Caret,  // ^ string concat
-    Assign, // :=
-    Bang,   // !
+    Caret,   // ^ string concat
+    Assign,  // :=
+    Bang,    // !
     Compose, // o
-    Tilde,  // ~ (negation)
+    Tilde,   // ~ (negation)
 
     /// End of input.
     Eof,

@@ -5,7 +5,7 @@
 //! are lowered to primitive applications; builtins used as values are
 //! eta-expanded by the lowerer.
 
-use crate::types::{InferCtx, Ty, TvKind};
+use crate::types::{InferCtx, TvKind, Ty};
 use kit_lambda::exp::Prim;
 
 /// A built-in function.
@@ -97,17 +97,11 @@ impl Builtin {
             }
             Array => {
                 let a = cx.fresh();
-                Ty::arrow(
-                    Ty::Tuple(vec![Ty::Int, a.clone()]),
-                    Ty::Array(Box::new(a)),
-                )
+                Ty::arrow(Ty::Tuple(vec![Ty::Int, a.clone()]), Ty::Array(Box::new(a)))
             }
             Asub => {
                 let a = cx.fresh();
-                Ty::arrow(
-                    Ty::Tuple(vec![Ty::Array(Box::new(a.clone())), Ty::Int]),
-                    a,
-                )
+                Ty::arrow(Ty::Tuple(vec![Ty::Array(Box::new(a.clone())), Ty::Int]), a)
             }
             Aupdate => {
                 let a = cx.fresh();
@@ -171,7 +165,9 @@ mod tests {
         for (_, b) in ALL {
             let mut cx = InferCtx::new();
             let ty = b.fresh_ty(&mut cx);
-            let Ty::Arrow(param, _) = ty else { panic!("builtin type must be an arrow") };
+            let Ty::Arrow(param, _) = ty else {
+                panic!("builtin type must be an arrow")
+            };
             let expect = match *param {
                 Ty::Tuple(ref ts) => ts.len(),
                 _ => 1,

@@ -17,8 +17,8 @@ use crate::texp::{OvOp, TDec, TExp, TFun, TPat, TRule};
 use crate::types::{InferCtx, Scheme, Ty, TypeError};
 use kit_lambda::exp::{Prim, VarId, VarTable};
 use kit_lambda::ty::{
-    ConId, Constructor, DataEnv, Datatype, ExnEnv, ExnId, SchemeTy, TyConId, EXN_BIND,
-    EXN_DIV, EXN_MATCH, EXN_OVERFLOW, EXN_SIZE, EXN_SUBSCRIPT,
+    ConId, Constructor, DataEnv, Datatype, ExnEnv, ExnId, SchemeTy, TyConId, EXN_BIND, EXN_DIV,
+    EXN_MATCH, EXN_OVERFLOW, EXN_SIZE, EXN_SUBSCRIPT,
 };
 use kit_lambda::LProgram;
 use kit_syntax::ast::{self, BinOp, Exp, Pat, TyExp};
@@ -34,10 +34,7 @@ use std::collections::HashMap;
 /// # Errors
 ///
 /// Returns the first type error encountered.
-pub fn elaborate(
-    prelude: &ast::Program,
-    user: &ast::Program,
-) -> Result<LProgram, TypeError> {
+pub fn elaborate(prelude: &ast::Program, user: &ast::Program) -> Result<LProgram, TypeError> {
     let mut el = Elab::new();
     let mut tdecs = Vec::new();
     for dec in prelude.decs.iter() {
@@ -108,7 +105,10 @@ impl Elab {
         ] {
             scope.insert(name.to_string(), Binding::Exn(id));
         }
-        scope.insert("nil".to_string(), Binding::Ctor(kit_lambda::ty::LIST, kit_lambda::ty::NIL));
+        scope.insert(
+            "nil".to_string(),
+            Binding::Ctor(kit_lambda::ty::LIST, kit_lambda::ty::NIL),
+        );
 
         let mut tyscope = HashMap::new();
         for (name, d) in [
@@ -159,7 +159,10 @@ impl Elab {
     }
 
     fn bind_ty(&mut self, name: &str, d: TyDef) {
-        self.tyscopes.last_mut().unwrap().insert(name.to_string(), d);
+        self.tyscopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), d);
     }
 
     fn lookup_ty(&self, name: &str) -> Option<&TyDef> {
@@ -296,13 +299,9 @@ impl Elab {
                     TyDef::Bool => SchemeTy::Bool,
                     TyDef::Unit => SchemeTy::Unit,
                     TyDef::Exn => SchemeTy::Exn,
-                    TyDef::List => {
-                        SchemeTy::Con(kit_lambda::ty::LIST, args)
-                    }
+                    TyDef::List => SchemeTy::Con(kit_lambda::ty::LIST, args),
                     TyDef::Ref => SchemeTy::Ref(Box::new(args.into_iter().next().unwrap())),
-                    TyDef::Array => {
-                        SchemeTy::Array(Box::new(args.into_iter().next().unwrap()))
-                    }
+                    TyDef::Array => SchemeTy::Array(Box::new(args.into_iter().next().unwrap())),
                     TyDef::Data(id, _) => SchemeTy::Con(*id, args),
                 })
             }
@@ -361,7 +360,11 @@ impl Elab {
                         }
                     }
                 }
-                Ok(vec![TDec::Val { pat: tpat, rhs: trhs, span: *span }])
+                Ok(vec![TDec::Val {
+                    pat: tpat,
+                    rhs: trhs,
+                    span: *span,
+                }])
             }
             ast::Dec::Fun { binds, span } => self.infer_fun_group(binds, *span),
             ast::Dec::Datatype { binds, span } => {
@@ -383,11 +386,7 @@ impl Elab {
         }
     }
 
-    fn infer_datatypes(
-        &mut self,
-        binds: &[ast::DataBind],
-        span: Span,
-    ) -> Result<(), TypeError> {
+    fn infer_datatypes(&mut self, binds: &[ast::DataBind], span: Span) -> Result<(), TypeError> {
         // Pass 1: reserve ids so datatypes can be mutually recursive.
         let ids: Vec<TyConId> = binds
             .iter()
@@ -405,7 +404,10 @@ impl Elab {
                     Some(t) => Some(self.schemety_of_tyexp(t, &b.tyvars, span)?),
                     None => None,
                 };
-                constructors.push(Constructor { name: c.name.clone(), arg });
+                constructors.push(Constructor {
+                    name: c.name.clone(),
+                    arg,
+                });
             }
             self.data.fill(
                 *id,
@@ -511,44 +513,46 @@ impl Elab {
                 self.unify_at(span, expected, &Ty::Bool)?;
                 Ok(TPat::Bool(*b))
             }
-            Pat::Var(name, _) => {
-                match self.lookup(name).cloned() {
-                    Some(Binding::Ctor(tycon, con)) => {
-                        let dt = self.data.get(tycon);
-                        if dt.constructors[con.0 as usize].arg.is_some() {
-                            return Err(TypeError::new(
-                                format!("constructor `{name}` expects an argument"),
-                                span,
-                            ));
-                        }
-                        let targs: Vec<Ty> =
-                            (0..dt.arity).map(|_| self.cx.fresh()).collect();
-                        self.unify_at(span, expected, &Ty::Con(tycon, targs.clone()))?;
-                        Ok(TPat::Con { tycon, con, targs, arg: None })
+            Pat::Var(name, _) => match self.lookup(name).cloned() {
+                Some(Binding::Ctor(tycon, con)) => {
+                    let dt = self.data.get(tycon);
+                    if dt.constructors[con.0 as usize].arg.is_some() {
+                        return Err(TypeError::new(
+                            format!("constructor `{name}` expects an argument"),
+                            span,
+                        ));
                     }
-                    Some(Binding::Exn(id)) => {
-                        if self.exns.get(id).arg.is_some() {
-                            return Err(TypeError::new(
-                                format!("exception `{name}` expects an argument"),
-                                span,
-                            ));
-                        }
-                        self.unify_at(span, expected, &Ty::Exn)?;
-                        Ok(TPat::Exn { exn: id, arg: None })
-                    }
-                    _ => {
-                        if binds.iter().any(|(n, _, _)| n == name) {
-                            return Err(TypeError::new(
-                                format!("duplicate variable `{name}` in pattern"),
-                                span,
-                            ));
-                        }
-                        let v = self.vars.fresh(name);
-                        binds.push((name.clone(), v, expected.clone()));
-                        Ok(TPat::Var(v, expected.clone()))
-                    }
+                    let targs: Vec<Ty> = (0..dt.arity).map(|_| self.cx.fresh()).collect();
+                    self.unify_at(span, expected, &Ty::Con(tycon, targs.clone()))?;
+                    Ok(TPat::Con {
+                        tycon,
+                        con,
+                        targs,
+                        arg: None,
+                    })
                 }
-            }
+                Some(Binding::Exn(id)) => {
+                    if self.exns.get(id).arg.is_some() {
+                        return Err(TypeError::new(
+                            format!("exception `{name}` expects an argument"),
+                            span,
+                        ));
+                    }
+                    self.unify_at(span, expected, &Ty::Exn)?;
+                    Ok(TPat::Exn { exn: id, arg: None })
+                }
+                _ => {
+                    if binds.iter().any(|(n, _, _)| n == name) {
+                        return Err(TypeError::new(
+                            format!("duplicate variable `{name}` in pattern"),
+                            span,
+                        ));
+                    }
+                    let v = self.vars.fresh(name);
+                    binds.push((name.clone(), v, expected.clone()));
+                    Ok(TPat::Var(v, expected.clone()))
+                }
+            },
             Pat::Tuple(ps, _) => {
                 let tys: Vec<Ty> = ps.iter().map(|_| self.cx.fresh()).collect();
                 self.unify_at(span, expected, &Ty::Tuple(tys.clone()))?;
@@ -563,8 +567,7 @@ impl Elab {
                 Some(Binding::Ctor(tycon, con)) => {
                     let dt = self.data.get(tycon);
                     let arity = dt.arity;
-                    let Some(arg_scheme) = dt.constructors[con.0 as usize].arg.clone()
-                    else {
+                    let Some(arg_scheme) = dt.constructors[con.0 as usize].arg.clone() else {
                         return Err(TypeError::new(
                             format!("constructor `{name}` takes no argument"),
                             span,
@@ -574,7 +577,12 @@ impl Elab {
                     self.unify_at(span, expected, &Ty::Con(tycon, targs.clone()))?;
                     let arg_ty = self.scheme_to_ty(&arg_scheme, &targs);
                     let tp = self.infer_pat(argp, &arg_ty, binds)?;
-                    Ok(TPat::Con { tycon, con, targs, arg: Some(Box::new(tp)) })
+                    Ok(TPat::Con {
+                        tycon,
+                        con,
+                        targs,
+                        arg: Some(Box::new(tp)),
+                    })
                 }
                 Some(Binding::Exn(id)) => {
                     let Some(arg_ty) = self.exns.get(id).arg.clone() else {
@@ -586,9 +594,15 @@ impl Elab {
                     self.unify_at(span, expected, &Ty::Exn)?;
                     let arg_ty = lty_to_ty(&arg_ty);
                     let tp = self.infer_pat(argp, &arg_ty, binds)?;
-                    Ok(TPat::Exn { exn: id, arg: Some(Box::new(tp)) })
+                    Ok(TPat::Exn {
+                        exn: id,
+                        arg: Some(Box::new(tp)),
+                    })
                 }
-                _ => Err(TypeError::new(format!("unknown constructor `{name}`"), span)),
+                _ => Err(TypeError::new(
+                    format!("unknown constructor `{name}`"),
+                    span,
+                )),
             },
             Pat::List(ps, _) => {
                 let elem = self.cx.fresh();
@@ -735,7 +749,12 @@ impl Elab {
                 let n = builtins::fresh_num(&mut self.cx);
                 self.unify_at(span, &ty, &n)?;
                 Ok((
-                    TExp::Overload { op: OvOp::Neg, args: vec![te], ty: n.clone(), span },
+                    TExp::Overload {
+                        op: OvOp::Neg,
+                        args: vec![te],
+                        ty: n.clone(),
+                        span,
+                    },
                     n,
                 ))
             }
@@ -743,7 +762,13 @@ impl Elab {
                 let (te, ty) = self.infer_exp(e)?;
                 let a = self.cx.fresh();
                 self.unify_at(span, &ty, &Ty::Ref(Box::new(a.clone())))?;
-                Ok((TExp::Prim { prim: Prim::RefGet, args: vec![te] }, a))
+                Ok((
+                    TExp::Prim {
+                        prim: Prim::RefGet,
+                        args: vec![te],
+                    },
+                    a,
+                ))
             }
             Exp::Not(e, _) => {
                 let (te, ty) = self.infer_exp(e)?;
@@ -820,10 +845,7 @@ impl Elab {
                         ) {
                             self.push_scope();
                             let v = self.vars.fresh(name);
-                            self.bind(
-                                name,
-                                Binding::Val(v, Scheme::mono(pty.clone())),
-                            );
+                            self.bind(name, Binding::Val(v, Scheme::mono(pty.clone())));
                             let (tb, bty) = self.infer_exp(&rules[0].exp)?;
                             self.unify_at(span, &bty, &rty)?;
                             self.pop_scope();
@@ -879,7 +901,13 @@ impl Elab {
                 } else {
                     TExp::Seq(tes)
                 };
-                Ok((TExp::Let { decs: tdecs, body: Box::new(body_exp) }, last_ty))
+                Ok((
+                    TExp::Let {
+                        decs: tdecs,
+                        body: Box::new(body_exp),
+                    },
+                    last_ty,
+                ))
             }
             Exp::Seq(es, _) => {
                 let mut tes = Vec::new();
@@ -946,7 +974,12 @@ impl Elab {
                 let res_ty = Ty::Con(tycon, targs.clone());
                 match arg {
                     None => Ok((
-                        TExp::Con { tycon, con, targs, arg: None },
+                        TExp::Con {
+                            tycon,
+                            con,
+                            targs,
+                            arg: None,
+                        },
                         res_ty,
                     )),
                     Some(s) => {
@@ -1110,7 +1143,12 @@ impl Elab {
                         let (ta, tya) = self.infer_exp(a)?;
                         self.unify_at(span, &tya, &arg_ty)?;
                         return Ok((
-                            TExp::Con { tycon, con, targs: targs.clone(), arg: Some(Box::new(ta)) },
+                            TExp::Con {
+                                tycon,
+                                con,
+                                targs: targs.clone(),
+                                arg: Some(Box::new(ta)),
+                            },
                             Ty::Con(tycon, targs),
                         ));
                     }
@@ -1119,7 +1157,13 @@ impl Elab {
                     if let Some(at) = self.exns.get(id).arg.clone() {
                         let (ta, tya) = self.infer_exp(a)?;
                         self.unify_at(span, &tya, &lty_to_ty(&at))?;
-                        return Ok((TExp::ExCon { exn: id, arg: Some(Box::new(ta)) }, Ty::Exn));
+                        return Ok((
+                            TExp::ExCon {
+                                exn: id,
+                                arg: Some(Box::new(ta)),
+                            },
+                            Ty::Exn,
+                        ));
                     }
                 }
                 _ => {}
@@ -1152,7 +1196,12 @@ impl Elab {
                     _ => OvOp::Mul,
                 };
                 Ok((
-                    TExp::Overload { op: ov, args: vec![ta, tb], ty: t.clone(), span },
+                    TExp::Overload {
+                        op: ov,
+                        args: vec![ta, tb],
+                        ty: t.clone(),
+                        span,
+                    },
                     t,
                 ))
             }
@@ -1167,20 +1216,41 @@ impl Elab {
                     _ => OvOp::Ge,
                 };
                 Ok((
-                    TExp::Overload { op: ov, args: vec![ta, tb], ty: t, span },
+                    TExp::Overload {
+                        op: ov,
+                        args: vec![ta, tb],
+                        ty: t,
+                        span,
+                    },
                     Ty::Bool,
                 ))
             }
             BinOp::Div | BinOp::Mod => {
                 self.unify_at(span, &tya, &Ty::Int)?;
                 self.unify_at(span, &tyb, &Ty::Int)?;
-                let p = if op == BinOp::Div { Prim::IDiv } else { Prim::IMod };
-                Ok((TExp::Prim { prim: p, args: vec![ta, tb] }, Ty::Int))
+                let p = if op == BinOp::Div {
+                    Prim::IDiv
+                } else {
+                    Prim::IMod
+                };
+                Ok((
+                    TExp::Prim {
+                        prim: p,
+                        args: vec![ta, tb],
+                    },
+                    Ty::Int,
+                ))
             }
             BinOp::RDiv => {
                 self.unify_at(span, &tya, &Ty::Real)?;
                 self.unify_at(span, &tyb, &Ty::Real)?;
-                Ok((TExp::Prim { prim: Prim::RDiv, args: vec![ta, tb] }, Ty::Real))
+                Ok((
+                    TExp::Prim {
+                        prim: Prim::RDiv,
+                        args: vec![ta, tb],
+                    },
+                    Ty::Real,
+                ))
             }
             BinOp::Eq | BinOp::Neq => {
                 self.unify_at(span, &tya, &tyb)?;
@@ -1198,13 +1268,25 @@ impl Elab {
             BinOp::Concat => {
                 self.unify_at(span, &tya, &Ty::Str)?;
                 self.unify_at(span, &tyb, &Ty::Str)?;
-                Ok((TExp::Prim { prim: Prim::StrConcat, args: vec![ta, tb] }, Ty::Str))
+                Ok((
+                    TExp::Prim {
+                        prim: Prim::StrConcat,
+                        args: vec![ta, tb],
+                    },
+                    Ty::Str,
+                ))
             }
             BinOp::Assign => {
                 let cell = self.cx.fresh();
                 self.unify_at(span, &tya, &Ty::Ref(Box::new(cell.clone())))?;
                 self.unify_at(span, &tyb, &cell)?;
-                Ok((TExp::Prim { prim: Prim::RefSet, args: vec![ta, tb] }, Ty::Unit))
+                Ok((
+                    TExp::Prim {
+                        prim: Prim::RefSet,
+                        args: vec![ta, tb],
+                    },
+                    Ty::Unit,
+                ))
             }
             BinOp::Compose => {
                 // f o g  =  let vf = f; vg = g in fn x => vf (vg x)
@@ -1231,8 +1313,16 @@ impl Elab {
                 };
                 let exp = TExp::Let {
                     decs: vec![
-                        TDec::Val { pat: TPat::Var(vf, tya), rhs: ta, span },
-                        TDec::Val { pat: TPat::Var(vg, tyb), rhs: tb, span },
+                        TDec::Val {
+                            pat: TPat::Var(vf, tya),
+                            rhs: ta,
+                            span,
+                        },
+                        TDec::Val {
+                            pat: TPat::Var(vg, tyb),
+                            rhs: tb,
+                            span,
+                        },
                     ],
                     body: Box::new(lam),
                 };

@@ -58,8 +58,7 @@ pub fn compile_str(src: &str) -> Result<LProgram, TypeError> {
 ///
 /// Returns a [`TypeError`] on ill-typed input.
 pub fn compile_program(prog: &kit_syntax::Program) -> Result<LProgram, TypeError> {
-    let prelude =
-        kit_syntax::parse_program(prelude::PRELUDE).expect("prelude must parse");
+    let prelude = kit_syntax::parse_program(prelude::PRELUDE).expect("prelude must parse");
     infer::elaborate(&prelude, prog)
 }
 

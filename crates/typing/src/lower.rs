@@ -16,9 +16,7 @@ use crate::matchc::{self, MatchCtx, UNKNOWN_TY};
 use crate::texp::{OvOp, TDec, TExp, TFun, TPat};
 use crate::types::{InferCtx, Ty, TypeError};
 use kit_lambda::exp::{FixFun, LExp, Prim, VarId, VarTable};
-use kit_lambda::ty::{
-    ConId, DataEnv, ExnEnv, LTy, TyConId, EXN_BIND, EXN_MATCH,
-};
+use kit_lambda::ty::{ConId, DataEnv, ExnEnv, LTy, TyConId, EXN_BIND, EXN_MATCH};
 use kit_lambda::LProgram;
 use kit_syntax::Span;
 use std::collections::HashMap;
@@ -38,11 +36,21 @@ pub fn lower_program(
     result: TExp,
     result_ty: Ty,
 ) -> Result<LProgram, TypeError> {
-    let mut lw = Lower { cx, data, exns, vars, eq_memo: HashMap::new(), eq_defs: Vec::new() };
+    let mut lw = Lower {
+        cx,
+        data,
+        exns,
+        vars,
+        eq_memo: HashMap::new(),
+        eq_defs: Vec::new(),
+    };
     let core = lw.lower_exp(&result)?;
     let mut body = lw.lower_decs(&tdecs, core)?;
     if !lw.eq_defs.is_empty() {
-        body = LExp::Fix { funs: std::mem::take(&mut lw.eq_defs), body: Box::new(body) };
+        body = LExp::Fix {
+            funs: std::mem::take(&mut lw.eq_defs),
+            body: Box::new(body),
+        };
     }
     let result_ty = lw.cx.to_lty(&result_ty);
     Ok(LProgram {
@@ -97,7 +105,10 @@ impl Lower {
                         _ => {
                             let sv = self.vars.fresh("bind");
                             let default = self.raise_exn(EXN_BIND);
-                            let mut mc = MatchCtx { vars: &mut self.vars, data: &self.data };
+                            let mut mc = MatchCtx {
+                                vars: &mut self.vars,
+                                data: &self.data,
+                            };
                             let tree = matchc::compile(
                                 &mut mc,
                                 &[sv],
@@ -118,7 +129,10 @@ impl Lower {
                     for f in tfuns {
                         funs.push(self.lower_fun(f)?);
                     }
-                    LExp::Fix { funs, body: Box::new(out) }
+                    LExp::Fix {
+                        funs,
+                        body: Box::new(out),
+                    }
                 }
             };
         }
@@ -132,7 +146,10 @@ impl Lower {
             rows.push((pats.clone(), self.lower_exp(body)?));
         }
         let default = self.raise_exn(EXN_MATCH);
-        let mut mc = MatchCtx { vars: &mut self.vars, data: &self.data };
+        let mut mc = MatchCtx {
+            vars: &mut self.vars,
+            data: &self.data,
+        };
         let tree = matchc::compile(&mut mc, &param_vars, rows, &default);
 
         // Curried lowering: the Fix function takes the first parameter and
@@ -167,13 +184,23 @@ impl Lower {
             TExp::Unit => Ok(LExp::Unit),
             TExp::Var(v, _) => Ok(LExp::Var(*v)),
             TExp::Builtin(b, ty) => Ok(self.eta_builtin(*b, ty)),
-            TExp::Con { tycon, con, targs, arg } => {
+            TExp::Con {
+                tycon,
+                con,
+                targs,
+                arg,
+            } => {
                 let targs: Vec<LTy> = targs.iter().map(|t| self.lty(t)).collect();
                 let arg = match arg {
                     Some(a) => Some(Box::new(self.lower_exp(a)?)),
                     None => None,
                 };
-                Ok(LExp::Con { tycon: *tycon, con: *con, targs, arg })
+                Ok(LExp::Con {
+                    tycon: *tycon,
+                    con: *con,
+                    targs,
+                    arg,
+                })
             }
             TExp::ConVal { tycon, con, targs } => {
                 let targs_l: Vec<LTy> = targs.iter().map(|t| self.lty(t)).collect();
@@ -225,7 +252,12 @@ impl Lower {
                 Ok(LExp::Record(es))
             }
             TExp::App(f, a) => self.lower_app(f, a),
-            TExp::Fn { param, pty, rty, body } => Ok(LExp::Fn {
+            TExp::Fn {
+                param,
+                pty,
+                rty,
+                body,
+            } => Ok(LExp::Fn {
                 params: vec![(*param, self.lty(pty))],
                 ret: self.lty(rty),
                 body: Box::new(self.lower_exp(body)?),
@@ -276,7 +308,9 @@ impl Lower {
                     body: Box::new(LExp::App(Box::new(LExp::Var(loopv)), vec![])),
                 })
             }
-            TExp::Case { scrut, rules, span, .. } => {
+            TExp::Case {
+                scrut, rules, span, ..
+            } => {
                 let scrut = self.lower_exp(scrut)?;
                 let rows = rules
                     .iter()
@@ -284,7 +318,10 @@ impl Lower {
                     .collect::<Result<Vec<_>, TypeError>>()?;
                 let sv = self.vars.fresh("scrut");
                 let default = self.raise_exn(EXN_MATCH);
-                let mut mc = MatchCtx { vars: &mut self.vars, data: &self.data };
+                let mut mc = MatchCtx {
+                    vars: &mut self.vars,
+                    data: &self.data,
+                };
                 let tree = matchc::compile(&mut mc, &[sv], rows, &default);
                 let _ = span;
                 Ok(LExp::Let {
@@ -298,7 +335,9 @@ impl Lower {
                 exp: Box::new(self.lower_exp(e)?),
                 ty: self.lty(ty),
             }),
-            TExp::Handle { body, rules, span, .. } => {
+            TExp::Handle {
+                body, rules, span, ..
+            } => {
                 let body = self.lower_exp(body)?;
                 let ev = self.vars.fresh("exn");
                 let rows = rules
@@ -306,20 +345,40 @@ impl Lower {
                     .map(|r| Ok((vec![r.pat.clone()], self.lower_exp(&r.exp)?)))
                     .collect::<Result<Vec<_>, TypeError>>()?;
                 // Unhandled exceptions re-raise.
-                let default = LExp::Raise { exp: Box::new(LExp::Var(ev)), ty: UNKNOWN_TY };
-                let mut mc = MatchCtx { vars: &mut self.vars, data: &self.data };
+                let default = LExp::Raise {
+                    exp: Box::new(LExp::Var(ev)),
+                    ty: UNKNOWN_TY,
+                };
+                let mut mc = MatchCtx {
+                    vars: &mut self.vars,
+                    data: &self.data,
+                };
                 let tree = matchc::compile(&mut mc, &[ev], rows, &default);
                 let _ = span;
-                Ok(LExp::Handle { body: Box::new(body), var: ev, handler: Box::new(tree) })
+                Ok(LExp::Handle {
+                    body: Box::new(body),
+                    var: ev,
+                    handler: Box::new(tree),
+                })
             }
             TExp::Overload { op, args, ty, span } => self.lower_overload(*op, args, ty, *span),
-            TExp::Eq { lhs, rhs, ty, negate, span } => {
+            TExp::Eq {
+                lhs,
+                rhs,
+                ty,
+                negate,
+                span,
+            } => {
                 let l = self.lower_exp(lhs)?;
                 let r = self.lower_exp(rhs)?;
                 let lty = self.lty(ty);
                 let eq = self.eq_exp(&lty, l, r, *span)?;
                 Ok(if *negate {
-                    LExp::If(Box::new(eq), Box::new(LExp::Bool(false)), Box::new(LExp::Bool(true)))
+                    LExp::If(
+                        Box::new(eq),
+                        Box::new(LExp::Bool(false)),
+                        Box::new(LExp::Bool(true)),
+                    )
                 } else {
                     eq
                 })
@@ -356,7 +415,11 @@ impl Lower {
                 let a = self.lower_exp(a)?;
                 let t = self.vars.fresh("args");
                 let args = (0..arity)
-                    .map(|i| LExp::Select { i, arity, tup: Box::new(LExp::Var(t)) })
+                    .map(|i| LExp::Select {
+                        i,
+                        arity,
+                        tup: Box::new(LExp::Var(t)),
+                    })
                     .collect();
                 return Ok(LExp::Let {
                     var: t,
@@ -377,7 +440,10 @@ impl Lower {
             }
             TExp::ExnVal(exn) => {
                 let a = self.lower_exp(a)?;
-                return Ok(LExp::ExCon { exn: *exn, arg: Some(Box::new(a)) });
+                return Ok(LExp::ExCon {
+                    exn: *exn,
+                    arg: Some(Box::new(a)),
+                });
             }
             _ => {}
         }
@@ -399,11 +465,19 @@ impl Lower {
             LExp::Prim(prim, vec![LExp::Var(p)])
         } else {
             let args = (0..arity)
-                .map(|i| LExp::Select { i, arity, tup: Box::new(LExp::Var(p)) })
+                .map(|i| LExp::Select {
+                    i,
+                    arity,
+                    tup: Box::new(LExp::Var(p)),
+                })
                 .collect();
             LExp::Prim(prim, args)
         };
-        LExp::Fn { params: vec![(p, pty)], ret: rty, body: Box::new(body) }
+        LExp::Fn {
+            params: vec![(p, pty)],
+            ret: rty,
+            body: Box::new(body),
+        }
     }
 
     fn lower_overload(
@@ -458,7 +532,11 @@ impl Lower {
         let va = self.vars.fresh("sa");
         let vb = self.vars.fresh("sb");
         let not = |e: LExp| {
-            LExp::If(Box::new(e), Box::new(LExp::Bool(false)), Box::new(LExp::Bool(true)))
+            LExp::If(
+                Box::new(e),
+                Box::new(LExp::Bool(false)),
+                Box::new(LExp::Bool(true)),
+            )
         };
         let body = match op {
             OvOp::Lt => LExp::Prim(Prim::StrLt, vec![LExp::Var(va), LExp::Var(vb)]),
@@ -498,14 +576,26 @@ impl Lower {
                 for (i, t) in ts.iter().enumerate().rev() {
                     let field_eq = self.eq_exp(
                         t,
-                        LExp::Select { i, arity, tup: Box::new(LExp::Var(va)) },
-                        LExp::Select { i, arity, tup: Box::new(LExp::Var(vb)) },
+                        LExp::Select {
+                            i,
+                            arity,
+                            tup: Box::new(LExp::Var(va)),
+                        },
+                        LExp::Select {
+                            i,
+                            arity,
+                            tup: Box::new(LExp::Var(vb)),
+                        },
                         span,
                     )?;
                     cmp = if matches!(cmp, LExp::Bool(true)) {
                         field_eq
                     } else {
-                        LExp::If(Box::new(field_eq), Box::new(cmp), Box::new(LExp::Bool(false)))
+                        LExp::If(
+                            Box::new(field_eq),
+                            Box::new(cmp),
+                            Box::new(LExp::Bool(false)),
+                        )
                     };
                 }
                 Ok(LExp::Let {
@@ -524,10 +614,11 @@ impl Lower {
                 let f = self.eq_fun(*tycon, targs, span)?;
                 Ok(LExp::App(Box::new(LExp::Var(f)), vec![l, r]))
             }
-            LTy::Exn => Err(TypeError::new("equality is not defined on exceptions", span)),
-            LTy::Arrow(_, _) => {
-                Err(TypeError::new("equality is not defined on functions", span))
-            }
+            LTy::Exn => Err(TypeError::new(
+                "equality is not defined on exceptions",
+                span,
+            )),
+            LTy::Arrow(_, _) => Err(TypeError::new("equality is not defined on functions", span)),
             LTy::TyVar(_) => Err(TypeError::new(
                 "polymorphic equality at a non-ground type is not supported; \
                  pass an explicit comparison function",
@@ -561,21 +652,37 @@ impl Lower {
                     scrut: Box::new(LExp::Var(y)),
                     tycon,
                     arms: vec![(cid, LExp::Bool(true))],
-                    default: if single { None } else { Some(Box::new(LExp::Bool(false))) },
+                    default: if single {
+                        None
+                    } else {
+                        Some(Box::new(LExp::Bool(false)))
+                    },
                 },
                 Some(s) => {
                     let arg_ty = s.instantiate(targs);
                     let cmp = self.eq_exp(
                         &arg_ty,
-                        LExp::DeCon { tycon, con: cid, scrut: Box::new(LExp::Var(x)) },
-                        LExp::DeCon { tycon, con: cid, scrut: Box::new(LExp::Var(y)) },
+                        LExp::DeCon {
+                            tycon,
+                            con: cid,
+                            scrut: Box::new(LExp::Var(x)),
+                        },
+                        LExp::DeCon {
+                            tycon,
+                            con: cid,
+                            scrut: Box::new(LExp::Var(y)),
+                        },
                         span,
                     )?;
                     LExp::SwitchCon {
                         scrut: Box::new(LExp::Var(y)),
                         tycon,
                         arms: vec![(cid, cmp)],
-                        default: if single { None } else { Some(Box::new(LExp::Bool(false))) },
+                        default: if single {
+                            None
+                        } else {
+                            Some(Box::new(LExp::Bool(false)))
+                        },
                     }
                 }
             };

@@ -63,7 +63,12 @@ pub fn compile(
             body: i,
         });
     }
-    let mut st = Solver { mc, bodies, used: vec![false; mrows.len()], default };
+    let mut st = Solver {
+        mc,
+        bodies,
+        used: vec![false; mrows.len()],
+        default,
+    };
     st.solve(mrows)
 }
 
@@ -146,12 +151,20 @@ impl Solver<'_, '_> {
             row.cols = new_cols;
         }
         let inner = self.solve(rows);
-        comps.into_iter().enumerate().rev().fold(inner, |acc, (i, c)| LExp::Let {
-            var: c,
-            ty: UNKNOWN_TY,
-            rhs: Box::new(LExp::Select { i, arity, tup: Box::new(LExp::Var(occ)) }),
-            body: Box::new(acc),
-        })
+        comps
+            .into_iter()
+            .enumerate()
+            .rev()
+            .fold(inner, |acc, (i, c)| LExp::Let {
+                var: c,
+                ty: UNKNOWN_TY,
+                rhs: Box::new(LExp::Select {
+                    i,
+                    arity,
+                    tup: Box::new(LExp::Var(occ)),
+                }),
+                body: Box::new(acc),
+            })
     }
 
     /// Rows relevant when `occ` is known to match constructor-like key `k`.
@@ -249,7 +262,11 @@ impl Solver<'_, '_> {
             })
             .collect();
         let def = self.solve(Self::default_rows(&rows, occ));
-        LExp::SwitchInt { scrut: Box::new(LExp::Var(occ)), arms, default: Box::new(def) }
+        LExp::SwitchInt {
+            scrut: Box::new(LExp::Var(occ)),
+            arms,
+            default: Box::new(def),
+        }
     }
 
     fn branch_str(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
@@ -266,7 +283,11 @@ impl Solver<'_, '_> {
             })
             .collect();
         let def = self.solve(Self::default_rows(&rows, occ));
-        LExp::SwitchStr { scrut: Box::new(LExp::Var(occ)), arms, default: Box::new(def) }
+        LExp::SwitchStr {
+            scrut: Box::new(LExp::Var(occ)),
+            arms,
+            default: Box::new(def),
+        }
     }
 
     fn branch_bool(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
@@ -321,7 +342,12 @@ impl Solver<'_, '_> {
         } else {
             Some(Box::new(self.solve(Self::default_rows(&rows, occ))))
         };
-        LExp::SwitchCon { scrut: Box::new(LExp::Var(occ)), tycon, arms, default }
+        LExp::SwitchCon {
+            scrut: Box::new(LExp::Var(occ)),
+            tycon,
+            arms,
+            default,
+        }
     }
 
     fn branch_exn(&mut self, occ: VarId, rows: Vec<Row>) -> LExp {
@@ -350,7 +376,10 @@ impl Solver<'_, '_> {
                 LExp::Let {
                     var: argv,
                     ty: UNKNOWN_TY,
-                    rhs: Box::new(LExp::DeExn { exn: *k, scrut: Box::new(LExp::Var(occ)) }),
+                    rhs: Box::new(LExp::DeExn {
+                        exn: *k,
+                        scrut: Box::new(LExp::Var(occ)),
+                    }),
                     body: Box::new(inner),
                 }
             } else {
@@ -360,7 +389,11 @@ impl Solver<'_, '_> {
         }
         // Exceptions are an open type: always emit a default.
         let default = Box::new(self.solve(Self::default_rows(&rows, occ)));
-        LExp::SwitchExn { scrut: Box::new(LExp::Var(occ)), arms, default }
+        LExp::SwitchExn {
+            scrut: Box::new(LExp::Var(occ)),
+            arms,
+            default,
+        }
     }
 }
 
@@ -373,7 +406,12 @@ mod tests {
 
     fn list_pat(ps: Vec<TPat>) -> TPat {
         // [p1, p2, ...] as nested cons patterns
-        let mut out = TPat::Con { tycon: LIST, con: NIL, targs: vec![Ty::Int], arg: None };
+        let mut out = TPat::Con {
+            tycon: LIST,
+            con: NIL,
+            targs: vec![Ty::Int],
+            arg: None,
+        };
         for p in ps.into_iter().rev() {
             out = TPat::Con {
                 tycon: LIST,
@@ -386,7 +424,12 @@ mod tests {
     }
 
     fn int_list(vals: &[i64]) -> LExp {
-        let mut out = LExp::Con { tycon: LIST, con: NIL, targs: vec![], arg: None };
+        let mut out = LExp::Con {
+            tycon: LIST,
+            con: NIL,
+            targs: vec![],
+            arg: None,
+        };
         for v in vals.iter().rev() {
             out = LExp::Con {
                 tycon: LIST,
@@ -427,7 +470,10 @@ mod tests {
                 LExp::Var(x),
             ),
         ];
-        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let mut mc = MatchCtx {
+            vars: &mut vars,
+            data: &data,
+        };
         let tree = compile(&mut mc, &[xs], rows, &LExp::Int(-1));
         // Exhaustive: no default in the switch.
         let LExp::SwitchCon { default: None, .. } = &tree else {
@@ -453,7 +499,10 @@ mod tests {
             (vec![TPat::Int(1)], LExp::Int(11)),
             (vec![TPat::Wild], LExp::Int(99)),
         ];
-        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let mut mc = MatchCtx {
+            vars: &mut vars,
+            data: &data,
+        };
         let tree = compile(&mut mc, &[n], rows, &LExp::Int(-1));
         for (v, expect) in [(0, 10), (1, 11), (7, 99)] {
             let prog = LExp::Let {
@@ -482,10 +531,16 @@ mod tests {
             (vec![TPat::Var(x1, Ty::Int), TPat::Int(0)], LExp::Var(x1)),
             (
                 vec![TPat::Var(x2, Ty::Int), TPat::Var(y2, Ty::Int)],
-                LExp::Prim(kit_lambda::exp::Prim::IAdd, vec![LExp::Var(x2), LExp::Var(y2)]),
+                LExp::Prim(
+                    kit_lambda::exp::Prim::IAdd,
+                    vec![LExp::Var(x2), LExp::Var(y2)],
+                ),
             ),
         ];
-        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let mut mc = MatchCtx {
+            vars: &mut vars,
+            data: &data,
+        };
         let tree = compile(&mut mc, &[a, b], rows, &LExp::Int(-1));
         let mk = |av: i64, bv: i64, t: &LExp| LExp::Let {
             var: a,
@@ -509,7 +564,10 @@ mod tests {
         let data = DataEnv::new();
         let n = vars.fresh("n");
         let rows = vec![(vec![TPat::Int(1)], LExp::Int(1))];
-        let mut mc = MatchCtx { vars: &mut vars, data: &data };
+        let mut mc = MatchCtx {
+            vars: &mut vars,
+            data: &data,
+        };
         let tree = compile(&mut mc, &[n], rows, &LExp::Int(-7));
         let prog = LExp::Let {
             var: n,

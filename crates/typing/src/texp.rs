@@ -84,9 +84,7 @@ impl TPat {
         match self {
             TPat::Var(v, t) => out.push((*v, t.clone())),
             TPat::Tuple(ps) => ps.iter().for_each(|p| p.collect_vars(out)),
-            TPat::Con { arg: Some(p), .. } | TPat::Exn { arg: Some(p), .. } => {
-                p.collect_vars(out)
-            }
+            TPat::Con { arg: Some(p), .. } | TPat::Exn { arg: Some(p), .. } => p.collect_vars(out),
             _ => {}
         }
     }

@@ -16,7 +16,10 @@ pub struct TypeError {
 impl TypeError {
     /// Creates a new error at `span`.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        TypeError { message: message.into(), span }
+        TypeError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The error description.
@@ -119,7 +122,10 @@ pub struct Scheme {
 impl Scheme {
     /// A monomorphic scheme.
     pub fn mono(ty: Ty) -> Self {
-        Scheme { kinds: Vec::new(), ty }
+        Scheme {
+            kinds: Vec::new(),
+            ty,
+        }
     }
 }
 
@@ -153,7 +159,11 @@ impl InferCtx {
     /// A fresh unification variable with an overloading kind.
     pub fn fresh_kinded(&mut self, kind: TvKind) -> Ty {
         let id = TvId(self.tvs.len() as u32);
-        self.tvs.push(TvState { link: None, kind, level: self.level });
+        self.tvs.push(TvState {
+            link: None,
+            kind,
+            level: self.level,
+        });
         Ty::Var(id)
     }
 
@@ -180,9 +190,7 @@ impl InferCtx {
         match t {
             Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| self.resolve_deep(t)).collect()),
             Ty::Arrow(a, b) => Ty::arrow(self.resolve_deep(&a), self.resolve_deep(&b)),
-            Ty::Con(c, ts) => {
-                Ty::Con(c, ts.iter().map(|t| self.resolve_deep(t)).collect())
-            }
+            Ty::Con(c, ts) => Ty::Con(c, ts.iter().map(|t| self.resolve_deep(t)).collect()),
             Ty::Ref(t) => Ty::Ref(Box::new(self.resolve_deep(&t))),
             Ty::Array(t) => Ty::Array(Box::new(self.resolve_deep(&t))),
             other => other,
@@ -313,16 +321,11 @@ impl InferCtx {
                     Ty::Var(v)
                 }
             }
-            Ty::Tuple(ts) => {
-                Ty::Tuple(ts.iter().map(|t| self.gen_walk(t, map, kinds)).collect())
+            Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| self.gen_walk(t, map, kinds)).collect()),
+            Ty::Arrow(a, b) => {
+                Ty::arrow(self.gen_walk(&a, map, kinds), self.gen_walk(&b, map, kinds))
             }
-            Ty::Arrow(a, b) => Ty::arrow(
-                self.gen_walk(&a, map, kinds),
-                self.gen_walk(&b, map, kinds),
-            ),
-            Ty::Con(c, ts) => {
-                Ty::Con(c, ts.iter().map(|t| self.gen_walk(t, map, kinds)).collect())
-            }
+            Ty::Con(c, ts) => Ty::Con(c, ts.iter().map(|t| self.gen_walk(t, map, kinds)).collect()),
             Ty::Ref(t) => Ty::Ref(Box::new(self.gen_walk(&t, map, kinds))),
             Ty::Array(t) => Ty::Array(Box::new(self.gen_walk(&t, map, kinds))),
             other => other,
@@ -404,13 +407,7 @@ impl InferCtx {
 pub fn subst_qvars(ty: &Ty, args: &[Ty]) -> Ty {
     match ty {
         Ty::QVar(q) => args[*q as usize].clone(),
-        Ty::Var(_)
-        | Ty::Int
-        | Ty::Real
-        | Ty::Str
-        | Ty::Bool
-        | Ty::Unit
-        | Ty::Exn => ty.clone(),
+        Ty::Var(_) | Ty::Int | Ty::Real | Ty::Str | Ty::Bool | Ty::Unit | Ty::Exn => ty.clone(),
         Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| subst_qvars(t, args)).collect()),
         Ty::Arrow(a, b) => Ty::arrow(subst_qvars(a, args), subst_qvars(b, args)),
         Ty::Con(c, ts) => Ty::Con(*c, ts.iter().map(|t| subst_qvars(t, args)).collect()),

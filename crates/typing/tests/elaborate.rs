@@ -176,7 +176,10 @@ fn overloading_defaults_and_reals() {
 fn equality_specialization() {
     assert_eq!(run_int("val it = if [1,2,3] = [1,2,3] then 1 else 0"), 1);
     assert_eq!(run_int("val it = if [1,2,3] = [1,2,4] then 0 else 1"), 1);
-    assert_eq!(run_int("val it = if (1, true) = (1, true) then 1 else 0"), 1);
+    assert_eq!(
+        run_int("val it = if (1, true) = (1, true) then 1 else 0"),
+        1
+    );
     assert_eq!(run_int("val it = if \"x\" = \"x\" then 1 else 0"), 1);
     assert_eq!(run_int("val it = if (1,2) <> (1,3) then 1 else 0"), 1);
     assert_eq!(

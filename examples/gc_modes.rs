@@ -32,7 +32,10 @@ fn main() -> Result<(), kit::Error> {
         "mode", "result", "instrs", "#GC", "words", "peak(B)"
     );
     for mode in Mode::ALL_WITH_BASELINE {
-        let cfg = RtConfig { initial_pages: 32, ..RtConfig::rgt() };
+        let cfg = RtConfig {
+            initial_pages: 32,
+            ..RtConfig::rgt()
+        };
         let out = Compiler::new(mode).with_config(cfg).run_source(PROGRAM)?;
         println!(
             "{:<9} {:>10} {:>12} {:>7} {:>12} {:>10}",

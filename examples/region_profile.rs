@@ -13,13 +13,19 @@ use kit_runtime::RtConfig;
 fn main() -> Result<(), kit::Error> {
     let bench = by_name("kitkb").expect("kitkb benchmark");
     let src = bench.source_scaled(30);
-    let cfg = RtConfig { initial_pages: 16, ..RtConfig::rgt() };
+    let cfg = RtConfig {
+        initial_pages: 16,
+        ..RtConfig::rgt()
+    };
     let out = Compiler::new(Mode::Rgt)
         .with_config(cfg)
         .with_profiling()
         .run_source(&src)?;
 
-    println!("kitkb finished: result {}, {} collections", out.result, out.stats.gc_count);
+    println!(
+        "kitkb finished: result {}, {} collections",
+        out.result, out.stats.gc_count
+    );
     // Rank regions by peak footprint, like the ML Kit profiler's legend.
     let mut peaks: std::collections::BTreeMap<u32, u64> = Default::default();
     for s in &out.profile {

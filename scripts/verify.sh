@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (offline; no network access needed):
+# formatting, lints as errors, release build, and the full test suite.
+# Run from the repo root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

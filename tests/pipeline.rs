@@ -27,10 +27,19 @@ fn regions_alone_never_collect() {
 fn region_friendly_programs_reclaim_by_regions() {
     let b = by_name("msort").unwrap();
     let src = b.source_scaled(1500);
-    let cfg = RtConfig { initial_pages: 32, ..RtConfig::rgt() };
-    let out = Compiler::new(Mode::Rgt).with_config(cfg).run_source(&src).unwrap();
+    let cfg = RtConfig {
+        initial_pages: 32,
+        ..RtConfig::rgt()
+    };
+    let out = Compiler::new(Mode::Rgt)
+        .with_config(cfg)
+        .run_source(&src)
+        .unwrap();
     if let Some(ri) = out.stats.ri_fraction() {
-        assert!(ri > 0.5, "msort should be mostly region-reclaimed, got {ri:.2}");
+        assert!(
+            ri > 0.5,
+            "msort should be mostly region-reclaimed, got {ri:.2}"
+        );
     }
 }
 
@@ -40,11 +49,24 @@ fn region_friendly_programs_reclaim_by_regions() {
 fn region_hostile_programs_lean_on_gc() {
     let b = by_name("tyan").unwrap();
     let src = b.source_scaled(6);
-    let cfg = RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() };
-    let out = Compiler::new(Mode::Rgt).with_config(cfg).run_source(&src).unwrap();
-    assert!(out.stats.gc_count >= 2, "tyan should collect under a small heap");
+    let cfg = RtConfig {
+        initial_pages: 8,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
+    let out = Compiler::new(Mode::Rgt)
+        .with_config(cfg)
+        .run_source(&src)
+        .unwrap();
+    assert!(
+        out.stats.gc_count >= 2,
+        "tyan should collect under a small heap"
+    );
     let ri = out.stats.ri_fraction().expect("accounting");
-    assert!(ri < 0.8, "tyan should not be mostly region-reclaimed, got {ri:.2}");
+    assert!(
+        ri < 0.8,
+        "tyan should not be mostly region-reclaimed, got {ri:.2}"
+    );
 }
 
 /// The `gt` mode really degenerates to one global region: no region pops
@@ -66,10 +88,20 @@ fn gt_mode_is_degenerate_region_stack() {
 fn rgt_combines_both_mechanisms() {
     let b = by_name("kitlife").unwrap();
     let src = b.source_scaled(8);
-    let cfg = RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() };
-    let out = Compiler::new(Mode::Rgt).with_config(cfg).run_source(&src).unwrap();
+    let cfg = RtConfig {
+        initial_pages: 8,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
+    let out = Compiler::new(Mode::Rgt)
+        .with_config(cfg)
+        .run_source(&src)
+        .unwrap();
     assert!(out.stats.regions_popped > 1, "regions must be popped");
-    assert!(out.stats.gc_count > 0, "the collector must run under pressure");
+    assert!(
+        out.stats.gc_count > 0,
+        "the collector must run under pressure"
+    );
 }
 
 /// Heap-to-live ratio sweep (§4.4's time/memory knob): a larger ratio
@@ -86,7 +118,10 @@ fn heap_to_live_ratio_controls_collections() {
             page_words_log2: 6,
             ..RtConfig::rgt()
         };
-        let out = Compiler::new(Mode::Rgt).with_config(cfg).run_source(&src).unwrap();
+        let out = Compiler::new(Mode::Rgt)
+            .with_config(cfg)
+            .run_source(&src)
+            .unwrap();
         counts.push(out.stats.gc_count);
     }
     assert!(
@@ -102,8 +137,15 @@ fn page_size_sweep_is_sound() {
     let src = b.source_scaled(200);
     let mut results = Vec::new();
     for log2 in [5u32, 7, 9, 11] {
-        let cfg = RtConfig { page_words_log2: log2, initial_pages: 8, ..RtConfig::rgt() };
-        let out = Compiler::new(Mode::Rgt).with_config(cfg).run_source(&src).unwrap();
+        let cfg = RtConfig {
+            page_words_log2: log2,
+            initial_pages: 8,
+            ..RtConfig::rgt()
+        };
+        let out = Compiler::new(Mode::Rgt)
+            .with_config(cfg)
+            .run_source(&src)
+            .unwrap();
         results.push(out.result);
     }
     assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
@@ -115,7 +157,11 @@ fn page_size_sweep_is_sound() {
 fn profiler_samples_regions() {
     let b = by_name("kitkb").unwrap();
     let src = b.source_scaled(10);
-    let cfg = RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() };
+    let cfg = RtConfig {
+        initial_pages: 8,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
     let out = Compiler::new(Mode::Rgt)
         .with_config(cfg)
         .with_profiling()

@@ -1,4 +1,7 @@
-//! Property-based tests.
+//! Randomized property tests, driven by the in-tree SplitMix64 generator
+//! (the build is offline, so `proptest` is unavailable; the properties and
+//! case counts mirror the original proptest suite, and the fixed seeds
+//! make every run bit-identical).
 //!
 //! 1. *Differential execution*: randomly generated well-typed MiniML
 //!    programs evaluate identically in every execution mode (including
@@ -9,63 +12,69 @@
 
 use kit::oracle::run_oracle;
 use kit::{Compiler, Mode};
+use kit_bench::programs::SplitMix64;
 use kit_runtime::gc;
 use kit_runtime::value::{is_ptr, Tag};
 use kit_runtime::{RegionId, Rt, RtConfig};
-use proptest::prelude::*;
 
 // ------------------------------------------------------- program generator
 
-/// A generated expression of type int, using variables `x0..x{depth}`.
-fn int_expr(vars: usize, depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        let mut leaves = vec![(-20i64..100).prop_map(|n| {
-            if n < 0 { format!("~{}", -n) } else { n.to_string() }
-        })
-        .boxed()];
-        if vars > 0 {
-            leaves.push((0..vars).prop_map(|i| format!("x{i}")).boxed());
+/// A random leaf of type int, drawn from constants and `x0..x{vars}`.
+fn leaf(rng: &mut SplitMix64, vars: usize) -> String {
+    if vars > 0 && rng.below(3) == 0 {
+        format!("x{}", rng.below(vars as u64))
+    } else {
+        let n = rng.range_i64(-20, 100);
+        if n < 0 {
+            format!("~{}", -n)
+        } else {
+            n.to_string()
         }
-        return proptest::strategy::Union::new(leaves).boxed();
     }
-    let sub = int_expr(vars, depth - 1);
-    let sub2 = int_expr(vars, depth - 1);
-    let sub3 = int_expr(vars, depth - 1);
-    prop_oneof![
-        4 => int_expr(vars, 0),
-        3 => (sub.clone(), sub2.clone(), "[-+*]")
-            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-        2 => (sub.clone(), sub2.clone(), sub3.clone())
-            .prop_map(|(c, t, f)| format!("(if {c} < {t} then {t} else {f})")),
-        1 => (sub.clone(), sub2.clone())
-            .prop_map(|(a, b)| format!("(fst ({a}, {b}) + snd ({b}, {a}))")),
-        1 => (sub.clone(), sub2.clone())
-            .prop_map(|(a, b)| format!("(length [{a}, {b}] + hd [{a}])")),
-        1 => (sub.clone(), sub2.clone())
-            .prop_map(|(a, b)| {
-                format!("(let val y = {a} in y + {b} end)")
-            }),
-        1 => (sub, sub2)
-            .prop_map(|(a, b)| format!("((fn q => q + {b}) {a})")),
-        1 => int_expr(vars, 0).prop_map(|a| {
-            format!("(foldl op+ 0 (map (fn z => z + 1) [{a}, 2, 3]))")
-        }),
-    ]
-    .boxed()
+}
+
+/// A random expression of type int, using variables `x0..x{vars}`. The
+/// production weights match the original proptest strategy.
+fn int_expr(rng: &mut SplitMix64, vars: usize, depth: u32) -> String {
+    if depth == 0 {
+        return leaf(rng, vars);
+    }
+    let a = int_expr(rng, vars, depth - 1);
+    let b = int_expr(rng, vars, depth - 1);
+    match rng.below(14) {
+        0..=3 => leaf(rng, vars),
+        4..=6 => {
+            let op = ["-", "+", "*"][rng.below(3) as usize];
+            format!("({a} {op} {b})")
+        }
+        7..=8 => {
+            let c = int_expr(rng, vars, depth - 1);
+            format!("(if {c} < {a} then {a} else {b})")
+        }
+        9 => format!("(fst ({a}, {b}) + snd ({b}, {a}))"),
+        10 => format!("(length [{a}, {b}] + hd [{a}])"),
+        11 => format!("(let val y = {a} in y + {b} end)"),
+        12 => format!("((fn q => q + {b}) {a})"),
+        _ => {
+            let l = leaf(rng, vars);
+            format!("(foldl op+ 0 (map (fn z => z + 1) [{l}, 2, 3]))")
+        }
+    }
 }
 
 /// A small program: a couple of `val` bindings and an int result.
-fn program() -> impl Strategy<Value = String> {
-    (int_expr(0, 2), int_expr(1, 2), int_expr(2, 3)).prop_map(|(a, b, c)| {
-        format!("val x0 = {a}\nval x1 = {b}\nval it = {c}\n")
-    })
+fn program(rng: &mut SplitMix64) -> String {
+    let a = int_expr(rng, 0, 2);
+    let b = int_expr(rng, 1, 2);
+    let c = int_expr(rng, 2, 3);
+    format!("val x0 = {a}\nval x1 = {b}\nval it = {c}\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_programs_agree_across_modes(src in program()) {
+#[test]
+fn random_programs_agree_across_modes() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for case in 0..64 {
+        let src = program(&mut rng);
         let oracle = match run_oracle(&src, Some(10_000_000)) {
             Ok(o) => o,
             // Overflow/Div are legitimate outcomes; modes must agree on them.
@@ -73,33 +82,43 @@ proptest! {
                 for mode in Mode::ALL_WITH_BASELINE {
                     let r = Compiler::new(mode).with_fuel(10_000_000).run_source(&src);
                     match r {
-                        Err(kit::Error::Run(e2)) => prop_assert_eq!(&e2, &e),
+                        Err(kit::Error::Run(e2)) => {
+                            assert_eq!(e2, e, "case {case} mode {mode} on\n{src}")
+                        }
                         other => {
-                            return Err(TestCaseError::fail(format!(
-                                "{mode}: expected {e}, got {other:?} for\n{src}"
-                            )));
+                            panic!("case {case} {mode}: expected {e}, got {other:?} for\n{src}")
                         }
                     }
                 }
-                return Ok(());
+                continue;
             }
-            Err(e) => return Err(TestCaseError::fail(format!("oracle: {e}\n{src}"))),
+            Err(e) => panic!("case {case} oracle: {e}\n{src}"),
         };
         for mode in Mode::ALL_WITH_BASELINE {
             let out = Compiler::new(mode)
                 .with_fuel(10_000_000)
                 .run_source(&src)
-                .map_err(|e| TestCaseError::fail(format!("{mode}: {e}\n{src}")))?;
-            prop_assert_eq!(&out.result, &oracle.result, "mode {} on\n{}", mode, src);
+                .unwrap_or_else(|e| panic!("case {case} {mode}: {e}\n{src}"));
+            assert_eq!(
+                out.result, oracle.result,
+                "case {case} mode {mode} on\n{src}"
+            );
         }
         // Heap pressure on the combined mode.
-        let cfg = RtConfig { initial_pages: 4, page_words_log2: 6, ..RtConfig::rgt() };
+        let cfg = RtConfig {
+            initial_pages: 4,
+            page_words_log2: 6,
+            ..RtConfig::rgt()
+        };
         let out = Compiler::new(Mode::Rgt)
             .with_config(cfg)
             .with_fuel(10_000_000)
             .run_source(&src)
-            .map_err(|e| TestCaseError::fail(format!("rgt pressure: {e}\n{src}")))?;
-        prop_assert_eq!(&out.result, &oracle.result, "rgt pressure on\n{}", src);
+            .unwrap_or_else(|e| panic!("case {case} rgt pressure: {e}\n{src}"));
+        assert_eq!(
+            out.result, oracle.result,
+            "case {case} rgt pressure on\n{src}"
+        );
     }
 }
 
@@ -113,26 +132,30 @@ enum Op {
     Collect,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            2 => Just(Op::Push),
-            2 => Just(Op::Pop),
-            4 => (1u16..60).prop_map(Op::AllocList),
-            1 => Just(Op::Collect),
-        ],
-        1..60,
-    )
+fn script(rng: &mut SplitMix64) -> Vec<Op> {
+    let len = 1 + rng.below(59) as usize;
+    (0..len)
+        .map(|_| match rng.below(9) {
+            0..=1 => Op::Push,
+            2..=3 => Op::Pop,
+            4..=7 => Op::AllocList(1 + rng.below(59) as u16),
+            _ => Op::Collect,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// Random region scripts: pages are conserved, live data survives
-    /// collections intact, and popped regions return their pages.
-    #[test]
-    fn region_scripts_conserve_pages(script in ops()) {
-        let mut rt = Rt::new(RtConfig { initial_pages: 8, page_words_log2: 6, ..RtConfig::rgt() });
+/// Random region scripts: pages are conserved, live data survives
+/// collections intact, and popped regions return their pages.
+#[test]
+fn region_scripts_conserve_pages() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for case in 0..128 {
+        let ops = script(&mut rng);
+        let mut rt = Rt::new(RtConfig {
+            initial_pages: 8,
+            page_words_log2: 6,
+            ..RtConfig::rgt()
+        });
         let base = rt.letregion(0);
         // One tracked list in the base region; its checksum must survive.
         let mut expected = 0i64;
@@ -140,10 +163,10 @@ proptest! {
         rt.stack.push(list);
         let root = rt.stack.len() - 1;
         let mut depth = 1;
-        for op in script {
+        for op in &ops {
             match op {
                 Op::Push => {
-                    rt.letregion(depth as u32);
+                    rt.letregion(depth);
                     depth += 1;
                 }
                 Op::Pop => {
@@ -155,12 +178,12 @@ proptest! {
                 Op::AllocList(n) => {
                     // Garbage in the newest region, live cells in base.
                     let newest = RegionId(depth - 1);
-                    for i in 0..n {
+                    for i in 0..*n {
                         let _ = rt.alloc_record(newest, &[rt.tag_int(i as i64)]);
                     }
                     list = rt.stack[root];
-                    let head = rt.tag_int(n as i64);
-                    expected += n as i64;
+                    let head = rt.tag_int(*n as i64);
+                    expected += *n as i64;
                     list = rt.alloc_boxed(base, Tag::con(1, 2), &[head, list]);
                     rt.stack[root] = list;
                 }
@@ -168,10 +191,12 @@ proptest! {
                     gc::collect(&mut rt, &[root], &mut []);
                 }
             }
-            rt.check_page_conservation().map_err(TestCaseError::fail)?;
+            rt.check_page_conservation()
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{ops:?}"));
         }
         gc::collect(&mut rt, &[root], &mut []);
-        rt.check_page_conservation().map_err(TestCaseError::fail)?;
+        rt.check_page_conservation()
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{ops:?}"));
         // Walk the list and check the checksum.
         let mut v = rt.stack[root];
         let mut sum = 0i64;
@@ -179,32 +204,46 @@ proptest! {
             sum += rt.untag_int(rt.field(v, 0));
             v = rt.field(v, 1);
         }
-        prop_assert_eq!(sum, expected);
+        assert_eq!(sum, expected, "case {case}: {ops:?}");
         rt.pop_regions_to(0);
-        prop_assert_eq!(rt.heap.free_pages(), rt.heap.total_pages());
+        assert_eq!(rt.heap.free_pages(), rt.heap.total_pages(), "case {case}");
     }
+}
 
-    /// Tag words round-trip through encode/decode for arbitrary field
-    /// values.
-    #[test]
-    fn tags_round_trip(size in 0u32..0xFF_FFFF, info in 0u32..0xFF_FFFF, mark in any::<bool>()) {
+/// Tag words round-trip through encode/decode for arbitrary field values.
+#[test]
+fn tags_round_trip() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for _ in 0..256 {
+        let size = rng.below(0xFF_FFFF) as u32;
+        let info = rng.below(0xFF_FFFF) as u32;
+        let mark = rng.bool();
         for kind in [
             kit_runtime::value::Kind::Record,
             kit_runtime::value::Kind::Con,
             kit_runtime::value::Kind::Ref,
             kit_runtime::value::Kind::Exn,
         ] {
-            let t = Tag { kind, size, info, mark };
-            prop_assert_eq!(Tag::decode(t.encode()), t);
-            prop_assert_eq!(t.encode() & 1, 1);
+            let t = Tag {
+                kind,
+                size,
+                info,
+                mark,
+            };
+            assert_eq!(Tag::decode(t.encode()), t);
+            assert_eq!(t.encode() & 1, 1);
         }
     }
+}
 
-    /// Scalars round-trip for the full 63-bit int range.
-    #[test]
-    fn scalars_round_trip(n in (-(1i64 << 62))..((1i64 << 62) - 1)) {
-        use kit_runtime::value::{scalar, scalar_val};
-        prop_assert_eq!(scalar_val(scalar(n)), n);
-        prop_assert!(!is_ptr(scalar(n)));
+/// Scalars round-trip for the full 63-bit int range.
+#[test]
+fn scalars_round_trip() {
+    use kit_runtime::value::{scalar, scalar_val};
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for _ in 0..256 {
+        let n = rng.range_i64(-(1i64 << 62), (1i64 << 62) - 1);
+        assert_eq!(scalar_val(scalar(n)), n);
+        assert!(!is_ptr(scalar(n)));
     }
 }
