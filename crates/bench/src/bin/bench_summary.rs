@@ -1,28 +1,77 @@
 //! Perf-trajectory snapshot: runs every benchmark of the paper's Fig. 3 in
 //! all five execution modes and writes a machine-readable JSON summary
-//! (default `BENCH_PR1.json`).
+//! (default `BENCH_PR2.json`).
+//!
+//! By default each (program, mode) cell is measured under three interpreter
+//! configurations, interleaved sample-by-sample so host throughput drift
+//! cancels out of the A/B comparison:
+//!
+//! * `match_hand`    — PR 1 baseline: match-dispatch loop, hand fusion set
+//! * `threaded_hand` — direct-threaded dispatch, same hand fusion set
+//! * `threaded_full` — direct-threaded dispatch, full generated fusion table
 //!
 //! The deterministic counters (instructions, words allocated, #GC, bytes
-//! copied) are bit-identical across runs and machines; `instructions_per_sec`
-//! is the wall-clock throughput of the abstract machine (best of
-//! `--samples N` runs, default 3) and is the number PRs optimizing the
-//! interpreter hot path are judged by.
+//! copied) are bit-identical across runs, machines *and configurations* —
+//! the driver asserts this, which is the dispatch-equivalence acceptance
+//! criterion. `instructions_per_sec` is the wall-clock throughput of the
+//! abstract machine (best of `--samples N` runs, default 3) and is the
+//! number PRs optimizing the interpreter hot path are judged by.
 //!
 //! Usage: `cargo run -p kit-bench --release --bin bench-summary --
-//!         [--full] [--samples N] [--out PATH]
-//!         [--only prog,prog,...] [--modes r,rt,...]`
+//!         [--full] [--samples N] [--out PATH] [--jobs N]
+//!         [--only prog,prog,...] [--modes r,rt,...]
+//!         [--dispatch match|threaded] [--fusion off|hand|full]
+//!         [--profile-fusion]`
 //!
-//! `--only`/`--modes` restrict the sweep — useful for interleaved A/B
-//! timing of two builds, where each round must be short compared to the
-//! host's throughput drift.
+//! `--only`/`--modes` restrict the sweep; `--dispatch`/`--fusion` replace
+//! the three-way comparison with a single pinned configuration. `--jobs N`
+//! shards (program, mode) cells across N worker threads — the interleaved
+//! A/B stays intact because a cell never splits across shards.
+//!
+//! `--profile-fusion` runs the suite in the VM's fusion counting mode
+//! instead (fusion off, match dispatch, so base opcodes are visible),
+//! aggregates dynamic pair/triple frequencies of fallthrough-adjacent
+//! instructions, and prints the hot sequences plus a regenerated
+//! `FUSION_CANDIDATES` table for `crates/kam/src/fusion_table.rs`.
 
-use kit::{Compiler, Mode};
-use kit_bench::programs::all;
+use kit::{Compiler, DispatchMode, Fusion, FusionProfile, KamOp as Op, Mode};
+use kit_bench::programs::{all, Benchmark};
+use kit_kam::fusion_table::{Opk, FUSION_CANDIDATES};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One interpreter configuration under measurement.
+#[derive(Clone, Copy)]
+struct Config {
+    name: &'static str,
+    dispatch: DispatchMode,
+    fusion: Fusion,
+}
+
+const COMPARE: [Config; 3] = [
+    Config {
+        name: "match_hand",
+        dispatch: DispatchMode::Match,
+        fusion: Fusion::Hand,
+    },
+    Config {
+        name: "threaded_hand",
+        dispatch: DispatchMode::Threaded,
+        fusion: Fusion::Hand,
+    },
+    Config {
+        name: "threaded_full",
+        dispatch: DispatchMode::Threaded,
+        fusion: Fusion::Full,
+    },
+];
 
 struct Row {
     program: String,
     mode: &'static str,
+    config: &'static str,
     scale: i64,
     instructions: u64,
     instructions_per_sec: f64,
@@ -33,100 +82,119 @@ struct Row {
     peak_bytes: u64,
 }
 
+/// One (program, mode) work item: all configs run interleaved inside it.
+struct Cell {
+    bench: Benchmark,
+    mode: Mode,
+    scale: i64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
-    let samples = args
-        .iter()
-        .position(|a| a == "--samples")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(3)
-        .max(1);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
-    let csv_arg = |flag: &str| -> Option<Vec<String>> {
+    let flag_val = |flag: &str| -> Option<&String> {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
-            .map(|s| s.split(',').map(str::to_string).collect())
+    };
+    let samples = flag_val("--samples")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let jobs = flag_val("--jobs")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let out_path = flag_val("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let csv_arg = |flag: &str| -> Option<Vec<String>> {
+        flag_val(flag).map(|s| s.split(',').map(str::to_string).collect())
     };
     let only = csv_arg("--only");
     let modes = csv_arg("--modes");
 
-    let mut rows = Vec::new();
-    for b in all() {
-        if only
-            .as_ref()
-            .is_some_and(|o| !o.iter().any(|n| n == b.name))
-        {
-            continue;
-        }
-        let scale = if full { b.default_scale } else { b.test_scale };
-        let src = b.source_scaled(scale);
-        for mode in Mode::ALL_WITH_BASELINE {
-            if modes
-                .as_ref()
-                .is_some_and(|m| !m.iter().any(|s| s == mode.suffix()))
-            {
-                continue;
-            }
-            let compiler = Compiler::new(mode);
-            let prog = compiler
-                .compile_source(&src)
-                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
-            // Best-of-N wall clock; counters are identical across samples.
-            let mut best = None;
-            for _ in 0..samples {
-                let out = compiler
-                    .run_program(&prog)
-                    .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b: &kit::Outcome| out.wall < b.wall);
-                if better {
-                    best = Some(out);
-                }
-            }
-            let out = best.unwrap();
-            let page_bytes = 256u64 * 8; // RtConfig default: 2^8 words/page
-            rows.push(Row {
-                program: b.name.to_string(),
-                mode: mode.suffix(),
-                scale,
-                instructions: out.instructions,
-                instructions_per_sec: out.instructions as f64 / out.wall.as_secs_f64(),
-                words_allocated: out.stats.words_allocated,
-                gc_count: out.stats.gc_count,
-                bytes_copied: out.stats.gc_copied_words * 8,
-                peak_pages: (out.stats.peak_bytes as u64).div_ceil(page_bytes),
-                peak_bytes: out.stats.peak_bytes as u64,
-            });
-            eprintln!(
-                "{:<10} {:<5} {:>12} instr {:>10.2} Minstr/s  #GC {}",
-                b.name,
-                mode.suffix(),
-                out.instructions,
-                out.instructions as f64 / out.wall.as_secs_f64() / 1e6,
-                out.stats.gc_count,
-            );
-        }
+    let dispatch = flag_val("--dispatch").map(|s| match s.as_str() {
+        "match" => DispatchMode::Match,
+        "threaded" => DispatchMode::Threaded,
+        other => panic!("--dispatch {other}: expected match|threaded"),
+    });
+    let fusion = flag_val("--fusion").map(|s| match s.as_str() {
+        "off" => Fusion::Off,
+        "hand" => Fusion::Hand,
+        "full" => Fusion::Full,
+        other => panic!("--fusion {other}: expected off|hand|full"),
+    });
+
+    let cells: Vec<Cell> = all()
+        .into_iter()
+        .filter(|b| only.as_ref().is_none_or(|o| o.iter().any(|n| n == b.name)))
+        .flat_map(|b| {
+            let scale = if full { b.default_scale } else { b.test_scale };
+            Mode::ALL_WITH_BASELINE
+                .into_iter()
+                .filter(|m| {
+                    modes
+                        .as_ref()
+                        .is_none_or(|ms| ms.iter().any(|s| s == m.suffix()))
+                })
+                .map(move |mode| Cell {
+                    bench: b,
+                    mode,
+                    scale,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    if args.iter().any(|a| a == "--profile-fusion") {
+        profile_fusion(&cells);
+        return;
     }
+
+    // Pinning either axis collapses the comparison to one configuration.
+    let configs: Vec<Config> = if dispatch.is_some() || fusion.is_some() {
+        vec![Config {
+            name: "pinned",
+            dispatch: dispatch.unwrap_or_default(),
+            fusion: fusion.unwrap_or_default(),
+        }]
+    } else {
+        COMPARE.to_vec()
+    };
+
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<Row>, Duration)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(cells.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let t0 = Instant::now();
+                let rows = run_cell(cell, &configs, samples);
+                results.lock().unwrap().push((i, rows, t0.elapsed()));
+            });
+        }
+    });
+
+    let mut done = results.into_inner().unwrap();
+    done.sort_by_key(|(i, ..)| *i);
+    let serial: Duration = done.iter().map(|(_, _, d)| *d).sum();
+    let rows: Vec<Row> = done.into_iter().flat_map(|(_, r, _)| r).collect();
 
     let mut json = String::from("{\n  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"program\": \"{}\", \"mode\": \"{}\", \"scale\": {}, \
+            "    {{\"program\": \"{}\", \"mode\": \"{}\", \"config\": \"{}\", \
+             \"scale\": {}, \
              \"instructions\": {}, \"instructions_per_sec\": {:.0}, \
              \"words_allocated\": {}, \"gc_count\": {}, \"bytes_copied\": {}, \
              \"peak_pages\": {}, \"peak_bytes\": {}}}",
             r.program,
             r.mode,
+            r.config,
             r.scale,
             r.instructions,
             r.instructions_per_sec,
@@ -141,4 +209,229 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {} rows to {out_path}", rows.len());
+    if jobs > 1 {
+        eprintln!(
+            "sharded {} cells over {jobs} threads: {:.1}s wall vs {:.1}s serial ({:.1}s saved)",
+            cells.len(),
+            started.elapsed().as_secs_f64(),
+            serial.as_secs_f64(),
+            (serial.saturating_sub(started.elapsed())).as_secs_f64(),
+        );
+    }
+}
+
+/// Runs every configuration over one (program, mode) cell, interleaving the
+/// sample rounds (config A sample 1, config B sample 1, ..., A 2, B 2, ...)
+/// so slow host drift hits all configurations equally.
+fn run_cell(cell: &Cell, configs: &[Config], samples: usize) -> Vec<Row> {
+    let src = cell.bench.source_scaled(cell.scale);
+    let compilers: Vec<Compiler> = configs
+        .iter()
+        .map(|c| {
+            Compiler::new(cell.mode)
+                .with_dispatch(c.dispatch)
+                .with_fusion(c.fusion)
+        })
+        .collect();
+    let prog = compilers[0]
+        .compile_source(&src)
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", cell.bench.name, cell.mode));
+    let mut best: Vec<Option<kit::Outcome>> = (0..configs.len()).map(|_| None).collect();
+    for _ in 0..samples {
+        for (slot, compiler) in best.iter_mut().zip(&compilers) {
+            let out = compiler
+                .run_program(&prog)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", cell.bench.name, cell.mode));
+            if slot.as_ref().is_none_or(|b| out.wall < b.wall) {
+                *slot = Some(out);
+            }
+        }
+    }
+    let outs: Vec<kit::Outcome> = best.into_iter().map(Option::unwrap).collect();
+    // Dispatch equivalence: the deterministic counters must not depend on
+    // the dispatch engine or the fusion set.
+    for (c, o) in configs.iter().zip(&outs).skip(1) {
+        assert_eq!(
+            (o.instructions, o.stats.words_allocated, o.stats.gc_count),
+            (
+                outs[0].instructions,
+                outs[0].stats.words_allocated,
+                outs[0].stats.gc_count
+            ),
+            "{} [{}]: config {} diverges from {}",
+            cell.bench.name,
+            cell.mode,
+            c.name,
+            configs[0].name,
+        );
+    }
+    configs
+        .iter()
+        .zip(outs)
+        .map(|(c, out)| {
+            let page_bytes = 256u64 * 8; // RtConfig default: 2^8 words/page
+            eprintln!(
+                "{:<10} {:<5} {:<14} {:>12} instr {:>10.2} Minstr/s  #GC {}",
+                cell.bench.name,
+                cell.mode.suffix(),
+                c.name,
+                out.instructions,
+                out.instructions as f64 / out.wall.as_secs_f64() / 1e6,
+                out.stats.gc_count,
+            );
+            Row {
+                program: cell.bench.name.to_string(),
+                mode: cell.mode.suffix(),
+                config: c.name,
+                scale: cell.scale,
+                instructions: out.instructions,
+                instructions_per_sec: out.instructions as f64 / out.wall.as_secs_f64(),
+                words_allocated: out.stats.words_allocated,
+                gc_count: out.stats.gc_count,
+                bytes_copied: out.stats.gc_copied_words * 8,
+                peak_pages: (out.stats.peak_bytes as u64).div_ceil(page_bytes),
+                peak_bytes: out.stats.peak_bytes as u64,
+            }
+        })
+        .collect()
+}
+
+/// The source-instruction kind a base opcode fuses as, if any.
+fn opk_of(op: Op) -> Option<Opk> {
+    Some(match op {
+        Op::Load => Opk::Load,
+        Op::Store => Opk::Store,
+        Op::Pop => Opk::Pop,
+        Op::PushConst => Opk::PushConst,
+        Op::Select => Opk::Select,
+        Op::Prim => Opk::Prim,
+        Op::JumpIfFalse => Opk::JumpIfFalse,
+        Op::SwitchCon => Opk::SwitchCon,
+        Op::GcCheck => Opk::GcCheck,
+        Op::RegHandle => Opk::RegHandle,
+        _ => return None,
+    })
+}
+
+/// Runs the cells in the VM's counting mode and prints the hot adjacent
+/// sequences plus a regenerated `FUSION_CANDIDATES` table.
+fn profile_fusion(cells: &[Cell]) {
+    let mut total = Box::new(FusionProfile::default());
+    for cell in cells {
+        let src = cell.bench.source_scaled(cell.scale);
+        let compiler = Compiler::new(cell.mode).with_fusion_profile();
+        let prog = compiler
+            .compile_source(&src)
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", cell.bench.name, cell.mode));
+        let out = compiler
+            .run_program(&prog)
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", cell.bench.name, cell.mode));
+        let prof = out
+            .fusion_profile
+            .expect("counting mode must return a profile");
+        total.merge(&prof);
+        eprintln!(
+            "{:<10} {:<5} profiled ({} instr)",
+            cell.bench.name,
+            cell.mode.suffix(),
+            out.instructions
+        );
+    }
+
+    let fusible = |ops: &[Op]| ops.iter().all(|&o| opk_of(o).is_some());
+    println!("\n== hot adjacent pairs ==");
+    for (ops, n) in total.hot_pairs().into_iter().take(24) {
+        println!(
+            "{:>14}  {};{}{}",
+            n,
+            ops[0].mnemonic(),
+            ops[1].mnemonic(),
+            if fusible(&ops) { "  [fusible]" } else { "" }
+        );
+    }
+    println!("\n== hot adjacent triples ==");
+    for (ops, n) in total.hot_triples().into_iter().take(24) {
+        println!(
+            "{:>14}  {};{};{}{}",
+            n,
+            ops[0].mnemonic(),
+            ops[1].mnemonic(),
+            ops[2].mnemonic(),
+            if fusible(&ops) { "  [fusible]" } else { "" }
+        );
+    }
+
+    // Regenerate the candidate table: current patterns with fresh counts.
+    let count_of = |seq: &[Opk]| -> (u64, bool) {
+        // The matrices hold pair/triple counts; a 4-long pattern's count is
+        // approximated (upper bound) by the rarer of its two triples.
+        let pair = |a: Opk, b: Opk| {
+            total
+                .hot_pairs()
+                .iter()
+                .find(|(ops, _)| opk_of(ops[0]) == Some(a) && opk_of(ops[1]) == Some(b))
+                .map_or(0, |(_, n)| *n)
+        };
+        let triple = |a: Opk, b: Opk, c: Opk| {
+            total
+                .hot_triples()
+                .iter()
+                .find(|(ops, _)| {
+                    opk_of(ops[0]) == Some(a)
+                        && opk_of(ops[1]) == Some(b)
+                        && opk_of(ops[2]) == Some(c)
+                })
+                .map_or(0, |(_, n)| *n)
+        };
+        match seq {
+            [a, b] => (pair(*a, *b), true),
+            [a, b, c] => (triple(*a, *b, *c), true),
+            [a, b, c, d] => (triple(*a, *b, *c).min(triple(*b, *c, *d)), false),
+            _ => (0, false),
+        }
+    };
+    println!("\n== regenerated FUSION_CANDIDATES (paste into crates/kam/src/fusion_table.rs) ==");
+    println!("pub static FUSION_CANDIDATES: &[Pattern] = &[");
+    for p in FUSION_CANDIDATES {
+        let (n, exact) = count_of(p.seq);
+        let seq: Vec<String> = p.seq.iter().map(|k| format!("Opk::{k:?}")).collect();
+        println!("    Pattern {{");
+        println!("        seq: &[{}],", seq.join(", "));
+        println!("        out: FuseKind::{:?},", p.out);
+        println!("        tier: {},", p.tier);
+        println!(
+            "        dyn_count: {n},{}",
+            if exact {
+                ""
+            } else {
+                " // min of overlapping triples"
+            }
+        );
+        println!("    }},");
+    }
+    println!("];");
+
+    // Hot fusible sequences the table does not cover yet — implementation
+    // candidates for the next tier.
+    println!("\n== uncovered fusible sequences (tier-2 candidates) ==");
+    let covered = |seq: &[Opk]| FUSION_CANDIDATES.iter().any(|p| p.seq == seq);
+    let mut shown = 0;
+    for (ops, n) in total.hot_triples() {
+        let seq: Option<Vec<Opk>> = ops.iter().map(|&o| opk_of(o)).collect();
+        if let Some(seq) = seq {
+            if !covered(&seq) && shown < 12 {
+                println!("{:>14}  {:?}", n, seq);
+                shown += 1;
+            }
+        }
+    }
+    for (ops, n) in total.hot_pairs() {
+        let seq: Option<Vec<Opk>> = ops.iter().map(|&o| opk_of(o)).collect();
+        if let Some(seq) = seq {
+            if !covered(&seq) && shown < 24 {
+                println!("{:>14}  {:?}", n, seq);
+                shown += 1;
+            }
+        }
+    }
 }

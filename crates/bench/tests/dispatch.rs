@@ -1,0 +1,125 @@
+//! Round-trip tests for the threaded (struct-of-arrays) form: translating
+//! a linked program and rebuilding every instruction must reproduce the
+//! linked stream exactly, so both dispatch modes render the same
+//! disassembly and charge the same per-pc cost.
+
+use kit::{Compiler, Mode};
+use kit_bench::programs;
+use kit_kam::link::{link, Fusion};
+use kit_kam::threaded::{translate, Op};
+use kit_kam::{disasm, Program};
+
+fn compiled(src: &str) -> Program {
+    Compiler::new(Mode::R)
+        .compile_source(src)
+        .expect("benchmark compiles")
+}
+
+#[test]
+fn threaded_form_round_trips_on_every_benchmark() {
+    for b in programs::all() {
+        let prog = compiled(&b.source_scaled(b.test_scale));
+        for fusion in [Fusion::Off, Fusion::Hand, Fusion::Full] {
+            let linked = link(&prog, fusion);
+            let tcode = translate(linked.clone());
+            assert_eq!(
+                tcode.ops.len(),
+                linked.code.len(),
+                "{}: stream length",
+                b.name
+            );
+            for pc in 0..tcode.ops.len() {
+                assert_eq!(
+                    tcode.rebuild(pc),
+                    linked.code[pc],
+                    "{} ({fusion:?}): rebuild at pc {pc}",
+                    b.name
+                );
+                // The SoA cost table must agree with the linked form —
+                // this is what keeps fuel and the GC schedule bit-identical
+                // across dispatch modes.
+                assert_eq!(
+                    Op::of(&linked.code[pc]).cost(),
+                    linked.code[pc].cost(),
+                    "{} ({fusion:?}): cost at pc {pc}",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_dispatch_modes_render_the_same_mnemonic_stream() {
+    for b in programs::all() {
+        let prog = compiled(&b.source_scaled(b.test_scale));
+        for fusion in [Fusion::Off, Fusion::Hand, Fusion::Full] {
+            let linked_render = disasm::disassemble_linked(&prog, fusion);
+            let threaded_render = disasm::disassemble_threaded(&prog, fusion);
+            // Identical apart from the "; linked:" / "; threaded:" header.
+            let body = |s: &str| s.split_once('\n').unwrap().1.to_string();
+            assert_eq!(
+                body(&linked_render),
+                body(&threaded_render),
+                "{} ({fusion:?}): dispatch modes disagree on the rendered stream",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tier2_superinstructions_appear_and_disassemble() {
+    // The profile-selected tier-2 set should fire on real benchmark code
+    // (that is what justified it) and render under its mnemonics.
+    let mut seen = std::collections::BTreeSet::new();
+    for b in programs::all() {
+        let prog = compiled(&b.source_scaled(b.test_scale));
+        let full = disasm::disassemble_threaded(&prog, Fusion::Full);
+        // The leading space avoids prefix collisions (`LoadLoadPrimJump`
+        // contains `LoadPrimJump`); disasm renders "  <pc>  <variant> {".
+        const TIER2: [&str; 11] = [
+            " StoreLoadSelect {",
+            " LoadPrimJump {",
+            " SelectConstPrim {",
+            " StoreLoad {",
+            " LoadLoad {",
+            " PrimJump {",
+            " SelectStore {",
+            " LoadStore {",
+            " LoadSwitchCon {",
+            " GcCheckLoad {",
+            " RegHandleRegHandle {",
+        ];
+        for mn in TIER2 {
+            if full.contains(mn) {
+                seen.insert(mn);
+            }
+        }
+        // Tier 1 only: no tier-2 mnemonics may appear.
+        let hand = disasm::disassemble_threaded(&prog, Fusion::Hand);
+        for mn in TIER2 {
+            assert!(
+                !hand.contains(mn),
+                "{}: tier-2 {mn} leaked into Fusion::Hand",
+                b.name
+            );
+        }
+    }
+    // SelectConstPrim fired only ~2.5k times across the suite, so it need
+    // not appear at test scale; the data-hot five must.
+    for mn in [
+        " StoreLoadSelect {",
+        " LoadPrimJump {",
+        " StoreLoad {",
+        " LoadLoad {",
+        " PrimJump {",
+        " SelectStore {",
+        " LoadStore {",
+        " LoadSwitchCon {",
+        " GcCheckLoad {",
+        " RegHandleRegHandle {",
+    ] {
+        assert!(seen.contains(mn), "{mn} never fused on any benchmark");
+    }
+}

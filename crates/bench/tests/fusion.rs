@@ -1,15 +1,16 @@
-//! Differential test for the interpreter's link/fusion pass: every
-//! benchmark, in every mode, must be bit-for-bit observationally identical
-//! with superinstruction fusion on and off — same rendered result, same
-//! printed output, and (because `LInstr::cost` charges a fused instruction
-//! for the source instructions it replaces) the same instruction count and
-//! therefore the same GC schedule and allocation statistics.
+//! Differential test for the interpreter's link/fusion pass and dispatch
+//! engines: every benchmark, in every mode, must be bit-for-bit
+//! observationally identical across every (dispatch, fusion) configuration
+//! — same rendered result, same printed output, and (because
+//! `LInstr::cost`/`Op::cost` charge a fused instruction for the source
+//! instructions it replaces) the same instruction count and therefore the
+//! same GC schedule and allocation statistics.
 
-use kit::{Compiler, Mode};
+use kit::{Compiler, DispatchMode, Fusion, Mode};
 use kit_bench::programs;
 
 #[test]
-fn fusion_is_observationally_invisible_on_every_benchmark() {
+fn fusion_and_dispatch_are_observationally_invisible_on_every_benchmark() {
     std::thread::Builder::new()
         .stack_size(64 * 1024 * 1024)
         .spawn(check_all_benchmarks)
@@ -19,40 +20,60 @@ fn fusion_is_observationally_invisible_on_every_benchmark() {
 }
 
 fn check_all_benchmarks() {
+    // The reference config is the PR 1 loop with fusion off; every other
+    // (dispatch × fusion set) combination must match it exactly.
+    let configs = [
+        (DispatchMode::Match, Fusion::Off),
+        (DispatchMode::Match, Fusion::Hand),
+        (DispatchMode::Match, Fusion::Full),
+        (DispatchMode::Threaded, Fusion::Off),
+        (DispatchMode::Threaded, Fusion::Hand),
+        (DispatchMode::Threaded, Fusion::Full),
+    ];
     for b in programs::all() {
         let src = b.source_scaled(b.test_scale);
         for mode in Mode::ALL_WITH_BASELINE {
-            let fused = Compiler::new(mode);
-            let unfused = Compiler::new(mode).without_fusion();
             // The link pass runs inside the VM, so one compiled program
-            // serves both executions.
-            let prog = fused
+            // serves all executions.
+            let prog = Compiler::new(mode)
                 .compile_source(&src)
                 .unwrap_or_else(|e| panic!("{} ({mode}): compile: {e}", b.name));
-            let f = fused
+            let reference = Compiler::new(mode)
+                .with_dispatch(DispatchMode::Match)
+                .without_fusion()
                 .run_program(&prog)
-                .unwrap_or_else(|e| panic!("{} ({mode}) fused: {e}", b.name));
-            let u = unfused
-                .run_program(&prog)
-                .unwrap_or_else(|e| panic!("{} ({mode}) unfused: {e}", b.name));
-            let ctx = format!("{} ({mode})", b.name);
-            assert_eq!(f.result, u.result, "{ctx}: result");
-            assert_eq!(f.output, u.output, "{ctx}: output");
-            assert_eq!(f.instructions, u.instructions, "{ctx}: instruction count");
-            assert_eq!(
-                f.stats.words_allocated, u.stats.words_allocated,
-                "{ctx}: words allocated"
-            );
-            assert_eq!(
-                f.stats.allocations, u.stats.allocations,
-                "{ctx}: allocations"
-            );
-            assert_eq!(f.stats.gc_count, u.stats.gc_count, "{ctx}: #GC");
-            assert_eq!(
-                f.stats.gc_copied_words, u.stats.gc_copied_words,
-                "{ctx}: words copied by GC"
-            );
-            assert_eq!(f.stats.peak_bytes, u.stats.peak_bytes, "{ctx}: peak memory");
+                .unwrap_or_else(|e| panic!("{} ({mode}) reference: {e}", b.name));
+            for (dispatch, fusion) in configs {
+                let out = Compiler::new(mode)
+                    .with_dispatch(dispatch)
+                    .with_fusion(fusion)
+                    .run_program(&prog)
+                    .unwrap_or_else(|e| panic!("{} ({mode}) {dispatch:?}/{fusion:?}: {e}", b.name));
+                let ctx = format!("{} ({mode}) {dispatch:?}/{fusion:?}", b.name);
+                assert_eq!(out.result, reference.result, "{ctx}: result");
+                assert_eq!(out.output, reference.output, "{ctx}: output");
+                assert_eq!(
+                    out.instructions, reference.instructions,
+                    "{ctx}: instruction count"
+                );
+                assert_eq!(
+                    out.stats.words_allocated, reference.stats.words_allocated,
+                    "{ctx}: words allocated"
+                );
+                assert_eq!(
+                    out.stats.allocations, reference.stats.allocations,
+                    "{ctx}: allocations"
+                );
+                assert_eq!(out.stats.gc_count, reference.stats.gc_count, "{ctx}: #GC");
+                assert_eq!(
+                    out.stats.gc_copied_words, reference.stats.gc_copied_words,
+                    "{ctx}: words copied by GC"
+                );
+                assert_eq!(
+                    out.stats.peak_bytes, reference.stats.peak_bytes,
+                    "{ctx}: peak memory"
+                );
+            }
         }
     }
 }

@@ -33,19 +33,8 @@ pub fn disassemble(p: &Program) -> String {
 
 /// Renders the *linked* instruction stream (absolute pc operands, fused
 /// superinstructions) — what the interpreter actually executes.
-pub fn disassemble_linked(p: &Program, fuse: bool) -> String {
-    let linked = link::link(p, fuse);
-    let mut entries: std::collections::HashMap<usize, String> = Default::default();
-    for (fun, info) in p.funs.iter().enumerate() {
-        let pc = linked.entry_pc[fun] as usize;
-        let name = &info.name;
-        entries
-            .entry(pc)
-            .and_modify(|s| {
-                let _ = write!(s, ", {name}");
-            })
-            .or_insert_with(|| name.clone());
-    }
+pub fn disassemble_linked(p: &Program, fusion: link::Fusion) -> String {
+    let linked = link::link(p, fusion);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -54,13 +43,53 @@ pub fn disassemble_linked(p: &Program, fuse: bool) -> String {
         linked.fused,
         p.code.len()
     );
-    for (pc, ins) in linked.code.iter().enumerate() {
+    render_stream(p, &linked.entry_pc, linked.code.iter(), &mut out);
+    out
+}
+
+/// Renders the *threaded* (struct-of-arrays) form by rebuilding each
+/// instruction from its opcode + pre-decoded operands. Because the
+/// translation is lossless, this produces the same mnemonic stream as
+/// [`disassemble_linked`] apart from the header line — the round-trip
+/// property the dispatch tests rely on.
+pub fn disassemble_threaded(p: &Program, fusion: link::Fusion) -> String {
+    let tcode = crate::threaded::translate(link::link(p, fusion));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; threaded: {} instructions ({} fused) from {} source instructions",
+        tcode.ops.len(),
+        tcode.fused,
+        p.code.len()
+    );
+    let rebuilt: Vec<_> = (0..tcode.ops.len()).map(|pc| tcode.rebuild(pc)).collect();
+    render_stream(p, &tcode.entry_pc, rebuilt.iter(), &mut out);
+    out
+}
+
+fn render_stream<'i>(
+    p: &Program,
+    entry_pc: &[u32],
+    code: impl Iterator<Item = &'i crate::link::LInstr>,
+    out: &mut String,
+) {
+    let mut entries: std::collections::HashMap<usize, String> = Default::default();
+    for (fun, info) in p.funs.iter().enumerate() {
+        let pc = entry_pc[fun] as usize;
+        let name = &info.name;
+        entries
+            .entry(pc)
+            .and_modify(|s| {
+                let _ = write!(s, ", {name}");
+            })
+            .or_insert_with(|| name.clone());
+    }
+    for (pc, ins) in code.enumerate() {
         if let Some(name) = entries.get(&pc) {
             let _ = writeln!(out, "{name}:");
         }
         let _ = writeln!(out, "  {pc:>5}  {ins:?}");
     }
-    out
 }
 
 #[cfg(test)]
@@ -84,10 +113,10 @@ mod tests {
         kit_lambda::opt::optimize(&mut lprog, &Default::default());
         let rprog = kit_region::infer(&lprog, kit_region::RegionOptions::regions_only());
         let prog = crate::compile(&rprog, true);
-        let fused = disassemble_linked(&prog, true);
+        let fused = disassemble_linked(&prog, link::Fusion::Full);
         assert!(fused.contains("<main>:"), "{fused}");
         assert!(fused.contains("Halt"), "{fused}");
-        let unfused = disassemble_linked(&prog, false);
+        let unfused = disassemble_linked(&prog, link::Fusion::Off);
         assert!(unfused.contains("(0 fused)"), "{unfused}");
     }
 }

@@ -1,0 +1,224 @@
+//! Fusion-candidate table consumed by the link pass.
+//!
+//! This table is *generated*: `cargo run -p kit-bench --release --bin
+//! bench-summary -- --profile-fusion` runs the benchmark suite in the
+//! VM's counting mode (fusion off, so base opcodes are visible),
+//! aggregates dynamic pair/triple frequencies of fallthrough-adjacent
+//! instructions, and prints a replacement for [`FUSION_CANDIDATES`] with
+//! fresh `dyn_count` numbers. Patterns are ordered longest-first because
+//! the matcher in [`crate::link`] is greedy; a unit test enforces the
+//! ordering.
+//!
+//! `tier` records provenance: tier 1 is the hand-picked PR 1 set (kept
+//! selectable on its own for A/B continuity with `BENCH_PR1.json`), tier
+//! 2 the profile-selected additions. `dyn_count` is the measured number
+//! of adjacent executions across the suite at test scale — documentation
+//! for the next regeneration, not an input to the matcher.
+
+/// Source-instruction kind, as matched by fusion patterns (a projection
+/// of [`crate::instr::Instr`] that ignores operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opk {
+    Load,
+    Store,
+    Pop,
+    PushConst,
+    Select,
+    Prim,
+    JumpIfFalse,
+    SwitchCon,
+    GcCheck,
+    RegHandle,
+}
+
+/// The superinstruction a matched pattern is replaced by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseKind {
+    LoadLoadPrim,
+    PushConstPrim,
+    LoadSelect,
+    StorePop,
+    PushConstJumpIfFalse,
+    LoadConstPrim,
+    LoadSelectStore,
+    LoadLoadPrimJump,
+    LoadConstPrimJump,
+    // Tier 2: selected from `--profile-fusion` counts.
+    StoreLoadSelect,
+    LoadPrimJump,
+    SelectConstPrim,
+    StoreLoad,
+    LoadLoad,
+    PrimJump,
+    SelectStore,
+    LoadStore,
+    LoadSwitchCon,
+    GcCheckLoad,
+    RegHandleRegHandle,
+}
+
+/// One fusion candidate: the instruction sequence `seq` collapses into
+/// the superinstruction `out` (cost = `seq.len()`).
+#[derive(Debug)]
+pub struct Pattern {
+    /// Source-instruction kinds, matched at adjacent pcs with no interior
+    /// leader.
+    pub seq: &'static [Opk],
+    /// Replacement superinstruction.
+    pub out: FuseKind,
+    /// 1 = hand-picked PR 1 set, 2 = profile-selected addition.
+    pub tier: u8,
+    /// Measured fallthrough-adjacent executions across the benchmark
+    /// suite (see module docs; regenerated with `--profile-fusion`).
+    pub dyn_count: u64,
+}
+
+/// All fusion candidates, longest pattern first (the matcher is greedy).
+pub static FUSION_CANDIDATES: &[Pattern] = &[
+    Pattern {
+        seq: &[Opk::Load, Opk::Load, Opk::Prim, Opk::JumpIfFalse],
+        out: FuseKind::LoadLoadPrimJump,
+        tier: 1,
+        dyn_count: 4112980,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::PushConst, Opk::Prim, Opk::JumpIfFalse],
+        out: FuseKind::LoadConstPrimJump,
+        tier: 1,
+        dyn_count: 1365200,
+    },
+    Pattern {
+        seq: &[Opk::Store, Opk::Load, Opk::Select],
+        out: FuseKind::StoreLoadSelect,
+        tier: 2,
+        dyn_count: 19294318,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Select, Opk::Store],
+        out: FuseKind::LoadSelectStore,
+        tier: 1,
+        dyn_count: 17488090,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Load, Opk::Prim],
+        out: FuseKind::LoadLoadPrim,
+        tier: 1,
+        dyn_count: 4492800,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Prim, Opk::JumpIfFalse],
+        out: FuseKind::LoadPrimJump,
+        tier: 2,
+        dyn_count: 4112980,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::PushConst, Opk::Prim],
+        out: FuseKind::LoadConstPrim,
+        tier: 1,
+        dyn_count: 3660790,
+    },
+    Pattern {
+        seq: &[Opk::Select, Opk::PushConst, Opk::Prim],
+        out: FuseKind::SelectConstPrim,
+        tier: 2,
+        dyn_count: 2465,
+    },
+    Pattern {
+        seq: &[Opk::Store, Opk::Load],
+        out: FuseKind::StoreLoad,
+        tier: 2,
+        dyn_count: 26264872,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Select],
+        out: FuseKind::LoadSelect,
+        tier: 1,
+        dyn_count: 25855695,
+    },
+    Pattern {
+        seq: &[Opk::Select, Opk::Store],
+        out: FuseKind::SelectStore,
+        tier: 2,
+        dyn_count: 17488090,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Load],
+        out: FuseKind::LoadLoad,
+        tier: 2,
+        dyn_count: 15278157,
+    },
+    Pattern {
+        seq: &[Opk::Prim, Opk::JumpIfFalse],
+        out: FuseKind::PrimJump,
+        tier: 2,
+        dyn_count: 5900985,
+    },
+    Pattern {
+        seq: &[Opk::PushConst, Opk::Prim],
+        out: FuseKind::PushConstPrim,
+        tier: 1,
+        dyn_count: 4172095,
+    },
+    Pattern {
+        seq: &[Opk::PushConst, Opk::JumpIfFalse],
+        out: FuseKind::PushConstJumpIfFalse,
+        tier: 1,
+        dyn_count: 243085,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::SwitchCon],
+        out: FuseKind::LoadSwitchCon,
+        tier: 2,
+        dyn_count: 8916140,
+    },
+    Pattern {
+        seq: &[Opk::GcCheck, Opk::Load],
+        out: FuseKind::GcCheckLoad,
+        tier: 2,
+        dyn_count: 9304920,
+    },
+    Pattern {
+        seq: &[Opk::RegHandle, Opk::RegHandle],
+        out: FuseKind::RegHandleRegHandle,
+        tier: 2,
+        dyn_count: 9898762,
+    },
+    Pattern {
+        seq: &[Opk::Load, Opk::Store],
+        out: FuseKind::LoadStore,
+        tier: 2,
+        dyn_count: 7064103,
+    },
+    Pattern {
+        seq: &[Opk::Store, Opk::Pop],
+        out: FuseKind::StorePop,
+        tier: 1,
+        dyn_count: 0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_longest_first() {
+        for w in FUSION_CANDIDATES.windows(2) {
+            assert!(
+                w[0].seq.len() >= w[1].seq.len(),
+                "greedy matcher needs longest-first ordering: {:?} before {:?}",
+                w[0].out,
+                w[1].out
+            );
+        }
+    }
+
+    #[test]
+    fn patterns_are_unique() {
+        for (i, a) in FUSION_CANDIDATES.iter().enumerate() {
+            for b in &FUSION_CANDIDATES[i + 1..] {
+                assert_ne!(a.seq, b.seq, "duplicate pattern {:?}/{:?}", a.out, b.out);
+            }
+        }
+    }
+}

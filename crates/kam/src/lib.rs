@@ -25,12 +25,15 @@
 
 pub mod compile;
 pub mod disasm;
+pub mod fusion_table;
 pub mod instr;
 pub mod link;
 pub mod render;
+pub mod threaded;
 pub mod vm;
 
 pub use compile::compile;
 pub use instr::Program;
-pub use link::{link, LInstr, LinkedProgram};
-pub use vm::{Vm, VmError, VmOutcome};
+pub use link::{link, Fusion, LInstr, LinkedProgram};
+pub use threaded::{FusionProfile, ThreadedCode};
+pub use vm::{DispatchMode, Vm, VmError, VmOutcome};

@@ -10,13 +10,11 @@
 //!    label scalar out of the closure at runtime and go through the dense
 //!    [`LinkedProgram::pc_of_label`]/[`LinkedProgram::fun_of_label`] tables
 //!    instead of a hash map.
-//! 2. **Fusion** — frequent pairs/triples/quads are collapsed into
-//!    superinstructions (compare-and-branch `Load+Load+Prim+JumpIfFalse`
-//!    and `Load+PushConst+Prim+JumpIfFalse`; `Load+Load+Prim`,
-//!    `Load+PushConst+Prim`, `Load+Select+Store`; `PushConst+Prim`,
-//!    `Load+Select`, `Store+Pop`, `PushConst+JumpIfFalse`), cutting
-//!    dispatches on the hot path. A fused group never spans a *leader*
-//!    (any pc bound in
+//! 2. **Fusion** — frequent pairs/triples/quads are collapsed into the
+//!    superinstructions of [`FUSION_CANDIDATES`] (the hand-picked tier-1
+//!    set plus the profile-selected tier-2 additions; regenerate with
+//!    `bench-summary --profile-fusion`), cutting dispatches on the hot
+//!    path. A fused group never spans a *leader* (any pc bound in
 //!    `label_addrs`), so every branch target remains the start of a linked
 //!    instruction. `Call`/`CallClos` are never fused, so a return address
 //!    (the pc after a non-tail call) is always a group start too.
@@ -26,8 +24,34 @@
 //! replaces via [`LInstr::cost`], so `VmOutcome::instructions` is identical
 //! with fusion on or off.
 
+use crate::fusion_table::{FuseKind, Opk, FUSION_CANDIDATES};
 use crate::instr::{Disc, Instr, Label, Program, RegSlot};
 use kit_lambda::exp::Prim;
+
+/// Which fusion candidates the link pass may emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fusion {
+    /// No superinstructions (branch targets are still pre-resolved) —
+    /// the differential-testing reference.
+    Off,
+    /// The hand-picked PR 1 set only (tier 1 of
+    /// [`FUSION_CANDIDATES`]) — the A/B baseline against
+    /// `BENCH_PR1.json`.
+    Hand,
+    /// Every candidate in the generated table.
+    #[default]
+    Full,
+}
+
+impl Fusion {
+    fn max_tier(self) -> u8 {
+        match self {
+            Fusion::Off => 0,
+            Fusion::Hand => 1,
+            Fusion::Full => 2,
+        }
+    }
+}
 
 /// A linked instruction: operands pre-resolved to absolute pcs, hot
 /// sequences fused. See [`Instr`] for per-variant semantics.
@@ -176,6 +200,80 @@ pub enum LInstr {
         at: Option<RegSlot>,
         target: u32,
     },
+    // ------------------------- tier 2 (profile-selected, `--profile-fusion`)
+    /// `Store j; Load i; Select sel` (cost 3) — bind a match scrutinee and
+    /// read its first field, the hottest measured triple.
+    StoreLoadSelect {
+        j: u32,
+        i: u32,
+        sel: u16,
+    },
+    /// `Load i; Prim p; JumpIfFalse target` (cost 3) — compare-and-branch
+    /// whose first operand is already on the stack.
+    LoadPrimJump {
+        i: u32,
+        p: Prim,
+        at: Option<RegSlot>,
+        target: u32,
+    },
+    /// `Select sel; PushConst k; Prim p` (cost 3) — field-vs-constant
+    /// arithmetic on an operand already on the stack.
+    SelectConstPrim {
+        sel: u16,
+        k: u64,
+        p: Prim,
+        at: Option<RegSlot>,
+    },
+    /// `Store j; Load i` (cost 2) — the hottest measured pair: bind a
+    /// value, then immediately read another local (or re-read the same).
+    StoreLoad {
+        j: u32,
+        i: u32,
+    },
+    /// `Load a; Load b` (cost 2) — two-operand setup ahead of calls and
+    /// allocation.
+    LoadLoad {
+        a: u32,
+        b: u32,
+    },
+    /// `Prim p; JumpIfFalse target` (cost 2) — compare-and-branch with
+    /// both operands already on the stack.
+    PrimJump {
+        p: Prim,
+        at: Option<RegSlot>,
+        target: u32,
+    },
+    /// `Select sel; Store j` (cost 2) — store one field of a record that
+    /// is already on the stack.
+    SelectStore {
+        sel: u16,
+        j: u32,
+    },
+    /// `Load i; Store j` (cost 2) — local-to-local copy, no stack
+    /// traffic.
+    LoadStore {
+        i: u32,
+        j: u32,
+    },
+    /// `Load i; SwitchCon {..}` (cost 2) — branch on a constructor held
+    /// in a local.
+    LoadSwitchCon {
+        i: u32,
+        disc: Disc,
+        arms: Box<[(u32, u32)]>,
+        default: u32,
+    },
+    /// `GcCheck; Load i` (cost 2) — the function-entry safepoint fused
+    /// with the first argument load.
+    GcCheckLoad {
+        i: u32,
+    },
+    /// `RegHandle a; RegHandle b` (cost 2) — push two region handles, the
+    /// common preamble of region-polymorphic calls.
+    RegHandleRegHandle {
+        a: RegSlot,
+        b: RegSlot,
+    },
 }
 
 impl LInstr {
@@ -188,11 +286,22 @@ impl LInstr {
             LInstr::LoadLoadPrimJump { .. } | LInstr::LoadConstPrimJump { .. } => 4,
             LInstr::LoadLoadPrim { .. }
             | LInstr::LoadConstPrim { .. }
-            | LInstr::LoadSelectStore { .. } => 3,
+            | LInstr::LoadSelectStore { .. }
+            | LInstr::StoreLoadSelect { .. }
+            | LInstr::LoadPrimJump { .. }
+            | LInstr::SelectConstPrim { .. } => 3,
             LInstr::PushConstPrim { .. }
             | LInstr::LoadSelect { .. }
             | LInstr::StorePop { .. }
-            | LInstr::PushConstJumpIfFalse { .. } => 2,
+            | LInstr::PushConstJumpIfFalse { .. }
+            | LInstr::StoreLoad { .. }
+            | LInstr::LoadLoad { .. }
+            | LInstr::PrimJump { .. }
+            | LInstr::SelectStore { .. }
+            | LInstr::LoadStore { .. }
+            | LInstr::LoadSwitchCon { .. }
+            | LInstr::GcCheckLoad { .. }
+            | LInstr::RegHandleRegHandle { .. } => 2,
             _ => 1,
         }
     }
@@ -215,40 +324,214 @@ pub struct LinkedProgram {
     pub fused: u64,
 }
 
-/// Length of the fused group starting at `i` (1 = no fusion). Interior
-/// instructions must not be leaders, or a branch could land mid-group.
-fn fusible_len(code: &[Instr], leader: &[bool], i: usize) -> usize {
-    if i + 3 < code.len() && !leader[i + 1] && !leader[i + 2] && !leader[i + 3] {
-        match (&code[i], &code[i + 1], &code[i + 2], &code[i + 3]) {
-            (Instr::Load(_), Instr::Load(_), Instr::Prim { .. }, Instr::JumpIfFalse(_))
-            | (Instr::Load(_), Instr::PushConst(_), Instr::Prim { .. }, Instr::JumpIfFalse(_)) => {
-                return 4
-            }
-            _ => {}
-        }
-    }
-    if i + 2 < code.len() && !leader[i + 1] && !leader[i + 2] {
-        match (&code[i], &code[i + 1], &code[i + 2]) {
-            (Instr::Load(_), Instr::Load(_), Instr::Prim { .. })
-            | (Instr::Load(_), Instr::PushConst(_), Instr::Prim { .. })
-            | (Instr::Load(_), Instr::Select(_), Instr::Store(_)) => return 3,
-            _ => {}
-        }
-    }
-    if i + 1 < code.len() && !leader[i + 1] {
-        match (&code[i], &code[i + 1]) {
-            (Instr::PushConst(_), Instr::Prim { .. })
-            | (Instr::Load(_), Instr::Select(_))
-            | (Instr::Store(_), Instr::Pop)
-            | (Instr::PushConst(_), Instr::JumpIfFalse(_)) => return 2,
-            _ => {}
-        }
-    }
-    1
+/// The pattern kind of a source instruction, if fusion patterns can refer
+/// to it at all.
+fn opk_of(ins: &Instr) -> Option<Opk> {
+    Some(match ins {
+        Instr::Load(_) => Opk::Load,
+        Instr::Store(_) => Opk::Store,
+        Instr::Pop => Opk::Pop,
+        Instr::PushConst(_) => Opk::PushConst,
+        Instr::Select(_) => Opk::Select,
+        Instr::Prim { .. } => Opk::Prim,
+        Instr::JumpIfFalse(_) => Opk::JumpIfFalse,
+        Instr::SwitchCon { .. } => Opk::SwitchCon,
+        Instr::GcCheck => Opk::GcCheck,
+        Instr::RegHandle(_) => Opk::RegHandle,
+        _ => return None,
+    })
 }
 
-/// Links `prog`, optionally fusing superinstructions.
-pub fn link(prog: &Program, fuse: bool) -> LinkedProgram {
+/// The fusion candidate matching at `i`, if any — the first (longest,
+/// by table ordering) enabled pattern whose kinds match at adjacent pcs
+/// with no interior leader; a branch could land mid-group otherwise.
+fn match_at(
+    code: &[Instr],
+    leader: &[bool],
+    i: usize,
+    max_tier: u8,
+) -> Option<&'static crate::fusion_table::Pattern> {
+    'pat: for pat in FUSION_CANDIDATES {
+        if pat.tier > max_tier || i + pat.seq.len() > code.len() {
+            continue;
+        }
+        for j in 1..pat.seq.len() {
+            if leader[i + j] {
+                continue 'pat;
+            }
+        }
+        for (j, k) in pat.seq.iter().enumerate() {
+            if opk_of(&code[i + j]) != Some(*k) {
+                continue 'pat;
+            }
+        }
+        return Some(pat);
+    }
+    None
+}
+
+/// Builds the superinstruction for a matched pattern from its source
+/// window. A pattern's kinds guarantee the shapes destructured here.
+fn build_fused(kind: FuseKind, w: &[Instr], resolve: &dyn Fn(Label) -> u32) -> LInstr {
+    match kind {
+        FuseKind::LoadLoadPrimJump => match (&w[0], &w[1], &w[2], &w[3]) {
+            (Instr::Load(a), Instr::Load(b), Instr::Prim { p, at }, Instr::JumpIfFalse(l)) => {
+                LInstr::LoadLoadPrimJump {
+                    a: *a,
+                    b: *b,
+                    p: *p,
+                    at: *at,
+                    target: resolve(*l),
+                }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadConstPrimJump => match (&w[0], &w[1], &w[2], &w[3]) {
+            (Instr::Load(i), Instr::PushConst(k), Instr::Prim { p, at }, Instr::JumpIfFalse(l)) => {
+                LInstr::LoadConstPrimJump {
+                    i: *i,
+                    k: *k,
+                    p: *p,
+                    at: *at,
+                    target: resolve(*l),
+                }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadLoadPrim => match (&w[0], &w[1], &w[2]) {
+            (Instr::Load(a), Instr::Load(b), Instr::Prim { p, at }) => LInstr::LoadLoadPrim {
+                a: *a,
+                b: *b,
+                p: *p,
+                at: *at,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadConstPrim => match (&w[0], &w[1], &w[2]) {
+            (Instr::Load(i), Instr::PushConst(k), Instr::Prim { p, at }) => LInstr::LoadConstPrim {
+                i: *i,
+                k: *k,
+                p: *p,
+                at: *at,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadSelectStore => match (&w[0], &w[1], &w[2]) {
+            (Instr::Load(i), Instr::Select(sel), Instr::Store(j)) => LInstr::LoadSelectStore {
+                i: *i,
+                sel: *sel,
+                j: *j,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::PushConstPrim => match (&w[0], &w[1]) {
+            (Instr::PushConst(k), Instr::Prim { p, at }) => LInstr::PushConstPrim {
+                k: *k,
+                p: *p,
+                at: *at,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadSelect => match (&w[0], &w[1]) {
+            (Instr::Load(i), Instr::Select(sel)) => LInstr::LoadSelect { i: *i, sel: *sel },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::StorePop => match (&w[0], &w[1]) {
+            (Instr::Store(i), Instr::Pop) => LInstr::StorePop { i: *i },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::PushConstJumpIfFalse => match (&w[0], &w[1]) {
+            (Instr::PushConst(k), Instr::JumpIfFalse(l)) => LInstr::PushConstJumpIfFalse {
+                k: *k,
+                target: resolve(*l),
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::StoreLoadSelect => match (&w[0], &w[1], &w[2]) {
+            (Instr::Store(j), Instr::Load(i), Instr::Select(sel)) => LInstr::StoreLoadSelect {
+                j: *j,
+                i: *i,
+                sel: *sel,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadPrimJump => match (&w[0], &w[1], &w[2]) {
+            (Instr::Load(i), Instr::Prim { p, at }, Instr::JumpIfFalse(l)) => {
+                LInstr::LoadPrimJump {
+                    i: *i,
+                    p: *p,
+                    at: *at,
+                    target: resolve(*l),
+                }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::SelectConstPrim => match (&w[0], &w[1], &w[2]) {
+            (Instr::Select(sel), Instr::PushConst(k), Instr::Prim { p, at }) => {
+                LInstr::SelectConstPrim {
+                    sel: *sel,
+                    k: *k,
+                    p: *p,
+                    at: *at,
+                }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::StoreLoad => match (&w[0], &w[1]) {
+            (Instr::Store(j), Instr::Load(i)) => LInstr::StoreLoad { j: *j, i: *i },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadLoad => match (&w[0], &w[1]) {
+            (Instr::Load(a), Instr::Load(b)) => LInstr::LoadLoad { a: *a, b: *b },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::SelectStore => match (&w[0], &w[1]) {
+            (Instr::Select(sel), Instr::Store(j)) => LInstr::SelectStore { sel: *sel, j: *j },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadStore => match (&w[0], &w[1]) {
+            (Instr::Load(i), Instr::Store(j)) => LInstr::LoadStore { i: *i, j: *j },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::LoadSwitchCon => match (&w[0], &w[1]) {
+            (
+                Instr::Load(i),
+                Instr::SwitchCon {
+                    disc,
+                    arms,
+                    default,
+                },
+            ) => LInstr::LoadSwitchCon {
+                i: *i,
+                disc: *disc,
+                arms: arms.iter().map(|(c, l)| (*c, resolve(*l))).collect(),
+                default: resolve(*default),
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::GcCheckLoad => match (&w[0], &w[1]) {
+            (Instr::GcCheck, Instr::Load(i)) => LInstr::GcCheckLoad { i: *i },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::RegHandleRegHandle => match (&w[0], &w[1]) {
+            (Instr::RegHandle(a), Instr::RegHandle(b)) => {
+                LInstr::RegHandleRegHandle { a: *a, b: *b }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::PrimJump => match (&w[0], &w[1]) {
+            (Instr::Prim { p, at }, Instr::JumpIfFalse(l)) => LInstr::PrimJump {
+                p: *p,
+                at: *at,
+                target: resolve(*l),
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+    }
+}
+
+/// Links `prog`, fusing the selected superinstruction set.
+pub fn link(prog: &Program, fusion: Fusion) -> LinkedProgram {
     let code = &prog.code;
     let n = code.len();
 
@@ -262,18 +545,22 @@ pub fn link(prog: &Program, fuse: bool) -> LinkedProgram {
     }
 
     // Pass 1: choose groups (greedy, longest first) and map old → new pcs.
+    let max_tier = fusion.max_tier();
     let mut new_pc_of_old = vec![u32::MAX; n];
     let mut group_len = vec![0u8; n];
+    let mut group_kind = vec![None::<FuseKind>; n];
     let mut i = 0;
     let mut npc = 0u32;
     while i < n {
-        let len = if fuse {
-            fusible_len(code, &leader, i)
+        let pat = if max_tier > 0 {
+            match_at(code, &leader, i, max_tier)
         } else {
-            1
+            None
         };
+        let len = pat.map_or(1, |p| p.seq.len());
         new_pc_of_old[i] = npc;
         group_len[i] = len as u8;
+        group_kind[i] = pat.map(|p| p.out);
         npc += 1;
         i += len;
     }
@@ -291,87 +578,12 @@ pub fn link(prog: &Program, fuse: bool) -> LinkedProgram {
     let mut i = 0;
     while i < n {
         let len = group_len[i] as usize;
-        match len {
-            4 => {
-                let li = match (&code[i], &code[i + 1], &code[i + 2], &code[i + 3]) {
-                    (
-                        Instr::Load(a),
-                        Instr::Load(b),
-                        Instr::Prim { p, at },
-                        Instr::JumpIfFalse(l),
-                    ) => LInstr::LoadLoadPrimJump {
-                        a: *a,
-                        b: *b,
-                        p: *p,
-                        at: *at,
-                        target: resolve(*l),
-                    },
-                    (
-                        Instr::Load(j),
-                        Instr::PushConst(k),
-                        Instr::Prim { p, at },
-                        Instr::JumpIfFalse(l),
-                    ) => LInstr::LoadConstPrimJump {
-                        i: *j,
-                        k: *k,
-                        p: *p,
-                        at: *at,
-                        target: resolve(*l),
-                    },
-                    _ => unreachable!("pass 1 chose an invalid quad"),
-                };
-                out.push(li);
+        match group_kind[i] {
+            Some(kind) => {
+                out.push(build_fused(kind, &code[i..i + len], &resolve));
                 fused += 1;
             }
-            3 => {
-                let li = match (&code[i], &code[i + 1], &code[i + 2]) {
-                    (Instr::Load(a), Instr::Load(b), Instr::Prim { p, at }) => {
-                        LInstr::LoadLoadPrim {
-                            a: *a,
-                            b: *b,
-                            p: *p,
-                            at: *at,
-                        }
-                    }
-                    (Instr::Load(j), Instr::PushConst(k), Instr::Prim { p, at }) => {
-                        LInstr::LoadConstPrim {
-                            i: *j,
-                            k: *k,
-                            p: *p,
-                            at: *at,
-                        }
-                    }
-                    (Instr::Load(j), Instr::Select(sel), Instr::Store(d)) => {
-                        LInstr::LoadSelectStore {
-                            i: *j,
-                            sel: *sel,
-                            j: *d,
-                        }
-                    }
-                    _ => unreachable!("pass 1 chose an invalid triple"),
-                };
-                out.push(li);
-                fused += 1;
-            }
-            2 => {
-                let li = match (&code[i], &code[i + 1]) {
-                    (Instr::PushConst(k), Instr::Prim { p, at }) => LInstr::PushConstPrim {
-                        k: *k,
-                        p: *p,
-                        at: *at,
-                    },
-                    (Instr::Load(j), Instr::Select(sel)) => LInstr::LoadSelect { i: *j, sel: *sel },
-                    (Instr::Store(j), Instr::Pop) => LInstr::StorePop { i: *j },
-                    (Instr::PushConst(k), Instr::JumpIfFalse(l)) => LInstr::PushConstJumpIfFalse {
-                        k: *k,
-                        target: resolve(*l),
-                    },
-                    _ => unreachable!("pass 1 chose an invalid pair"),
-                };
-                out.push(li);
-                fused += 1;
-            }
-            _ => out.push(link_one(prog, &code[i], &resolve)),
+            None => out.push(link_one(prog, &code[i], &resolve)),
         }
         i += len;
     }
@@ -510,19 +722,21 @@ mod tests {
         // label 0 -> pc 0, label 1 -> pc 5 (the Halt).
         let prog = mini_program(
             vec![
-                Instr::GcCheck, // pc 0 (leader)
-                Instr::Load(1), // pc 1 ┐
-                Instr::Load(2), // pc 2 │ fused (cost 3)
+                // Not fusible (`GcCheck` would fuse with the load now
+                // that `GcCheckLoad` is a candidate).
+                Instr::DeConAdj, // pc 0 (leader)
+                Instr::Load(1),  // pc 1 ┐
+                Instr::Load(2),  // pc 2 │ fused (cost 3)
                 Instr::Prim {
                     p: Prim::IAdd,
                     at: None,
                 }, // pc 3 ┘
-                Instr::Jump(1), // pc 4
-                Instr::Halt,    // pc 5 (leader)
+                Instr::Jump(1),  // pc 4
+                Instr::Halt,     // pc 5 (leader)
             ],
             vec![0, 5],
         );
-        let linked = link(&prog, true);
+        let linked = link(&prog, Fusion::Full);
         assert_eq!(linked.fused, 1);
         assert_eq!(linked.code.len(), 4);
         assert_eq!(
@@ -556,7 +770,7 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let linked = link(&prog, true);
+        let linked = link(&prog, Fusion::Full);
         assert_eq!(linked.fused, 0);
         assert_eq!(linked.code.len(), 3);
         assert_eq!(linked.pc_of_label[1], 1);
@@ -576,7 +790,7 @@ mod tests {
             ],
             vec![0],
         );
-        let linked = link(&prog, false);
+        let linked = link(&prog, Fusion::Off);
         assert_eq!(linked.fused, 0);
         assert_eq!(linked.code.len(), prog.code.len());
     }

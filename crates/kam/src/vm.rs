@@ -16,7 +16,8 @@
 //! are identical with fusion on or off.
 
 use crate::instr::{Disc, Program, RegSlot};
-use crate::link::{self, LInstr};
+use crate::link::{self, Fusion, LInstr, LinkedProgram};
+use crate::threaded::{self, FusionProfile, Op, ThreadedCode, OP_COUNT};
 use kit_lambda::eval::{fmt_sml_int, fmt_sml_real, int_in_range};
 use kit_lambda::exp::Prim;
 use kit_lambda::ty::{EXN_DIV, EXN_OVERFLOW, EXN_SIZE, EXN_SUBSCRIPT};
@@ -73,6 +74,21 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// How [`Vm::run`] executes the linked stream. Both modes produce
+/// bit-identical observable behavior — results, output, instruction
+/// totals, fuel, and the GC schedule (enforced by the dispatch
+/// equivalence test in `kit-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// The classic match-per-instruction loop over [`LInstr`].
+    Match,
+    /// Direct-threaded execution: the linked stream is translated to
+    /// struct-of-arrays form ([`ThreadedCode`]) and dispatched through a
+    /// `const` handler table indexed by opcode.
+    #[default]
+    Threaded,
+}
+
 /// Result of a successful run.
 #[derive(Debug)]
 pub struct VmOutcome {
@@ -84,6 +100,8 @@ pub struct VmOutcome {
     pub instructions: u64,
     /// Runtime statistics (allocation, collections, peak memory).
     pub stats: RtStats,
+    /// Dynamic opcode-sequence counts, if the fusion counting mode was on.
+    pub fusion_profile: Option<Box<FusionProfile>>,
     /// The runtime (for rendering the result and inspecting regions).
     pub rt: Rt,
 }
@@ -119,10 +137,24 @@ pub struct Vm<'p> {
     prog: &'p Program,
     rt: Rt,
     frames: Vec<Frame>,
+    /// `Frame::locals` of the innermost frame (0 when no frame is live),
+    /// kept in sync by every call/return/unwind — `local`/`set_local`
+    /// are on the dispatch fast path and must not re-derive it.
+    cur_locals: usize,
     handlers: Vec<Handler>,
     output: String,
     fuel: Option<u64>,
-    fuse: bool,
+    fusion: Fusion,
+    dispatch: DispatchMode,
+    /// Fusion counting mode: dynamic pair/triple frequencies, recorded by
+    /// the match loop (enabling it forces `Match` dispatch and no fusion
+    /// so base opcodes stay visible).
+    profile: Option<Box<FusionProfile>>,
+    /// Error staged by a failing threaded handler before it returns
+    /// [`Control::Fail`].
+    pending: Option<VmError>,
+    /// Result staged by the threaded `Halt` handler.
+    halted: Option<Word>,
     /// Formal region handles of every live frame, stacked; each frame
     /// indexes its slice via `Frame::fbase`. Keeping one shared pool makes
     /// a call allocation-free.
@@ -144,10 +176,15 @@ impl<'p> Vm<'p> {
             prog,
             rt,
             frames: Vec::new(),
+            cur_locals: 0,
             handlers: Vec::new(),
             output: String::new(),
             fuel: None,
-            fuse: true,
+            fusion: Fusion::default(),
+            dispatch: DispatchMode::default(),
+            profile: None,
+            pending: None,
+            halted: None,
             formal_pool: Vec::new(),
             region_pool: Vec::new(),
             scratch: Vec::new(),
@@ -164,7 +201,30 @@ impl<'p> Vm<'p> {
     /// Disables superinstruction fusion (the link pass still resolves
     /// branch targets). For differential testing of the fusion pass.
     pub fn without_fusion(mut self) -> Self {
-        self.fuse = false;
+        self.fusion = Fusion::Off;
+        self
+    }
+
+    /// Selects the superinstruction set the link pass may fuse.
+    pub fn with_fusion(mut self, fusion: Fusion) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Selects the dispatch engine.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Enables the fusion counting mode: dynamic opcode pair/triple
+    /// frequencies of fallthrough-adjacent instructions are recorded and
+    /// returned in [`VmOutcome::fusion_profile`]. Forces `Match` dispatch
+    /// with fusion off so base opcodes stay visible.
+    pub fn with_fusion_profile(mut self) -> Self {
+        self.profile = Some(Box::default());
+        self.fusion = Fusion::Off;
+        self.dispatch = DispatchMode::Match;
         self
     }
 
@@ -181,13 +241,11 @@ impl<'p> Vm<'p> {
     }
 
     fn local(&self, i: u32) -> Word {
-        let f = self.frame();
-        self.rt.stack[f.locals + i as usize]
+        self.rt.stack[self.cur_locals + i as usize]
     }
 
     fn set_local(&mut self, i: u32, v: Word) {
-        let idx = self.frame().locals + i as usize;
-        self.rt.stack[idx] = v;
+        self.rt.stack[self.cur_locals + i as usize] = v;
     }
 
     fn region_of(&self, slot: RegSlot) -> RegionId {
@@ -271,6 +329,7 @@ impl<'p> Vm<'p> {
             fbase,
             rbase: self.region_pool.len(),
         });
+        self.cur_locals = locals;
         self.rt.observe_mem();
     }
 
@@ -304,7 +363,7 @@ impl<'p> Vm<'p> {
     /// [`VmError::UncaughtException`] if an exception escapes;
     /// [`VmError::OutOfFuel`] if the optional budget is exhausted.
     pub fn run(mut self) -> Result<VmOutcome, VmError> {
-        let linked = link::link(self.prog, self.fuse);
+        let linked = link::link(self.prog, self.fusion);
         // Create the global regions (ids 0..n) and the main frame.
         for name in &self.prog.global_infinite {
             let _ = self.rt.letregion(*name);
@@ -320,8 +379,18 @@ impl<'p> Vm<'p> {
         let env0 = if self.rt.config.tagged { scalar(0) } else { 0 };
         self.push(env0);
         self.push_frame_from_stack(self.prog.main, 0, 0, usize::MAX);
-        let mut pc = linked.entry_pc[self.prog.main as usize] as usize;
+        let pc = linked.entry_pc[self.prog.main as usize] as usize;
+        match self.dispatch {
+            DispatchMode::Match => self.exec_match(linked, pc),
+            DispatchMode::Threaded => {
+                let tcode = threaded::translate(linked);
+                self.exec_threaded(&tcode, pc)
+            }
+        }
+    }
 
+    /// The classic loop: fetch, `match` on the [`LInstr`] variant.
+    fn exec_match(mut self, linked: LinkedProgram, mut pc: usize) -> Result<VmOutcome, VmError> {
         let code: &[LInstr] = &linked.code;
         let fuel_limit = self.fuel.unwrap_or(u64::MAX);
         let mut icount: u64 = 0;
@@ -346,6 +415,9 @@ impl<'p> Vm<'p> {
             icount += ins.cost();
             if icount > fuel_limit {
                 return Err(VmError::OutOfFuel);
+            }
+            if let Some(prof) = self.profile.as_deref_mut() {
+                prof.step(pc, Op::of(ins));
             }
             pc += 1;
             match ins {
@@ -553,6 +625,7 @@ impl<'p> Vm<'p> {
                     let result = self.pop();
                     let f = self.frames.pop().expect("return without frame");
                     debug_assert_eq!(self.region_pool.len(), f.rbase, "return with open regions");
+                    self.cur_locals = self.frames.last().map_or(0, |c| c.locals);
                     self.formal_pool.truncate(f.fbase);
                     self.rt.stack.truncate(f.base);
                     self.push(result);
@@ -637,6 +710,7 @@ impl<'p> Vm<'p> {
                         output: self.output,
                         instructions: icount,
                         stats,
+                        fusion_profile: self.profile.take(),
                         rt: self.rt,
                     });
                 }
@@ -726,6 +800,209 @@ impl<'p> Vm<'p> {
                         pc = *target as usize;
                     }
                 }
+                LInstr::StoreLoadSelect { j, i, sel } => {
+                    let v = self.pop();
+                    self.set_local(*j, v);
+                    let w = self.rt.field(self.local(*i), *sel as u64);
+                    self.push(w);
+                }
+                LInstr::LoadPrimJump { i, p, at, target } => {
+                    let v = self.local(*i);
+                    self.push(v);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                    let v = self.pop();
+                    if self.rt.untag_int(v) == 0 {
+                        pc = *target as usize;
+                    }
+                }
+                LInstr::SelectConstPrim { sel, k, p, at } => {
+                    let v = self.pop();
+                    let w = self.rt.field(v, *sel as u64);
+                    self.push(w);
+                    self.push(*k);
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                }
+                LInstr::StoreLoad { j, i } => {
+                    let v = self.pop();
+                    self.set_local(*j, v);
+                    let w = self.local(*i);
+                    self.push(w);
+                }
+                LInstr::LoadLoad { a, b } => {
+                    let va = self.local(*a);
+                    let vb = self.local(*b);
+                    self.push(va);
+                    self.push(vb);
+                }
+                LInstr::PrimJump { p, at, target } => {
+                    match self.do_prim(*p, *at) {
+                        Ok(()) => {}
+                        Err(exn) => raise_builtin!(self, pc, exn),
+                    }
+                    let v = self.pop();
+                    if self.rt.untag_int(v) == 0 {
+                        pc = *target as usize;
+                    }
+                }
+                LInstr::SelectStore { sel, j } => {
+                    let v = self.pop();
+                    let w = self.rt.field(v, *sel as u64);
+                    self.set_local(*j, w);
+                }
+                LInstr::LoadStore { i, j } => {
+                    let v = self.local(*i);
+                    self.set_local(*j, v);
+                }
+                LInstr::LoadSwitchCon {
+                    i,
+                    disc,
+                    arms,
+                    default,
+                } => {
+                    let v = self.local(*i);
+                    let ctor: u32 = if !is_ptr(v) {
+                        scalar_val(v) as u32
+                    } else {
+                        match disc {
+                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
+                            Disc::Single(c) => *c,
+                            Disc::Enum => unreachable!("boxed value in enum datatype"),
+                        }
+                    };
+                    let target = arms
+                        .iter()
+                        .find(|(c, _)| *c == ctor)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default);
+                    pc = target as usize;
+                }
+                LInstr::GcCheckLoad { i } => {
+                    if let Some(pol) = self.rt.config.generational {
+                        let nursery = &self.rt.regions[0];
+                        if nursery.pages >= pol.nursery_pages {
+                            self.collect_generational(pol);
+                        }
+                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
+                        self.collect();
+                    }
+                    let v = self.local(*i);
+                    self.push(v);
+                }
+                LInstr::RegHandleRegHandle { a, b } => {
+                    let ra = self.region_of(*a);
+                    let wa = self.rt.tag_int(ra.0 as i64);
+                    self.push(wa);
+                    let rb = self.region_of(*b);
+                    let wb = self.rt.tag_int(rb.0 as i64);
+                    self.push(wb);
+                }
+            }
+        }
+    }
+
+    /// Direct-threaded execution: the driver keeps `pc` and the
+    /// instruction counter in registers and dispatches through
+    /// [`HANDLERS`]; each handler does one opcode's work and reports how
+    /// control continues. Costs come from [`Op::cost`], which mirrors
+    /// [`LInstr::cost`] exactly, so fuel and instruction totals are
+    /// bit-identical with the match loop.
+    fn exec_threaded(mut self, t: &ThreadedCode, entry: usize) -> Result<VmOutcome, VmError> {
+        let fuel_limit = self.fuel.unwrap_or(u64::MAX);
+        let mut icount: u64 = 0;
+        let mut pc = entry;
+        loop {
+            let op = t.ops[pc];
+            icount += op.cost();
+            if icount > fuel_limit {
+                return Err(VmError::OutOfFuel);
+            }
+            // Rust has no computed goto, so the "threading" here is the
+            // dense-`u8` match below: it compiles to a single jump table
+            // over the opcode byte, and the hot handlers are
+            // `#[inline(always)]` so their bodies land inside the arms
+            // (an opaque call through the table would block inlining and
+            // costs ~10% on the recursive benchmarks). Cold opcodes go
+            // through [`HANDLERS`], which stays the single canonical
+            // opcode -> handler mapping.
+            let ctl = match op {
+                Op::PushConst => h_push_const(&mut self, t, pc as u32),
+                Op::Load => h_load(&mut self, t, pc as u32),
+                Op::Store => h_store(&mut self, t, pc as u32),
+                Op::Pop => h_pop(&mut self, t, pc as u32),
+                Op::MkRecord => h_mk_record(&mut self, t, pc as u32),
+                Op::Select => h_select(&mut self, t, pc as u32),
+                Op::MkCon => h_mk_con(&mut self, t, pc as u32),
+                Op::SwitchCon => h_switch_con(&mut self, t, pc as u32),
+                Op::Jump => h_jump(&mut self, t, pc as u32),
+                Op::JumpIfFalse => h_jump_if_false(&mut self, t, pc as u32),
+                Op::Prim => h_prim(&mut self, t, pc as u32),
+                Op::RegHandle => h_reg_handle(&mut self, t, pc as u32),
+                Op::Call => h_call(&mut self, t, pc as u32),
+                Op::Ret => h_ret(&mut self, t, pc as u32),
+                Op::GcCheck => h_gc_check(&mut self, t, pc as u32),
+                Op::LetRegion => h_let_region(&mut self, t, pc as u32),
+                Op::EndRegions => h_end_regions(&mut self, t, pc as u32),
+                Op::LoadLoadPrim => h_load_load_prim(&mut self, t, pc as u32),
+                Op::PushConstPrim => h_push_const_prim(&mut self, t, pc as u32),
+                Op::LoadSelect => h_load_select(&mut self, t, pc as u32),
+                Op::StorePop => h_store_pop(&mut self, t, pc as u32),
+                Op::PushConstJumpIfFalse => h_push_const_jump_if_false(&mut self, t, pc as u32),
+                Op::LoadConstPrim => h_load_const_prim(&mut self, t, pc as u32),
+                Op::LoadSelectStore => h_load_select_store(&mut self, t, pc as u32),
+                Op::LoadLoadPrimJump => h_load_load_prim_jump(&mut self, t, pc as u32),
+                Op::LoadConstPrimJump => h_load_const_prim_jump(&mut self, t, pc as u32),
+                Op::StoreLoadSelect => h_store_load_select(&mut self, t, pc as u32),
+                Op::LoadPrimJump => h_load_prim_jump(&mut self, t, pc as u32),
+                Op::SelectConstPrim => h_select_const_prim(&mut self, t, pc as u32),
+                Op::StoreLoad => h_store_load(&mut self, t, pc as u32),
+                Op::LoadLoad => h_load_load(&mut self, t, pc as u32),
+                Op::PrimJump => h_prim_jump(&mut self, t, pc as u32),
+                Op::SelectStore => h_select_store(&mut self, t, pc as u32),
+                Op::LoadStore => h_load_store(&mut self, t, pc as u32),
+                Op::LoadSwitchCon => h_load_switch_con(&mut self, t, pc as u32),
+                Op::GcCheckLoad => h_gc_check_load(&mut self, t, pc as u32),
+                Op::RegHandleRegHandle => h_reg_handle_reg_handle(&mut self, t, pc as u32),
+                _ => HANDLERS[op as usize](&mut self, t, pc as u32),
+            };
+            match ctl {
+                Control::Next => pc += 1,
+                Control::Goto(target) => pc = target as usize,
+                Control::Halt => {
+                    let result = self.halted.take().expect("Halt without a result");
+                    let mut stats = self.rt.stats.clone();
+                    stats.observe_bytes(self.rt.mem_bytes());
+                    return Ok(VmOutcome {
+                        result,
+                        output: self.output,
+                        instructions: icount,
+                        stats,
+                        fusion_profile: None,
+                        rt: self.rt,
+                    });
+                }
+                Control::Fail => {
+                    return Err(self.pending.take().expect("Fail without an error"));
+                }
+            }
+        }
+    }
+
+    /// Unwinds a built-in exception from a threaded handler: transfers to
+    /// the innermost handler, or stages the uncaught-exception error.
+    fn raise_or_fail(&mut self, exn: kit_lambda::ty::ExnId) -> Control {
+        let v = scalar(exn.0 as i64);
+        match self.do_raise(v) {
+            Some(new_pc) => Control::Goto(new_pc as u32),
+            None => {
+                self.pending = Some(self.uncaught(exn.0));
+                Control::Fail
             }
         }
     }
@@ -748,6 +1025,7 @@ impl<'p> Vm<'p> {
         let h = self.handlers.pop()?;
         self.rt.pop_regions_to(h.region_depth);
         self.frames.truncate(h.frame_idx + 1);
+        self.cur_locals = self.frames.last().map_or(0, |c| c.locals);
         self.region_pool.truncate(h.region_pool_len);
         self.formal_pool.truncate(h.formal_pool_len);
         self.rt.stack.truncate(h.stack_len);
@@ -1077,4 +1355,821 @@ impl<'p> Vm<'p> {
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------- threaded
+
+/// What a threaded handler tells the dispatch loop to do next.
+#[derive(Clone, Copy)]
+enum Control {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Transfer to an absolute pc (branches, calls, raises).
+    Goto(u32),
+    /// `Halt` executed; [`Vm::halted`] holds the result.
+    Halt,
+    /// Abnormal termination; [`Vm::pending`] holds the error.
+    Fail,
+}
+
+/// A threaded instruction handler: one opcode's worth of work.
+type OpHandler = for<'a, 'p, 't> fn(&'a mut Vm<'p>, &'t ThreadedCode, u32) -> Control;
+
+/// The direct-threaded dispatch table, indexed by `Op as usize` (the
+/// order of [`Op::ALL`]).
+const HANDLERS: [OpHandler; OP_COUNT] = [
+    h_push_const,
+    h_push_str,
+    h_spread,
+    h_unreachable,
+    h_push_real,
+    h_load,
+    h_store,
+    h_pop,
+    h_mk_record,
+    h_select,
+    h_mk_con,
+    h_de_con_adj,
+    h_switch_con,
+    h_switch_int,
+    h_switch_str,
+    h_switch_exn,
+    h_jump,
+    h_jump_if_false,
+    h_prim,
+    h_reg_handle,
+    h_call,
+    h_call_clos,
+    h_enter_via_pair,
+    h_ret,
+    h_gc_check,
+    h_let_region,
+    h_end_regions,
+    h_push_handler,
+    h_pop_handler,
+    h_mk_exn,
+    h_de_exn,
+    h_raise,
+    h_halt,
+    h_load_load_prim,
+    h_push_const_prim,
+    h_load_select,
+    h_store_pop,
+    h_push_const_jump_if_false,
+    h_load_const_prim,
+    h_load_select_store,
+    h_load_load_prim_jump,
+    h_load_const_prim_jump,
+    h_store_load_select,
+    h_load_prim_jump,
+    h_select_const_prim,
+    h_store_load,
+    h_load_load,
+    h_prim_jump,
+    h_select_store,
+    h_load_store,
+    h_load_switch_con,
+    h_gc_check_load,
+    h_reg_handle_reg_handle,
+];
+
+#[inline]
+fn args(t: &ThreadedCode, pc: u32) -> &threaded::Args {
+    &t.args[pc as usize]
+}
+
+#[inline(always)]
+fn h_push_const(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    vm.push(args(t, pc).k);
+    Control::Next
+}
+
+fn h_push_str(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let w = vm.rt.intern_const_str(&t.strs[args(t, pc).a as usize]);
+    vm.push(w);
+    Control::Next
+}
+
+fn h_spread(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let n = args(t, pc).n;
+    let v = vm.pop();
+    for i in 0..n {
+        let w = vm.rt.field(v, i as u64);
+        vm.push(w);
+    }
+    Control::Next
+}
+
+fn h_unreachable(_vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    unreachable!("exhaustive switch fell through")
+}
+
+fn h_push_real(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.alloc_at(
+        x.at.expect("real literal needs a place"),
+        Tag::real(),
+        &[x.k],
+    );
+    vm.push(v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.local(args(t, pc).a);
+    vm.push(v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_store(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    vm.set_local(args(t, pc).a, v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_pop(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    vm.pop();
+    Control::Next
+}
+
+#[inline(always)]
+fn h_mk_record(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let n = x.n as usize;
+    let start = vm.rt.stack.len() - n;
+    let mut fields = std::mem::take(&mut vm.scratch);
+    fields.clear();
+    fields.extend_from_slice(&vm.rt.stack[start..]);
+    vm.rt.stack.truncate(start);
+    let v = vm.alloc_at(
+        x.at.expect("record needs a place"),
+        Tag::record(n as u32),
+        &fields,
+    );
+    vm.scratch = fields;
+    vm.push(v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_select(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    let w = vm.rt.field(v, args(t, pc).n as u64);
+    vm.push(w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_mk_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let n = x.n as usize;
+    let start = vm.rt.stack.len() - n;
+    let mut fields = std::mem::take(&mut vm.scratch);
+    fields.clear();
+    if x.flag {
+        fields.push(scalar(x.a as i64));
+    }
+    fields.extend_from_slice(&vm.rt.stack[start..]);
+    vm.rt.stack.truncate(start);
+    let tag = Tag::con(x.a, fields.len() as u32);
+    let v = vm.alloc_at(x.at.expect("constructor needs a place"), tag, &fields);
+    vm.scratch = fields;
+    vm.push(v);
+    Control::Next
+}
+
+fn h_de_con_adj(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    let v = vm.pop();
+    vm.push(ptr(ptr_addr(v) + 1));
+    Control::Next
+}
+
+#[inline(always)]
+fn h_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    let (disc, (arms, default)) = &t.con_switches[args(t, pc).a as usize];
+    let ctor: u32 = if !is_ptr(v) {
+        scalar_val(v) as u32
+    } else {
+        match *disc {
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
+            Disc::Single(c) => c,
+            Disc::Enum => unreachable!("boxed value in enum datatype"),
+        }
+    };
+    let target = arms
+        .iter()
+        .find(|(c, _)| *c == ctor)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+fn h_switch_int(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    let n = vm.rt.untag_int(v);
+    let (arms, default) = &t.int_switches[args(t, pc).a as usize];
+    let target = arms
+        .iter()
+        .find(|(k, _)| *k == n)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+fn h_switch_str(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    let (arms, default) = &t.str_switches[args(t, pc).a as usize];
+    let s = vm.rt.str_val(v);
+    let target = arms
+        .iter()
+        .find(|(k, _)| k == s)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+fn h_switch_exn(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    let id = vm.exn_id(v);
+    let (arms, default) = &t.exn_switches[args(t, pc).a as usize];
+    let target = arms
+        .iter()
+        .find(|(k, _)| *k == id)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+#[inline(always)]
+fn h_jump(_vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    Control::Goto(args(t, pc).t)
+}
+
+#[inline(always)]
+fn h_jump_if_false(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(args(t, pc).t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_prim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    if matches!(
+        x.p,
+        Prim::ILt | Prim::ILe | Prim::IGt | Prim::IGe | Prim::IEq
+    ) {
+        let b = vm.pop();
+        let a = vm.pop();
+        let res = fast_int_cmp(vm, x.p, a, b).expect("int comparison");
+        let w = vm.rt.tag_int(res as i64);
+        vm.push(w);
+        return Control::Next;
+    }
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => Control::Next,
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_reg_handle(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let r = vm.region_of(args(t, pc).at.expect("region handle needs a slot"));
+    let w = vm.rt.tag_int(r.0 as i64);
+    vm.push(w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_call(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let n = x.n as usize;
+    let nf = x.m as usize;
+    let ret = if x.flag {
+        let f = vm.frames.pop().unwrap();
+        debug_assert_eq!(vm.region_pool.len(), f.rbase, "tail call with open regions");
+        vm.formal_pool.truncate(f.fbase);
+        // Slide the call block down onto the dead frame.
+        let sp = vm.rt.stack.len();
+        let start = sp - n - nf - 1;
+        vm.rt.stack.copy_within(start..sp, f.base);
+        vm.rt.stack.truncate(f.base + n + nf + 1);
+        f.ret_pc
+    } else {
+        pc as usize + 1
+    };
+    vm.push_frame_from_stack(x.a, n, nf, ret);
+    Control::Goto(x.t)
+}
+
+fn h_call_clos(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let n = x.n as usize;
+    let sp = vm.rt.stack.len();
+    // The closure doubles as the callee's environment.
+    let clos = vm.rt.stack[sp - n - 1];
+    let label = scalar_val(vm.rt.field(clos, 0)) as usize;
+    let fun = t.fun_of_label[label];
+    debug_assert_ne!(fun, u32::MAX, "closure label is not a function entry");
+    let ret = if x.flag {
+        let f = vm.frames.pop().unwrap();
+        debug_assert_eq!(vm.region_pool.len(), f.rbase, "tail call with open regions");
+        vm.formal_pool.truncate(f.fbase);
+        vm.rt.stack.copy_within(sp - n - 1..sp, f.base);
+        vm.rt.stack.truncate(f.base + n + 1);
+        f.ret_pc
+    } else {
+        pc as usize + 1
+    };
+    vm.push_frame_from_stack(fun, n, 0, ret);
+    Control::Goto(t.pc_of_label[label])
+}
+
+fn h_enter_via_pair(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let nformals = args(t, pc).n;
+    let pair = vm.local(0);
+    let shared = vm.rt.field(pair, 1);
+    vm.set_local(0, shared);
+    let fbase = vm.frame().fbase;
+    vm.formal_pool.truncate(fbase);
+    for i in 0..nformals {
+        let w = vm.rt.field(pair, 2 + i as u64);
+        vm.formal_pool.push(RegionId(vm.rt.untag_int(w) as u32));
+    }
+    Control::Next
+}
+
+#[inline(always)]
+fn h_ret(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    let result = vm.pop();
+    let f = vm.frames.pop().expect("return without frame");
+    debug_assert_eq!(vm.region_pool.len(), f.rbase, "return with open regions");
+    vm.cur_locals = vm.frames.last().map_or(0, |c| c.locals);
+    vm.formal_pool.truncate(f.fbase);
+    vm.rt.stack.truncate(f.base);
+    vm.push(result);
+    Control::Goto(f.ret_pc as u32)
+}
+
+#[inline(always)]
+fn h_gc_check(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    if let Some(pol) = vm.rt.config.generational {
+        let nursery = &vm.rt.regions[0];
+        if nursery.pages >= pol.nursery_pages {
+            vm.collect_generational(pol);
+        }
+    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
+        vm.collect();
+    }
+    Control::Next
+}
+
+#[inline(always)]
+fn h_let_region(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    for name in t.names[args(t, pc).a as usize].iter() {
+        let id = vm.rt.letregion(*name);
+        vm.region_pool.push(id);
+    }
+    Control::Next
+}
+
+#[inline(always)]
+fn h_end_regions(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    for _ in 0..args(t, pc).n {
+        vm.rt.endregion();
+        vm.region_pool.pop();
+    }
+    Control::Next
+}
+
+fn h_push_handler(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    vm.handlers.push(Handler {
+        target: args(t, pc).t as usize,
+        frame_idx: vm.frames.len() - 1,
+        stack_len: vm.rt.stack.len(),
+        region_depth: vm.rt.region_depth(),
+        region_pool_len: vm.region_pool.len(),
+        formal_pool_len: vm.formal_pool.len(),
+    });
+    Control::Next
+}
+
+fn h_pop_handler(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    vm.handlers.pop().expect("handler stack underflow");
+    Control::Next
+}
+
+fn h_mk_exn(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    if !x.flag {
+        vm.push(scalar(x.a as i64));
+    } else {
+        let arg = vm.pop();
+        let tag = Tag::exn(x.a, 1);
+        let fields: Vec<Word> = if vm.rt.config.tagged {
+            vec![arg]
+        } else {
+            vec![scalar(x.a as i64), arg]
+        };
+        let v = vm.alloc_at(
+            x.at.expect("carrying exception needs a place"),
+            tag,
+            &fields,
+        );
+        vm.push(v);
+    }
+    Control::Next
+}
+
+fn h_de_exn(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    let v = vm.pop();
+    let off = if vm.rt.config.tagged { 0 } else { 1 };
+    let w = vm.rt.field(v, off);
+    vm.push(w);
+    Control::Next
+}
+
+fn h_raise(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    let v = vm.pop();
+    match vm.do_raise(v) {
+        Some(new_pc) => Control::Goto(new_pc as u32),
+        None => {
+            let id = vm.exn_id(v);
+            vm.pending = Some(vm.uncaught(id));
+            Control::Fail
+        }
+    }
+}
+
+fn h_halt(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
+    let result = vm.pop();
+    vm.halted = Some(result);
+    Control::Halt
+}
+
+// -------------------------------------------- superinstruction handlers
+
+/// Integer-comparison fast path for the fused compare-and-branch
+/// superinstructions: computes exactly what [`Vm::do_prim`] would push
+/// for the int comparisons (they cannot raise or allocate) without the
+/// operand-stack round trip. `None` sends the caller down the generic
+/// path.
+#[inline(always)]
+fn fast_int_cmp(vm: &Vm<'_>, p: Prim, a: Word, b: Word) -> Option<bool> {
+    let (x, y) = (vm.rt.untag_int(a), vm.rt.untag_int(b));
+    match p {
+        Prim::ILt => Some(x < y),
+        Prim::ILe => Some(x <= y),
+        Prim::IGt => Some(x > y),
+        Prim::IGe => Some(x >= y),
+        Prim::IEq => Some(x == y),
+        _ => None,
+    }
+}
+
+/// Integer-arithmetic fast path for the fused prim superinstructions:
+/// returns the tagged result word, or `None` (wrong prim, overflow, or
+/// out of the implementation's int range) to send the caller down the
+/// generic path — which recomputes and raises `Overflow` properly.
+#[inline(always)]
+fn fast_int_arith(vm: &Vm<'_>, p: Prim, a: Word, b: Word) -> Option<Word> {
+    let (x, y) = (vm.rt.untag_int(a), vm.rt.untag_int(b));
+    let v = match p {
+        Prim::IAdd => x.checked_add(y),
+        Prim::ISub => x.checked_sub(y),
+        Prim::IMul => x.checked_mul(y),
+        _ => None,
+    }
+    .filter(|v| int_in_range(*v))?;
+    Some(vm.rt.tag_int(v))
+}
+
+#[inline(always)]
+fn h_load_load_prim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let va = vm.local(x.a);
+    let vb = vm.local(x.b);
+    if let Some(w) = fast_int_arith(vm, x.p, va, vb) {
+        vm.push(w);
+        return Control::Next;
+    }
+    vm.push(va);
+    vm.push(vb);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => Control::Next,
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_push_const_prim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    // The other operand is already on the stack, under the constant.
+    if matches!(
+        x.p,
+        Prim::ILt | Prim::ILe | Prim::IGt | Prim::IGe | Prim::IEq
+    ) {
+        let a = vm.pop();
+        let res = fast_int_cmp(vm, x.p, a, x.k).expect("int comparison");
+        let w = vm.rt.tag_int(res as i64);
+        vm.push(w);
+        return Control::Next;
+    }
+    if matches!(x.p, Prim::IAdd | Prim::ISub | Prim::IMul) {
+        let a = vm.pop();
+        if let Some(w) = fast_int_arith(vm, x.p, a, x.k) {
+            vm.push(w);
+            return Control::Next;
+        }
+        vm.push(a);
+    }
+    vm.push(x.k);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => Control::Next,
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_load_select(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    let w = vm.rt.field(v, x.n as u64);
+    vm.push(w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_store_pop(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let v = vm.pop();
+    vm.set_local(args(t, pc).a, v);
+    vm.pop();
+    Control::Next
+}
+
+#[inline(always)]
+fn h_push_const_jump_if_false(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    if vm.rt.untag_int(x.k) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_load_const_prim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    if let Some(w) = fast_int_arith(vm, x.p, v, x.k) {
+        vm.push(w);
+        return Control::Next;
+    }
+    if let Some(res) = fast_int_cmp(vm, x.p, v, x.k) {
+        let w = vm.rt.tag_int(res as i64);
+        vm.push(w);
+        return Control::Next;
+    }
+    vm.push(v);
+    vm.push(x.k);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => Control::Next,
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_load_select_store(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    let w = vm.rt.field(v, x.n as u64);
+    vm.set_local(x.m as u32, w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load_load_prim_jump(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let va = vm.local(x.a);
+    let vb = vm.local(x.b);
+    if let Some(res) = fast_int_cmp(vm, x.p, va, vb) {
+        return if res {
+            Control::Next
+        } else {
+            Control::Goto(x.t)
+        };
+    }
+    vm.push(va);
+    vm.push(vb);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {}
+        Err(exn) => return vm.raise_or_fail(exn),
+    }
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_load_const_prim_jump(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    if let Some(res) = fast_int_cmp(vm, x.p, v, x.k) {
+        return if res {
+            Control::Next
+        } else {
+            Control::Goto(x.t)
+        };
+    }
+    vm.push(v);
+    vm.push(x.k);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {}
+        Err(exn) => return vm.raise_or_fail(exn),
+    }
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_store_load_select(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.pop();
+    vm.set_local(x.a, v);
+    let w = vm.rt.field(vm.local(x.b), x.n as u64);
+    vm.push(w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load_prim_jump(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    // The other operand is already on the stack (under the loaded one).
+    if matches!(
+        x.p,
+        Prim::ILt | Prim::ILe | Prim::IGt | Prim::IGe | Prim::IEq
+    ) {
+        let a = vm.pop();
+        let res = fast_int_cmp(vm, x.p, a, v).expect("int comparison");
+        return if res {
+            Control::Next
+        } else {
+            Control::Goto(x.t)
+        };
+    }
+    vm.push(v);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {}
+        Err(exn) => return vm.raise_or_fail(exn),
+    }
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_select_const_prim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.pop();
+    let w = vm.rt.field(v, x.n as u64);
+    vm.push(w);
+    vm.push(x.k);
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => Control::Next,
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_store_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.pop();
+    vm.set_local(x.a, v);
+    let w = vm.local(x.b);
+    vm.push(w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let va = vm.local(x.a);
+    let vb = vm.local(x.b);
+    vm.push(va);
+    vm.push(vb);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_prim_jump(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    if matches!(
+        x.p,
+        Prim::ILt | Prim::ILe | Prim::IGt | Prim::IGe | Prim::IEq
+    ) {
+        let b = vm.pop();
+        let a = vm.pop();
+        let res = fast_int_cmp(vm, x.p, a, b).expect("int comparison");
+        return if res {
+            Control::Next
+        } else {
+            Control::Goto(x.t)
+        };
+    }
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {}
+        Err(exn) => return vm.raise_or_fail(exn),
+    }
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_select_store(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.pop();
+    let w = vm.rt.field(v, x.n as u64);
+    vm.set_local(x.a, w);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load_store(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    vm.set_local(x.b, v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.b);
+    let (disc, (arms, default)) = &t.con_switches[x.a as usize];
+    let ctor: u32 = if !is_ptr(v) {
+        scalar_val(v) as u32
+    } else {
+        match *disc {
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
+            Disc::Single(c) => c,
+            Disc::Enum => unreachable!("boxed value in enum datatype"),
+        }
+    };
+    let target = arms
+        .iter()
+        .find(|(c, _)| *c == ctor)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+#[inline(always)]
+fn h_gc_check_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    if let Some(pol) = vm.rt.config.generational {
+        let nursery = &vm.rt.regions[0];
+        if nursery.pages >= pol.nursery_pages {
+            vm.collect_generational(pol);
+        }
+    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
+        vm.collect();
+    }
+    let v = vm.local(args(t, pc).a);
+    vm.push(v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_reg_handle_reg_handle(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let ra = vm.region_of(x.at.expect("region handle needs a slot"));
+    let wa = vm.rt.tag_int(ra.0 as i64);
+    vm.push(wa);
+    let rb = vm.region_of(x.at2.expect("region handle needs a slot"));
+    let wb = vm.rt.tag_int(rb.0 as i64);
+    vm.push(wb);
+    Control::Next
 }

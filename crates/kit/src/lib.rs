@@ -29,7 +29,9 @@ use kit_runtime::{Rt, RtConfig, RtStats};
 use kit_typing::TypeError;
 use std::fmt;
 
+pub use kit_kam::threaded::Op as KamOp;
 pub use kit_kam::Program;
+pub use kit_kam::{DispatchMode, Fusion, FusionProfile};
 pub use kit_lambda::ty::LTy;
 pub use kit_runtime::stats::GcRecord;
 
@@ -141,6 +143,9 @@ pub struct Outcome {
     pub stats: RtStats,
     /// Region-profile samples if profiling was enabled (paper Fig. 5).
     pub profile: Vec<kit_runtime::profile::Sample>,
+    /// Dynamic opcode pair/triple counts if the fusion counting mode was
+    /// enabled ([`Compiler::with_fusion_profile`]).
+    pub fusion_profile: Option<Box<FusionProfile>>,
     /// Wall-clock execution time of the VM run.
     pub wall: std::time::Duration,
 }
@@ -162,7 +167,9 @@ pub struct Compiler {
     opt: OptOptions,
     config: RtConfig,
     fuel: Option<u64>,
-    fusion: bool,
+    fusion: Fusion,
+    dispatch: DispatchMode,
+    fusion_profile: bool,
 }
 
 impl Compiler {
@@ -173,7 +180,9 @@ impl Compiler {
             opt: OptOptions::default(),
             config: mode.rt_config(),
             fuel: None,
-            fusion: true,
+            fusion: Fusion::default(),
+            dispatch: DispatchMode::default(),
+            fusion_profile: false,
         }
     }
 
@@ -218,7 +227,29 @@ impl Compiler {
     /// (for differential testing; all observable behavior — including the
     /// instruction count — is identical either way).
     pub fn without_fusion(mut self) -> Self {
-        self.fusion = false;
+        self.fusion = Fusion::Off;
+        self
+    }
+
+    /// Selects the superinstruction set the link pass may fuse (`Off`,
+    /// the hand-picked PR 1 `Hand` set, or the `Full` generated table).
+    pub fn with_fusion(mut self, fusion: Fusion) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Selects the interpreter's dispatch engine (classic match loop or
+    /// direct-threaded handler table); observable behavior is identical.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Enables the VM's fusion counting mode: dynamic opcode pair/triple
+    /// frequencies are returned in [`Outcome::fusion_profile`]. Forces
+    /// match dispatch with fusion off so base opcodes stay visible.
+    pub fn with_fusion_profile(mut self) -> Self {
+        self.fusion_profile = true;
         self
     }
 
@@ -253,12 +284,14 @@ impl Compiler {
     /// Returns a runtime error on uncaught exceptions or fuel exhaustion.
     pub fn run_program(&self, prog: &kit_kam::Program) -> Result<Outcome, Error> {
         let rt = Rt::new(self.config.clone());
-        let mut vm = Vm::new(prog, rt);
+        let mut vm = Vm::new(prog, rt)
+            .with_fusion(self.fusion)
+            .with_dispatch(self.dispatch);
         if let Some(f) = self.fuel {
             vm = vm.with_fuel(f);
         }
-        if !self.fusion {
-            vm = vm.without_fusion();
+        if self.fusion_profile {
+            vm = vm.with_fusion_profile();
         }
         let t0 = std::time::Instant::now();
         let out = vm.run()?;
@@ -270,6 +303,7 @@ impl Compiler {
             instructions: out.instructions,
             stats: out.stats,
             profile: out.rt.profiler.samples().to_vec(),
+            fusion_profile: out.fusion_profile,
             wall,
         })
     }

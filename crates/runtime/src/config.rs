@@ -22,6 +22,12 @@ pub struct RtConfig {
     /// After a collection the region heap is grown until it is at least
     /// this multiple of the live (to-space) pages (paper §4: 3.0).
     pub heap_to_live_ratio: f64,
+    /// Asymmetric heap sizing: growth to `heap_to_live_ratio × live` is
+    /// immediate, but free pages are only released back to the allocator
+    /// when the heap exceeds `heap_shrink_factor` times that target
+    /// (hysteresis, so a single deep recursion does not thrash the arena).
+    /// The shrink trims back to the growth target; `None` never shrinks.
+    pub heap_shrink_factor: Option<f64>,
     /// Initial number of region pages.
     pub initial_pages: usize,
     /// Boxed values at least this many words go to the large-object space
@@ -114,6 +120,7 @@ impl RtConfig {
             gc_enabled: false,
             gc_threshold: 1.0 / 3.0,
             heap_to_live_ratio: 3.0,
+            heap_shrink_factor: Some(4.0),
             initial_pages: 64,
             large_object_words: 128,
             profile: false,

@@ -55,6 +55,11 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
     // cache stays invalid for the whole collection (GC-path allocations
     // write through).
     rt.flush_alloc_cache();
+    if rt.config.heap_shrink_factor.is_some() {
+        // To-space should fill the arena bottom-up so the post-collection
+        // shrink finds its free pages at the physical tail.
+        rt.heap.sort_free_list();
+    }
 
     // ---- accounting before the flip (Table 3 inputs).
     let page_payload = (rt.heap.page_words() - PAGE_HDR as usize) as u64;
@@ -185,6 +190,8 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
     let want_total = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
     if rt.heap.total_pages() < want_total {
         rt.heap.grow(want_total - rt.heap.total_pages());
+    } else {
+        shrink_with_hysteresis(rt, want_total);
     }
     rt.stats.gc_records.push(GcRecord {
         prev_live_pages: rt.stats.last_live_pages,
@@ -207,6 +214,22 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
     if rt.profiler.enabled() {
         let regions = rt.regions.clone();
         rt.profiler.sample(&regions);
+    }
+}
+
+/// Asymmetric heap sizing (growth is immediate, above): once the arena
+/// exceeds `heap_shrink_factor` times the growth target, free tail pages
+/// are released back down to the target. The hysteresis band between the
+/// two keeps a workload that oscillates around one size from thrashing
+/// `grow`/`release_tail` on every collection.
+fn shrink_with_hysteresis(rt: &mut Rt, want_total: usize) {
+    let Some(factor) = rt.config.heap_shrink_factor else {
+        return;
+    };
+    let floor = want_total.max(rt.config.initial_pages);
+    let cap = ((floor as f64) * factor).ceil() as usize;
+    if rt.heap.total_pages() > cap {
+        rt.heap.release_tail(rt.heap.total_pages() - floor);
     }
 }
 
@@ -245,6 +268,8 @@ pub fn collect_gen(
         let want = ((live as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
         if rt.heap.total_pages() < want {
             rt.heap.grow(want - rt.heap.total_pages());
+        } else {
+            shrink_with_hysteresis(rt, want);
         }
         rt.stats.last_live_pages = live;
     }
@@ -684,6 +709,45 @@ mod tests {
             v = rt.field(v, 1);
         }
         sum
+    }
+
+    #[test]
+    fn collector_shrinks_an_oversized_heap_with_hysteresis() {
+        let mut rt = rt();
+        let r = rt.letregion(0);
+        // Blow the heap up with garbage, then drop it all.
+        for _ in 0..200 {
+            let _ = build_list(&mut rt, r, 200);
+        }
+        let live = build_list(&mut rt, r, 5);
+        rt.stack.push(live);
+        let root = rt.stack.len() - 1;
+        let before = rt.heap.total_pages();
+        collect(&mut rt, &[root], &mut []);
+        let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
+        let want = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
+        let floor = want.max(rt.config.initial_pages);
+        let cap = ((floor as f64) * rt.config.heap_shrink_factor.unwrap()).ceil() as usize;
+        assert!(before > cap, "setup must overshoot the hysteresis cap");
+        // Shrink fired, but only the free tail is physically releasable —
+        // this collection's to-space came from whatever pages were free at
+        // the flip, which may sit high in the arena.
+        let after_first = rt.heap.total_pages();
+        assert!(after_first < before, "first collection must release pages");
+        assert_eq!(list_sum(&rt, rt.stack[root]), 15);
+        rt.check_page_conservation().unwrap();
+
+        // The next collection re-sorts the (now huge) free-list, places
+        // to-space at the bottom of the arena, and the release reaches the
+        // growth target exactly.
+        collect(&mut rt, &[root], &mut []);
+        assert_eq!(rt.heap.total_pages(), floor, "shrink-to-target");
+        rt.check_page_conservation().unwrap();
+
+        // Within the hysteresis band nothing more is released.
+        collect(&mut rt, &[root], &mut []);
+        assert!(rt.heap.total_pages() >= floor, "no thrash inside the band");
+        rt.check_page_conservation().unwrap();
     }
 
     #[test]

@@ -130,6 +130,59 @@ impl Heap {
         self.free_count += count;
     }
 
+    /// Rebuilds the free-list in ascending address order, so subsequent
+    /// [`alloc_page`](Heap::alloc_page) calls fill the arena from the
+    /// bottom. Run before a collection's flip when shrinking is enabled:
+    /// to-space then lands at low addresses and the tail stays free for
+    /// [`release_tail`](Heap::release_tail).
+    pub fn sort_free_list(&mut self) {
+        let mut pages: Vec<u64> = self.pages_from(self.free_head).collect();
+        pages.sort_unstable();
+        let mut head = NONE_ADDR;
+        for &p in pages.iter().rev() {
+            self.write(p + PAGE_NEXT, head);
+            head = p;
+        }
+        self.free_head = head;
+    }
+
+    /// Releases up to `max` *free* pages from the tail of the arena back
+    /// to the process allocator, returning how many were released. Only
+    /// the physical tail can be returned (pages are indices into one
+    /// contiguous arena), so the shrink stops at the first in-use tail
+    /// page; the free-list unlink is a scan, which is fine at GC
+    /// frequency.
+    pub fn release_tail(&mut self, max: usize) -> usize {
+        let mut released = 0;
+        'tail: while released < max && self.total_pages > 1 {
+            let tail = (self.words.len() - self.page_words) as u64;
+            let mut prev = NONE_ADDR;
+            let mut cur = self.free_head;
+            while cur != NONE_ADDR {
+                let next = self.read(cur + PAGE_NEXT);
+                if cur == tail {
+                    if prev == NONE_ADDR {
+                        self.free_head = next;
+                    } else {
+                        self.write(prev + PAGE_NEXT, next);
+                    }
+                    self.words.truncate(self.words.len() - self.page_words);
+                    self.free_count -= 1;
+                    self.total_pages -= 1;
+                    released += 1;
+                    continue 'tail;
+                }
+                prev = cur;
+                cur = next;
+            }
+            break; // tail page is in use
+        }
+        if released > 0 {
+            self.words.shrink_to_fit();
+        }
+        released
+    }
+
     /// Iterates the page chain starting at `first`.
     pub fn pages_from(&self, first: u64) -> PageIter<'_> {
         PageIter {
@@ -211,6 +264,28 @@ mod tests {
         h.write(b + PAGE_NEXT, c);
         let chain: Vec<u64> = h.pages_from(a).collect();
         assert_eq!(chain, vec![a, b, c]);
+    }
+
+    #[test]
+    fn release_tail_returns_free_tail_pages_only() {
+        let mut h = Heap::new(64, 8);
+        // Occupy the two lowest pages; the free-list holds the rest.
+        // (Pages come off the LIFO free-list highest-first, so drain and
+        // re-free everything but the lowest two.)
+        let mut pages: Vec<u64> = (0..8).map(|_| h.alloc_page(0)).collect();
+        pages.sort();
+        for &p in &pages[2..] {
+            h.write(p + PAGE_NEXT, NONE_ADDR);
+            h.free_run(p, p, 1);
+        }
+        assert_eq!(h.free_pages(), 6);
+        // All six free pages sit above the two in-use ones: releasable.
+        assert_eq!(h.release_tail(100), 6);
+        assert_eq!(h.total_pages(), 2);
+        assert_eq!(h.free_pages(), 0);
+        // The tail is now in use; nothing further can be released.
+        assert_eq!(h.release_tail(100), 0);
+        assert_eq!(h.bytes(), 2 * 64 * 8);
     }
 
     #[test]

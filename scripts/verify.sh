@@ -17,4 +17,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fusion/dispatch equivalence (release)"
+cargo test --release -p kit-bench --test fusion -q
+
+echo "==> bench-summary smoke run (2 programs)"
+cargo run --release -p kit-bench --bin bench-summary -- \
+    --only fib,tak --modes r --samples 1 --out /tmp/bench_smoke.json
+rm -f /tmp/bench_smoke.json
+
 echo "verify: OK"
