@@ -1,14 +1,15 @@
 //! Perf-trajectory snapshot: runs every benchmark of the paper's Fig. 3 in
 //! all five execution modes and writes a machine-readable JSON summary
-//! (default `BENCH_PR2.json`).
+//! (default `BENCH_PR3.json`).
 //!
 //! By default each (program, mode) cell is measured under three interpreter
 //! configurations, interleaved sample-by-sample so host throughput drift
 //! cancels out of the A/B comparison:
 //!
 //! * `match_hand`    — PR 1 baseline: match-dispatch loop, hand fusion set
-//! * `threaded_hand` — direct-threaded dispatch, same hand fusion set
-//! * `threaded_full` — direct-threaded dispatch, full generated fusion table
+//! * `threaded_full` — PR 2 loop: direct-threaded dispatch, full fusion table
+//! * `register`      — PR 3 engine: register-translated code (the translation
+//!   subsumes stack-shuffle fusion, so its fusion setting is moot)
 //!
 //! The deterministic counters (instructions, words allocated, #GC, bytes
 //! copied) are bit-identical across runs, machines *and configurations* —
@@ -20,7 +21,7 @@
 //! Usage: `cargo run -p kit-bench --release --bin bench-summary --
 //!         [--full] [--samples N] [--out PATH] [--jobs N]
 //!         [--only prog,prog,...] [--modes r,rt,...]
-//!         [--dispatch match|threaded] [--fusion off|hand|full]
+//!         [--dispatch match|threaded|register] [--fusion off|hand|full]
 //!         [--profile-fusion]`
 //!
 //! `--only`/`--modes` restrict the sweep; `--dispatch`/`--fusion` replace
@@ -57,14 +58,14 @@ const COMPARE: [Config; 3] = [
         fusion: Fusion::Hand,
     },
     Config {
-        name: "threaded_hand",
-        dispatch: DispatchMode::Threaded,
-        fusion: Fusion::Hand,
-    },
-    Config {
         name: "threaded_full",
         dispatch: DispatchMode::Threaded,
         fusion: Fusion::Full,
+    },
+    Config {
+        name: "register",
+        dispatch: DispatchMode::Register,
+        fusion: Fusion::Off,
     },
 ];
 
@@ -107,7 +108,7 @@ fn main() {
         .max(1);
     let out_path = flag_val("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let csv_arg = |flag: &str| -> Option<Vec<String>> {
         flag_val(flag).map(|s| s.split(',').map(str::to_string).collect())
     };
@@ -117,7 +118,8 @@ fn main() {
     let dispatch = flag_val("--dispatch").map(|s| match s.as_str() {
         "match" => DispatchMode::Match,
         "threaded" => DispatchMode::Threaded,
-        other => panic!("--dispatch {other}: expected match|threaded"),
+        "register" => DispatchMode::Register,
+        other => panic!("--dispatch {other}: expected match|threaded|register"),
     });
     let fusion = flag_val("--fusion").map(|s| match s.as_str() {
         "off" => Fusion::Off,

@@ -69,16 +69,17 @@ fn both_dispatch_modes_render_the_same_mnemonic_stream() {
 }
 
 #[test]
-fn tier2_superinstructions_appear_and_disassemble() {
-    // The profile-selected tier-2 set should fire on real benchmark code
-    // (that is what justified it) and render under its mnemonics.
+fn tier2_and_tier3_superinstructions_appear_and_disassemble() {
+    // The profile-selected tier-2/tier-3 sets should fire on real
+    // benchmark code (that is what justified them) and render under
+    // their mnemonics.
     let mut seen = std::collections::BTreeSet::new();
     for b in programs::all() {
         let prog = compiled(&b.source_scaled(b.test_scale));
         let full = disasm::disassemble_threaded(&prog, Fusion::Full);
         // The leading space avoids prefix collisions (`LoadLoadPrimJump`
         // contains `LoadPrimJump`); disasm renders "  <pc>  <variant> {".
-        const TIER2: [&str; 11] = [
+        const PROFILED: [&str; 14] = [
             " StoreLoadSelect {",
             " LoadPrimJump {",
             " SelectConstPrim {",
@@ -90,36 +91,132 @@ fn tier2_superinstructions_appear_and_disassemble() {
             " LoadSwitchCon {",
             " GcCheckLoad {",
             " RegHandleRegHandle {",
+            " SelectStoreLoad {",
+            " GcCheckLoadSwitchCon {",
+            " RegHandleRegHandleLoad {",
         ];
-        for mn in TIER2 {
+        for mn in PROFILED {
             if full.contains(mn) {
                 seen.insert(mn);
             }
         }
-        // Tier 1 only: no tier-2 mnemonics may appear.
+        // Tier 1 only: no tier-2/tier-3 mnemonics may appear.
         let hand = disasm::disassemble_threaded(&prog, Fusion::Hand);
-        for mn in TIER2 {
+        for mn in PROFILED {
             assert!(
                 !hand.contains(mn),
-                "{}: tier-2 {mn} leaked into Fusion::Hand",
+                "{}: profiled {mn} leaked into Fusion::Hand",
                 b.name
             );
         }
     }
     // SelectConstPrim fired only ~2.5k times across the suite, so it need
-    // not appear at test scale; the data-hot five must.
+    // not appear at test scale; the data-hot rest must. `SelectStore` is
+    // now almost always swallowed by the longer tier-3 `SelectStoreLoad`,
+    // so it is exempt too.
     for mn in [
         " StoreLoadSelect {",
         " LoadPrimJump {",
         " StoreLoad {",
         " LoadLoad {",
         " PrimJump {",
-        " SelectStore {",
         " LoadStore {",
         " LoadSwitchCon {",
         " GcCheckLoad {",
         " RegHandleRegHandle {",
+        " SelectStoreLoad {",
+        " GcCheckLoadSwitchCon {",
+        " RegHandleRegHandleLoad {",
     ] {
         assert!(seen.contains(mn), "{mn} never fused on any benchmark");
     }
+}
+
+#[test]
+fn register_form_round_trips_on_every_benchmark() {
+    for b in programs::all() {
+        let prog = compiled(&b.source_scaled(b.test_scale));
+        let linked = link(&prog, Fusion::Off);
+        let r = kit_kam::register::translate(&linked);
+        // Cost preservation: the charge stream covers every source
+        // instruction — this is what keeps fuel and the GC schedule
+        // bit-identical to the stack engines.
+        let total: u64 = r.costs.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, linked.code.len() as u64, "{}: cost sum", b.name);
+        assert_eq!(
+            r.folded,
+            linked.code.len() as u64 - r.code.ops.len() as u64,
+            "{}: folded count",
+            b.name
+        );
+        // Every pc decodes; base ops decode to an LInstr whose opcode
+        // matches the stream (the register counterpart of `rebuild`).
+        for pc in 0..r.code.ops.len() {
+            match r.decode(pc) {
+                kit_kam::RegInstr::Base(ins) => {
+                    assert_eq!(
+                        Op::of(&ins),
+                        r.code.ops[pc],
+                        "{}: base decode at pc {pc}",
+                        b.name
+                    );
+                }
+                kit_kam::RegInstr::RPrim {
+                    a,
+                    b: kit_kam::RSrc::Stack,
+                    ..
+                }
+                | kit_kam::RegInstr::RPrimJump {
+                    a,
+                    b: kit_kam::RSrc::Stack,
+                    ..
+                } => {
+                    // Translator invariant: a physical B operand implies a
+                    // physical A operand.
+                    assert_eq!(a, kit_kam::RSrc::Stack, "{}: pc {pc}", b.name);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn register_opcodes_all_fire_and_disassemble() {
+    use kit_kam::threaded::Op as TOp;
+    let mut seen = std::collections::HashSet::new();
+    for b in programs::all() {
+        let prog = compiled(&b.source_scaled(b.test_scale));
+        let linked = link(&prog, Fusion::Off);
+        let r = kit_kam::register::translate(&linked);
+        for &op in &r.code.ops {
+            seen.insert(op);
+        }
+        let dis = disasm::disassemble_register(&prog);
+        assert!(
+            dis.starts_with("; register:"),
+            "{}: register disassembly header",
+            b.name
+        );
+        assert!(
+            dis.contains("Halt"),
+            "{}: register disassembly body",
+            b.name
+        );
+    }
+    // Every register-only opcode earns its keep on the benchmark corpus —
+    // except `RStoreConst`, whose `PushConst; Store` source shape the
+    // compiler only emits for constant let-bindings that survive
+    // optimization; a directed program covers it below.
+    for op in [TOp::RPrim, TOp::RPrimJump, TOp::RJumpIfFalse, TOp::RRet] {
+        assert!(seen.contains(&op), "{op:?} never emitted on any benchmark");
+    }
+    let prog = compiled("fun f n = let val k = (print \"\"; 7) in k + n end\nval it = f 35");
+    let linked = link(&prog, Fusion::Off);
+    let r = kit_kam::register::translate(&linked);
+    assert!(
+        r.code.ops.contains(&TOp::RStoreConst),
+        "constant let-binding should emit RStoreConst:\n{}",
+        disasm::disassemble_register(&prog)
+    );
 }

@@ -8,6 +8,7 @@
 
 use kit::{Compiler, DispatchMode, Fusion, Mode};
 use kit_bench::programs;
+use kit_kam::LInstr;
 
 #[test]
 fn fusion_and_dispatch_are_observationally_invisible_on_every_benchmark() {
@@ -29,7 +30,38 @@ fn check_all_benchmarks() {
         (DispatchMode::Threaded, Fusion::Off),
         (DispatchMode::Threaded, Fusion::Hand),
         (DispatchMode::Threaded, Fusion::Full),
+        // The register engine links with fusion off internally; the
+        // fusion setting must be observationally irrelevant to it.
+        (DispatchMode::Register, Fusion::Off),
+        (DispatchMode::Register, Fusion::Full),
     ];
+    // The tier-3 uncovered-triple fixups must actually fire on the
+    // corpus they were profiled from (the equivalence loop below then
+    // proves them invisible).
+    let mut tier3 = [0u64; 3];
+    for b in programs::all() {
+        let src = b.source_scaled(b.test_scale);
+        let prog = Compiler::new(Mode::R)
+            .compile_source(&src)
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+        for ins in &kit_kam::link(&prog, Fusion::Full).code {
+            match ins {
+                LInstr::SelectStoreLoad { .. } => tier3[0] += 1,
+                LInstr::GcCheckLoadSwitchCon { .. } => tier3[1] += 1,
+                LInstr::RegHandleRegHandleLoad { .. } => tier3[2] += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        tier3.iter().all(|&n| n > 0),
+        "tier-3 fusions must fire on the benchmark corpus: \
+         SelectStoreLoad={} GcCheckLoadSwitchCon={} RegHandleRegHandleLoad={}",
+        tier3[0],
+        tier3[1],
+        tier3[2]
+    );
+
     for b in programs::all() {
         let src = b.source_scaled(b.test_scale);
         for mode in Mode::ALL_WITH_BASELINE {

@@ -132,6 +132,14 @@ struct FnCx<'g> {
     /// Open letregion scopes (tail calls are disabled inside them — the ML
     /// Kit limitation).
     cleanup: u32,
+    /// Open `letregion` scopes of *this* function (a subset of `cleanup`,
+    /// which also counts handler scopes). While one is open, a binding
+    /// going out of scope must clear its local slot: the collector's root
+    /// set spans every local, and a stale slot may point into a region
+    /// the function is about to end (or into a reused finite-region area).
+    /// Regions bound by callers outlive the frame, so depth 0 needs no
+    /// clearing.
+    open_lr: u32,
     /// Open infinite-region count (for Local slot indices).
     open_regions: u32,
 }
@@ -146,6 +154,7 @@ impl<'g> FnCx<'g> {
             nlocals: 1, // slot 0 = environment
             fin,
             cleanup: 0,
+            open_lr: 0,
             open_regions: 0,
         }
     }
@@ -270,6 +279,21 @@ impl Cx<'_> {
                 )
             }
             None => panic!("unbound variable {} at codegen", v.0),
+        }
+    }
+
+    /// Clears the slot of a binding that just went out of scope. The GC
+    /// root set includes every local of every live frame, so a stale slot
+    /// must not keep pointing into a region this function may end before
+    /// it returns — after `EndRegions` such a pointer dangles and the
+    /// collector would trace freed (possibly reused) pages. Only letregion
+    /// scopes of the current function can end while the frame is live, so
+    /// clearing is emitted only inside them.
+    fn clear_dead_slot(&mut self, s: u32, fcx: &FnCx<'_>) {
+        if fcx.open_lr > 0 {
+            let null = if self.tagged { scalar(0) } else { 0 };
+            self.emit(Instr::PushConst(null));
+            self.emit(Instr::Store(s));
         }
     }
 
@@ -626,6 +650,7 @@ impl Cx<'_> {
                 self.emit(Instr::Store(s));
                 fcx.vars.insert(*var, VB::Slot(s));
                 self.comp(body, fcx, tail);
+                self.clear_dead_slot(s, fcx);
             }
             RExp::Fix { funs, body, at } => self.comp_fix(funs, body, *at, fcx, tail),
             RExp::Letregion { regs, body } => {
@@ -653,7 +678,9 @@ impl Cx<'_> {
                     self.emit(Instr::LetRegion { names: inf.clone() });
                 }
                 fcx.cleanup += 1;
+                fcx.open_lr += 1;
                 self.comp(body, fcx, false);
+                fcx.open_lr -= 1;
                 fcx.cleanup -= 1;
                 if !inf.is_empty() {
                     self.emit(Instr::EndRegions(inf.len() as u16));
@@ -697,6 +724,10 @@ impl Cx<'_> {
                 self.emit(Instr::Store(s));
                 fcx.vars.insert(*var, VB::Slot(s));
                 self.comp(handler, fcx, tail);
+                // The slot is only written on the exception path, so the
+                // clear lives in the handler arm (the normal path jumps
+                // straight to `end`).
+                self.clear_dead_slot(s, fcx);
                 self.bind(end);
             }
         }
@@ -848,6 +879,7 @@ impl Cx<'_> {
             inner.shareds.insert(group, SharedSrc::Slot(0));
             self.comp(&f.body, &mut inner, true);
             self.emit(Instr::Ret);
+            debug_assert_eq!(inner.open_lr, 0);
             let id = self.funs.len() as u32;
             self.funs.push(FunInfo {
                 entry: info.label,
@@ -860,6 +892,10 @@ impl Cx<'_> {
             self.bind(skip);
         }
         self.comp(body, fcx, tail);
+        // The shared-closure slot dies with the fix scope.
+        if let SharedSrc::Slot(s) = shared_src {
+            self.clear_dead_slot(s, fcx);
+        }
     }
 }
 

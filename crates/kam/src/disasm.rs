@@ -67,6 +67,50 @@ pub fn disassemble_threaded(p: &Program, fusion: link::Fusion) -> String {
     out
 }
 
+/// Renders the *register* form: the unfused linked stream rewritten by
+/// the translator in [`crate::regalloc`]. Register-only ops print as
+/// their [`crate::register::RegInstr`] decoding; each line carries the
+/// instruction charge (`[n]`), whose sum reproduces the source length.
+pub fn disassemble_register(p: &Program) -> String {
+    let linked = link::link(p, link::Fusion::Off);
+    let src_len = linked.code.len();
+    let r = crate::register::translate(&linked);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; register: {} instructions ({} source instructions folded) from {} source instructions",
+        r.code.ops.len(),
+        r.folded,
+        src_len
+    );
+    let mut entries: std::collections::HashMap<usize, String> = Default::default();
+    for (fun, info) in p.funs.iter().enumerate() {
+        let pc = r.code.entry_pc[fun] as usize;
+        let name = &info.name;
+        entries
+            .entry(pc)
+            .and_modify(|s| {
+                let _ = write!(s, ", {name}");
+            })
+            .or_insert_with(|| name.clone());
+    }
+    for pc in 0..r.code.ops.len() {
+        if let Some(name) = entries.get(&pc) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let cost = r.costs[pc];
+        match r.decode(pc) {
+            crate::register::RegInstr::Base(ins) => {
+                let _ = writeln!(out, "  {pc:>5}  [{cost}] {ins:?}");
+            }
+            reg => {
+                let _ = writeln!(out, "  {pc:>5}  [{cost}] {reg:?}");
+            }
+        }
+    }
+    out
+}
+
 fn render_stream<'i>(
     p: &Program,
     entry_pc: &[u32],

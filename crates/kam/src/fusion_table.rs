@@ -11,9 +11,11 @@
 //!
 //! `tier` records provenance: tier 1 is the hand-picked PR 1 set (kept
 //! selectable on its own for A/B continuity with `BENCH_PR1.json`), tier
-//! 2 the profile-selected additions. `dyn_count` is the measured number
-//! of adjacent executions across the suite at test scale — documentation
-//! for the next regeneration, not an input to the matcher.
+//! 2 the profile-selected additions, tier 3 the triples the tier-2
+//! profile still reported as hot-but-uncovered. `dyn_count` is the
+//! measured number of adjacent executions across the suite at test
+//! scale — documentation for the next regeneration, not an input to the
+//! matcher.
 
 /// Source-instruction kind, as matched by fusion patterns (a projection
 /// of [`crate::instr::Instr`] that ignores operands).
@@ -55,6 +57,10 @@ pub enum FuseKind {
     LoadSwitchCon,
     GcCheckLoad,
     RegHandleRegHandle,
+    // Tier 3: triples the tier-2 profile still reported uncovered.
+    SelectStoreLoad,
+    GcCheckLoadSwitchCon,
+    RegHandleRegHandleLoad,
 }
 
 /// One fusion candidate: the instruction sequence `seq` collapses into
@@ -66,7 +72,8 @@ pub struct Pattern {
     pub seq: &'static [Opk],
     /// Replacement superinstruction.
     pub out: FuseKind,
-    /// 1 = hand-picked PR 1 set, 2 = profile-selected addition.
+    /// 1 = hand-picked PR 1 set, 2 = profile-selected addition, 3 =
+    /// uncovered-triple fixups on top of tier 2.
     pub tier: u8,
     /// Measured fallthrough-adjacent executions across the benchmark
     /// suite (see module docs; regenerated with `--profile-fusion`).
@@ -92,6 +99,24 @@ pub static FUSION_CANDIDATES: &[Pattern] = &[
         out: FuseKind::StoreLoadSelect,
         tier: 2,
         dyn_count: 19294318,
+    },
+    Pattern {
+        seq: &[Opk::Select, Opk::Store, Opk::Load],
+        out: FuseKind::SelectStoreLoad,
+        tier: 3,
+        dyn_count: 17480807,
+    },
+    Pattern {
+        seq: &[Opk::GcCheck, Opk::Load, Opk::SwitchCon],
+        out: FuseKind::GcCheckLoadSwitchCon,
+        tier: 3,
+        dyn_count: 8032545,
+    },
+    Pattern {
+        seq: &[Opk::RegHandle, Opk::RegHandle, Opk::Load],
+        out: FuseKind::RegHandleRegHandleLoad,
+        tier: 3,
+        dyn_count: 5138412,
     },
     Pattern {
         seq: &[Opk::Load, Opk::Select, Opk::Store],

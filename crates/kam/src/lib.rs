@@ -28,6 +28,8 @@ pub mod disasm;
 pub mod fusion_table;
 pub mod instr;
 pub mod link;
+pub mod regalloc;
+pub mod register;
 pub mod render;
 pub mod threaded;
 pub mod vm;
@@ -35,5 +37,6 @@ pub mod vm;
 pub use compile::compile;
 pub use instr::Program;
 pub use link::{link, Fusion, LInstr, LinkedProgram};
+pub use register::{RSrc, RegCode, RegInstr};
 pub use threaded::{FusionProfile, ThreadedCode};
 pub use vm::{DispatchMode, Vm, VmError, VmOutcome};

@@ -48,7 +48,7 @@ impl Fusion {
         match self {
             Fusion::Off => 0,
             Fusion::Hand => 1,
-            Fusion::Full => 2,
+            Fusion::Full => 3,
         }
     }
 }
@@ -274,6 +274,30 @@ pub enum LInstr {
         a: RegSlot,
         b: RegSlot,
     },
+    // --------------------------- tier 3 (uncovered-triple fixups)
+    /// `Select sel; Store j; Load i` (cost 3) — store one field of a
+    /// record already on the stack, then load the next operand.
+    SelectStoreLoad {
+        sel: u16,
+        j: u32,
+        i: u32,
+    },
+    /// `GcCheck; Load i; SwitchCon {..}` (cost 3) — the function-entry
+    /// safepoint of a constructor-dispatching function fused with its
+    /// scrutinee load and branch.
+    GcCheckLoadSwitchCon {
+        i: u32,
+        disc: Disc,
+        arms: Box<[(u32, u32)]>,
+        default: u32,
+    },
+    /// `RegHandle a; RegHandle b; Load i` (cost 3) — two region handles
+    /// plus the first value argument of a region-polymorphic call.
+    RegHandleRegHandleLoad {
+        a: RegSlot,
+        b: RegSlot,
+        i: u32,
+    },
 }
 
 impl LInstr {
@@ -289,7 +313,10 @@ impl LInstr {
             | LInstr::LoadSelectStore { .. }
             | LInstr::StoreLoadSelect { .. }
             | LInstr::LoadPrimJump { .. }
-            | LInstr::SelectConstPrim { .. } => 3,
+            | LInstr::SelectConstPrim { .. }
+            | LInstr::SelectStoreLoad { .. }
+            | LInstr::GcCheckLoadSwitchCon { .. }
+            | LInstr::RegHandleRegHandleLoad { .. } => 3,
             LInstr::PushConstPrim { .. }
             | LInstr::LoadSelect { .. }
             | LInstr::StorePop { .. }
@@ -516,6 +543,41 @@ fn build_fused(kind: FuseKind, w: &[Instr], resolve: &dyn Fn(Label) -> u32) -> L
         FuseKind::RegHandleRegHandle => match (&w[0], &w[1]) {
             (Instr::RegHandle(a), Instr::RegHandle(b)) => {
                 LInstr::RegHandleRegHandle { a: *a, b: *b }
+            }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::SelectStoreLoad => match (&w[0], &w[1], &w[2]) {
+            (Instr::Select(sel), Instr::Store(j), Instr::Load(i)) => LInstr::SelectStoreLoad {
+                sel: *sel,
+                j: *j,
+                i: *i,
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::GcCheckLoadSwitchCon => match (&w[0], &w[1], &w[2]) {
+            (
+                Instr::GcCheck,
+                Instr::Load(i),
+                Instr::SwitchCon {
+                    disc,
+                    arms,
+                    default,
+                },
+            ) => LInstr::GcCheckLoadSwitchCon {
+                i: *i,
+                disc: *disc,
+                arms: arms.iter().map(|(c, l)| (*c, resolve(*l))).collect(),
+                default: resolve(*default),
+            },
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::RegHandleRegHandleLoad => match (&w[0], &w[1], &w[2]) {
+            (Instr::RegHandle(a), Instr::RegHandle(b), Instr::Load(i)) => {
+                LInstr::RegHandleRegHandleLoad {
+                    a: *a,
+                    b: *b,
+                    i: *i,
+                }
             }
             _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
         },

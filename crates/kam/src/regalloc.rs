@@ -1,0 +1,479 @@
+//! Per-run register translation: the symbolic-stack pass behind
+//! [`crate::register::translate`].
+//!
+//! The translator walks one *run* (a maximal leader-free interval of the
+//! unfused linked stream) with a symbolic model of the operand-stack top:
+//! a stack of *pending* values ([`PVal`]) that have been pushed in source
+//! order but not yet materialized. `Load`/`PushConst` only push a pending
+//! entry; consumers then fold their operands straight out of the model —
+//! a `Prim` becomes a three-address [`Op::RPrim`], a `Store` of a pending
+//! local becomes a register-to-register `LoadStore`, a `JumpIfFalse` of a
+//! pending local becomes [`Op::RJumpIfFalse`] — and anything the model
+//! cannot absorb *flushes*: pending entries are emitted as real
+//! `Load`/`PushConst` instructions, oldest first, so the physical stack
+//! always holds a prefix of the conceptual stack and never reorders.
+//!
+//! Two invariants carry the equivalence proof:
+//!
+//! 1. **Cost preservation.** Every emitted instruction charges the number
+//!    of source instructions it stands for; elided pushes defer their
+//!    cost onto the consumer (or onto a trailing [`Op::RNop`] when a
+//!    `Pop` annihilates a pending value and nothing follows in the run).
+//!    Summing the cost stream reproduces the unfused instruction count
+//!    exactly, so fuel, stats, and the GC schedule match the stack
+//!    engines bit for bit.
+//! 2. **Observation points see the physical stack.** The runtime samples
+//!    `mem_bytes()` — which includes the operand stack — inside
+//!    allocation paths, at collections, and at frame pushes; exception
+//!    unwinding snapshots the stack too. Every instruction that can
+//!    allocate, collect, call, raise, or branch therefore flushes all
+//!    pending entries below its folded operands before it executes, so
+//!    the physical stack at every observable instant equals the stack
+//!    machine's.
+//!
+//! Barrier instructions (calls, switches, allocation, region ops,
+//! handler ops, `Raise`, `Halt`, `GcCheck`, `RegHandle`) flush everything
+//! and are emitted verbatim. Local-overwrite hazards are handled at the
+//! only non-barrier writers (`Store` folds and prim store-folds): any
+//! pending read of the overwritten slot is flushed first, so a pending
+//! `Local` never goes stale.
+
+use crate::link::LInstr;
+use crate::register::RegCode;
+use crate::threaded::{Args, Op};
+use kit_lambda::exp::Prim;
+
+/// A value pushed in source order but not yet materialized on the
+/// physical operand stack. Pending entries always sit *above* every
+/// physical entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PVal {
+    /// The value of local slot `i` at push time (kept valid by the
+    /// overwrite-hazard flushes).
+    Local(u32),
+    /// An immediate word.
+    Const(u64),
+}
+
+/// Operand-mode nibble for `RPrim`/`RPrimJump` (`Args::n` holds
+/// `amode | bmode << 4`).
+const MODE_LOCAL: u16 = 1;
+const MODE_CONST: u16 = 2;
+
+struct RunTranslator<'a> {
+    out: &'a mut RegCode,
+    /// Symbolic stack top (oldest first).
+    pend: Vec<PVal>,
+    /// Cost owed by annihilated push/pop pairs, absorbed by the next
+    /// emission (or a trailing `RNop`).
+    carry: u32,
+}
+
+impl RunTranslator<'_> {
+    /// Emits a base or fused instruction through the normal SoA encoder.
+    fn emit(&mut self, ins: LInstr, cost: u32) {
+        self.out.code.push_linstr(ins);
+        self.out.costs.push(cost + std::mem::take(&mut self.carry));
+    }
+
+    /// Emits a register-form op (no `LInstr` equivalent).
+    fn emit_reg(&mut self, op: Op, x: Args, cost: u32) {
+        self.out.code.ops.push(op);
+        self.out.code.args.push(x);
+        self.out.costs.push(cost + std::mem::take(&mut self.carry));
+    }
+
+    fn flush_one(&mut self, pv: PVal) {
+        match pv {
+            PVal::Local(i) => self.emit(LInstr::Load(i), 1),
+            PVal::Const(k) => self.emit(LInstr::PushConst(k), 1),
+        }
+    }
+
+    /// Materializes all pending entries except the top `keep`, oldest
+    /// first, preserving the conceptual stack order.
+    fn flush_below(&mut self, keep: usize) {
+        let cut = self.pend.len() - keep;
+        let mut pend = std::mem::take(&mut self.pend);
+        for pv in pend.drain(..cut) {
+            self.flush_one(pv);
+        }
+        self.pend = pend;
+    }
+
+    fn flush_all(&mut self) {
+        self.flush_below(0);
+    }
+
+    /// Overwrite-hazard flush before a write to local `j`: materializes
+    /// the pending prefix up to and including the last pending read of
+    /// `j`, so no stale `Local(j)` survives the write. Entries above it
+    /// stay pending (they read other slots or constants).
+    fn flush_through_local(&mut self, j: u32) {
+        if let Some(idx) = self.pend.iter().rposition(|&pv| pv == PVal::Local(j)) {
+            let mut pend = std::mem::take(&mut self.pend);
+            for pv in pend.drain(..=idx) {
+                self.flush_one(pv);
+            }
+            self.pend = pend;
+        }
+    }
+
+    /// Translates a `Prim`, folding up to two pending operands and an
+    /// adjacent `Store`/`JumpIfFalse`. Returns the number of source
+    /// instructions consumed (1 or 2).
+    fn prim(&mut self, p: Prim, at: Option<crate::instr::RegSlot>, next: Option<&LInstr>) -> usize {
+        let raising = can_raise(p);
+        let mut keep = prim_arity(p).min(2).min(self.pend.len());
+        // Only one immediate slot (`Args::k`): with two pending
+        // constants, materialize everything below the top one.
+        if keep == 2
+            && matches!(self.pend[self.pend.len() - 1], PVal::Const(_))
+            && matches!(self.pend[self.pend.len() - 2], PVal::Const(_))
+        {
+            self.flush_below(1);
+            keep = 1;
+        }
+        // Everything below the folded operands is materialized: an
+        // allocating prim observes the stack (peak bytes), a raising
+        // prim unwinds it, and an unfolded result pushes onto it — all
+        // three need the physical stack to match the stack machine's.
+        self.flush_below(keep);
+
+        // Fold a following `Store`/`JumpIfFalse`. Never on raising
+        // prims: the folded tail would be charged (and skipped) on the
+        // exception path. Operand folds stay legal there — the handler
+        // stages folded operands back onto the stack before `do_prim`,
+        // so the raise point is unchanged.
+        let store_j = match next {
+            Some(LInstr::Store(j)) if !raising && *j <= u16::MAX as u32 => Some(*j),
+            _ => None,
+        };
+        let jump_t = match next {
+            Some(LInstr::JumpIfFalse(t)) if !raising && store_j.is_none() => Some(*t),
+            _ => None,
+        };
+
+        if keep == 0 {
+            // No pending operands: the plain (or pair-fused) op already
+            // expresses this.
+            return match jump_t {
+                Some(target) => {
+                    self.emit(LInstr::PrimJump { p, at, target }, 2);
+                    2
+                }
+                None if store_j.is_none() => {
+                    self.emit(LInstr::Prim { p, at }, 1);
+                    1
+                }
+                None => {
+                    // Store-fold with both operands physical.
+                    let mut x = Args::zero();
+                    x.p = p;
+                    x.at = at;
+                    x.flag = true;
+                    x.m = store_j.unwrap() as u16;
+                    self.emit_reg(Op::RPrim, x, 2);
+                    2
+                }
+            };
+        }
+
+        let mut x = Args::zero();
+        x.p = p;
+        x.at = at;
+        // B is the top-of-stack operand; unary prims use the B slot only.
+        let bm = match self.pend.pop().unwrap() {
+            PVal::Local(i) => {
+                x.b = i;
+                MODE_LOCAL
+            }
+            PVal::Const(k) => {
+                x.k = k;
+                MODE_CONST
+            }
+        };
+        let am = if keep == 2 {
+            match self.pend.pop().unwrap() {
+                PVal::Local(i) => {
+                    x.a = i;
+                    MODE_LOCAL
+                }
+                PVal::Const(k) => {
+                    x.k = k;
+                    MODE_CONST
+                }
+            }
+        } else {
+            0
+        };
+        x.n = am | (bm << 4);
+        let folded = keep as u32;
+        match (store_j, jump_t) {
+            (Some(j), _) => {
+                x.flag = true;
+                x.m = j as u16;
+                self.emit_reg(Op::RPrim, x, folded + 2);
+                2
+            }
+            (None, Some(t)) => {
+                x.t = t;
+                self.emit_reg(Op::RPrimJump, x, folded + 2);
+                2
+            }
+            (None, None) => {
+                self.emit_reg(Op::RPrim, x, folded + 1);
+                1
+            }
+        }
+    }
+}
+
+/// Translates the run `code[start..end]` (leader-free after `start`),
+/// appending to `out`. The symbolic stack starts and ends empty: runs
+/// begin at branch targets, where only physical values exist, and every
+/// run-exiting instruction flushes.
+pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut RegCode) {
+    let mut t = RunTranslator {
+        out,
+        pend: Vec::new(),
+        carry: 0,
+    };
+    let mut pc = start;
+    while pc < end {
+        // Lookahead for tail folds, bounded by the run (a fold across a
+        // leader would swallow a branch target).
+        let next = if pc + 1 < end {
+            Some(&code[pc + 1])
+        } else {
+            None
+        };
+        let mut consumed = 1;
+        match &code[pc] {
+            LInstr::Load(i) => t.pend.push(PVal::Local(*i)),
+            LInstr::PushConst(k) => t.pend.push(PVal::Const(*k)),
+            LInstr::Pop => {
+                if t.pend.pop().is_some() {
+                    // A pending push and its pop annihilate; their two
+                    // source instructions are charged to the next
+                    // emission.
+                    t.carry += 2;
+                } else {
+                    t.emit(LInstr::Pop, 1);
+                }
+            }
+            LInstr::Store(j) => {
+                let j = *j;
+                match t.pend.pop() {
+                    Some(PVal::Local(i)) => {
+                        t.flush_through_local(j);
+                        t.emit(LInstr::LoadStore { i, j }, 2);
+                    }
+                    Some(PVal::Const(k)) => {
+                        t.flush_through_local(j);
+                        let mut x = Args::zero();
+                        x.k = k;
+                        x.a = j;
+                        t.emit_reg(Op::RStoreConst, x, 2);
+                    }
+                    None => t.emit(LInstr::Store(j), 1),
+                }
+            }
+            LInstr::Select(sel) => {
+                let sel = *sel;
+                let store_j = match next {
+                    Some(LInstr::Store(j)) => Some(*j),
+                    _ => None,
+                };
+                // A pending constant can't be selected from in well-typed
+                // code; materialize and treat the operand as physical.
+                let top_local = match t.pend.last() {
+                    Some(PVal::Local(i)) => Some(*i),
+                    Some(PVal::Const(_)) => {
+                        t.flush_all();
+                        None
+                    }
+                    None => None,
+                };
+                match (top_local, store_j) {
+                    (Some(i), Some(j)) if j <= u16::MAX as u32 => {
+                        t.pend.pop();
+                        t.flush_through_local(j);
+                        t.emit(LInstr::LoadSelectStore { i, sel, j }, 3);
+                        consumed = 2;
+                    }
+                    (Some(i), _) => {
+                        t.pend.pop();
+                        // The field value is pushed physically; nothing
+                        // pending may remain below it.
+                        t.flush_all();
+                        t.emit(LInstr::LoadSelect { i, sel }, 2);
+                    }
+                    (None, Some(j)) if t.pend.is_empty() => {
+                        t.emit(LInstr::SelectStore { sel, j }, 2);
+                        consumed = 2;
+                    }
+                    (None, _) => {
+                        t.flush_all();
+                        t.emit(LInstr::Select(sel), 1);
+                    }
+                }
+            }
+            LInstr::Prim { p, at } => {
+                consumed = t.prim(*p, *at, next);
+            }
+            LInstr::JumpIfFalse(target) => {
+                let target = *target;
+                match t.pend.pop() {
+                    Some(PVal::Local(i)) => {
+                        t.flush_all();
+                        let mut x = Args::zero();
+                        x.a = i;
+                        x.t = target;
+                        t.emit_reg(Op::RJumpIfFalse, x, 2);
+                    }
+                    Some(PVal::Const(k)) => {
+                        t.flush_all();
+                        t.emit(LInstr::PushConstJumpIfFalse { k, target }, 2);
+                    }
+                    None => t.emit(LInstr::JumpIfFalse(target), 1),
+                }
+            }
+            LInstr::SwitchCon {
+                disc,
+                arms,
+                default,
+            } => match t.pend.pop() {
+                Some(PVal::Local(i)) => {
+                    t.flush_all();
+                    t.emit(
+                        LInstr::LoadSwitchCon {
+                            i,
+                            disc: *disc,
+                            arms: arms.clone(),
+                            default: *default,
+                        },
+                        2,
+                    );
+                }
+                other => {
+                    if let Some(pv) = other {
+                        t.pend.push(pv);
+                    }
+                    t.flush_all();
+                    t.emit(
+                        LInstr::SwitchCon {
+                            disc: *disc,
+                            arms: arms.clone(),
+                            default: *default,
+                        },
+                        1,
+                    );
+                }
+            },
+            LInstr::Ret => match t.pend.pop() {
+                Some(PVal::Local(i)) => {
+                    t.flush_all();
+                    let mut x = Args::zero();
+                    x.n = 1;
+                    x.a = i;
+                    t.emit_reg(Op::RRet, x, 2);
+                }
+                Some(PVal::Const(k)) => {
+                    t.flush_all();
+                    let mut x = Args::zero();
+                    x.n = 2;
+                    x.k = k;
+                    t.emit_reg(Op::RRet, x, 2);
+                }
+                None => t.emit(LInstr::Ret, 1),
+            },
+            LInstr::GcCheck => {
+                // Safe point: the collector walks the stack, so the
+                // physical state must be exact — and is, after a full
+                // flush. The hot dispatch-shaped triple is fused.
+                t.flush_all();
+                let fused = if pc + 2 < end {
+                    match (&code[pc + 1], &code[pc + 2]) {
+                        (
+                            LInstr::Load(i),
+                            LInstr::SwitchCon {
+                                disc,
+                                arms,
+                                default,
+                            },
+                        ) => {
+                            t.emit(
+                                LInstr::GcCheckLoadSwitchCon {
+                                    i: *i,
+                                    disc: *disc,
+                                    arms: arms.clone(),
+                                    default: *default,
+                                },
+                                3,
+                            );
+                            true
+                        }
+                        _ => false,
+                    }
+                } else {
+                    false
+                };
+                if fused {
+                    consumed = 3;
+                } else {
+                    t.emit(LInstr::GcCheck, 1);
+                }
+            }
+            LInstr::RegHandle(a) => {
+                // `region_of` reads the live region pools, so handles
+                // can't be deferred; pair the common double-push.
+                t.flush_all();
+                if let Some(LInstr::RegHandle(b)) = next {
+                    t.emit(LInstr::RegHandleRegHandle { a: *a, b: *b }, 2);
+                    consumed = 2;
+                } else {
+                    t.emit(LInstr::RegHandle(*a), 1);
+                }
+            }
+            // Everything else is a barrier: it allocates, collects,
+            // calls, raises, branches indirectly, or manipulates
+            // regions/handlers — all of which observe the physical
+            // stack. Flush and emit verbatim.
+            ins => {
+                debug_assert_eq!(ins.cost(), 1, "translator expects an unfused stream");
+                t.flush_all();
+                t.emit(ins.clone(), 1);
+            }
+        }
+        pc += consumed;
+    }
+    t.flush_all();
+    if t.carry > 0 {
+        t.emit_reg(Op::RNop, Args::zero(), 0);
+    }
+}
+
+/// Operand count of a prim (how many stack slots it pops).
+fn prim_arity(p: Prim) -> usize {
+    use Prim::*;
+    match p {
+        IAdd | ISub | IMul | IDiv | IMod | ILt | ILe | IGt | IGe | IEq | RAdd | RSub | RMul
+        | RDiv | RLt | RLe | RGt | RGe | REq | StrEq | StrLt | StrConcat | StrSub | ArrNew
+        | ArrSub | RefSet | RefEq | ArrEq => 2,
+        INeg | IAbs | RNeg | RAbs | IntToReal | Floor | Trunc | Sqrt | Sin | Cos | Atan | Ln
+        | Exp | StrSize | ItoS | RtoS | Chr | Print | RefNew | RefGet | ArrLen => 1,
+        ArrUpd => 3,
+    }
+}
+
+/// Prims whose `do_prim` can return a builtin exception (the `Err`
+/// arms in [`crate::vm`]): overflow/div on int arithmetic, subscript
+/// on string/array indexing, size on array allocation.
+fn can_raise(p: Prim) -> bool {
+    use Prim::*;
+    matches!(
+        p,
+        IAdd | ISub | IMul | INeg | IAbs | IDiv | IMod | StrSub | Chr | ArrNew | ArrSub | ArrUpd
+    )
+}

@@ -1,0 +1,305 @@
+//! Register-form code: the post-link translation behind
+//! [`DispatchMode::Register`](crate::vm::DispatchMode).
+//!
+//! [`translate`] rewrites an *unfused* [`LinkedProgram`] into a
+//! virtual-register stream: each function body is split at its leaders
+//! (branch targets and entries) into runs, and each run goes through the
+//! symbolic-stack pass in [`crate::regalloc`], which keeps values in the
+//! locals array ("infinite virtual registers" — every local slot is one)
+//! and emits three-address ops instead of push/pop traffic. The result
+//! reuses the threaded engine's struct-of-arrays layout
+//! ([`ThreadedCode`]) plus a parallel per-pc cost stream: register ops
+//! replace a *variable* number of stack ops, so their instruction charge
+//! can't live in the static [`Op::cost`](crate::threaded::Op::cost)
+//! table.
+//!
+//! The translation renumbers pcs (folded instructions disappear), so a
+//! second pass remaps every branch operand, switch row, entry point, and
+//! label address. All control-flow targets are leaders, and leaders are
+//! never folded into a predecessor, so the remap is total.
+
+use crate::instr::RegSlot;
+use crate::link::{LInstr, LinkedProgram};
+use crate::regalloc;
+use crate::threaded::{Op, ThreadedCode};
+use kit_lambda::exp::Prim;
+
+/// A program in register form: the SoA stream plus its dynamic cost
+/// table. `code.ops`/`code.args` may contain the six register-only
+/// opcodes, which [`ThreadedCode::rebuild`] refuses — use
+/// [`RegCode::decode`] instead.
+pub struct RegCode {
+    /// The instruction stream, in the threaded engine's layout (pcs are
+    /// register-form coordinates; label tables already remapped).
+    pub code: ThreadedCode,
+    /// Per-pc instruction charge: the number of source (stack)
+    /// instructions each op stands for. Sums to the unfused source
+    /// length.
+    pub costs: Vec<u32>,
+    /// Source instructions folded away (`source len - ops.len()`).
+    pub folded: u64,
+}
+
+/// Translates an unfused linked program into register form.
+pub fn translate(linked: &LinkedProgram) -> RegCode {
+    debug_assert_eq!(
+        linked.fused, 0,
+        "register translation expects a Fusion::Off stream"
+    );
+    let n = linked.code.len();
+
+    // Leaders: every branch target or entry. Runs are the maximal
+    // leader-free intervals; the symbolic stack never crosses one.
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for &pc in linked.pc_of_label.iter().chain(&linked.entry_pc) {
+        if (pc as usize) < n {
+            leader[pc as usize] = true;
+        }
+    }
+
+    let mut out = RegCode {
+        code: ThreadedCode::empty(
+            linked.entry_pc.clone(),
+            linked.pc_of_label.clone(),
+            linked.fun_of_label.clone(),
+        ),
+        costs: Vec::with_capacity(n),
+        folded: 0,
+    };
+
+    // Pass 1: translate each run, recording where its leader landed.
+    let mut new_pc_of_old = vec![u32::MAX; n];
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && !leader[end] {
+            end += 1;
+        }
+        new_pc_of_old[start] = out.code.ops.len() as u32;
+        regalloc::translate_run(&linked.code, start, end, &mut out);
+        start = end;
+    }
+    debug_assert_eq!(
+        out.costs.iter().map(|&c| c as u64).sum::<u64>(),
+        n as u64,
+        "cost stream must cover every source instruction"
+    );
+    out.folded = (n - out.code.ops.len()) as u64;
+
+    // Pass 2: remap every pc operand to register-form coordinates.
+    // Every target is a leader, so the lookup can't hit `u32::MAX`.
+    let remap = |pc: u32| -> u32 {
+        let new = new_pc_of_old[pc as usize];
+        debug_assert_ne!(new, u32::MAX, "branch target {pc} is not a leader");
+        new
+    };
+    for (op, x) in out.code.ops.iter().zip(out.code.args.iter_mut()) {
+        match op {
+            Op::Jump
+            | Op::JumpIfFalse
+            | Op::PushConstJumpIfFalse
+            | Op::PushHandler
+            | Op::Call
+            | Op::PrimJump
+            | Op::RPrimJump
+            | Op::RJumpIfFalse => x.t = remap(x.t),
+            _ => {}
+        }
+    }
+    for (_, (arms, default)) in &mut out.code.con_switches {
+        for (_, t) in arms.iter_mut() {
+            *t = remap(*t);
+        }
+        *default = remap(*default);
+    }
+    for (arms, default) in &mut out.code.int_switches {
+        for (_, t) in arms.iter_mut() {
+            *t = remap(*t);
+        }
+        *default = remap(*default);
+    }
+    for (arms, default) in &mut out.code.str_switches {
+        for (_, t) in arms.iter_mut() {
+            *t = remap(*t);
+        }
+        *default = remap(*default);
+    }
+    for (arms, default) in &mut out.code.exn_switches {
+        for (_, t) in arms.iter_mut() {
+            *t = remap(*t);
+        }
+        *default = remap(*default);
+    }
+    for pc in &mut out.code.entry_pc {
+        *pc = remap(*pc);
+    }
+    for pc in &mut out.code.pc_of_label {
+        if *pc != u32::MAX {
+            *pc = remap(*pc);
+        }
+    }
+    out
+}
+
+/// Where a register-prim operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RSrc {
+    /// Popped from the operand stack (the stack-machine default).
+    Stack,
+    /// Read from local slot `i`.
+    Local(u32),
+    /// The immediate word.
+    Const(u64),
+}
+
+/// Decoded register-form instruction, for the disassembler and tests.
+/// Base and fused ops decode through [`ThreadedCode::rebuild`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegInstr {
+    /// Three-address primitive; `dst` is `Some(j)` when the result is
+    /// stored straight to local `j` instead of pushed.
+    RPrim {
+        a: RSrc,
+        b: RSrc,
+        p: Prim,
+        at: Option<RegSlot>,
+        dst: Option<u32>,
+    },
+    /// Primitive fused with `JumpIfFalse target` on its result.
+    RPrimJump {
+        a: RSrc,
+        b: RSrc,
+        p: Prim,
+        at: Option<RegSlot>,
+        target: u32,
+    },
+    /// Branch if local `cond` is false.
+    RJumpIfFalse { cond: u32, target: u32 },
+    /// `locals[j] = k`.
+    RStoreConst { k: u64, j: u32 },
+    /// Return local `i`.
+    RRetLocal { i: u32 },
+    /// Return the immediate `k`.
+    RRetConst { k: u64 },
+    /// Cost-accounting no-op.
+    RNop,
+    /// Any non-register op, reconstructed as its linked form.
+    Base(LInstr),
+}
+
+impl RegCode {
+    /// Decodes the instruction at `pc` (the register-form counterpart of
+    /// [`ThreadedCode::rebuild`]).
+    pub fn decode(&self, pc: usize) -> RegInstr {
+        let x = &self.code.args[pc];
+        let src = |mode: u16, local: u32| match mode & 0xf {
+            0 => RSrc::Stack,
+            1 => RSrc::Local(local),
+            _ => RSrc::Const(x.k),
+        };
+        match self.code.ops[pc] {
+            Op::RPrim => RegInstr::RPrim {
+                a: src(x.n, x.a),
+                b: src(x.n >> 4, x.b),
+                p: x.p,
+                at: x.at,
+                dst: x.flag.then_some(x.m as u32),
+            },
+            Op::RPrimJump => RegInstr::RPrimJump {
+                a: src(x.n, x.a),
+                b: src(x.n >> 4, x.b),
+                p: x.p,
+                at: x.at,
+                target: x.t,
+            },
+            Op::RJumpIfFalse => RegInstr::RJumpIfFalse {
+                cond: x.a,
+                target: x.t,
+            },
+            Op::RStoreConst => RegInstr::RStoreConst { k: x.k, j: x.a },
+            Op::RRet => {
+                if x.n == 1 {
+                    RegInstr::RRetLocal { i: x.a }
+                } else {
+                    RegInstr::RRetConst { k: x.k }
+                }
+            }
+            Op::RNop => RegInstr::RNop,
+            _ => RegInstr::Base(self.code.rebuild(pc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{link, Fusion};
+    use crate::vm::DispatchMode;
+    use kit_runtime::{Rt, RtConfig};
+
+    fn compile(src: &str) -> crate::instr::Program {
+        let mut lprog = kit_typing::compile_str(src).expect("typecheck");
+        kit_lambda::opt::optimize(&mut lprog, &Default::default());
+        let rprog = kit_region::infer(&lprog, kit_region::RegionOptions::regions_only());
+        crate::compile(&rprog, true)
+    }
+
+    const FIB: &str = "
+        fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+        val it = fib 17
+    ";
+
+    #[test]
+    fn costs_cover_every_source_instruction() {
+        let prog = compile(FIB);
+        let linked = link(&prog, Fusion::Off);
+        let r = translate(&linked);
+        let total: u64 = r.costs.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, linked.code.len() as u64);
+        assert_eq!(r.folded, linked.code.len() as u64 - r.code.ops.len() as u64);
+        assert!(r.folded > 0, "fib should fold plenty of stack traffic");
+    }
+
+    #[test]
+    fn register_engine_matches_stack_engine() {
+        let prog = compile(FIB);
+        let m = crate::vm::Vm::new(&prog, Rt::new(RtConfig::default()))
+            .run()
+            .expect("match engine");
+        let r = crate::vm::Vm::new(&prog, Rt::new(RtConfig::default()))
+            .with_dispatch(DispatchMode::Register)
+            .run()
+            .expect("register engine");
+        assert_eq!(m.result, r.result);
+        assert_eq!(m.instructions, r.instructions);
+        assert_eq!(m.stats.gc_count, r.stats.gc_count);
+        assert_eq!(m.stats.words_allocated, r.stats.words_allocated);
+    }
+
+    #[test]
+    fn decode_register_ops() {
+        let prog = compile(FIB);
+        let linked = link(&prog, Fusion::Off);
+        let r = translate(&linked);
+        let mut saw_rprim = false;
+        for pc in 0..r.code.ops.len() {
+            match r.decode(pc) {
+                RegInstr::RPrim { a, b, .. } | RegInstr::RPrimJump { a, b, .. } => {
+                    saw_rprim = true;
+                    // B physical implies A physical (translator invariant).
+                    if b == RSrc::Stack {
+                        assert_eq!(a, RSrc::Stack);
+                    }
+                }
+                RegInstr::Base(ins) => {
+                    assert_eq!(crate::threaded::Op::of(&ins), r.code.ops[pc]);
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_rprim, "fib folds compares/arithmetic into RPrim(Jump)");
+    }
+}

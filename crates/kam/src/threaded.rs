@@ -81,10 +81,35 @@ pub enum Op {
     LoadSwitchCon,
     GcCheckLoad,
     RegHandleRegHandle,
+    // ------------------------------- tier-3 (uncovered-triple) additions
+    SelectStoreLoad,
+    GcCheckLoadSwitchCon,
+    RegHandleRegHandleLoad,
+    // ----------------------- register-form opcodes (no LInstr counterpart)
+    //
+    // Emitted only by the register translator in [`crate::regalloc`]; they
+    // take operands straight from locals/immediates instead of the operand
+    // stack. Their per-pc instruction charge is *dynamic* (the number of
+    // stack ops each occurrence replaces) and lives in
+    // [`crate::register::RegCode::costs`], not in [`Op::cost`].
+    /// Three-address primitive: operands from locals/consts/stack, result
+    /// pushed or stored to a local.
+    RPrim,
+    /// [`Op::RPrim`] fused with a conditional branch on its result.
+    RPrimJump,
+    /// Conditional branch on a local, no operand push.
+    RJumpIfFalse,
+    /// Store an immediate constant into a local.
+    RStoreConst,
+    /// Return with the result taken from a local or an immediate.
+    RRet,
+    /// Cost-accounting no-op: charges stack instructions whose effects
+    /// were cancelled entirely (e.g. a dropped pending push).
+    RNop,
 }
 
 /// Number of opcodes (size of the handler table).
-pub const OP_COUNT: usize = Op::RegHandleRegHandle as usize + 1;
+pub const OP_COUNT: usize = Op::RNop as usize + 1;
 
 impl Op {
     /// Every opcode, in discriminant order (`ALL[op as usize] == op`).
@@ -142,6 +167,15 @@ impl Op {
         Op::LoadSwitchCon,
         Op::GcCheckLoad,
         Op::RegHandleRegHandle,
+        Op::SelectStoreLoad,
+        Op::GcCheckLoadSwitchCon,
+        Op::RegHandleRegHandleLoad,
+        Op::RPrim,
+        Op::RPrimJump,
+        Op::RJumpIfFalse,
+        Op::RStoreConst,
+        Op::RRet,
+        Op::RNop,
     ];
 
     /// The opcode of a linked instruction.
@@ -200,6 +234,9 @@ impl Op {
             LInstr::LoadSwitchCon { .. } => Op::LoadSwitchCon,
             LInstr::GcCheckLoad { .. } => Op::GcCheckLoad,
             LInstr::RegHandleRegHandle { .. } => Op::RegHandleRegHandle,
+            LInstr::SelectStoreLoad { .. } => Op::SelectStoreLoad,
+            LInstr::GcCheckLoadSwitchCon { .. } => Op::GcCheckLoadSwitchCon,
+            LInstr::RegHandleRegHandleLoad { .. } => Op::RegHandleRegHandleLoad,
         }
     }
 
@@ -216,7 +253,10 @@ impl Op {
             | Op::LoadSelectStore
             | Op::StoreLoadSelect
             | Op::LoadPrimJump
-            | Op::SelectConstPrim => 3,
+            | Op::SelectConstPrim
+            | Op::SelectStoreLoad
+            | Op::GcCheckLoadSwitchCon
+            | Op::RegHandleRegHandleLoad => 3,
             Op::PushConstPrim
             | Op::LoadSelect
             | Op::StorePop
@@ -289,6 +329,15 @@ impl Op {
             Op::LoadSwitchCon => "LoadSwitchCon",
             Op::GcCheckLoad => "GcCheckLoad",
             Op::RegHandleRegHandle => "RegHandleRegHandle",
+            Op::SelectStoreLoad => "SelectStoreLoad",
+            Op::GcCheckLoadSwitchCon => "GcCheckLoadSwitchCon",
+            Op::RegHandleRegHandleLoad => "RegHandleRegHandleLoad",
+            Op::RPrim => "RPrim",
+            Op::RPrimJump => "RPrimJump",
+            Op::RJumpIfFalse => "RJumpIfFalse",
+            Op::RStoreConst => "RStoreConst",
+            Op::RRet => "RRet",
+            Op::RNop => "RNop",
         }
     }
 }
@@ -306,11 +355,14 @@ pub struct Args {
     pub b: u32,
     /// Branch target / call entry pc.
     pub t: u32,
-    /// First `u16` operand (field counts, select index).
+    /// First `u16` operand (field counts, select index; operand-mode
+    /// nibbles of the register prims — see `crate::register`).
     pub n: u16,
-    /// Second `u16` operand (region-formal count, store slot of triples).
+    /// Second `u16` operand (region-formal count, store slot of triples,
+    /// destination local of `RPrim`).
     pub m: u16,
-    /// Boolean operand (tail call, discriminant word, has-arg).
+    /// Boolean operand (tail call, discriminant word, has-arg,
+    /// `RPrim` result-goes-to-local).
     pub flag: bool,
     /// Primitive operation (meaningful for prim opcodes only).
     pub p: Prim,
@@ -321,7 +373,7 @@ pub struct Args {
 }
 
 impl Args {
-    fn zero() -> Args {
+    pub(crate) fn zero() -> Args {
         Args {
             k: 0,
             a: 0,
@@ -385,7 +437,9 @@ pub struct ThreadedCode {
 /// `LoadLoadPrimJump{a, b, p, at, t}`, `LoadConstPrimJump{a, k, p, at,
 /// t}`, `StoreLoadSelect{a=j, b=i, n=sel}`, `LoadPrimJump{a, p, at, t}`,
 /// `SelectConstPrim{n=sel, k, p, at}`, `StoreLoad{a=j, b=i}`,
-/// `LoadLoad{a, b}`, `PrimJump{p, at, t}`.
+/// `LoadLoad{a, b}`, `PrimJump{p, at, t}`, `SelectStoreLoad{n=sel, a=j,
+/// b=i}`, `GcCheckLoadSwitchCon{b=i, a=table}`,
+/// `RegHandleRegHandleLoad{at, at2, a=i}`.
 pub fn translate(linked: LinkedProgram) -> ThreadedCode {
     let LinkedProgram {
         code,
@@ -394,21 +448,45 @@ pub fn translate(linked: LinkedProgram) -> ThreadedCode {
         fun_of_label,
         fused,
     } = linked;
-    let mut t = ThreadedCode {
-        ops: Vec::with_capacity(code.len()),
-        args: Vec::with_capacity(code.len()),
-        strs: Vec::new(),
-        con_switches: Vec::new(),
-        int_switches: Vec::new(),
-        str_switches: Vec::new(),
-        exn_switches: Vec::new(),
-        names: Vec::new(),
-        entry_pc,
-        pc_of_label,
-        fun_of_label,
-        fused,
-    };
+    let mut t = ThreadedCode::empty(entry_pc, pc_of_label, fun_of_label);
+    t.fused = fused;
+    t.ops.reserve(code.len());
+    t.args.reserve(code.len());
     for ins in code {
+        t.push_linstr(ins);
+    }
+    t
+}
+
+impl ThreadedCode {
+    /// An empty stream sharing the linked program's label tables — the
+    /// starting point for both [`translate`] and the register translator
+    /// in [`crate::regalloc`].
+    pub fn empty(
+        entry_pc: Vec<u32>,
+        pc_of_label: Vec<u32>,
+        fun_of_label: Vec<u32>,
+    ) -> ThreadedCode {
+        ThreadedCode {
+            ops: Vec::new(),
+            args: Vec::new(),
+            strs: Vec::new(),
+            con_switches: Vec::new(),
+            int_switches: Vec::new(),
+            str_switches: Vec::new(),
+            exn_switches: Vec::new(),
+            names: Vec::new(),
+            entry_pc,
+            pc_of_label,
+            fun_of_label,
+            fused: 0,
+        }
+    }
+
+    /// Appends one linked instruction, encoding its operands into [`Args`]
+    /// and moving variable-sized payloads into the side tables.
+    pub fn push_linstr(&mut self, ins: LInstr) {
+        let t = self;
         let op = Op::of(&ins);
         let mut x = Args::zero();
         match ins {
@@ -609,14 +687,31 @@ pub fn translate(linked: LinkedProgram) -> ThreadedCode {
                 x.at = Some(a);
                 x.at2 = Some(b);
             }
+            LInstr::SelectStoreLoad { sel, j, i } => {
+                x.n = sel;
+                x.a = j;
+                x.b = i;
+            }
+            LInstr::GcCheckLoadSwitchCon {
+                i,
+                disc,
+                arms,
+                default,
+            } => {
+                x.b = i;
+                x.a = t.con_switches.len() as u32;
+                t.con_switches.push((disc, (arms, default)));
+            }
+            LInstr::RegHandleRegHandleLoad { a, b, i } => {
+                x.at = Some(a);
+                x.at2 = Some(b);
+                x.a = i;
+            }
         }
         t.ops.push(op);
         t.args.push(x);
     }
-    t
-}
 
-impl ThreadedCode {
     /// Reconstructs the linked instruction at `pc` (the inverse of
     /// [`translate`]; used by the disassembler and the round-trip tests).
     pub fn rebuild(&self, pc: usize) -> LInstr {
@@ -785,6 +880,39 @@ impl ThreadedCode {
                 a: x.at.unwrap(),
                 b: x.at2.unwrap(),
             },
+            Op::SelectStoreLoad => LInstr::SelectStoreLoad {
+                sel: x.n,
+                j: x.a,
+                i: x.b,
+            },
+            Op::GcCheckLoadSwitchCon => {
+                let (disc, (arms, default)) = &self.con_switches[x.a as usize];
+                LInstr::GcCheckLoadSwitchCon {
+                    i: x.b,
+                    disc: *disc,
+                    arms: arms.clone(),
+                    default: *default,
+                }
+            }
+            Op::RegHandleRegHandleLoad => LInstr::RegHandleRegHandleLoad {
+                a: x.at.unwrap(),
+                b: x.at2.unwrap(),
+                i: x.a,
+            },
+            op @ (Op::RPrim
+            | Op::RPrimJump
+            | Op::RJumpIfFalse
+            | Op::RStoreConst
+            | Op::RRet
+            | Op::RNop) => {
+                // Register-form opcodes have no LInstr counterpart; the
+                // register disassembler decodes them via
+                // `crate::register::RegCode::decode` instead.
+                panic!(
+                    "rebuild: register opcode {} has no linked form",
+                    op.mnemonic()
+                )
+            }
         }
     }
 }
@@ -904,7 +1032,7 @@ mod tests {
         // `Op` is `repr(u8)` with sequential discriminants; the handler
         // table is indexed by `op as usize`, so the last variant pins the
         // size.
-        assert_eq!(OP_COUNT, 53);
+        assert_eq!(OP_COUNT, 62);
         assert_eq!(Op::Halt as usize, 32);
         for (i, op) in Op::ALL.iter().enumerate() {
             assert_eq!(*op as usize, i, "ALL out of discriminant order");

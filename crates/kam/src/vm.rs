@@ -87,6 +87,16 @@ pub enum DispatchMode {
     /// `const` handler table indexed by opcode.
     #[default]
     Threaded,
+    /// Register-form execution: the unfused linked stream is rewritten by
+    /// [`crate::regalloc`] into three-address ops over virtual registers
+    /// (the frame's local slots) and dispatched with the threaded
+    /// machinery. The fusion setting is ignored — the register translator
+    /// subsumes superinstruction fusion by folding operand producers into
+    /// their consumers directly. Each register op charges the stack
+    /// instructions it replaces (see [`crate::register::RegCode::costs`]),
+    /// so instruction totals, fuel and the GC schedule stay bit-identical
+    /// with the other engines.
+    Register,
 }
 
 /// Result of a successful run.
@@ -363,7 +373,13 @@ impl<'p> Vm<'p> {
     /// [`VmError::UncaughtException`] if an exception escapes;
     /// [`VmError::OutOfFuel`] if the optional budget is exhausted.
     pub fn run(mut self) -> Result<VmOutcome, VmError> {
-        let linked = link::link(self.prog, self.fusion);
+        // The register translator consumes the unfused stream (it folds
+        // operand producers into consumers itself, subsuming fusion).
+        let fusion = match self.dispatch {
+            DispatchMode::Register => Fusion::Off,
+            _ => self.fusion,
+        };
+        let linked = link::link(self.prog, fusion);
         // Create the global regions (ids 0..n) and the main frame.
         for name in &self.prog.global_infinite {
             let _ = self.rt.letregion(*name);
@@ -385,6 +401,13 @@ impl<'p> Vm<'p> {
             DispatchMode::Threaded => {
                 let tcode = threaded::translate(linked);
                 self.exec_threaded(&tcode, pc)
+            }
+            DispatchMode::Register => {
+                let rcode = crate::register::translate(&linked);
+                // The translation renumbers pcs; entry points come from
+                // the remapped table.
+                let pc = rcode.code.entry_pc[self.prog.main as usize] as usize;
+                self.exec_register(&rcode, pc)
             }
         }
     }
@@ -903,6 +926,55 @@ impl<'p> Vm<'p> {
                     let wb = self.rt.tag_int(rb.0 as i64);
                     self.push(wb);
                 }
+                LInstr::SelectStoreLoad { sel, j, i } => {
+                    let v = self.pop();
+                    let w = self.rt.field(v, *sel as u64);
+                    self.set_local(*j, w);
+                    let u = self.local(*i);
+                    self.push(u);
+                }
+                LInstr::GcCheckLoadSwitchCon {
+                    i,
+                    disc,
+                    arms,
+                    default,
+                } => {
+                    if let Some(pol) = self.rt.config.generational {
+                        let nursery = &self.rt.regions[0];
+                        if nursery.pages >= pol.nursery_pages {
+                            self.collect_generational(pol);
+                        }
+                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
+                        self.collect();
+                    }
+                    let v = self.local(*i);
+                    let ctor: u32 = if !is_ptr(v) {
+                        scalar_val(v) as u32
+                    } else {
+                        match disc {
+                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
+                            Disc::Single(c) => *c,
+                            Disc::Enum => unreachable!("boxed value in enum datatype"),
+                        }
+                    };
+                    let target = arms
+                        .iter()
+                        .find(|(c, _)| *c == ctor)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default);
+                    pc = target as usize;
+                }
+                LInstr::RegHandleRegHandleLoad { a, b, i } => {
+                    let ra = self.region_of(*a);
+                    let wa = self.rt.tag_int(ra.0 as i64);
+                    self.push(wa);
+                    let rb = self.region_of(*b);
+                    let wb = self.rt.tag_int(rb.0 as i64);
+                    self.push(wb);
+                    let v = self.local(*i);
+                    self.push(v);
+                }
             }
         }
     }
@@ -969,6 +1041,88 @@ impl<'p> Vm<'p> {
                 Op::LoadSwitchCon => h_load_switch_con(&mut self, t, pc as u32),
                 Op::GcCheckLoad => h_gc_check_load(&mut self, t, pc as u32),
                 Op::RegHandleRegHandle => h_reg_handle_reg_handle(&mut self, t, pc as u32),
+                Op::SelectStoreLoad => h_select_store_load(&mut self, t, pc as u32),
+                Op::GcCheckLoadSwitchCon => h_gc_check_load_switch_con(&mut self, t, pc as u32),
+                Op::RegHandleRegHandleLoad => h_reg_handle_reg_handle_load(&mut self, t, pc as u32),
+                _ => HANDLERS[op as usize](&mut self, t, pc as u32),
+            };
+            match ctl {
+                Control::Next => pc += 1,
+                Control::Goto(target) => pc = target as usize,
+                Control::Halt => {
+                    let result = self.halted.take().expect("Halt without a result");
+                    let mut stats = self.rt.stats.clone();
+                    stats.observe_bytes(self.rt.mem_bytes());
+                    return Ok(VmOutcome {
+                        result,
+                        output: self.output,
+                        instructions: icount,
+                        stats,
+                        fusion_profile: None,
+                        rt: self.rt,
+                    });
+                }
+                Control::Fail => {
+                    return Err(self.pending.take().expect("Fail without an error"));
+                }
+            }
+        }
+    }
+
+    /// Register-form execution: structurally the threaded loop, but the
+    /// per-pc charge comes from [`crate::register::RegCode::costs`] — a
+    /// register op charges every source instruction the translator folded
+    /// into it, so instruction totals, fuel and the GC schedule match the
+    /// stack engines bit-for-bit. Base opcodes surviving translation
+    /// dispatch through the same handlers as [`Vm::exec_threaded`].
+    fn exec_register(
+        mut self,
+        r: &crate::register::RegCode,
+        entry: usize,
+    ) -> Result<VmOutcome, VmError> {
+        let t = &r.code;
+        let fuel_limit = self.fuel.unwrap_or(u64::MAX);
+        let mut icount: u64 = 0;
+        let mut pc = entry;
+        loop {
+            let op = t.ops[pc];
+            icount += r.costs[pc] as u64;
+            if icount > fuel_limit {
+                return Err(VmError::OutOfFuel);
+            }
+            let ctl = match op {
+                Op::RPrim => h_rprim(&mut self, t, pc as u32),
+                Op::RPrimJump => h_rprim_jump(&mut self, t, pc as u32),
+                Op::RJumpIfFalse => h_rjump_if_false(&mut self, t, pc as u32),
+                Op::RStoreConst => h_rstore_const(&mut self, t, pc as u32),
+                Op::RRet => h_rret(&mut self, t, pc as u32),
+                Op::RNop => h_rnop(&mut self, t, pc as u32),
+                Op::PushConst => h_push_const(&mut self, t, pc as u32),
+                Op::Load => h_load(&mut self, t, pc as u32),
+                Op::Store => h_store(&mut self, t, pc as u32),
+                Op::Pop => h_pop(&mut self, t, pc as u32),
+                Op::MkRecord => h_mk_record(&mut self, t, pc as u32),
+                Op::Select => h_select(&mut self, t, pc as u32),
+                Op::MkCon => h_mk_con(&mut self, t, pc as u32),
+                Op::SwitchCon => h_switch_con(&mut self, t, pc as u32),
+                Op::Jump => h_jump(&mut self, t, pc as u32),
+                Op::JumpIfFalse => h_jump_if_false(&mut self, t, pc as u32),
+                Op::Prim => h_prim(&mut self, t, pc as u32),
+                Op::RegHandle => h_reg_handle(&mut self, t, pc as u32),
+                Op::Call => h_call(&mut self, t, pc as u32),
+                Op::Ret => h_ret(&mut self, t, pc as u32),
+                Op::GcCheck => h_gc_check(&mut self, t, pc as u32),
+                Op::LetRegion => h_let_region(&mut self, t, pc as u32),
+                Op::EndRegions => h_end_regions(&mut self, t, pc as u32),
+                Op::PushConstJumpIfFalse => h_push_const_jump_if_false(&mut self, t, pc as u32),
+                Op::LoadSelect => h_load_select(&mut self, t, pc as u32),
+                Op::LoadSelectStore => h_load_select_store(&mut self, t, pc as u32),
+                Op::SelectStore => h_select_store(&mut self, t, pc as u32),
+                Op::LoadStore => h_load_store(&mut self, t, pc as u32),
+                Op::LoadSwitchCon => h_load_switch_con(&mut self, t, pc as u32),
+                Op::GcCheckLoadSwitchCon => h_gc_check_load_switch_con(&mut self, t, pc as u32),
+                Op::RegHandleRegHandle => h_reg_handle_reg_handle(&mut self, t, pc as u32),
+                Op::PrimJump => h_prim_jump(&mut self, t, pc as u32),
                 _ => HANDLERS[op as usize](&mut self, t, pc as u32),
             };
             match ctl {
@@ -1071,6 +1225,30 @@ impl<'p> Vm<'p> {
     /// operand ranges as roots.
     fn collect(&mut self) {
         let roots = self.roots();
+        // Every root must point at a live object: the compiler clears
+        // binding slots that go out of scope inside letregion scopes
+        // (`clear_dead_slot`), so no local can dangle into an ended
+        // region. A root landing on page slack means that invariant
+        // broke — report it with frame context before the collector
+        // trips over it.
+        #[cfg(debug_assertions)]
+        for &slot in &roots {
+            let v = self.rt.stack[slot];
+            if is_ptr(v)
+                && matches!(
+                    kit_runtime::value::space_of(ptr_addr(v)),
+                    kit_runtime::value::Space::Heap
+                )
+            {
+                let w = self.rt.read_addr(ptr_addr(v));
+                if !is_ptr(w) && Tag::decode(w).kind == kit_runtime::value::Kind::Sentinel {
+                    panic!(
+                        "dangling GC root at stack slot {slot} (value {v:#x}) in {}",
+                        self.backtrace()
+                    );
+                }
+            }
+        }
         gc::collect(&mut self.rt, &roots, &mut []);
     }
 
@@ -1431,6 +1609,15 @@ const HANDLERS: [OpHandler; OP_COUNT] = [
     h_load_switch_con,
     h_gc_check_load,
     h_reg_handle_reg_handle,
+    h_select_store_load,
+    h_gc_check_load_switch_con,
+    h_reg_handle_reg_handle_load,
+    h_rprim,
+    h_rprim_jump,
+    h_rjump_if_false,
+    h_rstore_const,
+    h_rret,
+    h_rnop,
 ];
 
 #[inline]
@@ -2171,5 +2358,201 @@ fn h_reg_handle_reg_handle(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Contro
     let rb = vm.region_of(x.at2.expect("region handle needs a slot"));
     let wb = vm.rt.tag_int(rb.0 as i64);
     vm.push(wb);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_select_store_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.pop();
+    let w = vm.rt.field(v, x.n as u64);
+    vm.set_local(x.a, w);
+    let u = vm.local(x.b);
+    vm.push(u);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_gc_check_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    if let Some(pol) = vm.rt.config.generational {
+        let nursery = &vm.rt.regions[0];
+        if nursery.pages >= pol.nursery_pages {
+            vm.collect_generational(pol);
+        }
+    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
+        vm.collect();
+    }
+    let x = args(t, pc);
+    let v = vm.local(x.b);
+    let (disc, (arms, default)) = &t.con_switches[x.a as usize];
+    let ctor: u32 = if !is_ptr(v) {
+        scalar_val(v) as u32
+    } else {
+        match *disc {
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
+            Disc::Single(c) => c,
+            Disc::Enum => unreachable!("boxed value in enum datatype"),
+        }
+    };
+    let target = arms
+        .iter()
+        .find(|(c, _)| *c == ctor)
+        .map(|(_, t)| *t)
+        .unwrap_or(*default);
+    Control::Goto(target)
+}
+
+#[inline(always)]
+fn h_reg_handle_reg_handle_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let ra = vm.region_of(x.at.expect("region handle needs a slot"));
+    let wa = vm.rt.tag_int(ra.0 as i64);
+    vm.push(wa);
+    let rb = vm.region_of(x.at2.expect("region handle needs a slot"));
+    let wb = vm.rt.tag_int(rb.0 as i64);
+    vm.push(wb);
+    let v = vm.local(x.a);
+    vm.push(v);
+    Control::Next
+}
+
+// ------------------------------------------------ register-form handlers
+//
+// Operand modes for `RPrim`/`RPrimJump` live in `Args::n` as two nibbles
+// (`amode | bmode << 4`): 0 = on the operand stack, 1 = local `a`/`b`,
+// 2 = the constant `k` (at most one operand is a constant). `B` is the
+// top-of-stack operand; the translator guarantees that a physical `B`
+// implies a physical `A`, and that unary prims use the `B` slot only.
+// Staged operands are pushed before the generic [`Vm::do_prim`] path so
+// the stack at a raise point is exactly what the stack machine had.
+
+/// Fetches the staged operands of a register prim. `None` means the
+/// operand is already on the operand stack.
+#[inline(always)]
+fn rprim_operands(vm: &Vm<'_>, x: &threaded::Args) -> (Option<Word>, Option<Word>) {
+    let aval = match x.n & 0xf {
+        1 => Some(vm.local(x.a)),
+        2 => Some(x.k),
+        _ => None,
+    };
+    let bval = match x.n >> 4 {
+        1 => Some(vm.local(x.b)),
+        2 => Some(x.k),
+        _ => None,
+    };
+    (aval, bval)
+}
+
+#[inline(always)]
+fn h_rprim(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let (aval, bval) = rprim_operands(vm, x);
+    if let (Some(a), Some(b)) = (aval, bval) {
+        if let Some(w) = fast_int_arith(vm, x.p, a, b) {
+            if x.flag {
+                vm.set_local(x.m as u32, w);
+            } else {
+                vm.push(w);
+            }
+            return Control::Next;
+        }
+        if let Some(res) = fast_int_cmp(vm, x.p, a, b) {
+            let w = vm.rt.tag_int(res as i64);
+            if x.flag {
+                vm.set_local(x.m as u32, w);
+            } else {
+                vm.push(w);
+            }
+            return Control::Next;
+        }
+    }
+    if let Some(a) = aval {
+        vm.push(a);
+    }
+    if let Some(b) = bval {
+        vm.push(b);
+    }
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {
+            if x.flag {
+                let v = vm.pop();
+                vm.set_local(x.m as u32, v);
+            }
+            Control::Next
+        }
+        // The translator never folds a store into a raising prim, so the
+        // stack the handler unwinds matches the stack machine's.
+        Err(exn) => vm.raise_or_fail(exn),
+    }
+}
+
+#[inline(always)]
+fn h_rprim_jump(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let (aval, bval) = rprim_operands(vm, x);
+    if let (Some(a), Some(b)) = (aval, bval) {
+        if let Some(res) = fast_int_cmp(vm, x.p, a, b) {
+            return if res {
+                Control::Next
+            } else {
+                Control::Goto(x.t)
+            };
+        }
+    }
+    if let Some(a) = aval {
+        vm.push(a);
+    }
+    if let Some(b) = bval {
+        vm.push(b);
+    }
+    // Only non-raising prims are jump-folded, so `Err` is unreachable;
+    // keep the generic path anyway for uniformity.
+    match vm.do_prim(x.p, x.at) {
+        Ok(()) => {}
+        Err(exn) => return vm.raise_or_fail(exn),
+    }
+    let v = vm.pop();
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_rjump_if_false(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let v = vm.local(x.a);
+    if vm.rt.untag_int(v) == 0 {
+        Control::Goto(x.t)
+    } else {
+        Control::Next
+    }
+}
+
+#[inline(always)]
+fn h_rstore_const(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    vm.set_local(x.a, x.k);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_rret(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    // Read the result before the frame (and its locals) is torn down.
+    let result = if x.n == 1 { vm.local(x.a) } else { x.k };
+    let f = vm.frames.pop().expect("return without frame");
+    debug_assert_eq!(vm.region_pool.len(), f.rbase, "return with open regions");
+    vm.cur_locals = vm.frames.last().map_or(0, |c| c.locals);
+    vm.formal_pool.truncate(f.fbase);
+    vm.rt.stack.truncate(f.base);
+    vm.push(result);
+    Control::Goto(f.ret_pc as u32)
+}
+
+#[inline(always)]
+fn h_rnop(_vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
     Control::Next
 }

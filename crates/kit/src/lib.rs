@@ -238,8 +238,28 @@ impl Compiler {
         self
     }
 
-    /// Selects the interpreter's dispatch engine (classic match loop or
-    /// direct-threaded handler table); observable behavior is identical.
+    /// Selects the interpreter's dispatch engine: the classic match loop,
+    /// the direct-threaded handler table, or the register-translated form
+    /// (stack bytecode rewritten to three-address ops post-link).
+    /// Observable behavior — results, output, instruction totals, GC
+    /// schedule and statistics — is identical across all three.
+    ///
+    /// ```
+    /// use kit::{Compiler, DispatchMode, Mode};
+    ///
+    /// let src = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n\
+    ///            val it = fib 12";
+    /// let run = |d| {
+    ///     Compiler::new(Mode::Rgt)
+    ///         .with_dispatch(d)
+    ///         .run_source(src)
+    ///         .unwrap()
+    /// };
+    /// let m = run(DispatchMode::Match);
+    /// let r = run(DispatchMode::Register);
+    /// assert_eq!(m.result, r.result);
+    /// assert_eq!(m.instructions, r.instructions);
+    /// ```
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;
         self

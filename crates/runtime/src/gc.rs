@@ -190,6 +190,7 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
     let want_total = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
     if rt.heap.total_pages() < want_total {
         rt.heap.grow(want_total - rt.heap.total_pages());
+        rt.stats.heap_grows += 1;
     } else {
         shrink_with_hysteresis(rt, want_total);
     }
@@ -217,19 +218,37 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
     }
 }
 
+/// Absolute minimum width of the shrink hysteresis band, in pages.
+const MIN_SHRINK_BAND: usize = 2;
+
+/// Minimum width of the shrink hysteresis band: one page of live-set
+/// noise is amplified to `heap_to_live_ratio` pages of growth-target
+/// movement, so any narrower band would let a workload oscillating by a
+/// single live page release and re-grow the arena tail on every
+/// collection. A factor close to 1.0 would otherwise make `cap == floor`
+/// (no band at all).
+fn min_shrink_band(rt: &Rt) -> usize {
+    (rt.config.heap_to_live_ratio.ceil() as usize).max(MIN_SHRINK_BAND)
+}
+
 /// Asymmetric heap sizing (growth is immediate, above): once the arena
 /// exceeds `heap_shrink_factor` times the growth target, free tail pages
 /// are released back down to the target. The hysteresis band between the
 /// two keeps a workload that oscillates around one size from thrashing
-/// `grow`/`release_tail` on every collection.
+/// `grow`/`release_tail` on every collection; the band is never narrower
+/// than [`min_shrink_band`] pages regardless of the factor.
 fn shrink_with_hysteresis(rt: &mut Rt, want_total: usize) {
     let Some(factor) = rt.config.heap_shrink_factor else {
         return;
     };
     let floor = want_total.max(rt.config.initial_pages);
-    let cap = ((floor as f64) * factor).ceil() as usize;
+    let cap = (((floor as f64) * factor).ceil() as usize).max(floor + min_shrink_band(rt));
     if rt.heap.total_pages() > cap {
-        rt.heap.release_tail(rt.heap.total_pages() - floor);
+        let released = rt.heap.release_tail(rt.heap.total_pages() - floor);
+        if released > 0 {
+            rt.stats.heap_shrinks += 1;
+            rt.stats.pages_released += released as u64;
+        }
     }
 }
 
@@ -257,6 +276,14 @@ pub fn collect_gen(
     let t0 = std::time::Instant::now();
     rt.in_gc = true;
     rt.flush_alloc_cache();
+    if major && rt.config.heap_shrink_factor.is_some() {
+        // Same reasoning as in [`collect`]: the semispace passes must fill
+        // to-space from the arena bottom so the post-collection shrink
+        // finds its free pages at the physical tail. Without this the
+        // tenured survivors land on arbitrary free-list pages and
+        // `release_tail` stops at the first in-use page it meets.
+        rt.heap.sort_free_list();
+    }
     collect_phase(rt, root_slots, remembered, young, old);
     rt.stats.minor_gcs += 1;
     remembered.clear();
@@ -268,6 +295,7 @@ pub fn collect_gen(
         let want = ((live as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
         if rt.heap.total_pages() < want {
             rt.heap.grow(want - rt.heap.total_pages());
+            rt.stats.heap_grows += 1;
         } else {
             shrink_with_hysteresis(rt, want);
         }
@@ -747,6 +775,74 @@ mod tests {
         // Within the hysteresis band nothing more is released.
         collect(&mut rt, &[root], &mut []);
         assert!(rt.heap.total_pages() >= floor, "no thrash inside the band");
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn tight_shrink_factor_does_not_thrash() {
+        // factor = 1.0 collapses cap onto floor, so without the minimum
+        // hysteresis band a live set oscillating by one page would
+        // release the arena tail on every down-cycle and re-grow it on
+        // every up-cycle. 1300 vs 1385 cons cells is exactly one page of
+        // live-set movement (≈ 3 words per cell, ≈ 84 cells per page).
+        let mut rt = Rt::new(RtConfig {
+            initial_pages: 16,
+            heap_shrink_factor: Some(1.0),
+            ..RtConfig::rgt()
+        });
+        let r = rt.letregion(0);
+        let live = build_list(&mut rt, r, 1385);
+        rt.stack.push(live);
+        let root = rt.stack.len() - 1;
+        // Converge onto the target.
+        collect(&mut rt, &[root], &mut []);
+        collect(&mut rt, &[root], &mut []);
+        let (grows, shrinks) = (rt.stats.heap_grows, rt.stats.heap_shrinks);
+        for i in 0..10 {
+            let n = if i % 2 == 0 { 1300 } else { 1385 };
+            let live = build_list(&mut rt, r, n);
+            rt.stack[root] = live;
+            collect(&mut rt, &[root], &mut []);
+        }
+        assert_eq!(
+            (rt.stats.heap_grows, rt.stats.heap_shrinks),
+            (grows, shrinks),
+            "one page of live-set noise thrashed the arena size"
+        );
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn generational_major_shrinks_oversized_heap() {
+        // The major path must sort the free-list before its flips, or the
+        // tenured survivors land mid-arena and `release_tail` stops early.
+        let mut rt = Rt::new(RtConfig {
+            initial_pages: 16,
+            heap_shrink_factor: Some(1.0),
+            ..RtConfig::rgt()
+        });
+        let young = rt.letregion(0);
+        let old = rt.letregion(0);
+        for _ in 0..200 {
+            let _ = build_list(&mut rt, young, 200);
+        }
+        let live = build_list(&mut rt, young, 5);
+        rt.stack.push(live);
+        let root = rt.stack.len() - 1;
+        let before = rt.heap.total_pages();
+        let mut remembered = Vec::new();
+        collect_gen(&mut rt, &[root], &mut remembered, young, old, true);
+        collect_gen(&mut rt, &[root], &mut remembered, young, old, true);
+        let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
+        let want = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
+        let floor = want.max(rt.config.initial_pages);
+        assert!(before > floor + MIN_SHRINK_BAND, "setup must overshoot");
+        assert!(
+            rt.heap.total_pages() <= floor + MIN_SHRINK_BAND,
+            "major collections must release the garbage tail: {} pages left, floor {floor}",
+            rt.heap.total_pages()
+        );
+        assert_eq!(list_sum(&rt, rt.stack[root]), 15);
         rt.check_page_conservation().unwrap();
     }
 

@@ -17,10 +17,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> fusion/dispatch equivalence (release)"
+echo "==> 3-way engine equivalence: fusion differential (release)"
 cargo test --release -p kit-bench --test fusion -q
 
-echo "==> bench-summary smoke run (2 programs)"
+echo "==> 3-way engine equivalence: randomized differential (release)"
+cargo test --release -p kit-bench --test randomized -q
+
+echo "==> bench-summary smoke run (2 programs, all three engines)"
 cargo run --release -p kit-bench --bin bench-summary -- \
     --only fib,tak --modes r --samples 1 --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
