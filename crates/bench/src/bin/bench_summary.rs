@@ -1,8 +1,8 @@
 //! Perf-trajectory snapshot: runs every benchmark of the paper's Fig. 3 in
 //! all five execution modes and writes a machine-readable JSON summary
-//! (default `BENCH_PR3.json`).
+//! (default `BENCH_PR4.json`).
 //!
-//! By default each (program, mode) cell is measured under three interpreter
+//! By default each (program, mode) cell is measured under four interpreter
 //! configurations, interleaved sample-by-sample so host throughput drift
 //! cancels out of the A/B comparison:
 //!
@@ -10,6 +10,9 @@
 //! * `threaded_full` — PR 2 loop: direct-threaded dispatch, full fusion table
 //! * `register`      — PR 3 engine: register-translated code (the translation
 //!   subsumes stack-shuffle fusion, so its fusion setting is moot)
+//! * `register_fused` — PR 4 engine: cross-block register translation with
+//!   the profile-selected superinstruction set re-fused over the register
+//!   stream
 //!
 //! The deterministic counters (instructions, words allocated, #GC, bytes
 //! copied) are bit-identical across runs, machines *and configurations* —
@@ -21,7 +24,8 @@
 //! Usage: `cargo run -p kit-bench --release --bin bench-summary --
 //!         [--full] [--samples N] [--out PATH] [--jobs N]
 //!         [--only prog,prog,...] [--modes r,rt,...]
-//!         [--dispatch match|threaded|register] [--fusion off|hand|full]
+//!         [--dispatch match|threaded|register|register_fused]
+//!         [--fusion off|hand|full]
 //!         [--profile-fusion]`
 //!
 //! `--only`/`--modes` restrict the sweep; `--dispatch`/`--fusion` replace
@@ -51,7 +55,7 @@ struct Config {
     fusion: Fusion,
 }
 
-const COMPARE: [Config; 3] = [
+const COMPARE: [Config; 4] = [
     Config {
         name: "match_hand",
         dispatch: DispatchMode::Match,
@@ -65,6 +69,11 @@ const COMPARE: [Config; 3] = [
     Config {
         name: "register",
         dispatch: DispatchMode::Register,
+        fusion: Fusion::Off,
+    },
+    Config {
+        name: "register_fused",
+        dispatch: DispatchMode::RegisterFused,
         fusion: Fusion::Off,
     },
 ];
@@ -108,7 +117,7 @@ fn main() {
         .max(1);
     let out_path = flag_val("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let csv_arg = |flag: &str| -> Option<Vec<String>> {
         flag_val(flag).map(|s| s.split(',').map(str::to_string).collect())
     };
@@ -119,7 +128,8 @@ fn main() {
         "match" => DispatchMode::Match,
         "threaded" => DispatchMode::Threaded,
         "register" => DispatchMode::Register,
-        other => panic!("--dispatch {other}: expected match|threaded|register"),
+        "register_fused" => DispatchMode::RegisterFused,
+        other => panic!("--dispatch {other}: expected match|threaded|register|register_fused"),
     });
     let fusion = flag_val("--fusion").map(|s| match s.as_str() {
         "off" => Fusion::Off,
@@ -254,11 +264,17 @@ fn run_cell(cell: &Cell, configs: &[Config], samples: usize) -> Vec<Row> {
     // the dispatch engine or the fusion set.
     for (c, o) in configs.iter().zip(&outs).skip(1) {
         assert_eq!(
-            (o.instructions, o.stats.words_allocated, o.stats.gc_count),
+            (
+                o.instructions,
+                o.stats.words_allocated,
+                o.stats.gc_count,
+                o.stats.gc_copied_words
+            ),
             (
                 outs[0].instructions,
                 outs[0].stats.words_allocated,
-                outs[0].stats.gc_count
+                outs[0].stats.gc_count,
+                outs[0].stats.gc_copied_words
             ),
             "{} [{}]: config {} diverges from {}",
             cell.bench.name,

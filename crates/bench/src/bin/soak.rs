@@ -1,0 +1,75 @@
+//! Soak runner: the randomized 4-way engine differential from
+//! `tests/randomized.rs`, promoted to a binary so it can run for
+//! arbitrarily many cases with full configuration fuzzing — page size,
+//! initial heap, `heap_shrink_factor` hysteresis, the generational
+//! policy, and all four dispatch modes (`Match` reference vs `Threaded`,
+//! `Register`, `RegisterFused`).
+//!
+//! Usage: `cargo run -p kit-bench --release --bin soak --
+//!         [--cases N] [--seed S]`
+//!
+//! Every case is one generated program run in all five execution modes
+//! under the default runtime configuration plus one fuzzed configuration
+//! per mode. Any divergence prints the offending engine, field, config,
+//! and full program source, and the process exits nonzero — so a CI hook
+//! (`scripts/verify.sh` wires in a short run) fails loudly.
+
+use kit::Mode;
+use kit_bench::programs::SplitMix64;
+use kit_bench::randgen;
+
+const FUEL: u64 = 10_000_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let cases = flag_val("--cases")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(200);
+    let seed = flag_val("--seed")
+        .and_then(|s| {
+            s.parse::<u64>()
+                .ok()
+                .or_else(|| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        })
+        .unwrap_or(0x5EED_5041);
+
+    let mut rng = SplitMix64::new(seed);
+    let mut failures = 0u64;
+    let mut runs = 0u64;
+    for case in 0..cases {
+        let src = randgen::program(&mut rng);
+        for mode in Mode::ALL_WITH_BASELINE {
+            // Default configuration, then one fuzzed configuration per
+            // mode — tiny pages and aggressive shrink factors move the
+            // GC schedule, which must still be engine-invariant.
+            let fuzzed = randgen::fuzz_config(&mut rng, mode);
+            for cfg in [None, Some(&fuzzed)] {
+                runs += 1;
+                if let Err(e) = randgen::differential(&src, mode, cfg, FUEL) {
+                    failures += 1;
+                    eprintln!("== DIVERGENCE (case {case}, seed {seed:#x}) ==\n{e}\n");
+                }
+            }
+        }
+        if (case + 1) % 50 == 0 {
+            eprintln!(
+                "soak: {}/{cases} cases, {runs} differentials, {failures} failures",
+                case + 1
+            );
+        }
+    }
+    eprintln!(
+        "soak: {cases} cases x {} modes x 2 configs x {} engines = {runs} differentials, \
+         {failures} failures (seed {seed:#x})",
+        Mode::ALL_WITH_BASELINE.len(),
+        randgen::DIFF_ENGINES.len(),
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

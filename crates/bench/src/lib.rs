@@ -18,6 +18,7 @@
 //! * `bootstrap` — the §4.5 substitute (large symbolic workload).
 
 pub mod programs;
+pub mod randgen;
 pub mod runner;
 pub mod tables;
 

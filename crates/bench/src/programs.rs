@@ -162,6 +162,23 @@ pub fn all() -> Vec<Benchmark> {
         ),
         bench!("kitlife", "kitlife.sml", "the game of life", 24, 4),
         bench!("kitkb", "kitkb.sml", "Knuth-Bendix-style completion", 60, 6),
+        // Branch-heavy additions (not in the paper's Fig. 3): values live
+        // across basic-block edges, the cells straight-line register
+        // allocation wins nothing on.
+        bench!(
+            "machine",
+            "machine.sml",
+            "datatype-coded stack-machine interpreter",
+            2500,
+            25
+        ),
+        bench!(
+            "accum",
+            "accum.sml",
+            "loop with accumulators live across the back-edge",
+            1500,
+            30
+        ),
     ]
 }
 
@@ -175,8 +192,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seventeen_programs_like_the_paper() {
-        assert_eq!(all().len(), 17);
+    fn seventeen_paper_programs_plus_two_branch_heavy() {
+        assert_eq!(all().len(), 19);
     }
 
     #[test]

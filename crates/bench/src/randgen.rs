@@ -1,0 +1,204 @@
+//! Random program generator and N-way engine differential, shared by the
+//! `randomized` integration test (a short fixed-seed run in CI) and the
+//! `soak` binary (arbitrarily long runs with config fuzzing).
+//!
+//! The generator leans into the suspect areas: `div`/`mod` with
+//! dynamically-zero divisors, overflow-prone arithmetic, user exceptions
+//! raised conditionally deep inside expressions, and `handle` chains that
+//! discriminate on builtin vs user constructors — all inside a recursive
+//! driver so the same raise sites execute many times with different
+//! operand stacks, under heap configurations small enough to force
+//! collections mid-expression.
+
+use crate::programs::SplitMix64;
+use kit::{Compiler, DispatchMode, Error, Fusion, Mode, Outcome};
+use kit_runtime::config::GenPolicy;
+use kit_runtime::RtConfig;
+
+/// The engines checked against the `Match` reference. Every generated
+/// program must behave identically — result, output, instruction total,
+/// and GC/alloc statistics — under all four dispatch modes.
+pub const DIFF_ENGINES: [DispatchMode; 3] = [
+    DispatchMode::Threaded,
+    DispatchMode::Register,
+    DispatchMode::RegisterFused,
+];
+
+/// A random int leaf: a variable, a small constant, or (rarely) a
+/// constant big enough that products overflow the 63-bit int range.
+fn leaf(rng: &mut SplitMix64, vars: &[&str]) -> String {
+    match rng.below(6) {
+        0 | 1 if !vars.is_empty() => vars[rng.below(vars.len() as u64) as usize].to_string(),
+        2 => "1073741823".to_string(),
+        _ => {
+            let n = rng.range_i64(-20, 100);
+            if n < 0 {
+                format!("~{}", -n)
+            } else {
+                n.to_string()
+            }
+        }
+    }
+}
+
+/// A random int expression over `vars`, biased toward partial operations
+/// and exception traffic.
+fn int_expr(rng: &mut SplitMix64, vars: &[&str], depth: u32) -> String {
+    if depth == 0 {
+        return leaf(rng, vars);
+    }
+    let a = int_expr(rng, vars, depth - 1);
+    let b = int_expr(rng, vars, depth - 1);
+    match rng.below(16) {
+        0..=2 => leaf(rng, vars),
+        3..=5 => {
+            let op = ["+", "-", "*"][rng.below(3) as usize];
+            format!("({a} {op} {b})")
+        }
+        // Partial ops: the divisor is frequently zero at runtime.
+        6 => format!("({a} div ({b} mod 3))"),
+        7 => format!("({a} mod ({b} mod 5))"),
+        8 => format!("(if {a} < {b} then {a} else {b})"),
+        9 => format!("(let val y = {a} in (y + {b}) end)"),
+        10 => format!("((fn q => q + {a}) {b})"),
+        11 => format!("(fst ({a}, {b}) + snd ({b}, {a}))"),
+        12 => format!("(hd [{a}, {b}] + length [{b}])"),
+        // A conditionally-raised user exception carrying a payload.
+        13 => format!(
+            "(if {a} < {} then raise Boom ({b}) else {b})",
+            leaf(rng, vars)
+        ),
+        // Handlers over a raising subexpression.
+        _ => {
+            let h1 = leaf(rng, vars);
+            let h2 = leaf(rng, vars);
+            format!("(({a}) handle Div => {h1} | Overflow => {h2} | Boom k => (k mod 9001))")
+        }
+    }
+}
+
+/// One random program: a generated function applied many times by a
+/// recursive driver, every call under a handler chain so raising and
+/// non-raising iterations interleave.
+pub fn program(rng: &mut SplitMix64) -> String {
+    let body = int_expr(rng, &["x0", "x1"], 3);
+    let seed = int_expr(rng, &[], 2);
+    let iters = 10 + rng.below(20);
+    format!(
+        "exception Boom of int\n\
+         fun f (x0, x1) = {body}\n\
+         fun go n acc =\n\
+         \u{20}  if n < 1 then acc\n\
+         \u{20}  else go (n - 1) (((acc * 3 + f (n, acc)) handle Div => ~1 | Overflow => ~2 | Boom k => (k + acc) mod 65537) mod 100003)\n\
+         val it = go {iters} (({seed}) handle Overflow => 7 | Div => 11)\n"
+    )
+}
+
+/// A random runtime configuration for `mode`: page size, initial heap,
+/// shrink hysteresis, and (for the baseline mode) the generational
+/// policy are all fuzzed. `with_config` forces the tagging/GC flags back
+/// to the mode's requirements, so the result is always well-formed.
+pub fn fuzz_config(rng: &mut SplitMix64, mode: Mode) -> RtConfig {
+    let mut cfg = RtConfig {
+        // 32..512-word pages; tiny pages force collections mid-expression.
+        page_words_log2: 5 + rng.below(5) as u32,
+        initial_pages: [2, 4, 8, 64][rng.below(4) as usize],
+        heap_shrink_factor: [None, Some(1.0), Some(2.0), Some(4.0)][rng.below(4) as usize],
+        ..RtConfig::default()
+    };
+    if mode == Mode::Baseline {
+        cfg.generational = Some(GenPolicy {
+            nursery_pages: [2, 8, 64][rng.below(3) as usize],
+            major_growth: 2 + rng.below(3) as usize,
+        });
+    }
+    cfg
+}
+
+fn run_once(
+    src: &str,
+    mode: Mode,
+    dispatch: DispatchMode,
+    cfg: Option<&RtConfig>,
+    fuel: u64,
+) -> Result<Outcome, Error> {
+    let mut c = Compiler::new(mode)
+        .with_dispatch(dispatch)
+        .with_fusion(Fusion::Full)
+        .with_fuel(fuel);
+    if let Some(cfg) = cfg {
+        c = c.with_config(cfg.clone());
+    }
+    c.run_source(src)
+}
+
+fn diff_outcomes(want: &Outcome, got: &Outcome) -> Option<String> {
+    macro_rules! field {
+        ($name:literal, $w:expr, $g:expr) => {
+            if $w != $g {
+                return Some(format!("{}: {:?} vs {:?}", $name, $w, $g));
+            }
+        };
+    }
+    field!("result", want.result, got.result);
+    field!("output", want.output, got.output);
+    field!("instructions", want.instructions, got.instructions);
+    field!(
+        "words allocated",
+        want.stats.words_allocated,
+        got.stats.words_allocated
+    );
+    field!("allocations", want.stats.allocations, got.stats.allocations);
+    field!("#GC", want.stats.gc_count, got.stats.gc_count);
+    field!(
+        "copied words",
+        want.stats.gc_copied_words,
+        got.stats.gc_copied_words
+    );
+    field!("peak bytes", want.stats.peak_bytes, got.stats.peak_bytes);
+    None
+}
+
+/// Runs `src` under `Match` dispatch (the reference) and every engine in
+/// [`DIFF_ENGINES`], comparing results, output, instruction totals, and
+/// GC/alloc statistics. `Err` carries enough context to reproduce the
+/// divergence by hand (the engine, the field, and the full source).
+pub fn differential(
+    src: &str,
+    mode: Mode,
+    cfg: Option<&RtConfig>,
+    fuel: u64,
+) -> Result<(), String> {
+    let reference = run_once(src, mode, DispatchMode::Match, cfg, fuel);
+    for dispatch in DIFF_ENGINES {
+        let out = run_once(src, mode, dispatch, cfg, fuel);
+        let ctx = || {
+            format!(
+                "{mode} {dispatch:?} (cfg: {}) on\n{src}",
+                cfg.map_or("default".to_string(), |c| format!(
+                    "pages=2^{} init={} shrink={:?} gen={}",
+                    c.page_words_log2,
+                    c.initial_pages,
+                    c.heap_shrink_factor,
+                    c.generational.is_some()
+                ))
+            )
+        };
+        match (&reference, &out) {
+            (Ok(want), Ok(got)) => {
+                if let Some(d) = diff_outcomes(want, got) {
+                    return Err(format!("{}: {d}", ctx()));
+                }
+            }
+            (Err(Error::Run(want)), Err(Error::Run(got))) => {
+                if got != want {
+                    return Err(format!("{}: error {got:?} vs {want:?}", ctx()));
+                }
+            }
+            (want, got) => {
+                return Err(format!("{}: engines disagree: {want:?} vs {got:?}", ctx()));
+            }
+        }
+    }
+    Ok(())
+}

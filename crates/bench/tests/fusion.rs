@@ -30,10 +30,14 @@ fn check_all_benchmarks() {
         (DispatchMode::Threaded, Fusion::Off),
         (DispatchMode::Threaded, Fusion::Hand),
         (DispatchMode::Threaded, Fusion::Full),
-        // The register engine links with fusion off internally; the
-        // fusion setting must be observationally irrelevant to it.
+        // The register engines link with fusion off internally; the
+        // fusion setting must be observationally irrelevant to them.
         (DispatchMode::Register, Fusion::Off),
         (DispatchMode::Register, Fusion::Full),
+        // Cross-block regalloc + re-fused register stream: cost merging in
+        // `register::fuse` must keep fuel and the GC schedule identical.
+        (DispatchMode::RegisterFused, Fusion::Off),
+        (DispatchMode::RegisterFused, Fusion::Full),
     ];
     // The tier-3 uncovered-triple fixups must actually fire on the
     // corpus they were profiled from (the equivalence loop below then

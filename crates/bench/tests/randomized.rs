@@ -1,152 +1,29 @@
-//! Randomized 3-way engine differential: small generated programs must
+//! Randomized 4-way engine differential: small generated programs must
 //! behave identically — result, output, instruction total, and GC/alloc
-//! statistics — under `Match`, `Threaded`, and `Register` dispatch, in
-//! every mode, including on exception paths and `VmError` outcomes
-//! (which the benchmark corpus in `fusion.rs` barely exercises).
+//! statistics — under `Match`, `Threaded`, `Register`, and
+//! `RegisterFused` dispatch, in every mode, including on exception paths
+//! and `VmError` outcomes (which the benchmark corpus in `fusion.rs`
+//! barely exercises).
 //!
-//! The generator leans into the suspect areas: `div`/`mod` with
-//! dynamically-zero divisors, overflow-prone arithmetic, user exceptions
-//! raised conditionally deep inside expressions, and `handle` chains that
-//! discriminate on builtin vs user constructors — all inside a recursive
-//! driver so the same raise sites execute many times with different
-//! operand stacks, under heap configurations small enough to force
-//! collections mid-expression.
+//! The generator and comparison live in [`kit_bench::randgen`]; the
+//! `soak` binary runs the same differential for arbitrarily many cases
+//! with full config fuzzing. This test is the short fixed-seed CI run.
 
-use kit::{Compiler, DispatchMode, Error, Fusion, Mode};
+use kit::Mode;
 use kit_bench::programs::SplitMix64;
+use kit_bench::randgen;
 use kit_runtime::RtConfig;
 
-/// A random int leaf: a variable, a small constant, or (rarely) a
-/// constant big enough that products overflow the 63-bit int range.
-fn leaf(rng: &mut SplitMix64, vars: &[&str]) -> String {
-    match rng.below(6) {
-        0 | 1 if !vars.is_empty() => vars[rng.below(vars.len() as u64) as usize].to_string(),
-        2 => "1073741823".to_string(),
-        _ => {
-            let n = rng.range_i64(-20, 100);
-            if n < 0 {
-                format!("~{}", -n)
-            } else {
-                n.to_string()
-            }
-        }
-    }
-}
-
-/// A random int expression over `vars`, biased toward partial operations
-/// and exception traffic.
-fn int_expr(rng: &mut SplitMix64, vars: &[&str], depth: u32) -> String {
-    if depth == 0 {
-        return leaf(rng, vars);
-    }
-    let a = int_expr(rng, vars, depth - 1);
-    let b = int_expr(rng, vars, depth - 1);
-    match rng.below(16) {
-        0..=2 => leaf(rng, vars),
-        3..=5 => {
-            let op = ["+", "-", "*"][rng.below(3) as usize];
-            format!("({a} {op} {b})")
-        }
-        // Partial ops: the divisor is frequently zero at runtime.
-        6 => format!("({a} div ({b} mod 3))"),
-        7 => format!("({a} mod ({b} mod 5))"),
-        8 => format!("(if {a} < {b} then {a} else {b})"),
-        9 => format!("(let val y = {a} in (y + {b}) end)"),
-        10 => format!("((fn q => q + {a}) {b})"),
-        11 => format!("(fst ({a}, {b}) + snd ({b}, {a}))"),
-        12 => format!("(hd [{a}, {b}] + length [{b}])"),
-        // A conditionally-raised user exception carrying a payload.
-        13 => format!(
-            "(if {a} < {} then raise Boom ({b}) else {b})",
-            leaf(rng, vars)
-        ),
-        // Handlers over a raising subexpression.
-        _ => {
-            let h1 = leaf(rng, vars);
-            let h2 = leaf(rng, vars);
-            format!("(({a}) handle Div => {h1} | Overflow => {h2} | Boom k => (k mod 9001))")
-        }
-    }
-}
-
-/// One random program: a generated function applied many times by a
-/// recursive driver, every call under a handler chain so raising and
-/// non-raising iterations interleave.
-fn program(rng: &mut SplitMix64) -> String {
-    let body = int_expr(rng, &["x0", "x1"], 3);
-    let seed = int_expr(rng, &[], 2);
-    let iters = 10 + rng.below(20);
-    format!(
-        "exception Boom of int\n\
-         fun f (x0, x1) = {body}\n\
-         fun go n acc =\n\
-         \u{20}  if n < 1 then acc\n\
-         \u{20}  else go (n - 1) (((acc * 3 + f (n, acc)) handle Div => ~1 | Overflow => ~2 | Boom k => (k + acc) mod 65537) mod 100003)\n\
-         val it = go {iters} (({seed}) handle Overflow => 7 | Div => 11)\n"
-    )
-}
-
 const FUEL: u64 = 10_000_000;
-
-fn run(
-    src: &str,
-    mode: Mode,
-    dispatch: DispatchMode,
-    cfg: Option<&RtConfig>,
-) -> Result<kit::Outcome, Error> {
-    let mut c = Compiler::new(mode)
-        .with_dispatch(dispatch)
-        .with_fusion(Fusion::Full)
-        .with_fuel(FUEL);
-    if let Some(cfg) = cfg {
-        c = c.with_config(cfg.clone());
-    }
-    c.run_source(src)
-}
-
-fn check_case(case: u64, src: &str, mode: Mode, cfg: Option<&RtConfig>, label: &str) {
-    let reference = run(src, mode, DispatchMode::Match, cfg);
-    for dispatch in [DispatchMode::Threaded, DispatchMode::Register] {
-        let out = run(src, mode, dispatch, cfg);
-        let ctx = format!("case {case} {label} {dispatch:?} on\n{src}");
-        match (&reference, &out) {
-            (Ok(want), Ok(got)) => {
-                assert_eq!(got.result, want.result, "{ctx}: result");
-                assert_eq!(got.output, want.output, "{ctx}: output");
-                assert_eq!(got.instructions, want.instructions, "{ctx}: instructions");
-                assert_eq!(
-                    got.stats.words_allocated, want.stats.words_allocated,
-                    "{ctx}: words allocated"
-                );
-                assert_eq!(
-                    got.stats.allocations, want.stats.allocations,
-                    "{ctx}: allocations"
-                );
-                assert_eq!(got.stats.gc_count, want.stats.gc_count, "{ctx}: #GC");
-                assert_eq!(
-                    got.stats.gc_copied_words, want.stats.gc_copied_words,
-                    "{ctx}: copied words"
-                );
-                assert_eq!(
-                    got.stats.peak_bytes, want.stats.peak_bytes,
-                    "{ctx}: peak bytes"
-                );
-            }
-            (Err(Error::Run(want)), Err(Error::Run(got))) => {
-                assert_eq!(got, want, "{ctx}: error");
-            }
-            (want, got) => panic!("{ctx}: engines disagree: {want:?} vs {got:?}"),
-        }
-    }
-}
 
 #[test]
 fn random_programs_agree_across_engines() {
     let mut rng = SplitMix64::new(0x5EED_0300);
     for case in 0..48 {
-        let src = program(&mut rng);
+        let src = randgen::program(&mut rng);
         for mode in Mode::ALL {
-            check_case(case, &src, mode, None, &format!("{mode}"));
+            randgen::differential(&src, mode, None, FUEL)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
         // Heap pressure: tiny pages force collections mid-expression, so
         // GC scheduling differences between engines would surface here.
@@ -155,6 +32,7 @@ fn random_programs_agree_across_engines() {
             page_words_log2: 6,
             ..RtConfig::rgt()
         };
-        check_case(case, &src, Mode::Rgt, Some(&cfg), "rgt-pressure");
+        randgen::differential(&src, Mode::Rgt, Some(&cfg), FUEL)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

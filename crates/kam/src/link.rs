@@ -399,7 +399,9 @@ fn match_at(
 
 /// Builds the superinstruction for a matched pattern from its source
 /// window. A pattern's kinds guarantee the shapes destructured here.
-fn build_fused(kind: FuseKind, w: &[Instr], resolve: &dyn Fn(Label) -> u32) -> LInstr {
+/// Shared with the register-stream re-fusion pass in [`crate::register`],
+/// which resolves labels by identity (its targets are already pcs).
+pub(crate) fn build_fused(kind: FuseKind, w: &[Instr], resolve: &dyn Fn(Label) -> u32) -> LInstr {
     match kind {
         FuseKind::LoadLoadPrimJump => match (&w[0], &w[1], &w[2], &w[3]) {
             (Instr::Load(a), Instr::Load(b), Instr::Prim { p, at }, Instr::JumpIfFalse(l)) => {

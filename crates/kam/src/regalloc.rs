@@ -1,4 +1,4 @@
-//! Per-run register translation: the symbolic-stack pass behind
+//! Register translation: the symbolic-stack pass behind
 //! [`crate::register::translate`].
 //!
 //! The translator walks one *run* (a maximal leader-free interval of the
@@ -13,30 +13,50 @@
 //! `Load`/`PushConst` instructions, oldest first, so the physical stack
 //! always holds a prefix of the conceptual stack and never reorders.
 //!
+//! Since PR 4 the model also crosses basic-block edges. A function-level
+//! dataflow pass ([`FlowShapes`]) computes, for every leader, the
+//! *entry shape*: the pending suffix that every predecessor agrees to
+//! leave unmaterialized across the edge. The meet is the longest common
+//! suffix under value equality (only suffixes are reachable by partial
+//! flushes — flushing always materializes oldest-first), and the lattice
+//! starts at ⊤ (unreached) and only shrinks toward the always-safe empty
+//! shape, so a block reached along disagreeing paths simply falls back
+//! to a flush on the offending edges. Entry-style leaders (function
+//! entries, `CallClos` labels, handler targets, the rarely-taken switch
+//! families) are pinned empty: their frames or unwind snapshots start
+//! from a bare physical stack.
+//!
 //! Two invariants carry the equivalence proof:
 //!
 //! 1. **Cost preservation.** Every emitted instruction charges the number
 //!    of source instructions it stands for; elided pushes defer their
 //!    cost onto the consumer (or onto a trailing [`Op::RNop`] when a
 //!    `Pop` annihilates a pending value and nothing follows in the run).
-//!    Summing the cost stream reproduces the unfused instruction count
-//!    exactly, so fuel, stats, and the GC schedule match the stack
-//!    engines bit for bit.
+//!    An entry that crosses an edge still pending defers its charge into
+//!    the successor block, which consumes or flushes it; on every dynamic
+//!    path each source instruction is charged exactly once, so fuel,
+//!    stats, and the GC schedule match the stack engines bit for bit.
+//!    Statically this is the per-run equation checked after every run:
+//!    `sum(costs) == run length + seeded entries - deferred entries`.
 //! 2. **Observation points see the physical stack.** The runtime samples
 //!    `mem_bytes()` — which includes the operand stack — inside
 //!    allocation paths, at collections, and at frame pushes; exception
 //!    unwinding snapshots the stack too. Every instruction that can
-//!    allocate, collect, call, raise, or branch therefore flushes all
-//!    pending entries below its folded operands before it executes, so
-//!    the physical stack at every observable instant equals the stack
-//!    machine's.
+//!    allocate, collect, call, or raise therefore flushes all pending
+//!    entries below its folded operands before it executes, so the
+//!    physical stack at every observable instant equals the stack
+//!    machine's. Plain branches are *not* observation points: they
+//!    neither allocate nor unwind, so agreed entries may stay pending
+//!    across them.
 //!
-//! Barrier instructions (calls, switches, allocation, region ops,
-//! handler ops, `Raise`, `Halt`, `GcCheck`, `RegHandle`) flush everything
-//! and are emitted verbatim. Local-overwrite hazards are handled at the
-//! only non-barrier writers (`Store` folds and prim store-folds): any
-//! pending read of the overwritten slot is flushed first, so a pending
-//! `Local` never goes stale.
+//! Barrier instructions (calls, allocation, region ops, handler ops,
+//! `Raise`, `Halt`, `GcCheck`, `RegHandle`) flush everything and are
+//! emitted verbatim — no pending entry ever crosses a frame boundary or
+//! a safe point. Local-overwrite hazards are handled at the only
+//! non-barrier writers (`Store` folds and prim store-folds): any pending
+//! read of the overwritten slot is flushed first, so a pending `Local`
+//! never goes stale — including entries seeded across an edge, because
+//! they sit in the same pending stack and the hazard scan sees them.
 
 use crate::link::LInstr;
 use crate::register::RegCode;
@@ -47,12 +67,162 @@ use kit_lambda::exp::Prim;
 /// physical operand stack. Pending entries always sit *above* every
 /// physical entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PVal {
+pub(crate) enum PVal {
     /// The value of local slot `i` at push time (kept valid by the
     /// overwrite-hazard flushes).
     Local(u32),
     /// An immediate word.
     Const(u64),
+}
+
+/// Length of the longest common suffix of two pending shapes — the only
+/// meet a stack discipline admits, since partial flushes materialize
+/// oldest-first and can only expose suffixes.
+fn common_suffix(a: &[PVal], b: &[PVal]) -> usize {
+    let mut k = 0;
+    while k < a.len() && k < b.len() && a[a.len() - 1 - k] == b[b.len() - 1 - k] {
+        k += 1;
+    }
+    k
+}
+
+/// Block-entry pending shapes for one translation: the function-level
+/// dataflow state. `None` is ⊤ (leader not yet reached); shapes only
+/// shrink under [`FlowShapes::edge`], and the empty shape is the
+/// always-safe bottom (every predecessor flushes fully).
+pub(crate) struct FlowShapes {
+    shapes: Vec<Option<Vec<PVal>>>,
+    /// Frozen during the emission pass: edges assert the settled shape
+    /// instead of meeting into it.
+    frozen: bool,
+    /// Set while translating the dead tail of a run (code after an
+    /// in-run terminator, e.g. a `Jump` behind a `Raise`): such edges
+    /// never execute and must not shrink live shapes.
+    muted: bool,
+    /// Set when a meet changed some shape (fixpoint detection).
+    changed: bool,
+}
+
+impl FlowShapes {
+    pub(crate) fn new(n: usize) -> FlowShapes {
+        FlowShapes {
+            shapes: vec![None; n],
+            frozen: false,
+            muted: false,
+            changed: false,
+        }
+    }
+
+    pub(crate) fn set_muted(&mut self, muted: bool) {
+        self.muted = muted;
+    }
+
+    /// Pins `pc`'s entry shape to empty. Entry-style leaders (function
+    /// entries, `CallClos` labels, handler targets, `SwitchInt`/`Str`/
+    /// `Exn` arms) always start from a bare physical stack.
+    pub(crate) fn pin_empty(&mut self, pc: u32) {
+        if let Some(s) = self.shapes.get_mut(pc as usize) {
+            *s = Some(Vec::new());
+        }
+    }
+
+    /// Whether `pc` has been reached by any edge (or pin) so far.
+    pub(crate) fn reached(&self, pc: usize) -> bool {
+        self.shapes[pc].is_some()
+    }
+
+    /// The pending stack a run starts with: its leader's entry shape.
+    pub(crate) fn seed(&self, pc: usize) -> Vec<PVal> {
+        self.shapes[pc].clone().unwrap_or_default()
+    }
+
+    pub(crate) fn start_round(&mut self) {
+        self.changed = false;
+    }
+
+    pub(crate) fn changed(&self) -> bool {
+        self.changed
+    }
+
+    pub(crate) fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// The safety net if the fixpoint cap trips: every shape collapses
+    /// to empty, reproducing per-run translation (every edge flushes).
+    pub(crate) fn reset_to_empty(&mut self) {
+        for s in &mut self.shapes {
+            *s = Some(Vec::new());
+        }
+    }
+
+    /// Routes one edge. Returns how many of the youngest `pend` entries
+    /// may stay pending across it; the caller flushes the rest.
+    ///
+    /// While iterating, this meets `pend` into the target's entry shape
+    /// (longest common suffix). When frozen, it checks the settled shape
+    /// is a suffix of `pend` and degrades to a full flush otherwise —
+    /// only edges out of flow-unreachable code can disagree, and those
+    /// never execute.
+    pub(crate) fn edge(&mut self, target: u32, pend: &[PVal]) -> usize {
+        let slot = &mut self.shapes[target as usize];
+        if self.frozen || self.muted {
+            return match slot {
+                Some(s) if common_suffix(s, pend) == s.len() => s.len(),
+                _ => 0,
+            };
+        }
+        let keep = match slot {
+            None => pend.len(),
+            Some(s) => common_suffix(s, pend),
+        };
+        if slot.as_ref().map(Vec::len) != Some(keep) {
+            *slot = Some(pend[pend.len() - keep..].to_vec());
+            self.changed = true;
+        }
+        keep
+    }
+
+    /// Routes a multi-target edge (a switch). All arms must agree on one
+    /// carried shape — the flush happens once, before the dispatch — so
+    /// the carry is the minimum over the per-arm meets, re-registered
+    /// with every arm.
+    pub(crate) fn edge_multi<I>(&mut self, targets: I, pend: &[PVal]) -> usize
+    where
+        I: Iterator<Item = u32> + Clone,
+    {
+        let mut keep = pend.len();
+        for t in targets.clone() {
+            keep = keep.min(self.edge(t, pend));
+        }
+        if !self.frozen && !self.muted && keep < pend.len() {
+            let view = &pend[pend.len() - keep..];
+            for t in targets {
+                self.edge(t, view);
+            }
+        }
+        keep
+    }
+}
+
+/// Whether `ins` never falls through to the next pc — the run-exit edge
+/// set is then fully routed by the instruction's own arm. Folds never
+/// change this: the last source instruction of a run decides.
+pub(crate) fn is_terminator(ins: &LInstr) -> bool {
+    matches!(
+        ins,
+        LInstr::Jump(_)
+            | LInstr::Ret
+            | LInstr::Raise
+            | LInstr::Halt
+            | LInstr::Unreachable
+            | LInstr::SwitchCon { .. }
+            | LInstr::SwitchInt { .. }
+            | LInstr::SwitchStr { .. }
+            | LInstr::SwitchExn { .. }
+            | LInstr::Call { tail: true, .. }
+            | LInstr::CallClos { tail: true, .. }
+    )
 }
 
 /// Operand-mode nibble for `RPrim`/`RPrimJump` (`Args::n` holds
@@ -74,6 +244,7 @@ impl RunTranslator<'_> {
     fn emit(&mut self, ins: LInstr, cost: u32) {
         self.out.code.push_linstr(ins);
         self.out.costs.push(cost + std::mem::take(&mut self.carry));
+        self.out.flushed.push(false);
     }
 
     /// Emits a register-form op (no `LInstr` equivalent).
@@ -81,6 +252,7 @@ impl RunTranslator<'_> {
         self.out.code.ops.push(op);
         self.out.code.args.push(x);
         self.out.costs.push(cost + std::mem::take(&mut self.carry));
+        self.out.flushed.push(false);
     }
 
     fn flush_one(&mut self, pv: PVal) {
@@ -88,6 +260,7 @@ impl RunTranslator<'_> {
             PVal::Local(i) => self.emit(LInstr::Load(i), 1),
             PVal::Const(k) => self.emit(LInstr::PushConst(k), 1),
         }
+        *self.out.flushed.last_mut().expect("just emitted") = true;
     }
 
     /// Materializes all pending entries except the top `keep`, oldest
@@ -110,7 +283,18 @@ impl RunTranslator<'_> {
     /// `j`, so no stale `Local(j)` survives the write. Entries above it
     /// stay pending (they read other slots or constants).
     fn flush_through_local(&mut self, j: u32) {
-        if let Some(idx) = self.pend.iter().rposition(|&pv| pv == PVal::Local(j)) {
+        self.flush_through_local_below(j, 0);
+    }
+
+    /// Like [`Self::flush_through_local`], but the top `keep` entries are
+    /// a prim's folded operands — read before the write happens — and are
+    /// exempt from the hazard scan.
+    fn flush_through_local_below(&mut self, j: u32, keep: usize) {
+        let limit = self.pend.len() - keep;
+        if let Some(idx) = self.pend[..limit]
+            .iter()
+            .rposition(|&pv| pv == PVal::Local(j))
+        {
             let mut pend = std::mem::take(&mut self.pend);
             for pv in pend.drain(..=idx) {
                 self.flush_one(pv);
@@ -122,7 +306,13 @@ impl RunTranslator<'_> {
     /// Translates a `Prim`, folding up to two pending operands and an
     /// adjacent `Store`/`JumpIfFalse`. Returns the number of source
     /// instructions consumed (1 or 2).
-    fn prim(&mut self, p: Prim, at: Option<crate::instr::RegSlot>, next: Option<&LInstr>) -> usize {
+    fn prim(
+        &mut self,
+        p: Prim,
+        at: Option<crate::instr::RegSlot>,
+        next: Option<&LInstr>,
+        flow: &mut FlowShapes,
+    ) -> usize {
         let raising = can_raise(p);
         let mut keep = prim_arity(p).min(2).min(self.pend.len());
         // Only one immediate slot (`Args::k`): with two pending
@@ -134,11 +324,6 @@ impl RunTranslator<'_> {
             self.flush_below(1);
             keep = 1;
         }
-        // Everything below the folded operands is materialized: an
-        // allocating prim observes the stack (peak bytes), a raising
-        // prim unwinds it, and an unfolded result pushes onto it — all
-        // three need the physical stack to match the stack machine's.
-        self.flush_below(keep);
 
         // Fold a following `Store`/`JumpIfFalse`. Never on raising
         // prims: the folded tail would be charged (and skipped) on the
@@ -154,11 +339,25 @@ impl RunTranslator<'_> {
             _ => None,
         };
 
+        // A fully folded, non-raising, non-allocating prim (result into a
+        // local or a branch) touches neither the stack nor any
+        // observation point, so carried entries below its operands may
+        // stay pending. Every other shape materializes them: an
+        // allocating prim observes the stack (peak bytes), a raising prim
+        // unwinds it, and an unfolded result pushes onto it.
+        let carries = !raising && at.is_none() && (store_j.is_some() || jump_t.is_some());
+        if !carries {
+            self.flush_below(keep);
+        } else if let Some(j) = store_j {
+            self.flush_through_local_below(j, keep);
+        }
+
         if keep == 0 {
             // No pending operands: the plain (or pair-fused) op already
             // expresses this.
             return match jump_t {
                 Some(target) => {
+                    flow.edge(target, &[]);
                     self.emit(LInstr::PrimJump { p, at, target }, 2);
                     2
                 }
@@ -217,6 +416,11 @@ impl RunTranslator<'_> {
                 2
             }
             (None, Some(t)) => {
+                // Carried entries cross both the taken edge and the
+                // fallthrough; flush down to the shape the target agreed
+                // to first.
+                let edge_keep = flow.edge(t, &self.pend);
+                self.flush_below(edge_keep);
                 x.t = t;
                 self.emit_reg(Op::RPrimJump, x, folded + 2);
                 2
@@ -230,13 +434,26 @@ impl RunTranslator<'_> {
 }
 
 /// Translates the run `code[start..end]` (leader-free after `start`),
-/// appending to `out`. The symbolic stack starts and ends empty: runs
-/// begin at branch targets, where only physical values exist, and every
-/// run-exiting instruction flushes.
-pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut RegCode) {
+/// appending to `out`. The symbolic stack starts as the leader's entry
+/// shape from `flow` and routes every outgoing edge back through `flow`,
+/// so agreed entries stay in register form across branches. Used both to
+/// simulate (fixpoint rounds into a scratch `RegCode`) and to emit
+/// (frozen `flow`): the two phases run the same code, so they cannot
+/// disagree.
+pub(crate) fn translate_run(
+    code: &[LInstr],
+    start: usize,
+    end: usize,
+    out: &mut RegCode,
+    flow: &mut FlowShapes,
+) {
+    let seed = flow.seed(start);
+    let seed_len = seed.len() as u64;
+    let first = out.costs.len();
+    flow.set_muted(false);
     let mut t = RunTranslator {
         out,
-        pend: Vec::new(),
+        pend: seed,
         carry: 0,
     };
     let mut pc = start;
@@ -320,57 +537,85 @@ pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut
                 }
             }
             LInstr::Prim { p, at } => {
-                consumed = t.prim(*p, *at, next);
+                consumed = t.prim(*p, *at, next, flow);
+            }
+            LInstr::Jump(target) => {
+                // Plain branch: not an observation point. Flush down to
+                // the shape the target agreed with all predecessors and
+                // carry the rest across the edge.
+                let target = *target;
+                let keep = flow.edge(target, &t.pend);
+                t.flush_below(keep);
+                t.emit(LInstr::Jump(target), 1);
             }
             LInstr::JumpIfFalse(target) => {
                 let target = *target;
                 match t.pend.pop() {
                     Some(PVal::Local(i)) => {
-                        t.flush_all();
+                        let keep = flow.edge(target, &t.pend);
+                        t.flush_below(keep);
                         let mut x = Args::zero();
                         x.a = i;
                         x.t = target;
                         t.emit_reg(Op::RJumpIfFalse, x, 2);
                     }
                     Some(PVal::Const(k)) => {
-                        t.flush_all();
+                        let keep = flow.edge(target, &t.pend);
+                        t.flush_below(keep);
                         t.emit(LInstr::PushConstJumpIfFalse { k, target }, 2);
                     }
-                    None => t.emit(LInstr::JumpIfFalse(target), 1),
+                    None => {
+                        // The condition is physical, so nothing is
+                        // pending below it either.
+                        flow.edge(target, &[]);
+                        t.emit(LInstr::JumpIfFalse(target), 1);
+                    }
                 }
             }
             LInstr::SwitchCon {
                 disc,
                 arms,
                 default,
-            } => match t.pend.pop() {
-                Some(PVal::Local(i)) => {
-                    t.flush_all();
-                    t.emit(
-                        LInstr::LoadSwitchCon {
-                            i,
-                            disc: *disc,
-                            arms: arms.clone(),
-                            default: *default,
-                        },
-                        2,
-                    );
-                }
-                other => {
-                    if let Some(pv) = other {
-                        t.pend.push(pv);
+            } => {
+                // The dispatch itself observes nothing; entries below
+                // the scrutinee may carry if every arm agrees.
+                let targets = arms
+                    .iter()
+                    .map(|&(_, pc)| pc)
+                    .chain(std::iter::once(*default));
+                match t.pend.pop() {
+                    Some(PVal::Local(i)) => {
+                        let keep = flow.edge_multi(targets, &t.pend);
+                        t.flush_below(keep);
+                        t.emit(
+                            LInstr::LoadSwitchCon {
+                                i,
+                                disc: *disc,
+                                arms: arms.clone(),
+                                default: *default,
+                            },
+                            2,
+                        );
                     }
-                    t.flush_all();
-                    t.emit(
-                        LInstr::SwitchCon {
-                            disc: *disc,
-                            arms: arms.clone(),
-                            default: *default,
-                        },
-                        1,
-                    );
+                    other => {
+                        if let Some(pv) = other {
+                            t.pend.push(pv);
+                        }
+                        // The scrutinee is popped physically, so nothing
+                        // may stay pending below it.
+                        t.flush_all();
+                        flow.edge_multi(targets, &[]);
+                        t.emit(
+                            LInstr::SwitchCon {
+                                disc: *disc,
+                                arms: arms.clone(),
+                                default: *default,
+                            },
+                            1,
+                        );
+                    }
                 }
-            },
+            }
             LInstr::Ret => match t.pend.pop() {
                 Some(PVal::Local(i)) => {
                     t.flush_all();
@@ -403,6 +648,14 @@ pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut
                                 default,
                             },
                         ) => {
+                            // Register the arm edges even though nothing
+                            // carries: a shape met from another
+                            // predecessor must still shrink to empty.
+                            let targets = arms
+                                .iter()
+                                .map(|&(_, pc)| pc)
+                                .chain(std::iter::once(*default));
+                            flow.edge_multi(targets, &[]);
                             t.emit(
                                 LInstr::GcCheckLoadSwitchCon {
                                     i: *i,
@@ -439,7 +692,8 @@ pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut
             // Everything else is a barrier: it allocates, collects,
             // calls, raises, branches indirectly, or manipulates
             // regions/handlers — all of which observe the physical
-            // stack. Flush and emit verbatim.
+            // stack. Flush and emit verbatim. (The rarely-taken switch
+            // families land here; their arms are pinned empty.)
             ins => {
                 debug_assert_eq!(ins.cost(), 1, "translator expects an unfused stream");
                 t.flush_all();
@@ -447,11 +701,35 @@ pub(crate) fn translate_run(code: &[LInstr], start: usize, end: usize, out: &mut
             }
         }
         pc += consumed;
+        // Code behind an in-run terminator (a `Jump` emitted after a
+        // `Raise`, say) is dead: translate it, but stop its edges from
+        // shrinking live shapes.
+        if is_terminator(&code[pc - 1]) {
+            flow.set_muted(true);
+        }
     }
-    t.flush_all();
+    // Run exit. A terminator routed (or flushed) its edges in its own
+    // arm; otherwise control falls through to the next leader — an edge
+    // like any other.
+    if !is_terminator(&code[end - 1]) {
+        if end < code.len() {
+            let keep = flow.edge(end as u32, &t.pend);
+            t.flush_below(keep);
+        } else {
+            t.flush_all();
+        }
+    }
     if t.carry > 0 {
         t.emit_reg(Op::RNop, Args::zero(), 0);
     }
+    let deferred = t.pend.len() as u64;
+    t.out.seeded += seed_len;
+    t.out.deferred += deferred;
+    debug_assert_eq!(
+        t.out.costs[first..].iter().map(|&c| c as u64).sum::<u64>() + deferred,
+        (end - start) as u64 + seed_len,
+        "run cost must cover its own instructions plus the consumed seed"
+    );
 }
 
 /// Operand count of a prim (how many stack slots it pops).

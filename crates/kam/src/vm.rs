@@ -97,6 +97,14 @@ pub enum DispatchMode {
     /// so instruction totals, fuel and the GC schedule stay bit-identical
     /// with the other engines.
     Register,
+    /// Register-form execution with the profile-selected superinstruction
+    /// set stacked on top: after [`crate::register::translate`], a
+    /// re-fusion pass ([`crate::register::fuse`]) merges the base-op
+    /// windows the symbolic-stack pass could not absorb (flushed loads
+    /// before calls, entry safepoints, copies around barriers). Costs
+    /// merge additively, so all accounting invariants of `Register` hold
+    /// unchanged.
+    RegisterFused,
 }
 
 /// Result of a successful run.
@@ -376,7 +384,7 @@ impl<'p> Vm<'p> {
         // The register translator consumes the unfused stream (it folds
         // operand producers into consumers itself, subsuming fusion).
         let fusion = match self.dispatch {
-            DispatchMode::Register => Fusion::Off,
+            DispatchMode::Register | DispatchMode::RegisterFused => Fusion::Off,
             _ => self.fusion,
         };
         let linked = link::link(self.prog, fusion);
@@ -406,6 +414,11 @@ impl<'p> Vm<'p> {
                 let rcode = crate::register::translate(&linked);
                 // The translation renumbers pcs; entry points come from
                 // the remapped table.
+                let pc = rcode.code.entry_pc[self.prog.main as usize] as usize;
+                self.exec_register(&rcode, pc)
+            }
+            DispatchMode::RegisterFused => {
+                let rcode = crate::register::fuse(crate::register::translate(&linked));
                 let pc = rcode.code.entry_pc[self.prog.main as usize] as usize;
                 self.exec_register(&rcode, pc)
             }
@@ -1123,6 +1136,23 @@ impl<'p> Vm<'p> {
                 Op::GcCheckLoadSwitchCon => h_gc_check_load_switch_con(&mut self, t, pc as u32),
                 Op::RegHandleRegHandle => h_reg_handle_reg_handle(&mut self, t, pc as u32),
                 Op::PrimJump => h_prim_jump(&mut self, t, pc as u32),
+                // Re-fusion (`DispatchMode::RegisterFused`) reintroduces
+                // the rest of the superinstruction set over flushed
+                // base-op windows.
+                Op::GcCheckLoad => h_gc_check_load(&mut self, t, pc as u32),
+                Op::LoadLoad => h_load_load(&mut self, t, pc as u32),
+                Op::StoreLoad => h_store_load(&mut self, t, pc as u32),
+                Op::StorePop => h_store_pop(&mut self, t, pc as u32),
+                Op::LoadLoadPrim => h_load_load_prim(&mut self, t, pc as u32),
+                Op::PushConstPrim => h_push_const_prim(&mut self, t, pc as u32),
+                Op::LoadConstPrim => h_load_const_prim(&mut self, t, pc as u32),
+                Op::StoreLoadSelect => h_store_load_select(&mut self, t, pc as u32),
+                Op::SelectConstPrim => h_select_const_prim(&mut self, t, pc as u32),
+                Op::SelectStoreLoad => h_select_store_load(&mut self, t, pc as u32),
+                Op::LoadLoadPrimJump => h_load_load_prim_jump(&mut self, t, pc as u32),
+                Op::LoadConstPrimJump => h_load_const_prim_jump(&mut self, t, pc as u32),
+                Op::LoadPrimJump => h_load_prim_jump(&mut self, t, pc as u32),
+                Op::RegHandleRegHandleLoad => h_reg_handle_reg_handle_load(&mut self, t, pc as u32),
                 _ => HANDLERS[op as usize](&mut self, t, pc as u32),
             };
             match ctl {

@@ -239,10 +239,13 @@ impl Compiler {
     }
 
     /// Selects the interpreter's dispatch engine: the classic match loop,
-    /// the direct-threaded handler table, or the register-translated form
-    /// (stack bytecode rewritten to three-address ops post-link).
-    /// Observable behavior — results, output, instruction totals, GC
-    /// schedule and statistics — is identical across all three.
+    /// the direct-threaded handler table, the register-translated form
+    /// (stack bytecode rewritten to three-address ops post-link, with
+    /// cross-block register assignment), or the register-fused form
+    /// (the register stream re-fused with the profile-selected
+    /// superinstruction set). Observable behavior — results, output,
+    /// instruction totals, GC schedule and statistics — is identical
+    /// across all four.
     ///
     /// ```
     /// use kit::{Compiler, DispatchMode, Mode};
@@ -257,8 +260,11 @@ impl Compiler {
     /// };
     /// let m = run(DispatchMode::Match);
     /// let r = run(DispatchMode::Register);
+    /// let rf = run(DispatchMode::RegisterFused);
     /// assert_eq!(m.result, r.result);
     /// assert_eq!(m.instructions, r.instructions);
+    /// assert_eq!(m.result, rf.result);
+    /// assert_eq!(m.instructions, rf.instructions);
     /// ```
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;

@@ -17,13 +17,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> 3-way engine equivalence: fusion differential (release)"
+echo "==> 4-way engine equivalence: fusion differential (release)"
 cargo test --release -p kit-bench --test fusion -q
 
-echo "==> 3-way engine equivalence: randomized differential (release)"
+echo "==> 4-way engine equivalence: randomized differential (release)"
 cargo test --release -p kit-bench --test randomized -q
 
-echo "==> bench-summary smoke run (2 programs, all three engines)"
+echo "==> soak: short config-fuzzing run (all modes, all engines)"
+cargo run --release -p kit-bench --bin soak -- --cases 25 --seed 0x5EED0400
+
+echo "==> bench-summary smoke run (2 programs, all four engines)"
 cargo run --release -p kit-bench --bin bench-summary -- \
     --only fib,tak --modes r --samples 1 --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
