@@ -6,12 +6,16 @@
 //! `Register`, `RegisterFused`).
 //!
 //! Usage: `cargo run -p kit-bench --release --bin soak --
-//!         [--cases N] [--seed S]`
+//!         [--cases N] [--seed S] [--gc-workers N]`
 //!
 //! Every case is one generated program run in all five execution modes
 //! under the default runtime configuration plus one fuzzed configuration
-//! per mode. Any divergence prints the offending engine, field, config,
-//! and full program source, and the process exits nonzero — so a CI hook
+//! per mode. The fuzzed configuration also draws `gc_workers` from
+//! `{1, 2, 4}` and the sliced-collection budget from
+//! `{off, 32, 256}` words (GC modes only); `--gc-workers N` pins the
+//! worker count instead, for bisecting a parallel-only divergence. Any
+//! divergence prints the offending engine, field, config, and full
+//! program source, and the process exits nonzero — so a CI hook
 //! (`scripts/verify.sh` wires in a short run) fails loudly.
 
 use kit::Mode;
@@ -37,6 +41,7 @@ fn main() {
                 .or_else(|| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
         })
         .unwrap_or(0x5EED_5041);
+    let pin_workers = flag_val("--gc-workers").and_then(|s| s.parse::<usize>().ok());
 
     let mut rng = SplitMix64::new(seed);
     let mut failures = 0u64;
@@ -45,9 +50,13 @@ fn main() {
         let src = randgen::program(&mut rng);
         for mode in Mode::ALL_WITH_BASELINE {
             // Default configuration, then one fuzzed configuration per
-            // mode — tiny pages and aggressive shrink factors move the
-            // GC schedule, which must still be engine-invariant.
-            let fuzzed = randgen::fuzz_config(&mut rng, mode);
+            // mode — tiny pages, aggressive shrink factors, parallel
+            // workers and slice budgets all move the GC schedule, which
+            // must still be engine-invariant.
+            let mut fuzzed = randgen::fuzz_config(&mut rng, mode);
+            if let Some(w) = pin_workers {
+                fuzzed.gc_workers = w;
+            }
             for cfg in [None, Some(&fuzzed)] {
                 runs += 1;
                 if let Err(e) = randgen::differential(&src, mode, cfg, FUEL) {

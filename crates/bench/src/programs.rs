@@ -179,6 +179,16 @@ pub fn all() -> Vec<Benchmark> {
             1500,
             30
         ),
+        // Mutation-heavy addition for the collector comparison: a live
+        // table of ref'd lists overwritten through `:=`, so collections
+        // copy a large live set and updates cross the write barrier.
+        bench!(
+            "churn",
+            "churn.sml",
+            "ref-cell churn over a large live table",
+            400,
+            20
+        ),
     ]
 }
 
@@ -192,8 +202,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seventeen_paper_programs_plus_two_branch_heavy() {
-        assert_eq!(all().len(), 19);
+    fn seventeen_paper_programs_plus_three_additions() {
+        assert_eq!(all().len(), 20);
     }
 
     #[test]

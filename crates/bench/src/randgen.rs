@@ -111,6 +111,14 @@ pub fn fuzz_config(rng: &mut SplitMix64, mode: Mode) -> RtConfig {
             nursery_pages: [2, 8, 64][rng.below(3) as usize],
             major_growth: 2 + rng.below(3) as usize,
         });
+    } else {
+        // Collector-mode fuzzing: parallel workers and the sliced
+        // (bounded-pause) budget. Both must leave every counter the
+        // differential compares engine-invariant; the sliced budget takes
+        // precedence over workers when both are set (config.rs), so
+        // drawing them independently also exercises that rule.
+        cfg.gc_workers = [1, 1, 2, 4][rng.below(4) as usize];
+        cfg.gc_slice_budget_words = [None, None, Some(32), Some(256)][rng.below(4) as usize];
     }
     cfg
 }
@@ -176,11 +184,13 @@ pub fn differential(
             format!(
                 "{mode} {dispatch:?} (cfg: {}) on\n{src}",
                 cfg.map_or("default".to_string(), |c| format!(
-                    "pages=2^{} init={} shrink={:?} gen={}",
+                    "pages=2^{} init={} shrink={:?} gen={} workers={} slice={:?}",
                     c.page_words_log2,
                     c.initial_pages,
                     c.heap_shrink_factor,
-                    c.generational.is_some()
+                    c.generational.is_some(),
+                    c.gc_workers,
+                    c.gc_slice_budget_words
                 ))
             )
         };
@@ -197,6 +207,59 @@ pub fn differential(
             }
             (want, got) => {
                 return Err(format!("{}: engines disagree: {want:?} vs {got:?}", ctx()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `src` once per configuration in `cfgs` (under `Match` dispatch)
+/// and compares the *mutator-visible* outcome: result, output,
+/// instruction total, and words allocated. The GC counters are
+/// deliberately excluded — the collection schedule is config-dependent
+/// (a parallel flip copies the same objects on a different worker, a
+/// sliced collection finishes at a later safe point), but none of that
+/// may ever leak into what the program computes.
+///
+/// # Errors
+///
+/// `Err` names the diverging configuration and field, with the source.
+pub fn mutator_equivalence(
+    src: &str,
+    mode: Mode,
+    cfgs: &[(&str, &RtConfig)],
+    fuel: u64,
+) -> Result<(), String> {
+    let (ref_name, ref_cfg) = cfgs[0];
+    let reference = run_once(src, mode, DispatchMode::Match, Some(ref_cfg), fuel);
+    for (name, cfg) in &cfgs[1..] {
+        let out = run_once(src, mode, DispatchMode::Match, Some(cfg), fuel);
+        let ctx = || format!("{mode} {name} vs {ref_name} on\n{src}");
+        match (&reference, &out) {
+            (Ok(want), Ok(got)) => {
+                macro_rules! field {
+                    ($f:literal, $w:expr, $g:expr) => {
+                        if $w != $g {
+                            return Err(format!("{}: {}: {:?} vs {:?}", ctx(), $f, $w, $g));
+                        }
+                    };
+                }
+                field!("result", want.result, got.result);
+                field!("output", want.output, got.output);
+                field!("instructions", want.instructions, got.instructions);
+                field!(
+                    "words allocated",
+                    want.stats.words_allocated,
+                    got.stats.words_allocated
+                );
+            }
+            (Err(Error::Run(want)), Err(Error::Run(got))) => {
+                if got != want {
+                    return Err(format!("{}: error {got:?} vs {want:?}", ctx()));
+                }
+            }
+            (want, got) => {
+                return Err(format!("{}: configs disagree: {want:?} vs {got:?}", ctx()));
             }
         }
     }

@@ -34,5 +34,31 @@ fn random_programs_agree_across_engines() {
         };
         randgen::differential(&src, Mode::Rgt, Some(&cfg), FUEL)
             .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Same pressure under the parallel and sliced collectors: both
+        // must stay engine-invariant too (the parallel flip is
+        // deterministic round-based, the sliced schedule is driven by the
+        // same safe points in every engine).
+        let par = RtConfig {
+            gc_workers: 4,
+            ..cfg.clone()
+        };
+        randgen::differential(&src, Mode::Rgt, Some(&par), FUEL)
+            .unwrap_or_else(|e| panic!("case {case} [workers=4]: {e}"));
+        let sliced = RtConfig {
+            gc_slice_budget_words: Some(48),
+            ..cfg.clone()
+        };
+        randgen::differential(&src, Mode::Rgt, Some(&sliced), FUEL)
+            .unwrap_or_else(|e| panic!("case {case} [sliced]: {e}"));
+        // And across collectors the mutator-visible outcome must agree:
+        // serial, parallel, and sliced collections reclaim on different
+        // schedules but may never change what the program computes.
+        randgen::mutator_equivalence(
+            &src,
+            Mode::Rgt,
+            &[("serial", &cfg), ("workers=4", &par), ("sliced", &sliced)],
+            FUEL,
+        )
+        .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

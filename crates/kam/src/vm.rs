@@ -331,6 +331,9 @@ impl<'p> Vm<'p> {
             self.rt.stack.copy_within(sp0 - n..sp0, locals + 1);
         }
         self.rt.stack.truncate(newlen);
+        // The old frame's finite-region boxes (tail call) are gone; let a
+        // sliced collection prune its scan-buffer entries for them.
+        self.rt.note_stack_trunc(base);
         for i in base..locals {
             self.rt.stack[i] = fill; // finite-region slots
         }
@@ -532,7 +535,9 @@ impl<'p> Vm<'p> {
                         scalar_val(v) as u32
                     } else {
                         match disc {
-                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Tag => {
+                                Tag::decode(self.rt.read_addr(ptr_addr(self.rt.canon(v)))).info
+                            }
                             Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
                             Disc::Single(c) => *c,
                             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -664,6 +669,7 @@ impl<'p> Vm<'p> {
                     self.cur_locals = self.frames.last().map_or(0, |c| c.locals);
                     self.formal_pool.truncate(f.fbase);
                     self.rt.stack.truncate(f.base);
+                    self.rt.note_stack_trunc(f.base);
                     self.push(result);
                     pc = f.ret_pc;
                 }
@@ -739,6 +745,7 @@ impl<'p> Vm<'p> {
                 }
                 LInstr::Halt => {
                     let result = self.pop();
+                    let result = self.finish_pending_gc(result);
                     let mut stats = self.rt.stats.clone();
                     stats.observe_bytes(self.rt.mem_bytes());
                     return Ok(VmOutcome {
@@ -906,7 +913,9 @@ impl<'p> Vm<'p> {
                         scalar_val(v) as u32
                     } else {
                         match disc {
-                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Tag => {
+                                Tag::decode(self.rt.read_addr(ptr_addr(self.rt.canon(v)))).info
+                            }
                             Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
                             Disc::Single(c) => *c,
                             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -965,7 +974,9 @@ impl<'p> Vm<'p> {
                         scalar_val(v) as u32
                     } else {
                         match disc {
-                            Disc::Tag => Tag::decode(self.rt.read_addr(ptr_addr(v))).info,
+                            Disc::Tag => {
+                                Tag::decode(self.rt.read_addr(ptr_addr(self.rt.canon(v)))).info
+                            }
                             Disc::Field0 => scalar_val(self.rt.read_addr(ptr_addr(v))) as u32,
                             Disc::Single(c) => *c,
                             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -1064,6 +1075,7 @@ impl<'p> Vm<'p> {
                 Control::Goto(target) => pc = target as usize,
                 Control::Halt => {
                     let result = self.halted.take().expect("Halt without a result");
+                    let result = self.finish_pending_gc(result);
                     let mut stats = self.rt.stats.clone();
                     stats.observe_bytes(self.rt.mem_bytes());
                     return Ok(VmOutcome {
@@ -1160,6 +1172,7 @@ impl<'p> Vm<'p> {
                 Control::Goto(target) => pc = target as usize,
                 Control::Halt => {
                     let result = self.halted.take().expect("Halt without a result");
+                    let result = self.finish_pending_gc(result);
                     let mut stats = self.rt.stats.clone();
                     stats.observe_bytes(self.rt.mem_bytes());
                     return Ok(VmOutcome {
@@ -1195,6 +1208,7 @@ impl<'p> Vm<'p> {
         if !is_ptr(v) {
             scalar_val(v) as u32
         } else if self.rt.config.tagged {
+            let v = self.rt.canon(v);
             Tag::decode(self.rt.read_addr(ptr_addr(v))).info
         } else {
             scalar_val(self.rt.read_addr(ptr_addr(v))) as u32
@@ -1213,6 +1227,7 @@ impl<'p> Vm<'p> {
         self.region_pool.truncate(h.region_pool_len);
         self.formal_pool.truncate(h.formal_pool_len);
         self.rt.stack.truncate(h.stack_len);
+        self.rt.note_stack_trunc(h.stack_len);
         self.push(exn_val);
         Some(h.target)
     }
@@ -1279,7 +1294,24 @@ impl<'p> Vm<'p> {
                 }
             }
         }
+        if self.rt.config.gc_slice_budget_words.is_some() {
+            kit_runtime::gc_sliced::collect_sliced(&mut self.rt, &roots, &mut []);
+            return;
+        }
         gc::collect(&mut self.rt, &roots, &mut []);
+    }
+
+    /// Forcibly completes a sliced collection still in flight at program
+    /// exit, with the result value as an extra root (the from-space must
+    /// not outlive the collection).
+    fn finish_pending_gc(&mut self, result: Word) -> Word {
+        if !self.rt.sliced_active() {
+            return result;
+        }
+        let roots = self.roots();
+        let mut extra = [result];
+        kit_runtime::gc_sliced::finish_sliced(&mut self.rt, &roots, &mut extra);
+        extra[0]
     }
 
     // ------------------------------------------------------------- prims
@@ -1504,11 +1536,14 @@ impl<'p> Vm<'p> {
             }
             RefGet => {
                 let r = self.pop();
+                let r = self.rt.canon(r);
                 let v = self.rt.field(r, 0);
                 self.push(v);
             }
             RefSet => {
                 let (r, v) = binop!();
+                let r = self.rt.canon(r);
+                let v = self.rt.gc_write_barrier(v);
                 self.rt.set_field(r, 0, v);
                 if self.rt.config.generational.is_some() {
                     let addr = ptr_addr(r) + self.rt.hdr_words();
@@ -1518,7 +1553,7 @@ impl<'p> Vm<'p> {
             }
             RefEq | ArrEq => {
                 let (a, b) = binop!();
-                push_bool!(a == b);
+                push_bool!(self.rt.canon(a) == self.rt.canon(b));
             }
             ArrNew => {
                 let (n, init) = binop!();
@@ -1549,6 +1584,7 @@ impl<'p> Vm<'p> {
                     return Err(EXN_SUBSCRIPT);
                 }
                 let addr = self.rt.arr_elem_addr(a, i as usize);
+                let v = self.rt.gc_write_barrier(v);
                 self.rt.write_addr(addr, v);
                 if self.rt.config.generational.is_some() {
                     self.remembered.push(addr);
@@ -1772,7 +1808,7 @@ fn h_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
         scalar_val(v) as u32
     } else {
         match *disc {
-            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(vm.rt.canon(v)))).info,
             Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
             Disc::Single(c) => c,
             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -1932,6 +1968,7 @@ fn h_ret(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
     vm.cur_locals = vm.frames.last().map_or(0, |c| c.locals);
     vm.formal_pool.truncate(f.fbase);
     vm.rt.stack.truncate(f.base);
+    vm.rt.note_stack_trunc(f.base);
     vm.push(result);
     Control::Goto(f.ret_pc as u32)
 }
@@ -2350,7 +2387,7 @@ fn h_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
         scalar_val(v) as u32
     } else {
         match *disc {
-            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(vm.rt.canon(v)))).info,
             Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
             Disc::Single(c) => c,
             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -2419,7 +2456,7 @@ fn h_gc_check_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Con
         scalar_val(v) as u32
     } else {
         match *disc {
-            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(v))).info,
+            Disc::Tag => Tag::decode(vm.rt.read_addr(ptr_addr(vm.rt.canon(v)))).info,
             Disc::Field0 => scalar_val(vm.rt.read_addr(ptr_addr(v))) as u32,
             Disc::Single(c) => c,
             Disc::Enum => unreachable!("boxed value in enum datatype"),
@@ -2578,6 +2615,7 @@ fn h_rret(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
     vm.cur_locals = vm.frames.last().map_or(0, |c| c.locals);
     vm.formal_pool.truncate(f.fbase);
     vm.rt.stack.truncate(f.base);
+    vm.rt.note_stack_trunc(f.base);
     vm.push(result);
     Control::Goto(f.ret_pc as u32)
 }

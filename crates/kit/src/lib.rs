@@ -25,7 +25,7 @@ use kit_kam::{Vm, VmError};
 use kit_lambda::opt::OptOptions;
 use kit_lambda::LProgram;
 use kit_region::RegionOptions;
-use kit_runtime::{Rt, RtConfig, RtStats};
+use kit_runtime::Rt;
 use kit_typing::TypeError;
 use std::fmt;
 
@@ -34,6 +34,7 @@ pub use kit_kam::Program;
 pub use kit_kam::{DispatchMode, Fusion, FusionProfile};
 pub use kit_lambda::ty::LTy;
 pub use kit_runtime::stats::GcRecord;
+pub use kit_runtime::{RtConfig, RtStats};
 
 /// Execution modes (paper §1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -38,6 +38,17 @@ pub struct RtConfig {
     /// Generational collection policy (the SML/NJ-substitute baseline);
     /// `None` selects the paper's Cheney-for-regions collector.
     pub generational: Option<GenPolicy>,
+    /// Number of collector threads for the Cheney-for-regions collector.
+    /// `1` (the default) runs the exact serial collector; `> 1` partitions
+    /// live regions across a deterministic worker pool (DESIGN.md §6g).
+    /// Ignored by the generational baseline and by sliced collection.
+    pub gc_workers: usize,
+    /// Incremental collection: bound the scan work done per pause to this
+    /// many words and resume the collection at subsequent `GcCheck` safe
+    /// points. `None` (the default) collects in one stop-the-world pause.
+    /// Ignored by the generational baseline; takes precedence over
+    /// `gc_workers` (slices run serially).
+    pub gc_slice_budget_words: Option<u64>,
     /// Debugging: overwrite the payload of deallocated region pages with a
     /// poison pattern, so dangling-pointer dereferences fail loudly
     /// instead of silently reading stale values.
@@ -125,6 +136,8 @@ impl RtConfig {
             large_object_words: 128,
             profile: false,
             generational: None,
+            gc_workers: 1,
+            gc_slice_budget_words: None,
             poison: false,
         }
     }

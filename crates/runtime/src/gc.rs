@@ -34,6 +34,46 @@ use crate::value::{
     is_ptr, ptr, ptr_addr, space_of, Kind, Space, Tag, Word, NONE_ADDR, STACK_BASE,
 };
 
+/// Policy hook of the shared scan loop: all collector variants (full,
+/// generational, sliced) share [`evacuate_with`], [`cheney_region_with`]
+/// and [`drain_with`], differing only in how a heap object's destination
+/// is decided.
+pub(crate) trait EvacPolicy: Copy {
+    /// Decides the fate of the heap object on `page`: `Some(r)` copies it
+    /// into region `r`; `None` leaves it in place.
+    fn heap_dest(self, rt: &Rt, page: u64) -> Option<RegionId>;
+}
+
+/// Full collection: every heap object is in from-space and is copied into
+/// the region its page originated from (paper §2.4).
+#[derive(Clone, Copy)]
+pub(crate) struct FullEvac;
+
+impl EvacPolicy for FullEvac {
+    #[inline]
+    fn heap_dest(self, rt: &Rt, page: u64) -> Option<RegionId> {
+        Some(RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32))
+    }
+}
+
+/// Generational phase: only objects on pages stamped [`FROM_MARK`] move —
+/// into the promotion target — and everything else stays put.
+#[derive(Clone, Copy)]
+pub(crate) struct GenEvac {
+    to: RegionId,
+}
+
+impl EvacPolicy for GenEvac {
+    #[inline]
+    fn heap_dest(self, rt: &Rt, page: u64) -> Option<RegionId> {
+        if rt.heap.read(page + PAGE_ORIGIN) == FROM_MARK {
+            Some(self.to)
+        } else {
+            None
+        }
+    }
+}
+
 /// Performs one garbage collection.
 ///
 /// `root_slots` are indices into `rt.stack` holding live values (the VM's
@@ -48,6 +88,9 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
         rt.config.tagged,
         "garbage collection requires tagged values"
     );
+    if rt.config.gc_workers > 1 && rt.config.gc_slice_budget_words.is_none() {
+        return crate::gc_par::collect_parallel(rt, root_slots, extra_roots);
+    }
     let t0 = std::time::Instant::now();
     rt.in_gc = true;
     // Write the mutator's bump cursor back: the accounting below and the
@@ -61,18 +104,66 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
         rt.heap.sort_free_list();
     }
 
+    // ---- flip: detach all pages into the global from-space, give every
+    // region a fresh to-space page.
+    let flip = flip_all(rt);
+
+    let mut st = GcState::new();
+
+    // ---- evacuate the root set.
+    for &slot in root_slots {
+        let v = rt.stack[slot];
+        rt.stack[slot] = evacuate_with(rt, &mut st, v, FullEvac);
+    }
+    for v in extra_roots.iter_mut() {
+        *v = evacuate_with(rt, &mut st, *v, FullEvac);
+    }
+
+    // ---- collect_regions (paper §2.5).
+    drain_with(rt, &mut st, FullEvac);
+
+    // ---- unmark finite-region values (remove constant marks, §2.5).
+    unmark_scan_buffer(rt, &st.scan_buffer);
+
+    // ---- sweep large objects: free unmarked, unmark survivors.
+    let lobjs_freed = sweep_lobjs_all(rt);
+
+    finish_collection(rt, &flip, st.copied, lobjs_freed, t0);
+}
+
+/// Accounting + flip shared by the serial and parallel full collectors:
+/// detaches every region's page list into one global from-space and gives
+/// every region a fresh to-space page (the paper gives each one eagerly).
+#[derive(Debug)]
+pub(crate) struct FlipInfo {
+    /// Head of the detached from-space page chain (`NONE_ADDR` if empty).
+    pub(crate) fs_head: u64,
+    /// Any address inside the chain's tail page (for `free_run`).
+    pub(crate) fs_tail_last_addr: u64,
+    /// Total detached pages.
+    pub(crate) from_pages: usize,
+    /// Unused words inside the detached pages (Table 3 waste).
+    pub(crate) waste_words: u64,
+    /// Total payload words of the detached pages.
+    pub(crate) from_space_words: u64,
+    /// Pages each region contributed, indexed by region id (the parallel
+    /// collector's partitioning weight).
+    pub(crate) region_from_pages: Vec<usize>,
+}
+
+pub(crate) fn flip_all(rt: &mut Rt) -> FlipInfo {
     // ---- accounting before the flip (Table 3 inputs).
     let page_payload = (rt.heap.page_words() - PAGE_HDR as usize) as u64;
     let mut waste_words = 0u64;
     let mut from_pages = 0usize;
+    let mut region_from_pages = Vec::with_capacity(rt.regions.len());
     for d in &rt.regions {
+        region_from_pages.push(d.pages);
         from_pages += d.pages;
         waste_words += d.pages as u64 * page_payload - d.used_words;
     }
     let from_space_words = from_pages as u64 * page_payload;
 
-    // ---- flip: detach all pages into the global from-space, give every
-    // region a fresh to-space page.
     let mut fs_head = NONE_ADDR;
     let mut fs_tail_last_addr = NONE_ADDR; // any address within the tail page
     for i in 0..rt.regions.len() {
@@ -102,60 +193,90 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
         d.e = page + pw;
         d.pages = 1;
     }
+    FlipInfo {
+        fs_head,
+        fs_tail_last_addr,
+        from_pages,
+        waste_words,
+        from_space_words,
+        region_from_pages,
+    }
+}
 
-    let mut st = GcState {
-        scan_stack: Vec::new(),
-        scan_buffer: Vec::new(),
-        sb_next: 0,
-        lobj_queue: Vec::new(),
-        lq_next: 0,
-        copied: 0,
+/// Full-collection epilogue shared by the serial and parallel collectors:
+/// releases the from-space, applies the heap-sizing policy and records the
+/// collection in the statistics.
+pub(crate) fn finish_collection(
+    rt: &mut Rt,
+    flip: &FlipInfo,
+    copied: u64,
+    lobjs_freed: usize,
+    t0: std::time::Instant,
+) {
+    // ---- release the global from-space in O(1).
+    if flip.fs_head != NONE_ADDR {
+        rt.heap
+            .free_run(flip.fs_head, flip.fs_tail_last_addr, flip.from_pages);
+    }
+
+    // ---- post-collection policy and statistics.
+    let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
+    // Parallel mode trades memory for collection time deliberately: the
+    // headroom factor widens the garbage budget between collections
+    // (collector work per allocated byte falls as `live / (heap − live)`
+    // does), so the farmed-out collections are fewer and each one finds
+    // more of the short-lived garbage already dead. `gc_workers == 1`
+    // keeps the serial policy bit-for-bit.
+    let headroom = if rt.config.gc_workers > 1 {
+        PAR_HEADROOM
+    } else {
+        1.0
     };
-
-    // ---- evacuate the root set.
-    for &slot in root_slots {
-        let v = rt.stack[slot];
-        rt.stack[slot] = evacuate(rt, &mut st, v);
+    let want_total =
+        ((live_pages as f64) * rt.config.heap_to_live_ratio * headroom).ceil() as usize;
+    if rt.heap.total_pages() < want_total {
+        rt.heap.grow(want_total - rt.heap.total_pages());
+        rt.stats.heap_grows += 1;
+    } else {
+        shrink_with_hysteresis(rt, want_total);
     }
-    for v in extra_roots.iter_mut() {
-        *v = evacuate(rt, &mut st, *v);
+    rt.stats.gc_records.push(GcRecord {
+        prev_live_pages: rt.stats.last_live_pages,
+        pages_requested: rt.stats.pages_requested_since_gc,
+        from_pages: flip.from_pages,
+        live_pages,
+        waste_words: flip.waste_words,
+        from_space_words: flip.from_space_words,
+        copied_words: copied,
+        lobjs_freed,
+    });
+    rt.stats.last_live_pages = live_pages;
+    rt.stats.pages_requested_since_gc = 0;
+    rt.stats.gc_count += 1;
+    rt.stats.gc_copied_words += copied;
+    rt.stats.record_pause(t0.elapsed().as_nanos() as u64);
+    rt.gc_needed = false;
+    rt.in_gc = false;
+    rt.observe_mem();
+    if rt.profiler.enabled() {
+        let regions = rt.regions.clone();
+        rt.profiler.sample(&regions);
     }
+}
 
-    // ---- collect_regions (paper §2.5): alternate between the scan buffer
-    // (finite regions and large objects, traversed in place) and the scan
-    // stack (one region at a time) until both are exhausted.
-    loop {
-        let mut progressed = false;
-        while st.sb_next < st.scan_buffer.len() {
-            progressed = true;
-            let slot = st.scan_buffer[st.sb_next];
-            st.sb_next += 1;
-            scan_stack_box(rt, &mut st, slot);
-        }
-        while st.lq_next < st.lobj_queue.len() {
-            progressed = true;
-            let id = st.lobj_queue[st.lq_next];
-            st.lq_next += 1;
-            scan_large_array(rt, &mut st, id);
-        }
-        if let Some(s) = st.scan_stack.pop() {
-            progressed = true;
-            cheney_region(rt, &mut st, s);
-        }
-        if !progressed {
-            break;
-        }
-    }
-
-    // ---- unmark finite-region values (remove constant marks, §2.5).
-    for i in 0..st.scan_buffer.len() {
-        let slot = st.scan_buffer[i];
+/// Removes the constant marks left on finite-region (stack) boxes by the
+/// scan (§2.5).
+pub(crate) fn unmark_scan_buffer(rt: &mut Rt, scan_buffer: &[usize]) {
+    for &slot in scan_buffer {
         let mut tag = Tag::decode(rt.stack[slot]);
         tag.mark = false;
         rt.stack[slot] = tag.encode();
     }
+}
 
-    // ---- sweep large objects: free unmarked, unmark survivors.
+/// Sweeps every region's large-object list: frees unmarked objects,
+/// unmarks survivors. Returns the number freed.
+pub(crate) fn sweep_lobjs_all(rt: &mut Rt) -> usize {
     let mut lobjs_freed = 0usize;
     for i in 0..rt.regions.len() {
         let mut head = rt.regions[i].lobjs;
@@ -179,44 +300,13 @@ pub fn collect(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
         }
         rt.regions[i].lobjs = new_head;
     }
-
-    // ---- release the global from-space in O(1).
-    if fs_head != NONE_ADDR {
-        rt.heap.free_run(fs_head, fs_tail_last_addr, from_pages);
-    }
-
-    // ---- post-collection policy and statistics.
-    let live_pages: usize = rt.regions.iter().map(|d| d.pages).sum();
-    let want_total = ((live_pages as f64) * rt.config.heap_to_live_ratio).ceil() as usize;
-    if rt.heap.total_pages() < want_total {
-        rt.heap.grow(want_total - rt.heap.total_pages());
-        rt.stats.heap_grows += 1;
-    } else {
-        shrink_with_hysteresis(rt, want_total);
-    }
-    rt.stats.gc_records.push(GcRecord {
-        prev_live_pages: rt.stats.last_live_pages,
-        pages_requested: rt.stats.pages_requested_since_gc,
-        from_pages,
-        live_pages,
-        waste_words,
-        from_space_words,
-        copied_words: st.copied,
-        lobjs_freed,
-    });
-    rt.stats.last_live_pages = live_pages;
-    rt.stats.pages_requested_since_gc = 0;
-    rt.stats.gc_count += 1;
-    rt.stats.gc_copied_words += st.copied;
-    rt.stats.gc_time_ns += t0.elapsed().as_nanos() as u64;
-    rt.gc_needed = false;
-    rt.in_gc = false;
-    rt.observe_mem();
-    if rt.profiler.enabled() {
-        let regions = rt.regions.clone();
-        rt.profiler.sample(&regions);
-    }
+    lobjs_freed
 }
+
+/// Heap-to-live multiplier applied on top of `heap_to_live_ratio` when
+/// the parallel collector is active (`gc_workers > 1`): the space half
+/// of the collector's space-time tradeoff, see `finish_collection`.
+const PAR_HEADROOM: f64 = 3.0;
 
 /// Absolute minimum width of the shrink hysteresis band, in pages.
 const MIN_SHRINK_BAND: usize = 2;
@@ -303,7 +393,7 @@ pub fn collect_gen(
     }
     rt.stats.gc_count += 1;
     rt.stats.pages_requested_since_gc = 0;
-    rt.stats.gc_time_ns += t0.elapsed().as_nanos() as u64;
+    rt.stats.record_pause(t0.elapsed().as_nanos() as u64);
     rt.gc_needed = false;
     rt.in_gc = false;
     rt.observe_mem();
@@ -357,73 +447,21 @@ fn collect_phase(
         d.pages = 1;
     }
 
-    let mut st = GcState {
-        scan_stack: Vec::new(),
-        scan_buffer: Vec::new(),
-        sb_next: 0,
-        lobj_queue: Vec::new(),
-        lq_next: 0,
-        copied: 0,
-    };
+    let mut st = GcState::new();
+    let pol = GenEvac { to };
     // Roots: the stack, plus remembered mutated fields (old→young).
     for &slot in root_slots {
         let v = rt.stack[slot];
-        rt.stack[slot] = evacuate_gen(rt, &mut st, v, to);
+        rt.stack[slot] = evacuate_with(rt, &mut st, v, pol);
     }
     for &addr in remembered.iter() {
         let v = rt.read_addr(addr);
-        let nv = evacuate_gen(rt, &mut st, v, to);
+        let nv = evacuate_with(rt, &mut st, v, pol);
         rt.write_addr(addr, nv);
     }
-    loop {
-        let mut progressed = false;
-        while st.sb_next < st.scan_buffer.len() {
-            progressed = true;
-            let slot = st.scan_buffer[st.sb_next];
-            st.sb_next += 1;
-            let tag = Tag::decode(rt.stack[slot]);
-            if tag.scannable() {
-                for i in 0..tag.size as usize {
-                    let v = rt.stack[slot + 1 + i];
-                    rt.stack[slot + 1 + i] = evacuate_gen(rt, &mut st, v, to);
-                }
-            }
-        }
-        while st.lq_next < st.lobj_queue.len() {
-            progressed = true;
-            let id = st.lobj_queue[st.lq_next];
-            st.lq_next += 1;
-            let len = match &rt.lobjs.get(id).data {
-                LData::Arr(a) => a.len(),
-                LData::Str(_) => 0,
-            };
-            for i in 0..len {
-                let v = match &rt.lobjs.get(id).data {
-                    LData::Arr(a) => a[i],
-                    LData::Str(_) => unreachable!(),
-                };
-                let nv = evacuate_gen(rt, &mut st, v, to);
-                match &mut rt.lobjs.get_mut(id).data {
-                    LData::Arr(a) => a[i] = nv,
-                    LData::Str(_) => unreachable!(),
-                }
-            }
-        }
-        if let Some(s) = st.scan_stack.pop() {
-            progressed = true;
-            cheney_region_gen(rt, &mut st, s, to);
-        }
-        if !progressed {
-            break;
-        }
-    }
+    drain_with(rt, &mut st, pol);
     // Unmark finite-region values.
-    for i in 0..st.scan_buffer.len() {
-        let slot = st.scan_buffer[i];
-        let mut tag = Tag::decode(rt.stack[slot]);
-        tag.mark = false;
-        rt.stack[slot] = tag.encode();
-    }
+    unmark_scan_buffer(rt, &st.scan_buffer);
     // Sweep the from-region's large objects: survivors move to `to`.
     let mut head = from_lobjs;
     while head != 0 {
@@ -459,117 +497,41 @@ fn collect_phase(
     rt.stats.gc_copied_words += st.copied;
 }
 
-/// Like [`evacuate`], but only objects on pages stamped [`FROM_MARK`] are
-/// copied — into `to` (promotion) — and everything else stays put.
-fn evacuate_gen(rt: &mut Rt, st: &mut GcState, v: Word, to: RegionId) -> Word {
-    if !is_ptr(v) {
-        return v;
-    }
-    let addr = ptr_addr(v);
-    match space_of(addr) {
-        Space::Data => v,
-        Space::Stack => {
-            let slot = (addr - STACK_BASE) as usize;
-            let mut tag = Tag::decode(rt.stack[slot]);
-            if !tag.mark {
-                tag.mark = true;
-                rt.stack[slot] = tag.encode();
-                st.scan_buffer.push(slot);
-            }
-            v
-        }
-        Space::Large => {
-            let id = Lobjs::id_of(addr);
-            let o = rt.lobjs.get_mut(id);
-            if !o.marked {
-                o.marked = true;
-                if matches!(o.data, LData::Arr(_)) {
-                    st.lobj_queue.push(id);
-                }
-            }
-            v
-        }
-        Space::Heap => {
-            let page = rt.heap.page_base(addr);
-            if rt.heap.read(page + PAGE_ORIGIN) != FROM_MARK {
-                return v; // not in from-space: stays put
-            }
-            let w = rt.heap.read(addr);
-            if is_ptr(w) {
-                return w; // forwarded
-            }
-            let tag = Tag::decode(w);
-            let n = tag.box_words();
-            let new_addr = rt.alloc_words(to, n);
-            for i in 0..n {
-                let word = rt.heap.read(addr + i);
-                rt.heap.write(new_addr + i, word);
-            }
-            rt.heap.write(addr, ptr(new_addr));
-            st.copied += n;
-            let d = &mut rt.regions[to.0 as usize];
-            if !d.status {
-                d.status = true;
-                st.scan_stack.push(new_addr);
-            }
-            ptr(new_addr)
-        }
-    }
-}
-
-/// Cheney loop over the promotion target.
-fn cheney_region_gen(rt: &mut Rt, st: &mut GcState, mut s: u64, to: RegionId) {
-    let pw = rt.heap.page_words() as u64;
-    // The page end is maintained incrementally across hops instead of
-    // re-deriving the page base from `s` for every object scanned.
-    let mut page_end = (s & !(pw - 1)) + pw;
-    loop {
-        if s == rt.regions[to.0 as usize].a {
-            break;
-        }
-        if s == page_end {
-            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
-            debug_assert_ne!(next, NONE_ADDR, "scan ran past the generation");
-            s = next + PAGE_HDR;
-            page_end = next + pw;
-            continue;
-        }
-        let w = rt.heap.read(s);
-        let tag = Tag::decode(w);
-        if tag.kind == Kind::Sentinel {
-            let next = rt.heap.read(page_end - pw + PAGE_NEXT);
-            s = next + PAGE_HDR;
-            page_end = next + pw;
-            continue;
-        }
-        if tag.scannable() {
-            for i in 0..tag.size as u64 {
-                let v = rt.heap.read(s + 1 + i);
-                let nv = evacuate_gen(rt, st, v, to);
-                rt.heap.write(s + 1 + i, nv);
-            }
-        }
-        s += tag.box_words();
-    }
-    rt.regions[to.0 as usize].status = false;
-}
-
-struct GcState {
+/// Shared scan-loop state (paper §2.5). The serial, generational and
+/// sliced collectors all use one of these; the parallel collector keeps
+/// one per worker.
+#[derive(Debug)]
+pub(crate) struct GcState {
     /// Scan pointers of partially-scanned regions (at most one per region).
-    scan_stack: Vec<u64>,
+    pub(crate) scan_stack: Vec<u64>,
     /// Stack slots of finite-region boxes: unscanned tail + all entries for
     /// the final unmarking pass.
-    scan_buffer: Vec<usize>,
-    sb_next: usize,
+    pub(crate) scan_buffer: Vec<usize>,
+    pub(crate) sb_next: usize,
     /// Large arrays queued for traversal.
-    lobj_queue: Vec<u32>,
-    lq_next: usize,
-    copied: u64,
+    pub(crate) lobj_queue: Vec<u32>,
+    pub(crate) lq_next: usize,
+    pub(crate) copied: u64,
+}
+
+impl GcState {
+    pub(crate) fn new() -> Self {
+        GcState {
+            scan_stack: Vec::new(),
+            scan_buffer: Vec::new(),
+            sb_next: 0,
+            lobj_queue: Vec::new(),
+            lq_next: 0,
+            copied: 0,
+        }
+    }
 }
 
 /// Evacuates one value (paper §2.5 `evacuate`): returns the value to store
-/// in place of `v`.
-fn evacuate(rt: &mut Rt, st: &mut GcState, v: Word) -> Word {
+/// in place of `v`. The [`EvacPolicy`] decides which heap objects move and
+/// where to; everything else (scalars, constants, finite-region boxes,
+/// large objects) is handled identically in every collector variant.
+pub(crate) fn evacuate_with<P: EvacPolicy>(rt: &mut Rt, st: &mut GcState, v: Word, p: P) -> Word {
     if !is_ptr(v) {
         return v;
     }
@@ -602,6 +564,10 @@ fn evacuate(rt: &mut Rt, st: &mut GcState, v: Word) -> Word {
             v
         }
         Space::Heap => {
+            let page = rt.heap.page_base(addr);
+            let Some(r) = p.heap_dest(rt, page) else {
+                return v; // policy says: stays put
+            };
             let w = rt.heap.read(addr);
             if is_ptr(w) {
                 // Forward pointer: already evacuated.
@@ -609,10 +575,6 @@ fn evacuate(rt: &mut Rt, st: &mut GcState, v: Word) -> Word {
             }
             let tag = Tag::decode(w);
             debug_assert!(tag.kind != Kind::Sentinel, "evacuating page slack");
-            // The value is copied into the region it belongs to, found
-            // through the origin pointer of its page (§2.4).
-            let page = rt.heap.page_base(addr);
-            let r = RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32);
             let n = tag.box_words();
             let new_addr = rt.alloc_words(r, n);
             for i in 0..n {
@@ -632,19 +594,19 @@ fn evacuate(rt: &mut Rt, st: &mut GcState, v: Word) -> Word {
 }
 
 /// Scans a finite-region box in place (fields updated, value not moved).
-fn scan_stack_box(rt: &mut Rt, st: &mut GcState, slot: usize) {
+pub(crate) fn scan_stack_box_with<P: EvacPolicy>(rt: &mut Rt, st: &mut GcState, slot: usize, p: P) {
     let tag = Tag::decode(rt.stack[slot]);
     if !tag.scannable() {
         return;
     }
     for i in 0..tag.size as usize {
         let v = rt.stack[slot + 1 + i];
-        rt.stack[slot + 1 + i] = evacuate(rt, st, v);
+        rt.stack[slot + 1 + i] = evacuate_with(rt, st, v, p);
     }
 }
 
 /// Scans a large array in place.
-fn scan_large_array(rt: &mut Rt, st: &mut GcState, id: u32) {
+pub(crate) fn scan_large_array_with<P: EvacPolicy>(rt: &mut Rt, st: &mut GcState, id: u32, p: P) {
     let len = match &rt.lobjs.get(id).data {
         LData::Arr(a) => a.len(),
         LData::Str(_) => return,
@@ -654,7 +616,7 @@ fn scan_large_array(rt: &mut Rt, st: &mut GcState, id: u32) {
             LData::Arr(a) => a[i],
             LData::Str(_) => unreachable!(),
         };
-        let nv = evacuate(rt, st, v);
+        let nv = evacuate_with(rt, st, v, p);
         match &mut rt.lobjs.get_mut(id).data {
             LData::Arr(a) => a[i] = nv,
             LData::Str(_) => unreachable!(),
@@ -664,8 +626,11 @@ fn scan_large_array(rt: &mut Rt, st: &mut GcState, id: u32) {
 
 /// Cheney's loop over a single region (paper §2.3 `cheney`): scans from
 /// `s` until the scan pointer reaches the region's allocation pointer,
-/// hopping page boundaries and skipping slack sentinels.
-fn cheney_region(rt: &mut Rt, st: &mut GcState, mut s: u64) {
+/// hopping page boundaries and skipping slack sentinels. The region is
+/// identified through the origin pointer of the scan page — for the
+/// generational policy that is always the promotion target, whose pages
+/// are stamped with its id.
+pub(crate) fn cheney_region_with<P: EvacPolicy>(rt: &mut Rt, st: &mut GcState, mut s: u64, p: P) {
     let pw = rt.heap.page_words() as u64;
     let page = rt.heap.page_base(s);
     let r = RegionId(rt.heap.read(page + PAGE_ORIGIN) as u32);
@@ -697,13 +662,41 @@ fn cheney_region(rt: &mut Rt, st: &mut GcState, mut s: u64) {
         if tag.scannable() {
             for i in 0..tag.size as u64 {
                 let v = rt.heap.read(s + 1 + i);
-                let nv = evacuate(rt, st, v);
+                let nv = evacuate_with(rt, st, v, p);
                 rt.heap.write(s + 1 + i, nv);
             }
         }
         s += tag.box_words();
     }
     rt.regions[r.0 as usize].status = false;
+}
+
+/// `collect_regions` (paper §2.5): alternate between the scan buffer
+/// (finite regions and large objects, traversed in place) and the scan
+/// stack (one region at a time) until both are exhausted.
+pub(crate) fn drain_with<P: EvacPolicy>(rt: &mut Rt, st: &mut GcState, p: P) {
+    loop {
+        let mut progressed = false;
+        while st.sb_next < st.scan_buffer.len() {
+            progressed = true;
+            let slot = st.scan_buffer[st.sb_next];
+            st.sb_next += 1;
+            scan_stack_box_with(rt, st, slot, p);
+        }
+        while st.lq_next < st.lobj_queue.len() {
+            progressed = true;
+            let id = st.lobj_queue[st.lq_next];
+            st.lq_next += 1;
+            scan_large_array_with(rt, st, id, p);
+        }
+        if let Some(s) = st.scan_stack.pop() {
+            progressed = true;
+            cheney_region_with(rt, st, s, p);
+        }
+        if !progressed {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]

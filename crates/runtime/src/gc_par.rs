@@ -1,0 +1,1020 @@
+//! Parallel Cheney-for-regions (DESIGN.md §6g): the full collection of
+//! [`crate::gc::collect`] partitioned across a pool of scoped worker
+//! threads when `RtConfig::gc_workers > 1`.
+//!
+//! # Scheme
+//!
+//! Live regions are partitioned across workers as *contiguous region-id
+//! ranges* of roughly equal pre-flip page weight (see [`partition`] for
+//! why contiguity, not just balance, is the point). Each worker *owns*
+//! its regions' to-space bump cursors outright, so the copy fast path
+//! needs no atomics at all; stack (finite-region) boxes are owned by
+//! `slot % workers` and large objects by `id % workers`.
+//!
+//! Work proceeds in **rounds**. Within a round a worker only touches state
+//! it owns: it drains its inbox of cross-owner tasks, then runs the
+//! ordinary region scan loop over its own regions to a fixpoint. A pointer
+//! whose target another worker owns is *always deferred* — the location is
+//! left unchanged and a [`Task::Slot`] is sent to the owner, who resolves
+//! the forward and writes the location back in the next round. (Peeking at
+//! a possibly-installed forward mid-round would make the result depend on
+//! cross-thread timing; deferral keeps every run of the collector
+//! bit-identical.) Rounds are separated by barriers, and the leader merges
+//! outboxes into inboxes in sender order, so each location has exactly one
+//! writer per round and the whole schedule is deterministic.
+//!
+//! Forwarding pointers are installed with a compare-exchange on the header
+//! word. Ownership guarantees a single writer, so the CAS can never be
+//! contended — it is kept as a cheap guard (`debug_assert` on failure)
+//! that the ownership protocol holds.
+//!
+//! # Page allocation
+//!
+//! Workers never touch the shared free-list: each is handed a private
+//! pool of pages before spawning. The worst case is `2 × from-pages + 1`
+//! per owned region (each closed page plus the page its overflowing
+//! object opened are together more than half full), but real copies are
+//! usually a small fraction of the from-space, so provisioning the worst
+//! case up front would memset an arena-sized reserve on every
+//! collection. Instead pools start at an eighth of the bound and the
+//! collection runs in **passes**: a worker whose pool runs dry defers
+//! the affected copies to itself (the same deferral used for
+//! cross-owner pointers) and flags the exchange, the leader ends the
+//! pass at the round boundary, and the coordinator — the only party
+//! allowed to grow (and thereby move) the arena — doubles the dry
+//! pools and re-spawns with the merged inboxes and each worker's
+//! resume state. The arena never reallocates *while workers run*, raw
+//! views are re-derived per pass, and grant sizes and starvation points
+//! are functions of deterministic per-worker state, so the schedule
+//! stays deterministic. Leftover pool pages return to the free-list
+//! after the final join, in worker order.
+
+use crate::gc;
+use crate::heap::{PAGE_HDR, PAGE_NEXT, PAGE_ORIGIN};
+use crate::lobj::{LData, Lobj, Lobjs};
+use crate::region::{RegionDesc, RegionId};
+use crate::rt::Rt;
+use crate::value::{
+    is_ptr, ptr, ptr_addr, space_of, Kind, Space, Tag, Word, NONE_ADDR, STACK_BASE,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A unit of cross-owner work, routed to the worker owning its target.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    /// A location (heap to-space field, stack slot, or large-array
+    /// element) holding a pointer into the receiver's territory: re-read
+    /// it, evacuate the target, write the result back.
+    Slot(u64),
+    /// Mark (and queue for scanning) the finite-region box at this stack
+    /// slot.
+    StackBox(usize),
+    /// Mark (and queue if an array) this large object.
+    Lobj(u32),
+}
+
+/// Raw views into the runtime shared by all workers.
+///
+/// # Safety invariants
+///
+/// * The arena (`words`), stack, region vector and large-object table are
+///   not resized while workers run: the heap is pre-grown to a worst-case
+///   bound, the mutator is stopped, and the collector neither pushes
+///   regions nor allocates/frees large objects.
+/// * Every word is written by at most one worker per round: region pages
+///   and descriptors by the region's owner, stack slots and large objects
+///   by their modular owner, and deferred `Slot` locations by the target's
+///   owner (the sender scanned the location in an earlier round and never
+///   revisits it). Barriers between rounds provide the happens-before
+///   edges for cross-round hand-offs.
+#[derive(Clone, Copy)]
+struct RawRt {
+    words: *mut Word,
+    stack: *mut Word,
+    regions: *mut RegionDesc,
+    lobjs: *mut Option<Lobj>,
+    page_words: u64,
+    page_data_words: u64,
+}
+
+unsafe impl Send for RawRt {}
+unsafe impl Sync for RawRt {}
+
+/// Round-exchange state: outboxes collected from workers, merged by the
+/// barrier leader into per-worker inboxes in sender order.
+struct Exchange {
+    state: Mutex<ExchangeState>,
+    barrier: Barrier,
+    done: AtomicBool,
+}
+
+struct ExchangeState {
+    outboxes: Vec<(usize, Vec<Vec<Task>>)>,
+    inboxes: Vec<Vec<Task>>,
+    /// Some worker ran out of pool pages this pass: the leader ends the
+    /// pass at the next round boundary so the coordinator can refill.
+    starved: bool,
+}
+
+impl Exchange {
+    fn new(nworkers: usize) -> Self {
+        Exchange {
+            state: Mutex::new(ExchangeState {
+                outboxes: Vec::with_capacity(nworkers),
+                inboxes: vec![Vec::new(); nworkers],
+                starved: false,
+            }),
+            barrier: Barrier::new(nworkers),
+            done: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Per-worker state carried across passes (pool refills): everything a
+/// worker needs to resume exactly where the aborted pass stopped.
+/// `scan_buffer` doubles as the record of marked stack slots for the
+/// final unmark pass, and `pool[pool_next..]` as the leftover pages
+/// returned to the free-list.
+#[derive(Default)]
+struct Paused {
+    pool: Vec<u64>,
+    pool_next: usize,
+    scan_stack: Vec<u64>,
+    scan_buffer: Vec<usize>,
+    sb_next: usize,
+    lobj_queue: Vec<u32>,
+    lq_next: usize,
+    copied: u64,
+    starved: bool,
+}
+
+struct Worker<'a> {
+    me: usize,
+    nworkers: usize,
+    raw: RawRt,
+    /// Region id → owning worker.
+    region_owner: &'a [usize],
+    pool: Vec<u64>,
+    pool_next: usize,
+    outbox: Vec<Vec<Task>>,
+    scan_stack: Vec<u64>,
+    scan_buffer: Vec<usize>,
+    sb_next: usize,
+    lobj_queue: Vec<u32>,
+    lq_next: usize,
+    copied: u64,
+    /// Pool exhausted: owned-heap copies are deferred to the next pass.
+    starved: bool,
+}
+
+impl Worker<'_> {
+    fn run(mut self, mut inbox: Vec<Task>, exch: &Exchange) -> Paused {
+        loop {
+            for t in std::mem::take(&mut inbox) {
+                match t {
+                    Task::Slot(loc) => self.evac_loc(loc),
+                    Task::StackBox(slot) => self.mark_stack_box(slot),
+                    Task::Lobj(id) => self.mark_lobj(id),
+                }
+            }
+            self.drain_local();
+
+            // ---- round exchange.
+            let out = std::mem::replace(&mut self.outbox, vec![Vec::new(); self.nworkers]);
+            {
+                let mut g = exch.state.lock().unwrap();
+                g.starved |= self.starved;
+                g.outboxes.push((self.me, out));
+            }
+            if exch.barrier.wait().is_leader() {
+                let mut g = exch.state.lock().unwrap();
+                let mut obs = std::mem::take(&mut g.outboxes);
+                // Sender order makes the merged inboxes independent of
+                // which thread reached the lock first.
+                obs.sort_by_key(|&(w, _)| w);
+                let mut any = false;
+                for (_, boxes) in obs {
+                    for (dest, mut tasks) in boxes.into_iter().enumerate() {
+                        if !tasks.is_empty() {
+                            any = true;
+                            g.inboxes[dest].append(&mut tasks);
+                        }
+                    }
+                }
+                // A starved worker defers work to itself, so `any` is
+                // necessarily true with it; ending the pass leaves the
+                // merged inboxes for the coordinator to hand back after
+                // the refill.
+                exch.done.store(!any || g.starved, Ordering::Release);
+            }
+            exch.barrier.wait();
+            if exch.done.load(Ordering::Acquire) {
+                break;
+            }
+            inbox = std::mem::take(&mut exch.state.lock().unwrap().inboxes[self.me]);
+        }
+        Paused {
+            pool: self.pool,
+            pool_next: self.pool_next,
+            scan_stack: self.scan_stack,
+            scan_buffer: self.scan_buffer,
+            sb_next: self.sb_next,
+            lobj_queue: self.lobj_queue,
+            lq_next: self.lq_next,
+            copied: self.copied,
+            starved: self.starved,
+        }
+    }
+
+    /// Evacuates the value stored at `loc`: targets this worker owns are
+    /// handled immediately; everything else is deferred to its owner.
+    fn evac_loc(&mut self, loc: u64) {
+        let v = self.read_loc(loc);
+        if !is_ptr(v) {
+            return;
+        }
+        let addr = ptr_addr(v);
+        match space_of(addr) {
+            Space::Data => {}
+            Space::Stack => {
+                let slot = (addr - STACK_BASE) as usize;
+                let owner = slot % self.nworkers;
+                if owner == self.me {
+                    self.mark_stack_box(slot);
+                } else {
+                    // The value itself does not change: marking is the
+                    // owner's job, the location keeps `v`.
+                    self.outbox[owner].push(Task::StackBox(slot));
+                }
+            }
+            Space::Large => {
+                let id = Lobjs::id_of(addr);
+                let owner = id as usize % self.nworkers;
+                if owner == self.me {
+                    self.mark_lobj(id);
+                } else {
+                    self.outbox[owner].push(Task::Lobj(id));
+                }
+            }
+            Space::Heap => {
+                let page = addr & !(self.raw.page_words - 1);
+                // Page origins of from-space pages are written at the flip
+                // (before spawning) and read-only during the copy phase.
+                let r = unsafe { *self.raw.words.add((page + PAGE_ORIGIN) as usize) } as u32;
+                let owner = self.region_owner[r as usize];
+                if owner != self.me {
+                    self.outbox[owner].push(Task::Slot(loc));
+                } else if self.pool_next < self.pool.len() {
+                    let nv = self.copy_heap(addr, RegionId(r));
+                    self.write_loc(loc, nv);
+                } else {
+                    // Out of to-space pages. A copy *might* not need one
+                    // (the target may fit the current page, or already be
+                    // forwarded), but gating on the pool keeps the check
+                    // cheap: defer to ourselves and resolve after the
+                    // coordinator refills the pool.
+                    self.starved = true;
+                    self.outbox[self.me].push(Task::Slot(loc));
+                }
+            }
+        }
+    }
+
+    /// Copies the from-space object at `addr` into its own region `r`
+    /// (owned by this worker), installing the forward pointer, or returns
+    /// the existing forward.
+    fn copy_heap(&mut self, addr: u64, r: RegionId) -> Word {
+        unsafe {
+            let hdr = self.raw.words.add(addr as usize);
+            let w = *hdr;
+            if is_ptr(w) {
+                return w; // forwarded (by this worker, in an earlier task)
+            }
+            let tag = Tag::decode(w);
+            debug_assert!(tag.kind != Kind::Sentinel, "evacuating page slack");
+            let n = tag.box_words();
+            let new_addr = self.alloc_words(r, n);
+            for i in 0..n {
+                *self.raw.words.add((new_addr + i) as usize) =
+                    *self.raw.words.add((addr + i) as usize);
+            }
+            // Forwarding is installed with a CAS on the header word. The
+            // ownership protocol makes this worker the only writer, so the
+            // exchange can never be contended — the CAS stands as a cheap
+            // runtime guard that the protocol holds.
+            let res = (*(hdr as *const AtomicU64)).compare_exchange(
+                w,
+                ptr(new_addr),
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
+            debug_assert!(
+                res.is_ok(),
+                "forward CAS contended: region ownership violated"
+            );
+            self.copied += n;
+            let d = &mut *self.raw.regions.add(r.0 as usize);
+            if !d.status {
+                d.status = true;
+                self.scan_stack.push(new_addr);
+            }
+            ptr(new_addr)
+        }
+    }
+
+    /// Bump-allocates `n` words in owned region `r`, extending it with a
+    /// page from the private pool when the current page is full (the
+    /// worker-local mirror of `Rt::alloc_words` under `in_gc`).
+    fn alloc_words(&mut self, r: RegionId, n: u64) -> u64 {
+        debug_assert!(n <= self.raw.page_data_words);
+        unsafe {
+            let d = &mut *self.raw.regions.add(r.0 as usize);
+            if d.a + n > d.e {
+                if d.a < d.e {
+                    // Slack sentinel so scans can skip the page tail.
+                    *self.raw.words.add(d.a as usize) = Tag::sentinel_word();
+                }
+                let page = self.pool.get(self.pool_next).copied().unwrap_or_else(|| {
+                    panic!("parallel GC worker {} exhausted its page pool", self.me)
+                });
+                self.pool_next += 1;
+                let pw = self.raw.page_words;
+                *self.raw.words.add((page + PAGE_NEXT) as usize) = NONE_ADDR;
+                *self.raw.words.add((page + PAGE_ORIGIN) as usize) = u64::from(r.0);
+                let d = &mut *self.raw.regions.add(r.0 as usize);
+                let last = d.e - pw;
+                *self.raw.words.add((last + PAGE_NEXT) as usize) = page;
+                d.a = page + PAGE_HDR;
+                d.e = page + pw;
+                d.pages += 1;
+            }
+            let d = &mut *self.raw.regions.add(r.0 as usize);
+            let addr = d.a;
+            d.a += n;
+            d.used_words += n;
+            addr
+        }
+    }
+
+    /// Marks the finite-region box at owned `slot` and queues it for
+    /// scanning (idempotent via the mark bit).
+    fn mark_stack_box(&mut self, slot: usize) {
+        debug_assert_eq!(slot % self.nworkers, self.me);
+        unsafe {
+            let p = self.raw.stack.add(slot);
+            let mut tag = Tag::decode(*p);
+            if !tag.mark {
+                tag.mark = true;
+                *p = tag.encode();
+                self.scan_buffer.push(slot);
+            }
+        }
+    }
+
+    /// Marks the owned large object `id`, queueing arrays for traversal.
+    fn mark_lobj(&mut self, id: u32) {
+        debug_assert_eq!(id as usize % self.nworkers, self.me);
+        let o = unsafe {
+            (*self.raw.lobjs.add(id as usize))
+                .as_mut()
+                .expect("dangling large-object id")
+        };
+        if !o.marked {
+            o.marked = true;
+            if matches!(o.data, LData::Arr(_)) {
+                self.lobj_queue.push(id);
+            }
+        }
+    }
+
+    /// Drains owned work to a fixpoint: the local scan buffer, large-array
+    /// queue and region scan stack (the per-worker `collect_regions`).
+    fn drain_local(&mut self) {
+        loop {
+            let mut progressed = false;
+            while self.sb_next < self.scan_buffer.len() {
+                progressed = true;
+                let slot = self.scan_buffer[self.sb_next];
+                self.sb_next += 1;
+                let tag = Tag::decode(unsafe { *self.raw.stack.add(slot) });
+                if tag.scannable() {
+                    for i in 0..u64::from(tag.size) {
+                        self.evac_loc(STACK_BASE + slot as u64 + 1 + i);
+                    }
+                }
+            }
+            while self.lq_next < self.lobj_queue.len() {
+                progressed = true;
+                let id = self.lobj_queue[self.lq_next];
+                self.lq_next += 1;
+                let len =
+                    match unsafe { &(*self.raw.lobjs.add(id as usize)).as_ref().unwrap().data } {
+                        LData::Arr(a) => a.len(),
+                        LData::Str(_) => 0,
+                    };
+                let base = Lobjs::addr_of(id);
+                for i in 0..len {
+                    self.evac_loc(base + i as u64);
+                }
+            }
+            if let Some(s) = self.scan_stack.pop() {
+                progressed = true;
+                self.cheney_region(s);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Cheney's loop over one owned region, from scan pointer `s` to the
+    /// region's allocation pointer.
+    fn cheney_region(&mut self, mut s: u64) {
+        let pw = self.raw.page_words;
+        let page = s & !(pw - 1);
+        let r = unsafe { *self.raw.words.add((page + PAGE_ORIGIN) as usize) } as u32;
+        let mut page_end = page + pw;
+        loop {
+            let d = unsafe { &mut *self.raw.regions.add(r as usize) };
+            if s == d.a {
+                d.status = false;
+                return;
+            }
+            if s == page_end {
+                let next = unsafe { *self.raw.words.add((page_end - pw + PAGE_NEXT) as usize) };
+                debug_assert_ne!(next, NONE_ADDR, "scan ran past the region");
+                s = next + PAGE_HDR;
+                page_end = next + pw;
+                continue;
+            }
+            let w = unsafe { *self.raw.words.add(s as usize) };
+            let tag = Tag::decode(w);
+            if tag.kind == Kind::Sentinel {
+                let next = unsafe { *self.raw.words.add((page_end - pw + PAGE_NEXT) as usize) };
+                debug_assert_ne!(next, NONE_ADDR, "sentinel on the last page");
+                s = next + PAGE_HDR;
+                page_end = next + pw;
+                continue;
+            }
+            if tag.scannable() {
+                for i in 0..u64::from(tag.size) {
+                    self.evac_loc(s + 1 + i);
+                }
+            }
+            s += tag.box_words();
+        }
+    }
+
+    fn read_loc(&self, loc: u64) -> Word {
+        unsafe {
+            match space_of(loc) {
+                Space::Heap => *self.raw.words.add(loc as usize),
+                Space::Stack => *self.raw.stack.add((loc - STACK_BASE) as usize),
+                Space::Large => {
+                    let id = Lobjs::id_of(loc);
+                    let off = (loc - Lobjs::addr_of(id)) as usize;
+                    match &(*self.raw.lobjs.add(id as usize)).as_ref().unwrap().data {
+                        LData::Arr(a) => a[off],
+                        LData::Str(_) => unreachable!("word location in string"),
+                    }
+                }
+                Space::Data => unreachable!("no mutable locations in the data segment"),
+            }
+        }
+    }
+
+    fn write_loc(&mut self, loc: u64, v: Word) {
+        unsafe {
+            match space_of(loc) {
+                Space::Heap => *self.raw.words.add(loc as usize) = v,
+                Space::Stack => *self.raw.stack.add((loc - STACK_BASE) as usize) = v,
+                Space::Large => {
+                    let id = Lobjs::id_of(loc);
+                    let off = (loc - Lobjs::addr_of(id)) as usize;
+                    match &mut (*self.raw.lobjs.add(id as usize)).as_mut().unwrap().data {
+                        LData::Arr(a) => a[off] = v,
+                        LData::Str(_) => unreachable!("word location in string"),
+                    }
+                }
+                Space::Data => unreachable!("no mutable locations in the data segment"),
+            }
+        }
+    }
+}
+
+/// Splits the regions into `nworkers` *contiguous id ranges* of roughly
+/// equal from-space weight. Contiguity is the point, not just balance:
+/// regions allocated together (nested `letregion`s — a list's spine and
+/// its element cells, say) overwhelmingly point into each other, and a
+/// pointer between two regions on different workers costs a whole
+/// exchange round per hop. Keeping id neighbourhoods on one worker turns
+/// those chains into local scan work; greedy bin-packing, by contrast,
+/// deliberately separates the two biggest regions and serialises every
+/// spine→cell link into a round.
+fn partition(weights: &[usize], nworkers: usize) -> Vec<usize> {
+    let total: usize = weights.iter().map(|w| w + 1).sum();
+    let mut owner = vec![0usize; weights.len()];
+    let mut acc = 0usize;
+    let mut w = 0usize;
+    for (r, &weight) in weights.iter().enumerate() {
+        // Close the range once it has reached its proportional share of
+        // the remaining weight (even an empty region costs its fresh
+        // to-space page).
+        owner[r] = w;
+        acc += weight + 1;
+        if acc * nworkers >= total * (w + 1) && w + 1 < nworkers {
+            w += 1;
+        }
+    }
+    owner
+}
+
+/// Routes one root location into the initial inboxes (the same
+/// classification the workers use, run once single-threaded).
+fn route_root(rt: &Rt, loc: u64, owner: &[usize], nworkers: usize, inboxes: &mut [Vec<Task>]) {
+    let v = rt.stack[(loc - STACK_BASE) as usize];
+    if !is_ptr(v) {
+        return;
+    }
+    let addr = ptr_addr(v);
+    match space_of(addr) {
+        Space::Data => {}
+        Space::Stack => {
+            let slot = (addr - STACK_BASE) as usize;
+            inboxes[slot % nworkers].push(Task::StackBox(slot));
+        }
+        Space::Large => {
+            let id = Lobjs::id_of(addr);
+            inboxes[id as usize % nworkers].push(Task::Lobj(id));
+        }
+        Space::Heap => {
+            let page = rt.heap.page_base(addr);
+            let r = rt.heap.read(page + PAGE_ORIGIN) as usize;
+            inboxes[owner[r]].push(Task::Slot(loc));
+        }
+    }
+}
+
+/// One parallel full collection; the counterpart of [`gc::collect`] for
+/// `gc_workers > 1`. The mutator-visible result (surviving values, region
+/// contents, copied-word count) is identical to the serial collector's up
+/// to object addresses; the collector itself is deterministic from run to
+/// run at a fixed configuration.
+pub(crate) fn collect_parallel(rt: &mut Rt, root_slots: &[usize], extra_roots: &mut [Word]) {
+    let t0 = std::time::Instant::now();
+    let nworkers = rt.config.gc_workers;
+    rt.in_gc = true;
+    rt.flush_alloc_cache();
+    if rt.config.heap_shrink_factor.is_some() {
+        rt.heap.sort_free_list();
+    }
+
+    // Extra roots (VM registers) become addressable stack slots for the
+    // duration, so they can be task targets like any other root.
+    let extra_base = rt.stack.len();
+    rt.stack.extend_from_slice(extra_roots);
+
+    let flip = gc::flip_all(rt);
+    let region_owner = partition(&flip.region_from_pages, nworkers);
+
+    // ---- to-space budget per worker: the worst case (`2 × from-pages
+    // + 1` per owned region) caps what a worker can ever be granted,
+    // but copies are typically a small fraction of the from-space, so
+    // grants start at an eighth of the cap and double on starvation.
+    let mut needs = vec![0usize; nworkers];
+    for (r, &fp) in flip.region_from_pages.iter().enumerate() {
+        if fp > 0 {
+            needs[region_owner[r]] += 2 * fp + 1;
+        }
+    }
+
+    // ---- initial inboxes from the root set.
+    let mut inboxes: Vec<Vec<Task>> = vec![Vec::new(); nworkers];
+    for &slot in root_slots {
+        route_root(
+            rt,
+            STACK_BASE + slot as u64,
+            &region_owner,
+            nworkers,
+            &mut inboxes,
+        );
+    }
+    for i in 0..extra_roots.len() {
+        let loc = STACK_BASE + (extra_base + i) as u64;
+        route_root(rt, loc, &region_owner, nworkers, &mut inboxes);
+    }
+
+    // ---- worker passes. Each pass runs the round protocol to a global
+    // fixpoint or to the first round in which some worker ran out of
+    // pool pages (it defers the affected copies to itself, so nothing is
+    // lost). Between passes the coordinator — which, unlike the workers,
+    // may grow the arena and move it — refills the dry pools and
+    // re-derives the raw views. Grant sizes, starvation points and the
+    // round schedule are all functions of deterministic per-worker
+    // state, so the collector remains deterministic from run to run.
+    let mut given = vec![0usize; nworkers];
+    let mut resume: Vec<Paused> = (0..nworkers).map(|_| Paused::default()).collect();
+    loop {
+        let mut grants = vec![0usize; nworkers];
+        for w in 0..nworkers {
+            grants[w] = if given[w] == 0 {
+                needs[w].min((needs[w] / 8).max(8))
+            } else if resume[w].starved {
+                let rest = needs[w] - given[w];
+                assert!(rest > 0, "worker {w} starved beyond the worst-case bound");
+                rest.min(given[w])
+            } else {
+                0
+            };
+        }
+        let total_grant: usize = grants.iter().sum();
+        if rt.heap.free_pages() < total_grant {
+            let deficit = total_grant - rt.heap.free_pages();
+            rt.heap.grow(deficit);
+            if rt.config.heap_shrink_factor.is_some() {
+                // Keep to-space at low addresses for the shrink policy.
+                rt.heap.sort_free_list();
+            }
+        }
+        for (w, paused) in resume.iter_mut().enumerate() {
+            for _ in 0..grants[w] {
+                paused.pool.push(
+                    rt.heap
+                        .pop_free_page()
+                        .expect("grant sizing covers the free-list"),
+                );
+            }
+            given[w] += grants[w];
+            paused.starved = false;
+        }
+
+        let raw = RawRt {
+            words: rt.heap.words.as_mut_ptr(),
+            stack: rt.stack.as_mut_ptr(),
+            regions: rt.regions.as_mut_ptr(),
+            lobjs: rt.lobjs.table.as_mut_ptr(),
+            page_words: rt.heap.page_words() as u64,
+            page_data_words: rt.config.page_data_words() as u64,
+        };
+        let exch = Exchange::new(nworkers);
+        let owner_ref = &region_owner;
+        let exch_ref = &exch;
+        let pass_in = std::mem::take(&mut inboxes);
+        resume = std::thread::scope(|s| {
+            let handles: Vec<_> = resume
+                .drain(..)
+                .zip(pass_in)
+                .enumerate()
+                .map(|(w, (paused, inbox0))| {
+                    let worker = Worker {
+                        me: w,
+                        nworkers,
+                        raw,
+                        region_owner: owner_ref,
+                        pool: paused.pool,
+                        pool_next: paused.pool_next,
+                        outbox: vec![Vec::new(); nworkers],
+                        scan_stack: paused.scan_stack,
+                        scan_buffer: paused.scan_buffer,
+                        sb_next: paused.sb_next,
+                        lobj_queue: paused.lobj_queue,
+                        lq_next: paused.lq_next,
+                        copied: paused.copied,
+                        starved: false,
+                    };
+                    s.spawn(move || worker.run(inbox0, exch_ref))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        if !resume.iter().any(|p| p.starved) {
+            break;
+        }
+        // The aborted pass's leader already merged every outbox; the
+        // undelivered tasks become the next pass's inboxes.
+        inboxes = std::mem::take(&mut exch.state.lock().unwrap().inboxes);
+    }
+
+    // ---- merge worker outputs in worker order (deterministic).
+    let mut copied = 0u64;
+    let mut marked = Vec::new();
+    for out in &resume {
+        copied += out.copied;
+        marked.extend_from_slice(&out.scan_buffer);
+    }
+    gc::unmark_scan_buffer(rt, &marked);
+    // Return unused pool pages; iteration order is fixed, so the
+    // free-list layout stays deterministic.
+    for out in resume.iter().rev() {
+        for &p in out.pool[out.pool_next..].iter().rev() {
+            rt.heap.push_free_page(p);
+        }
+    }
+    let lobjs_freed = gc::sweep_lobjs_all(rt);
+
+    // Write evacuated extra roots back to their registers and drop the
+    // temporary slots.
+    for (i, v) in extra_roots.iter_mut().enumerate() {
+        *v = rt.stack[extra_base + i];
+    }
+    rt.stack.truncate(extra_base);
+
+    gc::finish_collection(rt, &flip, copied, lobjs_freed, t0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtConfig;
+    use crate::value::scalar;
+    use std::collections::HashMap;
+
+    /// xorshift64: deterministic across runs and platforms.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn pick(rng: &mut Rng, vals: &[Word]) -> Word {
+        vals[rng.below(vals.len() as u64) as usize]
+    }
+
+    /// Runs a deterministic random mutator: allocates records, refs,
+    /// reals, strings, arrays and finite-region (stack) boxes across five
+    /// regions, with mutations creating cross-region and backward
+    /// pointers (including cycles). Appends the new root slots to
+    /// `roots`.
+    fn build_random_graph(
+        rt: &mut Rt,
+        rng: &mut Rng,
+        vals: &mut Vec<Word>,
+        roots: &mut Vec<usize>,
+    ) {
+        let depth = rt.region_depth();
+        let regions: Vec<RegionId> = (0..5).map(|i| rt.letregion(i)).collect();
+        let _ = depth;
+        vals.push(scalar(1));
+        vals.push(scalar(-7));
+        let mut refs: Vec<Word> = Vec::new();
+        let mut arrs: Vec<Word> = Vec::new();
+        for i in 0..800u64 {
+            let r = regions[rng.below(5) as usize];
+            let v = match rng.below(100) {
+                0..=39 => {
+                    let n = 2 + rng.below(3) as u32;
+                    let fields: Vec<Word> = (0..n).map(|_| pick(rng, vals)).collect();
+                    if rng.below(2) == 0 {
+                        rt.alloc_boxed(r, Tag::con(rng.below(4) as u32, n), &fields)
+                    } else {
+                        rt.alloc_record(r, &fields)
+                    }
+                }
+                40..=54 => {
+                    let x = pick(rng, vals);
+                    let c = rt.alloc_boxed(r, Tag::reference(), &[x]);
+                    refs.push(c);
+                    c
+                }
+                55..=60 => rt.alloc_real(r, rng.below(1 << 20) as f64 * 0.5),
+                61..=66 => rt.alloc_string(r, format!("s{}", rng.below(1000))),
+                67..=74 => {
+                    let init = pick(rng, vals);
+                    let a = rt.alloc_array(r, 2 + rng.below(6) as usize, init);
+                    arrs.push(a);
+                    a
+                }
+                75..=82 => {
+                    // Finite-region box, allocated directly on the stack
+                    // the way the VM lays them out: tag word + fields.
+                    let n = 1 + rng.below(3) as u32;
+                    let slot = rt.stack.len();
+                    rt.stack.push(Tag::record(n).encode());
+                    for _ in 0..n {
+                        let f = pick(rng, vals);
+                        rt.stack.push(f);
+                    }
+                    ptr(STACK_BASE + slot as u64)
+                }
+                83..=91 if !refs.is_empty() => {
+                    // Mutate a ref: later values flow into earlier cells,
+                    // creating backward edges and cycles.
+                    let c = refs[rng.below(refs.len() as u64) as usize];
+                    let x = pick(rng, vals);
+                    rt.set_field(c, 0, x);
+                    c
+                }
+                _ if !arrs.is_empty() => {
+                    let a = arrs[rng.below(arrs.len() as u64) as usize];
+                    let n = rt.arr_len(a);
+                    let x = pick(rng, vals);
+                    let addr = rt.arr_elem_addr(a, rng.below(n as u64) as usize);
+                    rt.write_addr(addr, x);
+                    a
+                }
+                _ => pick(rng, vals),
+            };
+            vals.push(v);
+            if i % 9 == 0 {
+                rt.stack.push(v);
+                roots.push(rt.stack.len() - 1);
+            }
+        }
+    }
+
+    /// Address-independent structural hash of everything reachable from
+    /// `roots`: object identities are numbered in deterministic traversal
+    /// order, so two heaps with the same shape hash equal regardless of
+    /// where the collector placed the copies.
+    struct Hasher {
+        h: u64,
+        ids: HashMap<u64, u64>,
+        work: Vec<u64>,
+    }
+
+    impl Hasher {
+        fn mix(&mut self, x: u64) {
+            self.h ^= x;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+
+        fn value(&mut self, v: Word) {
+            if !is_ptr(v) {
+                self.mix(1);
+                self.mix(v);
+                return;
+            }
+            let addr = ptr_addr(v);
+            if space_of(addr) == Space::Data {
+                // The data segment never moves and is identical across
+                // runs of the same program.
+                self.mix(3);
+                self.mix(addr);
+                return;
+            }
+            let id = match self.ids.get(&addr) {
+                Some(&id) => id,
+                None => {
+                    let id = self.ids.len() as u64;
+                    self.ids.insert(addr, id);
+                    self.work.push(addr);
+                    id
+                }
+            };
+            self.mix(2);
+            self.mix(id);
+        }
+    }
+
+    fn structural_hash(rt: &Rt, root_slots: &[usize]) -> u64 {
+        let mut hs = Hasher {
+            h: 0xcbf2_9ce4_8422_2325,
+            ids: HashMap::new(),
+            work: Vec::new(),
+        };
+        for &slot in root_slots {
+            hs.value(rt.stack[slot]);
+        }
+        let mut i = 0;
+        while i < hs.work.len() {
+            let addr = hs.work[i];
+            i += 1;
+            if space_of(addr) == Space::Large {
+                match &rt.lobjs.get(Lobjs::id_of(addr)).data {
+                    LData::Str(s) => {
+                        hs.mix(4);
+                        for b in s.bytes() {
+                            hs.mix(u64::from(b));
+                        }
+                    }
+                    LData::Arr(a) => {
+                        hs.mix(5);
+                        hs.mix(a.len() as u64);
+                        for k in 0..a.len() {
+                            let v = match &rt.lobjs.get(Lobjs::id_of(addr)).data {
+                                LData::Arr(a) => a[k],
+                                LData::Str(_) => unreachable!(),
+                            };
+                            hs.value(v);
+                        }
+                    }
+                }
+                continue;
+            }
+            let tag = Tag::decode(rt.read_addr(addr));
+            hs.mix(6);
+            hs.mix(tag.kind as u64);
+            hs.mix(u64::from(tag.size));
+            hs.mix(u64::from(tag.info));
+            if tag.scannable() {
+                for k in 0..u64::from(tag.size) {
+                    hs.value(rt.read_addr(addr + 1 + k));
+                }
+            } else if tag.kind == Kind::Real {
+                hs.mix(rt.read_addr(addr + 1));
+            }
+        }
+        hs.h
+    }
+
+    /// Builds the seeded graph, collects three times (mutating between
+    /// collections, restarting from the surviving roots), and returns the
+    /// runtime plus its root slots.
+    fn run_mutator(workers: usize, seed: u64) -> (Rt, Vec<usize>) {
+        let mut rt = Rt::new(RtConfig {
+            initial_pages: 32,
+            gc_workers: workers,
+            ..RtConfig::rgt()
+        });
+        let mut rng = Rng(seed);
+        let mut vals = Vec::new();
+        let mut roots = Vec::new();
+        for _ in 0..3 {
+            build_random_graph(&mut rt, &mut rng, &mut vals, &mut roots);
+            // One value rides through the extra-roots (VM register) path.
+            let mut extra = [rt.stack[roots[0]]];
+            gc::collect(&mut rt, &roots, &mut extra);
+            assert_eq!(
+                extra[0], rt.stack[roots[0]],
+                "register and stack copies of the same root must agree"
+            );
+            // Pointers held outside the root set are stale after a
+            // collection; restart the value pool from the live roots.
+            vals.clear();
+            vals.extend(roots.iter().map(|&s| rt.stack[s]));
+        }
+        (rt, roots)
+    }
+
+    const SEED: u64 = 0x5EED_0300;
+
+    #[test]
+    fn parallel_collection_matches_serial() {
+        let (base, base_roots) = run_mutator(1, SEED);
+        let base_hash = structural_hash(&base, &base_roots);
+        let base_used: Vec<u64> = base.regions.iter().map(|d| d.used_words).collect();
+        assert!(base.stats.gc_count >= 3 && base.stats.gc_copied_words > 0);
+        for workers in [2usize, 4] {
+            let (rt, roots) = run_mutator(workers, SEED);
+            assert_eq!(
+                rt.stats.gc_copied_words, base.stats.gc_copied_words,
+                "copied words diverged at {workers} workers"
+            );
+            let used: Vec<u64> = rt.regions.iter().map(|d| d.used_words).collect();
+            assert_eq!(used, base_used, "live words per region diverged");
+            assert_eq!(
+                structural_hash(&rt, &roots),
+                base_hash,
+                "surviving structure diverged at {workers} workers"
+            );
+            rt.check_page_conservation().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_collection_is_deterministic_run_to_run() {
+        let (a, ra) = run_mutator(4, SEED);
+        let (b, rb) = run_mutator(4, SEED);
+        assert_eq!(a.stats.gc_records, b.stats.gc_records);
+        assert_eq!(a.heap.total_pages(), b.heap.total_pages());
+        assert_eq!(a.heap.free_pages(), b.heap.free_pages());
+        let pages_a: Vec<usize> = a.regions.iter().map(|d| d.pages).collect();
+        let pages_b: Vec<usize> = b.regions.iter().map(|d| d.pages).collect();
+        assert_eq!(
+            pages_a, pages_b,
+            "page schedule must not depend on thread timing"
+        );
+        assert_eq!(structural_hash(&a, &ra), structural_hash(&b, &rb));
+    }
+
+    #[test]
+    fn worker_partition_is_contiguous_balanced_and_deterministic() {
+        let weights = [10, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let owner = partition(&weights, 3);
+        // Ranges are contiguous in region-id order and every worker gets
+        // one (id neighbourhoods stay together — see `partition`).
+        assert!(owner.windows(2).all(|p| p[0] <= p[1] && p[1] - p[0] <= 1));
+        assert_eq!(owner[0], 0);
+        assert_eq!(*owner.last().unwrap(), 2);
+        // Balanced by from-space weight plus the fresh to-space page.
+        let mut load = [0usize; 3];
+        for (r, &w) in owner.iter().enumerate() {
+            load[w] += weights[r] + 1;
+        }
+        assert_eq!(load.iter().sum::<usize>(), 10 + 9 + 10);
+        assert!(load.iter().all(|&l| l >= 6), "no worker starves: {load:?}");
+        assert_eq!(owner, partition(&weights, 3));
+    }
+}

@@ -20,16 +20,23 @@ pub const PAGE_HDR: u64 = 2;
 /// The region heap.
 #[derive(Debug)]
 pub struct Heap {
-    words: Vec<Word>,
+    pub(crate) words: Vec<Word>,
     page_words: usize,
-    free_head: u64,
-    free_count: usize,
-    total_pages: usize,
+    pub(crate) free_head: u64,
+    pub(crate) free_count: usize,
+    pub(crate) total_pages: usize,
+    /// `true` while the free-list is known to be in ascending address
+    /// order (set by [`Heap::sort_free_list`], cleared by any operation
+    /// that may disturb the order), so redundant re-sorts are skipped.
+    sorted: bool,
+    /// Number of [`Heap::sort_free_list`] calls skipped because the list
+    /// was already sorted (observable for tests).
+    pub sort_skips: u64,
 }
 
 impl Heap {
     /// Creates a heap with `initial_pages` pages of `page_words` words
-    /// (a power of two), all on the free-list.
+    /// (a power of two), all free (and virgin until first allocated).
     pub fn new(page_words: usize, initial_pages: usize) -> Self {
         assert!(page_words.is_power_of_two() && page_words >= 8);
         let mut h = Heap {
@@ -38,6 +45,8 @@ impl Heap {
             free_head: NONE_ADDR,
             free_count: 0,
             total_pages: 0,
+            sorted: false,
+            sort_skips: 0,
         };
         h.grow(initial_pages.max(1));
         h
@@ -88,29 +97,34 @@ impl Heap {
         self.page_base(addr) + self.page_words as u64
     }
 
-    /// Grows the arena by `n` fresh pages, appending them to the free-list.
+    /// Grows the heap by `n` pages in O(1): the new pages are *virgin* —
+    /// counted free, but not linked into the free-list and not backed by
+    /// arena storage until first popped. Growth is a policy decision (the
+    /// collector granting itself garbage headroom), and eagerly zeroing
+    /// the grant would charge megabytes of memset and page faults to the
+    /// GC pause; lazily, headroom that is never allocated from never
+    /// costs a byte, and first-touch cost lands on the mutator allocation
+    /// that actually uses the page. Virgin pages sit above every
+    /// materialized page, so a sorted free-list stays sorted.
     pub fn grow(&mut self, n: usize) {
-        for _ in 0..n {
-            let base = self.words.len() as u64;
-            self.words.extend(std::iter::repeat_n(0, self.page_words));
-            self.write(base + PAGE_NEXT, self.free_head);
-            self.write(base + PAGE_ORIGIN, NONE_ADDR);
-            self.free_head = base;
-            self.free_count += 1;
-            self.total_pages += 1;
-        }
+        self.free_count += n;
+        self.total_pages += n;
+    }
+
+    /// Pages granted by [`grow`](Heap::grow) but not yet backed by arena
+    /// storage. Always the address range `words.len() ..` upward.
+    fn virgin_pages(&self) -> usize {
+        self.total_pages - self.words.len() / self.page_words
     }
 
     /// Takes one page from the free-list (growing the heap if empty) and
     /// stamps its origin. Returns the page base address.
     pub fn alloc_page(&mut self, origin: u64) -> u64 {
-        if self.free_head == NONE_ADDR {
+        if self.free_count == 0 {
             let n = (self.total_pages / 4).max(32);
             self.grow(n);
         }
-        let page = self.free_head;
-        self.free_head = self.read(page + PAGE_NEXT);
-        self.free_count -= 1;
+        let page = self.pop_free_page().expect("free_count is nonzero");
         self.write(page + PAGE_NEXT, NONE_ADDR);
         self.write(page + PAGE_ORIGIN, origin);
         page
@@ -123,6 +137,8 @@ impl Heap {
         if first == NONE_ADDR {
             return;
         }
+        // The chain is prepended in whatever order the region built it.
+        self.sorted = false;
         let last_page = self.page_base(last_addr);
         debug_assert_eq!(self.read(last_page + PAGE_NEXT), NONE_ADDR);
         self.write(last_page + PAGE_NEXT, self.free_head);
@@ -136,6 +152,13 @@ impl Heap {
     /// to-space then lands at low addresses and the tail stays free for
     /// [`release_tail`](Heap::release_tail).
     pub fn sort_free_list(&mut self) {
+        if self.sorted {
+            // Popping from a sorted list keeps it sorted and releasing
+            // tail pages preserves relative order, so the last sort is
+            // still valid: re-linking would be a no-op.
+            self.sort_skips += 1;
+            return;
+        }
         let mut pages: Vec<u64> = self.pages_from(self.free_head).collect();
         pages.sort_unstable();
         let mut head = NONE_ADDR;
@@ -144,43 +167,77 @@ impl Heap {
             head = p;
         }
         self.free_head = head;
+        self.sorted = true;
     }
 
     /// Releases up to `max` *free* pages from the tail of the arena back
     /// to the process allocator, returning how many were released. Only
     /// the physical tail can be returned (pages are indices into one
     /// contiguous arena), so the shrink stops at the first in-use tail
-    /// page; the free-list unlink is a scan, which is fine at GC
-    /// frequency.
+    /// page. Two passes over the free-list regardless of how many pages
+    /// come off — a per-page rescan would be quadratic when the parallel
+    /// collector's pool reserve inflates the arena by tens of thousands
+    /// of pages and the policy releases them all at once.
     pub fn release_tail(&mut self, max: usize) -> usize {
+        if max == 0 || self.total_pages <= 1 {
+            return 0;
+        }
+        // Virgin pages are the extreme tail and were never backed by
+        // storage: un-granting them is pure bookkeeping.
+        let virgin = self.virgin_pages().min(max).min(self.total_pages - 1);
+        self.total_pages -= virgin;
+        self.free_count -= virgin;
+        let max = max - virgin;
+        if max == 0 || self.total_pages <= 1 {
+            return virgin;
+        }
+        // Pass 1: which pages are free?
+        let mut free = vec![false; self.total_pages];
+        let mut cur = self.free_head;
+        while cur != NONE_ADDR {
+            free[(cur as usize) / self.page_words] = true;
+            cur = self.read(cur + PAGE_NEXT);
+        }
+        // The releasable run is the contiguous free tail.
         let mut released = 0;
-        'tail: while released < max && self.total_pages > 1 {
-            let tail = (self.words.len() - self.page_words) as u64;
-            let mut prev = NONE_ADDR;
-            let mut cur = self.free_head;
-            while cur != NONE_ADDR {
-                let next = self.read(cur + PAGE_NEXT);
-                if cur == tail {
-                    if prev == NONE_ADDR {
-                        self.free_head = next;
-                    } else {
-                        self.write(prev + PAGE_NEXT, next);
-                    }
-                    self.words.truncate(self.words.len() - self.page_words);
-                    self.free_count -= 1;
-                    self.total_pages -= 1;
-                    released += 1;
-                    continue 'tail;
+        while released < max
+            && self.total_pages - released > 1
+            && free[self.total_pages - released - 1]
+        {
+            released += 1;
+        }
+        if released == 0 {
+            return virgin;
+        }
+        // Pass 2: unlink the run. It is exactly the set of free pages at
+        // or above the cut, so one filtering walk suffices; removal
+        // preserves the relative order of the survivors, so a sorted
+        // list stays sorted.
+        let cut = ((self.total_pages - released) * self.page_words) as u64;
+        let mut prev = NONE_ADDR;
+        let mut cur = self.free_head;
+        while cur != NONE_ADDR {
+            let next = self.read(cur + PAGE_NEXT);
+            if cur >= cut {
+                if prev == NONE_ADDR {
+                    self.free_head = next;
+                } else {
+                    self.write(prev + PAGE_NEXT, next);
                 }
+            } else {
                 prev = cur;
-                cur = next;
             }
-            break; // tail page is in use
+            cur = next;
         }
-        if released > 0 {
-            self.words.shrink_to_fit();
-        }
-        released
+        self.free_count -= released;
+        self.total_pages -= released;
+        self.words.truncate(self.total_pages * self.page_words);
+        // Capacity is deliberately kept: the parallel collector's headroom
+        // policy grows and shrinks the heap every collection, so freeing
+        // the backing store here would turn each collection into an
+        // munmap / refault / realloc-copy cycle. The arena keeps its
+        // high-water backing and rematerializes pages for free.
+        released + virgin
     }
 
     /// Iterates the page chain starting at `first`.
@@ -194,6 +251,47 @@ impl Heap {
     /// Heap size in bytes (for memory accounting).
     pub fn bytes(&self) -> usize {
         self.words.len() * 8
+    }
+
+    /// Pops one page off the free-list without stamping it, or `None` if
+    /// no free page exists. The linked list is drained first; virgin
+    /// pages then materialize bottom-up, one page's worth of storage at a
+    /// time (`Vec` doubling amortizes the reallocations). Both orders
+    /// ascend, so `sorted` stays valid. The parallel collector uses this
+    /// to carve per-worker page pools before spawning.
+    pub(crate) fn pop_free_page(&mut self) -> Option<u64> {
+        if self.free_head != NONE_ADDR {
+            let page = self.free_head;
+            self.free_head = self.read(page + PAGE_NEXT);
+            self.free_count -= 1;
+            return Some(page);
+        }
+        if self.virgin_pages() > 0 {
+            // Reserve backing for the whole span in one step, so at most
+            // one reallocation (arena memcpy) happens per policy grow —
+            // and it happens here, on the first allocation that needs the
+            // new pages (almost always a mutator allocation), not inside
+            // a collection pause.
+            let span = self.total_pages * self.page_words;
+            if span > self.words.capacity() {
+                let len = self.words.len();
+                self.words.reserve(span - len);
+            }
+            let base = self.words.len() as u64;
+            self.words.resize(self.words.len() + self.page_words, 0);
+            self.free_count -= 1;
+            return Some(base);
+        }
+        None
+    }
+
+    /// Pushes one page back onto the free-list head (the inverse of
+    /// [`Heap::pop_free_page`], for unused pool pages).
+    pub(crate) fn push_free_page(&mut self, page: u64) {
+        self.sorted = false;
+        self.write(page + PAGE_NEXT, self.free_head);
+        self.free_head = page;
+        self.free_count += 1;
     }
 }
 
@@ -286,6 +384,45 @@ mod tests {
         // The tail is now in use; nothing further can be released.
         assert_eq!(h.release_tail(100), 0);
         assert_eq!(h.bytes(), 2 * 64 * 8);
+    }
+
+    #[test]
+    fn redundant_free_list_sorts_are_skipped() {
+        let mut h = Heap::new(64, 8);
+        assert_eq!(h.sort_skips, 0);
+        h.sort_free_list(); // grow() left the list unsorted: real sort
+        assert_eq!(h.sort_skips, 0);
+        h.sort_free_list(); // nothing disturbed the order since
+        assert_eq!(h.sort_skips, 1);
+        // Popping pages keeps a sorted list sorted.
+        let a = h.alloc_page(0);
+        h.sort_free_list();
+        assert_eq!(h.sort_skips, 2);
+        // Freeing a run disturbs the order; the next sort is real again.
+        h.write(a + PAGE_NEXT, NONE_ADDR);
+        h.free_run(a, a, 1);
+        h.sort_free_list();
+        assert_eq!(h.sort_skips, 2);
+        h.sort_free_list();
+        assert_eq!(h.sort_skips, 3);
+        // The skipped sort left the list genuinely ascending.
+        let pages: Vec<u64> = h.pages_from(h.free_head).collect();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        assert_eq!(pages, sorted);
+    }
+
+    #[test]
+    fn pop_and_push_free_pages_round_trip() {
+        let mut h = Heap::new(64, 4);
+        let before = h.free_pages();
+        let a = h.pop_free_page().unwrap();
+        let b = h.pop_free_page().unwrap();
+        assert_eq!(h.free_pages(), before - 2);
+        h.push_free_page(b);
+        h.push_free_page(a);
+        assert_eq!(h.free_pages(), before);
+        assert_eq!(h.pop_free_page(), Some(a), "LIFO restore");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub struct Lobj {
 /// The large-object table.
 #[derive(Debug, Default)]
 pub struct Lobjs {
-    table: Vec<Option<Lobj>>,
+    pub(crate) table: Vec<Option<Lobj>>,
     free_ids: Vec<u32>,
     bytes: usize,
 }
@@ -104,6 +104,15 @@ impl Lobjs {
         self.table[id as usize]
             .as_mut()
             .expect("dangling large-object id")
+    }
+
+    /// `true` if `id` refers to a live object. The sliced collector uses
+    /// this to drop queued ids whose object was freed by an `endregion`
+    /// between slices.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.table
+            .get(id as usize)
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Total payload bytes currently live (for memory accounting).

@@ -42,6 +42,9 @@ pub struct Rt {
     pub in_gc: bool,
     /// Region profiler (paper Fig. 5).
     pub profiler: Profiler,
+    /// State of an in-progress sliced (incremental) collection, if any
+    /// (see [`crate::gc_sliced`]).
+    pub(crate) sliced: Option<Box<crate::gc_sliced::SlicedGc>>,
     data_strings: Vec<String>,
     data_interned: HashMap<String, u32>,
     // Inline bump-allocation cache: the `(a, e)` cursor of the region the
@@ -69,6 +72,7 @@ impl Rt {
             gc_needed: false,
             in_gc: false,
             profiler: Profiler::new(config.profile),
+            sliced: None,
             data_strings: Vec::new(),
             data_interned: HashMap::new(),
             cache_region: u32::MAX,
@@ -122,6 +126,9 @@ impl Rt {
         }
         self.free_lobj_list(d.lobjs);
         self.stats.regions_popped += 1;
+        if let Some(sl) = self.sliced.as_mut() {
+            sl.on_region_pop(self.regions.len());
+        }
     }
 
     /// Pops regions until `depth` remain (used for scope exit and
@@ -517,6 +524,23 @@ mod tests {
 
     fn rt() -> Rt {
         Rt::new(RtConfig::rgt())
+    }
+
+    /// Send audit: the parallel collector ([`crate::gc_par`]) hands `&mut
+    /// Rt` to scoped worker threads through a raw-pointer wrapper whose
+    /// `unsafe impl Send` is only sound if every piece of runtime state
+    /// is itself `Send` — no `Rc`, no thread-bound interior mutability.
+    /// This compiles (or doesn't); the assertions at runtime are free.
+    #[test]
+    fn runtime_state_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Rt>();
+        assert_send::<crate::heap::Heap>();
+        assert_send::<RegionDesc>();
+        assert_send::<crate::lobj::Lobjs>();
+        assert_send::<RtConfig>();
+        assert_send::<RtStats>();
+        assert_send::<crate::gc_sliced::SlicedGc>();
     }
 
     #[test]

@@ -14,8 +14,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
 
 echo "==> 4-way engine equivalence: fusion differential (release)"
 cargo test --release -p kit-bench --test fusion -q
@@ -23,8 +23,16 @@ cargo test --release -p kit-bench --test fusion -q
 echo "==> 4-way engine equivalence: randomized differential (release)"
 cargo test --release -p kit-bench --test randomized -q
 
-echo "==> soak: short config-fuzzing run (all modes, all engines)"
+echo "==> collector equivalence: parallel + sliced GC tests (release)"
+cargo test --release -p kit-runtime -q gc
+
+echo "==> soak: short config-fuzzing run (all modes, all engines;"
+echo "    gc_workers fuzzed over {1,2,4}, slice budget fuzzed on/off)"
 cargo run --release -p kit-bench --bin soak -- --cases 25 --seed 0x5EED0400
+
+echo "==> soak: parallel collector pinned (gc_workers=4)"
+cargo run --release -p kit-bench --bin soak -- \
+    --cases 15 --seed 0x5EED0600 --gc-workers 4
 
 echo "==> bench-summary smoke run (2 programs, all four engines)"
 cargo run --release -p kit-bench --bin bench-summary -- \
