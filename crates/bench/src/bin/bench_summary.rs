@@ -49,6 +49,14 @@
 //! by design, since the schedule is mode-dependent. Modes default to
 //! `rgt` (collector modes only matter when the collector runs).
 //!
+//! A note on the `peak_pages`/`peak_bytes` columns: since PR 6 the heap
+//! materializes pages lazily (DESIGN.md §6g/§6h), and these counters
+//! measure **materialized backing only** — virgin pages granted by the
+//! sizing policy but never touched are not counted. BENCH_PR4.json and
+//! earlier predate that change, so their peak columns read higher than
+//! later files on identical programs; the drift is the accounting
+//! definition, not a memory regression.
+//!
 //! `--profile-fusion` runs the suite in the VM's fusion counting mode
 //! instead (fusion off, match dispatch, so base opcodes are visible),
 //! aggregates dynamic pair/triple frequencies of fallthrough-adjacent

@@ -6,21 +6,32 @@
 //! `Register`, `RegisterFused`).
 //!
 //! Usage: `cargo run -p kit-bench --release --bin soak --
-//!         [--cases N] [--seed S] [--gc-workers N]`
+//!         [--cases N] [--seed S] [--gc-workers N] [--surface int|full]`
+//!
+//! `--surface` selects the generator grammar: `int` (the default) is the
+//! original int-expression generator, kept so historical seeds stay
+//! reproducible; `full` is the whole-language generator (datatypes,
+//! arrays past the large-object threshold, strings, reals, refs, nested
+//! handlers — DESIGN.md §6h) that actually reaches the collector's hard
+//! cases.
 //!
 //! Every case is one generated program run in all five execution modes
 //! under the default runtime configuration plus one fuzzed configuration
-//! per mode. The fuzzed configuration also draws `gc_workers` from
-//! `{1, 2, 4}` and the sliced-collection budget from
-//! `{off, 32, 256}` words (GC modes only); `--gc-workers N` pins the
-//! worker count instead, for bisecting a parallel-only divergence. Any
-//! divergence prints the offending engine, field, config, and full
-//! program source, and the process exits nonzero — so a CI hook
-//! (`scripts/verify.sh` wires in a short run) fails loudly.
+//! per mode. The fuzzed configuration draws the collector schedule by
+//! arm — serial, parallel (`gc_workers` ∈ {2, 4}), sliced ({32, 256}
+//! words), or deliberately both at once so the slice-over-workers
+//! precedence is exercised; `--gc-workers N` pins the worker count
+//! instead, for bisecting a parallel-only divergence. A full-surface
+//! program that fails to compile is also a failure — the generator is
+//! type-directed, so a compile error is a generator bug that would
+//! otherwise silently shrink the differential surface. Any divergence
+//! prints the offending engine, field, config, and full program source,
+//! and the process exits nonzero — so a CI hook (`scripts/verify.sh`
+//! wires in short runs of both surfaces) fails loudly.
 
-use kit::Mode;
+use kit::{Compiler, Mode};
 use kit_bench::programs::SplitMix64;
-use kit_bench::randgen;
+use kit_bench::randgen::{self, Surface};
 
 const FUEL: u64 = 10_000_000;
 
@@ -42,12 +53,22 @@ fn main() {
         })
         .unwrap_or(0x5EED_5041);
     let pin_workers = flag_val("--gc-workers").and_then(|s| s.parse::<usize>().ok());
+    let surface = flag_val("--surface")
+        .map(|s| Surface::parse(s).unwrap_or_else(|| panic!("bad --surface {s:?} (int|full)")))
+        .unwrap_or(Surface::Int);
 
     let mut rng = SplitMix64::new(seed);
     let mut failures = 0u64;
     let mut runs = 0u64;
     for case in 0..cases {
-        let src = randgen::program(&mut rng);
+        let src = randgen::program(&mut rng, surface);
+        // A generated program that does not compile never reaches the
+        // differential, so it must count as a failure in its own right.
+        if let Err(e) = Compiler::new(Mode::Rgt).compile_source(&src) {
+            failures += 1;
+            eprintln!("== GENERATOR BUG (case {case}, seed {seed:#x}): {e} ==\n{src}\n");
+            continue;
+        }
         for mode in Mode::ALL_WITH_BASELINE {
             // Default configuration, then one fuzzed configuration per
             // mode — tiny pages, aggressive shrink factors, parallel
@@ -73,8 +94,8 @@ fn main() {
         }
     }
     eprintln!(
-        "soak: {cases} cases x {} modes x 2 configs x {} engines = {runs} differentials, \
-         {failures} failures (seed {seed:#x})",
+        "soak: {cases} cases ({surface:?} surface) x {} modes x 2 configs x {} engines = \
+         {runs} differentials, {failures} failures (seed {seed:#x})",
         Mode::ALL_WITH_BASELINE.len(),
         randgen::DIFF_ENGINES.len(),
     );

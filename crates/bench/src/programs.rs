@@ -189,6 +189,24 @@ pub fn all() -> Vec<Benchmark> {
             400,
             20
         ),
+        // PR 8 mutation-heavy additions: both keep every ref reachable
+        // for the whole run, so region inference parks all allocation in
+        // one long-lived region and only the collector reclaims — the
+        // workloads where the paper's combination earns its keep.
+        bench!(
+            "interp",
+            "interp.sml",
+            "interpreter-in-interpreter with a mutable store",
+            6000,
+            60
+        ),
+        bench!(
+            "book",
+            "book.sml",
+            "order-book/state-machine churn over ref'd price levels",
+            12000,
+            120
+        ),
     ]
 }
 
@@ -202,8 +220,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seventeen_paper_programs_plus_three_additions() {
-        assert_eq!(all().len(), 20);
+    fn seventeen_paper_programs_plus_five_additions() {
+        assert_eq!(all().len(), 22);
     }
 
     #[test]

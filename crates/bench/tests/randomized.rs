@@ -5,60 +5,82 @@
 //! and `VmError` outcomes (which the benchmark corpus in `fusion.rs`
 //! barely exercises).
 //!
+//! Two generator surfaces run here: the original int-expression grammar
+//! and the full-MiniML grammar (datatypes, arrays past the large-object
+//! threshold, strings, reals, refs, nested handlers — DESIGN.md §6h).
 //! The generator and comparison live in [`kit_bench::randgen`]; the
 //! `soak` binary runs the same differential for arbitrarily many cases
-//! with full config fuzzing. This test is the short fixed-seed CI run.
+//! with full config fuzzing. These tests are the short fixed-seed CI run.
 
 use kit::Mode;
 use kit_bench::programs::SplitMix64;
-use kit_bench::randgen;
+use kit_bench::randgen::{self, Surface};
 use kit_runtime::RtConfig;
 
 const FUEL: u64 = 10_000_000;
+
+/// One case: the N-way engine differential under the default config, a
+/// heap-pressure config, the same pressure under the parallel and sliced
+/// collectors, and the cross-collector mutator-equivalence check.
+fn check_case(case: u64, src: &str, modes: &[Mode]) {
+    for &mode in modes {
+        randgen::differential(src, mode, None, FUEL).unwrap_or_else(|e| panic!("case {case}: {e}"));
+    }
+    // Heap pressure: tiny pages force collections mid-expression, so
+    // GC scheduling differences between engines would surface here.
+    let cfg = RtConfig {
+        initial_pages: 4,
+        page_words_log2: 6,
+        ..RtConfig::rgt()
+    };
+    randgen::differential(src, Mode::Rgt, Some(&cfg), FUEL)
+        .unwrap_or_else(|e| panic!("case {case}: {e}"));
+    // Same pressure under the parallel and sliced collectors: both
+    // must stay engine-invariant too (the parallel flip is
+    // deterministic round-based, the sliced schedule is driven by the
+    // same safe points in every engine).
+    let par = RtConfig {
+        gc_workers: 4,
+        ..cfg.clone()
+    };
+    randgen::differential(src, Mode::Rgt, Some(&par), FUEL)
+        .unwrap_or_else(|e| panic!("case {case} [workers=4]: {e}"));
+    let sliced = RtConfig {
+        gc_slice_budget_words: Some(48),
+        ..cfg.clone()
+    };
+    randgen::differential(src, Mode::Rgt, Some(&sliced), FUEL)
+        .unwrap_or_else(|e| panic!("case {case} [sliced]: {e}"));
+    // And across collectors the mutator-visible outcome must agree:
+    // serial, parallel, and sliced collections reclaim on different
+    // schedules but may never change what the program computes.
+    randgen::mutator_equivalence(
+        src,
+        Mode::Rgt,
+        &[("serial", &cfg), ("workers=4", &par), ("sliced", &sliced)],
+        FUEL,
+    )
+    .unwrap_or_else(|e| panic!("case {case}: {e}"));
+}
 
 #[test]
 fn random_programs_agree_across_engines() {
     let mut rng = SplitMix64::new(0x5EED_0300);
     for case in 0..48 {
-        let src = randgen::program(&mut rng);
-        for mode in Mode::ALL {
-            randgen::differential(&src, mode, None, FUEL)
-                .unwrap_or_else(|e| panic!("case {case}: {e}"));
-        }
-        // Heap pressure: tiny pages force collections mid-expression, so
-        // GC scheduling differences between engines would surface here.
-        let cfg = RtConfig {
-            initial_pages: 4,
-            page_words_log2: 6,
-            ..RtConfig::rgt()
-        };
-        randgen::differential(&src, Mode::Rgt, Some(&cfg), FUEL)
-            .unwrap_or_else(|e| panic!("case {case}: {e}"));
-        // Same pressure under the parallel and sliced collectors: both
-        // must stay engine-invariant too (the parallel flip is
-        // deterministic round-based, the sliced schedule is driven by the
-        // same safe points in every engine).
-        let par = RtConfig {
-            gc_workers: 4,
-            ..cfg.clone()
-        };
-        randgen::differential(&src, Mode::Rgt, Some(&par), FUEL)
-            .unwrap_or_else(|e| panic!("case {case} [workers=4]: {e}"));
-        let sliced = RtConfig {
-            gc_slice_budget_words: Some(48),
-            ..cfg.clone()
-        };
-        randgen::differential(&src, Mode::Rgt, Some(&sliced), FUEL)
-            .unwrap_or_else(|e| panic!("case {case} [sliced]: {e}"));
-        // And across collectors the mutator-visible outcome must agree:
-        // serial, parallel, and sliced collections reclaim on different
-        // schedules but may never change what the program computes.
-        randgen::mutator_equivalence(
-            &src,
-            Mode::Rgt,
-            &[("serial", &cfg), ("workers=4", &par), ("sliced", &sliced)],
-            FUEL,
-        )
-        .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let src = randgen::program(&mut rng, Surface::Int);
+        check_case(case, &src, &Mode::ALL);
+    }
+}
+
+#[test]
+fn random_full_surface_programs_agree_across_engines() {
+    let mut rng = SplitMix64::new(0x5EED_0800);
+    for case in 0..20 {
+        let src = randgen::program(&mut rng, Surface::Full);
+        // Full-surface programs are much bigger than int-expression
+        // ones; run the mode sweep on the GC-relevant pair plus the
+        // untagged reference so the test stays inside the CI budget
+        // (soak covers all five modes).
+        check_case(case, &src, &[Mode::R, Mode::Gt, Mode::Rgt]);
     }
 }

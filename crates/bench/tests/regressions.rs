@@ -1,0 +1,75 @@
+//! Minimized reproducers for bugs found by the randomized differential.
+//!
+//! PR 3's int-expression fuzzer caught the dangling dead-slot root bug
+//! (fixed in `kit-kam`, covered by `clear_dead_slot` handling there);
+//! this file holds the bugs the PR 8 full-surface generator and the
+//! widened configuration fuzzing surfaced. Each test is the smallest
+//! program + config pair that reproduced the failure, named after the
+//! defect, so a regression bisects in one `cargo test` run.
+
+use kit::{Compiler, Mode};
+use kit_runtime::RtConfig;
+
+/// `finish_collection` applied the parallel collector's heap headroom
+/// factor (`PAR_HEADROOM`) whenever `gc_workers > 1` — but a slice
+/// budget routes collection to the *serial* sliced collector regardless
+/// of the worker count (the documented precedence in config.rs). The
+/// result: the same program under `workers=4 + slice` grew the heap 3×
+/// wider than under `workers=1 + slice` and collected 2 times instead
+/// of 6, so `gc_count`, `gc_slices`, `gc_copied_words` and `peak_bytes`
+/// all depended on a worker pool that never ran. Found by the
+/// slice-over-workers precedence test this PR added (the engine
+/// differential could not see it: every engine shares the config, so
+/// they diverged together). Fixed by mirroring the collector dispatch
+/// condition in the headroom policy.
+#[test]
+fn par_headroom_must_not_apply_when_slice_budget_routes_serial() {
+    let src = "fun build 0 = nil | build n = (n, n * 7) :: build (n - 1)\n\
+               fun sum ([], a) = a | sum ((x, y) :: t, a) = sum (t, a + x + y)\n\
+               fun go (0, a) = a | go (k, a) = go (k - 1, (a + sum (build 120, 0)) mod 65521)\n\
+               val it = go (40, 0)";
+    let base = RtConfig {
+        initial_pages: 4,
+        page_words_log2: 6,
+        gc_slice_budget_words: Some(64),
+        ..RtConfig::rgt()
+    };
+    let run = |workers: usize| {
+        Compiler::new(Mode::Rgt)
+            .with_config(RtConfig {
+                gc_workers: workers,
+                ..base.clone()
+            })
+            .run_source(src)
+            .unwrap()
+    };
+    let one = run(1);
+    assert!(
+        one.stats.gc_slices > 0,
+        "reproducer must take the sliced path"
+    );
+    for workers in [2usize, 4] {
+        let w = run(workers);
+        assert_eq!(
+            (
+                &w.result,
+                w.instructions,
+                w.stats.gc_count,
+                w.stats.gc_slices,
+                w.stats.gc_copied_words,
+                w.stats.heap_grows,
+                w.stats.peak_bytes,
+            ),
+            (
+                &one.result,
+                one.instructions,
+                one.stats.gc_count,
+                one.stats.gc_slices,
+                one.stats.gc_copied_words,
+                one.stats.heap_grows,
+                one.stats.peak_bytes,
+            ),
+            "sliced run must be bit-identical at {workers} workers (precedence: slice wins)"
+        );
+    }
+}

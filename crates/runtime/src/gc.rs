@@ -226,8 +226,13 @@ pub(crate) fn finish_collection(
     // (collector work per allocated byte falls as `live / (heap − live)`
     // does), so the farmed-out collections are fewer and each one finds
     // more of the short-lived garbage already dead. `gc_workers == 1`
-    // keeps the serial policy bit-for-bit.
-    let headroom = if rt.config.gc_workers > 1 {
+    // keeps the serial policy bit-for-bit. The condition must mirror the
+    // collector dispatch exactly: a slice budget routes collection to the
+    // serial sliced collector even when `gc_workers > 1` (documented
+    // precedence, config.rs), and that run must be bit-identical to the
+    // same config with one worker — so the parallel headroom may not
+    // apply when the parallel collector never runs.
+    let headroom = if rt.config.gc_workers > 1 && rt.config.gc_slice_budget_words.is_none() {
         PAR_HEADROOM
     } else {
         1.0

@@ -719,4 +719,88 @@ mod tests {
         let sliced = run(Some(48));
         assert_eq!(stw, sliced, "(sum, surviving words) must agree");
     }
+
+    #[test]
+    fn finite_region_constant_marks_span_slices_and_unmark() {
+        // A finite-region (stack) box is marked constant (§2.5) when the
+        // collector first reaches it. Under the sliced collector that
+        // mark must persist *between* slices — roots are re-evacuated at
+        // every slice start, and without the mark the slot would be
+        // re-queued on the scan buffer each time — and must still come
+        // off in the final unmarking pass.
+        let mut rt = rt(1);
+        let r = rt.letregion(0);
+        let filler = build_list(&mut rt, r, 200);
+        rt.stack.push(filler);
+        let inner = rt.alloc_record(r, &[rt.tag_int(7)]);
+        let base = rt.stack.len();
+        rt.stack.push(Tag::record(1).encode());
+        rt.stack.push(inner);
+        let box_ptr = ptr(STACK_BASE + base as u64);
+        rt.stack.push(box_ptr);
+        let roots = [0, base + 2];
+        let mut done = collect_sliced(&mut rt, &roots, &mut []);
+        assert!(!done, "budget 1 must not finish in one slice");
+        let mut marked_slices = 0;
+        while !done {
+            if Tag::decode(rt.stack[base]).mark {
+                marked_slices += 1;
+            }
+            done = collect_sliced(&mut rt, &roots, &mut []);
+        }
+        assert!(
+            marked_slices >= 2,
+            "finite box must stay constant-marked across slices"
+        );
+        assert!(
+            !Tag::decode(rt.stack[base]).mark,
+            "constant mark must come off in the final unmarking pass"
+        );
+        assert_eq!(rt.stack[base + 2], box_ptr, "finite boxes never move");
+        let inner2 = rt.stack[base + 1];
+        assert_ne!(inner2, inner, "box field must have been evacuated");
+        assert_eq!(rt.untag_int(rt.field(inner2, 0)), 7);
+        assert_eq!(list_sum(&rt, rt.stack[0]), 200 * 201 / 2);
+        rt.check_page_conservation().unwrap();
+    }
+
+    #[test]
+    fn large_objects_traversed_not_copied_and_swept_sliced() {
+        // Mirror of gc.rs `large_objects_traversed_not_copied_and_swept`
+        // under the bounded-pause collector: the live array keeps its
+        // address across every slice (the mutator may index it between
+        // slices), its elements are still traversed, the unreachable
+        // array is swept at the end, and the survivor's mark is cleared.
+        use crate::lobj::Lobjs;
+        use crate::value::ptr_addr;
+        let mut rt = rt(8);
+        let r = rt.letregion(0);
+        let elem = rt.alloc_record(r, &[rt.tag_int(5)]);
+        let arr = rt.alloc_array(r, 3, rt.tag_int(0));
+        rt.write_addr(rt.arr_elem_addr(arr, 0), elem);
+        let _dead = rt.alloc_array(r, 100, rt.tag_int(0));
+        let filler = build_list(&mut rt, r, 300);
+        rt.stack.push(arr);
+        rt.stack.push(filler);
+        assert_eq!(rt.lobjs.live_count(), 2);
+        let mut slices = 1u64;
+        let mut done = collect_sliced(&mut rt, &[0, 1], &mut []);
+        while !done {
+            assert_eq!(rt.stack[0], arr, "large object moved mid-collection");
+            slices += 1;
+            done = collect_sliced(&mut rt, &[0, 1], &mut []);
+        }
+        assert!(slices >= 2, "collection must actually have been sliced");
+        assert_eq!(rt.stack[0], arr, "large object must not move");
+        assert_eq!(rt.lobjs.live_count(), 1, "dead array not swept");
+        let elem2 = rt.read_addr(rt.arr_elem_addr(arr, 0));
+        assert_ne!(elem2, elem, "array element must have been evacuated");
+        assert_eq!(rt.untag_int(rt.field(elem2, 0)), 5);
+        assert!(
+            !rt.lobjs.get(Lobjs::id_of(ptr_addr(arr))).marked,
+            "surviving large object must be unmarked for the next cycle"
+        );
+        assert_eq!(list_sum(&rt, rt.stack[1]), 300 * 301 / 2);
+        rt.check_page_conservation().unwrap();
+    }
 }

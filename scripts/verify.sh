@@ -34,6 +34,12 @@ echo "==> soak: parallel collector pinned (gc_workers=4)"
 cargo run --release -p kit-bench --bin soak -- \
     --cases 15 --seed 0x5EED0600 --gc-workers 4
 
+echo "==> soak: full-surface generator (datatypes, arrays past the"
+echo "    large-object threshold, strings, reals, refs, nested handlers;"
+echo "    all modes, all engines, fuzzed workers/slice incl. combined)"
+cargo run --release -p kit-bench --bin soak -- \
+    --cases 25 --seed 0x5EED0800 --surface full
+
 echo "==> bench-summary smoke run (2 programs, all four engines)"
 cargo run --release -p kit-bench --bin bench-summary -- \
     --only fib,tak --modes r --samples 1 --out /tmp/bench_smoke.json
