@@ -62,6 +62,18 @@
 //! aggregates dynamic pair/triple frequencies of fallthrough-adjacent
 //! instructions, and prints the hot sequences plus a regenerated
 //! `FUSION_CANDIDATES` table for `crates/kam/src/fusion_table.rs`.
+//!
+//! `--serve` switches to the multi-tenant server benchmark (DESIGN.md
+//! §6i): an in-process `kit-serve` pool is driven at increasing
+//! concurrency levels over the serve mix (`--mix`, default
+//! [`kit_bench::serve_bench::DEFAULT_MIX`]) and the JSON (default
+//! `BENCH_PR9.json`) gets a `"serve"` array with requests/sec, p50/p99
+//! latency, per-program counters and per-worker collector time. Each
+//! point's per-program counters are asserted uniform across all
+//! responses, and a final standalone check demands bit-identical
+//! instruction totals and GC counters against single-threaded runs.
+//! `--sessions N` pins a single concurrency level; `--workers N` sizes
+//! the pool.
 
 use kit::{Compiler, DispatchMode, Fusion, FusionProfile, KamOp as Op, Mode};
 use kit_bench::programs::{all, Benchmark};
@@ -164,6 +176,10 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
+    if args.iter().any(|a| a == "--serve") {
+        serve_summary(&args);
+        return;
+    }
     let samples = flag_val("--samples")
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(3)
@@ -443,6 +459,86 @@ fn run_cell(cell: &Cell, configs: &[Config], samples: usize, gc_compare: bool) -
             }
         })
         .collect()
+}
+
+/// The `--serve` mode: drives an in-process `kit-serve` pool at
+/// increasing concurrency over the serve mix and writes the `"serve"`
+/// rows (default `BENCH_PR9.json`).
+fn serve_summary(args: &[String]) {
+    use kit_bench::serve_bench::{
+        json_document, json_row, parse_mix, print_report, run_point, ServePoint, DEFAULT_MIX,
+    };
+    use kit_serve::server::{Server, ServerConfig};
+
+    let flag_val = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let out_path = flag_val("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let workers = flag_val("--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from))
+        .max(1);
+    let dispatch = flag_val("--dispatch").map_or(DispatchMode::default(), |s| match s.as_str() {
+        "match" => DispatchMode::Match,
+        "threaded" => DispatchMode::Threaded,
+        "register" => DispatchMode::Register,
+        "register_fused" => DispatchMode::RegisterFused,
+        other => panic!("--dispatch {other}: expected match|threaded|register|register_fused"),
+    });
+    let mix = parse_mix(
+        flag_val("--mix").map_or(DEFAULT_MIX, String::as_str),
+        Mode::Rgt,
+        dispatch,
+    )
+    .unwrap_or_else(|e| panic!("--mix: {e}"));
+
+    // Concurrency levels: the acceptance point (1k sessions) plus a 4k
+    // point showing queueing behavior, unless --sessions pins one level.
+    let points: Vec<ServePoint> = match flag_val("--sessions").and_then(|s| s.parse().ok()) {
+        Some(sessions) => vec![point(sessions)],
+        None => vec![point(1_000), point(4_000)],
+    };
+
+    let handle = Server::bind("127.0.0.1:0", ServerConfig { workers })
+        .expect("bind server")
+        .spawn();
+    let mut rows = Vec::with_capacity(points.len());
+    for p in &points {
+        let report = run_point(handle.addr(), p, &mix)
+            .unwrap_or_else(|e| panic!("serve point {}: {e}", p.label));
+        print_report(p, workers, &report);
+        rows.push(json_row(p, workers, &report));
+    }
+
+    // The acceptance criterion: in-server counters bit-identical to
+    // standalone single-threaded execution of the same programs.
+    let checked = kit_serve::check_against_standalone(handle.addr(), &mix)
+        .unwrap_or_else(|e| panic!("standalone check: {e}"));
+    eprintln!(
+        "standalone check: {} programs bit-identical to single-threaded runs",
+        checked.len()
+    );
+    handle.shutdown();
+
+    std::fs::write(&out_path, json_document(&rows))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {} serve rows to {out_path}", rows.len());
+}
+
+/// Standard shape of a serve load point: sessions spread over enough
+/// connections to keep per-connection pipelines shallow, with enough
+/// requests that the pool reaches steady state.
+fn point(sessions: usize) -> kit_bench::serve_bench::ServePoint {
+    kit_bench::serve_bench::ServePoint {
+        label: format!("serve_{sessions}"),
+        sessions,
+        conns: (sessions / 16).clamp(1, 128),
+        requests: (sessions * 3).max(6_000),
+    }
 }
 
 /// The source-instruction kind a base opcode fuses as, if any.

@@ -1,0 +1,169 @@
+//! Load generator for the `kit-serve` multi-tenant server.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT]        # target a running server…
+//!         [--workers N]             # …or spawn one in-process (default)
+//!         [--sessions N]            # concurrent in-flight requests (default 1000)
+//!         [--conns N]               # TCP connections (default 64)
+//!         [--requests N]            # total requests (default 8×sessions)
+//!         [--mix SPEC]              # name[:scale][:fuel=N][:pages=N],…
+//!         [--mode r|rt|gt|rgt|smlnj] [--dispatch match|threaded|register|register_fused]
+//!         [--check]                 # compare counters against standalone runs
+//!         [--out PATH]              # write a {"serve": [row]} JSON document
+//! ```
+//!
+//! Reports requests/sec, p50/p99 latency, per-program counter aggregates
+//! (uniformity across responses is enforced by the driver) and collector
+//! time per worker. `--check` additionally runs each mix program once on
+//! a standalone, identically configured `Compiler` and demands
+//! bit-identical instruction totals and GC counters.
+
+use kit::{DispatchMode, Mode};
+use kit_bench::serve_bench::{
+    json_document, json_row, parse_mix, print_report, run_point, ServePoint, DEFAULT_MIX,
+};
+use kit_serve::server::{Server, ServerConfig};
+use std::net::SocketAddr;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT | --workers N] [--sessions N] [--conns N] \
+         [--requests N] [--mix SPEC] [--mode M] [--dispatch D] [--check] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_val = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    for (i, a) in args.iter().enumerate() {
+        let known = [
+            "--addr",
+            "--workers",
+            "--sessions",
+            "--conns",
+            "--requests",
+            "--mix",
+            "--mode",
+            "--dispatch",
+            "--check",
+            "--out",
+        ];
+        let takes_value = |f: &str| f != "--check";
+        if known.contains(&a.as_str()) {
+            continue;
+        }
+        // Values of known value-taking flags are fine; anything else is a typo.
+        let is_value = i > 0 && known.contains(&args[i - 1].as_str()) && takes_value(&args[i - 1]);
+        if !is_value {
+            eprintln!("loadgen: unknown argument {a:?}");
+            usage();
+        }
+    }
+
+    let parse_num = |flag: &str, default: usize| -> usize {
+        flag_val(flag).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("loadgen: {flag} wants a number, got {s:?}");
+                usage()
+            })
+        })
+    };
+    let sessions = parse_num("--sessions", 1000).max(1);
+    let conns = parse_num("--conns", 64).max(1);
+    let requests = parse_num("--requests", sessions.saturating_mul(8)).max(1);
+    let mode = flag_val("--mode").map_or(Mode::Rgt, |s| {
+        Mode::ALL_WITH_BASELINE
+            .into_iter()
+            .find(|m| m.suffix() == s)
+            .unwrap_or_else(|| {
+                eprintln!("loadgen: unknown mode {s:?}");
+                usage()
+            })
+    });
+    let dispatch = flag_val("--dispatch").map_or(DispatchMode::default(), |s| match s.as_str() {
+        "match" => DispatchMode::Match,
+        "threaded" => DispatchMode::Threaded,
+        "register" => DispatchMode::Register,
+        "register_fused" => DispatchMode::RegisterFused,
+        other => {
+            eprintln!("loadgen: unknown dispatch {other:?}");
+            usage()
+        }
+    });
+    let mix_spec = flag_val("--mix").map_or(DEFAULT_MIX, String::as_str);
+    let mix = parse_mix(mix_spec, mode, dispatch).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        usage()
+    });
+
+    // Either target a running server or host one in this process.
+    let (addr, handle, workers): (SocketAddr, Option<kit_serve::ServerHandle>, usize) =
+        match flag_val("--addr") {
+            Some(a) => {
+                let addr = a.parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: bad --addr {a:?}");
+                    usage()
+                });
+                (addr, None, 0)
+            }
+            None => {
+                let workers = parse_num(
+                    "--workers",
+                    std::thread::available_parallelism().map_or(4, usize::from),
+                )
+                .max(1);
+                let handle = Server::bind("127.0.0.1:0", ServerConfig { workers })
+                    .unwrap_or_else(|e| {
+                        eprintln!("loadgen: bind: {e}");
+                        std::process::exit(1);
+                    })
+                    .spawn();
+                (handle.addr(), Some(handle), workers)
+            }
+        };
+
+    let point = ServePoint {
+        label: format!("loadgen_{sessions}"),
+        sessions,
+        conns,
+        requests,
+    };
+    let report = run_point(addr, &point, &mix).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    });
+    print_report(&point, workers, &report);
+
+    if has("--check") {
+        let rows = kit_serve::check_against_standalone(addr, &mix).unwrap_or_else(|e| {
+            eprintln!("loadgen: check failed: {e}");
+            std::process::exit(1);
+        });
+        for row in &rows {
+            eprintln!("check {:<22} {}", row.name, row.summary);
+        }
+        eprintln!(
+            "check: all {} programs bit-identical to standalone",
+            rows.len()
+        );
+    }
+
+    if let Some(out) = flag_val("--out") {
+        let doc = json_document(&[json_row(&point, workers, &report)]);
+        std::fs::write(out, doc).unwrap_or_else(|e| {
+            eprintln!("loadgen: write {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+}

@@ -20,6 +20,7 @@
 pub mod programs;
 pub mod randgen;
 pub mod runner;
+pub mod serve_bench;
 pub mod tables;
 
 pub use programs::{all, by_name, Benchmark};

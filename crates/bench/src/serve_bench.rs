@@ -1,0 +1,184 @@
+//! Shared harness for benchmarking the multi-tenant server (`kit-serve`):
+//! mix parsing, load points, and the JSON rows `bench-summary --serve`
+//! and the `loadgen` binary both emit (so BENCH_PR9.json and ad-hoc load
+//! runs report identical numbers).
+
+use crate::programs::by_name;
+use kit::{DispatchMode, Mode};
+use kit_serve::load::{LoadProgram, LoadReport, LoadSpec};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+
+/// The default serve mix: the paper benchmarks scaled so one request
+/// costs on the order of a millisecond — a multi-tenant service's
+/// request, not a batch job. `name:scale` entries as accepted by
+/// [`parse_mix`].
+pub const DEFAULT_MIX: &str = "fib:12,tak:4,churn:10,interp:30,book:60";
+
+/// One load point of the serve benchmark.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Row label in the JSON output.
+    pub label: String,
+    /// Concurrent in-flight sessions.
+    pub sessions: usize,
+    /// TCP connections carrying them.
+    pub conns: usize,
+    /// Total requests issued.
+    pub requests: usize,
+}
+
+/// Parses a mix spec: comma-separated `name[:scale][:fuel=N][:pages=N]`
+/// entries over the Fig. 3 benchmark set. A bare number annotation is
+/// the scale; `fuel=`/`pages=` set per-request quotas.
+///
+/// # Errors
+///
+/// Returns a message naming the offending entry.
+pub fn parse_mix(
+    spec: &str,
+    mode: Mode,
+    dispatch: DispatchMode,
+) -> Result<Vec<LoadProgram>, String> {
+    let mut mix = Vec::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let mut parts = entry.split(':');
+        let name = parts.next().expect("split yields at least one part");
+        let bench = by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+        let mut scale = bench.test_scale;
+        let mut fuel = None;
+        let mut pages = None;
+        for part in parts {
+            if let Some(v) = part.strip_prefix("fuel=") {
+                fuel = Some(v.parse().map_err(|_| format!("{entry}: bad fuel {v:?}"))?);
+            } else if let Some(v) = part.strip_prefix("pages=") {
+                pages = Some(v.parse().map_err(|_| format!("{entry}: bad pages {v:?}"))?);
+            } else {
+                scale = part
+                    .parse()
+                    .map_err(|_| format!("{entry}: bad scale {part:?}"))?;
+            }
+        }
+        mix.push(LoadProgram {
+            name: entry.to_string(),
+            mode,
+            dispatch,
+            fuel,
+            max_heap_pages: pages,
+            src: bench.source_scaled(scale),
+        });
+    }
+    if mix.is_empty() {
+        return Err("empty mix".to_string());
+    }
+    Ok(mix)
+}
+
+/// Runs one load point against a running server.
+///
+/// # Errors
+///
+/// Propagates the load driver's error (socket failure or a per-program
+/// counter mismatch).
+pub fn run_point(
+    addr: SocketAddr,
+    point: &ServePoint,
+    mix: &[LoadProgram],
+) -> Result<LoadReport, String> {
+    kit_serve::load::run_load(&LoadSpec {
+        addr,
+        requests: point.requests,
+        sessions: point.sessions,
+        conns: point.conns,
+        mix: mix.to_vec(),
+    })
+}
+
+/// Prints a human-readable report for one load point.
+pub fn print_report(point: &ServePoint, workers: usize, report: &LoadReport) {
+    eprintln!(
+        "{:<12} {:>6} sessions {:>4} conns {:>4} workers {:>7} reqs: \
+         {:>9.0} req/s  p50 {:>7.2}ms  p99 {:>7.2}ms",
+        point.label,
+        point.sessions,
+        point.conns,
+        workers,
+        report.requests,
+        report.rps,
+        report.p50_ms,
+        report.p99_ms,
+    );
+    for p in &report.per_program {
+        eprintln!(
+            "    {:<22} {:>6} reqs  {:?}  {:>10} instr  {:>3} gcs  gc {:>7.2}ms total",
+            p.name,
+            p.requests,
+            p.status,
+            p.instructions,
+            p.gc_count,
+            p.gc_time_ns as f64 / 1e6,
+        );
+    }
+    let gc: Vec<String> = report
+        .per_worker_gc_ns
+        .iter()
+        .map(|(w, ns)| format!("w{w}={:.2}ms", *ns as f64 / 1e6))
+        .collect();
+    eprintln!("    per-worker gc: {}", gc.join(" "));
+}
+
+/// Renders one JSON row of the `"serve"` array.
+pub fn json_row(point: &ServePoint, workers: usize, report: &LoadReport) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"label\": \"{}\", \"sessions\": {}, \"conns\": {}, \"workers\": {}, \
+         \"requests\": {}, \"wall_ms\": {:.1}, \"rps\": {:.0}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"programs\": [",
+        point.label,
+        point.sessions,
+        point.conns,
+        workers,
+        report.requests,
+        report.wall.as_secs_f64() * 1e3,
+        report.rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.mean_ms,
+    );
+    for (i, p) in report.per_program.iter().enumerate() {
+        let _ = write!(
+            row,
+            "{}{{\"name\": \"{}\", \"status\": \"{:?}\", \"requests\": {}, \
+             \"instructions\": {}, \"gc_count\": {}, \"gc_copied_words\": {}, \
+             \"gc_time_ns\": {}, \"peak_bytes\": {}}}",
+            if i > 0 { ", " } else { "" },
+            p.name,
+            p.status,
+            p.requests,
+            p.instructions,
+            p.gc_count,
+            p.gc_copied_words,
+            p.gc_time_ns,
+            p.peak_bytes,
+        );
+    }
+    row.push_str("], \"worker_gc_ns\": [");
+    for (i, (_, ns)) in report.per_worker_gc_ns.iter().enumerate() {
+        let _ = write!(row, "{}{}", if i > 0 { ", " } else { "" }, ns);
+    }
+    row.push_str("]}");
+    row
+}
+
+/// Wraps serve rows into the BENCH_PR9-style document.
+pub fn json_document(rows: &[String]) -> String {
+    let mut json = String::from("{\n  \"serve\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -73,3 +73,59 @@ fn par_headroom_must_not_apply_when_slice_budget_routes_serial() {
         );
     }
 }
+
+/// `letregion` placement collected a marker's bindable region variables
+/// (and the leftover global regions) by iterating a `HashMap`, so the
+/// order regions were pushed at runtime depended on the per-map hash
+/// seed — a fresh compile of the *same source* could produce a
+/// different region-stack layout. Every logical counter still agreed
+/// (the bindings are order-insensitive), but the parallel collector
+/// partitions regions into contiguous-id ranges: a hot region landing
+/// in a different range changes each worker's to-space need, hence the
+/// grant/starvation schedule, hence which arena pages get materialized
+/// — observed as `peak_bytes` wobbling across runs of `professor` at
+/// `gc_workers = 4`, in-process and across processes. Fixed by sorting
+/// both candidate lists; this pins the whole layout chain down.
+#[test]
+fn region_layout_and_par_gc_peak_are_stable_across_compiles() {
+    let bench = kit_bench::by_name("professor").expect("professor benchmark exists");
+    let src = bench.source_scaled(bench.test_scale);
+    let run = || {
+        Compiler::new(Mode::Rgt)
+            .with_config(RtConfig {
+                gc_workers: 4,
+                ..RtConfig::rgt()
+            })
+            .run_source(&src)
+            .unwrap()
+    };
+    let first = run();
+    assert!(
+        first.stats.gc_count >= 2,
+        "reproducer must actually collect"
+    );
+    for i in 1..3 {
+        let next = run();
+        assert_eq!(
+            (
+                &next.result,
+                next.instructions,
+                next.stats.gc_count,
+                next.stats.gc_copied_words,
+                next.stats.heap_grows,
+                next.stats.peak_bytes,
+                format!("{:?}", next.stats.gc_records),
+            ),
+            (
+                &first.result,
+                first.instructions,
+                first.stats.gc_count,
+                first.stats.gc_copied_words,
+                first.stats.heap_grows,
+                first.stats.peak_bytes,
+                format!("{:?}", first.stats.gc_records),
+            ),
+            "compile {i} must reproduce the layout of compile 0 exactly"
+        );
+    }
+}

@@ -61,6 +61,7 @@ pub enum FuseKind {
     SelectStoreLoad,
     GcCheckLoadSwitchCon,
     RegHandleRegHandleLoad,
+    RegHandleLoadLoad,
 }
 
 /// One fusion candidate: the instruction sequence `seq` collapses into
@@ -117,6 +118,12 @@ pub static FUSION_CANDIDATES: &[Pattern] = &[
         out: FuseKind::RegHandleRegHandleLoad,
         tier: 3,
         dyn_count: 5138412,
+    },
+    Pattern {
+        seq: &[Opk::RegHandle, Opk::Load, Opk::Load],
+        out: FuseKind::RegHandleLoadLoad,
+        tier: 3,
+        dyn_count: 4899492,
     },
     Pattern {
         seq: &[Opk::Load, Opk::Select, Opk::Store],

@@ -39,4 +39,4 @@ pub use instr::Program;
 pub use link::{link, Fusion, LInstr, LinkedProgram};
 pub use register::{RSrc, RegCode, RegInstr};
 pub use threaded::{FusionProfile, ThreadedCode};
-pub use vm::{DispatchMode, Vm, VmError, VmOutcome};
+pub use vm::{DispatchMode, Executable, Vm, VmError, VmOutcome};

@@ -298,6 +298,13 @@ pub enum LInstr {
         b: RegSlot,
         i: u32,
     },
+    /// `RegHandle r; Load i; Load j` (cost 3) — one region handle plus
+    /// the first two value arguments of a region-polymorphic call.
+    RegHandleLoadLoad {
+        r: RegSlot,
+        i: u32,
+        j: u32,
+    },
 }
 
 impl LInstr {
@@ -316,7 +323,8 @@ impl LInstr {
             | LInstr::SelectConstPrim { .. }
             | LInstr::SelectStoreLoad { .. }
             | LInstr::GcCheckLoadSwitchCon { .. }
-            | LInstr::RegHandleRegHandleLoad { .. } => 3,
+            | LInstr::RegHandleRegHandleLoad { .. }
+            | LInstr::RegHandleLoadLoad { .. } => 3,
             LInstr::PushConstPrim { .. }
             | LInstr::LoadSelect { .. }
             | LInstr::StorePop { .. }
@@ -581,6 +589,14 @@ pub(crate) fn build_fused(kind: FuseKind, w: &[Instr], resolve: &dyn Fn(Label) -
                     i: *i,
                 }
             }
+            _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
+        },
+        FuseKind::RegHandleLoadLoad => match (&w[0], &w[1], &w[2]) {
+            (Instr::RegHandle(r), Instr::Load(i), Instr::Load(j)) => LInstr::RegHandleLoadLoad {
+                r: *r,
+                i: *i,
+                j: *j,
+            },
             _ => unreachable!("pattern/constructor mismatch for {kind:?}"),
         },
         FuseKind::PrimJump => match (&w[0], &w[1]) {

@@ -44,6 +44,7 @@ use kit_lambda::exp::Prim;
 /// table. `code.ops`/`code.args` may contain the six register-only
 /// opcodes, which [`ThreadedCode::rebuild`] refuses — use
 /// [`RegCode::decode`] instead.
+#[derive(Debug)]
 pub struct RegCode {
     /// The instruction stream, in the threaded engine's layout (pcs are
     /// register-form coordinates; label tables already remapped).

@@ -85,6 +85,7 @@ pub enum Op {
     SelectStoreLoad,
     GcCheckLoadSwitchCon,
     RegHandleRegHandleLoad,
+    RegHandleLoadLoad,
     // ----------------------- register-form opcodes (no LInstr counterpart)
     //
     // Emitted only by the register translator in [`crate::regalloc`]; they
@@ -170,6 +171,7 @@ impl Op {
         Op::SelectStoreLoad,
         Op::GcCheckLoadSwitchCon,
         Op::RegHandleRegHandleLoad,
+        Op::RegHandleLoadLoad,
         Op::RPrim,
         Op::RPrimJump,
         Op::RJumpIfFalse,
@@ -237,6 +239,7 @@ impl Op {
             LInstr::SelectStoreLoad { .. } => Op::SelectStoreLoad,
             LInstr::GcCheckLoadSwitchCon { .. } => Op::GcCheckLoadSwitchCon,
             LInstr::RegHandleRegHandleLoad { .. } => Op::RegHandleRegHandleLoad,
+            LInstr::RegHandleLoadLoad { .. } => Op::RegHandleLoadLoad,
         }
     }
 
@@ -256,7 +259,8 @@ impl Op {
             | Op::SelectConstPrim
             | Op::SelectStoreLoad
             | Op::GcCheckLoadSwitchCon
-            | Op::RegHandleRegHandleLoad => 3,
+            | Op::RegHandleRegHandleLoad
+            | Op::RegHandleLoadLoad => 3,
             Op::PushConstPrim
             | Op::LoadSelect
             | Op::StorePop
@@ -332,6 +336,7 @@ impl Op {
             Op::SelectStoreLoad => "SelectStoreLoad",
             Op::GcCheckLoadSwitchCon => "GcCheckLoadSwitchCon",
             Op::RegHandleRegHandleLoad => "RegHandleRegHandleLoad",
+            Op::RegHandleLoadLoad => "RegHandleLoadLoad",
             Op::RPrim => "RPrim",
             Op::RPrimJump => "RPrimJump",
             Op::RJumpIfFalse => "RJumpIfFalse",
@@ -707,6 +712,11 @@ impl ThreadedCode {
                 x.at2 = Some(b);
                 x.a = i;
             }
+            LInstr::RegHandleLoadLoad { r, i, j } => {
+                x.at = Some(r);
+                x.a = i;
+                x.b = j;
+            }
         }
         t.ops.push(op);
         t.args.push(x);
@@ -899,6 +909,11 @@ impl ThreadedCode {
                 b: x.at2.unwrap(),
                 i: x.a,
             },
+            Op::RegHandleLoadLoad => LInstr::RegHandleLoadLoad {
+                r: x.at.unwrap(),
+                i: x.a,
+                j: x.b,
+            },
             op @ (Op::RPrim
             | Op::RPrimJump
             | Op::RJumpIfFalse
@@ -1032,7 +1047,7 @@ mod tests {
         // `Op` is `repr(u8)` with sequential discriminants; the handler
         // table is indexed by `op as usize`, so the last variant pins the
         // size.
-        assert_eq!(OP_COUNT, 62);
+        assert_eq!(OP_COUNT, 63);
         assert_eq!(Op::Halt as usize, 32);
         for (i, op) in Op::ALL.iter().enumerate() {
             assert_eq!(*op as usize, i, "ALL out of discriminant order");

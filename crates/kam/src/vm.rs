@@ -40,6 +40,14 @@ pub enum VmError {
     },
     /// The instruction budget was exhausted.
     OutOfFuel,
+    /// The memory quota (`RtConfig::max_heap_pages`) was still exceeded
+    /// after a forced collection at a `GcCheck` safe point.
+    QuotaExceeded {
+        /// Materialized footprint at the failing safe point, in pages.
+        pages: usize,
+        /// The configured page cap.
+        cap: usize,
+    },
 }
 
 // The backtrace is diagnostic only: two errors are the same error if the
@@ -52,6 +60,10 @@ impl PartialEq for VmError {
                 VmError::UncaughtException { name: b, .. },
             ) => a == b,
             (VmError::OutOfFuel, VmError::OutOfFuel) => true,
+            (
+                VmError::QuotaExceeded { pages: a, cap: b },
+                VmError::QuotaExceeded { pages: c, cap: d },
+            ) => a == c && b == d,
             _ => false,
         }
     }
@@ -68,6 +80,9 @@ impl fmt::Display for VmError {
                 Ok(())
             }
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::QuotaExceeded { pages, cap } => {
+                write!(f, "memory quota exceeded ({pages} pages > cap of {cap})")
+            }
         }
     }
 }
@@ -105,6 +120,46 @@ pub enum DispatchMode {
     /// merge additively, so all accounting invariants of `Register` hold
     /// unchanged.
     RegisterFused,
+}
+
+/// A program linked and translated for one dispatch configuration — the
+/// one-time half of [`Vm::run`], split out so a compiled program can be
+/// prepared once and executed many times (concurrently: the payload is
+/// plain immutable data, `Send + Sync`, and is shared across VM
+/// instances via `Arc` by the server).
+#[derive(Debug)]
+pub enum Executable {
+    /// The linked stream, dispatched by the match loop.
+    Match(LinkedProgram),
+    /// Struct-of-arrays threaded form.
+    Threaded(ThreadedCode),
+    /// Register form (covers both `Register` and `RegisterFused` —
+    /// re-fusion happens at preparation time).
+    Register(Box<crate::register::RegCode>),
+}
+
+impl Executable {
+    /// Links `prog` and translates it for `dispatch`. The fusion setting
+    /// is overridden to `Off` for the register engines — the register
+    /// translator consumes the unfused stream (it folds operand
+    /// producers into consumers itself, subsuming fusion).
+    pub fn prepare(prog: &Program, dispatch: DispatchMode, fusion: Fusion) -> Executable {
+        let fusion = match dispatch {
+            DispatchMode::Register | DispatchMode::RegisterFused => Fusion::Off,
+            _ => fusion,
+        };
+        let linked = link::link(prog, fusion);
+        match dispatch {
+            DispatchMode::Match => Executable::Match(linked),
+            DispatchMode::Threaded => Executable::Threaded(threaded::translate(linked)),
+            DispatchMode::Register => {
+                Executable::Register(Box::new(crate::register::translate(&linked)))
+            }
+            DispatchMode::RegisterFused => Executable::Register(Box::new(crate::register::fuse(
+                crate::register::translate(&linked),
+            ))),
+        }
+    }
 }
 
 /// Result of a successful run.
@@ -382,15 +437,26 @@ impl<'p> Vm<'p> {
     /// # Errors
     ///
     /// [`VmError::UncaughtException`] if an exception escapes;
-    /// [`VmError::OutOfFuel`] if the optional budget is exhausted.
-    pub fn run(mut self) -> Result<VmOutcome, VmError> {
-        // The register translator consumes the unfused stream (it folds
-        // operand producers into consumers itself, subsuming fusion).
-        let fusion = match self.dispatch {
-            DispatchMode::Register | DispatchMode::RegisterFused => Fusion::Off,
-            _ => self.fusion,
-        };
-        let linked = link::link(self.prog, fusion);
+    /// [`VmError::OutOfFuel`] if the optional budget is exhausted;
+    /// [`VmError::QuotaExceeded`] if the optional page cap is breached.
+    pub fn run(self) -> Result<VmOutcome, VmError> {
+        let exe = Executable::prepare(self.prog, self.dispatch, self.fusion);
+        self.run_prepared(&exe)
+    }
+
+    /// Runs a program prepared by [`Executable::prepare`] to completion.
+    ///
+    /// The executable decides the engine (it is already translated for
+    /// one); the VM's own `dispatch` setting is not consulted. Sharing
+    /// one `Executable` across many VMs — concurrently, via `Arc` — is
+    /// the compile-once/run-many entry point the server is built on, and
+    /// is observationally identical to [`Vm::run`] with the same
+    /// configuration (the dispatch-equivalence tests run through both).
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::run`].
+    pub fn run_prepared(mut self, exe: &Executable) -> Result<VmOutcome, VmError> {
         // Create the global regions (ids 0..n) and the main frame.
         for name in &self.prog.global_infinite {
             let _ = self.rt.letregion(*name);
@@ -406,30 +472,27 @@ impl<'p> Vm<'p> {
         let env0 = if self.rt.config.tagged { scalar(0) } else { 0 };
         self.push(env0);
         self.push_frame_from_stack(self.prog.main, 0, 0, usize::MAX);
-        let pc = linked.entry_pc[self.prog.main as usize] as usize;
-        match self.dispatch {
-            DispatchMode::Match => self.exec_match(linked, pc),
-            DispatchMode::Threaded => {
-                let tcode = threaded::translate(linked);
-                self.exec_threaded(&tcode, pc)
+        let main = self.prog.main as usize;
+        match exe {
+            Executable::Match(linked) => {
+                let pc = linked.entry_pc[main] as usize;
+                self.exec_match(linked, pc)
             }
-            DispatchMode::Register => {
-                let rcode = crate::register::translate(&linked);
-                // The translation renumbers pcs; entry points come from
-                // the remapped table.
-                let pc = rcode.code.entry_pc[self.prog.main as usize] as usize;
-                self.exec_register(&rcode, pc)
+            Executable::Threaded(tcode) => {
+                let pc = tcode.entry_pc[main] as usize;
+                self.exec_threaded(tcode, pc)
             }
-            DispatchMode::RegisterFused => {
-                let rcode = crate::register::fuse(crate::register::translate(&linked));
-                let pc = rcode.code.entry_pc[self.prog.main as usize] as usize;
-                self.exec_register(&rcode, pc)
+            Executable::Register(rcode) => {
+                // The register translation renumbers pcs; entry points
+                // come from the remapped table.
+                let pc = rcode.code.entry_pc[main] as usize;
+                self.exec_register(rcode, pc)
             }
         }
     }
 
     /// The classic loop: fetch, `match` on the [`LInstr`] variant.
-    fn exec_match(mut self, linked: LinkedProgram, mut pc: usize) -> Result<VmOutcome, VmError> {
+    fn exec_match(mut self, linked: &LinkedProgram, mut pc: usize) -> Result<VmOutcome, VmError> {
         let code: &[LInstr] = &linked.code;
         let fuel_limit = self.fuel.unwrap_or(u64::MAX);
         let mut icount: u64 = 0;
@@ -674,13 +737,8 @@ impl<'p> Vm<'p> {
                     pc = f.ret_pc;
                 }
                 LInstr::GcCheck => {
-                    if let Some(pol) = self.rt.config.generational {
-                        let nursery = &self.rt.regions[0];
-                        if nursery.pages >= pol.nursery_pages {
-                            self.collect_generational(pol);
-                        }
-                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
-                        self.collect();
+                    if let Some(e) = self.gc_safe_point() {
+                        return Err(e);
                     }
                 }
                 LInstr::LetRegion { names } => {
@@ -929,13 +987,8 @@ impl<'p> Vm<'p> {
                     pc = target as usize;
                 }
                 LInstr::GcCheckLoad { i } => {
-                    if let Some(pol) = self.rt.config.generational {
-                        let nursery = &self.rt.regions[0];
-                        if nursery.pages >= pol.nursery_pages {
-                            self.collect_generational(pol);
-                        }
-                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
-                        self.collect();
+                    if let Some(e) = self.gc_safe_point() {
+                        return Err(e);
                     }
                     let v = self.local(*i);
                     self.push(v);
@@ -961,13 +1014,8 @@ impl<'p> Vm<'p> {
                     arms,
                     default,
                 } => {
-                    if let Some(pol) = self.rt.config.generational {
-                        let nursery = &self.rt.regions[0];
-                        if nursery.pages >= pol.nursery_pages {
-                            self.collect_generational(pol);
-                        }
-                    } else if self.rt.gc_needed && self.rt.config.gc_enabled {
-                        self.collect();
+                    if let Some(e) = self.gc_safe_point() {
+                        return Err(e);
                     }
                     let v = self.local(*i);
                     let ctor: u32 = if !is_ptr(v) {
@@ -998,6 +1046,15 @@ impl<'p> Vm<'p> {
                     self.push(wb);
                     let v = self.local(*i);
                     self.push(v);
+                }
+                LInstr::RegHandleLoadLoad { r, i, j } => {
+                    let rr = self.region_of(*r);
+                    let wr = self.rt.tag_int(rr.0 as i64);
+                    self.push(wr);
+                    let v = self.local(*i);
+                    self.push(v);
+                    let w = self.local(*j);
+                    self.push(w);
                 }
             }
         }
@@ -1068,6 +1125,7 @@ impl<'p> Vm<'p> {
                 Op::SelectStoreLoad => h_select_store_load(&mut self, t, pc as u32),
                 Op::GcCheckLoadSwitchCon => h_gc_check_load_switch_con(&mut self, t, pc as u32),
                 Op::RegHandleRegHandleLoad => h_reg_handle_reg_handle_load(&mut self, t, pc as u32),
+                Op::RegHandleLoadLoad => h_reg_handle_load_load(&mut self, t, pc as u32),
                 _ => HANDLERS[op as usize](&mut self, t, pc as u32),
             };
             match ctl {
@@ -1165,6 +1223,7 @@ impl<'p> Vm<'p> {
                 Op::LoadConstPrimJump => h_load_const_prim_jump(&mut self, t, pc as u32),
                 Op::LoadPrimJump => h_load_prim_jump(&mut self, t, pc as u32),
                 Op::RegHandleRegHandleLoad => h_reg_handle_reg_handle_load(&mut self, t, pc as u32),
+                Op::RegHandleLoadLoad => h_reg_handle_load_load(&mut self, t, pc as u32),
                 _ => HANDLERS[op as usize](&mut self, t, pc as u32),
             };
             match ctl {
@@ -1299,6 +1358,61 @@ impl<'p> Vm<'p> {
             return;
         }
         gc::collect(&mut self.rt, &roots, &mut []);
+    }
+
+    /// Collection policy at a `GcCheck` safe point, shared by all
+    /// engines: run the configured collector if it is due, then enforce
+    /// the optional page-cap quota. Returns the quota error if the cap is
+    /// breached even after a forced collection. With no cap configured
+    /// the extra check is a single `is_some` test, so instruction totals
+    /// and the GC schedule of uncapped runs are untouched.
+    #[inline(always)]
+    fn gc_safe_point(&mut self) -> Option<VmError> {
+        if let Some(pol) = self.rt.config.generational {
+            let nursery = &self.rt.regions[0];
+            if nursery.pages >= pol.nursery_pages {
+                self.collect_generational(pol);
+            }
+        } else if self.rt.gc_needed && self.rt.config.gc_enabled {
+            self.collect();
+        }
+        if self.rt.config.max_heap_pages.is_some() {
+            self.quota_check()
+        } else {
+            None
+        }
+    }
+
+    /// The quota slow path: if the materialized footprint exceeds the
+    /// cap, force one full collection (finishing any in-flight slice),
+    /// release the free arena tail, and re-measure. A request that stays
+    /// over the cap after all that is genuinely holding too much live
+    /// data and fails with a typed error.
+    #[cold]
+    fn quota_check(&mut self) -> Option<VmError> {
+        if !self.rt.over_quota() {
+            return None;
+        }
+        if self.rt.config.gc_enabled {
+            if let Some(pol) = self.rt.config.generational {
+                self.collect_generational(pol);
+            } else {
+                self.collect();
+                if self.rt.sliced_active() {
+                    let roots = self.roots();
+                    kit_runtime::gc_sliced::finish_sliced(&mut self.rt, &roots, &mut []);
+                }
+            }
+        }
+        self.rt.quota_reclaim();
+        if self.rt.over_quota() {
+            Some(VmError::QuotaExceeded {
+                pages: self.rt.quota_pages(),
+                cap: self.rt.config.max_heap_pages.expect("cap checked above"),
+            })
+        } else {
+            None
+        }
     }
 
     /// Forcibly completes a sliced collection still in flight at program
@@ -1678,6 +1792,7 @@ const HANDLERS: [OpHandler; OP_COUNT] = [
     h_select_store_load,
     h_gc_check_load_switch_con,
     h_reg_handle_reg_handle_load,
+    h_reg_handle_load_load,
     h_rprim,
     h_rprim_jump,
     h_rjump_if_false,
@@ -1975,13 +2090,9 @@ fn h_ret(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
 
 #[inline(always)]
 fn h_gc_check(vm: &mut Vm<'_>, _t: &ThreadedCode, _pc: u32) -> Control {
-    if let Some(pol) = vm.rt.config.generational {
-        let nursery = &vm.rt.regions[0];
-        if nursery.pages >= pol.nursery_pages {
-            vm.collect_generational(pol);
-        }
-    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
-        vm.collect();
+    if let Some(e) = vm.gc_safe_point() {
+        vm.pending = Some(e);
+        return Control::Fail;
     }
     Control::Next
 }
@@ -2403,13 +2514,9 @@ fn h_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
 
 #[inline(always)]
 fn h_gc_check_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
-    if let Some(pol) = vm.rt.config.generational {
-        let nursery = &vm.rt.regions[0];
-        if nursery.pages >= pol.nursery_pages {
-            vm.collect_generational(pol);
-        }
-    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
-        vm.collect();
+    if let Some(e) = vm.gc_safe_point() {
+        vm.pending = Some(e);
+        return Control::Fail;
     }
     let v = vm.local(args(t, pc).a);
     vm.push(v);
@@ -2441,13 +2548,9 @@ fn h_select_store_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
 
 #[inline(always)]
 fn h_gc_check_load_switch_con(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
-    if let Some(pol) = vm.rt.config.generational {
-        let nursery = &vm.rt.regions[0];
-        if nursery.pages >= pol.nursery_pages {
-            vm.collect_generational(pol);
-        }
-    } else if vm.rt.gc_needed && vm.rt.config.gc_enabled {
-        vm.collect();
+    if let Some(e) = vm.gc_safe_point() {
+        vm.pending = Some(e);
+        return Control::Fail;
     }
     let x = args(t, pc);
     let v = vm.local(x.b);
@@ -2481,6 +2584,19 @@ fn h_reg_handle_reg_handle_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> C
     vm.push(wb);
     let v = vm.local(x.a);
     vm.push(v);
+    Control::Next
+}
+
+#[inline(always)]
+fn h_reg_handle_load_load(vm: &mut Vm<'_>, t: &ThreadedCode, pc: u32) -> Control {
+    let x = args(t, pc);
+    let rr = vm.region_of(x.at.expect("region handle needs a slot"));
+    let wr = vm.rt.tag_int(rr.0 as i64);
+    vm.push(wr);
+    let v = vm.local(x.a);
+    vm.push(v);
+    let w = vm.local(x.b);
+    vm.push(w);
     Control::Next
 }
 

@@ -21,7 +21,7 @@
 pub mod oracle;
 
 use kit_kam::render::render_value;
-use kit_kam::{Vm, VmError};
+use kit_kam::{Executable, Vm};
 use kit_lambda::opt::OptOptions;
 use kit_lambda::LProgram;
 use kit_region::RegionOptions;
@@ -31,7 +31,7 @@ use std::fmt;
 
 pub use kit_kam::threaded::Op as KamOp;
 pub use kit_kam::Program;
-pub use kit_kam::{DispatchMode, Fusion, FusionProfile};
+pub use kit_kam::{DispatchMode, Fusion, FusionProfile, VmError};
 pub use kit_lambda::ty::LTy;
 pub use kit_runtime::stats::GcRecord;
 pub use kit_runtime::{RtConfig, RtStats};
@@ -161,6 +161,20 @@ impl Outcome {
     }
 }
 
+/// A program compiled *and* linked/translated for one dispatch engine:
+/// the expensive, shareable half of execution. Prepare once with
+/// [`Compiler::prepare_source`], then run any number of times with
+/// [`Compiler::run_prepared`] — concurrently if desired, since the
+/// payload is plain immutable data (`Send + Sync`; share via `Arc`) and
+/// every run gets its own `Vm`/`Rt`.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    /// The compiled bytecode (entry points, render tables).
+    pub program: Program,
+    /// The linked stream, translated for the compiler's dispatch engine.
+    pub executable: Executable,
+}
+
 /// A configured compiler.
 #[derive(Debug, Clone)]
 pub struct Compiler {
@@ -215,6 +229,16 @@ impl Compiler {
     /// Sets an instruction budget (for tests and property checks).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps each run's materialized region-heap footprint (the
+    /// per-request memory quota of the server). A run that stays over
+    /// the cap after a forced collection at a `GcCheck` safe point fails
+    /// with [`VmError::QuotaExceeded`]. Unlike [`Compiler::with_config`]
+    /// this leaves the mode's other runtime defaults untouched.
+    pub fn with_max_heap_pages(mut self, pages: usize) -> Self {
+        self.config.max_heap_pages = Some(pages);
         self
     }
 
@@ -304,11 +328,14 @@ impl Compiler {
         Ok(prog)
     }
 
-    /// Runs compiled bytecode.
+    /// Runs compiled bytecode. Links and translates on every call; for
+    /// repeated runs of the same program, [`Compiler::prepare_source`] +
+    /// [`Compiler::run_prepared`] pay that cost once.
     ///
     /// # Errors
     ///
-    /// Returns a runtime error on uncaught exceptions or fuel exhaustion.
+    /// Returns a runtime error on uncaught exceptions, fuel exhaustion
+    /// or a breached memory quota.
     pub fn run_program(&self, prog: &kit_kam::Program) -> Result<Outcome, Error> {
         let rt = Rt::new(self.config.clone());
         let mut vm = Vm::new(prog, rt)
@@ -324,6 +351,75 @@ impl Compiler {
         let out = vm.run()?;
         let wall = t0.elapsed();
         let result = render_value(&out.rt, out.result, &prog.result_ty, &prog.data);
+        Ok(Outcome {
+            result,
+            output: out.output,
+            instructions: out.instructions,
+            stats: out.stats,
+            profile: out.rt.profiler.samples().to_vec(),
+            fusion_profile: out.fusion_profile,
+            wall,
+        })
+    }
+
+    /// Links and translates compiled bytecode for this compiler's
+    /// dispatch engine, producing a [`PreparedProgram`] for repeated
+    /// (and concurrent) execution.
+    pub fn prepare_program(&self, prog: Program) -> PreparedProgram {
+        // The fusion counting mode forces match dispatch with fusion off
+        // (base opcodes must stay visible), mirroring
+        // `Vm::with_fusion_profile`.
+        let (dispatch, fusion) = if self.fusion_profile {
+            (DispatchMode::Match, Fusion::Off)
+        } else {
+            (self.dispatch, self.fusion)
+        };
+        let executable = Executable::prepare(&prog, dispatch, fusion);
+        PreparedProgram {
+            program: prog,
+            executable,
+        }
+    }
+
+    /// Compiles and prepares `src` in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error on invalid programs.
+    pub fn prepare_source(&self, src: &str) -> Result<PreparedProgram, Error> {
+        Ok(self.prepare_program(self.compile_source(src)?))
+    }
+
+    /// Runs a prepared program on a fresh `Vm`/`Rt`. Observationally
+    /// identical to [`Compiler::run_program`] on the same bytecode with
+    /// the same configuration — results, output, instruction totals and
+    /// GC counters are bit-identical — but skips the per-run link and
+    /// translation work.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error on uncaught exceptions, fuel exhaustion
+    /// or a breached memory quota.
+    pub fn run_prepared(&self, prep: &PreparedProgram) -> Result<Outcome, Error> {
+        let rt = Rt::new(self.config.clone());
+        let mut vm = Vm::new(&prep.program, rt)
+            .with_fusion(self.fusion)
+            .with_dispatch(self.dispatch);
+        if let Some(f) = self.fuel {
+            vm = vm.with_fuel(f);
+        }
+        if self.fusion_profile {
+            vm = vm.with_fusion_profile();
+        }
+        let t0 = std::time::Instant::now();
+        let out = vm.run_prepared(&prep.executable)?;
+        let wall = t0.elapsed();
+        let result = render_value(
+            &out.rt,
+            out.result,
+            &prep.program.result_ty,
+            &prep.program.data,
+        );
         Ok(Outcome {
             result,
             output: out.output,
@@ -357,6 +453,34 @@ mod tests {
                 .run_source("val it = 20 + 22")
                 .unwrap_or_else(|e| panic!("{mode}: {e}"));
             assert_eq!(out.result_int(), Some(42), "{mode}");
+        }
+    }
+
+    #[test]
+    fn prepared_program_is_send_sync_and_matches_per_run_linking() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedProgram>();
+        assert_send_sync::<RtConfig>();
+
+        let src = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n\
+                   val it = fib 15";
+        for dispatch in [
+            DispatchMode::Match,
+            DispatchMode::Threaded,
+            DispatchMode::Register,
+            DispatchMode::RegisterFused,
+        ] {
+            let c = Compiler::new(Mode::Rgt).with_dispatch(dispatch);
+            let prep = c.prepare_source(src).unwrap();
+            let a = c.run_prepared(&prep).unwrap();
+            let b = c.run_source(src).unwrap();
+            assert_eq!(a.result, b.result, "{dispatch:?}");
+            assert_eq!(a.instructions, b.instructions, "{dispatch:?}");
+            assert_eq!(a.stats.gc_count, b.stats.gc_count, "{dispatch:?}");
+            // Repeated runs over one prepared program are identical too.
+            let a2 = c.run_prepared(&prep).unwrap();
+            assert_eq!(a.result, a2.result, "{dispatch:?}");
+            assert_eq!(a.instructions, a2.instructions, "{dispatch:?}");
         }
     }
 

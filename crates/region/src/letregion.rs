@@ -33,12 +33,16 @@ pub fn place(ann: &mut Annotated) {
     );
     // Everything not bound anywhere becomes a global region. Regions that
     // never occur syntactically (e.g. the regions of string constants) are
-    // dropped entirely; the remaining set keeps a stable order.
-    let globals: Vec<(RegVar, Mult)> = occ
+    // dropped entirely. `occ` is a HashMap, so the surviving set is sorted:
+    // global-region push order must not depend on hash seeding, or the
+    // runtime region stack (and everything downstream of it, like the
+    // parallel collector's work partition) varies from compile to compile.
+    let mut globals: Vec<(RegVar, Mult)> = occ
         .keys()
         .filter(|r| !bound.contains(r))
         .map(|&r| (r, Mult::Infinite))
         .collect();
+    globals.sort_unstable_by_key(|&(r, _)| r);
     ann.prog.globals = globals;
     ann.prog.body = body;
 }
@@ -71,7 +75,10 @@ fn walk(
     });
     if let RExp::Marker { id, body } = e {
         let esc = &escapes[*id as usize];
-        let cands: Vec<RegVar> = occ
+        // Sorted: `occ` iterates in hash order, and the order chosen here
+        // is the order the VM pushes the regions in, so it must be a
+        // function of the program alone (see `place` on globals).
+        let mut cands: Vec<RegVar> = occ
             .iter()
             .filter(|(r, n)| {
                 !bound.contains(r)
@@ -81,6 +88,7 @@ fn walk(
             })
             .map(|(r, _)| *r)
             .collect();
+        cands.sort_unstable();
         let inner = std::mem::replace(body.as_mut(), RExp::Unit);
         if cands.is_empty() {
             *e = inner;

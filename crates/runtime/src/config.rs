@@ -53,6 +53,14 @@ pub struct RtConfig {
     /// poison pattern, so dangling-pointer dereferences fail loudly
     /// instead of silently reading stale values.
     pub poison: bool,
+    /// Memory quota: cap the number of *materialized* region pages (the
+    /// same accounting as `RtStats::peak_pages`, large objects included at
+    /// their page-equivalent size). Allocation itself never fails — the
+    /// breach sets a sticky flag that the VM observes at the next `GcCheck`
+    /// safe point (after giving the collector a chance to get back under
+    /// the cap), so enforcement is deterministic across engines and does
+    /// not perturb the GC schedule. `None` (the default) is unlimited.
+    pub max_heap_pages: Option<usize>,
 }
 
 /// Policy knobs for the two-generation baseline collector.
@@ -139,6 +147,7 @@ impl RtConfig {
             gc_workers: 1,
             gc_slice_budget_words: None,
             poison: false,
+            max_heap_pages: None,
         }
     }
 }

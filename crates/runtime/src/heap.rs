@@ -113,8 +113,14 @@ impl Heap {
 
     /// Pages granted by [`grow`](Heap::grow) but not yet backed by arena
     /// storage. Always the address range `words.len() ..` upward.
-    fn virgin_pages(&self) -> usize {
+    pub fn virgin_pages(&self) -> usize {
         self.total_pages - self.words.len() / self.page_words
+    }
+
+    /// Pages currently backed by arena storage (virgin grants excluded) —
+    /// the footprint measure the page-cap quota is charged against.
+    pub fn materialized_pages(&self) -> usize {
+        self.words.len() / self.page_words
     }
 
     /// Takes one page from the free-list (growing the heap if empty) and

@@ -1,0 +1,48 @@
+//! The `kit-serve` binary: bind, announce the address, serve until
+//! killed.
+//!
+//! ```text
+//! kit-serve [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Prints `listening on HOST:PORT` on stdout once ready (port 0 in
+//! `--addr` picks an ephemeral port; scripts parse this line).
+
+use kit_serve::server::{Server, ServerConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!("usage: kit-serve [--addr HOST:PORT] [--workers N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.workers = n;
+            }
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("kit-serve: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut handle = server.spawn();
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().expect("flush stdout");
+    handle.join_acceptor();
+}

@@ -1,0 +1,62 @@
+//! A minimal blocking client for the wire protocol — enough for tests,
+//! the verify smoke leg, and one-off calls. The load generator drives
+//! connections directly (it needs pipelining; see [`crate::load`]).
+
+use crate::wire::{self, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection, used call-by-call (no pipelining).
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            next_id: 1,
+        })
+    }
+
+    /// Sends `req` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        wire::write_request(&mut self.stream, req)?;
+        wire::read_response(&mut self.stream)
+    }
+
+    /// Sends a request built from parts, assigning the next request id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn call(
+        &mut self,
+        mode: kit::Mode,
+        dispatch: kit::DispatchMode,
+        fuel: Option<u64>,
+        max_heap_pages: Option<usize>,
+        src: &str,
+    ) -> io::Result<Response> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request {
+            req_id,
+            mode,
+            dispatch,
+            fuel,
+            max_heap_pages,
+            src: src.to_string(),
+        })
+    }
+}

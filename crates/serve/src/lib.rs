@@ -1,0 +1,30 @@
+//! Multi-tenant VM service: thousands of concurrent MiniML program
+//! executions in one process (DESIGN.md §6i).
+//!
+//! The crate has four layers:
+//!
+//! * [`wire`] — the length-prefixed binary request/response protocol;
+//! * [`server`] — acceptor, per-connection readers, the shared job
+//!   queue, the fixed worker pool, and the compile-once program cache
+//!   (`Arc<PreparedProgram>` keyed by mode, dispatch and source);
+//! * [`client`] — a minimal blocking client for tests and smoke runs;
+//! * [`load`] — the load driver reporting requests/sec, p50/p99 latency
+//!   and per-worker collector time (used by the `loadgen` binary and
+//!   `bench-summary --serve`).
+//!
+//! Isolation story: every request executes on a fresh `Vm`/`Rt` under
+//! its own fuel and memory quota; only immutable compiled artifacts are
+//! shared between tenants. Counters (instruction totals, GC counts,
+//! copied words) are bit-identical to a standalone single-threaded run
+//! of the same program — enforced by [`load::check_against_standalone`]
+//! and the verify smoke leg.
+
+pub mod client;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use load::{check_against_standalone, run_load, LoadProgram, LoadReport, LoadSpec};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{Request, Response, Status};

@@ -1,0 +1,363 @@
+//! The multi-tenant execution server (DESIGN.md §6i).
+//!
+//! One process hosts thousands of concurrent program executions: an
+//! acceptor thread takes TCP connections, a reader thread per connection
+//! decodes request frames into a shared job queue, and a fixed pool of
+//! worker threads executes them. Each request runs on its own `Vm`/`Rt`
+//! under its own fuel and memory quota; compiled programs are shared
+//! immutably across workers through an `Arc<PreparedProgram>` cache keyed
+//! by `(mode, dispatch, source)`, so a program submitted by many tenants
+//! is compiled and linked once.
+
+use crate::wire::{self, Request, Response, Status};
+use kit::{Compiler, Error, PreparedProgram, VmError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Size of the worker pool (defaults to the machine's parallelism).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: thread::available_parallelism().map_or(4, usize::from),
+        }
+    }
+}
+
+/// Per-worker execution counters (relaxed; read for reporting only).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Requests this worker completed.
+    pub requests: AtomicU64,
+    /// Total collector nanoseconds across this worker's requests.
+    pub gc_time_ns: AtomicU64,
+}
+
+/// One queued request plus the (shared, mutex-guarded) stream its
+/// response must be written to.
+struct Job {
+    req: Request,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+type CacheKey = (u8, u8, String);
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Compile-once cache: successful compilations only, so a tenant
+    /// retrying a bad program does not pin garbage in the cache.
+    cache: Mutex<HashMap<CacheKey, Arc<PreparedProgram>>>,
+    workers: Vec<WorkerStats>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the acceptor and the worker pool; returns a handle for
+    /// shutdown and stats.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let workers = self.config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(HashMap::new()),
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+        });
+
+        let mut pool = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let shared = Arc::clone(&shared);
+            pool.push(
+                thread::Builder::new()
+                    .name(format!("kit-serve-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id as u32))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("kit-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&self.listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            pool,
+        }
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of per-worker counters: `(requests, gc_time_ns)`.
+    pub fn worker_stats(&self) -> Vec<(u64, u64)> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| {
+                (
+                    w.requests.load(Ordering::Relaxed),
+                    w.gc_time_ns.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Blocks until the acceptor exits (i.e. until [`shutdown`] is
+    /// called from another thread, or the listener fails).
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn join_acceptor(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the server: the acceptor takes no new connections and the
+    /// worker pool drains. Reader threads of still-open client
+    /// connections exit when their peers disconnect.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection, and the workers' condvar wait with a broadcast.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.available.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.pool.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("kit-serve-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Reads frames off one connection and enqueues them. A malformed frame
+/// gets a `BadRequest` response and closes the connection (framing is
+/// lost); a clean disconnect just ends the loop.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let out = Arc::new(Mutex::new(stream));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let req = match read_request_or_report(&mut reader, &out) {
+            Some(req) => req,
+            None => break,
+        };
+        let mut q = shared.queue.lock().expect("queue lock");
+        q.push_back(Job {
+            req,
+            out: Arc::clone(&out),
+        });
+        drop(q);
+        shared.available.notify_one();
+    }
+}
+
+fn read_request_or_report(reader: &mut TcpStream, out: &Arc<Mutex<TcpStream>>) -> Option<Request> {
+    match wire::read_frame(reader).and_then(|p| wire::decode_request(&p)) {
+        Ok(req) => Some(req),
+        Err(e) if e.kind() == ErrorKind::InvalidData => {
+            // The frame decoded badly; the req_id may be unrecoverable,
+            // so answer with id 0 and drop the connection.
+            let resp = error_response(0, Status::BadRequest, u32::MAX, format!("bad request: {e}"));
+            let mut w = out.lock().expect("stream lock");
+            let _ = wire::write_response(&mut *w, &resp);
+            let _ = w.flush();
+            None
+        }
+        Err(_) => None, // disconnect
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, id: u32) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).expect("queue wait");
+            }
+        };
+        let resp = execute(shared, id, &job.req);
+        let stats = &shared.workers[id as usize];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats
+            .gc_time_ns
+            .fetch_add(resp.gc_time_ns, Ordering::Relaxed);
+        let mut w = job.out.lock().expect("stream lock");
+        let _ = wire::write_response(&mut *w, &resp);
+        let _ = w.flush();
+    }
+}
+
+fn error_response(req_id: u64, status: Status, worker: u32, result: String) -> Response {
+    Response {
+        req_id,
+        status,
+        worker,
+        instructions: 0,
+        gc_count: 0,
+        gc_copied_words: 0,
+        gc_time_ns: 0,
+        peak_bytes: 0,
+        result,
+        output: String::new(),
+    }
+}
+
+/// Looks the program up in the compile-once cache (compiling outside the
+/// cache lock on a miss) and runs it on a fresh `Vm`/`Rt` under the
+/// request's quotas.
+fn execute(shared: &Shared, worker: u32, req: &Request) -> Response {
+    let run = catch_unwind(AssertUnwindSafe(|| execute_inner(shared, worker, req)));
+    match run {
+        Ok(resp) => resp,
+        Err(_) => error_response(
+            req.req_id,
+            Status::UncaughtException,
+            worker,
+            "internal error: execution panicked".to_string(),
+        ),
+    }
+}
+
+fn execute_inner(shared: &Shared, worker: u32, req: &Request) -> Response {
+    let mut compiler = Compiler::new(req.mode).with_dispatch(req.dispatch);
+    if let Some(fuel) = req.fuel {
+        compiler = compiler.with_fuel(fuel);
+    }
+    if let Some(pages) = req.max_heap_pages {
+        compiler = compiler.with_max_heap_pages(pages);
+    }
+
+    let key: CacheKey = (
+        wire::mode_byte(req.mode),
+        wire::dispatch_byte(req.dispatch),
+        req.src.clone(),
+    );
+    let cached = shared.cache.lock().expect("cache lock").get(&key).cloned();
+    let prep = match cached {
+        Some(prep) => prep,
+        None => match compiler.prepare_source(&req.src) {
+            Ok(prep) => {
+                let prep = Arc::new(prep);
+                // Two workers may race to compile the same program; the
+                // first insert wins so everyone shares one copy.
+                let mut cache = shared.cache.lock().expect("cache lock");
+                Arc::clone(cache.entry(key).or_insert(prep))
+            }
+            Err(e) => {
+                return error_response(req.req_id, Status::CompileError, worker, e.to_string())
+            }
+        },
+    };
+
+    match compiler.run_prepared(&prep) {
+        Ok(out) => Response {
+            req_id: req.req_id,
+            status: Status::Ok,
+            worker,
+            instructions: out.instructions,
+            gc_count: out.stats.gc_count,
+            gc_copied_words: out.stats.gc_copied_words,
+            gc_time_ns: out.stats.gc_time_ns,
+            peak_bytes: out.stats.peak_bytes as u64,
+            result: out.result,
+            output: out.output,
+        },
+        Err(e) => {
+            let status = match &e {
+                Error::Run(VmError::OutOfFuel) => Status::OutOfFuel,
+                Error::Run(VmError::QuotaExceeded { .. }) => Status::QuotaExceeded,
+                Error::Run(VmError::UncaughtException { .. }) => Status::UncaughtException,
+                Error::Compile(_) => Status::CompileError,
+            };
+            error_response(req.req_id, status, worker, e.to_string())
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end server tests: mixed quota outcomes under concurrency,
+//! bit-identical counters vs standalone execution, and tenant isolation
+//! (a neighbour breaching its quota must not perturb anyone else).
+
+use kit::{Compiler, DispatchMode, Mode};
+use kit_serve::server::{Server, ServerConfig};
+use kit_serve::wire::Status;
+use kit_serve::{check_against_standalone, run_load, Client, LoadProgram, LoadSpec};
+
+const FIB: &str = "fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval it = fib 13";
+const BUILD: &str = "fun build 0 = nil | build n = n :: build (n-1)\nval it = length (build 40000)";
+
+fn prog(name: &str, src: &str, fuel: Option<u64>, pages: Option<usize>) -> LoadProgram {
+    LoadProgram {
+        name: name.to_string(),
+        mode: Mode::Rgt,
+        dispatch: DispatchMode::Threaded,
+        fuel,
+        max_heap_pages: pages,
+        src: src.to_string(),
+    }
+}
+
+fn start(workers: usize) -> kit_serve::ServerHandle {
+    Server::bind("127.0.0.1:0", ServerConfig { workers })
+        .expect("bind")
+        .spawn()
+}
+
+#[test]
+fn mixed_outcomes_under_load_match_standalone() {
+    let handle = start(4);
+    let mix = vec![
+        prog("fib", FIB, None, None),
+        prog("fib-fuel", FIB, Some(1_000), None),
+        prog("build-quota", BUILD, None, Some(8)),
+    ];
+    let report = run_load(&LoadSpec {
+        addr: handle.addr(),
+        requests: 96,
+        sessions: 24,
+        conns: 6,
+        mix: mix.clone(),
+    })
+    .expect("load run");
+
+    assert_eq!(report.requests, 96);
+    assert!(report.rps > 0.0);
+    assert!(report.p99_ms >= report.p50_ms);
+    let by_name = |n: &str| {
+        report
+            .per_program
+            .iter()
+            .find(|p| p.name == n)
+            .unwrap_or_else(|| panic!("missing program {n}"))
+    };
+    assert_eq!(by_name("fib").status, Status::Ok);
+    assert_eq!(by_name("fib").result, "233");
+    assert_eq!(by_name("fib-fuel").status, Status::OutOfFuel);
+    assert_eq!(by_name("build-quota").status, Status::QuotaExceeded);
+    // The load driver already enforced per-program uniformity; pin the
+    // absolute values to a standalone run too.
+    let rows = check_against_standalone(handle.addr(), &mix).expect("standalone check");
+    assert_eq!(rows.len(), 3);
+
+    // All responses came from the worker pool we configured.
+    let stats = handle.worker_stats();
+    assert_eq!(stats.len(), 4);
+    let total: u64 = stats.iter().map(|(requests, _)| requests).sum();
+    assert_eq!(total, 96 + 3); // load run + the check's three calls
+
+    handle.shutdown();
+}
+
+#[test]
+fn quota_breach_is_not_observable_by_concurrent_tenants() {
+    // A well-behaved tenant's counters while a noisy neighbour breaches
+    // its memory quota must equal the counters of the same program run
+    // alone in a fresh process-equivalent (standalone Compiler).
+    let handle = start(2);
+    let mix = vec![
+        prog("victim", FIB, None, None),
+        prog("noisy", BUILD, None, Some(8)),
+    ];
+    let report = run_load(&LoadSpec {
+        addr: handle.addr(),
+        requests: 40,
+        sessions: 8,
+        conns: 4,
+        mix,
+    })
+    .expect("load run");
+
+    let victim = report
+        .per_program
+        .iter()
+        .find(|p| p.name == "victim")
+        .expect("victim row");
+    let alone = Compiler::new(Mode::Rgt)
+        .with_dispatch(DispatchMode::Threaded)
+        .run_source(FIB)
+        .expect("standalone run");
+    assert_eq!(victim.status, Status::Ok);
+    assert_eq!(victim.result, alone.result);
+    assert_eq!(victim.instructions, alone.instructions);
+    assert_eq!(victim.gc_count, alone.stats.gc_count);
+    assert_eq!(victim.gc_copied_words, alone.stats.gc_copied_words);
+    handle.shutdown();
+}
+
+#[test]
+fn compile_errors_and_bad_frames_get_typed_statuses() {
+    let handle = start(1);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let resp = client
+        .call(
+            Mode::Rgt,
+            DispatchMode::Threaded,
+            None,
+            None,
+            "val it = undefined_name",
+        )
+        .expect("call");
+    assert_eq!(resp.status, Status::CompileError);
+    assert!(!resp.result.is_empty());
+
+    // A syntactically valid frame with an unknown mode byte gets a
+    // BadRequest response before the connection closes.
+    use std::io::Write;
+    use std::net::TcpStream;
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+    let mut payload = kit_serve::wire::encode_request(&kit_serve::Request {
+        req_id: 9,
+        mode: Mode::R,
+        dispatch: DispatchMode::Match,
+        fuel: None,
+        max_heap_pages: None,
+        src: "val it = 1".to_string(),
+    });
+    payload[9] = 250; // clobber the mode byte
+    kit_serve::wire::write_frame(&mut raw, &payload).expect("write frame");
+    raw.flush().expect("flush");
+    let resp = kit_serve::wire::read_response(&mut raw).expect("read response");
+    assert_eq!(resp.status, Status::BadRequest);
+    handle.shutdown();
+}
+
+#[test]
+fn program_cache_shares_one_compilation() {
+    // Same source, mode and dispatch from many connections: every
+    // response must be identical (same Arc'd PreparedProgram) and the
+    // server must survive the burst with exactly one cached entry's
+    // worth of behavior — counters uniform across all 64 sessions.
+    let handle = start(4);
+    let mix = vec![prog("fib", FIB, None, None)];
+    let report = run_load(&LoadSpec {
+        addr: handle.addr(),
+        requests: 64,
+        sessions: 64,
+        conns: 8,
+        mix,
+    })
+    .expect("load run");
+    assert_eq!(report.per_program[0].requests, 64);
+    assert_eq!(report.per_program[0].status, Status::Ok);
+    handle.shutdown();
+}

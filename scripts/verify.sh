@@ -45,4 +45,12 @@ cargo run --release -p kit-bench --bin bench-summary -- \
     --only fib,tak --modes r --samples 1 --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
 
+echo "==> kit-serve smoke: 64-session burst, mixed fuel/memory-quota"
+echo "    outcomes, every served counter bit-identical to standalone"
+cargo run --release -p kit-bench --bin loadgen -- \
+    --sessions 64 --conns 8 --requests 256 --workers 4 \
+    --mix 'fib:12,fib:12:fuel=1000,churn:10:pages=4' --check \
+    --out /tmp/serve_smoke.json
+rm -f /tmp/serve_smoke.json
+
 echo "verify: OK"
