@@ -462,8 +462,10 @@ fn run_cell(cell: &Cell, configs: &[Config], samples: usize, gc_compare: bool) -
 }
 
 /// The `--serve` mode: drives an in-process `kit-serve` pool at
-/// increasing concurrency over the serve mix and writes the `"serve"`
-/// rows (default `BENCH_PR9.json`).
+/// increasing concurrency over the serve mix, then floods a deliberately
+/// under-provisioned pool to record the overload columns (shed,
+/// rate_limited, deadline_exceeded, queue_depth_p99), and writes the
+/// `"serve"` rows (default `BENCH_PR10.json`).
 fn serve_summary(args: &[String]) {
     use kit_bench::serve_bench::{
         json_document, json_row, parse_mix, print_report, run_point, ServePoint, DEFAULT_MIX,
@@ -477,7 +479,7 @@ fn serve_summary(args: &[String]) {
     };
     let out_path = flag_val("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let workers = flag_val("--workers")
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from))
@@ -503,10 +505,19 @@ fn serve_summary(args: &[String]) {
         None => vec![point(1_000), point(4_000)],
     };
 
-    let handle = Server::bind("127.0.0.1:0", ServerConfig { workers })
-        .expect("bind server")
-        .spawn();
-    let mut rows = Vec::with_capacity(points.len());
+    // Headroom for the ordinary points: the queue bound stays out of the
+    // way so these rows measure throughput, not shedding.
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_cap: 16_384,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server")
+    .spawn();
+    let mut rows = Vec::with_capacity(points.len() + 1);
     for p in &points {
         let report = run_point(handle.addr(), p, &mix)
             .unwrap_or_else(|e| panic!("serve point {}: {e}", p.label));
@@ -523,6 +534,38 @@ fn serve_summary(args: &[String]) {
         checked.len()
     );
     handle.shutdown();
+
+    // The overload row: the same mix flooded at 4× the ordinary
+    // concurrency into a deliberately tight queue, so the shed /
+    // queue_depth_p99 columns show the admission layer working instead
+    // of latency quietly collapsing.
+    let flood_handle = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_cap: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind flood server")
+    .spawn();
+    let flood = ServePoint {
+        label: "serve_flood".to_string(),
+        sessions: 4_000,
+        conns: 128,
+        requests: 12_000,
+    };
+    let report = run_point(flood_handle.addr(), &flood, &mix)
+        .unwrap_or_else(|e| panic!("serve point {}: {e}", flood.label));
+    print_report(&flood, workers, &report);
+    rows.push(json_row(&flood, workers, &report));
+    let checked = kit_serve::check_against_standalone(flood_handle.addr(), &mix)
+        .unwrap_or_else(|e| panic!("post-flood standalone check: {e}"));
+    eprintln!(
+        "post-flood check: {} programs bit-identical to single-threaded runs",
+        checked.len()
+    );
+    flood_handle.shutdown();
 
     std::fs::write(&out_path, json_document(&rows))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));

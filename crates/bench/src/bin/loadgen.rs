@@ -6,29 +6,48 @@
 //!         [--sessions N]            # concurrent in-flight requests (default 1000)
 //!         [--conns N]               # TCP connections (default 64)
 //!         [--requests N]            # total requests (default 8×sessions)
-//!         [--mix SPEC]              # name[:scale][:fuel=N][:pages=N],…
+//!         [--mix SPEC]              # name[:scale][:fuel=N][:pages=N][:deadline=MS][:tenant=ID],…
 //!         [--mode r|rt|gt|rgt|smlnj] [--dispatch match|threaded|register|register_fused]
+//!         [--queue-cap N]           # in-process server admission bound
+//!         [--shed-policy newest|tenant-share]
+//!         [--rate RPS[:BURST]]      # in-process per-tenant token bucket
+//!         [--deadline-ms N]         # in-process server default deadline
 //!         [--check]                 # compare counters against standalone runs
+//!         [--chaos]                 # run adversarial clients alongside the load
+//!         [--chaos-secs N]          # chaos duration (default 3)
 //!         [--out PATH]              # write a {"serve": [row]} JSON document
 //! ```
 //!
 //! Reports requests/sec, p50/p99 latency, per-program counter aggregates
-//! (uniformity across responses is enforced by the driver) and collector
-//! time per worker. `--check` additionally runs each mix program once on
-//! a standalone, identically configured `Compiler` and demands
+//! (uniformity across *executed* responses is enforced by the driver;
+//! shed/rate-limited/deadline outcomes are tallied) and collector time
+//! per worker. `--check` additionally runs each mix program once on a
+//! standalone, identically configured `Compiler` and demands
 //! bit-identical instruction totals and GC counters.
+//!
+//! `--chaos` (in-process server only) throws slowloris writers,
+//! mid-frame disconnects, malformed/oversized frames, stalled readers
+//! and connection churn at the server *while* the healthy mix runs,
+//! then proves availability with a fresh post-chaos burst and checks
+//! the leak probes: the live-worker count and compile-cache size must
+//! match their pre-chaos values, and open connections must settle to
+//! zero.
 
 use kit::{DispatchMode, Mode};
+use kit_bench::chaos;
 use kit_bench::serve_bench::{
     json_document, json_row, parse_mix, print_report, run_point, ServePoint, DEFAULT_MIX,
 };
-use kit_serve::server::{Server, ServerConfig};
+use kit_serve::server::{RateLimit, Server, ServerConfig, ShedPolicy};
 use std::net::SocketAddr;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT | --workers N] [--sessions N] [--conns N] \
-         [--requests N] [--mix SPEC] [--mode M] [--dispatch D] [--check] [--out PATH]"
+         [--requests N] [--mix SPEC] [--mode M] [--dispatch D] [--queue-cap N] \
+         [--shed-policy newest|tenant-share] [--rate RPS[:BURST]] [--deadline-ms N] \
+         [--check] [--chaos] [--chaos-secs N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -51,10 +70,16 @@ fn main() {
             "--mix",
             "--mode",
             "--dispatch",
+            "--queue-cap",
+            "--shed-policy",
+            "--rate",
+            "--deadline-ms",
             "--check",
+            "--chaos",
+            "--chaos-secs",
             "--out",
         ];
-        let takes_value = |f: &str| f != "--check";
+        let takes_value = |f: &str| f != "--check" && f != "--chaos";
         if known.contains(&a.as_str()) {
             continue;
         }
@@ -101,11 +126,16 @@ fn main() {
         eprintln!("loadgen: {e}");
         usage()
     });
+    let chaos_mode = has("--chaos");
 
     // Either target a running server or host one in this process.
     let (addr, handle, workers): (SocketAddr, Option<kit_serve::ServerHandle>, usize) =
         match flag_val("--addr") {
             Some(a) => {
+                if chaos_mode {
+                    eprintln!("loadgen: --chaos needs the in-process server (its leak probes)");
+                    usage();
+                }
                 let addr = a.parse().unwrap_or_else(|_| {
                     eprintln!("loadgen: bad --addr {a:?}");
                     usage()
@@ -118,7 +148,47 @@ fn main() {
                     std::thread::available_parallelism().map_or(4, usize::from),
                 )
                 .max(1);
-                let handle = Server::bind("127.0.0.1:0", ServerConfig { workers })
+                let mut config = ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                };
+                config.queue_cap = parse_num("--queue-cap", config.queue_cap).max(1);
+                if let Some(policy) = flag_val("--shed-policy") {
+                    config.shed_policy = match policy.as_str() {
+                        "newest" => ShedPolicy::RejectNewest,
+                        "tenant-share" => ShedPolicy::TenantShare,
+                        other => {
+                            eprintln!("loadgen: unknown shed policy {other:?}");
+                            usage()
+                        }
+                    };
+                }
+                if let Some(rate) = flag_val("--rate") {
+                    let (rps, burst) = match rate.split_once(':') {
+                        Some((r, b)) => (r.parse(), b.parse()),
+                        None => (rate.parse(), rate.parse()),
+                    };
+                    match (rps, burst) {
+                        (Ok(rps), Ok(burst)) => {
+                            config.rate_limit = Some(RateLimit { rps, burst });
+                        }
+                        _ => {
+                            eprintln!("loadgen: --rate wants RPS[:BURST], got {rate:?}");
+                            usage()
+                        }
+                    }
+                }
+                if flag_val("--deadline-ms").is_some() {
+                    config.default_deadline_ms = Some(parse_num("--deadline-ms", 0) as u64);
+                }
+                if chaos_mode {
+                    // Tight hygiene budgets so the adversaries are reaped
+                    // within the smoke leg's lifetime.
+                    config.idle_timeout = Duration::from_secs(2);
+                    config.frame_timeout = Duration::from_millis(750);
+                    config.write_timeout = Duration::from_secs(1);
+                }
+                let handle = Server::bind("127.0.0.1:0", config)
                     .unwrap_or_else(|e| {
                         eprintln!("loadgen: bind: {e}");
                         std::process::exit(1);
@@ -127,6 +197,33 @@ fn main() {
                 (handle.addr(), Some(handle), workers)
             }
         };
+
+    // Pre-chaos leak probes: warm the compile cache with one run of the
+    // mix — plus the chaos victim program the adversaries submit — so
+    // the cache size is at its steady state before the baseline is
+    // recorded.
+    let probes_before = handle.as_ref().filter(|_| chaos_mode).map(|h| {
+        let warmup = ServePoint {
+            label: "warmup".to_string(),
+            sessions: 16,
+            conns: 4,
+            requests: mix.len().max(16),
+        };
+        run_point(addr, &warmup, &mix).unwrap_or_else(|e| {
+            eprintln!("loadgen: warmup failed: {e}");
+            std::process::exit(1);
+        });
+        chaos::prime(addr).unwrap_or_else(|e| {
+            eprintln!("loadgen: cache prime failed: {e}");
+            std::process::exit(1);
+        });
+        (h.live_workers(), h.cache_size())
+    });
+
+    let chaos_thread = chaos_mode.then(|| {
+        let secs = parse_num("--chaos-secs", 3) as u64;
+        std::thread::spawn(move || chaos::run_chaos(addr, Duration::from_secs(secs)))
+    });
 
     let point = ServePoint {
         label: format!("loadgen_{sessions}"),
@@ -139,6 +236,70 @@ fn main() {
         std::process::exit(1);
     });
     print_report(&point, workers, &report);
+
+    if let Some(t) = chaos_thread {
+        let inflicted = t.join().unwrap_or_else(|_| {
+            eprintln!("loadgen: chaos thread panicked");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "chaos: {} slowloris, {} mid-frame disconnects, {} malformed, \
+             {} stalled readers, {} churn cycles",
+            inflicted.slowloris,
+            inflicted.mid_frame_disconnects,
+            inflicted.malformed,
+            inflicted.stalled_readers,
+            inflicted.churned,
+        );
+
+        // Availability: a fresh burst after the abuse must answer
+        // correctly (the run_point uniformity checks are the assertion).
+        let burst = ServePoint {
+            label: "post_chaos".to_string(),
+            sessions: 64,
+            conns: 8,
+            requests: 256,
+        };
+        let after = run_point(addr, &burst, &mix).unwrap_or_else(|e| {
+            eprintln!("loadgen: post-chaos burst failed: {e}");
+            std::process::exit(1);
+        });
+        print_report(&burst, workers, &after);
+
+        // Leak probes: same worker pool, same cache, connections gone.
+        let h = handle.as_ref().expect("chaos mode hosts the server");
+        let (workers_before, cache_before) = probes_before.expect("probed before chaos");
+        let workers_after = h.live_workers();
+        if workers_after != workers_before {
+            eprintln!(
+                "loadgen: worker leak: {workers_before} workers before chaos, \
+                 {workers_after} after"
+            );
+            std::process::exit(1);
+        }
+        let cache_after = h.cache_size();
+        if cache_after != cache_before {
+            eprintln!(
+                "loadgen: cache leak: {cache_before} entries before chaos, {cache_after} after"
+            );
+            std::process::exit(1);
+        }
+        // Chaos connections are reaped on their hygiene budgets; give
+        // the slowest (idle timeout, 2s) a grace period to settle.
+        let settle_deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while h.open_connections() > 0 && std::time::Instant::now() < settle_deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let open = h.open_connections();
+        if open > 0 {
+            eprintln!("loadgen: connection leak: {open} connections still open after chaos");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "chaos: no leaks ({workers_after} workers, {cache_after} cached programs, \
+             0 open connections)"
+        );
+    }
 
     if has("--check") {
         let rows = kit_serve::check_against_standalone(addr, &mix).unwrap_or_else(|e| {

@@ -1229,6 +1229,18 @@ pub fn fuzz_config(rng: &mut SplitMix64, mode: Mode) -> RtConfig {
             }
         }
     }
+    // Wall-clock deadlines are drawn only at the two differential-safe
+    // extremes: far-future (must be invisible — same counters as no
+    // deadline at all) and already-expired (breaches at safe point 1 on
+    // every engine, so the typed error is engine-identical). A deadline
+    // that lands *mid-run* would make the outcome depend on host timing,
+    // which a differential harness cannot tolerate.
+    match rng.below(16) {
+        14 => cfg.deadline = Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+        // `now` itself is already expired by the time the VM checks it.
+        15 => cfg.deadline = Some(std::time::Instant::now()),
+        _ => {}
+    }
     cfg
 }
 

@@ -28,9 +28,12 @@ pub struct ServePoint {
     pub requests: usize,
 }
 
-/// Parses a mix spec: comma-separated `name[:scale][:fuel=N][:pages=N]`
-/// entries over the Fig. 3 benchmark set. A bare number annotation is
-/// the scale; `fuel=`/`pages=` set per-request quotas.
+/// Parses a mix spec: comma-separated
+/// `name[:scale][:fuel=N][:pages=N][:deadline=MS][:tenant=ID]` entries
+/// over the Fig. 3 benchmark set. A bare number annotation is the scale;
+/// `fuel=`/`pages=` set per-request quotas, `deadline=` a wall-clock
+/// budget in milliseconds, and `tenant=` the tenant id the entry's
+/// requests are attributed to (for rate-limit and fair-shed runs).
 ///
 /// # Errors
 ///
@@ -48,11 +51,20 @@ pub fn parse_mix(
         let mut scale = bench.test_scale;
         let mut fuel = None;
         let mut pages = None;
+        let mut deadline_ms = None;
+        let mut tenant = String::new();
         for part in parts {
             if let Some(v) = part.strip_prefix("fuel=") {
                 fuel = Some(v.parse().map_err(|_| format!("{entry}: bad fuel {v:?}"))?);
             } else if let Some(v) = part.strip_prefix("pages=") {
                 pages = Some(v.parse().map_err(|_| format!("{entry}: bad pages {v:?}"))?);
+            } else if let Some(v) = part.strip_prefix("deadline=") {
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("{entry}: bad deadline {v:?}"))?,
+                );
+            } else if let Some(v) = part.strip_prefix("tenant=") {
+                tenant = v.to_string();
             } else {
                 scale = part
                     .parse()
@@ -65,6 +77,8 @@ pub fn parse_mix(
             dispatch,
             fuel,
             max_heap_pages: pages,
+            deadline_ms,
+            tenant,
             src: bench.source_scaled(scale),
         });
     }
@@ -108,15 +122,31 @@ pub fn print_report(point: &ServePoint, workers: usize, report: &LoadReport) {
         report.p50_ms,
         report.p99_ms,
     );
+    if report.shed + report.rate_limited + report.deadline_exceeded > 0 {
+        eprintln!(
+            "    overload: {} shed, {} rate-limited, {} deadline-exceeded, queue depth p99 {}",
+            report.shed, report.rate_limited, report.deadline_exceeded, report.queue_depth_p99,
+        );
+    }
     for p in &report.per_program {
         eprintln!(
-            "    {:<22} {:>6} reqs  {:?}  {:>10} instr  {:>3} gcs  gc {:>7.2}ms total",
+            "    {:<22} {:>6} reqs  {:?}  {:>10} instr  {:>3} gcs  gc {:>7.2}ms total  \
+             p99 {:>7.2}ms{}",
             p.name,
             p.requests,
             p.status,
             p.instructions,
             p.gc_count,
             p.gc_time_ns as f64 / 1e6,
+            p.p99_ms,
+            if p.shed + p.rate_limited + p.deadline_exceeded > 0 {
+                format!(
+                    "  ({} shed, {} limited, {} deadline)",
+                    p.shed, p.rate_limited, p.deadline_exceeded
+                )
+            } else {
+                String::new()
+            },
         );
     }
     let gc: Vec<String> = report
@@ -134,7 +164,9 @@ pub fn json_row(point: &ServePoint, workers: usize, report: &LoadReport) -> Stri
         row,
         "{{\"label\": \"{}\", \"sessions\": {}, \"conns\": {}, \"workers\": {}, \
          \"requests\": {}, \"wall_ms\": {:.1}, \"rps\": {:.0}, \
-         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"programs\": [",
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \
+         \"shed\": {}, \"rate_limited\": {}, \"deadline_exceeded\": {}, \
+         \"queue_depth_p99\": {}, \"programs\": [",
         point.label,
         point.sessions,
         point.conns,
@@ -145,22 +177,33 @@ pub fn json_row(point: &ServePoint, workers: usize, report: &LoadReport) -> Stri
         report.p50_ms,
         report.p99_ms,
         report.mean_ms,
+        report.shed,
+        report.rate_limited,
+        report.deadline_exceeded,
+        report.queue_depth_p99,
     );
     for (i, p) in report.per_program.iter().enumerate() {
         let _ = write!(
             row,
             "{}{{\"name\": \"{}\", \"status\": \"{:?}\", \"requests\": {}, \
+             \"executed\": {}, \"shed\": {}, \"rate_limited\": {}, \
+             \"deadline_exceeded\": {}, \
              \"instructions\": {}, \"gc_count\": {}, \"gc_copied_words\": {}, \
-             \"gc_time_ns\": {}, \"peak_bytes\": {}}}",
+             \"gc_time_ns\": {}, \"peak_bytes\": {}, \"p99_ms\": {:.3}}}",
             if i > 0 { ", " } else { "" },
             p.name,
             p.status,
             p.requests,
+            p.executed,
+            p.shed,
+            p.rate_limited,
+            p.deadline_exceeded,
             p.instructions,
             p.gc_count,
             p.gc_copied_words,
             p.gc_time_ns,
             p.peak_bytes,
+            p.p99_ms,
         );
     }
     row.push_str("], \"worker_gc_ns\": [");

@@ -48,6 +48,17 @@ pub enum VmError {
         /// The configured page cap.
         cap: usize,
     },
+    /// The wall-clock deadline (`RtConfig::deadline`) had passed at a
+    /// `GcCheck` safe point — the same points fuel and the page quota are
+    /// enforced at, so on a fixed clock outcome the breach lands at the
+    /// identical safe point on every dispatch engine.
+    DeadlineExceeded {
+        /// Ordinal of the safe point (counting only those executed while a
+        /// deadline was armed) whose clock read observed the breach. An
+        /// already-expired deadline always breaches at safe point 1, so
+        /// the engine-identical claim is directly testable.
+        checks: u64,
+    },
 }
 
 // The backtrace is diagnostic only: two errors are the same error if the
@@ -64,6 +75,9 @@ impl PartialEq for VmError {
                 VmError::QuotaExceeded { pages: a, cap: b },
                 VmError::QuotaExceeded { pages: c, cap: d },
             ) => a == c && b == d,
+            (VmError::DeadlineExceeded { checks: a }, VmError::DeadlineExceeded { checks: b }) => {
+                a == b
+            }
             _ => false,
         }
     }
@@ -83,6 +97,10 @@ impl fmt::Display for VmError {
             VmError::QuotaExceeded { pages, cap } => {
                 write!(f, "memory quota exceeded ({pages} pages > cap of {cap})")
             }
+            // Deliberately omits `checks`: under a mid-run wall-clock
+            // breach the safe-point ordinal varies run to run, and the
+            // serve-layer uniformity checks compare error text.
+            VmError::DeadlineExceeded { .. } => write!(f, "wall-clock deadline exceeded"),
         }
     }
 }
@@ -235,6 +253,12 @@ pub struct Vm<'p> {
     /// `letregion`-bound regions of every live frame, stacked
     /// (`Frame::rbase`); pops are LIFO within the owning frame.
     region_pool: Vec<RegionId>,
+    /// Safe points executed while a wall-clock deadline was armed; drives
+    /// the strided clock read in [`Vm::gc_safe_point`] and is reported in
+    /// [`VmError::DeadlineExceeded`]. Counts `gc_safe_point` calls only,
+    /// which all engines execute at the same source positions, so the
+    /// stride schedule is engine-invariant.
+    safe_points: u64,
     /// Reused buffer for record/constructor fields.
     scratch: Vec<Word>,
     /// Write barrier log of the generational baseline: field addresses
@@ -260,6 +284,7 @@ impl<'p> Vm<'p> {
             halted: None,
             formal_pool: Vec::new(),
             region_pool: Vec::new(),
+            safe_points: 0,
             scratch: Vec::new(),
             remembered: Vec::new(),
         }
@@ -1361,13 +1386,20 @@ impl<'p> Vm<'p> {
     }
 
     /// Collection policy at a `GcCheck` safe point, shared by all
-    /// engines: run the configured collector if it is due, then enforce
-    /// the optional page-cap quota. Returns the quota error if the cap is
-    /// breached even after a forced collection. With no cap configured
-    /// the extra check is a single `is_some` test, so instruction totals
-    /// and the GC schedule of uncapped runs are untouched.
+    /// engines: enforce the optional wall-clock deadline, run the
+    /// configured collector if it is due, then enforce the optional
+    /// page-cap quota. Returns the quota error if the cap is breached
+    /// even after a forced collection. With neither a cap nor a deadline
+    /// configured the extra checks are single `is_some` tests, so
+    /// instruction totals and the GC schedule of unconstrained runs are
+    /// untouched.
     #[inline(always)]
     fn gc_safe_point(&mut self) -> Option<VmError> {
+        if let Some(deadline) = self.rt.config.deadline {
+            if let Some(e) = self.deadline_check(deadline) {
+                return Some(e);
+            }
+        }
         if let Some(pol) = self.rt.config.generational {
             let nursery = &self.rt.regions[0];
             if nursery.pages >= pol.nursery_pages {
@@ -1381,6 +1413,25 @@ impl<'p> Vm<'p> {
         } else {
             None
         }
+    }
+
+    /// The deadline slow path (only entered with a deadline armed): read
+    /// the clock at the first safe point and every 16th after it — the
+    /// first read catches an already-expired deadline at the earliest
+    /// enforceable point (safe point 1, on every engine), and the stride
+    /// keeps the clock read off the function-entry fast path. The
+    /// counter advances only while a deadline is armed, so the stride
+    /// schedule is identical across engines and runs.
+    #[cold]
+    fn deadline_check(&mut self, deadline: std::time::Instant) -> Option<VmError> {
+        const STRIDE_MASK: u64 = 15;
+        self.safe_points += 1;
+        if self.safe_points & STRIDE_MASK == 1 && std::time::Instant::now() >= deadline {
+            return Some(VmError::DeadlineExceeded {
+                checks: self.safe_points,
+            });
+        }
+        None
     }
 
     /// The quota slow path: if the materialized footprint exceeds the

@@ -182,6 +182,11 @@ pub struct Compiler {
     opt: OptOptions,
     config: RtConfig,
     fuel: Option<u64>,
+    /// Relative wall-clock budget, anchored to `Instant::now()` when a
+    /// run starts (so one `Compiler` can serve many runs, each with a
+    /// fresh deadline). An absolute deadline set via
+    /// [`Compiler::with_deadline_at`] lives in `config.deadline` instead.
+    deadline: Option<std::time::Duration>,
     fusion: Fusion,
     dispatch: DispatchMode,
     fusion_profile: bool,
@@ -195,6 +200,7 @@ impl Compiler {
             opt: OptOptions::default(),
             config: mode.rt_config(),
             fuel: None,
+            deadline: None,
             fusion: Fusion::default(),
             dispatch: DispatchMode::default(),
             fusion_profile: false,
@@ -239,6 +245,24 @@ impl Compiler {
     /// this leaves the mode's other runtime defaults untouched.
     pub fn with_max_heap_pages(mut self, pages: usize) -> Self {
         self.config.max_heap_pages = Some(pages);
+        self
+    }
+
+    /// Bounds each run's wall-clock time (the per-request deadline of the
+    /// server): the budget is anchored to `Instant::now()` when the run
+    /// starts, and a run whose clock expires fails with
+    /// [`VmError::DeadlineExceeded`] at a `GcCheck` safe point — the same
+    /// points fuel and the page quota are enforced at, on every engine.
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Like [`Compiler::with_deadline`] but with an absolute point in
+    /// time, so queueing delay upstream of the run (e.g. time spent in
+    /// the server's admission queue) counts against the budget.
+    pub fn with_deadline_at(mut self, deadline: std::time::Instant) -> Self {
+        self.config.deadline = Some(deadline);
         self
     }
 
@@ -337,7 +361,7 @@ impl Compiler {
     /// Returns a runtime error on uncaught exceptions, fuel exhaustion
     /// or a breached memory quota.
     pub fn run_program(&self, prog: &kit_kam::Program) -> Result<Outcome, Error> {
-        let rt = Rt::new(self.config.clone());
+        let rt = Rt::new(self.run_config());
         let mut vm = Vm::new(prog, rt)
             .with_fusion(self.fusion)
             .with_dispatch(self.dispatch);
@@ -401,7 +425,7 @@ impl Compiler {
     /// Returns a runtime error on uncaught exceptions, fuel exhaustion
     /// or a breached memory quota.
     pub fn run_prepared(&self, prep: &PreparedProgram) -> Result<Outcome, Error> {
-        let rt = Rt::new(self.config.clone());
+        let rt = Rt::new(self.run_config());
         let mut vm = Vm::new(&prep.program, rt)
             .with_fusion(self.fusion)
             .with_dispatch(self.dispatch);
@@ -429,6 +453,19 @@ impl Compiler {
             fusion_profile: out.fusion_profile,
             wall,
         })
+    }
+
+    /// The per-run runtime configuration: the stored config with the
+    /// relative wall-clock budget (if any) anchored to now. When both a
+    /// relative budget and an absolute deadline are set, the earlier one
+    /// wins.
+    fn run_config(&self) -> RtConfig {
+        let mut config = self.config.clone();
+        if let Some(budget) = self.deadline {
+            let at = std::time::Instant::now() + budget;
+            config.deadline = Some(config.deadline.map_or(at, |d| d.min(at)));
+        }
+        config
     }
 
     /// Compiles and runs `src`.

@@ -61,6 +61,14 @@ pub struct RtConfig {
     /// the cap), so enforcement is deterministic across engines and does
     /// not perturb the GC schedule. `None` (the default) is unlimited.
     pub max_heap_pages: Option<usize>,
+    /// Wall-clock deadline: the run fails with a typed
+    /// `VmError::DeadlineExceeded` at the first `GcCheck` safe point whose
+    /// (strided) clock read observes `Instant::now() >= deadline` — the
+    /// same points fuel overruns and page-quota breaches surface at, so a
+    /// deadlined run sees exactly the allocation trajectory an undeadlined
+    /// run would have seen up to the breach, on every dispatch engine.
+    /// `None` (the default) never expires.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// Policy knobs for the two-generation baseline collector.
@@ -148,6 +156,7 @@ impl RtConfig {
             gc_slice_budget_words: None,
             poison: false,
             max_heap_pages: None,
+            deadline: None,
         }
     }
 }

@@ -3,16 +3,21 @@
 //!
 //! ```text
 //! kit-serve [--addr HOST:PORT] [--workers N]
+//!           [--queue-cap N] [--shed-policy newest|tenant-share]
+//!           [--rate RPS[:BURST]] [--deadline-ms N]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` on stdout once ready (port 0 in
 //! `--addr` picks an ephemeral port; scripts parse this line).
 
-use kit_serve::server::{Server, ServerConfig};
+use kit_serve::server::{RateLimit, Server, ServerConfig, ShedPolicy};
 use std::io::Write;
 
 fn usage() -> ! {
-    eprintln!("usage: kit-serve [--addr HOST:PORT] [--workers N]");
+    eprintln!(
+        "usage: kit-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--shed-policy newest|tenant-share] [--rate RPS[:BURST]] [--deadline-ms N]"
+    );
     std::process::exit(2);
 }
 
@@ -21,14 +26,35 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
         match arg.as_str() {
-            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--addr" => addr = value(),
             "--workers" => {
-                let n = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                config.workers = n;
+                config.workers = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--queue-cap" => {
+                config.queue_cap = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--shed-policy" => {
+                config.shed_policy = match value().as_str() {
+                    "newest" => ShedPolicy::RejectNewest,
+                    "tenant-share" => ShedPolicy::TenantShare,
+                    _ => usage(),
+                };
+            }
+            "--rate" => {
+                let v = value();
+                let (rps, burst) = match v.split_once(':') {
+                    Some((r, b)) => (r.parse(), b.parse()),
+                    None => (v.parse(), v.parse()),
+                };
+                match (rps, burst) {
+                    (Ok(rps), Ok(burst)) => config.rate_limit = Some(RateLimit { rps, burst }),
+                    _ => usage(),
+                }
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             _ => usage(),
         }

@@ -48,6 +48,28 @@ impl Client {
         max_heap_pages: Option<usize>,
         src: &str,
     ) -> io::Result<Response> {
+        self.call_as("", None, mode, dispatch, fuel, max_heap_pages, src)
+    }
+
+    /// Like [`call`], with an explicit tenant id and wall-clock budget
+    /// (milliseconds from admission).
+    ///
+    /// [`call`]: Client::call
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call_as(
+        &mut self,
+        tenant: &str,
+        deadline_ms: Option<u64>,
+        mode: kit::Mode,
+        dispatch: kit::DispatchMode,
+        fuel: Option<u64>,
+        max_heap_pages: Option<usize>,
+        src: &str,
+    ) -> io::Result<Response> {
         let req_id = self.next_id;
         self.next_id += 1;
         self.send(&Request {
@@ -56,6 +78,8 @@ impl Client {
             dispatch,
             fuel,
             max_heap_pages,
+            deadline_ms: deadline_ms.filter(|&ms| ms > 0),
+            tenant: tenant.to_string(),
             src: src.to_string(),
         })
     }

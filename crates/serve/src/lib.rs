@@ -13,11 +13,18 @@
 //!   `bench-summary --serve`).
 //!
 //! Isolation story: every request executes on a fresh `Vm`/`Rt` under
-//! its own fuel and memory quota; only immutable compiled artifacts are
-//! shared between tenants. Counters (instruction totals, GC counts,
-//! copied words) are bit-identical to a standalone single-threaded run
-//! of the same program — enforced by [`load::check_against_standalone`]
-//! and the verify smoke leg.
+//! its own fuel, memory and wall-clock quota; only immutable compiled
+//! artifacts are shared between tenants. Counters (instruction totals,
+//! GC counts, copied words) are bit-identical to a standalone
+//! single-threaded run of the same program — enforced by
+//! [`load::check_against_standalone`] and the verify smoke leg.
+//!
+//! Overload story (DESIGN.md §6j): admission is bounded and sheds with
+//! typed `Overloaded` responses, tenants are rate-limited by token
+//! bucket (`RateLimited`), deadlines surface as engine-identical
+//! `DeadlineExceeded` at the VM's safe points, drains answer queued
+//! work instead of dropping it, and misbehaving connections (slowloris,
+//! stalled readers, mid-frame deaths) are reaped on typed budgets.
 
 pub mod client;
 pub mod load;
@@ -26,5 +33,5 @@ pub mod wire;
 
 pub use client::Client;
 pub use load::{check_against_standalone, run_load, LoadProgram, LoadReport, LoadSpec};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{DrainReport, RateLimit, Server, ServerConfig, ServerHandle, ShedPolicy};
 pub use wire::{Request, Response, Status};

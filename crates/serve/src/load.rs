@@ -4,6 +4,15 @@
 //! requests/sec, p50/p99 latency, per-program counter aggregates, and
 //! per-worker collector time. Shared by the `loadgen` binary and the
 //! `bench-summary` serve section so both report identical numbers.
+//!
+//! Overload awareness (PR 10): responses split into *deterministic*
+//! outcomes ([`Status::is_deterministic`] — produced by actually running
+//! the program, demanded bit-identical per program) and *load-dependent*
+//! outcomes (`Overloaded`, `RateLimited`, `DeadlineExceeded`), which are
+//! tallied per program and in aggregate instead of compared. Every
+//! request still receives exactly one typed response — shedding never
+//! silently drops — so the response count always matches the request
+//! count.
 
 use crate::wire::{self, Request, Response, Status};
 use kit::{Compiler, DispatchMode, Mode};
@@ -26,8 +35,29 @@ pub struct LoadProgram {
     pub fuel: Option<u64>,
     /// Per-request memory quota in pages.
     pub max_heap_pages: Option<usize>,
+    /// Per-request wall-clock budget in milliseconds (from admission).
+    pub deadline_ms: Option<u64>,
+    /// Tenant id sent with each request (empty = anonymous).
+    pub tenant: String,
     /// MiniML source.
     pub src: String,
+}
+
+impl LoadProgram {
+    /// A quota-free program under the given name — the common case for
+    /// tests and generated mixes.
+    pub fn plain(name: &str, mode: Mode, dispatch: DispatchMode, src: &str) -> LoadProgram {
+        LoadProgram {
+            name: name.to_string(),
+            mode,
+            dispatch,
+            fuel: None,
+            max_heap_pages: None,
+            deadline_ms: None,
+            tenant: String::new(),
+            src: src.to_string(),
+        }
+    }
 }
 
 /// What to run and how hard to push.
@@ -45,17 +75,31 @@ pub struct LoadSpec {
     pub mix: Vec<LoadProgram>,
 }
 
-/// Aggregate counters for one mix program, with uniformity enforced:
-/// every response for the program must agree on status, instructions,
-/// gc_count and gc_copied_words (the determinism claim of DESIGN.md §6i).
+/// Aggregate counters for one mix program, with uniformity enforced over
+/// the *deterministic* responses: every executed response for the
+/// program must agree on status, instructions, gc_count and
+/// gc_copied_words (the determinism claim of DESIGN.md §6i). Shed,
+/// rate-limited and deadline-breached responses are load-dependent and
+/// are tallied, not compared.
 #[derive(Debug, Clone)]
 pub struct ProgramReport {
     /// The program's display name.
     pub name: String,
-    /// Responses received.
+    /// Responses received (all statuses).
     pub requests: usize,
-    /// Uniform outcome status.
+    /// Uniform status of the deterministic responses; when *no* response
+    /// was deterministic (e.g. a fully rate-limited hog), the status of
+    /// the first response received.
     pub status: Status,
+    /// Deterministic responses (those counted under `status` when it is
+    /// deterministic).
+    pub executed: usize,
+    /// Responses shed at admission with `Overloaded`.
+    pub shed: usize,
+    /// Responses refused with `RateLimited`.
+    pub rate_limited: usize,
+    /// Responses that breached their wall-clock deadline.
+    pub deadline_exceeded: usize,
     /// Uniform instruction total (0 for non-`Ok` outcomes).
     pub instructions: u64,
     /// Uniform collection count.
@@ -66,7 +110,11 @@ pub struct ProgramReport {
     pub gc_time_ns: u64,
     /// Maximum peak footprint over the program's requests.
     pub peak_bytes: u64,
-    /// Uniform result/error text.
+    /// 99th-percentile latency over this program's responses,
+    /// milliseconds (the per-tenant fairness probe: a polite tenant's
+    /// p99 must hold while a hog floods).
+    pub p99_ms: f64,
+    /// Uniform result/error text of the deterministic responses.
     pub result: String,
 }
 
@@ -85,6 +133,15 @@ pub struct LoadReport {
     pub p99_ms: f64,
     /// Mean request latency, milliseconds.
     pub mean_ms: f64,
+    /// Requests shed at admission (`Overloaded`), all programs.
+    pub shed: usize,
+    /// Requests refused with `RateLimited`, all programs.
+    pub rate_limited: usize,
+    /// Requests that breached their deadline, all programs.
+    pub deadline_exceeded: usize,
+    /// 99th percentile of the admission-queue depth observed across all
+    /// responses (each response reports the depth at its admission).
+    pub queue_depth_p99: u32,
     /// Per-program aggregates, mix order.
     pub per_program: Vec<ProgramReport>,
     /// Collector nanoseconds summed per worker id.
@@ -95,17 +152,38 @@ pub struct LoadReport {
 #[derive(Default)]
 struct ConnTally {
     latencies: Vec<Duration>,
-    /// program index → (responses, sum gc_time, max peak, first response)
+    queue_depths: Vec<u32>,
+    /// program index → accumulated responses
     programs: HashMap<usize, ProgAcc>,
     worker_gc_ns: HashMap<u32, u64>,
     errors: Vec<String>,
 }
 
+#[derive(Default)]
 struct ProgAcc {
     requests: usize,
+    executed: usize,
+    shed: usize,
+    rate_limited: usize,
+    deadline_exceeded: usize,
     gc_time_ns: u64,
     peak_bytes: u64,
-    first: Response,
+    latencies: Vec<Duration>,
+    /// First deterministic response (uniformity reference).
+    first: Option<Response>,
+    /// First response of any status (fallback when nothing executed).
+    first_any: Option<Response>,
+}
+
+impl ProgAcc {
+    fn absorb_status(&mut self, status: Status) {
+        match status {
+            Status::Overloaded => self.shed += 1,
+            Status::RateLimited => self.rate_limited += 1,
+            Status::DeadlineExceeded => self.deadline_exceeded += 1,
+            _ => {}
+        }
+    }
 }
 
 struct Pending {
@@ -122,8 +200,8 @@ struct Pending {
 /// # Errors
 ///
 /// Returns a message on socket failure or on a per-program counter
-/// mismatch (two responses for the same program disagreeing on status,
-/// instructions or GC counters).
+/// mismatch (two *deterministic* responses for the same program
+/// disagreeing on status, instructions or GC counters).
 pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, String> {
     if spec.mix.is_empty() || spec.requests == 0 {
         return Err("empty load: need at least one mix program and one request".to_string());
@@ -157,6 +235,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, String> {
             .join()
             .map_err(|_| "load connection thread panicked".to_string())??;
         tally.latencies.extend(t.latencies);
+        tally.queue_depths.extend(t.queue_depths);
         tally.errors.extend(t.errors);
         for (w, ns) in t.worker_gc_ns {
             *tally.worker_gc_ns.entry(w).or_insert(0) += ns;
@@ -180,22 +259,46 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, String> {
     let pct = |p: f64| lat[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1];
     let mean = lat.iter().sum::<Duration>() / n as u32;
 
+    let mut depths = tally.queue_depths;
+    depths.sort_unstable();
+    let queue_depth_p99 = depths
+        .get((((depths.len() as f64) * 0.99).ceil() as usize).clamp(1, depths.len().max(1)) - 1)
+        .copied()
+        .unwrap_or(0);
+
+    let (mut shed, mut rate_limited, mut deadline_exceeded) = (0, 0, 0);
     let mut per_program = Vec::with_capacity(spec.mix.len());
     for (i, prog) in spec.mix.iter().enumerate() {
-        let acc = tally
+        let mut acc = tally
             .programs
             .remove(&i)
             .ok_or_else(|| format!("program {} received no responses", prog.name))?;
+        shed += acc.shed;
+        rate_limited += acc.rate_limited;
+        deadline_exceeded += acc.deadline_exceeded;
+        acc.latencies.sort_unstable();
+        let pn = acc.latencies.len();
+        let p99 = acc.latencies[(((pn as f64) * 0.99).ceil() as usize).clamp(1, pn) - 1];
+        let reference = acc
+            .first
+            .as_ref()
+            .or(acc.first_any.as_ref())
+            .expect("a counted program has at least one response");
         per_program.push(ProgramReport {
             name: prog.name.clone(),
             requests: acc.requests,
-            status: acc.first.status,
-            instructions: acc.first.instructions,
-            gc_count: acc.first.gc_count,
-            gc_copied_words: acc.first.gc_copied_words,
+            status: reference.status,
+            executed: acc.executed,
+            shed: acc.shed,
+            rate_limited: acc.rate_limited,
+            deadline_exceeded: acc.deadline_exceeded,
+            instructions: reference.instructions,
+            gc_count: reference.gc_count,
+            gc_copied_words: reference.gc_copied_words,
             gc_time_ns: acc.gc_time_ns,
             peak_bytes: acc.peak_bytes,
-            result: acc.first.result.clone(),
+            p99_ms: p99.as_secs_f64() * 1e3,
+            result: reference.result.clone(),
         });
     }
 
@@ -206,6 +309,10 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, String> {
         p50_ms: pct(0.50).as_secs_f64() * 1e3,
         p99_ms: pct(0.99).as_secs_f64() * 1e3,
         mean_ms: mean.as_secs_f64() * 1e3,
+        shed,
+        rate_limited,
+        deadline_exceeded,
+        queue_depth_p99,
         per_program,
         per_worker_gc_ns: tally.worker_gc_ns.into_iter().collect(),
     })
@@ -256,6 +363,8 @@ fn drive_conn(
                     dispatch: prog.dispatch,
                     fuel: prog.fuel,
                     max_heap_pages: prog.max_heap_pages,
+                    deadline_ms: prog.deadline_ms,
+                    tenant: prog.tenant.clone(),
                     src: prog.src.clone(),
                 };
                 let (lock, cv) = &*pending;
@@ -298,14 +407,28 @@ fn drive_conn(
         p.outstanding -= 1;
         drop(p);
         cv.notify_one();
-        tally.latencies.push(sent.elapsed());
-        *tally.worker_gc_ns.entry(resp.worker).or_insert(0) += resp.gc_time_ns;
-        let acc = ProgAcc {
+        let latency = sent.elapsed();
+        tally.latencies.push(latency);
+        tally.queue_depths.push(resp.queue_depth);
+        // Shed/limited responses carry `worker == u32::MAX` (no worker
+        // touched them); keep the per-worker books to real workers.
+        if resp.worker != u32::MAX {
+            *tally.worker_gc_ns.entry(resp.worker).or_insert(0) += resp.gc_time_ns;
+        }
+        let mut acc = ProgAcc {
             requests: 1,
             gc_time_ns: resp.gc_time_ns,
             peak_bytes: resp.peak_bytes,
-            first: resp,
+            latencies: vec![latency],
+            ..ProgAcc::default()
         };
+        acc.absorb_status(resp.status);
+        if resp.status.is_deterministic() {
+            acc.executed = 1;
+            acc.first = Some(resp);
+        } else {
+            acc.first_any = Some(resp);
+        }
         merge_prog(&mut tally.programs, &mut tally.errors, prog_idx, acc);
     }
 
@@ -326,7 +449,9 @@ fn drive_conn(
 }
 
 /// Folds `acc` into the per-program map, recording an error if its
-/// counters disagree with what the program produced elsewhere.
+/// deterministic counters disagree with what the program produced
+/// elsewhere. Load-dependent outcomes never participate in the
+/// comparison — only in the tallies.
 fn merge_prog(
     programs: &mut HashMap<usize, ProgAcc>,
     errors: &mut Vec<String>,
@@ -338,40 +463,51 @@ fn merge_prog(
             programs.insert(idx, acc);
         }
         Some(have) => {
-            let a = &have.first;
-            let b = &acc.first;
-            if (
-                a.status,
-                a.instructions,
-                a.gc_count,
-                a.gc_copied_words,
-                &a.result,
-            ) != (
-                b.status,
-                b.instructions,
-                b.gc_count,
-                b.gc_copied_words,
-                &b.result,
-            ) {
-                errors.push(format!(
-                    "program #{idx} responses disagree: \
-                     ({:?}, {} instr, {} gcs, {} copied, {:?}) vs \
-                     ({:?}, {} instr, {} gcs, {} copied, {:?})",
+            if let (Some(a), Some(b)) = (&have.first, &acc.first) {
+                if (
                     a.status,
                     a.instructions,
                     a.gc_count,
                     a.gc_copied_words,
-                    a.result,
+                    &a.result,
+                ) != (
                     b.status,
                     b.instructions,
                     b.gc_count,
                     b.gc_copied_words,
-                    b.result,
-                ));
+                    &b.result,
+                ) {
+                    errors.push(format!(
+                        "program #{idx} responses disagree: \
+                         ({:?}, {} instr, {} gcs, {} copied, {:?}) vs \
+                         ({:?}, {} instr, {} gcs, {} copied, {:?})",
+                        a.status,
+                        a.instructions,
+                        a.gc_count,
+                        a.gc_copied_words,
+                        a.result,
+                        b.status,
+                        b.instructions,
+                        b.gc_count,
+                        b.gc_copied_words,
+                        b.result,
+                    ));
+                }
+            }
+            if have.first.is_none() {
+                have.first = acc.first;
+            }
+            if have.first_any.is_none() {
+                have.first_any = acc.first_any;
             }
             have.requests += acc.requests;
+            have.executed += acc.executed;
+            have.shed += acc.shed;
+            have.rate_limited += acc.rate_limited;
+            have.deadline_exceeded += acc.deadline_exceeded;
             have.gc_time_ns += acc.gc_time_ns;
             have.peak_bytes = have.peak_bytes.max(acc.peak_bytes);
+            have.latencies.extend(acc.latencies);
         }
     }
 }
@@ -388,7 +524,9 @@ pub struct CheckRow {
 /// Runs each mix program once through the server and once standalone on
 /// an identically configured [`Compiler`], and demands bit-identical
 /// observables: status, result/error text, instruction total, GC count
-/// and copied words.
+/// and copied words. Deadlines are deliberately *not* forwarded — a
+/// wall-clock breach is load-dependent, so the check compares the
+/// deterministic quotas only.
 ///
 /// # Errors
 ///

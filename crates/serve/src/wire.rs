@@ -14,7 +14,11 @@ use kit::{DispatchMode, Mode};
 use std::io::{self, Read, Write};
 
 /// Protocol version byte expected at the head of every request.
-pub const VERSION: u8 = 1;
+/// Version 2 (PR 10) added the tenant id and per-request deadline to the
+/// request frame, and `retry_after_ms`/`queue_depth` plus the overload
+/// statuses (`Overloaded`, `RateLimited`, `DeadlineExceeded`, `Closed`)
+/// to the response frame.
+pub const VERSION: u8 = 2;
 
 /// Upper bound on a frame payload; a length above this is treated as a
 /// malformed frame rather than an allocation request.
@@ -33,6 +37,13 @@ pub struct Request {
     pub fuel: Option<u64>,
     /// Page cap on the materialized heap footprint; `None` is unlimited.
     pub max_heap_pages: Option<usize>,
+    /// Wall-clock budget in milliseconds, measured from admission (so
+    /// queueing delay counts); `None` defers to the server's default.
+    pub deadline_ms: Option<u64>,
+    /// Tenant id for rate limiting and fair shedding. Empty means
+    /// anonymous: the server falls back to the hashed client address, so
+    /// one flooding connection still cannot starve the rest.
+    pub tenant: String,
     /// MiniML source text.
     pub src: String,
 }
@@ -52,9 +63,36 @@ pub enum Status {
     QuotaExceeded,
     /// The request frame itself was malformed.
     BadRequest,
+    /// The request was shed at admission (queue full, or the server is
+    /// draining) and was never executed; `retry_after_ms` advises when to
+    /// try again.
+    Overloaded,
+    /// The tenant's token bucket was empty; the request was never
+    /// executed. `retry_after_ms` is the time until a token accrues.
+    RateLimited,
+    /// The wall-clock deadline passed at a safe point mid-execution.
+    DeadlineExceeded,
+    /// Server-initiated typed close (idle timeout or a frame that
+    /// stalled mid-read); no further responses follow on this connection.
+    Closed,
 }
 
 impl Status {
+    /// True for outcomes produced by actually executing the program —
+    /// these are deterministic and must be bit-identical across
+    /// responses; shed/limited/deadline outcomes are load- and
+    /// clock-dependent and are tallied instead of compared.
+    pub fn is_deterministic(self) -> bool {
+        matches!(
+            self,
+            Status::Ok
+                | Status::CompileError
+                | Status::UncaughtException
+                | Status::OutOfFuel
+                | Status::QuotaExceeded
+        )
+    }
+
     fn to_byte(self) -> u8 {
         match self {
             Status::Ok => 0,
@@ -63,6 +101,10 @@ impl Status {
             Status::OutOfFuel => 3,
             Status::QuotaExceeded => 4,
             Status::BadRequest => 5,
+            Status::Overloaded => 6,
+            Status::RateLimited => 7,
+            Status::DeadlineExceeded => 8,
+            Status::Closed => 9,
         }
     }
 
@@ -74,6 +116,10 @@ impl Status {
             3 => Status::OutOfFuel,
             4 => Status::QuotaExceeded,
             5 => Status::BadRequest,
+            6 => Status::Overloaded,
+            7 => Status::RateLimited,
+            8 => Status::DeadlineExceeded,
+            9 => Status::Closed,
             other => return Err(bad(format!("unknown status byte {other}"))),
         })
     }
@@ -87,8 +133,15 @@ pub struct Response {
     /// Outcome classification.
     pub status: Status,
     /// Id of the worker that executed the request (for per-worker
-    /// aggregation in the load generator).
+    /// aggregation in the load generator); `u32::MAX` when the request
+    /// never reached a worker (shed, rate-limited, bad frame).
     pub worker: u32,
+    /// Backoff advice in milliseconds for `Overloaded`/`RateLimited`
+    /// responses (0 otherwise).
+    pub retry_after_ms: u32,
+    /// Depth of the admission queue when this request was admitted (or
+    /// shed) — the load driver aggregates these into `queue_depth_p99`.
+    pub queue_depth: u32,
     /// Instructions executed (0 unless `Ok`).
     pub instructions: u64,
     /// Collections performed (0 unless `Ok`).
@@ -223,13 +276,15 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 
 /// Encodes a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(35 + req.src.len());
+    let mut out = Vec::with_capacity(51 + req.tenant.len() + req.src.len());
     out.push(VERSION);
     out.extend_from_slice(&req.req_id.to_le_bytes());
     out.push(mode_byte(req.mode));
     out.push(dispatch_byte(req.dispatch));
     out.extend_from_slice(&req.fuel.unwrap_or(0).to_le_bytes());
     out.extend_from_slice(&(req.max_heap_pages.unwrap_or(0) as u64).to_le_bytes());
+    out.extend_from_slice(&req.deadline_ms.unwrap_or(0).to_le_bytes());
+    put_str(&mut out, &req.tenant);
     put_str(&mut out, &req.src);
     out
 }
@@ -257,6 +312,11 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         0 => None,
         n => Some(n as usize),
     };
+    let deadline_ms = match c.u64()? {
+        0 => None,
+        n => Some(n),
+    };
+    let tenant = c.str()?;
     let src = c.str()?;
     c.done()?;
     Ok(Request {
@@ -265,16 +325,20 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         dispatch,
         fuel,
         max_heap_pages,
+        deadline_ms,
+        tenant,
         src,
     })
 }
 
 /// Encodes a response into a frame payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::with_capacity(61 + resp.result.len() + resp.output.len());
+    let mut out = Vec::with_capacity(69 + resp.result.len() + resp.output.len());
     out.extend_from_slice(&resp.req_id.to_le_bytes());
     out.push(resp.status.to_byte());
     out.extend_from_slice(&resp.worker.to_le_bytes());
+    out.extend_from_slice(&resp.retry_after_ms.to_le_bytes());
+    out.extend_from_slice(&resp.queue_depth.to_le_bytes());
     out.extend_from_slice(&resp.instructions.to_le_bytes());
     out.extend_from_slice(&resp.gc_count.to_le_bytes());
     out.extend_from_slice(&resp.gc_copied_words.to_le_bytes());
@@ -294,6 +358,8 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
     let req_id = c.u64()?;
     let status = Status::from_byte(c.u8()?)?;
     let worker = c.u32()?;
+    let retry_after_ms = c.u32()?;
+    let queue_depth = c.u32()?;
     let instructions = c.u64()?;
     let gc_count = c.u64()?;
     let gc_copied_words = c.u64()?;
@@ -306,6 +372,8 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
         req_id,
         status,
         worker,
+        retry_after_ms,
+        queue_depth,
         instructions,
         gc_count,
         gc_copied_words,
@@ -348,6 +416,8 @@ mod tests {
             dispatch: DispatchMode::RegisterFused,
             fuel: Some(1_000_000),
             max_heap_pages: Some(64),
+            deadline_ms: Some(250),
+            tenant: "acme".to_string(),
             src: "val it = 1 + 2".to_string(),
         };
         let mut buf = Vec::new();
@@ -362,6 +432,8 @@ mod tests {
             req_id: 99,
             status: Status::QuotaExceeded,
             worker: 3,
+            retry_after_ms: 40,
+            queue_depth: 17,
             instructions: 123,
             gc_count: 4,
             gc_copied_words: 5,
@@ -385,6 +457,8 @@ mod tests {
             dispatch: DispatchMode::Match,
             fuel: None,
             max_heap_pages: None,
+            deadline_ms: None,
+            tenant: String::new(),
             src: "val it = 0".to_string(),
         });
         let e = decode_request(&req[..req.len() - 1]).unwrap_err();

@@ -53,4 +53,18 @@ cargo run --release -p kit-bench --bin loadgen -- \
     --out /tmp/serve_smoke.json
 rm -f /tmp/serve_smoke.json
 
+echo "==> kit-serve chaos smoke: slowloris, mid-frame disconnects,"
+echo "    malformed frames, stalled readers and connection churn next to"
+echo "    a healthy mix; post-chaos burst must be exact, no worker/cache/"
+echo "    connection leaks"
+cargo run --release -p kit-bench --bin loadgen -- \
+    --sessions 64 --conns 8 --requests 512 --workers 4 \
+    --mix 'fib:12,churn:10' --chaos --chaos-secs 3 --check
+
+echo "==> kit-serve flood + drain-under-load: 4x-capacity flood into a"
+echo "    tiny queue sheds typed Overloaded while executed work stays"
+echo "    bit-identical (serve test suite, release)"
+cargo test --release -p kit-serve -q flood
+cargo test --release -p kit-serve -q drain
+
 echo "verify: OK"
